@@ -1,0 +1,46 @@
+//! Matrix-assembly benchmark — the paper's "matrix form time".
+//!
+//! Compares the generic Figure-2 cascade-network path against the
+//! `n_w`-marginalizing fast path, and measures the fast path across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stochcdr::{CdrConfig, CdrModel};
+
+fn config(refinement: usize) -> CdrConfig {
+    CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(refinement)
+        .counter_len(8)
+        .white_sigma_ui(0.05)
+        .drift(2e-3, 8e-3)
+        .build()
+        .expect("config")
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_tpm");
+    group.sample_size(10);
+
+    // Fast vs reference on a small model (the reference enumerates every
+    // n_w outcome, so keep it small). Refinement 8 keeps the grid fine
+    // enough for the drift spec to resolve.
+    let small = CdrModel::new(config(8));
+    group.bench_function("network_path_2k_states", |b| {
+        b.iter(|| small.build_chain_via_network().expect("chain"))
+    });
+    group.bench_function("fast_path_2k_states", |b| {
+        b.iter(|| small.build_chain().expect("chain"))
+    });
+
+    for refinement in [16usize, 64] {
+        let model = CdrModel::new(config(refinement));
+        let states = model.config().state_count();
+        group.bench_with_input(BenchmarkId::new("fast_path", states), &states, |b, _| {
+            b.iter(|| model.build_chain().expect("chain"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Per-component costs of one multigrid cycle: smoothing sweeps,
+//! weighted aggregation (coarse-TPM construction), and disaggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stochcdr::{CdrConfig, CdrModel};
+use stochcdr_linalg::vecops;
+use stochcdr_markov::lumping::{aggregate, disaggregate, lump_weighted};
+use stochcdr_markov::stationary::{GaussSeidelSolver, JacobiSolver};
+
+fn bench_cycle_parts(c: &mut Criterion) {
+    let config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(32)
+        .counter_len(8)
+        .white_sigma_ui(0.05)
+        .drift(2e-3, 8e-3)
+        .build()
+        .expect("config");
+    let chain = CdrModel::new(config.clone()).build_chain().expect("chain");
+    let n = chain.state_count();
+    // Reachability-aware hierarchy (the chain may prune Cartesian states).
+    let parts = chain.phase_hierarchy();
+    let part0 = &parts[0];
+    let x = vecops::uniform(n);
+
+    let mut group = c.benchmark_group("multigrid_cycle_parts_8k");
+    group.sample_size(20);
+    group.bench_function("jacobi_sweep", |b| {
+        let solver = JacobiSolver::new(f64::MIN_POSITIVE, 1, 0.8);
+        let mut y = x.clone();
+        b.iter(|| solver.sweep_once(chain.tpm(), &mut y));
+    });
+    group.bench_function("gauss_seidel_sweep", |b| {
+        let solver = GaussSeidelSolver::new(f64::MIN_POSITIVE, 1);
+        let mut y = x.clone();
+        b.iter(|| solver.sweep_once(chain.tpm(), &mut y));
+    });
+    group.bench_function("lump_weighted", |b| {
+        b.iter(|| lump_weighted(chain.tpm(), part0, &x).expect("lump"));
+    });
+    group.bench_function("aggregate", |b| {
+        b.iter(|| aggregate(part0, &x));
+    });
+    group.bench_function("disaggregate", |b| {
+        let coarse = aggregate(part0, &x);
+        b.iter(|| disaggregate(part0, &coarse, &x));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_parts);
+criterion_main!(benches);

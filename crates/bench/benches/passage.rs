@@ -1,0 +1,39 @@
+//! First-passage (cycle-slip) solve benchmark: the paper's
+//! "linear system with the (modified) TPM".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stochcdr::cycle_slip::{boundary_states, mean_time_to_first_slip};
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+use stochcdr_markov::passage::mean_hitting_times_direct;
+
+fn bench_passage(c: &mut Criterion) {
+    let config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(4)
+        .counter_len(8)
+        .white_sigma_ui(0.08)
+        .drift(4e-3, 1.6e-2)
+        .build()
+        .expect("config");
+    let chain = CdrModel::new(config).build_chain().expect("chain");
+    let target = boundary_states(&chain, 1);
+
+    let mut group = c.benchmark_group("first_passage_1k_states");
+    group.sample_size(10);
+    group.bench_function("dense_lu_hitting_times", |b| {
+        b.iter(|| mean_hitting_times_direct(chain.tpm(), &target).expect("solve"));
+    });
+    group.bench_function("mean_time_to_first_slip", |b| {
+        b.iter(|| mean_time_to_first_slip(&chain, 1).expect("slip time"));
+    });
+    group.bench_function("stationary_plus_slip_rate", |b| {
+        b.iter(|| {
+            let a = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-9).expect("analysis");
+            stochcdr::cycle_slip::mean_time_between_slips(&chain, &a.stationary).expect("mtbs")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passage);
+criterion_main!(benches);

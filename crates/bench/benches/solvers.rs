@@ -1,0 +1,31 @@
+//! Stationary-solver benchmark: power, Gauss–Seidel, and multigrid on a
+//! medium CDR chain at matched tolerance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+
+fn bench_solvers(c: &mut Criterion) {
+    let config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(16)
+        .counter_len(8)
+        .white_sigma_ui(0.05)
+        .drift(2e-3, 8e-3)
+        .build()
+        .expect("config");
+    let chain = CdrModel::new(config).build_chain().expect("chain");
+    let tol = 1e-9;
+
+    let mut group = c.benchmark_group("stationary_solvers_4k_states");
+    group.sample_size(10);
+    for choice in [SolverChoice::Power, SolverChoice::GaussSeidel, SolverChoice::Multigrid] {
+        let solver = chain.solver_with_tol(choice, tol);
+        group.bench_function(solver.name(), |b| {
+            b.iter(|| solver.solve(chain.tpm(), None).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Kernel benchmark: sparse vector-matrix products on CDR transition
+//! matrices — the inner loop of every stationary solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stochcdr::{CdrConfig, CdrModel};
+use stochcdr_linalg::vecops;
+
+fn chain(refinement: usize) -> stochcdr::CdrChain {
+    let config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(refinement)
+        .counter_len(8)
+        .white_sigma_ui(0.05)
+        .drift(2e-3, 8e-3)
+        .build()
+        .expect("config");
+    CdrModel::new(config).build_chain().expect("chain")
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for refinement in [8usize, 32, 128] {
+        let chain = chain(refinement);
+        let n = chain.state_count();
+        let x = vecops::uniform(n);
+        let mut y = vec![0.0; n];
+        group.throughput(Throughput::Elements(chain.nnz() as u64));
+        group.bench_with_input(BenchmarkId::new("mul_left", n), &n, |b, _| {
+            b.iter(|| chain.tpm().step_into(&x, &mut y));
+        });
+        group.bench_with_input(BenchmarkId::new("mul_right_transposed", n), &n, |b, _| {
+            b.iter(|| chain.tpm().transposed().mul_right_into(&x, &mut y));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

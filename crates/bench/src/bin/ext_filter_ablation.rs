@@ -1,0 +1,60 @@
+//! **Extension: loop-filter ablation** — overflow counter vs consecutive
+//! detector.
+//!
+//! The paper notes its framework "is by no means restricted to this
+//! particular circuit". This ablation swaps the loop filter for a
+//! burst-mode-style consecutive detector (N same-direction decisions in a
+//! row emit a phase step; an opposite decision restarts the run) and
+//! compares steady-state BER, cycle-slip MTBS, and acquisition time at
+//! matched filter lengths.
+
+use stochcdr::acquisition::mean_lock_time;
+use stochcdr::cycle_slip::mean_time_between_slips;
+use stochcdr::{CdrConfig, CdrModel, FilterKind, SolverChoice};
+use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
+
+fn main() {
+    println!("=== Loop-filter ablation at the Figure-5 operating point ===\n");
+    println!(
+        "{:<22} {:>6} {:>8} {:>12} {:>14} {:>12}",
+        "filter", "len", "states", "BER", "MTBS (sym)", "lock (sym)"
+    );
+    for kind in [FilterKind::OverflowCounter, FilterKind::ConsecutiveDetector] {
+        for len in [2usize, 4, 8] {
+            if kind == FilterKind::OverflowCounter && len == 2 {
+                // A 2-state counter overflows on every decision pair; skip
+                // the degenerate row for comparability.
+                continue;
+            }
+            let config = CdrConfig::builder()
+                .phases(8)
+                .grid_refinement(16)
+                .counter_len(len)
+                .filter_kind(kind)
+                .white_sigma_ui(FIG5_SIGMA)
+                .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
+                .build()
+                .expect("config");
+            let chain = CdrModel::new(config).build_chain().expect("chain");
+            let a = chain.analyze(SolverChoice::Multigrid).expect("analysis");
+            let mtbs = mean_time_between_slips(&chain, &a.stationary).expect("mtbs");
+            let lock = mean_lock_time(&chain, chain.config().step_bins())
+                .map(|t| format!("{t:>12.1}"))
+                .unwrap_or_else(|_| format!("{:>12}", "-"));
+            println!(
+                "{:<22} {:>6} {:>8} {:>12.2e} {:>14.2e} {lock}",
+                format!("{kind:?}"),
+                len,
+                chain.state_count(),
+                a.ber,
+                mtbs
+            );
+        }
+    }
+    println!(
+        "\nreading: the consecutive detector filters isolated noise decisions harder per \
+         state (an opposite decision erases the whole run), trading drift tracking for \
+         noise rejection — a different point on the same bandwidth trade the paper's \
+         Figure 5 explores with counter length."
+    );
+}

@@ -1,0 +1,27 @@
+//! Dev probe: find a stiff operating point where power iteration struggles.
+use std::time::Instant;
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+
+fn main() {
+    for (sigma, mean, dev, refinement, dead) in [
+        (0.01, 2e-4, 2e-3, 32, 32usize),
+        (0.01, 2e-4, 2e-3, 32, 64),
+        (0.005, 1e-4, 2.5e-3, 32, 96),
+        (0.01, 2e-4, 1.2e-3, 64, 128),
+    ] {
+        let cfg = CdrConfig::builder()
+            .phases(8).grid_refinement(refinement).counter_len(8).dead_zone_bins(dead)
+            .white_sigma_ui(sigma).drift(mean, dev).build().expect("config");
+        let chain = CdrModel::new(cfg).build_chain().expect("chain");
+        print!("sigma={sigma} mean={mean} dev={dev} dead={dead} m={}: ", chain.config().m_bins());
+        for choice in [SolverChoice::Power, SolverChoice::Multigrid, SolverChoice::MultigridW] {
+            let solver = chain.solver_with_tol(choice, 1e-10);
+            let t = Instant::now();
+            match solver.solve(chain.tpm(), None) {
+                Ok(r) => print!(" {}={} it {:.2}s", solver.name(), r.iterations, t.elapsed().as_secs_f64()),
+                Err(e) => print!(" {}=FAIL({e:.30})", solver.name()),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,49 @@
+//! **Cycle-slip table** — mean time between cycle slips vs noise level.
+//!
+//! "Another measure of performance for CDR circuits is the average time
+//! between cycle slips. This translates into the computation of mean
+//! transition times between certain sets of MC states ... It involves
+//! solving a linear system with the (modified) TPM."
+//!
+//! Reports, across a sweep of `n_w` noise levels at the Figure-5 geometry:
+//! the stationary slip rate (exact, from per-state wrap probabilities),
+//! the mean time between slips, the mean first-passage time from lock to
+//! the slip boundary (the paper's modified-TPM solve), and the BER.
+
+use stochcdr::cycle_slip::{mean_time_between_slips, mean_time_to_first_slip};
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN};
+
+fn main() {
+    println!("=== Mean time between cycle slips vs n_w noise level ===\n");
+    println!(
+        "{:<10} {:>12} {:>16} {:>18} {:>12}",
+        "sigma_nw", "BER", "MTBS (symbols)", "first-slip (sym)", "iters"
+    );
+    for sigma in [0.05, 0.07, 0.09, 0.12, 0.15] {
+        // Geometry kept at ≤ 2048 states so the first-passage system can be
+        // solved with the exact dense LU path: slips are rare events and
+        // iterative solvers cannot reach E[T] ~ 1e12.
+        let config = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(8)
+            .counter_len(8)
+            .data(stochcdr_noise::sonet::DataSpec::new(0.5, 4).expect("data"))
+            .white_sigma_ui(sigma)
+            .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
+            .build()
+            .expect("config");
+        let chain = CdrModel::new(config).build_chain().expect("chain");
+        let a = chain.analyze(SolverChoice::Multigrid).expect("analysis");
+        let mtbs = mean_time_between_slips(&chain, &a.stationary).expect("slip rate");
+        let first = mean_time_to_first_slip(&chain, 1).expect("first passage");
+        println!(
+            "{:<10.3} {:>12.2e} {:>16.3e} {:>18.3e} {:>12}",
+            sigma, a.ber, mtbs, first, a.iterations
+        );
+    }
+    println!(
+        "\nshape check: both slip measures collapse by orders of magnitude as the noise \
+         grows, while remaining far beyond Monte-Carlo reach at the quiet end."
+    );
+}

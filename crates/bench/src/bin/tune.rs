@@ -1,0 +1,34 @@
+//! Parameter-calibration sweep (development tool, not a paper figure).
+//!
+//! Prints BER as a function of counter length over a grid of noise
+//! operating points, to locate the U-shaped counter-length optimum the
+//! paper's Figure 5 reports. Usage: `cargo run --release -p stochcdr-bench
+//! --bin tune`.
+
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+
+fn main() {
+    let phases = 8;
+    let refinement = 16;
+    for sigma in [0.03, 0.05, 0.07] {
+        for (mean, dev) in [(1e-3, 6e-3), (2e-3, 8e-3), (3e-3, 1.0e-2), (4e-3, 1.2e-2)] {
+            print!("sigma={sigma:<5} mean={mean:<7} dev={dev:<7} | BER:");
+            for counter in [4usize, 8, 16, 32] {
+                let cfg = CdrConfig::builder()
+                    .phases(phases)
+                    .grid_refinement(refinement)
+                    .counter_len(counter)
+                    .white_sigma_ui(sigma)
+                    .drift(mean, dev)
+                    .build()
+                    .expect("config");
+                let chain = CdrModel::new(cfg).build_chain().expect("chain");
+                let a = chain
+                    .analyze_with_tol(SolverChoice::Multigrid, 1e-11)
+                    .expect("analysis");
+                print!("  C{counter}={:.2e}", a.ber);
+            }
+            println!();
+        }
+    }
+}

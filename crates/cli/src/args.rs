@@ -1,0 +1,380 @@
+//! Flag parsing for the `stochcdr` CLI.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use stochcdr::{CdrConfig, CdrError, FilterKind, SolverChoice};
+use stochcdr_noise::jitter::WhiteJitterSpec;
+use stochcdr_noise::sonet::DataSpec;
+
+/// Errors surfaced to the terminal user.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// No subcommand or an unknown one.
+    UnknownCommand(String),
+    /// A flag was not recognized by the subcommand.
+    UnknownFlag(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The raw value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// Configuration or analysis failure from the library.
+    Analysis(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command '{c}'\n\n{}", usage())
+            }
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            CliError::BadValue { flag, value, expected } => {
+                write!(f, "bad value '{value}' for '{flag}': expected {expected}")
+            }
+            CliError::MissingValue(flag) => write!(f, "flag '{flag}' needs a value"),
+            CliError::Analysis(msg) => write!(f, "analysis failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<CdrError> for CliError {
+    fn from(e: CdrError) -> Self {
+        CliError::Analysis(e.to_string())
+    }
+}
+
+/// The usage text shown for `--help` and errors.
+pub fn usage() -> String {
+    "usage: stochcdr <command> [--flag value]...\n\
+     \n\
+     commands:\n\
+     \x20 analyze    stationary analysis: BER, densities, slip rate\n\
+     \x20 sweep      sweep one knob (--knob counter|dead-zone|sigma-nw, --values a,b,c)\n\
+     \x20 bathtub    BER vs static sampling offset (--points N, --target BER)\n\
+     \x20 slip       mean time between cycle slips + first-passage time\n\
+     \x20 acquire    lock-acquisition curve and mean pull-in time (--horizon N)\n\
+     \x20 jitter     recovered-clock jitter report (--max-lag N)\n\
+     \x20 spy        ASCII nonzero pattern of the transition matrix (--size N)\n\
+     \n\
+     model flags (all commands):\n\
+     \x20 --phases N           VCO phases (default 8)\n\
+     \x20 --refinement N       grid bins per phase step (default 16)\n\
+     \x20 --counter N          loop-filter length (default 8)\n\
+     \x20 --filter KIND        counter | consecutive (default counter)\n\
+     \x20 --dead-zone N        PD dead zone in grid bins (default 0)\n\
+     \x20 --sigma-nw UI        white jitter sigma (default 0.05)\n\
+     \x20 --dj UI              dual-Dirac deterministic jitter (default 0)\n\
+     \x20 --drift-mean UI      n_r mean per symbol (default 2e-3)\n\
+     \x20 --drift-dev UI       n_r max deviation (default 8e-3)\n\
+     \x20 --density P          data transition density (default 0.5)\n\
+     \x20 --run-length N       max identical-bit run (default 4)\n\
+     \x20 --solver NAME        power|gs|jacobi|direct|mg|mgw (default mg)\n\
+     \x20 --tol X              stationary residual tolerance (default 1e-12)\n"
+        .to_string()
+}
+
+/// Parsed model options shared by every subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Model configuration.
+    pub config: CdrConfig,
+    /// Stationary solver.
+    pub solver: SolverChoice,
+    /// Residual tolerance.
+    pub tol: f64,
+    /// Remaining subcommand-specific flags.
+    pub extra: BTreeMap<String, String>,
+}
+
+/// A parsed invocation: the subcommand plus its options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand name.
+    pub command: String,
+    /// Parsed options.
+    pub options: Options,
+}
+
+/// Parses `argv` (without the program name).
+///
+/// A `--config FILE` flag may appear anywhere after the subcommand: the
+/// file holds whitespace-separated `--flag value` tokens (comments start
+/// with `#`) that are spliced in *before* the command-line flags, so the
+/// command line overrides the file.
+///
+/// # Errors
+///
+/// See [`CliError`].
+pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
+    let argv = expand_config_files(argv)?;
+    let argv = &argv[..];
+    let command = match argv.first() {
+        None => return Err(CliError::UnknownCommand("(none)".into())),
+        Some(c) if c == "--help" || c == "-h" || c == "help" => {
+            return Ok(ParsedArgs {
+                command: "help".into(),
+                options: Options {
+                    config: default_config()?,
+                    solver: SolverChoice::Multigrid,
+                    tol: 1e-12,
+                    extra: BTreeMap::new(),
+                },
+            })
+        }
+        Some(c) => c.clone(),
+    };
+    let known = ["analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy"];
+    if !known.contains(&command.as_str()) {
+        return Err(CliError::UnknownCommand(command));
+    }
+
+    // Collect --flag value pairs.
+    let mut flags: BTreeMap<String, String> = BTreeMap::new();
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(CliError::UnknownFlag(flag.clone()));
+        };
+        let value = it.next().ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+
+    let phases = take_usize(&mut flags, "phases", 8)?;
+    let refinement = take_usize(&mut flags, "refinement", 16)?;
+    let counter = take_usize(&mut flags, "counter", 8)?;
+    let dead_zone = take_usize(&mut flags, "dead-zone", 0)?;
+    let run_length = take_usize(&mut flags, "run-length", 4)?;
+    let sigma = take_f64(&mut flags, "sigma-nw", 0.05)?;
+    let dj = take_f64(&mut flags, "dj", 0.0)?;
+    let drift_mean = take_f64(&mut flags, "drift-mean", 2e-3)?;
+    let drift_dev = take_f64(&mut flags, "drift-dev", 8e-3)?;
+    let density = take_f64(&mut flags, "density", 0.5)?;
+    let tol = take_f64(&mut flags, "tol", 1e-12)?;
+
+    let filter = match flags.remove("filter").as_deref() {
+        None | Some("counter") => FilterKind::OverflowCounter,
+        Some("consecutive") => FilterKind::ConsecutiveDetector,
+        Some(v) => {
+            return Err(CliError::BadValue {
+                flag: "--filter".into(),
+                value: v.into(),
+                expected: "counter | consecutive",
+            })
+        }
+    };
+    let solver = match flags.remove("solver").as_deref() {
+        None | Some("mg") => SolverChoice::Multigrid,
+        Some("mgw") => SolverChoice::MultigridW,
+        Some("power") => SolverChoice::Power,
+        Some("gs") => SolverChoice::GaussSeidel,
+        Some("jacobi") => SolverChoice::Jacobi,
+        Some("direct") => SolverChoice::Direct,
+        Some(v) => {
+            return Err(CliError::BadValue {
+                flag: "--solver".into(),
+                value: v.into(),
+                expected: "power|gs|jacobi|direct|mg|mgw",
+            })
+        }
+    };
+
+    let white = if dj > 0.0 {
+        WhiteJitterSpec::from_dual_dirac(dj, sigma)
+    } else {
+        WhiteJitterSpec::from_sigma(sigma)
+    };
+    let data = DataSpec::new(density, run_length)
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let config = CdrConfig::builder()
+        .phases(phases)
+        .grid_refinement(refinement)
+        .counter_len(counter)
+        .filter_kind(filter)
+        .dead_zone_bins(dead_zone)
+        .data(data)
+        .white(white)
+        .drift(drift_mean, drift_dev)
+        .build()?;
+
+    // Whatever flags remain belong to the subcommand.
+    Ok(ParsedArgs { command, options: Options { config, solver, tol, extra: flags } })
+}
+
+/// Splices `--config FILE` contents into the argument list.
+fn expand_config_files(argv: &[String]) -> Result<Vec<String>, CliError> {
+    let mut out = Vec::with_capacity(argv.len());
+    let mut file_tokens: Vec<String> = Vec::new();
+    let mut it = argv.iter();
+    if let Some(cmd) = it.next() {
+        out.push(cmd.clone());
+    }
+    let mut rest = Vec::new();
+    while let Some(a) = it.next() {
+        if a == "--config" {
+            let path = it.next().ok_or_else(|| CliError::MissingValue("--config".into()))?;
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::BadValue {
+                flag: "--config".into(),
+                value: format!("{path}: {e}"),
+                expected: "a readable file",
+            })?;
+            for line in text.lines() {
+                let line = line.split('#').next().unwrap_or("");
+                file_tokens.extend(line.split_whitespace().map(String::from));
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    // File tokens first so explicit command-line flags win (BTreeMap insert
+    // order: later wins).
+    out.extend(file_tokens);
+    out.extend(rest);
+    Ok(out)
+}
+
+fn take_f64(
+    flags: &mut BTreeMap<String, String>,
+    name: &str,
+    default: f64,
+) -> Result<f64, CliError> {
+    match flags.remove(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadValue {
+            flag: format!("--{name}"),
+            value: v,
+            expected: "a number",
+        }),
+    }
+}
+
+fn take_usize(
+    flags: &mut BTreeMap<String, String>,
+    name: &str,
+    default: usize,
+) -> Result<usize, CliError> {
+    match flags.remove(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadValue {
+            flag: format!("--{name}"),
+            value: v,
+            expected: "a non-negative integer",
+        }),
+    }
+}
+
+fn default_config() -> Result<CdrConfig, CdrError> {
+    CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(16)
+        .counter_len(8)
+        .white_sigma_ui(0.05)
+        .drift(2e-3, 8e-3)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults_parse() {
+        let p = parse(&argv("analyze")).unwrap();
+        assert_eq!(p.command, "analyze");
+        assert_eq!(p.options.config.phases, 8);
+        assert_eq!(p.options.config.counter_len, 8);
+        assert_eq!(p.options.solver, SolverChoice::Multigrid);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let p = parse(&argv(
+            "analyze --phases 4 --refinement 8 --counter 16 --sigma-nw 0.1 \
+             --drift-mean 1e-3 --drift-dev 2e-2 --solver power --tol 1e-9",
+        ))
+        .unwrap();
+        assert_eq!(p.options.config.phases, 4);
+        assert_eq!(p.options.config.counter_len, 16);
+        assert_eq!(p.options.config.white.sigma_ui, 0.1);
+        assert_eq!(p.options.solver, SolverChoice::Power);
+        assert_eq!(p.options.tol, 1e-9);
+    }
+
+    #[test]
+    fn filter_and_dj_flags() {
+        let p = parse(&argv("analyze --filter consecutive --dj 0.1 --counter 3")).unwrap();
+        assert_eq!(p.options.config.filter_kind, FilterKind::ConsecutiveDetector);
+        assert_eq!(p.options.config.white.dj_ui, 0.1);
+    }
+
+    #[test]
+    fn subcommand_specific_flags_pass_through() {
+        let p = parse(&argv("bathtub --points 31")).unwrap();
+        assert_eq!(p.options.extra.get("points").map(String::as_str), Some("31"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(parse(&argv("frobnicate")), Err(CliError::UnknownCommand(_))));
+        assert!(matches!(parse(&argv("analyze --phases")), Err(CliError::MissingValue(_))));
+        assert!(matches!(
+            parse(&argv("analyze --phases abc")),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&argv("analyze --solver warp")),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(parse(&argv("analyze stray")), Err(CliError::UnknownFlag(_))));
+    }
+
+    #[test]
+    fn invalid_model_rejected_via_library_validation() {
+        // Drift too small for the grid: surfaced as an analysis error.
+        let e = parse(&argv("analyze --refinement 1 --drift-mean 1e-6 --drift-dev 1e-5"))
+            .unwrap_err();
+        assert!(matches!(e, CliError::Analysis(_)));
+    }
+
+    #[test]
+    fn config_file_is_spliced_and_overridable() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("stochcdr_cli_test.cfg");
+        std::fs::write(&path, "# a comment\n--phases 4 --counter 16\n--sigma-nw 0.1\n")
+            .unwrap();
+        let p = parse(&argv(&format!(
+            "analyze --config {} --counter 6",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(p.options.config.phases, 4); // from file
+        assert_eq!(p.options.config.counter_len, 6); // CLI overrides file
+        assert_eq!(p.options.config.white.sigma_ui, 0.1);
+        std::fs::remove_file(&path).ok();
+        // Missing file is a clean error.
+        assert!(matches!(
+            parse(&argv("analyze --config /no/such/file")),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn help_is_supported() {
+        let p = parse(&argv("--help")).unwrap();
+        assert_eq!(p.command, "help");
+        assert!(usage().contains("bathtub"));
+    }
+}

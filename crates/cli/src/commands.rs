@@ -1,0 +1,279 @@
+//! Subcommand implementations for the `stochcdr` CLI.
+
+use std::fmt::Write as _;
+
+use stochcdr::acquisition::{lock_probability_curve, mean_lock_time, worst_case_start};
+use stochcdr::ber::{bathtub, eye_opening_at_ber};
+use stochcdr::clock_jitter::analyze_clock_jitter;
+use stochcdr::cycle_slip::{mean_time_between_slips, mean_time_to_first_slip};
+use stochcdr::{report, CdrAnalysis, CdrChain, CdrModel};
+use stochcdr_linalg::pattern;
+
+use crate::args::{usage, CliError, Options, ParsedArgs};
+
+/// Runs the subcommand and renders its output.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for malformed subcommand flags or analysis
+/// failures.
+pub fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
+    match parsed.command.as_str() {
+        "help" => Ok(usage()),
+        "analyze" => analyze(&parsed.options),
+        "sweep" => sweep(&parsed.options),
+        "bathtub" => bathtub_cmd(&parsed.options),
+        "slip" => slip(&parsed.options),
+        "acquire" => acquire(&parsed.options),
+        "jitter" => jitter(&parsed.options),
+        "spy" => spy(&parsed.options),
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn build_and_solve(opts: &Options) -> Result<(CdrChain, CdrAnalysis), CliError> {
+    let chain = CdrModel::new(opts.config.clone()).build_chain()?;
+    let analysis = chain.analyze_with_tol(opts.solver, opts.tol)?;
+    Ok((chain, analysis))
+}
+
+fn extra_usize(opts: &Options, name: &str, default: usize) -> Result<usize, CliError> {
+    match opts.extra.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadValue {
+            flag: format!("--{name}"),
+            value: v.clone(),
+            expected: "a non-negative integer",
+        }),
+    }
+}
+
+fn extra_f64(opts: &Options, name: &str, default: f64) -> Result<f64, CliError> {
+    match opts.extra.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadValue {
+            flag: format!("--{name}"),
+            value: v.clone(),
+            expected: "a number",
+        }),
+    }
+}
+
+fn analyze(opts: &Options) -> Result<String, CliError> {
+    let (chain, a) = build_and_solve(opts)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report::figure_panel(&chain, &a));
+    let mtbs = mean_time_between_slips(&chain, &a.stationary)?;
+    let _ = writeln!(out, "mean time between cycle slips: {mtbs:.3e} symbols");
+    if chain.pruned_states() > 0 {
+        let _ = writeln!(
+            out,
+            "(note: {} unreachable Cartesian-product states pruned)",
+            chain.pruned_states()
+        );
+    }
+    Ok(out)
+}
+
+fn sweep(opts: &Options) -> Result<String, CliError> {
+    let knob = opts.extra.get("knob").cloned().unwrap_or_else(|| "counter".into());
+    let values = opts.extra.get("values").cloned().unwrap_or_else(|| "4,8,16".into());
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<12} {:>12} {:>14} {:>8}", knob, "BER", "MTBS (sym)", "iters");
+    for v in values.split(',') {
+        // Rebuild through the builder so every swept value is re-validated.
+        let base = &opts.config;
+        let mut builder = stochcdr::CdrConfig::builder()
+            .phases(base.phases)
+            .grid_refinement(base.grid_refinement)
+            .counter_len(base.counter_len)
+            .filter_kind(base.filter_kind)
+            .dead_zone_bins(base.dead_zone_bins)
+            .data_model(base.data_model.clone())
+            .white(base.white)
+            .drift_spec(base.drift);
+        match knob.as_str() {
+            "counter" => {
+                builder = builder.counter_len(v.parse().map_err(|_| CliError::BadValue {
+                    flag: "--values".into(),
+                    value: v.into(),
+                    expected: "integers",
+                })?)
+            }
+            "dead-zone" => {
+                builder = builder.dead_zone_bins(v.parse().map_err(|_| CliError::BadValue {
+                    flag: "--values".into(),
+                    value: v.into(),
+                    expected: "integers",
+                })?)
+            }
+            "sigma-nw" => {
+                let sigma: f64 = v.parse().map_err(|_| CliError::BadValue {
+                    flag: "--values".into(),
+                    value: v.into(),
+                    expected: "numbers",
+                })?;
+                builder =
+                    builder.white(stochcdr_noise::jitter::WhiteJitterSpec::from_sigma(sigma));
+            }
+            other => {
+                return Err(CliError::BadValue {
+                    flag: "--knob".into(),
+                    value: other.into(),
+                    expected: "counter | dead-zone | sigma-nw",
+                })
+            }
+        }
+        let config = builder.build()?;
+        let chain = CdrModel::new(config).build_chain()?;
+        let a = chain.analyze_with_tol(opts.solver, opts.tol)?;
+        let mtbs = mean_time_between_slips(&chain, &a.stationary)?;
+        let _ = writeln!(out, "{:<12} {:>12.3e} {:>14.3e} {:>8}", v, a.ber, mtbs, a.iterations);
+    }
+    Ok(out)
+}
+
+fn bathtub_cmd(opts: &Options) -> Result<String, CliError> {
+    let points = extra_usize(opts, "points", 21)?.max(2);
+    let target = extra_f64(opts, "target", 1e-12)?;
+    let (_, a) = build_and_solve(opts)?;
+    let sigma = opts.config.white.sigma_ui;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>10} {:>12}", "offset UI", "BER");
+    for p in bathtub(&a.phi_density, sigma, points) {
+        let _ = writeln!(out, "{:>10.3} {:>12.3e}", p.offset_ui, p.ber);
+    }
+    let _ = writeln!(
+        out,
+        "horizontal eye opening at BER {target:.0e}: {:.3} UI",
+        eye_opening_at_ber(&a.phi_density, sigma, target)
+    );
+    Ok(out)
+}
+
+fn slip(opts: &Options) -> Result<String, CliError> {
+    let (chain, a) = build_and_solve(opts)?;
+    let mtbs = mean_time_between_slips(&chain, &a.stationary)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "BER                         : {:.3e}", a.ber);
+    let _ = writeln!(out, "mean time between slips     : {mtbs:.3e} symbols");
+    match mean_time_to_first_slip(&chain, 1) {
+        Ok(first) => {
+            let _ = writeln!(out, "first slip from lock        : {first:.3e} symbols");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "first slip from lock        : unavailable ({e})");
+        }
+    }
+    Ok(out)
+}
+
+fn acquire(opts: &Options) -> Result<String, CliError> {
+    let horizon = extra_usize(opts, "horizon", 1000)?;
+    let chain = CdrModel::new(opts.config.clone()).build_chain()?;
+    let radius = opts.config.step_bins();
+    let mean = mean_lock_time(&chain, radius)?;
+    let curve = lock_probability_curve(&chain, worst_case_start(&chain), radius, horizon)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "mean lock time from half-UI start: {mean:.1} symbols");
+    let _ = writeln!(out, "{:>8} {:>12}", "symbols", "P(locked)");
+    let step = (horizon / 10).max(1);
+    for k in (0..=horizon).step_by(step) {
+        let _ = writeln!(out, "{:>8} {:>12.4}", k, curve[k]);
+    }
+    Ok(out)
+}
+
+fn jitter(opts: &Options) -> Result<String, CliError> {
+    let max_lag = extra_usize(opts, "max-lag", 200)?.max(1);
+    let (chain, a) = build_and_solve(opts)?;
+    let r = analyze_clock_jitter(&chain, &a.stationary, max_lag, 16)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "rms phase jitter   : {:.4e} UI", r.rms_ui);
+    let _ = writeln!(out, "lag-1 correlation  : {:.4}", r.lag1_correlation());
+    let _ = writeln!(out, "correlation length : {} symbols", r.correlation_length());
+    let _ = writeln!(out, "{:>8} {:>14}", "lag", "J(lag) UI");
+    for &k in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+        if k <= max_lag {
+            let _ = writeln!(out, "{:>8} {:>14.4e}", k, r.accumulated_ui[k]);
+        }
+    }
+    Ok(out)
+}
+
+fn spy(opts: &Options) -> Result<String, CliError> {
+    let size = extra_usize(opts, "size", 64)?.max(1);
+    let chain = CdrModel::new(opts.config.clone()).build_chain()?;
+    let tpm = chain.tpm().matrix();
+    let stats = pattern::stats(tpm);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} states, {} nonzeros (density {:.3e}, rows {}..{} nnz)",
+        stats.rows, stats.nnz, stats.density, stats.min_row_nnz, stats.max_row_nnz
+    );
+    let _ = writeln!(out, "{}", pattern::spy_ascii(tpm, size));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    /// A small, fast model for CLI smoke tests.
+    const SMALL: &str = "--phases 4 --refinement 2 --counter 4 --sigma-nw 0.08 \
+                         --drift-mean 2e-2 --drift-dev 8e-2";
+
+    #[test]
+    fn analyze_smoke() {
+        let out = run(&argv(&format!("analyze {SMALL}"))).unwrap();
+        assert!(out.contains("COUNTER: 4"));
+        assert!(out.contains("BER:"));
+        assert!(out.contains("cycle slips"));
+    }
+
+    #[test]
+    fn sweep_smoke() {
+        let out =
+            run(&argv(&format!("sweep {SMALL} --knob counter --values 2,4"))).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("MTBS"));
+    }
+
+    #[test]
+    fn bathtub_smoke() {
+        let out = run(&argv(&format!("bathtub {SMALL} --points 5"))).unwrap();
+        assert!(out.contains("offset UI"));
+        assert!(out.contains("eye opening"));
+        assert_eq!(out.lines().count(), 7);
+    }
+
+    #[test]
+    fn slip_and_acquire_and_jitter_smoke() {
+        assert!(run(&argv(&format!("slip {SMALL}"))).unwrap().contains("between slips"));
+        let out = run(&argv(&format!("acquire {SMALL} --horizon 100"))).unwrap();
+        assert!(out.contains("mean lock time"));
+        let out = run(&argv(&format!("jitter {SMALL} --max-lag 32"))).unwrap();
+        assert!(out.contains("rms phase jitter"));
+    }
+
+    #[test]
+    fn spy_smoke() {
+        let out = run(&argv(&format!("spy {SMALL} --size 16"))).unwrap();
+        assert!(out.contains('+'));
+        assert!(out.contains("nonzeros"));
+    }
+
+    #[test]
+    fn help_and_errors() {
+        assert!(run(&argv("help")).unwrap().contains("usage"));
+        assert!(run(&argv("nope")).is_err());
+        assert!(run(&argv("sweep --knob nope --values 1")).is_err());
+        // Swept values are re-validated through the config builder.
+        assert!(run(&argv(&format!("sweep {SMALL} --knob counter --values 0"))).is_err());
+    }
+}

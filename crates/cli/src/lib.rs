@@ -1,0 +1,35 @@
+//! Library backing the `stochcdr` command-line tool.
+//!
+//! The CLI wraps the workspace's analyses behind flag-driven subcommands so
+//! a designer can evaluate a CDR configuration without writing Rust:
+//!
+//! ```text
+//! stochcdr analyze  --sigma-nw 0.05 --drift-mean 2e-3 --counter 8
+//! stochcdr sweep    --knob counter --values 4,8,16
+//! stochcdr bathtub  --points 21
+//! stochcdr slip
+//! stochcdr acquire  --horizon 1000
+//! stochcdr jitter   --max-lag 200
+//! stochcdr spy      --size 64
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy keeps
+//! external crates to `rand`/`proptest`/`criterion`); the grammar is plain
+//! `--flag value` pairs after a subcommand.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{CliError, Options, ParsedArgs};
+
+/// Entry point shared by `main` and the tests: parses, dispatches, and
+/// returns the text that should be printed.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown subcommands/flags, malformed values,
+/// or analysis failures (each rendered with a usage hint).
+pub fn run(argv: &[String]) -> Result<String, CliError> {
+    let parsed = args::parse(argv)?;
+    commands::dispatch(&parsed)
+}

@@ -1,0 +1,13 @@
+//! The `stochcdr` command-line tool: stochastic Markov-chain performance
+//! evaluation of digital clock-and-data-recovery circuits from the shell.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match stochcdr_cli::run(&argv) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

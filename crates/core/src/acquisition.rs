@@ -1,0 +1,205 @@
+//! Lock-acquisition (pull-in) analysis.
+//!
+//! Before steady-state BER matters, the loop must *acquire* lock from an
+//! arbitrary initial phase. The Markov model answers acquisition questions
+//! exactly, through transient evolution and first-passage solves on the
+//! same TPM — no lengthy transient simulation needed:
+//!
+//! * [`lock_probability_curve`] — `P(locked by symbol k)` from a start
+//!   state, via distribution evolution with the lock region absorbing,
+//! * [`mean_lock_time`] — expected symbols to first enter the lock region
+//!   (a modified-TPM linear solve, like the paper's cycle-slip times).
+
+use stochcdr_markov::passage::{mean_hitting_times_direct, mean_hitting_times_gmres};
+use stochcdr_linalg::GmresOptions;
+
+use crate::{CdrChain, CdrError, Result};
+
+/// The lock region: every joint state whose phase error is within
+/// `radius_bins` grid bins of zero.
+pub fn lock_states(chain: &CdrChain, radius_bins: usize) -> Vec<usize> {
+    let r = radius_bins as i64;
+    (0..chain.state_count()).filter(|&s| chain.phase_offset_of(s).abs() <= r).collect()
+}
+
+/// The worst-case acquisition start: half a UI of phase error (sampling at
+/// the data transitions), centered counter, fresh data run.
+pub fn worst_case_start(chain: &CdrChain) -> usize {
+    chain.pack(0, crate::stages::LoopCounter::new(chain.config()).center(), 0)
+}
+
+/// Cumulative lock probability `P(locked by symbol k)` for
+/// `k = 0..=horizon`, starting from `start`.
+///
+/// Computed by evolving the distribution with the lock region made
+/// absorbing: each step, mass entering the region is harvested.
+///
+/// # Errors
+///
+/// Returns [`CdrError::Config`] for an out-of-range start state, an empty
+/// lock region, or a lock region that already contains `start`
+/// (acquisition is trivially instantaneous — flagged as a likely caller
+/// error).
+pub fn lock_probability_curve(
+    chain: &CdrChain,
+    start: usize,
+    radius_bins: usize,
+    horizon: usize,
+) -> Result<Vec<f64>> {
+    let n = chain.state_count();
+    if start >= n {
+        return Err(CdrError::Config(format!("start state {start} out of range")));
+    }
+    let lock = lock_states(chain, radius_bins);
+    if lock.is_empty() {
+        return Err(CdrError::Config("empty lock region".into()));
+    }
+    let mut in_lock = vec![false; n];
+    for &s in &lock {
+        in_lock[s] = true;
+    }
+    if in_lock[start] {
+        return Err(CdrError::Config(
+            "start state already inside the lock region".into(),
+        ));
+    }
+
+    let tpm = chain.tpm().matrix();
+    let mut x = vec![0.0f64; n];
+    x[start] = 1.0;
+    let mut next = vec![0.0f64; n];
+    let mut locked_mass = 0.0f64;
+    let mut curve = Vec::with_capacity(horizon + 1);
+    curve.push(0.0);
+    for _ in 0..horizon {
+        tpm.mul_left_into(&x, &mut next);
+        // Harvest mass entering the lock region (absorbing boundary).
+        for (&absorbed, v) in in_lock.iter().zip(next.iter_mut()) {
+            if absorbed {
+                locked_mass += *v;
+                *v = 0.0;
+            }
+        }
+        std::mem::swap(&mut x, &mut next);
+        curve.push(locked_mass.min(1.0));
+    }
+    Ok(curve)
+}
+
+/// Expected symbols to first enter the lock region, from every state
+/// (entries inside the region are zero).
+///
+/// Uses the dense direct path for chains up to
+/// [`crate::cycle_slip::DIRECT_STATE_CAP`] states and sparse GMRES beyond
+/// (acquisition times are short, so Krylov converges quickly).
+///
+/// # Errors
+///
+/// Returns [`CdrError::Config`] for an empty lock region, and propagates
+/// passage-solver errors.
+pub fn mean_lock_times(chain: &CdrChain, radius_bins: usize) -> Result<Vec<f64>> {
+    let lock = lock_states(chain, radius_bins);
+    if lock.is_empty() {
+        return Err(CdrError::Config("empty lock region".into()));
+    }
+    let times = if chain.state_count() <= crate::cycle_slip::DIRECT_STATE_CAP {
+        mean_hitting_times_direct(chain.tpm(), &lock)?
+    } else {
+        mean_hitting_times_gmres(chain.tpm(), &lock, &GmresOptions::default())?
+    };
+    Ok(times)
+}
+
+/// Expected symbols to lock from the worst-case start.
+///
+/// # Errors
+///
+/// Same as [`mean_lock_times`].
+pub fn mean_lock_time(chain: &CdrChain, radius_bins: usize) -> Result<f64> {
+    let times = mean_lock_times(chain, radius_bins)?;
+    Ok(times[worst_case_start(chain)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdrConfig, CdrModel};
+
+    fn chain() -> CdrChain {
+        let config = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(2)
+            .counter_len(4)
+            .white_sigma_ui(0.06)
+            .drift(5e-3, 4e-2)
+            .build()
+            .unwrap();
+        CdrModel::new(config).build_chain().unwrap()
+    }
+
+    #[test]
+    fn lock_region_geometry() {
+        let c = chain();
+        let lock = lock_states(&c, 1);
+        // Offsets -1, 0, +1 across all data x counter states.
+        assert_eq!(lock.len(), 3 * 4 * 4);
+        for &s in &lock {
+            assert!(c.phase_offset_of(s).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn lock_curve_is_monotone_cdf() {
+        let c = chain();
+        let start = worst_case_start(&c);
+        let curve = lock_probability_curve(&c, start, 1, 300).unwrap();
+        assert_eq!(curve[0], 0.0);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "curve must be monotone");
+        }
+        let last = *curve.last().unwrap();
+        assert!(last > 0.99, "should lock within the horizon: {last}");
+    }
+
+    #[test]
+    fn curve_median_is_consistent_with_mean() {
+        let c = chain();
+        let start = worst_case_start(&c);
+        let mean = mean_lock_times(&c, 1).unwrap()[start];
+        let curve = lock_probability_curve(&c, start, 1, 2000).unwrap();
+        // P(locked by ~3*mean) should be essentially 1 and the mean of the
+        // curve-implied distribution should match the first-passage mean.
+        let k3 = (3.0 * mean) as usize;
+        assert!(curve[k3.min(curve.len() - 1)] > 0.9);
+        // E[T] = Σ_k (1 − F(k)); truncate at the horizon.
+        let mean_from_curve: f64 = curve.iter().map(|&f| 1.0 - f).sum();
+        assert!(
+            (mean_from_curve / mean - 1.0).abs() < 0.05,
+            "curve mean {mean_from_curve} vs passage mean {mean}"
+        );
+    }
+
+    #[test]
+    fn worst_case_start_is_far_from_lock() {
+        let c = chain();
+        let start = worst_case_start(&c);
+        assert_eq!(c.phase_offset_of(start), -(c.config().m_bins() as i64) / 2);
+    }
+
+    #[test]
+    fn argument_validation() {
+        let c = chain();
+        assert!(lock_probability_curve(&c, usize::MAX, 1, 10).is_err());
+        // Start inside the lock region.
+        assert!(lock_probability_curve(&c, c.locked_state(), 1, 10).is_err());
+    }
+
+    #[test]
+    fn tighter_lock_radius_takes_longer() {
+        let c = chain();
+        let loose = mean_lock_time(&c, 3).unwrap();
+        let tight = mean_lock_time(&c, 1).unwrap();
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+        assert!(tight > 1.0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Stationary analysis of a built CDR chain: solver dispatch, densities,
+//! BER, and timing.
+
+use std::time::Instant;
+
+use stochcdr_markov::functional::marginal;
+use stochcdr_markov::stationary::{
+    GaussSeidelSolver, GthSolver, JacobiSolver, PowerIteration, StationarySolver,
+};
+use stochcdr_markov::lumping::Partition;
+use stochcdr_multigrid::{CycleKind, MultigridSolver, Smoother};
+
+use crate::ber::{ber_discrete, ber_symmetric_dist};
+use crate::density::PhiDensity;
+use crate::stages::PhaseDetector;
+use crate::{CdrChain, Result};
+
+/// Which stationary solver to run.
+///
+/// `Multigrid*` builds the paper's phase-pairing hierarchy from the chain's
+/// `(data, counter, phase)` layout automatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// Plain power iteration (baseline).
+    Power,
+    /// Gauss–Seidel sweeps.
+    GaussSeidel,
+    /// Damped Jacobi sweeps.
+    Jacobi,
+    /// Direct GTH elimination — `O(n³)`, only for small chains.
+    Direct,
+    /// Multigrid V-cycles with phase-pairing coarsening (the paper's
+    /// solver).
+    Multigrid,
+    /// Multigrid W-cycles (more robust on very stiff operating points).
+    MultigridW,
+}
+
+/// Default residual tolerance for analyses.
+pub const DEFAULT_TOL: f64 = 1e-12;
+
+/// The complete output of one stationary analysis — everything a paper
+/// figure panel reports.
+#[derive(Debug, Clone)]
+pub struct CdrAnalysis {
+    /// Stationary distribution over joint states.
+    pub stationary: Vec<f64>,
+    /// Stationary marginal density of the phase error `Φ`.
+    pub phi_density: PhiDensity,
+    /// Stationary density of the phase-detector input `Φ + n_w`
+    /// (discretized-`n_w` convolution; the paper's second curve).
+    pub pd_input_density: PhiDensity,
+    /// BER via the continuous Gaussian tail (production estimator).
+    pub ber: f64,
+    /// BER via the discretized `n_w` (matches the Monte-Carlo probability
+    /// space; zero when the truncated support cannot reach ±UI/2).
+    pub ber_discrete: f64,
+    /// Solver iterations (cycles for multigrid).
+    pub iterations: usize,
+    /// Final stationary residual `||ηP − η||₁`.
+    pub residual: f64,
+    /// Wall-clock time of the stationary solve.
+    pub solve_time: std::time::Duration,
+    /// Which solver produced the result.
+    pub solver_name: &'static str,
+}
+
+impl CdrChain {
+    /// Builds the paper's coarsening hierarchy for this chain: lump pairs
+    /// of adjacent phase bins until the phase grid is small, then continue
+    /// through the filter and data components so the coarsest direct solve
+    /// is a few dozen states (W-cycles visit it `2^levels` times, so its
+    /// `O(n³)` GTH cost must be negligible).
+    ///
+    /// Works on reachability-pruned chains: levels are derived from the
+    /// surviving states' `(data, filter, phase)` coordinates rather than
+    /// the full Cartesian product.
+    pub fn phase_hierarchy(&self) -> Vec<Partition> {
+        let cfg = self.config();
+        let mut coords: Vec<[usize; 3]> = (0..self.state_count())
+            .map(|s| [self.data_of(s), self.counter_of(s), self.phase_bin_of(s)])
+            .collect();
+        let mut dims = [cfg.data_model.state_count(), cfg.filter_states(), cfg.m_bins()];
+        let schedule =
+            [(2usize, 8.min(cfg.m_bins())), (1, 2.min(cfg.filter_states())), (0, 2)];
+        let mut parts = Vec::new();
+        for (comp, stop) in schedule {
+            while dims[comp] > stop {
+                dims[comp] = dims[comp].div_ceil(2);
+                let next: Vec<[usize; 3]> = coords
+                    .iter()
+                    .map(|&t| {
+                        let mut u = t;
+                        u[comp] /= 2;
+                        u
+                    })
+                    .collect();
+                let mut uniq = next.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                let labels: Vec<usize> = next
+                    .iter()
+                    .map(|t| uniq.binary_search(t).expect("label present"))
+                    .collect();
+                parts.push(
+                    Partition::from_labels(labels).expect("labels are contiguous"),
+                );
+                coords = uniq;
+            }
+        }
+        parts
+    }
+
+    /// Builds the solver object for a [`SolverChoice`], configured for this
+    /// chain's state layout.
+    pub fn solver(&self, choice: SolverChoice) -> Box<dyn StationarySolver> {
+        self.solver_with_tol(choice, DEFAULT_TOL)
+    }
+
+    /// [`solver`](Self::solver) with an explicit residual tolerance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0`.
+    pub fn solver_with_tol(&self, choice: SolverChoice, tol: f64) -> Box<dyn StationarySolver> {
+        assert!(tol > 0.0, "tolerance must be positive");
+        let iters = 5_000_000;
+        match choice {
+            SolverChoice::Power => Box::new(PowerIteration::new(tol, iters)),
+            SolverChoice::GaussSeidel => Box::new(GaussSeidelSolver::new(tol, iters)),
+            SolverChoice::Jacobi => Box::new(JacobiSolver::new(tol, iters, 0.8)),
+            SolverChoice::Direct => Box::new(GthSolver::new()),
+            SolverChoice::Multigrid | SolverChoice::MultigridW => {
+                let parts = self.phase_hierarchy();
+                let kind = if choice == SolverChoice::MultigridW {
+                    CycleKind::W
+                } else {
+                    CycleKind::V
+                };
+                Box::new(
+                    MultigridSolver::builder(parts)
+                        .cycle(kind)
+                        .smoother(Smoother::GaussSeidel)
+                        .pre_sweeps(1)
+                        .post_sweeps(2)
+                        .tol(tol)
+                        .max_cycles(2_000)
+                        .build(),
+                )
+            }
+        }
+    }
+
+    /// Runs the full stationary analysis with the chosen solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures ([`stochcdr_markov::MarkovError`]).
+    pub fn analyze(&self, choice: SolverChoice) -> Result<CdrAnalysis> {
+        self.analyze_with_tol(choice, DEFAULT_TOL)
+    }
+
+    /// [`analyze`](Self::analyze) with an explicit residual tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn analyze_with_tol(&self, choice: SolverChoice, tol: f64) -> Result<CdrAnalysis> {
+        let solver = self.solver_with_tol(choice, tol);
+        let start = Instant::now();
+        let result = solver.solve(self.tpm(), None)?;
+        let solve_time = start.elapsed();
+        Ok(self.analysis_from_stationary(
+            result.distribution,
+            result.iterations,
+            result.residual,
+            solve_time,
+            solver.name(),
+        ))
+    }
+
+    /// Assembles the derived quantities from an externally computed
+    /// stationary vector (used by benchmarks that time the solve
+    /// separately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stationary.len() != state_count()`.
+    pub fn analysis_from_stationary(
+        &self,
+        stationary: Vec<f64>,
+        iterations: usize,
+        residual: f64,
+        solve_time: std::time::Duration,
+        solver_name: &'static str,
+    ) -> CdrAnalysis {
+        assert_eq!(stationary.len(), self.state_count(), "stationary vector length");
+        let cfg = self.config();
+        let m = cfg.m_bins();
+        let half = (m / 2) as i32;
+
+        // Phase marginal: group by signed offset (mapping-aware).
+        let pairs = marginal(&stationary, |s| self.phase_bin_of(s) as i32 - half);
+        let phi_density = PhiDensity::from_pairs(cfg.delta_ui(), pairs);
+
+        // PD input: phase ⊕ discretized n_w.
+        let nw = PhaseDetector::new(cfg).nw().clone();
+        let pd_input_density = phi_density.convolve(&nw);
+
+        let ber = ber_symmetric_dist(&phi_density, &cfg.white.distribution());
+        let ber_d = ber_discrete(&phi_density, &nw, half);
+        CdrAnalysis {
+            stationary,
+            phi_density,
+            pd_input_density,
+            ber,
+            ber_discrete: ber_d,
+            iterations,
+            residual,
+            solve_time,
+            solver_name,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdrConfig, CdrModel};
+    use stochcdr_linalg::vecops;
+
+    fn chain() -> CdrChain {
+        let config = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(2)
+            .counter_len(4)
+            .white_sigma_ui(0.06)
+            .drift(5e-3, 4e-2)
+            .build()
+            .unwrap();
+        CdrModel::new(config).build_chain().unwrap()
+    }
+
+    #[test]
+    fn all_solvers_agree() {
+        let c = chain();
+        let reference = c.analyze(SolverChoice::Direct).unwrap();
+        for choice in [
+            SolverChoice::Power,
+            SolverChoice::GaussSeidel,
+            SolverChoice::Jacobi,
+            SolverChoice::Multigrid,
+            SolverChoice::MultigridW,
+        ] {
+            let a = c.analyze_with_tol(choice, 1e-11).unwrap();
+            let dist = vecops::dist1(&a.stationary, &reference.stationary);
+            assert!(dist < 1e-7, "{choice:?} deviates by {dist}");
+            assert!(
+                (a.ber / reference.ber - 1.0).abs() < 1e-4,
+                "{choice:?} BER {} vs {}",
+                a.ber,
+                reference.ber
+            );
+        }
+    }
+
+    #[test]
+    fn densities_are_distributions() {
+        let c = chain();
+        let a = c.analyze(SolverChoice::Multigrid).unwrap();
+        assert!((a.phi_density.total_mass() - 1.0).abs() < 1e-9);
+        assert!((a.pd_input_density.total_mass() - 1.0).abs() < 1e-9);
+        assert!((vecops::sum(&a.stationary) - 1.0).abs() < 1e-9);
+        // PD input is a smeared version of the phase density.
+        assert!(a.pd_input_density.std_ui() > a.phi_density.std_ui());
+    }
+
+    #[test]
+    fn phase_density_is_centered_near_lock() {
+        let c = chain();
+        let a = c.analyze(SolverChoice::Multigrid).unwrap();
+        // The loop locks: mean phase error well inside ±0.25 UI (drift
+        // produces a small systematic offset).
+        assert!(a.phi_density.mean_ui().abs() < 0.25, "mean {}", a.phi_density.mean_ui());
+        assert!(a.ber < 0.5);
+        assert!(a.ber > 0.0);
+    }
+
+    #[test]
+    fn multigrid_converges_in_few_cycles() {
+        let c = chain();
+        let a = c.analyze(SolverChoice::Multigrid).unwrap();
+        let p = c.analyze(SolverChoice::Power).unwrap();
+        assert!(
+            a.iterations < p.iterations / 2,
+            "multigrid {} cycles vs power {} iterations",
+            a.iterations,
+            p.iterations
+        );
+    }
+
+    #[test]
+    fn timing_recorded() {
+        let c = chain();
+        let a = c.analyze(SolverChoice::GaussSeidel).unwrap();
+        assert!(a.solve_time.as_nanos() > 0);
+        assert_eq!(a.solver_name, "gauss-seidel");
+    }
+}

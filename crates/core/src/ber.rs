@@ -1,0 +1,285 @@
+//! Bit-error-rate computation from stationary densities.
+//!
+//! "Whenever the phase error plus the data jitter, i.e. `Φ_k + n_w(k)`,
+//! becomes larger/smaller than half a clock cycle, the system might
+//! potentially produce bit errors ... This probability can be directly
+//! obtained from the steady-state probability distribution of reachable
+//! states" — the BER is the stationary tail mass of `Φ + n_w` beyond
+//! ±UI/2.
+//!
+//! Two estimators are provided:
+//!
+//! * [`ber_continuous`] — convolves the stationary phase marginal with the
+//!   *continuous* Gaussian `n_w` tail (`Q`-function). Exact in the `n_w`
+//!   dimension; this is the production estimator because the far tails
+//!   (1e-10 and below) fall outside any reasonable discretized support.
+//! * [`ber_discrete`] — uses the same discretized `n_w` the chain itself
+//!   saw. It matches the Monte-Carlo simulator exactly (same probability
+//!   space) and quantifies the discretization error of the tails.
+
+use stochcdr_noise::dist::Distribution;
+use stochcdr_noise::special::normal_sf;
+use stochcdr_noise::DiscreteDist;
+
+use crate::density::PhiDensity;
+
+/// BER with the continuous Gaussian tail of `n_w`:
+///
+/// ```text
+/// BER = Σ_o π(o) · [ Q((½ − oδ)/σ) + Q((½ + oδ)/σ) ]
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sigma_w_ui <= 0`.
+pub fn ber_continuous(phi: &PhiDensity, sigma_w_ui: f64) -> f64 {
+    assert!(sigma_w_ui > 0.0, "sigma must be positive");
+    let delta = phi.delta_ui();
+    phi.bins()
+        .iter()
+        .map(|&(o, p)| {
+            let x = o as f64 * delta;
+            p * (normal_sf((0.5 - x) / sigma_w_ui) + normal_sf((0.5 + x) / sigma_w_ui))
+        })
+        .sum()
+}
+
+/// BER with an arbitrary **zero-mean symmetric** continuous `n_w`
+/// distribution (e.g. the dual-Dirac DJ⊕RJ model):
+///
+/// ```text
+/// BER = Σ_o π(o) · [ sf(½ − oδ) + sf(½ + oδ) ]
+/// ```
+///
+/// Symmetry is required because the lower tail is evaluated through the
+/// survival function (`P(n_w < −t) = sf(t)`), which implementations keep
+/// accurate in a *relative* sense far into the tail — the CDF itself
+/// cannot resolve 1e-12 masses.
+pub fn ber_symmetric_dist(phi: &PhiDensity, nw: &dyn Distribution) -> f64 {
+    debug_assert!(nw.mean().abs() < 1e-12, "n_w must be zero-mean");
+    let delta = phi.delta_ui();
+    phi.bins()
+        .iter()
+        .map(|&(o, p)| {
+            let x = o as f64 * delta;
+            p * (nw.sf(0.5 - x) + nw.sf(0.5 + x))
+        })
+        .sum()
+}
+
+/// BER with the discretized `n_w` mass function (grid-offset support):
+/// `Σ_o π(o) · P(|o + n_w| > half_bins)`.
+///
+/// Because the discretized `n_w` is truncated (typically at 8σ), this
+/// estimator reports exactly zero when the truncated support cannot reach
+/// the boundary — the regime where only [`ber_continuous`] resolves the
+/// tail.
+pub fn ber_discrete(phi: &PhiDensity, nw: &DiscreteDist, half_bins: i32) -> f64 {
+    phi.bins()
+        .iter()
+        .map(|&(o, p)| p * (nw.prob_gt(half_bins - o) + nw.prob_lt(-half_bins - o)))
+        .sum()
+}
+
+/// One point of a BER bathtub curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BathtubPoint {
+    /// Static sampling-phase offset from the loop's own sampling instant,
+    /// in UI.
+    pub offset_ui: f64,
+    /// BER when sampling at that offset.
+    pub ber: f64,
+}
+
+/// Computes the BER *bathtub curve*: the BER as a function of a static
+/// sampling-phase offset added to the recovered clock.
+///
+/// This is the standard scope/BERT artifact for timing budgets: the curve
+/// floor is the loop's own BER; the walls show how much static skew the
+/// link can absorb. Computed exactly from the stationary phase density —
+/// every point of the curve, down to arbitrarily low BER, costs one pass
+/// over the density.
+///
+/// `n_points` samples the offset range `[-0.5, 0.5]` UI inclusive.
+///
+/// # Panics
+///
+/// Panics if `sigma_w_ui <= 0` or `n_points < 2`.
+pub fn bathtub(phi: &PhiDensity, sigma_w_ui: f64, n_points: usize) -> Vec<BathtubPoint> {
+    assert!(sigma_w_ui > 0.0, "sigma must be positive");
+    assert!(n_points >= 2, "need at least two samples");
+    let delta = phi.delta_ui();
+    (0..n_points)
+        .map(|k| {
+            let offset = -0.5 + k as f64 / (n_points - 1) as f64;
+            let ber = phi
+                .bins()
+                .iter()
+                .map(|&(o, p)| {
+                    let x = o as f64 * delta + offset;
+                    p * (normal_sf((0.5 - x) / sigma_w_ui)
+                        + normal_sf((0.5 + x) / sigma_w_ui))
+                })
+                .sum();
+            BathtubPoint { offset_ui: offset, ber }
+        })
+        .collect()
+}
+
+/// The horizontal eye opening at a BER target: the width of the offset
+/// interval where the bathtub stays below `ber_target`.
+///
+/// Returns `0.0` when even the centered sampling point exceeds the target.
+///
+/// # Panics
+///
+/// Same conditions as [`bathtub`].
+pub fn eye_opening_at_ber(phi: &PhiDensity, sigma_w_ui: f64, ber_target: f64) -> f64 {
+    let curve = bathtub(phi, sigma_w_ui, 401);
+    let step = 1.0 / 400.0;
+    curve.iter().filter(|p| p.ber < ber_target).count() as f64 * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochcdr_noise::special::normal_sf;
+
+    #[test]
+    fn point_phase_matches_q_function() {
+        // All mass at zero phase error: BER = 2 Q(0.5/sigma).
+        let phi = PhiDensity::from_pairs(1.0 / 64.0, vec![(0, 1.0)]);
+        let sigma = 0.1;
+        let ber = ber_continuous(&phi, sigma);
+        let expect = 2.0 * normal_sf(0.5 / sigma);
+        assert!((ber / expect - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offset_phase_increases_ber() {
+        let delta = 1.0 / 64.0;
+        let centered = PhiDensity::from_pairs(delta, vec![(0, 1.0)]);
+        let offset = PhiDensity::from_pairs(delta, vec![(16, 1.0)]); // +0.25 UI
+        let sigma = 0.08;
+        assert!(ber_continuous(&offset, sigma) > ber_continuous(&centered, sigma) * 10.0);
+    }
+
+    #[test]
+    fn wider_phase_density_increases_ber() {
+        let delta = 1.0 / 64.0;
+        let narrow = PhiDensity::from_pairs(delta, vec![(0, 1.0)]);
+        let wide =
+            PhiDensity::from_pairs(delta, vec![(-20, 0.25), (0, 0.5), (20, 0.25)]);
+        let sigma = 0.05;
+        assert!(ber_continuous(&wide, sigma) > ber_continuous(&narrow, sigma));
+    }
+
+    #[test]
+    fn discrete_matches_continuous_at_high_ber() {
+        // With sigma large relative to the half UI, the discretized tail is
+        // well inside the truncation and the two estimators agree closely.
+        let delta = 1.0 / 64.0;
+        let phi = PhiDensity::from_pairs(delta, vec![(-2, 0.3), (0, 0.4), (2, 0.3)]);
+        let sigma = 0.2;
+        let spec = stochcdr_noise::jitter::WhiteJitterSpec::from_sigma(sigma);
+        let nw = spec.discretize(delta);
+        let d = ber_discrete(&phi, &nw, 32);
+        let c = ber_continuous(&phi, sigma);
+        assert!(d > 0.0);
+        // The discrete estimator carries a half-bin quantization bias at
+        // the ±UI/2 boundary, so agreement is O(delta) at this grid.
+        assert!((d / c - 1.0).abs() < 0.2, "discrete {d:.3e} vs continuous {c:.3e}");
+    }
+
+    #[test]
+    fn discrete_converges_to_continuous_with_grid_refinement() {
+        let sigma = 0.2;
+        let mut errors = Vec::new();
+        for bins in [64usize, 256, 1024] {
+            let delta = 1.0 / bins as f64;
+            let phi = PhiDensity::from_pairs(delta, vec![(0, 1.0)]);
+            let spec = stochcdr_noise::jitter::WhiteJitterSpec::from_sigma(sigma);
+            let nw = spec.discretize(delta);
+            let d = ber_discrete(&phi, &nw, bins as i32 / 2);
+            let c = ber_continuous(&phi, sigma);
+            errors.push((d / c - 1.0).abs());
+        }
+        assert!(errors[2] < errors[0] / 3.0, "no convergence: {errors:?}");
+        assert!(errors[2] < 0.02, "fine-grid error too large: {errors:?}");
+    }
+
+    #[test]
+    fn discrete_truncation_reports_zero_in_far_tail() {
+        let delta = 1.0 / 64.0;
+        let phi = PhiDensity::from_pairs(delta, vec![(0, 1.0)]);
+        // Sigma chosen so the continuous tail (erfc at ~23.6 sigma) is tiny
+        // but still above f64 underflow, while the 8-sigma truncated
+        // discrete support cannot reach the boundary at all.
+        let spec = stochcdr_noise::jitter::WhiteJitterSpec::from_sigma(0.015);
+        let nw = spec.discretize(delta); // truncated at 8 sigma = 0.12 UI
+        assert_eq!(ber_discrete(&phi, &nw, 32), 0.0);
+        assert!(ber_continuous(&phi, 0.015) > 0.0);
+    }
+
+    #[test]
+    fn symmetric_dist_estimator_matches_gaussian_path() {
+        use stochcdr_noise::dist::DualDirac;
+        let phi = PhiDensity::from_pairs(1.0 / 64.0, vec![(-3, 0.2), (0, 0.6), (3, 0.2)]);
+        let sigma = 0.06;
+        // DJ = 0 dual-Dirac is the Gaussian.
+        let g = DualDirac::new(0.0, sigma);
+        let a = ber_symmetric_dist(&phi, &g);
+        let b = ber_continuous(&phi, sigma);
+        assert!((a / b - 1.0).abs() < 1e-6, "{a:.3e} vs {b:.3e}");
+        // Adding DJ strictly raises the BER.
+        let dd = DualDirac::new(0.1, sigma);
+        assert!(ber_symmetric_dist(&phi, &dd) > a);
+    }
+
+    #[test]
+    fn bathtub_floor_is_centered_ber() {
+        let phi = PhiDensity::from_pairs(1.0 / 64.0, vec![(0, 1.0)]);
+        let sigma = 0.05;
+        let curve = bathtub(&phi, sigma, 101);
+        assert_eq!(curve.len(), 101);
+        // The floor (offset 0) equals the plain BER.
+        let center = &curve[50];
+        assert!((center.offset_ui).abs() < 1e-12);
+        assert!((center.ber - ber_continuous(&phi, sigma)).abs() < 1e-15);
+        // Walls rise monotonically away from the center for a symmetric
+        // density.
+        for k in 50..100 {
+            assert!(curve[k + 1].ber >= curve[k].ber - 1e-18);
+        }
+        // At the UI edge the sampling instant sits on a transition: BER 1/2.
+        assert!((curve[100].ber - 0.5).abs() < 0.01, "edge BER {}", curve[100].ber);
+    }
+
+    #[test]
+    fn eye_opening_shrinks_with_noise_and_target() {
+        let phi = PhiDensity::from_pairs(1.0 / 64.0, vec![(0, 1.0)]);
+        let wide = eye_opening_at_ber(&phi, 0.02, 1e-12);
+        let narrow = eye_opening_at_ber(&phi, 0.05, 1e-12);
+        assert!(wide > narrow, "{wide} vs {narrow}");
+        let strict = eye_opening_at_ber(&phi, 0.05, 1e-15);
+        assert!(strict <= narrow);
+        assert!(wide > 0.2 && wide < 1.0);
+    }
+
+    #[test]
+    fn closed_eye_reports_zero() {
+        let phi = PhiDensity::from_pairs(1.0 / 64.0, vec![(0, 1.0)]);
+        assert_eq!(eye_opening_at_ber(&phi, 0.4, 1e-12), 0.0);
+    }
+
+    #[test]
+    fn ber_is_monotone_in_sigma() {
+        let phi = PhiDensity::from_pairs(1.0 / 64.0, vec![(0, 0.8), (4, 0.2)]);
+        let mut prev = 0.0;
+        for sigma in [0.02, 0.05, 0.1, 0.2] {
+            let b = ber_continuous(&phi, sigma);
+            assert!(b > prev, "BER must grow with sigma");
+            prev = b;
+        }
+    }
+}

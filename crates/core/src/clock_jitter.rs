@@ -1,0 +1,197 @@
+//! Recovered-clock jitter analysis.
+//!
+//! "There are also specifications on the recovered clock jitter." The
+//! recovered clock's phase *is* the negated phase error of the loop, so
+//! its jitter statistics follow from second-order functionals of the
+//! chain: the stationary autocovariance of `Φ` ("computation of η is the
+//! prerequisite for computing other performance quantities such as the
+//! autocorrelation of a function defined on the states of the MC"), the
+//! accumulated (k-symbol) jitter, and the one-sided jitter power spectral
+//! density via the Wiener–Khinchin relation.
+
+use stochcdr_markov::functional::autocovariance;
+
+use crate::{CdrChain, CdrError, Result};
+
+/// Second-order jitter statistics of the recovered clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockJitterReport {
+    /// RMS phase jitter in UI (√C(0)).
+    pub rms_ui: f64,
+    /// Autocovariance sequence `C(0..=max_lag)` in UI².
+    pub autocovariance: Vec<f64>,
+    /// Accumulated jitter `J(k) = sqrt(E[(Φ_k − Φ_0)²])` in UI for
+    /// `k = 0..=max_lag` (the oscilloscope "jitter vs observation
+    /// interval" curve).
+    pub accumulated_ui: Vec<f64>,
+    /// One-sided jitter PSD samples `(f, S(f))`; `f` in cycles/symbol
+    /// (`0 < f ≤ ½`), `S` in UI²/(cycles/symbol).
+    pub psd: Vec<(f64, f64)>,
+}
+
+impl ClockJitterReport {
+    /// The lag-1 correlation coefficient — how slowly the loop moves the
+    /// phase per symbol.
+    pub fn lag1_correlation(&self) -> f64 {
+        if self.autocovariance[0] <= 0.0 {
+            return 0.0;
+        }
+        self.autocovariance.get(1).copied().unwrap_or(0.0) / self.autocovariance[0]
+    }
+
+    /// Effective correlation length: smallest lag where the normalized
+    /// autocovariance falls below `1/e` (or `max_lag` if it never does).
+    pub fn correlation_length(&self) -> usize {
+        let c0 = self.autocovariance[0];
+        if c0 <= 0.0 {
+            return 0;
+        }
+        let threshold = c0 / std::f64::consts::E;
+        self.autocovariance
+            .iter()
+            .position(|&c| c < threshold)
+            .unwrap_or(self.autocovariance.len() - 1)
+    }
+}
+
+/// Computes the recovered-clock jitter statistics from a stationary
+/// distribution.
+///
+/// `max_lag` bounds the autocovariance sequence (cost: one sparse
+/// matrix-vector product per lag); `n_freq` sets the PSD sampling density
+/// over `(0, ½]` cycles/symbol. The PSD uses a Bartlett (triangular) lag
+/// window, which guarantees non-negativity of the estimate.
+///
+/// # Errors
+///
+/// Returns [`CdrError::Config`] if `eta` has the wrong length or
+/// `max_lag == 0`, and propagates functional-evaluation errors.
+pub fn analyze_clock_jitter(
+    chain: &CdrChain,
+    eta: &[f64],
+    max_lag: usize,
+    n_freq: usize,
+) -> Result<ClockJitterReport> {
+    if eta.len() != chain.state_count() {
+        return Err(CdrError::Config(format!(
+            "stationary vector length {} != state count {}",
+            eta.len(),
+            chain.state_count()
+        )));
+    }
+    if max_lag == 0 {
+        return Err(CdrError::Config("max_lag must be positive".into()));
+    }
+    let phase: Vec<f64> = (0..chain.state_count()).map(|s| chain.phase_ui_of(s)).collect();
+    let c = autocovariance(chain.tpm(), eta, &phase, max_lag)?;
+    let rms = c[0].max(0.0).sqrt();
+
+    // Accumulated jitter: E[(Φ_k − Φ_0)²] = 2 (C(0) − C(k)) for a
+    // stationary process.
+    let accumulated: Vec<f64> =
+        c.iter().map(|&ck| (2.0 * (c[0] - ck)).max(0.0).sqrt()).collect();
+
+    // One-sided PSD with Bartlett window, normalized so that
+    // ∫_0^{1/2} S(f) df = C(0):
+    // S(f) = 2 [ C(0) + 2 Σ_k w_k C(k) cos(2π f k) ],  w_k = 1 − k/(K+1).
+    let mut psd = Vec::with_capacity(n_freq);
+    let k_max = max_lag;
+    for i in 1..=n_freq {
+        let f = 0.5 * i as f64 / n_freq as f64;
+        let mut s = c[0];
+        for (k, &ck) in c.iter().enumerate().skip(1) {
+            let w = 1.0 - k as f64 / (k_max + 1) as f64;
+            s += 2.0 * w * ck * (2.0 * std::f64::consts::PI * f * k as f64).cos();
+        }
+        psd.push((f, (2.0 * s).max(0.0)));
+    }
+
+    Ok(ClockJitterReport { rms_ui: rms, autocovariance: c, accumulated_ui: accumulated, psd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdrConfig, CdrModel, SolverChoice};
+
+    fn setup() -> (CdrChain, Vec<f64>) {
+        let config = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(2)
+            .counter_len(4)
+            .white_sigma_ui(0.06)
+            .drift(5e-3, 4e-2)
+            .build()
+            .unwrap();
+        let chain = CdrModel::new(config).build_chain().unwrap();
+        let eta = chain.analyze(SolverChoice::Direct).unwrap().stationary;
+        (chain, eta)
+    }
+
+    #[test]
+    fn rms_matches_density_std() {
+        let (chain, eta) = setup();
+        let report = analyze_clock_jitter(&chain, &eta, 50, 16).unwrap();
+        let a = chain.analysis_from_stationary(
+            eta,
+            1,
+            0.0,
+            std::time::Duration::ZERO,
+            "gth",
+        );
+        // √C(0) is the std of the phase marginal plus the mean-removal:
+        // both paths compute std of the same marginal.
+        assert!((report.rms_ui - a.phi_density.std_ui()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn accumulated_jitter_grows_then_saturates() {
+        let (chain, eta) = setup();
+        let report = analyze_clock_jitter(&chain, &eta, 200, 8).unwrap();
+        assert_eq!(report.accumulated_ui[0], 0.0);
+        // Monotone-ish growth at short lags.
+        assert!(report.accumulated_ui[5] > report.accumulated_ui[1]);
+        // Saturation at sqrt(2) * rms for a decorrelated pair.
+        let sat = report.accumulated_ui.last().unwrap();
+        assert!(
+            (*sat - 2f64.sqrt() * report.rms_ui).abs() < 0.2 * report.rms_ui,
+            "saturation {sat} vs {}",
+            2f64.sqrt() * report.rms_ui
+        );
+    }
+
+    #[test]
+    fn correlation_diagnostics() {
+        let (chain, eta) = setup();
+        let report = analyze_clock_jitter(&chain, &eta, 100, 8).unwrap();
+        let rho1 = report.lag1_correlation();
+        assert!(rho1 > 0.5 && rho1 < 1.0, "lag-1 correlation {rho1}");
+        let len = report.correlation_length();
+        assert!(len > 1 && len < 100, "correlation length {len}");
+    }
+
+    #[test]
+    fn psd_is_nonnegative_and_integrates_to_variance() {
+        let (chain, eta) = setup();
+        let n_freq = 256;
+        let report = analyze_clock_jitter(&chain, &eta, 150, n_freq).unwrap();
+        assert!(report.psd.iter().all(|&(_, s)| s >= 0.0));
+        // Parseval: ∫_0^{1/2} S(f) df ≈ C(0)/... with the one-sided
+        // convention S integrates to the (windowed) variance; allow the
+        // Bartlett bias.
+        let df = 0.5 / n_freq as f64;
+        let integral: f64 = report.psd.iter().map(|&(_, s)| s * df).sum();
+        let var = report.autocovariance[0];
+        assert!(
+            (integral / var - 1.0).abs() < 0.3,
+            "PSD integral {integral} vs variance {var}"
+        );
+    }
+
+    #[test]
+    fn argument_validation() {
+        let (chain, eta) = setup();
+        assert!(analyze_clock_jitter(&chain, &eta[1..], 10, 4).is_err());
+        assert!(analyze_clock_jitter(&chain, &eta, 0, 4).is_err());
+    }
+}

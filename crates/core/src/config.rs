@@ -1,0 +1,327 @@
+//! CDR design configuration.
+
+use stochcdr_noise::jitter::{DriftJitterSpec, DriftShape, WhiteJitterSpec};
+use stochcdr_noise::sonet::DataSpec;
+
+use crate::data_model::DataModel;
+use crate::stages::FilterKind;
+use crate::{CdrError, Result};
+
+/// The design parameters of the phase-picking CDR loop (the paper's
+/// Figure 1, digital phase-selection loop) plus the stochastic environment.
+///
+/// Geometry:
+///
+/// * the multi-phase VCO provides `phases` equally spaced clock phases, so
+///   one phase-select step moves the sampling instant by `G = UI / phases`;
+/// * the phase error is discretized on a grid of
+///   `m_bins = phases × grid_refinement` bins per UI
+///   (`delta = UI / m_bins`), fine enough to resolve the small `n_r` jumps
+///   (the paper: "the granularity of the discretization ... is dictated by
+///   the number of clock phases and the magnitude of the noise source
+///   n_r");
+/// * the loop filter is an up/down counter with `counter_len` states that
+///   emits a phase step on overflow and recenters.
+///
+/// Construct via [`CdrConfig::builder`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdrConfig {
+    /// Number of VCO clock phases `N` (one step = `UI/N`).
+    pub phases: usize,
+    /// Phase-error grid bins per VCO phase step.
+    pub grid_refinement: usize,
+    /// Length parameter of the loop filter: state count for the overflow
+    /// counter, required run length for the consecutive detector.
+    pub counter_len: usize,
+    /// Which loop-filter circuit the length parameterizes.
+    pub filter_kind: FilterKind,
+    /// Phase-detector dead zone, in grid bins (0 = pure bang-bang).
+    pub dead_zone_bins: usize,
+    /// Incoming data statistics.
+    pub data_model: DataModel,
+    /// Eye-opening white jitter `n_w`.
+    pub white: WhiteJitterSpec,
+    /// Drift jitter `n_r`.
+    pub drift: DriftJitterSpec,
+}
+
+impl CdrConfig {
+    /// Starts a builder with the documented defaults.
+    pub fn builder() -> CdrConfigBuilder {
+        CdrConfigBuilder::default()
+    }
+
+    /// Total phase-error grid bins per UI: `phases × grid_refinement`.
+    pub fn m_bins(&self) -> usize {
+        self.phases * self.grid_refinement
+    }
+
+    /// Grid step in UI.
+    pub fn delta_ui(&self) -> f64 {
+        1.0 / self.m_bins() as f64
+    }
+
+    /// One phase-select step in grid bins (`= grid_refinement`).
+    pub fn step_bins(&self) -> usize {
+        self.grid_refinement
+    }
+
+    /// Half a UI in grid bins — the bit-error / cycle-slip boundary.
+    pub fn half_ui_bins(&self) -> usize {
+        self.m_bins() / 2
+    }
+
+    /// Number of loop-filter FSM states (depends on the filter kind).
+    pub fn filter_states(&self) -> usize {
+        self.filter_kind.state_count(self.counter_len)
+    }
+
+    /// Joint state-space dimensions `[data, filter, phase]`, phase
+    /// fastest-varying (the layout the multigrid coarsening relies on).
+    pub fn dims(&self) -> Vec<usize> {
+        vec![self.data_model.state_count(), self.filter_states(), self.m_bins()]
+    }
+
+    /// Total joint states.
+    pub fn state_count(&self) -> usize {
+        self.dims().iter().product()
+    }
+}
+
+/// Builder for [`CdrConfig`].
+///
+/// Defaults: 16 phases, refinement 4 (64 bins/UI), counter length 8, no
+/// dead zone, scrambled data with transition density ½ and run bound 4,
+/// `σ(n_w) = 0.02 UI`, drift mean `5e-4 UI` with `8e-3 UI` triangular
+/// deviation.
+#[derive(Debug, Clone)]
+pub struct CdrConfigBuilder {
+    phases: usize,
+    grid_refinement: usize,
+    counter_len: usize,
+    filter_kind: FilterKind,
+    dead_zone_bins: usize,
+    data_model: Option<DataModel>,
+    white: Option<WhiteJitterSpec>,
+    drift: Option<DriftJitterSpec>,
+}
+
+impl Default for CdrConfigBuilder {
+    fn default() -> Self {
+        CdrConfigBuilder {
+            phases: 16,
+            grid_refinement: 4,
+            counter_len: 8,
+            filter_kind: FilterKind::OverflowCounter,
+            dead_zone_bins: 0,
+            data_model: None,
+            white: None,
+            drift: None,
+        }
+    }
+}
+
+impl CdrConfigBuilder {
+    /// Number of VCO phases (default 16).
+    pub fn phases(mut self, n: usize) -> Self {
+        self.phases = n;
+        self
+    }
+
+    /// Grid bins per phase step (default 4).
+    pub fn grid_refinement(mut self, r: usize) -> Self {
+        self.grid_refinement = r;
+        self
+    }
+
+    /// Counter length (default 8).
+    pub fn counter_len(mut self, c: usize) -> Self {
+        self.counter_len = c;
+        self
+    }
+
+    /// Loop-filter circuit (default: overflow counter).
+    pub fn filter_kind(mut self, kind: FilterKind) -> Self {
+        self.filter_kind = kind;
+        self
+    }
+
+    /// Phase-detector dead zone in grid bins (default 0).
+    pub fn dead_zone_bins(mut self, d: usize) -> Self {
+        self.dead_zone_bins = d;
+        self
+    }
+
+    /// Data statistics from a run-length spec (default: density ½, run
+    /// bound 4).
+    pub fn data(mut self, spec: DataSpec) -> Self {
+        self.data_model = Some(DataModel::from(spec));
+        self
+    }
+
+    /// Data statistics from an arbitrary [`DataModel`] (e.g. the paper's
+    /// two-state Markov source).
+    pub fn data_model(mut self, model: DataModel) -> Self {
+        self.data_model = Some(model);
+        self
+    }
+
+    /// White jitter from an explicit σ in UI.
+    pub fn white_sigma_ui(mut self, sigma: f64) -> Self {
+        self.white = Some(WhiteJitterSpec::from_sigma(sigma));
+        self
+    }
+
+    /// White jitter spec.
+    pub fn white(mut self, spec: WhiteJitterSpec) -> Self {
+        self.white = Some(spec);
+        self
+    }
+
+    /// Drift jitter: per-symbol mean and max deviation (UI), triangular
+    /// shape.
+    pub fn drift(mut self, mean_ui: f64, max_dev_ui: f64) -> Self {
+        self.drift = Some(DriftJitterSpec::new(mean_ui, max_dev_ui, DriftShape::Triangular));
+        self
+    }
+
+    /// Drift jitter spec.
+    pub fn drift_spec(mut self, spec: DriftJitterSpec) -> Self {
+        self.drift = Some(spec);
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdrError::Config`] when:
+    ///
+    /// * `phases < 2`, `grid_refinement < 1`, or `counter_len < 2`,
+    /// * `m_bins` is odd (the ±UI/2 boundary must fall between bins),
+    /// * the dead zone swallows the whole half-UI range,
+    /// * the drift source does not resolve the grid (`n_r` would be
+    ///   quantized to zero, silently removing the drift the loop must
+    ///   track),
+    /// * the default data spec fails to construct.
+    pub fn build(self) -> Result<CdrConfig> {
+        if self.phases < 2 {
+            return Err(CdrError::Config("need at least 2 VCO phases".into()));
+        }
+        if self.grid_refinement < 1 {
+            return Err(CdrError::Config("grid refinement must be >= 1".into()));
+        }
+        let min_len = match self.filter_kind {
+            FilterKind::OverflowCounter => 2,
+            FilterKind::ConsecutiveDetector => 1,
+        };
+        if self.counter_len < min_len {
+            return Err(CdrError::Config(format!(
+                "filter length must be >= {min_len} for {:?}",
+                self.filter_kind
+            )));
+        }
+        let data_model = self.data_model.unwrap_or_default();
+        let white = self.white.unwrap_or_else(|| WhiteJitterSpec::from_sigma(0.02));
+        let drift = self
+            .drift
+            .unwrap_or_else(|| DriftJitterSpec::new(5e-4, 8e-3, DriftShape::Triangular));
+
+        let config = CdrConfig {
+            phases: self.phases,
+            grid_refinement: self.grid_refinement,
+            counter_len: self.counter_len,
+            filter_kind: self.filter_kind,
+            dead_zone_bins: self.dead_zone_bins,
+            data_model,
+            white,
+            drift,
+        };
+        if !config.m_bins().is_multiple_of(2) {
+            return Err(CdrError::Config(format!(
+                "phase grid must have an even number of bins, got {}",
+                config.m_bins()
+            )));
+        }
+        if config.dead_zone_bins >= config.half_ui_bins() {
+            return Err(CdrError::Config(format!(
+                "dead zone of {} bins covers the whole half-UI range ({} bins)",
+                config.dead_zone_bins,
+                config.half_ui_bins()
+            )));
+        }
+        if !config.drift.resolves_grid(config.delta_ui()) {
+            return Err(CdrError::Config(format!(
+                "drift source (max |n_r| = {:.3e} UI) does not resolve the grid step \
+                 {:.3e} UI; increase grid_refinement or the drift magnitude",
+                config.drift.max_abs_ui(),
+                config.delta_ui()
+            )));
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let c = CdrConfig::builder().build().unwrap();
+        assert_eq!(c.m_bins(), 64);
+        assert_eq!(c.half_ui_bins(), 32);
+        assert_eq!(c.step_bins(), 4);
+        assert!((c.delta_ui() - 1.0 / 64.0).abs() < 1e-15);
+        assert_eq!(c.dims(), vec![4, 8, 64]);
+        assert_eq!(c.filter_states(), 8);
+        assert_eq!(c.state_count(), 4 * 8 * 64);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CdrConfig::builder().phases(1).build().is_err());
+        assert!(CdrConfig::builder().counter_len(1).build().is_err());
+        assert!(CdrConfig::builder().grid_refinement(0).build().is_err());
+    }
+
+    #[test]
+    fn dead_zone_validation() {
+        assert!(CdrConfig::builder().dead_zone_bins(32).build().is_err());
+        assert!(CdrConfig::builder().dead_zone_bins(2).build().is_ok());
+    }
+
+    #[test]
+    fn drift_resolution_validation() {
+        // Tiny drift on a coarse grid: rejected with a helpful message.
+        let err = CdrConfig::builder()
+            .grid_refinement(1)
+            .drift(1e-5, 1e-4)
+            .build()
+            .unwrap_err();
+        match err {
+            CdrError::Config(msg) => assert!(msg.contains("resolve")),
+            other => panic!("unexpected error {other:?}"),
+        }
+        // The same drift resolves a much finer grid.
+        assert!(CdrConfig::builder()
+            .phases(64)
+            .grid_refinement(64)
+            .drift(1e-5, 3e-4)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn custom_specs_pass_through() {
+        let c = CdrConfig::builder()
+            .white_sigma_ui(0.05)
+            .drift(1e-3, 9e-3)
+            .counter_len(16)
+            .build()
+            .unwrap();
+        assert_eq!(c.white.sigma_ui, 0.05);
+        assert_eq!(c.counter_len, 16);
+        assert!((c.drift.mean_ui - 1e-3).abs() < 1e-15);
+    }
+}

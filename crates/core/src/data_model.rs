@@ -1,0 +1,212 @@
+//! Stochastic models of the incoming data stream.
+//!
+//! The phase detector only acts when the data has a transition, so the
+//! data statistics shape the whole loop. Two models are provided:
+//!
+//! * [`DataModel::RunLength`] — i.i.d. transitions with density `p_t`,
+//!   with a *forced* transition at the maximum run length (the paper: "the
+//!   input data stream is usually specified in terms of the longest
+//!   possible bit sequence with no transitions"),
+//! * [`DataModel::TwoState`] — the paper's Figure-2 data FSM: a two-state
+//!   Markov bit source (`Data` / `Prev Data` with stay probabilities such
+//!   as the 0.7 / 0.8 shown in the figure), which produces *correlated*
+//!   transitions.
+
+use stochcdr_noise::sonet::DataSpec;
+
+use crate::{CdrError, Result};
+
+/// One stochastic branch of the data source: did a transition occur, which
+/// state follows, with what probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataBranch {
+    /// `true` if the data toggled this symbol.
+    pub transition: bool,
+    /// Next data-source state.
+    pub next_state: usize,
+    /// Branch probability (branches of a state sum to one).
+    pub prob: f64,
+}
+
+/// A finite-state stochastic model of the incoming data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataModel {
+    /// Run-length-limited i.i.d. transitions.
+    RunLength(DataSpec),
+    /// Two-state Markov bit source: `p_stay0` = P(next bit 0 | bit 0),
+    /// `p_stay1` = P(next bit 1 | bit 1).
+    TwoState {
+        /// Probability of repeating a `0`.
+        p_stay0: f64,
+        /// Probability of repeating a `1`.
+        p_stay1: f64,
+    },
+}
+
+impl DataModel {
+    /// Run-length model from a [`DataSpec`].
+    pub fn run_length(spec: DataSpec) -> Self {
+        DataModel::RunLength(spec)
+    }
+
+    /// Two-state Markov source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CdrError::Config`] unless both stay probabilities are in
+    /// `(0, 1)` (degenerate sources either never transition or are
+    /// deterministic clock patterns; both break the loop model).
+    pub fn two_state(p_stay0: f64, p_stay1: f64) -> Result<Self> {
+        for p in [p_stay0, p_stay1] {
+            if !(p > 0.0 && p < 1.0) {
+                return Err(CdrError::Config(format!(
+                    "stay probability {p} must be in (0, 1)"
+                )));
+            }
+        }
+        Ok(DataModel::TwoState { p_stay0, p_stay1 })
+    }
+
+    /// Number of data-source FSM states.
+    pub fn state_count(&self) -> usize {
+        match self {
+            DataModel::RunLength(spec) => spec.max_run_length,
+            DataModel::TwoState { .. } => 2,
+        }
+    }
+
+    /// The stochastic branches out of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= state_count()`.
+    pub fn branches(&self, state: usize) -> Vec<DataBranch> {
+        assert!(state < self.state_count(), "data state out of range");
+        match *self {
+            DataModel::RunLength(spec) => {
+                let p_t = spec.transition_density;
+                if state == spec.max_run_length - 1 {
+                    vec![DataBranch { transition: true, next_state: 0, prob: 1.0 }]
+                } else {
+                    vec![
+                        DataBranch { transition: true, next_state: 0, prob: p_t },
+                        DataBranch { transition: false, next_state: state + 1, prob: 1.0 - p_t },
+                    ]
+                }
+            }
+            DataModel::TwoState { p_stay0, p_stay1 } => {
+                let stay = if state == 0 { p_stay0 } else { p_stay1 };
+                vec![
+                    DataBranch { transition: false, next_state: state, prob: stay },
+                    DataBranch { transition: true, next_state: 1 - state, prob: 1.0 - stay },
+                ]
+            }
+        }
+    }
+
+    /// Stationary transition density of the source (probability that a
+    /// random symbol carries a transition under the source's own
+    /// stationary law).
+    pub fn stationary_transition_density(&self) -> f64 {
+        match *self {
+            DataModel::RunLength(spec) => spec.effective_transition_density(),
+            DataModel::TwoState { p_stay0, p_stay1 } => {
+                // Stationary bit distribution: pi0 ∝ (1 - p_stay1), pi1 ∝ (1 - p_stay0).
+                let (q0, q1) = (1.0 - p_stay0, 1.0 - p_stay1);
+                let pi0 = q1 / (q0 + q1);
+                pi0 * q0 + (1.0 - pi0) * q1
+            }
+        }
+    }
+
+    /// Short human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataModel::RunLength(_) => "run-length",
+            DataModel::TwoState { .. } => "two-state",
+        }
+    }
+}
+
+impl Default for DataModel {
+    /// Scrambled data, density ½, run bound 4.
+    fn default() -> Self {
+        DataModel::RunLength(DataSpec::new(0.5, 4).expect("default data spec is valid"))
+    }
+}
+
+impl From<DataSpec> for DataModel {
+    fn from(spec: DataSpec) -> Self {
+        DataModel::RunLength(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_length_branches() {
+        let m = DataModel::run_length(DataSpec::new(0.3, 3).unwrap());
+        assert_eq!(m.state_count(), 3);
+        let b = m.branches(0);
+        assert_eq!(b.len(), 2);
+        assert!((b.iter().map(|b| b.prob).sum::<f64>() - 1.0).abs() < 1e-15);
+        // Forced transition at the bound.
+        let b = m.branches(2);
+        assert_eq!(b.len(), 1);
+        assert!(b[0].transition);
+        assert_eq!(b[0].next_state, 0);
+    }
+
+    #[test]
+    fn two_state_branches() {
+        let m = DataModel::two_state(0.7, 0.8).unwrap();
+        assert_eq!(m.state_count(), 2);
+        let b = m.branches(0);
+        assert!((b[0].prob - 0.7).abs() < 1e-15);
+        assert!(!b[0].transition);
+        assert_eq!(b[1].next_state, 1);
+        assert!(b[1].transition);
+        let b = m.branches(1);
+        assert!((b[0].prob - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_state_validation() {
+        assert!(DataModel::two_state(0.0, 0.5).is_err());
+        assert!(DataModel::two_state(0.5, 1.0).is_err());
+        assert!(DataModel::two_state(0.5, 0.5).is_ok());
+    }
+
+    #[test]
+    fn stationary_density_two_state() {
+        // Symmetric source: density = 1 - stay.
+        let m = DataModel::two_state(0.7, 0.7).unwrap();
+        assert!((m.stationary_transition_density() - 0.3).abs() < 1e-12);
+        // Figure-2 probabilities.
+        let m = DataModel::two_state(0.7, 0.8).unwrap();
+        // pi0 = 0.2/(0.3+0.2) = 0.4; density = 0.4*0.3 + 0.6*0.2 = 0.24.
+        assert!((m.stationary_transition_density() - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_probabilities_always_sum_to_one() {
+        for model in [
+            DataModel::run_length(DataSpec::new(0.4, 5).unwrap()),
+            DataModel::two_state(0.6, 0.9).unwrap(),
+        ] {
+            for s in 0..model.state_count() {
+                let total: f64 = model.branches(s).iter().map(|b| b.prob).sum();
+                assert!((total - 1.0).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn default_is_scrambled() {
+        let m = DataModel::default();
+        assert_eq!(m.state_count(), 4);
+        assert_eq!(m.name(), "run-length");
+    }
+}

@@ -1,0 +1,284 @@
+//! Brute-force Monte-Carlo simulation — the baseline the paper argues
+//! against.
+//!
+//! "Such specifications are practically impossible to verify through
+//! straightforward simulation because of the extremely long sequence that
+//! would need to be simulated in order to get meaningful error statistics."
+//! The simulator here runs the *same discretized probability space* as the
+//! Markov chain (same `n_w`/`n_r` mass functions, same FSMs), so at
+//! operating points where it can collect statistics its estimates must
+//! agree with the chain analysis — that cross-check is the validation
+//! harness for the whole model — and at 1e-10 BER it demonstrably cannot.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stochcdr_noise::sampling::DiscreteSampler;
+
+use crate::stages::{bin_of_offset, offset_of_bin, LoopCounter, PhaseAccumulator, PhaseDetector};
+use crate::{CdrChain, CdrConfig};
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McResult {
+    /// Symbols simulated.
+    pub symbols: u64,
+    /// Symbols whose jittered sampling instant fell outside ±UI/2.
+    pub bit_errors: u64,
+    /// Phase-wrap (cycle-slip) events.
+    pub cycle_slips: u64,
+    /// Point BER estimate (`bit_errors / symbols`).
+    pub ber: f64,
+    /// Half-width of the 95 % confidence interval on the BER (normal
+    /// approximation).
+    pub ber_ci95: f64,
+    /// Histogram of visited phase bins (length `m_bins`).
+    pub phase_histogram: Vec<u64>,
+}
+
+impl McResult {
+    /// Symbols needed for a relative-precision-`rel` estimate of a BER of
+    /// `ber` at 95 % confidence — the paper's infeasibility argument in one
+    /// number (`ber = 1e-10, rel = 0.1` → ~4e13 symbols).
+    pub fn required_symbols(ber: f64, rel: f64) -> f64 {
+        assert!(ber > 0.0 && rel > 0.0, "ber and rel must be positive");
+        // CI half-width ≈ 1.96 sqrt(ber/n) ⇒ n = (1.96/rel)^2 / ber.
+        (1.96 / rel).powi(2) / ber
+    }
+}
+
+/// Monte-Carlo simulator of the discretized CDR loop.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    config: CdrConfig,
+    nw: DiscreteSampler,
+    nr: DiscreteSampler,
+    counter: LoopCounter,
+    acc: PhaseAccumulator,
+    dead: i64,
+}
+
+impl MonteCarlo {
+    /// Creates a simulator for the given configuration.
+    pub fn new(config: CdrConfig) -> Self {
+        let pd = PhaseDetector::new(&config);
+        let acc = PhaseAccumulator::new(&config);
+        MonteCarlo {
+            nw: DiscreteSampler::new(pd.nw()),
+            nr: DiscreteSampler::new(acc.nr()),
+            counter: LoopCounter::new(&config),
+            acc,
+            dead: config.dead_zone_bins as i64,
+            config,
+        }
+    }
+
+    /// Runs `symbols` symbol intervals with the given RNG seed, starting
+    /// from the locked state.
+    pub fn run(&self, symbols: u64, seed: u64) -> McResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = &self.config;
+        let m = cfg.m_bins();
+        let half = (m / 2) as i64;
+        let step = cfg.step_bins() as i64;
+        let model = &cfg.data_model;
+
+        let mut data_run = 0usize;
+        let mut counter = self.counter.center();
+        let mut bin = m / 2; // zero phase error
+
+        let mut bit_errors = 0u64;
+        let mut slips = 0u64;
+        let mut hist = vec![0u64; m];
+
+        for _ in 0..symbols {
+            hist[bin] += 1;
+            let o = offset_of_bin(bin, m);
+
+            // Data source: sample a branch of the data model.
+            let u: f64 = rng.gen();
+            let mut acc_p = 0.0;
+            let mut transition = false;
+            for b in model.branches(data_run) {
+                acc_p += b.prob;
+                if u < acc_p {
+                    transition = b.transition;
+                    data_run = b.next_state;
+                    break;
+                }
+            }
+
+            // Eye-opening jitter and bit-error check (every symbol is
+            // sampled; the PD only *acts* on transitions).
+            // Error iff |Φ + n_w| > UI/2, strictly — the same convention as
+            // `ber::ber_discrete`, so the two live on identical probability
+            // spaces and must agree to sampling error.
+            let nw = self.nw.sample(&mut rng) as i64;
+            if o + nw < -half || o + nw > half {
+                bit_errors += 1;
+            }
+
+            // Phase detector decision.
+            let decision = if transition {
+                let e = o + nw;
+                if e > self.dead {
+                    1
+                } else if e < -self.dead {
+                    -1
+                } else {
+                    0
+                }
+            } else {
+                0
+            };
+
+            // Loop filter.
+            let (c2, dir) = self.counter.advance(counter, decision);
+            counter = c2;
+
+            // Phase update with drift; count wraps.
+            let nr = self.nr.sample(&mut rng) as i64;
+            let unwrapped = o - dir * step + nr;
+            if unwrapped < -half || unwrapped >= half {
+                slips += 1;
+            }
+            bin = bin_of_offset(unwrapped, m);
+            debug_assert_eq!(bin, self.acc.advance(bin_of_offset(o, m), dir, nr));
+        }
+
+        let ber = bit_errors as f64 / symbols as f64;
+        let ci = 1.96 * (ber.max(1e-300) * (1.0 - ber) / symbols as f64).sqrt();
+        McResult {
+            symbols,
+            bit_errors,
+            cycle_slips: slips,
+            ber,
+            ber_ci95: ci,
+            phase_histogram: hist,
+        }
+    }
+
+    /// Runs the simulator and compares its phase histogram with a chain
+    /// analysis, returning the total-variation distance between the
+    /// empirical and stationary phase marginals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` was built from a different configuration
+    /// (different grid size).
+    pub fn validate_against(&self, chain: &CdrChain, eta: &[f64], symbols: u64, seed: u64) -> f64 {
+        let m = self.config.m_bins();
+        assert_eq!(m, chain.config().m_bins(), "configurations differ");
+        let result = self.run(symbols, seed);
+        // Empirical phase marginal.
+        let total: u64 = result.phase_histogram.iter().sum();
+        let mut tv = 0.0;
+        for bin in 0..m {
+            let emp = result.phase_histogram[bin] as f64 / total as f64;
+            let exact: f64 = (0..chain.state_count())
+                .filter(|&s| chain.phase_bin_of(s) == bin)
+                .map(|s| eta[s])
+                .sum();
+            tv += (emp - exact).abs();
+        }
+        tv / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdrConfig, CdrModel, SolverChoice};
+
+    fn config() -> CdrConfig {
+        CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(2)
+            .counter_len(4)
+            .white_sigma_ui(0.08)
+            .drift(1e-2, 6e-2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn histogram_matches_stationary_distribution() {
+        let cfg = config();
+        let chain = CdrModel::new(cfg.clone()).build_chain().unwrap();
+        let a = chain.analyze(SolverChoice::Multigrid).unwrap();
+        let mc = MonteCarlo::new(cfg);
+        let tv = mc.validate_against(&chain, &a.stationary, 200_000, 42);
+        assert!(tv < 0.02, "TV distance {tv} too large — model/simulator disagree");
+    }
+
+    #[test]
+    fn ber_estimate_matches_discrete_analysis() {
+        // High-noise operating point so MC can see errors.
+        let cfg = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(2)
+            .counter_len(4)
+            .white_sigma_ui(0.2)
+            .drift(1e-2, 6e-2)
+            .build()
+            .unwrap();
+        let chain = CdrModel::new(cfg.clone()).build_chain().unwrap();
+        let a = chain.analyze(SolverChoice::Multigrid).unwrap();
+        let mc = MonteCarlo::new(cfg);
+        let r = mc.run(300_000, 7);
+        assert!(r.bit_errors > 100, "need errors for the comparison");
+        // MC uses the discretized n_w, so compare with the discrete BER.
+        assert!(
+            (r.ber - a.ber_discrete).abs() < 4.0 * r.ber_ci95 + 0.05 * a.ber_discrete,
+            "MC {} ± {} vs analysis {}",
+            r.ber,
+            r.ber_ci95,
+            a.ber_discrete
+        );
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let mc = MonteCarlo::new(config());
+        let a = mc.run(10_000, 123);
+        let b = mc.run(10_000, 123);
+        assert_eq!(a, b);
+        let c = mc.run(10_000, 124);
+        assert_ne!(a.phase_histogram, c.phase_histogram);
+    }
+
+    #[test]
+    fn slips_observed_under_heavy_drift() {
+        let cfg = CdrConfig::builder()
+            .phases(4)
+            .grid_refinement(2)
+            .counter_len(8)
+            .white_sigma_ui(0.15)
+            .drift(8e-2, 2e-1)
+            .build()
+            .unwrap();
+        let mc = MonteCarlo::new(cfg);
+        let r = mc.run(100_000, 9);
+        assert!(r.cycle_slips > 0, "expected slips under heavy drift");
+    }
+
+    #[test]
+    fn required_symbols_shows_infeasibility() {
+        // The paper's argument: 1e-10 BER at 10% precision needs ~4e12
+        // symbols.
+        let n = McResult::required_symbols(1e-10, 0.1);
+        assert!(n > 1e12);
+        // While 1e-3 at 10% is easy.
+        assert!(McResult::required_symbols(1e-3, 0.1) < 1e6);
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let mc = MonteCarlo::new(config());
+        let r = mc.run(50_000, 5);
+        assert_eq!(r.symbols, 50_000);
+        let hist_total: u64 = r.phase_histogram.iter().sum();
+        assert_eq!(hist_total, r.symbols);
+        assert!(r.bit_errors <= r.symbols);
+        assert!((r.ber - r.bit_errors as f64 / r.symbols as f64).abs() < 1e-15);
+    }
+}

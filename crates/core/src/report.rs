@@ -1,0 +1,130 @@
+//! Paper-style reporting: figure annotation lines and density panels.
+//!
+//! Each panel of the paper's Figures 4 and 5 is annotated with two lines:
+//!
+//! ```text
+//! COUNTER: 8  STDnw: 2.0e-2  MAXnr: 8.5e-3  BER: 1.2e-9
+//! Size: 2048  Iter: 12  Matrixformtime: 0.01 mins  Solvetime: 0.05 mins
+//! ```
+//!
+//! (counter length, σ of `n_w`, max `|n_r|`, computed BER; state-space
+//! size, solver iterations, matrix-form CPU time, solve CPU time). This
+//! module reproduces those annotations plus ASCII versions of the density
+//! panels, so the benchmark binaries print self-contained figure
+//! equivalents.
+
+use crate::{CdrAnalysis, CdrChain};
+
+/// The paper's upper annotation line: design and noise parameters + BER.
+pub fn annotation_line(chain: &CdrChain, analysis: &CdrAnalysis) -> String {
+    let cfg = chain.config();
+    format!(
+        "COUNTER: {}  STDnw: {:.2e}  MAXnr: {:.2e}  BER: {:.2e}",
+        cfg.counter_len,
+        cfg.white.sigma_ui,
+        cfg.drift.max_abs_ui(),
+        analysis.ber
+    )
+}
+
+/// The paper's lower annotation line: problem size and CPU times.
+pub fn size_line(chain: &CdrChain, analysis: &CdrAnalysis) -> String {
+    format!(
+        "Size: {}  Iter: {}  Matrixformtime: {:.2} mins  Solvetime: {:.2} mins",
+        chain.state_count(),
+        analysis.iterations,
+        chain.form_time().as_secs_f64() / 60.0,
+        analysis.solve_time.as_secs_f64() / 60.0
+    )
+}
+
+/// A complete figure panel: both annotation lines and the two stationary
+/// density plots (`Φ` and `Φ + n_w`), as the paper's panels show.
+pub fn figure_panel(chain: &CdrChain, analysis: &CdrAnalysis) -> String {
+    let mut out = String::new();
+    out.push_str(&annotation_line(chain, analysis));
+    out.push('\n');
+    out.push_str(&size_line(chain, analysis));
+    out.push('\n');
+    out.push_str("stationary density of phase error Phi (log scale):\n");
+    out.push_str(&analysis.phi_density.ascii_plot(72, 10, 1e-16));
+    out.push('\n');
+    out.push_str("stationary density of PD input Phi + n_w (log scale):\n");
+    out.push_str(&analysis.pd_input_density.ascii_plot(72, 10, 1e-16));
+    out.push('\n');
+    out
+}
+
+/// One row of a solver-comparison table.
+pub fn solver_row(
+    name: &str,
+    states: usize,
+    iterations: usize,
+    residual: f64,
+    seconds: f64,
+) -> String {
+    format!("{name:<14} {states:>10} {iterations:>10} {residual:>12.2e} {seconds:>10.3}s")
+}
+
+/// Header matching [`solver_row`].
+pub fn solver_header() -> String {
+    format!(
+        "{:<14} {:>10} {:>10} {:>12} {:>11}",
+        "solver", "states", "iters", "residual", "time"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CdrConfig, CdrModel, SolverChoice};
+
+    fn setup() -> (CdrChain, CdrAnalysis) {
+        let config = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(2)
+            .counter_len(4)
+            .white_sigma_ui(0.08)
+            .drift(1e-2, 6e-2)
+            .build()
+            .unwrap();
+        let chain = CdrModel::new(config).build_chain().unwrap();
+        let analysis = chain.analyze(SolverChoice::Multigrid).unwrap();
+        (chain, analysis)
+    }
+
+    #[test]
+    fn annotation_contains_parameters() {
+        let (chain, analysis) = setup();
+        let line = annotation_line(&chain, &analysis);
+        assert!(line.contains("COUNTER: 4"));
+        assert!(line.contains("STDnw: 8.00e-2"));
+        assert!(line.contains("BER:"));
+    }
+
+    #[test]
+    fn size_line_contains_size_and_iters() {
+        let (chain, analysis) = setup();
+        let line = size_line(&chain, &analysis);
+        assert!(line.contains(&format!("Size: {}", chain.state_count())));
+        assert!(line.contains("Iter:"));
+        assert!(line.contains("mins"));
+    }
+
+    #[test]
+    fn figure_panel_is_complete() {
+        let (chain, analysis) = setup();
+        let panel = figure_panel(&chain, &analysis);
+        assert!(panel.contains("COUNTER"));
+        assert!(panel.contains("phase error Phi"));
+        assert!(panel.contains("Phi + n_w"));
+        assert!(panel.contains('#'));
+    }
+
+    #[test]
+    fn table_rows_align() {
+        let h = solver_header();
+        let r = solver_row("multigrid", 2048, 12, 1e-13, 0.5);
+        assert_eq!(h.len(), r.len());
+    }
+}

@@ -1,0 +1,554 @@
+//! The four FSM stages of the digital phase-selection loop (paper Fig. 2).
+//!
+//! The network is the cascade
+//!
+//! ```text
+//! DataSource ──transition──▶ PhaseDetector ──LAG/NULL/LEAD──▶ LoopCounter
+//!                                  ▲                              │
+//!                                  │ Φ (feedback)            UP/DOWN
+//!                                  └──────── PhaseAccumulator ◀───┘
+//!                                                  ▲
+//!                                            n_r (drift)
+//! ```
+//!
+//! with `n_w` (eye-opening jitter) injected at the phase detector and `n_r`
+//! (drift) at the phase accumulator. All stages advance once per symbol
+//! interval; the phase detector reads the *previous* phase error through
+//! the joint-state feedback path.
+
+use stochcdr_fsm::{Stage, StageOutput};
+use stochcdr_noise::DiscreteDist;
+
+use crate::CdrConfig;
+
+/// Index of the phase accumulator in the joint state vector, used by the
+/// phase detector's feedback read.
+pub(crate) const PHASE_STAGE: usize = 3;
+
+/// Converts a phase-bin index `0..m` to a signed offset in grid bins
+/// (`-m/2 ..= m/2 - 1`).
+#[inline]
+pub(crate) fn offset_of_bin(bin: usize, m: usize) -> i64 {
+    bin as i64 - (m / 2) as i64
+}
+
+/// Converts a signed grid offset back to a bin index, wrapping modulo one
+/// UI (phase error is circular; crossing ±UI/2 is a cycle slip).
+#[inline]
+pub(crate) fn bin_of_offset(offset: i64, m: usize) -> usize {
+    (offset + (m / 2) as i64).rem_euclid(m as i64) as usize
+}
+
+/// Stochastic data source driving the loop, wrapping any
+/// [`DataModel`](crate::data_model::DataModel).
+///
+/// The [`Stage`] contract requires one fixed noise pmf, but branch
+/// probabilities differ per state (e.g. the two-state source's 0.7 / 0.8
+/// stay probabilities). The source therefore partitions the unit interval
+/// at every cumulative branch probability of every state: each segment
+/// lies within exactly one branch of each state, so a segment index drawn
+/// with probability `hi − lo` selects the correct branch deterministically
+/// per state, with exact probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSource {
+    model: crate::data_model::DataModel,
+    /// Unit-interval segments `(lo, hi)`, consecutive and covering `[0, 1]`.
+    segments: Vec<(f64, f64)>,
+}
+
+impl DataSource {
+    /// Creates the source from the configured data statistics.
+    pub fn new(config: &CdrConfig) -> Self {
+        Self::from_model(config.data_model.clone())
+    }
+
+    /// Creates the source from an explicit data model.
+    pub fn from_model(model: crate::data_model::DataModel) -> Self {
+        // Collect every cumulative branch probability as a breakpoint.
+        let mut cuts = vec![0.0f64, 1.0];
+        for state in 0..model.state_count() {
+            let mut acc = 0.0;
+            for b in model.branches(state) {
+                acc += b.prob;
+                if acc > 0.0 && acc < 1.0 {
+                    cuts.push(acc);
+                }
+            }
+        }
+        cuts.sort_by(f64::total_cmp);
+        cuts.dedup();
+        let segments = cuts.windows(2).map(|w| (w[0], w[1])).collect();
+        DataSource { model, segments }
+    }
+
+    /// The wrapped data model.
+    pub fn model(&self) -> &crate::data_model::DataModel {
+        &self.model
+    }
+
+    /// Resolves a segment to the branch it falls into for `state`.
+    fn branch_for(&self, state: usize, segment: usize) -> crate::data_model::DataBranch {
+        let (lo, hi) = self.segments[segment];
+        let mid = 0.5 * (lo + hi);
+        let mut acc = 0.0;
+        let branches = self.model.branches(state);
+        for b in &branches {
+            acc += b.prob;
+            if mid < acc {
+                return *b;
+            }
+        }
+        *branches.last().expect("data model has at least one branch")
+    }
+}
+
+impl Stage for DataSource {
+    fn state_count(&self) -> usize {
+        self.model.state_count()
+    }
+
+    fn noise(&self) -> Vec<(i64, f64)> {
+        self.segments
+            .iter()
+            .enumerate()
+            .map(|(k, &(lo, hi))| (k as i64, hi - lo))
+            .collect()
+    }
+
+    fn step(&self, state: usize, noise: i64, _upstream: i64, _joint: &[usize]) -> StageOutput {
+        let b = self.branch_for(state, noise as usize);
+        StageOutput { next_state: b.next_state, output: b.transition as i64 }
+    }
+
+    fn name(&self) -> &str {
+        "data-source"
+    }
+}
+
+/// Bang-bang (Alexander-style) phase detector with optional dead zone.
+///
+/// Stateless: on a data transition it outputs the sign of the jittered
+/// phase error `Φ + n_w` (`+1` = LEAD, `-1` = LAG), `0` (NULL) inside the
+/// dead zone or when the data has no transition — "the phase detector can
+/// produce a phase error signal only when a transition occurs in the data
+/// signal".
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDetector {
+    m_bins: usize,
+    dead_zone: i64,
+    nw: DiscreteDist,
+}
+
+impl PhaseDetector {
+    /// Creates the detector, discretizing `n_w` on the phase grid.
+    pub fn new(config: &CdrConfig) -> Self {
+        PhaseDetector {
+            m_bins: config.m_bins(),
+            dead_zone: config.dead_zone_bins as i64,
+            nw: config.white.discretize(config.delta_ui()),
+        }
+    }
+
+    /// The discretized `n_w` mass function (grid-bin offsets).
+    pub fn nw(&self) -> &DiscreteDist {
+        &self.nw
+    }
+
+    /// The ternary decision for a given phase offset and jitter draw.
+    #[inline]
+    pub fn decide(&self, phase_offset: i64, nw: i64) -> i64 {
+        let e = phase_offset + nw;
+        if e > self.dead_zone {
+            1
+        } else if e < -self.dead_zone {
+            -1
+        } else {
+            0
+        }
+    }
+}
+
+impl Stage for PhaseDetector {
+    fn state_count(&self) -> usize {
+        1
+    }
+
+    fn noise(&self) -> Vec<(i64, f64)> {
+        self.nw.iter().map(|(k, p)| (k as i64, p)).collect()
+    }
+
+    fn step(&self, _state: usize, noise: i64, upstream: i64, joint: &[usize]) -> StageOutput {
+        if upstream == 0 {
+            return StageOutput { next_state: 0, output: 0 };
+        }
+        let phi = offset_of_bin(joint[PHASE_STAGE], self.m_bins);
+        StageOutput { next_state: 0, output: self.decide(phi, noise) }
+    }
+
+    fn name(&self) -> &str {
+        "phase-detector"
+    }
+}
+
+/// Which loop-filter circuit processes the phase-detector decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterKind {
+    /// Up/down counter of `len` states; overflow/underflow emits a phase
+    /// step and recenters. The paper's filter (Figure 5's swept knob).
+    OverflowCounter,
+    /// Emits a phase step after `len` *consecutive* same-direction
+    /// decisions; an opposite decision restarts the run (NULL holds).
+    /// A burst-mode-style filter that rejects isolated noise decisions;
+    /// `len = 1` degenerates to an unfiltered bang-bang loop.
+    ConsecutiveDetector,
+}
+
+impl FilterKind {
+    /// FSM state count for a filter of the given length.
+    pub fn state_count(&self, len: usize) -> usize {
+        match self {
+            // len counter positions.
+            FilterKind::OverflowCounter => len,
+            // Neutral + (len−1) up-runs + (len−1) down-runs.
+            FilterKind::ConsecutiveDetector => 2 * len - 1,
+        }
+    }
+}
+
+/// The loop filter — decision smoothing between PD and phase select.
+///
+/// Behavior depends on [`FilterKind`]; the filter length trades loop
+/// bandwidth against drift tracking — the knob swept in the paper's
+/// Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopCounter {
+    kind: FilterKind,
+    len: usize,
+}
+
+impl LoopCounter {
+    /// Creates the filter from the configuration.
+    pub fn new(config: &CdrConfig) -> Self {
+        LoopCounter { kind: config.filter_kind, len: config.counter_len }
+    }
+
+    /// The neutral/recentering state.
+    #[inline]
+    pub fn center(&self) -> usize {
+        match self.kind {
+            FilterKind::OverflowCounter => self.len / 2,
+            FilterKind::ConsecutiveDetector => 0,
+        }
+    }
+
+    /// Pure transition function: `(state, decision) -> (next, up_down)`.
+    #[inline]
+    pub fn advance(&self, state: usize, decision: i64) -> (usize, i64) {
+        match self.kind {
+            FilterKind::OverflowCounter => match decision {
+                1 => {
+                    if state + 1 == self.len {
+                        (self.center(), 1)
+                    } else {
+                        (state + 1, 0)
+                    }
+                }
+                -1 => {
+                    if state == 0 {
+                        (self.center(), -1)
+                    } else {
+                        (state - 1, 0)
+                    }
+                }
+                _ => (state, 0),
+            },
+            FilterKind::ConsecutiveDetector => {
+                // States: 0 neutral; 1..=len-1 → run of `state` ups;
+                // len..=2len-2 → run of `state − len + 1` downs.
+                let n = self.len;
+                let ups = if (1..n).contains(&state) { state } else { 0 };
+                let downs = if state >= n { state - n + 1 } else { 0 };
+                match decision {
+                    1 => {
+                        let run = ups + 1; // opposite/neutral states restart at 1
+                        if run == n {
+                            (0, 1)
+                        } else {
+                            (run, 0)
+                        }
+                    }
+                    -1 => {
+                        let run = downs + 1;
+                        if run == n {
+                            (0, -1)
+                        } else {
+                            (n + run - 1, 0)
+                        }
+                    }
+                    _ => (state, 0),
+                }
+            }
+        }
+    }
+}
+
+impl Stage for LoopCounter {
+    fn state_count(&self) -> usize {
+        self.kind.state_count(self.len)
+    }
+
+    fn noise(&self) -> Vec<(i64, f64)> {
+        vec![(0, 1.0)]
+    }
+
+    fn step(&self, state: usize, _noise: i64, upstream: i64, _joint: &[usize]) -> StageOutput {
+        let (next, out) = self.advance(state, upstream);
+        StageOutput { next_state: next, output: out }
+    }
+
+    fn name(&self) -> &str {
+        "loop-counter"
+    }
+}
+
+/// Phase-error accumulator with drift injection.
+///
+/// State = discretized phase error (one bin per `UI/m_bins`). Each symbol
+/// it applies the counter's phase-select command (`∓G`, one VCO phase
+/// step) and adds the drift draw `n_r`; the phase wraps modulo one UI
+/// (wrap events are cycle slips).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseAccumulator {
+    m_bins: usize,
+    step_bins: i64,
+    nr: DiscreteDist,
+}
+
+impl PhaseAccumulator {
+    /// Creates the accumulator, discretizing `n_r` on the phase grid.
+    pub fn new(config: &CdrConfig) -> Self {
+        PhaseAccumulator {
+            m_bins: config.m_bins(),
+            step_bins: config.step_bins() as i64,
+            nr: config.drift.discretize(config.delta_ui()),
+        }
+    }
+
+    /// The discretized `n_r` mass function (grid-bin offsets).
+    pub fn nr(&self) -> &DiscreteDist {
+        &self.nr
+    }
+
+    /// Pure transition: `(bin, up_down, n_r draw) -> next bin`.
+    #[inline]
+    pub fn advance(&self, bin: usize, up_down: i64, nr: i64) -> usize {
+        let o = offset_of_bin(bin, self.m_bins);
+        bin_of_offset(o - up_down * self.step_bins + nr, self.m_bins)
+    }
+}
+
+impl Stage for PhaseAccumulator {
+    fn state_count(&self) -> usize {
+        self.m_bins
+    }
+
+    fn noise(&self) -> Vec<(i64, f64)> {
+        self.nr.iter().map(|(k, p)| (k as i64, p)).collect()
+    }
+
+    fn step(&self, state: usize, noise: i64, upstream: i64, _joint: &[usize]) -> StageOutput {
+        StageOutput { next_state: self.advance(state, upstream, noise), output: 0 }
+    }
+
+    fn name(&self) -> &str {
+        "phase-accumulator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CdrConfig {
+        CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(2)
+            .counter_len(4)
+            .white_sigma_ui(0.05)
+            .drift(1e-2, 5e-2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn offset_bin_round_trip() {
+        let m = 16;
+        for bin in 0..m {
+            assert_eq!(bin_of_offset(offset_of_bin(bin, m), m), bin);
+        }
+        assert_eq!(offset_of_bin(0, 16), -8);
+        assert_eq!(offset_of_bin(8, 16), 0);
+        // Wrapping: one past the top edge comes back at the bottom.
+        assert_eq!(bin_of_offset(8, 16), 0);
+        assert_eq!(bin_of_offset(-9, 16), 15);
+    }
+
+    #[test]
+    fn data_source_forces_transition_at_bound() {
+        let c = config();
+        let d = DataSource::new(&c);
+        assert_eq!(d.state_count(), 4);
+        // Segments for p_t = 0.5: [0, 0.5) -> transition branch,
+        // [0.5, 1) -> run-extension branch.
+        let pmf = Stage::noise(&d);
+        assert_eq!(pmf.len(), 2);
+        // At the run bound, every segment forces a transition.
+        for seg in 0..pmf.len() as i64 {
+            let out = d.step(3, seg, 0, &[]);
+            assert_eq!(out.output, 1);
+            assert_eq!(out.next_state, 0);
+        }
+        // Below the bound, the first segment transitions, the second
+        // extends the run.
+        let out = d.step(1, 0, 0, &[]);
+        assert_eq!(out.output, 1);
+        assert_eq!(out.next_state, 0);
+        let out = d.step(1, 1, 0, &[]);
+        assert_eq!(out.output, 0);
+        assert_eq!(out.next_state, 2);
+    }
+
+    #[test]
+    fn data_source_two_state_segments_are_exact() {
+        // Figure-2 probabilities: stay 0.7 / 0.8. Segments cut at 0.7, 0.8.
+        let model = crate::data_model::DataModel::two_state(0.7, 0.8).unwrap();
+        let d = DataSource::from_model(model);
+        let pmf = Stage::noise(&d);
+        assert_eq!(pmf.len(), 3); // [0,.7), [.7,.8), [.8,1)
+        // State 0 stays for segments below 0.7.
+        assert_eq!(d.step(0, 0, 0, &[]).output, 0);
+        assert_eq!(d.step(0, 1, 0, &[]).output, 1); // [.7,.8) flips state 0
+        assert_eq!(d.step(0, 2, 0, &[]).output, 1);
+        // State 1 stays for segments below 0.8.
+        assert_eq!(d.step(1, 0, 0, &[]).output, 0);
+        assert_eq!(d.step(1, 1, 0, &[]).output, 0);
+        assert_eq!(d.step(1, 2, 0, &[]).output, 1);
+        // Probability masses: per-state transition probability is exact.
+        let p_flip0: f64 = pmf
+            .iter()
+            .filter(|&&(k, _)| d.step(0, k, 0, &[]).output == 1)
+            .map(|&(_, p)| p)
+            .sum();
+        assert!((p_flip0 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_detector_decisions() {
+        let c = config();
+        let pd = PhaseDetector::new(&c);
+        assert_eq!(pd.decide(3, 0), 1);
+        assert_eq!(pd.decide(-3, 0), -1);
+        assert_eq!(pd.decide(0, 0), 0);
+        assert_eq!(pd.decide(2, -5), -1); // jitter flips the decision
+    }
+
+    #[test]
+    fn phase_detector_needs_transition() {
+        let c = config();
+        let pd = PhaseDetector::new(&c);
+        let joint = [0usize, 0, 0, 12]; // phase bin 12 -> offset +4
+        let out = pd.step(0, 0, 0, &joint);
+        assert_eq!(out.output, 0, "no transition, no decision");
+        let out = pd.step(0, 0, 1, &joint);
+        assert_eq!(out.output, 1);
+    }
+
+    #[test]
+    fn dead_zone_suppresses_small_errors() {
+        let c = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(2)
+            .dead_zone_bins(2)
+            .drift(1e-2, 5e-2)
+            .build()
+            .unwrap();
+        let pd = PhaseDetector::new(&c);
+        assert_eq!(pd.decide(2, 0), 0);
+        assert_eq!(pd.decide(3, 0), 1);
+        assert_eq!(pd.decide(-2, 0), 0);
+        assert_eq!(pd.decide(-3, 0), -1);
+    }
+
+    #[test]
+    fn counter_overflow_and_recenter() {
+        let c = config();
+        let k = LoopCounter::new(&c); // 4 states, center 2
+        assert_eq!(k.advance(2, 1), (3, 0));
+        assert_eq!(k.advance(3, 1), (2, 1)); // overflow -> UP, recenter
+        assert_eq!(k.advance(1, -1), (0, 0));
+        assert_eq!(k.advance(0, -1), (2, -1)); // underflow -> DOWN, recenter
+        assert_eq!(k.advance(1, 0), (1, 0)); // NULL holds
+    }
+
+    #[test]
+    fn consecutive_filter_dynamics() {
+        // len = 3: states 0 neutral, 1-2 up runs, 3-4 down runs.
+        let k = LoopCounter { kind: FilterKind::ConsecutiveDetector, len: 3 };
+        assert_eq!(k.center(), 0);
+        assert_eq!(FilterKind::ConsecutiveDetector.state_count(3), 5);
+        // Three consecutive ups emit.
+        assert_eq!(k.advance(0, 1), (1, 0));
+        assert_eq!(k.advance(1, 1), (2, 0));
+        assert_eq!(k.advance(2, 1), (0, 1));
+        // Opposite decision restarts the run in the other direction.
+        assert_eq!(k.advance(2, -1), (3, 0));
+        assert_eq!(k.advance(3, -1), (4, 0));
+        assert_eq!(k.advance(4, -1), (0, -1));
+        assert_eq!(k.advance(4, 1), (1, 0));
+        // NULL holds.
+        assert_eq!(k.advance(2, 0), (2, 0));
+        assert_eq!(k.advance(4, 0), (4, 0));
+    }
+
+    #[test]
+    fn consecutive_filter_len_one_is_unfiltered() {
+        let k = LoopCounter { kind: FilterKind::ConsecutiveDetector, len: 1 };
+        assert_eq!(FilterKind::ConsecutiveDetector.state_count(1), 1);
+        assert_eq!(k.advance(0, 1), (0, 1));
+        assert_eq!(k.advance(0, -1), (0, -1));
+        assert_eq!(k.advance(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn accumulator_applies_correction_and_drift() {
+        let c = config();
+        let acc = PhaseAccumulator::new(&c); // m=16, step=2
+        let center = 8; // offset 0
+        assert_eq!(acc.advance(center, 1, 0), 6); // UP -> -G
+        assert_eq!(acc.advance(center, -1, 0), 10); // DOWN -> +G
+        assert_eq!(acc.advance(center, 0, 3), 11); // drift only
+    }
+
+    #[test]
+    fn accumulator_wraps_at_half_ui() {
+        let c = config();
+        let acc = PhaseAccumulator::new(&c); // m=16
+        // bin 15 = offset +7; +2 more wraps to offset -7 = bin 1.
+        assert_eq!(acc.advance(15, -1, 0), 1);
+    }
+
+    #[test]
+    fn noise_pmfs_are_valid() {
+        let c = config();
+        for pmf in [
+            Stage::noise(&DataSource::new(&c)),
+            Stage::noise(&PhaseDetector::new(&c)),
+            Stage::noise(&LoopCounter::new(&c)),
+            Stage::noise(&PhaseAccumulator::new(&c)),
+        ] {
+            let total: f64 = pmf.iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(pmf.iter().all(|&(_, p)| p > 0.0));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! First-order bang-bang loop theory — closed-form sanity checks.
+//!
+//! The Markov analysis is exact; these closed forms are the designer's
+//! back-of-envelope companions (in the spirit of the sign-dependent
+//! random-walk literature on bang-bang PLLs). They are used in tests as
+//! *independent* predictions the chain must reproduce: the slope-overload
+//! drift threshold locates the cycle-slip cliff, and the correction-rate
+//! formula bounds acquisition speed.
+
+use crate::CdrConfig;
+
+/// Maximum sustained phase-correction rate of the loop, UI per symbol.
+///
+/// Each data transition advances the counter by at most one; an overflow
+/// takes `counter_len / 2` aligned decisions from the recentered state and
+/// moves the phase by `G = UI / phases`. With stationary transition
+/// density `p_t`, the loop can therefore cancel at most
+///
+/// ```text
+/// rate_max = G · p_t / (counter_len / 2)   [UI / symbol]
+/// ```
+pub fn max_correction_rate_ui(config: &CdrConfig) -> f64 {
+    let g = 1.0 / config.phases as f64;
+    let p_t = config.data_model.stationary_transition_density();
+    g * p_t / (config.counter_len as f64 / 2.0)
+}
+
+/// Slope-overload threshold: the largest deterministic drift `|mean(n_r)|`
+/// the loop can track without continuous cycle slipping. Equal to
+/// [`max_correction_rate_ui`]; drift beyond it slips at rate
+/// `|mean(n_r)| − rate_max` UI per symbol.
+pub fn max_trackable_drift_ui(config: &CdrConfig) -> f64 {
+    max_correction_rate_ui(config)
+}
+
+/// The same threshold expressed as a frequency offset in ppm.
+pub fn max_trackable_offset_ppm(config: &CdrConfig) -> f64 {
+    max_trackable_drift_ui(config) * 1e6
+}
+
+/// Expected symbols between counter overflows when every decision is
+/// aligned (the fastest the loop ever corrects): `counter_len / (2 p_t)`.
+pub fn min_overflow_period_symbols(config: &CdrConfig) -> f64 {
+    let p_t = config.data_model.stationary_transition_density();
+    config.counter_len as f64 / (2.0 * p_t)
+}
+
+/// Residual slip rate (slips per symbol) predicted by slope overload for a
+/// drift beyond the threshold; `0` below it.
+///
+/// One slip = one UI of accumulated untracked phase.
+pub fn overload_slip_rate(config: &CdrConfig) -> f64 {
+    let excess = config.drift.mean_ui.abs() - max_trackable_drift_ui(config);
+    excess.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle_slip::mean_time_between_slips;
+    use crate::{CdrConfig, CdrModel, SolverChoice};
+    use stochcdr_noise::jitter::{DriftJitterSpec, DriftShape};
+
+    fn config_with_drift(mean_ui: f64) -> CdrConfig {
+        CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(4)
+            .counter_len(8)
+            .white_sigma_ui(0.05)
+            .drift_spec(DriftJitterSpec::new(mean_ui, 1.6e-2, DriftShape::Triangular))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn closed_forms() {
+        let c = config_with_drift(1e-3);
+        // G = 1/8, p_t for run-length(0.5, 4) slightly above 0.5, C = 8.
+        let p_t = c.data_model.stationary_transition_density();
+        assert!((max_correction_rate_ui(&c) - 0.125 * p_t / 4.0).abs() < 1e-12);
+        assert!((min_overflow_period_symbols(&c) - 8.0 / (2.0 * p_t)).abs() < 1e-12);
+        assert!(max_trackable_offset_ppm(&c) > 10_000.0);
+        assert_eq!(overload_slip_rate(&c), 0.0);
+        let hot = config_with_drift(0.05);
+        assert!(overload_slip_rate(&hot) > 0.0);
+    }
+
+    #[test]
+    fn slip_cliff_sits_at_the_predicted_threshold() {
+        // MTBS far above threshold drift: short; far below: astronomically
+        // long — the chain must reproduce the slope-overload cliff.
+        let c = config_with_drift(0.0);
+        let threshold = max_trackable_drift_ui(&c);
+
+        let mtbs_at = |mean_ui: f64| {
+            let cfg = config_with_drift(mean_ui);
+            let chain = CdrModel::new(cfg).build_chain().unwrap();
+            let a = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-11).unwrap();
+            mean_time_between_slips(&chain, &a.stationary).unwrap()
+        };
+
+        let below = mtbs_at(0.4 * threshold);
+        let above = mtbs_at(1.5 * threshold);
+        assert!(
+            below > above * 1e4,
+            "cliff missing: below {below:.2e}, above {above:.2e}, threshold {threshold:.3e}"
+        );
+        // Above overload the observed slip rate approaches the predicted
+        // residual rate (within a factor ~3: the bounded random part and
+        // occasional counter misfires blur the deterministic bound).
+        let hot = config_with_drift(1.5 * threshold);
+        let predicted = overload_slip_rate(&hot);
+        let observed = 1.0 / above;
+        assert!(
+            observed / predicted < 3.0 && predicted / observed < 3.0,
+            "observed slip rate {observed:.3e} vs predicted {predicted:.3e}"
+        );
+    }
+
+    #[test]
+    fn acquisition_respects_the_correction_rate_bound() {
+        // Locking from half a UI cannot be faster than the max correction
+        // rate allows: t_min = 0.5 / rate_max.
+        let cfg = config_with_drift(0.0);
+        let chain = CdrModel::new(cfg.clone()).build_chain().unwrap();
+        let t_min = 0.5 / max_correction_rate_ui(&cfg);
+        let mean_lock = crate::acquisition::mean_lock_time(&chain, cfg.step_bins()).unwrap();
+        assert!(
+            mean_lock > 0.5 * t_min,
+            "mean lock {mean_lock:.1} violates the rate bound {t_min:.1}"
+        );
+    }
+}

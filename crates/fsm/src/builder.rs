@@ -1,0 +1,239 @@
+//! Row-oriented transition-probability-matrix builder.
+
+use stochcdr_linalg::{CooMatrix, CsrMatrix};
+
+use crate::{FsmError, Result};
+
+/// Accumulates the transition probability matrix of a stochastic FSM one
+/// state (row) at a time, merging duplicate successor states.
+///
+/// Duplicate merging is the workhorse of the paper's model construction:
+/// many different noise outcomes map to the *same* successor state (e.g.
+/// every `n_w` value that leaves the phase-detector decision unchanged), so
+/// accumulating `(successor, probability)` pairs and summing duplicates
+/// keeps the stored fan-out equal to the number of *distinct* successors.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_fsm::TpmBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TpmBuilder::new(2);
+/// b.begin_row(0);
+/// b.emit(1, 0.25);
+/// b.emit(1, 0.25); // merged with the previous emit
+/// b.emit(0, 0.5);
+/// b.end_row()?;
+/// b.begin_row(1);
+/// b.emit(0, 1.0);
+/// b.end_row()?;
+/// let tpm = b.finish()?;
+/// assert_eq!(tpm.get(0, 1), 0.5);
+/// assert_eq!(tpm.nnz(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TpmBuilder {
+    n: usize,
+    coo: CooMatrix,
+    /// Scratch for the current row: (successor, probability).
+    row: Vec<(usize, f64)>,
+    current_row: Option<usize>,
+    rows_done: Vec<bool>,
+    /// Row-sum tolerance.
+    tol: f64,
+}
+
+impl TpmBuilder {
+    /// Creates a builder for an `n`-state chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "chain must have at least one state");
+        TpmBuilder {
+            n,
+            coo: CooMatrix::new(n, n),
+            row: Vec::new(),
+            current_row: None,
+            rows_done: vec![false; n],
+            tol: 1e-9,
+        }
+    }
+
+    /// Overrides the row-sum tolerance (default `1e-9`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0`.
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        assert!(tol > 0.0, "tolerance must be positive");
+        self.tol = tol;
+        self
+    }
+
+    /// Number of states.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Starts accumulating transitions out of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another row is open or the row was already finished.
+    pub fn begin_row(&mut self, state: usize) {
+        assert!(self.current_row.is_none(), "previous row not ended");
+        assert!(state < self.n, "state {state} out of range");
+        assert!(!self.rows_done[state], "row {state} already built");
+        self.current_row = Some(state);
+        self.row.clear();
+    }
+
+    /// Emits one transition of the open row.
+    ///
+    /// Zero-probability emissions are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is open, `next` is out of range, or `prob` is
+    /// negative/non-finite.
+    pub fn emit(&mut self, next: usize, prob: f64) {
+        assert!(self.current_row.is_some(), "no open row");
+        assert!(next < self.n, "successor {next} out of range");
+        assert!(prob.is_finite() && prob >= 0.0, "invalid probability {prob}");
+        if prob > 0.0 {
+            self.row.push((next, prob));
+        }
+    }
+
+    /// Ends the open row, merging duplicates and validating the row sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::InvalidProbability`] if the accumulated mass is
+    /// not within tolerance of one.
+    pub fn end_row(&mut self) -> Result<()> {
+        let state = self.current_row.take().expect("no open row");
+        self.row.sort_unstable_by_key(|&(next, _)| next);
+        let mut total = 0.0;
+        let mut i = 0;
+        while i < self.row.len() {
+            let next = self.row[i].0;
+            let mut p = 0.0;
+            while i < self.row.len() && self.row[i].0 == next {
+                p += self.row[i].1;
+                i += 1;
+            }
+            total += p;
+            self.coo.push(state, next, p);
+        }
+        if (total - 1.0).abs() > self.tol {
+            return Err(FsmError::InvalidProbability(format!(
+                "row {state} sums to {total}, expected 1"
+            )));
+        }
+        self.rows_done[state] = true;
+        Ok(())
+    }
+
+    /// Finishes the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::InvalidProbability`] if any row was never built
+    /// (its sum would be zero).
+    pub fn finish(self) -> Result<CsrMatrix> {
+        assert!(self.current_row.is_none(), "row still open");
+        if let Some(missing) = self.rows_done.iter().position(|&d| !d) {
+            return Err(FsmError::InvalidProbability(format!(
+                "row {missing} was never built"
+            )));
+        }
+        Ok(self.coo.to_csr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_merges() {
+        let mut b = TpmBuilder::new(2);
+        b.begin_row(0);
+        b.emit(0, 0.1);
+        b.emit(1, 0.4);
+        b.emit(1, 0.5);
+        b.end_row().unwrap();
+        b.begin_row(1);
+        b.emit(0, 1.0);
+        b.end_row().unwrap();
+        let m = b.finish().unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert!((m.get(0, 1) - 0.9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bad_row_sum_rejected() {
+        let mut b = TpmBuilder::new(1);
+        b.begin_row(0);
+        b.emit(0, 0.5);
+        assert!(matches!(b.end_row(), Err(FsmError::InvalidProbability(_))));
+    }
+
+    #[test]
+    fn missing_row_rejected() {
+        let mut b = TpmBuilder::new(2);
+        b.begin_row(0);
+        b.emit(0, 1.0);
+        b.end_row().unwrap();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn zero_probability_ignored() {
+        let mut b = TpmBuilder::new(1);
+        b.begin_row(0);
+        b.emit(0, 0.0);
+        b.emit(0, 1.0);
+        b.end_row().unwrap();
+        let m = b.finish().unwrap();
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already built")]
+    fn duplicate_row_panics() {
+        let mut b = TpmBuilder::new(1);
+        b.begin_row(0);
+        b.emit(0, 1.0);
+        b.end_row().unwrap();
+        b.begin_row(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ended")]
+    fn nested_rows_panic() {
+        let mut b = TpmBuilder::new(2);
+        b.begin_row(0);
+        b.begin_row(1);
+    }
+
+    #[test]
+    fn rows_in_any_order() {
+        let mut b = TpmBuilder::new(2);
+        b.begin_row(1);
+        b.emit(0, 1.0);
+        b.end_row().unwrap();
+        b.begin_row(0);
+        b.emit(1, 1.0);
+        b.end_row().unwrap();
+        let m = b.finish().unwrap();
+        assert_eq!(m.get(1, 0), 1.0);
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+}

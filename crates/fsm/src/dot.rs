@@ -1,0 +1,119 @@
+//! Graphviz (dot) export of FSMs and chain structure.
+//!
+//! Renders [`TableFsm`] machines and small transition matrices as `dot`
+//! digraphs for documentation and design review — the textual counterpart
+//! of the paper's Figure 2 block diagram.
+
+use std::fmt::Write as _;
+
+use stochcdr_linalg::CsrMatrix;
+
+use crate::TableFsm;
+
+/// Renders a [`TableFsm`] as a Graphviz digraph.
+///
+/// Each edge is labeled `input/output`. Parallel edges between the same
+/// state pair are merged into one multi-label edge to keep diagrams
+/// readable.
+pub fn table_fsm_to_dot(fsm: &TableFsm, name: &str) -> String {
+    let mut edges: std::collections::BTreeMap<(usize, usize), Vec<String>> =
+        std::collections::BTreeMap::new();
+    for state in 0..fsm.state_count() {
+        for input in 0..fsm.input_count() {
+            let next = fsm.next(state, input);
+            let label = format!("{input}/{}", fsm.output(state, input));
+            edges.entry((state, next)).or_default().push(label);
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for s in 0..fsm.state_count() {
+        let _ = writeln!(out, "  s{s} [label=\"{s}\"];");
+    }
+    for ((from, to), labels) in edges {
+        let _ = writeln!(out, "  s{from} -> s{to} [label=\"{}\"];", labels.join("\\n"));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a (small) transition matrix as a weighted digraph; edge labels
+/// are probabilities with `digits` decimals. Intended for chains of at
+/// most a few dozen states.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn chain_to_dot(p: &CsrMatrix, name: &str, digits: usize) -> String {
+    assert_eq!(p.rows(), p.cols(), "chain rendering requires a square matrix");
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  node [shape=circle];");
+    for (r, c, v) in p.iter() {
+        let _ = writeln!(out, "  s{r} -> s{c} [label=\"{v:.digits$}\"];");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Keeps only identifier-safe characters for the graph name.
+fn sanitize(name: &str) -> String {
+    let cleaned: String =
+        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g{cleaned}")
+    } else if cleaned.is_empty() {
+        "g".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochcdr_linalg::CooMatrix;
+
+    #[test]
+    fn table_fsm_renders_all_edges() {
+        let fsm = TableFsm::new(2, 2, vec![0, 1, 1, 0], vec![0, 0, 1, 1]).unwrap();
+        let dot = table_fsm_to_dot(&fsm, "toggle");
+        assert!(dot.starts_with("digraph toggle {"));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("s1 -> s0"));
+        // Self-loops from input 0.
+        assert!(dot.contains("s0 -> s0"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn parallel_edges_are_merged() {
+        // Both inputs lead 0 -> 0: one edge with two labels.
+        let fsm = TableFsm::new(1, 2, vec![0, 0], vec![5, 7]).unwrap();
+        let dot = table_fsm_to_dot(&fsm, "loop");
+        assert_eq!(dot.matches("s0 -> s0").count(), 1);
+        assert!(dot.contains("0/5"));
+        assert!(dot.contains("1/7"));
+    }
+
+    #[test]
+    fn chain_renders_probabilities() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 0.25);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 1, 0.0); // dropped
+        let dot = chain_to_dot(&coo.to_csr(), "walk", 2);
+        assert!(dot.contains("s0 -> s1 [label=\"0.25\"]"));
+        assert!(dot.contains("s1 -> s0 [label=\"1.00\"]"));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let fsm = TableFsm::new(1, 1, vec![0], vec![0]).unwrap();
+        assert!(table_fsm_to_dot(&fsm, "my fsm!").starts_with("digraph my_fsm_ {"));
+        assert!(table_fsm_to_dot(&fsm, "2fast").starts_with("digraph g2fast {"));
+        assert!(table_fsm_to_dot(&fsm, "").starts_with("digraph g {"));
+    }
+}

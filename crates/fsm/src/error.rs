@@ -1,0 +1,50 @@
+//! Error type for FSM-network construction.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, FsmError>;
+
+/// Error raised while assembling an FSM network or its Markov chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FsmError {
+    /// A component declared an empty state space or empty noise support.
+    EmptyComponent(String),
+    /// A probability was negative, non-finite, or a pmf did not sum to one.
+    InvalidProbability(String),
+    /// A transition referenced a state outside the declared space.
+    StateOutOfRange {
+        /// The offending state index.
+        state: usize,
+        /// The declared state count.
+        count: usize,
+    },
+    /// The reachable state space was empty (no initial states given).
+    NoInitialStates,
+}
+
+impl fmt::Display for FsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmError::EmptyComponent(msg) => write!(f, "empty component: {msg}"),
+            FsmError::InvalidProbability(msg) => write!(f, "invalid probability: {msg}"),
+            FsmError::StateOutOfRange { state, count } => {
+                write!(f, "state {state} out of range for {count}-state machine")
+            }
+            FsmError::NoInitialStates => write!(f, "no initial states given"),
+        }
+    }
+}
+
+impl std::error::Error for FsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FsmError::StateOutOfRange { state: 9, count: 4 };
+        assert!(e.to_string().contains('9'));
+    }
+}

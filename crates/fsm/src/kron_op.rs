@@ -1,0 +1,184 @@
+//! Matrix-free Kronecker-product operator.
+//!
+//! For *independent* components with transition matrices `A_1 … A_k`, the
+//! joint TPM is `A_1 ⊗ … ⊗ A_k`. Materializing it costs `Π nnz(A_i)`
+//! storage; applying it as a sequence of per-mode products costs only
+//! `Σ_i nnz(A_i) · (states / n_i)` work and no extra storage. This is the
+//! representation the paper points to for "solving more complex models"
+//! ("hierarchical generalized Kronecker-algebra" — Plateau, Buchholz).
+
+use stochcdr_linalg::{kron, CsrMatrix};
+
+/// A lazily-applied Kronecker product of square sparse factors.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_fsm::KroneckerOp;
+/// use stochcdr_linalg::{CooMatrix, CsrMatrix};
+///
+/// let mut a = CooMatrix::new(2, 2);
+/// a.push(0, 1, 1.0);
+/// a.push(1, 0, 1.0);
+/// let toggle = a.to_csr();
+/// let op = KroneckerOp::new(vec![toggle.clone(), CsrMatrix::identity(3)]);
+/// assert_eq!(op.dim(), 6);
+/// let y = op.mul_left(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+/// assert_eq!(y[3], 1.0); // (0,0) -> (1,0)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KroneckerOp {
+    factors: Vec<CsrMatrix>,
+    dim: usize,
+}
+
+impl KroneckerOp {
+    /// Creates the operator `factors[0] ⊗ factors[1] ⊗ …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` is empty or any factor is not square.
+    pub fn new(factors: Vec<CsrMatrix>) -> Self {
+        assert!(!factors.is_empty(), "need at least one factor");
+        let mut dim = 1usize;
+        for f in &factors {
+            assert_eq!(f.rows(), f.cols(), "factors must be square");
+            dim = dim.checked_mul(f.rows()).expect("joint dimension overflows usize");
+        }
+        KroneckerOp { factors, dim }
+    }
+
+    /// Joint dimension (product of factor dimensions).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The factors, outermost (slowest-varying) first.
+    pub fn factors(&self) -> &[CsrMatrix] {
+        &self.factors
+    }
+
+    /// Total stored entries across factors (the compact representation
+    /// size; compare with `nnz` of [`materialize`](Self::materialize)).
+    pub fn compact_nnz(&self) -> usize {
+        self.factors.iter().map(CsrMatrix::nnz).sum()
+    }
+
+    /// Computes `y = x (A_1 ⊗ … ⊗ A_k)` without materializing the product.
+    ///
+    /// Works mode by mode: viewing `x` as a `k`-dimensional tensor, applies
+    /// each factor along its own mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn mul_left(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "vector length must match joint dimension");
+        let mut cur = x.to_vec();
+        let mut next = vec![0.0f64; self.dim];
+        // outer = product of dims before the mode; inner = after.
+        let mut outer = 1usize;
+        let mut inner = self.dim;
+        for f in &self.factors {
+            let n = f.rows();
+            inner /= n;
+            next.iter_mut().for_each(|v| *v = 0.0);
+            // Tensor layout: index = (o * n + i) * inner + r.
+            for o in 0..outer {
+                let base = o * n * inner;
+                for i in 0..n {
+                    let row_base = base + i * inner;
+                    for (j, a) in f.row(i) {
+                        let dst_base = base + j * inner;
+                        for r in 0..inner {
+                            let v = cur[row_base + r];
+                            if v != 0.0 {
+                                next[dst_base + r] += v * a;
+                            }
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+            outer *= n;
+        }
+        cur
+    }
+
+    /// Materializes the full Kronecker product (for tests and small
+    /// systems).
+    pub fn materialize(&self) -> CsrMatrix {
+        kron::kron_all(self.factors.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochcdr_linalg::CooMatrix;
+
+    fn stochastic2(a: f64) -> CsrMatrix {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0 - a);
+        coo.push(0, 1, a);
+        coo.push(1, 0, a);
+        coo.push(1, 1, 1.0 - a);
+        coo.to_csr()
+    }
+
+    fn stochastic3() -> CsrMatrix {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 2, 0.5);
+        coo.push(1, 0, 0.5);
+        coo.push(2, 2, 1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn matches_materialized_product() {
+        let op = KroneckerOp::new(vec![stochastic2(0.3), stochastic3(), stochastic2(0.1)]);
+        let dense = op.materialize();
+        assert_eq!(op.dim(), 12);
+        // Compare on a deterministic pseudo-random vector.
+        let x: Vec<f64> = (0..12).map(|i| ((i * 37 + 11) % 17) as f64 / 17.0).collect();
+        let y1 = op.mul_left(&x);
+        let y2 = dense.mul_left(&x);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn single_factor_is_plain_product() {
+        let m = stochastic3();
+        let op = KroneckerOp::new(vec![m.clone()]);
+        let x = [0.2, 0.3, 0.5];
+        assert_eq!(op.mul_left(&x), m.mul_left(&x));
+    }
+
+    #[test]
+    fn compact_representation_is_smaller() {
+        let op = KroneckerOp::new(vec![stochastic2(0.3); 10]);
+        assert_eq!(op.dim(), 1024);
+        assert_eq!(op.compact_nnz(), 40);
+        assert_eq!(op.materialize().nnz(), 4usize.pow(10));
+    }
+
+    #[test]
+    fn stochasticity_preserved() {
+        let op = KroneckerOp::new(vec![stochastic2(0.25), stochastic3()]);
+        let x = vec![1.0 / 6.0; 6];
+        let y = op.mul_left(&x);
+        let total: f64 = y.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_factor_rejected() {
+        let coo = CooMatrix::new(2, 3);
+        let _ = KroneckerOp::new(vec![coo.to_csr()]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Table-driven Mealy machines.
+
+use crate::{FsmError, Result};
+
+/// A deterministic Mealy machine defined by explicit transition and output
+/// tables over a finite input alphabet.
+///
+/// Hardware phase detectors and loop filters are "relatively simple state
+/// machines" (they run at full line rate); a transition table is often the
+/// most faithful way to capture a gate-level implementation. `TableFsm`
+/// implements [`crate::Stage`]-compatible stepping and is convenient for
+/// tests and custom components.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_fsm::TableFsm;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // 2-state toggle: input 1 flips the state, output = old state.
+/// let fsm = TableFsm::new(
+///     2,
+///     2,
+///     vec![0, 1, 1, 0],  // next[state * inputs + input]
+///     vec![0, 0, 1, 1],  // out[state * inputs + input]
+/// )?;
+/// assert_eq!(fsm.next(0, 1), 1);
+/// assert_eq!(fsm.output(1, 0), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableFsm {
+    states: usize,
+    inputs: usize,
+    next: Vec<usize>,
+    out: Vec<i64>,
+}
+
+impl TableFsm {
+    /// Creates a machine from row-major tables indexed by
+    /// `state * inputs + input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FsmError::EmptyComponent`] for zero states/inputs, or
+    /// [`FsmError::StateOutOfRange`] if a next-state entry is invalid.
+    pub fn new(states: usize, inputs: usize, next: Vec<usize>, out: Vec<i64>) -> Result<Self> {
+        if states == 0 || inputs == 0 {
+            return Err(FsmError::EmptyComponent(format!(
+                "{states} states x {inputs} inputs"
+            )));
+        }
+        if next.len() != states * inputs || out.len() != states * inputs {
+            return Err(FsmError::EmptyComponent(format!(
+                "table sizes {} / {} != {}",
+                next.len(),
+                out.len(),
+                states * inputs
+            )));
+        }
+        if let Some(&bad) = next.iter().find(|&&s| s >= states) {
+            return Err(FsmError::StateOutOfRange { state: bad, count: states });
+        }
+        Ok(TableFsm { states, inputs, next, out })
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// Size of the input alphabet.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Next state for `(state, input)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `input` is out of range.
+    pub fn next(&self, state: usize, input: usize) -> usize {
+        assert!(state < self.states && input < self.inputs, "index out of range");
+        self.next[state * self.inputs + input]
+    }
+
+    /// Output symbol for `(state, input)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `input` is out of range.
+    pub fn output(&self, state: usize, input: usize) -> i64 {
+        assert!(state < self.states && input < self.inputs, "index out of range");
+        self.out[state * self.inputs + input]
+    }
+
+    /// Runs the machine over an input sequence from `start`, returning the
+    /// final state and the emitted outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` or any input is out of range.
+    pub fn run(&self, start: usize, inputs: impl IntoIterator<Item = usize>) -> (usize, Vec<i64>) {
+        let mut state = start;
+        let mut outs = Vec::new();
+        for i in inputs {
+            outs.push(self.output(state, i));
+            state = self.next(state, i);
+        }
+        (state, outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> TableFsm {
+        TableFsm::new(2, 2, vec![0, 1, 1, 0], vec![0, 0, 1, 1]).unwrap()
+    }
+
+    #[test]
+    fn construction_validated() {
+        assert!(TableFsm::new(0, 1, vec![], vec![]).is_err());
+        assert!(TableFsm::new(1, 1, vec![0, 0], vec![0]).is_err());
+        assert!(matches!(
+            TableFsm::new(2, 1, vec![0, 5], vec![0, 0]),
+            Err(FsmError::StateOutOfRange { state: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn stepping() {
+        let f = toggle();
+        assert_eq!(f.next(0, 0), 0);
+        assert_eq!(f.next(0, 1), 1);
+        assert_eq!(f.next(1, 1), 0);
+        assert_eq!(f.output(1, 1), 1);
+    }
+
+    #[test]
+    fn run_sequence() {
+        let f = toggle();
+        // Trace: (0,1)→out 0, state 1; (1,1)→out 1, state 0;
+        //        (0,0)→out 0, state 0; (0,1)→out 0, state 1.
+        let (end, outs) = f.run(0, [1, 1, 0, 1]);
+        assert_eq!(end, 1);
+        assert_eq!(outs, vec![0, 1, 0, 0]);
+    }
+}

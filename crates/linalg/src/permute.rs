@@ -1,0 +1,201 @@
+//! Permutations of vectors and square sparse matrices.
+
+use crate::{CooMatrix, CsrMatrix, LinalgError, Result};
+
+/// A permutation of `0..n`.
+///
+/// Used to reorder chain states (e.g. grouping phase-error bins together so
+/// the transition matrix shows the banded block structure of the paper's
+/// Figure 3).
+///
+/// The convention is *destination-oriented*: `perm[new] = old`, i.e. applying
+/// the permutation to a vector `x` yields `y[new] = x[perm[new]]`.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_linalg::Permutation;
+///
+/// let p = Permutation::new(vec![2, 0, 1]).unwrap();
+/// assert_eq!(p.apply(&[10.0, 20.0, 30.0]), vec![30.0, 10.0, 20.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<usize>,
+    inverse: Vec<usize>,
+}
+
+impl Permutation {
+    /// Builds a permutation from `perm[new] = old`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::InvalidPermutation`] if the vector is not a
+    /// bijection on `0..len`.
+    pub fn new(forward: Vec<usize>) -> Result<Self> {
+        let n = forward.len();
+        let mut inverse = vec![usize::MAX; n];
+        for (new, &old) in forward.iter().enumerate() {
+            if old >= n {
+                return Err(LinalgError::InvalidPermutation(format!(
+                    "index {old} out of range 0..{n}"
+                )));
+            }
+            if inverse[old] != usize::MAX {
+                return Err(LinalgError::InvalidPermutation(format!(
+                    "index {old} appears more than once"
+                )));
+            }
+            inverse[old] = new;
+        }
+        Ok(Permutation { forward, inverse })
+    }
+
+    /// The identity permutation on `0..n`.
+    pub fn identity(n: usize) -> Self {
+        let forward: Vec<usize> = (0..n).collect();
+        Permutation { inverse: forward.clone(), forward }
+    }
+
+    /// Builds the permutation that sorts indices by the given key function.
+    ///
+    /// Stable: equal keys keep their original relative order.
+    pub fn from_sort_key<K: Ord>(n: usize, key: impl Fn(usize) -> K) -> Self {
+        let mut forward: Vec<usize> = (0..n).collect();
+        forward.sort_by_key(|&i| key(i));
+        Self::new(forward).expect("sorting a range yields a bijection")
+    }
+
+    /// Length of the permuted domain.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Returns `true` for the empty permutation.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// The old index placed at position `new`.
+    pub fn old_index(&self, new: usize) -> usize {
+        self.forward[new]
+    }
+
+    /// The new position of old index `old`.
+    pub fn new_index(&self, old: usize) -> usize {
+        self.inverse[old]
+    }
+
+    /// Applies the permutation to a vector: `y[new] = x[perm[new]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()`.
+    pub fn apply<T: Clone>(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.len(), "vector length must match permutation");
+        self.forward.iter().map(|&old| x[old].clone()).collect()
+    }
+
+    /// Applies the inverse permutation to a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != len()`.
+    pub fn apply_inverse<T: Clone>(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.len(), "vector length must match permutation");
+        self.inverse.iter().map(|&pos| x[pos].clone()).collect()
+    }
+
+    /// Returns the inverse permutation as a new object.
+    pub fn inverted(&self) -> Permutation {
+        Permutation { forward: self.inverse.clone(), inverse: self.forward.clone() }
+    }
+
+    /// Symmetrically permutes a square matrix: `B[new_i, new_j] = A[old_i, old_j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square of matching dimension.
+    pub fn permute_matrix(&self, a: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(a.rows(), a.cols(), "symmetric permutation requires a square matrix");
+        assert_eq!(a.rows(), self.len(), "matrix dimension must match permutation");
+        let mut coo = CooMatrix::with_capacity(a.rows(), a.cols(), a.nnz());
+        for (r, c, v) in a.iter() {
+            coo.push(self.inverse[r], self.inverse[c], v);
+        }
+        coo.to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Permutation::identity(3);
+        assert_eq!(p.apply(&[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn apply_and_inverse_round_trip() {
+        let p = Permutation::new(vec![1, 2, 0]).unwrap();
+        let x = [10, 20, 30];
+        let y = p.apply(&x);
+        assert_eq!(y, vec![20, 30, 10]);
+        assert_eq!(p.apply_inverse(&y), x.to_vec());
+    }
+
+    #[test]
+    fn invalid_permutations_rejected() {
+        assert!(Permutation::new(vec![0, 0]).is_err());
+        assert!(Permutation::new(vec![0, 5]).is_err());
+    }
+
+    #[test]
+    fn from_sort_key_sorts() {
+        let vals = [3, 1, 2];
+        let p = Permutation::from_sort_key(3, |i| vals[i]);
+        assert_eq!(p.apply(&vals), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn permute_matrix_moves_entries() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 1, 5.0);
+        let a = coo.to_csr();
+        let p = Permutation::new(vec![1, 0]).unwrap(); // swap
+        let b = p.permute_matrix(&a);
+        assert_eq!(b.get(1, 0), 5.0);
+        assert_eq!(b.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn permute_preserves_row_sums_multiset() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 0.5);
+        coo.push(0, 1, 0.5);
+        coo.push(1, 2, 1.0);
+        coo.push(2, 0, 1.0);
+        let a = coo.to_csr();
+        let p = Permutation::new(vec![2, 0, 1]).unwrap();
+        let b = p.permute_matrix(&a);
+        let mut s1 = a.row_sums();
+        let mut s2 = b.row_sums();
+        s1.sort_by(f64::total_cmp);
+        s2.sort_by(f64::total_cmp);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn inverted_composes_to_identity() {
+        let p = Permutation::new(vec![2, 0, 1]).unwrap();
+        let q = p.inverted();
+        for i in 0..3 {
+            // q undoes p: p places old index i at position p.new_index(i),
+            // and q maps that position back to i.
+            assert_eq!(q.new_index(p.new_index(i)), i);
+            assert_eq!(p.old_index(p.new_index(i)), i);
+        }
+    }
+}

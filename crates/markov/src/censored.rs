@@ -1,0 +1,243 @@
+//! Censored chains (stochastic complements).
+//!
+//! The chain *watched only while it is inside a subset `A`* is again a
+//! Markov chain, with transition matrix
+//!
+//! ```text
+//! S = P_AA + P_AB (I − P_BB)^{-1} P_BA
+//! ```
+//!
+//! — the *stochastic complement* of `A`. Censoring is the exact form of
+//! the state elimination that GTH performs one state at a time, and the
+//! exact counterpart of the lossy aggregation step in multigrid; it also
+//! underlies the paper's lumpability discussion (a weakly lumped chain is
+//! a censored-and-aggregated one). The key identity, used as a test
+//! oracle throughout the workspace: the stationary distribution of `S` is
+//! the stationary distribution of `P` restricted to `A` and renormalized.
+
+use stochcdr_linalg::{CooMatrix, DenseMatrix};
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+/// Computes the stochastic complement of the chain on the subset `keep`
+/// (in the order given): the censored chain observed only on those states.
+///
+/// Solves the `(I − P_BB)` system densely, so the *eliminated* set should
+/// be at most a few thousand states.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_linalg::CooMatrix;
+/// use stochcdr_markov::{censored::censor, StochasticMatrix};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Deterministic 3-cycle watched on {0, 2} becomes a 2-cycle.
+/// let mut coo = CooMatrix::new(3, 3);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 2, 1.0);
+/// coo.push(2, 0, 1.0);
+/// let p = StochasticMatrix::new(coo.to_csr())?;
+/// let s = censor(&p, &[0, 2])?;
+/// assert_eq!(s.prob(0, 1), 1.0);
+/// assert_eq!(s.prob(1, 0), 1.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidArgument`] if `keep` is empty, has duplicates,
+///   or indexes out of range,
+/// * [`MarkovError::Linalg`] if `(I − P_BB)` is singular (the eliminated
+///   set contains a closed subchain, so the walk may never return).
+pub fn censor(p: &StochasticMatrix, keep: &[usize]) -> Result<StochasticMatrix> {
+    let n = p.n();
+    if keep.is_empty() {
+        return Err(MarkovError::InvalidArgument("keep set is empty".into()));
+    }
+    let mut in_keep = vec![false; n];
+    let mut keep_index = vec![usize::MAX; n];
+    for (k, &s) in keep.iter().enumerate() {
+        if s >= n {
+            return Err(MarkovError::InvalidArgument(format!(
+                "state {s} out of range 0..{n}"
+            )));
+        }
+        if in_keep[s] {
+            return Err(MarkovError::InvalidArgument(format!("state {s} listed twice")));
+        }
+        in_keep[s] = true;
+        keep_index[s] = k;
+    }
+    let eliminated: Vec<usize> = (0..n).filter(|&s| !in_keep[s]).collect();
+    let mut elim_index = vec![usize::MAX; n];
+    for (k, &s) in eliminated.iter().enumerate() {
+        elim_index[s] = k;
+    }
+    let (na, nb) = (keep.len(), eliminated.len());
+
+    if nb == 0 {
+        // Nothing to eliminate: permuted original chain.
+        let mut coo = CooMatrix::new(na, na);
+        for (k, &s) in keep.iter().enumerate() {
+            for (j, v) in p.matrix().row(s) {
+                coo.push(k, keep_index[j], v);
+            }
+        }
+        return StochasticMatrix::with_tolerance(coo.to_csr(), 1e-9);
+    }
+
+    // Blocks: paa (sparse accumulation), pab (na x nb), pba (nb x na),
+    // pbb (nb x nb, dense).
+    let mut i_minus_pbb = DenseMatrix::identity(nb);
+    let mut pba = DenseMatrix::zeros(nb, na);
+    for (k, &s) in eliminated.iter().enumerate() {
+        for (j, v) in p.matrix().row(s) {
+            if in_keep[j] {
+                pba[(k, keep_index[j])] += v;
+            } else {
+                i_minus_pbb[(k, elim_index[j])] -= v;
+            }
+        }
+    }
+    // F = (I − P_BB)^{-1} P_BA, solved column by column.
+    let lu = i_minus_pbb.lu().map_err(|e| match e {
+        stochcdr_linalg::LinalgError::SingularMatrix { .. } => MarkovError::Reducible(
+            "eliminated set contains a closed subchain; censoring undefined".into(),
+        ),
+        other => MarkovError::Linalg(other),
+    })?;
+    let mut f = DenseMatrix::zeros(nb, na);
+    let mut col = vec![0.0f64; nb];
+    for j in 0..na {
+        for (k, c) in col.iter_mut().enumerate() {
+            *c = pba[(k, j)];
+        }
+        let x = lu.solve(&col)?;
+        for (k, &v) in x.iter().enumerate() {
+            // F is a probability (the chance of re-entering the kept set at
+            // column j); LU round-off can leave -1e-18-scale negatives.
+            if v < -1e-9 {
+                return Err(MarkovError::Linalg(
+                    stochcdr_linalg::LinalgError::NonFiniteValue { row: k, col: j, value: v },
+                ));
+            }
+            f[(k, j)] = v.max(0.0);
+        }
+    }
+
+    // S = P_AA + P_AB F.
+    let mut coo = CooMatrix::new(na, na);
+    for (k, &s) in keep.iter().enumerate() {
+        for (j, v) in p.matrix().row(s) {
+            if in_keep[j] {
+                coo.push(k, keep_index[j], v);
+            } else {
+                let b = elim_index[j];
+                for jj in 0..na {
+                    let fv = f[(b, jj)];
+                    if fv != 0.0 {
+                        coo.push(k, jj, v * fv);
+                    }
+                }
+            }
+        }
+    }
+    StochasticMatrix::with_tolerance(coo.to_csr(), 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stationary::{GthSolver, StationarySolver};
+    use stochcdr_linalg::vecops;
+
+    fn chain(n: usize, edges: &[(usize, usize, f64)]) -> StochasticMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c, v) in edges {
+            coo.push(r, c, v);
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    fn ring(n: usize) -> StochasticMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 0.6);
+            coo.push(i, (i + n - 1) % n, 0.3);
+            coo.push(i, i, 0.1);
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn censored_chain_is_stochastic() {
+        let p = ring(8);
+        let s = censor(&p, &[0, 2, 4, 6]).unwrap();
+        assert_eq!(s.n(), 4);
+        for sum in s.matrix().row_sums() {
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stationary_restriction_identity() {
+        // eta_S  ==  eta_P restricted to A, renormalized — for any A.
+        let p = ring(10);
+        let eta = GthSolver::new().solve(&p, None).unwrap().distribution;
+        for keep in [vec![0, 1, 2], vec![1, 4, 7, 9], vec![5]] {
+            let s = censor(&p, &keep).unwrap();
+            let eta_s = if s.n() == 1 {
+                vec![1.0]
+            } else {
+                GthSolver::new().solve(&s, None).unwrap().distribution
+            };
+            let mut restricted: Vec<f64> = keep.iter().map(|&i| eta[i]).collect();
+            vecops::normalize_l1(&mut restricted);
+            assert!(
+                vecops::dist1(&eta_s, &restricted) < 1e-10,
+                "identity fails for keep = {keep:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn keep_everything_is_identity_permutation() {
+        let p = ring(5);
+        let keep = [3, 1, 4, 0, 2];
+        let s = censor(&p, &keep).unwrap();
+        for (new_i, &old_i) in keep.iter().enumerate() {
+            for (new_j, &old_j) in keep.iter().enumerate() {
+                assert!((s.prob(new_i, new_j) - p.prob(old_i, old_j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn two_state_complement_closed_form() {
+        // Censor state 1 out of a 3-cycle with known dynamics:
+        // 0 -> 1 -> 2 -> 0 deterministically; watching {0, 2} gives the
+        // deterministic 2-cycle.
+        let p = chain(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        let s = censor(&p, &[0, 2]).unwrap();
+        assert!((s.prob(0, 1) - 1.0).abs() < 1e-12);
+        assert!((s.prob(1, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_eliminated_set_rejected() {
+        // State 2 is absorbing: eliminating it leaves a walk that may never
+        // return to the kept set.
+        let p = chain(3, &[(0, 1, 0.5), (0, 2, 0.5), (1, 0, 1.0), (2, 2, 1.0)]);
+        assert!(matches!(censor(&p, &[0, 1]), Err(MarkovError::Reducible(_))));
+    }
+
+    #[test]
+    fn argument_validation() {
+        let p = ring(4);
+        assert!(censor(&p, &[]).is_err());
+        assert!(censor(&p, &[0, 0]).is_err());
+        assert!(censor(&p, &[9]).is_err());
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type for Markov-chain operations.
+
+use std::fmt;
+
+use stochcdr_linalg::LinalgError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, MarkovError>;
+
+/// Error raised during Markov-chain construction or analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarkovError {
+    /// The candidate transition matrix was not square.
+    NotSquare {
+        /// Row count.
+        rows: usize,
+        /// Column count.
+        cols: usize,
+    },
+    /// A row sum deviated from one by more than the tolerance.
+    RowSumNotOne {
+        /// Offending row (state) index.
+        row: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A transition probability was negative or non-finite.
+    InvalidProbability {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An iterative solver exhausted its iteration budget.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// An analysis required an irreducible chain but the chain is not.
+    Reducible(String),
+    /// A state index, partition, or argument was structurally invalid.
+    InvalidArgument(String),
+    /// An underlying linear-algebra operation failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for MarkovError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkovError::NotSquare { rows, cols } => {
+                write!(f, "transition matrix must be square, got {rows}x{cols}")
+            }
+            MarkovError::RowSumNotOne { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            MarkovError::InvalidProbability { row, col, value } => {
+                write!(f, "invalid probability {value} at ({row}, {col})")
+            }
+            MarkovError::NotConverged { iterations, residual } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            MarkovError::Reducible(msg) => write!(f, "chain is reducible: {msg}"),
+            MarkovError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MarkovError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MarkovError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MarkovError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MarkovError {
+    fn from(e: LinalgError) -> Self {
+        MarkovError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cause() {
+        let e = MarkovError::RowSumNotOne { row: 3, sum: 0.5 };
+        assert!(e.to_string().contains("row 3"));
+        let e = MarkovError::NotConverged { iterations: 10, residual: 1e-3 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn linalg_errors_convert() {
+        let le = LinalgError::ShapeMismatch("x".into());
+        let me: MarkovError = le.clone().into();
+        assert_eq!(me, MarkovError::Linalg(le));
+    }
+}

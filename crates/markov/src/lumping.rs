@@ -1,0 +1,409 @@
+//! Exact and weighted (weak) lumping of Markov chains.
+//!
+//! The paper builds its multigrid solver on lumpability: "we partition these
+//! N states into n disjoint sets ... and form a new stochastic process by
+//! defining new states corresponding to the n sets". The lumped process is
+//! Markov for *any* initial distribution only if the partition is *exactly
+//! (strongly) lumpable*; otherwise one obtains a useful approximation by
+//! lumping with respect to a particular distribution — *weak lumping* — which
+//! is precisely the aggregation step of aggregation/disaggregation methods.
+//!
+//! * [`Partition`] — a validated partition of the state space,
+//! * [`is_exactly_lumpable`] — Kemeny–Snell strong-lumpability test,
+//! * [`lump_exact`] — the lumped TPM of an exactly lumpable partition,
+//! * [`lump_weighted`] — the aggregated TPM with respect to a weight vector
+//!   (rows of each block averaged with the block-conditional weights).
+
+use stochcdr_linalg::{CooMatrix, CsrMatrix};
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+/// A partition of `0..n` into disjoint, exhaustive blocks.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_markov::lumping::Partition;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let part = Partition::from_labels(vec![0, 0, 1, 1])?;
+/// assert_eq!(part.block_count(), 2);
+/// assert_eq!(part.members()[1], vec![2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `block_of[state]` — the block index of each state.
+    block_of: Vec<usize>,
+    /// Number of blocks.
+    blocks: usize,
+}
+
+impl Partition {
+    /// Builds a partition from per-state block labels.
+    ///
+    /// Labels must form a contiguous range `0..blocks` (every block
+    /// non-empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] if labels are empty or some
+    /// block in the range is unused.
+    pub fn from_labels(block_of: Vec<usize>) -> Result<Self> {
+        if block_of.is_empty() {
+            return Err(MarkovError::InvalidArgument("empty partition".into()));
+        }
+        let blocks = block_of.iter().copied().max().unwrap() + 1;
+        let mut seen = vec![false; blocks];
+        for &b in &block_of {
+            seen[b] = true;
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(MarkovError::InvalidArgument(format!(
+                "block {missing} has no members"
+            )));
+        }
+        Ok(Partition { block_of, blocks })
+    }
+
+    /// The trivial partition with every state in its own block.
+    pub fn discrete(n: usize) -> Self {
+        Partition { block_of: (0..n).collect(), blocks: n }
+    }
+
+    /// Number of states partitioned.
+    pub fn n(&self) -> usize {
+        self.block_of.len()
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks
+    }
+
+    /// Block index of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state >= n()`.
+    pub fn block_of(&self, state: usize) -> usize {
+        self.block_of[state]
+    }
+
+    /// Per-state labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.block_of
+    }
+
+    /// Collects the members of each block.
+    pub fn members(&self) -> Vec<Vec<usize>> {
+        let mut m = vec![Vec::new(); self.blocks];
+        for (s, &b) in self.block_of.iter().enumerate() {
+            m[b].push(s);
+        }
+        m
+    }
+}
+
+/// Tests Kemeny–Snell strong lumpability: the partition is exactly lumpable
+/// iff for every pair of states in the same block, the total transition
+/// probability into *each* block agrees (within `tol`).
+///
+/// # Panics
+///
+/// Panics if `partition.n() != p.n()`.
+pub fn is_exactly_lumpable(p: &StochasticMatrix, partition: &Partition, tol: f64) -> bool {
+    assert_eq!(partition.n(), p.n(), "partition must cover the state space");
+    let nb = partition.block_count();
+    let mut reference: Vec<Option<Vec<f64>>> = vec![None; nb];
+    let mut row_mass = vec![0.0f64; nb];
+    for i in 0..p.n() {
+        row_mass.fill(0.0);
+        for (j, v) in p.matrix().row(i) {
+            row_mass[partition.block_of(j)] += v;
+        }
+        let b = partition.block_of(i);
+        match &reference[b] {
+            None => reference[b] = Some(row_mass.clone()),
+            Some(r) => {
+                for (a, b) in r.iter().zip(&row_mass) {
+                    if (a - b).abs() > tol {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Lumps an exactly lumpable chain.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidArgument`] if the partition fails the
+/// strong-lumpability test at tolerance `tol`.
+pub fn lump_exact(
+    p: &StochasticMatrix,
+    partition: &Partition,
+    tol: f64,
+) -> Result<StochasticMatrix> {
+    if !is_exactly_lumpable(p, partition, tol) {
+        return Err(MarkovError::InvalidArgument(
+            "partition is not exactly lumpable; use lump_weighted".into(),
+        ));
+    }
+    // Any member row represents its block; use uniform weights.
+    let w = vec![1.0; p.n()];
+    lump_weighted(p, partition, &w)
+}
+
+/// Aggregates the chain with respect to non-negative weights `w` (typically
+/// the current iterate of the stationary vector):
+///
+/// ```text
+/// P_c(A, B) = Σ_{i∈A} (w_i / W_A) Σ_{j∈B} P(i, j),   W_A = Σ_{i∈A} w_i.
+/// ```
+///
+/// Blocks with zero total weight fall back to uniform weights within the
+/// block, so the aggregated matrix is always a valid TPM.
+///
+/// This is the restriction operator of aggregation/disaggregation multigrid
+/// and the TPM of the weakly lumped chain when `w` is the initial
+/// distribution.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidArgument`] if `w` has negative entries or
+/// wrong length.
+pub fn lump_weighted(
+    p: &StochasticMatrix,
+    partition: &Partition,
+    w: &[f64],
+) -> Result<StochasticMatrix> {
+    let n = p.n();
+    if partition.n() != n {
+        return Err(MarkovError::InvalidArgument(
+            "partition size does not match state count".into(),
+        ));
+    }
+    if w.len() != n {
+        return Err(MarkovError::InvalidArgument("weight vector length mismatch".into()));
+    }
+    if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+        return Err(MarkovError::InvalidArgument("weights must be non-negative".into()));
+    }
+    let nb = partition.block_count();
+    let mut block_weight = vec![0.0f64; nb];
+    let mut block_size = vec![0usize; nb];
+    for (i, &wi) in w.iter().enumerate() {
+        block_weight[partition.block_of(i)] += wi;
+        block_size[partition.block_of(i)] += 1;
+    }
+    let mut coo = CooMatrix::with_capacity(nb, nb, p.nnz().min(nb * nb));
+    for (i, &w_i) in w.iter().enumerate() {
+        let bi = partition.block_of(i);
+        let wi = if block_weight[bi] > 0.0 {
+            w_i / block_weight[bi]
+        } else {
+            1.0 / block_size[bi] as f64
+        };
+        if wi == 0.0 {
+            continue;
+        }
+        for (j, v) in p.matrix().row(i) {
+            coo.push(bi, partition.block_of(j), wi * v);
+        }
+    }
+    let csr = fix_row_sums(coo.to_csr());
+    StochasticMatrix::with_tolerance(csr, 1e-6)
+}
+
+/// Clamps accumulated round-off so row sums are exactly one before the
+/// stochastic-matrix validation (aggregation of ~1e6 entries can drift a
+/// few ulps beyond the default tolerance).
+fn fix_row_sums(m: CsrMatrix) -> CsrMatrix {
+    let sums = m.row_sums();
+    let factors: Vec<f64> =
+        sums.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 1.0 }).collect();
+    m.scale_rows(&factors)
+}
+
+/// Prolongs a coarse (block) vector back to the fine state space,
+/// distributing each block's value according to the fine weights `w`
+/// (the disaggregation step of aggregation/disaggregation):
+///
+/// ```text
+/// x_i = X_{block(i)} · w_i / W_{block(i)}
+/// ```
+///
+/// Zero-weight blocks distribute uniformly over their members.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent.
+pub fn disaggregate(partition: &Partition, coarse: &[f64], w: &[f64]) -> Vec<f64> {
+    assert_eq!(coarse.len(), partition.block_count(), "coarse vector per block");
+    assert_eq!(w.len(), partition.n(), "weights per fine state");
+    let nb = partition.block_count();
+    let mut block_weight = vec![0.0f64; nb];
+    let mut block_size = vec![0usize; nb];
+    for (i, &wi) in w.iter().enumerate() {
+        block_weight[partition.block_of(i)] += wi;
+        block_size[partition.block_of(i)] += 1;
+    }
+    (0..partition.n())
+        .map(|i| {
+            let b = partition.block_of(i);
+            let share = if block_weight[b] > 0.0 {
+                w[i] / block_weight[b]
+            } else {
+                1.0 / block_size[b] as f64
+            };
+            coarse[b] * share
+        })
+        .collect()
+}
+
+/// Aggregates a fine vector to blocks: `X_A = Σ_{i∈A} x_i`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != partition.n()`.
+pub fn aggregate(partition: &Partition, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), partition.n(), "vector length must match partition");
+    let mut out = vec![0.0; partition.block_count()];
+    for (i, &v) in x.iter().enumerate() {
+        out[partition.block_of(i)] += v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stationary::{GthSolver, StationarySolver};
+    use stochcdr_linalg::vecops;
+
+    fn chain(n: usize, edges: &[(usize, usize, f64)]) -> StochasticMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c, v) in edges {
+            coo.push(r, c, v);
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    /// A 4-state chain exactly lumpable to {0,1} vs {2,3}.
+    fn lumpable_chain() -> StochasticMatrix {
+        chain(4, &[
+            (0, 1, 0.6), (0, 2, 0.2), (0, 3, 0.2),
+            (1, 0, 0.6), (1, 2, 0.3), (1, 3, 0.1),
+            (2, 3, 0.5), (2, 0, 0.25), (2, 1, 0.25),
+            (3, 2, 0.5), (3, 0, 0.1), (3, 1, 0.4),
+        ])
+    }
+
+    #[test]
+    fn partition_validation() {
+        assert!(Partition::from_labels(vec![]).is_err());
+        assert!(Partition::from_labels(vec![0, 2]).is_err()); // block 1 missing
+        let p = Partition::from_labels(vec![0, 0, 1]).unwrap();
+        assert_eq!(p.block_count(), 2);
+        assert_eq!(p.members(), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn exact_lumpability_detected() {
+        let p = lumpable_chain();
+        let part = Partition::from_labels(vec![0, 0, 1, 1]).unwrap();
+        assert!(is_exactly_lumpable(&p, &part, 1e-12));
+        // A partition that mixes the blocks is not lumpable.
+        let bad = Partition::from_labels(vec![0, 1, 0, 1]).unwrap();
+        assert!(!is_exactly_lumpable(&p, &bad, 1e-12));
+    }
+
+    #[test]
+    fn lump_exact_produces_correct_tpm() {
+        let p = lumpable_chain();
+        let part = Partition::from_labels(vec![0, 0, 1, 1]).unwrap();
+        let l = lump_exact(&p, &part, 1e-12).unwrap();
+        assert_eq!(l.n(), 2);
+        assert!((l.prob(0, 0) - 0.6).abs() < 1e-12);
+        assert!((l.prob(0, 1) - 0.4).abs() < 1e-12);
+        assert!((l.prob(1, 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lump_exact_rejects_non_lumpable() {
+        let p = lumpable_chain();
+        let bad = Partition::from_labels(vec![0, 1, 0, 1]).unwrap();
+        assert!(lump_exact(&p, &bad, 1e-12).is_err());
+    }
+
+    #[test]
+    fn lumped_stationary_matches_aggregated_fine_stationary() {
+        // For an exactly lumpable partition, aggregate(η_fine) = η_lumped.
+        let p = lumpable_chain();
+        let part = Partition::from_labels(vec![0, 0, 1, 1]).unwrap();
+        let l = lump_exact(&p, &part, 1e-12).unwrap();
+        let ef = GthSolver::new().solve(&p, None).unwrap().distribution;
+        let el = GthSolver::new().solve(&l, None).unwrap().distribution;
+        let agg = aggregate(&part, &ef);
+        assert!(vecops::dist1(&agg, &el) < 1e-10);
+    }
+
+    #[test]
+    fn weighted_lumping_with_exact_stationary_is_consistent() {
+        // Aggregation with the exact stationary weights reproduces the
+        // aggregated stationary as the coarse stationary, for ANY partition
+        // (this is the fixed-point property of aggregation/disaggregation).
+        let p = lumpable_chain();
+        let part = Partition::from_labels(vec![0, 1, 1, 0]).unwrap(); // arbitrary
+        let ef = GthSolver::new().solve(&p, None).unwrap().distribution;
+        let lc = lump_weighted(&p, &part, &ef).unwrap();
+        let el = GthSolver::new().solve(&lc, None).unwrap().distribution;
+        let agg = aggregate(&part, &ef);
+        assert!(vecops::dist1(&agg, &el) < 1e-9, "agg {agg:?} vs coarse {el:?}");
+    }
+
+    #[test]
+    fn aggregate_disaggregate_round_trip() {
+        let part = Partition::from_labels(vec![0, 0, 1]).unwrap();
+        let w = [0.2, 0.6, 0.7];
+        let x = [0.1, 0.3, 0.6];
+        let coarse = aggregate(&part, &x);
+        assert_eq!(coarse, vec![0.4, 0.6]);
+        // Disaggregating with weights proportional to x reproduces x.
+        let back = disaggregate(&part, &coarse, &x);
+        assert!(vecops::dist1(&back, &x) < 1e-15);
+        // Mass is preserved regardless of weights.
+        let back2 = disaggregate(&part, &coarse, &w);
+        assert!((vecops::sum(&back2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_block_falls_back_to_uniform() {
+        let part = Partition::from_labels(vec![0, 0, 1]).unwrap();
+        let w = [0.0, 0.0, 1.0];
+        let back = disaggregate(&part, &[0.5, 0.5], &w);
+        assert_eq!(back, vec![0.25, 0.25, 0.5]);
+        // lump_weighted also survives zero-weight blocks.
+        let p = lumpable_chain();
+        let part4 = Partition::from_labels(vec![0, 0, 1, 1]).unwrap();
+        let l = lump_weighted(&p, &part4, &[0.0, 0.0, 0.5, 0.5]).unwrap();
+        assert_eq!(l.n(), 2);
+    }
+
+    #[test]
+    fn discrete_partition_lumps_to_self() {
+        let p = lumpable_chain();
+        let part = Partition::discrete(4);
+        let l = lump_weighted(&p, &part, &[1.0; 4]).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((l.prob(i, j) - p.prob(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! The Poisson equation and asymptotic variance of time averages.
+//!
+//! The paper's infeasibility argument — simulation needs astronomically
+//! many symbols — is quantified by the Markov-chain central limit theorem:
+//! the time average `S_n = (1/n) Σ f(X_k)` satisfies
+//! `√n (S_n − π f) → N(0, σ²)` with the *asymptotic variance*
+//!
+//! ```text
+//! σ² = 2 π(f̄ h) − π(f̄²),    (I − P) h = f̄,    f̄ = f − π(f) 1,
+//! ```
+//!
+//! where `h` solves the chain's **Poisson equation**. Because successive
+//! symbols are correlated through the loop, σ² can exceed the i.i.d.
+//! variance by the integrated autocorrelation factor — Monte-Carlo BER
+//! estimates need *more* samples than the binomial formula suggests.
+
+use stochcdr_linalg::{vecops, CooMatrix, DenseMatrix, GmresOptions};
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+/// State-count threshold below which the Poisson equation is solved with a
+/// dense bordered system instead of GMRES.
+pub const DENSE_POISSON_CAP: usize = 1500;
+
+/// Solves the Poisson equation `(I − P) h = f − π(f) 1` with the
+/// normalization `π h = 0`.
+///
+/// For chains up to [`DENSE_POISSON_CAP`] states the singular system is
+/// solved exactly via the bordered dense matrix
+/// `[[I − P, 1], [π, 0]]`; larger chains use restarted GMRES on the
+/// (consistent) singular sparse system followed by re-normalization.
+///
+/// # Errors
+///
+/// * [`MarkovError::InvalidArgument`] for length mismatches or a
+///   non-distribution `eta`,
+/// * solver errors from the dense or GMRES paths.
+pub fn poisson_solve(p: &StochasticMatrix, eta: &[f64], f: &[f64]) -> Result<Vec<f64>> {
+    let n = p.n();
+    if eta.len() != n || f.len() != n {
+        return Err(MarkovError::InvalidArgument("length mismatch".into()));
+    }
+    if !vecops::is_nonnegative(eta) || (vecops::sum(eta) - 1.0).abs() > 1e-6 {
+        return Err(MarkovError::InvalidArgument(
+            "eta must be the stationary distribution".into(),
+        ));
+    }
+    let mean: f64 = eta.iter().zip(f).map(|(e, v)| e * v).sum();
+    let fbar: Vec<f64> = f.iter().map(|v| v - mean).collect();
+
+    let mut h = if n <= DENSE_POISSON_CAP {
+        // Bordered system: (I - P) h + c 1 = fbar, pi . h = 0.
+        let mut a = DenseMatrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            a[(i, i)] = 1.0;
+        }
+        for (r, c, v) in p.matrix().iter() {
+            a[(r, c)] -= v;
+        }
+        for i in 0..n {
+            a[(i, n)] = 1.0;
+            a[(n, i)] = eta[i];
+        }
+        let mut rhs = fbar.clone();
+        rhs.push(0.0);
+        let sol = a.solve(&rhs)?;
+        sol[..n].to_vec()
+    } else {
+        // GMRES on the consistent singular system; the Krylov space stays
+        // in the range of (I - P), so the iteration converges to *a*
+        // solution, which the normalization below pins down.
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 1.0);
+        }
+        for (r, c, v) in p.matrix().iter() {
+            coo.push(r, c, -v);
+        }
+        let a = coo.to_csr();
+        let opts = GmresOptions { restart: 80, tol: 1e-10, max_iters: 200_000 };
+        stochcdr_linalg::gmres(&a, &fbar, None, &opts)?.x
+    };
+    // Normalize: pi . h = 0.
+    let bias: f64 = eta.iter().zip(&h).map(|(e, v)| e * v).sum();
+    for v in h.iter_mut() {
+        *v -= bias;
+    }
+    Ok(h)
+}
+
+/// Asymptotic variance `σ²` of the time average of `f` under stationarity
+/// (the Markov-chain CLT variance).
+///
+/// `σ² / n` is the variance of an `n`-symbol Monte-Carlo estimate of
+/// `π(f)`; the ratio `σ² / Var_π(f)` is the *integrated autocorrelation
+/// factor* by which correlated sampling inflates the required run length.
+///
+/// # Errors
+///
+/// Propagates [`poisson_solve`] errors.
+pub fn asymptotic_variance(p: &StochasticMatrix, eta: &[f64], f: &[f64]) -> Result<f64> {
+    let h = poisson_solve(p, eta, f)?;
+    let mean: f64 = eta.iter().zip(f).map(|(e, v)| e * v).sum();
+    let mut two_fh = 0.0;
+    let mut f2 = 0.0;
+    for i in 0..p.n() {
+        let fb = f[i] - mean;
+        two_fh += 2.0 * eta[i] * fb * h[i];
+        f2 += eta[i] * fb * fb;
+    }
+    Ok((two_fh - f2).max(0.0))
+}
+
+/// Symbols required for a Monte-Carlo estimate of `π(f)` with 95 %
+/// confidence half-width `half_width`, accounting for chain correlation.
+///
+/// # Errors
+///
+/// Propagates [`asymptotic_variance`] errors; returns
+/// [`MarkovError::InvalidArgument`] if `half_width <= 0`.
+pub fn required_samples(
+    p: &StochasticMatrix,
+    eta: &[f64],
+    f: &[f64],
+    half_width: f64,
+) -> Result<f64> {
+    if half_width <= 0.0 {
+        return Err(MarkovError::InvalidArgument("half width must be positive".into()));
+    }
+    let sigma2 = asymptotic_variance(p, eta, f)?;
+    Ok((1.96 / half_width).powi(2) * sigma2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::functional::autocovariance;
+    use crate::stationary::{GthSolver, StationarySolver};
+    use stochcdr_linalg::CooMatrix;
+
+    fn two_state(a: f64, b: f64) -> StochasticMatrix {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0 - a);
+        coo.push(0, 1, a);
+        coo.push(1, 0, b);
+        coo.push(1, 1, 1.0 - b);
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn poisson_equation_residual_is_zero() {
+        let p = two_state(0.3, 0.5);
+        let eta = GthSolver::new().solve(&p, None).unwrap().distribution;
+        let f = [1.0, 4.0];
+        let h = poisson_solve(&p, &eta, &f).unwrap();
+        // (I - P) h must equal f - pi(f).
+        let mean: f64 = eta.iter().zip(&f).map(|(e, v)| e * v).sum();
+        let ph = p.matrix().mul_right(&h);
+        for i in 0..2 {
+            assert!((h[i] - ph[i] - (f[i] - mean)).abs() < 1e-10);
+        }
+        // Normalization.
+        let bias: f64 = eta.iter().zip(&h).map(|(e, v)| e * v).sum();
+        assert!(bias.abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_state_closed_form_variance() {
+        // For f = indicator(state 1): sigma^2 = pi0 pi1 (1 + rho)/(1 - rho)
+        // with rho = 1 - a - b.
+        let (a, b) = (0.2, 0.3);
+        let p = two_state(a, b);
+        let eta = GthSolver::new().solve(&p, None).unwrap().distribution;
+        let f = [0.0, 1.0];
+        let rho: f64 = 1.0 - a - b;
+        let expect = eta[0] * eta[1] * (1.0 + rho) / (1.0 - rho);
+        let got = asymptotic_variance(&p, &eta, &f).unwrap();
+        assert!((got - expect).abs() < 1e-10, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn iid_chain_reduces_to_plain_variance() {
+        // Rows identical -> consecutive samples independent.
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, 0, 0.5);
+            coo.push(i, 1, 0.3);
+            coo.push(i, 2, 0.2);
+        }
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let eta = vec![0.5, 0.3, 0.2];
+        let f = [1.0, 2.0, 7.0];
+        let sigma2 = asymptotic_variance(&p, &eta, &f).unwrap();
+        let plain = crate::functional::variance(&eta, &f).unwrap();
+        assert!((sigma2 - plain).abs() < 1e-9, "{sigma2} vs {plain}");
+    }
+
+    #[test]
+    fn matches_autocovariance_series() {
+        // sigma^2 = C(0) + 2 sum_{k>=1} C(k).
+        let p = two_state(0.15, 0.25);
+        let eta = GthSolver::new().solve(&p, None).unwrap().distribution;
+        let f = [2.0, -1.0];
+        let c = autocovariance(&p, &eta, &f, 400).unwrap();
+        let series: f64 = c[0] + 2.0 * c[1..].iter().sum::<f64>();
+        let sigma2 = asymptotic_variance(&p, &eta, &f).unwrap();
+        assert!((sigma2 - series).abs() < 1e-8, "{sigma2} vs {series}");
+    }
+
+    #[test]
+    fn positively_correlated_chains_need_more_samples() {
+        // Sticky chain (rho > 0) inflates the requirement vs a fast chain.
+        let sticky = two_state(0.05, 0.05);
+        let fast = two_state(0.5, 0.5);
+        let f = [0.0, 1.0];
+        let eta = [0.5, 0.5];
+        let ns = required_samples(&sticky, &eta, &f, 0.01).unwrap();
+        let nf = required_samples(&fast, &eta, &f, 0.01).unwrap();
+        assert!(ns > nf * 5.0, "sticky {ns:.0} vs fast {nf:.0}");
+        assert!(required_samples(&fast, &eta, &f, 0.0).is_err());
+    }
+
+    #[test]
+    fn argument_validation() {
+        let p = two_state(0.3, 0.3);
+        assert!(poisson_solve(&p, &[1.0], &[0.0, 1.0]).is_err());
+        assert!(poisson_solve(&p, &[0.9, 0.3], &[0.0, 1.0]).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Trajectory simulation of Markov chains.
+//!
+//! The paper's whole point is that simulation cannot certify rare events —
+//! but simulation remains the universal *validator*: an empirical
+//! occupancy histogram must converge to the stationary distribution, and
+//! empirical hitting times to the first-passage solves. This module
+//! provides the generic sampler used for such cross-checks (the CDR crate
+//! has its own structure-aware simulator).
+
+use rand::Rng;
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+/// A prepared sampler over a chain: per-row cumulative distributions for
+/// `O(log fanout)` transitions.
+#[derive(Debug, Clone)]
+pub struct ChainSampler {
+    /// Row start offsets into `targets`/`cdf`.
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    cdf: Vec<f64>,
+}
+
+impl ChainSampler {
+    /// Prepares a sampler from a validated chain.
+    pub fn new(p: &StochasticMatrix) -> Self {
+        let m = p.matrix();
+        let mut offsets = Vec::with_capacity(p.n() + 1);
+        let mut targets = Vec::with_capacity(p.nnz());
+        let mut cdf = Vec::with_capacity(p.nnz());
+        offsets.push(0);
+        for i in 0..p.n() {
+            let mut acc = 0.0;
+            for (j, v) in m.row(i) {
+                acc += v;
+                targets.push(j as u32);
+                cdf.push(acc);
+            }
+            // Absorb round-off so sampling never falls off the row.
+            if let Some(last) = cdf.last_mut() {
+                *last = 1.0;
+            }
+            offsets.push(targets.len());
+        }
+        ChainSampler { offsets, targets, cdf }
+    }
+
+    /// Number of states.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Draws the successor of `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn step<R: Rng + ?Sized>(&self, state: usize, rng: &mut R) -> usize {
+        let (lo, hi) = (self.offsets[state], self.offsets[state + 1]);
+        assert!(hi > lo, "state {state} has no outgoing transitions");
+        let u: f64 = rng.gen();
+        let row = &self.cdf[lo..hi];
+        let k = row.partition_point(|&c| c < u).min(row.len() - 1);
+        self.targets[lo + k] as usize
+    }
+
+    /// Walks `steps` transitions from `start`, returning the visited-state
+    /// occupancy counts (including the start state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] if `start` is out of range.
+    pub fn occupancy<R: Rng + ?Sized>(
+        &self,
+        start: usize,
+        steps: u64,
+        rng: &mut R,
+    ) -> Result<Vec<u64>> {
+        if start >= self.n() {
+            return Err(MarkovError::InvalidArgument(format!(
+                "start state {start} out of range 0..{}",
+                self.n()
+            )));
+        }
+        let mut counts = vec![0u64; self.n()];
+        let mut s = start;
+        for _ in 0..steps {
+            counts[s] += 1;
+            s = self.step(s, rng);
+        }
+        counts[s] += 1;
+        Ok(counts)
+    }
+
+    /// Empirical hitting time of `target` from `start`, capped at
+    /// `max_steps` (returns `None` when the cap is reached first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] for out-of-range states.
+    pub fn hitting_time<R: Rng + ?Sized>(
+        &self,
+        start: usize,
+        target: &[usize],
+        max_steps: u64,
+        rng: &mut R,
+    ) -> Result<Option<u64>> {
+        if start >= self.n() {
+            return Err(MarkovError::InvalidArgument("start out of range".into()));
+        }
+        let mut in_target = vec![false; self.n()];
+        for &t in target {
+            if t >= self.n() {
+                return Err(MarkovError::InvalidArgument("target out of range".into()));
+            }
+            in_target[t] = true;
+        }
+        let mut s = start;
+        for k in 0..max_steps {
+            if in_target[s] {
+                return Ok(Some(k));
+            }
+            s = self.step(s, rng);
+        }
+        Ok(None)
+    }
+}
+
+/// Total-variation distance between an occupancy histogram and a reference
+/// distribution.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the histogram is empty.
+pub fn occupancy_tv(counts: &[u64], reference: &[f64]) -> f64 {
+    assert_eq!(counts.len(), reference.len(), "length mismatch");
+    let total: u64 = counts.iter().sum();
+    assert!(total > 0, "empty histogram");
+    0.5 * counts
+        .iter()
+        .zip(reference)
+        .map(|(&c, &r)| (c as f64 / total as f64 - r).abs())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passage::{mean_hitting_times, PassageOptions};
+    use crate::stationary::{GthSolver, StationarySolver};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use stochcdr_linalg::CooMatrix;
+
+    fn chain(n: usize, edges: &[(usize, usize, f64)]) -> StochasticMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for &(r, c, v) in edges {
+            coo.push(r, c, v);
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    fn ring(n: usize) -> StochasticMatrix {
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 0.5);
+            coo.push(i, (i + n - 1) % n, 0.3);
+            coo.push(i, i, 0.2);
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn occupancy_converges_to_stationary() {
+        let p = ring(12);
+        let eta = GthSolver::new().solve(&p, None).unwrap().distribution;
+        let sampler = ChainSampler::new(&p);
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts = sampler.occupancy(0, 200_000, &mut rng).unwrap();
+        let tv = occupancy_tv(&counts, &eta);
+        assert!(tv < 0.01, "TV {tv}");
+    }
+
+    #[test]
+    fn deterministic_chain_cycles() {
+        let p = chain(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        let sampler = ChainSampler::new(&p);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.step(0, &mut rng), 1);
+        assert_eq!(sampler.step(1, &mut rng), 2);
+        assert_eq!(sampler.step(2, &mut rng), 0);
+    }
+
+    #[test]
+    fn empirical_hitting_time_matches_passage_solve() {
+        // Reflecting fair walk to an absorbing end (from passage tests:
+        // E[T | start 0] = 12).
+        let p = chain(4, &[
+            (0, 0, 0.5), (0, 1, 0.5),
+            (1, 0, 0.5), (1, 2, 0.5),
+            (2, 1, 0.5), (2, 3, 0.5),
+            (3, 3, 1.0),
+        ]);
+        let exact = mean_hitting_times(&p, &[3], &PassageOptions::default()).unwrap()[0];
+        let sampler = ChainSampler::new(&p);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            total += sampler.hitting_time(0, &[3], 100_000, &mut rng).unwrap().unwrap();
+        }
+        let mean = total as f64 / n as f64;
+        assert!((mean / exact - 1.0).abs() < 0.05, "empirical {mean} vs exact {exact}");
+    }
+
+    #[test]
+    fn cap_reports_none() {
+        let p = chain(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let sampler = ChainSampler::new(&p);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(sampler.hitting_time(0, &[1], 100, &mut rng).unwrap(), None);
+    }
+
+    #[test]
+    fn argument_validation() {
+        let p = ring(4);
+        let sampler = ChainSampler::new(&p);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sampler.occupancy(9, 10, &mut rng).is_err());
+        assert!(sampler.hitting_time(0, &[9], 10, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Gauss–Seidel iteration for the stationary distribution.
+
+use stochcdr_linalg::vecops;
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+use super::{initial_vector, StationaryResult, StationarySolver};
+
+/// Gauss–Seidel iteration on the stationarity equations.
+///
+/// Like [`JacobiSolver`](super::JacobiSolver) but each state immediately uses
+/// the freshest values of previously-updated states within a sweep:
+///
+/// ```text
+/// for i in 0..n:  η_i ← (Σ_{j≠i} η_j^{latest} p_ji) / (1 − p_ii)
+/// ```
+///
+/// Sweeps run over the rows of `P^T` (the in-neighbors of each state), which
+/// the [`StochasticMatrix`] caches. Typically converges in roughly half the
+/// iterations of Jacobi on these chains and is the classical accelerated
+/// baseline the paper's aggregation/disaggregation methods are built on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussSeidelSolver {
+    tol: f64,
+    max_iters: usize,
+}
+
+impl GaussSeidelSolver {
+    /// Creates a solver with the given L1 change tolerance and budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0` or `max_iters == 0`.
+    pub fn new(tol: f64, max_iters: usize) -> Self {
+        assert!(tol > 0.0, "tolerance must be positive");
+        assert!(max_iters > 0, "iteration budget must be positive");
+        GaussSeidelSolver { tol, max_iters }
+    }
+
+    /// Performs one forward sweep in place; returns the L1 change.
+    ///
+    /// Absorbing states (`p_ii = 1`) keep their value, as in Jacobi.
+    ///
+    /// A sweep can annihilate a vector whose support lies "behind" the
+    /// sweep order (e.g. a delta at state 0 whose mass is overwritten
+    /// before it propagates); the vector is then left at exactly zero and
+    /// the caller must re-seed. [`solve`](StationarySolver::solve) handles
+    /// this automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != p.n()`.
+    pub fn sweep_once(&self, p: &StochasticMatrix, x: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), p.n(), "vector length must match state count");
+        let pt = p.transposed();
+        let mut change = 0.0;
+        for i in 0..p.n() {
+            let mut acc = 0.0;
+            let mut pii = 0.0;
+            for (j, v) in pt.row(i) {
+                if j == i {
+                    pii = v;
+                } else {
+                    acc += v * x[j];
+                }
+            }
+            let denom = 1.0 - pii;
+            if denom > f64::EPSILON {
+                let new = (acc / denom).max(0.0);
+                change += (new - x[i]).abs();
+                x[i] = new;
+            }
+        }
+        vecops::normalize_l1(x);
+        change
+    }
+}
+
+impl Default for GaussSeidelSolver {
+    /// Tolerance `1e-12`, budget `100_000`.
+    fn default() -> Self {
+        GaussSeidelSolver::new(1e-12, 100_000)
+    }
+}
+
+impl StationarySolver for GaussSeidelSolver {
+    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
+        let mut x = initial_vector(p.n(), init)?;
+        for it in 1..=self.max_iters {
+            let change = self.sweep_once(p, &mut x);
+            if vecops::sum(&x) == 0.0 {
+                // The sweep annihilated the iterate (possible for
+                // concentrated starts); re-seed with the uniform vector.
+                x = vecops::uniform(p.n());
+                continue;
+            }
+            if change <= self.tol {
+                let residual = p.stationary_residual(&x);
+                vecops::clamp_roundoff(&mut x, 1e-12);
+                return Ok(StationaryResult { distribution: x, iterations: it, residual });
+            }
+        }
+        let residual = p.stationary_residual(&x);
+        Err(MarkovError::NotConverged { iterations: self.max_iters, residual })
+    }
+
+    fn name(&self) -> &'static str {
+        "gauss-seidel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_chains::{birth_death, pseudo_random, two_state};
+    use super::super::{JacobiSolver, PowerIteration};
+    use super::*;
+
+    #[test]
+    fn two_state_exact() {
+        let (p, pi) = two_state(0.25, 0.75);
+        let r = GaussSeidelSolver::default().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_other_solvers() {
+        let p = pseudo_random(25, 99);
+        let gs = GaussSeidelSolver::default().solve(&p, None).unwrap();
+        let pw = PowerIteration::default().solve(&p, None).unwrap();
+        let jc = JacobiSolver::default().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&gs.distribution, &pw.distribution) < 1e-8);
+        assert!(vecops::dist1(&gs.distribution, &jc.distribution) < 1e-8);
+    }
+
+    #[test]
+    fn faster_than_jacobi_on_birth_death() {
+        let (p, _) = birth_death(30, 0.48);
+        let gs = GaussSeidelSolver::new(1e-10, 200_000).solve(&p, None).unwrap();
+        // Undamped Jacobi oscillates on this near-bipartite chain; use the
+        // damped variant for a fair iteration-count comparison.
+        let jc = JacobiSolver::new(1e-10, 200_000, 0.7).solve(&p, None).unwrap();
+        assert!(
+            gs.iterations < jc.iterations,
+            "GS {} iters vs Jacobi {}",
+            gs.iterations,
+            jc.iterations
+        );
+    }
+
+    #[test]
+    fn delta_start_does_not_collapse_to_zero() {
+        // A delta at state 0 is annihilated by one forward sweep (its mass
+        // is overwritten before propagating); the solver must recover
+        // rather than report the zero vector as converged.
+        let (p, pi) = two_state(0.3, 0.6);
+        let r = GaussSeidelSolver::default().solve(&p, Some(&[1.0, 0.0])).unwrap();
+        assert!((vecops::sum(&r.distribution) - 1.0).abs() < 1e-12);
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-9);
+    }
+
+    #[test]
+    fn result_is_stationary() {
+        let (p, _) = birth_death(12, 0.3);
+        let r = GaussSeidelSolver::default().solve(&p, None).unwrap();
+        assert!(p.stationary_residual(&r.distribution) < 1e-9);
+        assert!(vecops::is_nonnegative(&r.distribution));
+    }
+}

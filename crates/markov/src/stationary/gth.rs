@@ -1,0 +1,192 @@
+//! Direct GTH (Grassmann–Taksar–Heyman) stationary solver.
+
+use stochcdr_linalg::{vecops, DenseMatrix};
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+use super::{StationaryResult, StationarySolver};
+
+/// Direct stationary solver using Grassmann–Taksar–Heyman state elimination.
+///
+/// GTH is the numerically preferred direct method for stationary
+/// distributions: it performs no subtractions, so it cannot suffer the
+/// catastrophic cancellation Gaussian elimination exhibits on singular
+/// `I − P` systems. Cost is `O(n^3)` time and `O(n^2)` space — exactly right
+/// for the *coarsest* level of the multigrid hierarchy ("the coarsest
+/// problem is solved exactly with a direct method" in the paper) and for
+/// reference solutions in tests.
+///
+/// The derivation is censoring: eliminating state `k` replaces the chain by
+/// the chain *watched only on states `< k`*, with transitions
+/// `p'_ij = p_ij + p_ik · p_kj / s_k` where `s_k = Σ_{j<k} p_kj` is the
+/// probability of leaving `k` downward. Back-substitution then rebuilds the
+/// full stationary vector from `π_0 = 1`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GthSolver {
+    _private: (),
+}
+
+impl GthSolver {
+    /// Creates a GTH solver.
+    pub fn new() -> Self {
+        GthSolver::default()
+    }
+
+    /// Runs GTH elimination on an explicit dense matrix.
+    ///
+    /// Exposed separately so the multigrid coarse solver can reuse a dense
+    /// scratch matrix without round-tripping through sparse storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::Reducible`] when some state cannot reach the
+    /// states below it (elimination breaks down), and
+    /// [`MarkovError::NotSquare`] for non-square input.
+    pub fn solve_dense(&self, a: &DenseMatrix) -> Result<Vec<f64>> {
+        if a.rows() != a.cols() {
+            return Err(MarkovError::NotSquare { rows: a.rows(), cols: a.cols() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(MarkovError::InvalidArgument("empty chain".into()));
+        }
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+        let mut p = a.clone();
+        // Elimination phase: remove states n-1, n-2, ..., 1.
+        for k in (1..n).rev() {
+            let s: f64 = (0..k).map(|j| p[(k, j)]).sum();
+            if s <= 0.0 {
+                return Err(MarkovError::Reducible(format!(
+                    "state {k} has no transitions into states 0..{k}"
+                )));
+            }
+            for j in 0..k {
+                p[(k, j)] /= s;
+            }
+            for i in 0..k {
+                let pik = p[(i, k)];
+                if pik == 0.0 {
+                    continue;
+                }
+                for j in 0..k {
+                    let pkj = p[(k, j)];
+                    if pkj != 0.0 {
+                        p[(i, j)] += pik * pkj;
+                    }
+                }
+            }
+            // Record the normalizer in the (k,k) slot for back-substitution.
+            p[(k, k)] = s;
+        }
+        // Back-substitution phase.
+        let mut pi = vec![0.0; n];
+        pi[0] = 1.0;
+        for k in 1..n {
+            let mut acc = 0.0;
+            for i in 0..k {
+                acc += pi[i] * p[(i, k)];
+            }
+            pi[k] = acc / p[(k, k)];
+        }
+        vecops::normalize_l1(&mut pi);
+        Ok(pi)
+    }
+}
+
+impl StationarySolver for GthSolver {
+    fn solve(&self, p: &StochasticMatrix, _init: Option<&[f64]>) -> Result<StationaryResult> {
+        let dense = p.matrix().to_dense();
+        let pi = self.solve_dense(&dense)?;
+        let residual = p.stationary_residual(&pi);
+        Ok(StationaryResult { distribution: pi, iterations: 1, residual })
+    }
+
+    fn name(&self) -> &'static str {
+        "gth"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_chains::{birth_death, pseudo_random, two_state};
+    use super::super::PowerIteration;
+    use super::*;
+
+    #[test]
+    fn two_state_closed_form() {
+        let (p, pi) = two_state(0.3, 0.7);
+        let r = GthSolver::new().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-14);
+        assert!(r.residual < 1e-14);
+    }
+
+    #[test]
+    fn periodic_chain_handled_exactly() {
+        // Power iteration cannot solve the deterministic toggle; GTH can.
+        let (p, pi) = two_state(1.0, 1.0);
+        let r = GthSolver::new().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-14);
+    }
+
+    #[test]
+    fn birth_death_matches_geometric() {
+        let (p, pi) = birth_death(25, 0.35);
+        let r = GthSolver::new().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_power_iteration() {
+        let p = pseudo_random(40, 5);
+        let a = GthSolver::new().solve(&p, None).unwrap();
+        let b = PowerIteration::default().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&a.distribution, &b.distribution) < 1e-9);
+    }
+
+    #[test]
+    fn reducible_chain_rejected() {
+        // Two absorbing states: no unique stationary distribution.
+        let mut coo = stochcdr_linalg::CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        assert!(matches!(GthSolver::new().solve(&p, None), Err(MarkovError::Reducible(_))));
+    }
+
+    #[test]
+    fn singleton_chain() {
+        let mut coo = stochcdr_linalg::CooMatrix::new(1, 1);
+        coo.push(0, 0, 1.0);
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let r = GthSolver::new().solve(&p, None).unwrap();
+        assert_eq!(r.distribution, vec![1.0]);
+    }
+
+    #[test]
+    fn stiff_chain_retains_accuracy() {
+        // Nearly-decomposable chain: two tight clusters with epsilon
+        // coupling — the classic case where naive elimination loses digits.
+        let eps = 1e-12;
+        let mut coo = stochcdr_linalg::CooMatrix::new(4, 4);
+        // Cluster {0,1}.
+        coo.push(0, 0, 0.5 - eps / 2.0);
+        coo.push(0, 1, 0.5 - eps / 2.0);
+        coo.push(0, 2, eps);
+        coo.push(1, 0, 0.5);
+        coo.push(1, 1, 0.5);
+        // Cluster {2,3}.
+        coo.push(2, 2, 0.5 - eps / 2.0);
+        coo.push(2, 3, 0.5 - eps / 2.0);
+        coo.push(2, 0, eps);
+        coo.push(3, 2, 0.5);
+        coo.push(3, 3, 0.5);
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let r = GthSolver::new().solve(&p, None).unwrap();
+        // By symmetry both clusters carry mass 1/2, split evenly inside.
+        for &v in &r.distribution {
+            assert!((v - 0.25).abs() < 1e-9, "got {:?}", r.distribution);
+        }
+    }
+}

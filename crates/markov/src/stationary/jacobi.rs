@@ -1,0 +1,174 @@
+//! Damped Jacobi iteration for the stationary distribution.
+
+use stochcdr_linalg::vecops;
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+use super::{initial_vector, StationaryResult, StationarySolver};
+
+/// Damped (weighted) Jacobi iteration on the stationarity equations.
+///
+/// From `η = η P`, each component satisfies
+/// `η_i = (Σ_{j≠i} η_j p_ji) / (1 − p_ii)`, which is the Jacobi update for
+/// the singular system `(P^T − I) η = 0`. A damping factor `ω ∈ (0, 1]`
+/// blends the update with the previous iterate:
+///
+/// ```text
+/// η_i ← (1 − ω) η_i + ω (Σ_{j≠i} η_j p_ji) / (1 − p_ii)
+/// ```
+///
+/// Damped Jacobi is also the *smoother* used between grid transfers in the
+/// paper's multigrid method ("the lumping and expanding steps are
+/// interleaved with simple Gauss–Jacobi iterations"); the `sweeps_once`
+/// entry point exists for that use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JacobiSolver {
+    tol: f64,
+    max_iters: usize,
+    omega: f64,
+}
+
+impl JacobiSolver {
+    /// Creates a solver with tolerance, iteration budget and damping `ω`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0`, `max_iters == 0`, or `ω ∉ (0, 1]`.
+    pub fn new(tol: f64, max_iters: usize, omega: f64) -> Self {
+        assert!(tol > 0.0, "tolerance must be positive");
+        assert!(max_iters > 0, "iteration budget must be positive");
+        assert!(omega > 0.0 && omega <= 1.0, "damping must be in (0, 1]");
+        JacobiSolver { tol, max_iters, omega }
+    }
+
+    /// Damping factor `ω`.
+    pub fn omega(&self) -> f64 {
+        self.omega
+    }
+
+    /// Performs one damped Jacobi sweep in place and returns the L1 change.
+    ///
+    /// `x` must be a probability vector; it remains one afterwards. States
+    /// with `p_ii = 1` (absorbing) keep their current value: the update is
+    /// undefined there and any mass they hold is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != p.n()`.
+    pub fn sweep_once(&self, p: &StochasticMatrix, x: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), p.n(), "vector length must match state count");
+        let pt = p.transposed();
+        let mut y = vec![0.0; p.n()];
+        // y_i = Σ_j x_j p_ji = (P^T x)_i, computed row-wise on P^T.
+        pt.mul_right_into(x, &mut y);
+        let mut change = 0.0;
+        for i in 0..p.n() {
+            let pii = p.prob(i, i);
+            let denom = 1.0 - pii;
+            let new = if denom > f64::EPSILON {
+                // Remove the diagonal term included in y_i.
+                ((y[i] - pii * x[i]) / denom).max(0.0)
+            } else {
+                x[i]
+            };
+            let blended = (1.0 - self.omega) * x[i] + self.omega * new;
+            change += (blended - x[i]).abs();
+            y[i] = blended;
+        }
+        x.copy_from_slice(&y);
+        vecops::normalize_l1(x);
+        change
+    }
+}
+
+impl Default for JacobiSolver {
+    /// Tolerance `1e-12`, budget `100_000`, damping `0.8`.
+    fn default() -> Self {
+        JacobiSolver::new(1e-12, 100_000, 0.8)
+    }
+}
+
+impl StationarySolver for JacobiSolver {
+    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
+        let mut x = initial_vector(p.n(), init)?;
+        for it in 1..=self.max_iters {
+            let change = self.sweep_once(p, &mut x);
+            if vecops::sum(&x) == 0.0 {
+                // Degenerate iterate (possible for adversarial starts on
+                // structured chains); re-seed with the uniform vector.
+                x = vecops::uniform(p.n());
+                continue;
+            }
+            if change <= self.tol {
+                let residual = p.stationary_residual(&x);
+                vecops::clamp_roundoff(&mut x, 1e-12);
+                return Ok(StationaryResult { distribution: x, iterations: it, residual });
+            }
+        }
+        let residual = p.stationary_residual(&x);
+        Err(MarkovError::NotConverged { iterations: self.max_iters, residual })
+    }
+
+    fn name(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_chains::{birth_death, pseudo_random, two_state};
+    use super::*;
+
+    #[test]
+    fn two_state_exact() {
+        let (p, pi) = two_state(0.2, 0.5);
+        let r = JacobiSolver::default().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-9);
+    }
+
+    #[test]
+    fn birth_death_converges() {
+        let (p, pi) = birth_death(15, 0.45);
+        let r = JacobiSolver::default().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-8);
+    }
+
+    #[test]
+    fn agrees_with_power_on_random_chain() {
+        use super::super::PowerIteration;
+        let p = pseudo_random(25, 7);
+        let a = JacobiSolver::default().solve(&p, None).unwrap();
+        let b = PowerIteration::default().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&a.distribution, &b.distribution) < 1e-8);
+    }
+
+    #[test]
+    fn sweep_reduces_residual() {
+        let p = pseudo_random(20, 3);
+        let mut x = vecops::uniform(20);
+        let r0 = p.stationary_residual(&x);
+        let solver = JacobiSolver::default();
+        for _ in 0..20 {
+            solver.sweep_once(&p, &mut x);
+        }
+        assert!(p.stationary_residual(&x) < r0 * 0.5);
+    }
+
+    #[test]
+    fn absorbing_state_mass_preserved() {
+        // State 1 absorbing; all mass should end up there.
+        let mut coo = stochcdr_linalg::CooMatrix::new(2, 2);
+        coo.push(0, 0, 0.5);
+        coo.push(0, 1, 0.5);
+        coo.push(1, 1, 1.0);
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let r = JacobiSolver::default().solve(&p, None).unwrap();
+        assert!(r.distribution[1] > 0.999999);
+    }
+
+    #[test]
+    fn invalid_damping_panics() {
+        let result = std::panic::catch_unwind(|| JacobiSolver::new(1e-9, 10, 1.5));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,195 @@
+//! Solvers for the stationary distribution `η P = η`, `η 1 = 1`.
+//!
+//! The paper frames this as "the most basic analysis for MCs": computing the
+//! left eigenvector of the stochastic matrix `P` for eigenvalue 1, posed
+//! either as an eigenvalue problem or as the homogeneous linear system
+//! `(P^T − I) η^T = 0` with the normalization `η ξ = 1`.
+//!
+//! Four solvers are provided:
+//!
+//! * [`PowerIteration`] — `η_{k+1} = η_k P`; robust, slow for stiff chains,
+//! * [`JacobiSolver`] — damped Jacobi on the stationarity equations; also
+//!   the smoother inside the multigrid solver ("Gauss–Jacobi" in the paper),
+//! * [`GaussSeidelSolver`] — forward sweeps using the transposed matrix,
+//! * [`GthSolver`] — direct Grassmann–Taksar–Heyman elimination
+//!   (subtraction-free, numerically exact up to round-off); `O(n^3)`, used
+//!   for small chains and the coarsest multigrid level.
+//!
+//! The multigrid method of the paper lives in the `stochcdr-multigrid`
+//! crate and implements the same [`StationarySolver`] trait.
+
+mod gauss_seidel;
+mod gth;
+mod jacobi;
+mod power;
+
+pub use gauss_seidel::GaussSeidelSolver;
+pub use gth::GthSolver;
+pub use jacobi::JacobiSolver;
+pub use power::PowerIteration;
+
+use crate::{Result, StochasticMatrix};
+
+/// Outcome of a stationary-distribution solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StationaryResult {
+    /// The stationary distribution `η` (non-negative, sums to one).
+    pub distribution: Vec<f64>,
+    /// Iterations performed (1 for direct solvers).
+    pub iterations: usize,
+    /// Final residual `||η P − η||_1`.
+    pub residual: f64,
+}
+
+/// A solver computing the stationary distribution of a Markov chain.
+///
+/// Implementations must return a non-negative vector summing to one whose
+/// residual `||η P − η||_1` meets the solver's own tolerance, or an error.
+pub trait StationarySolver {
+    /// Computes the stationary distribution.
+    ///
+    /// `init` optionally seeds iterative methods; direct methods ignore it.
+    /// When `None`, the uniform distribution is used.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::MarkovError::NotConverged`] when the iteration budget is
+    ///   exhausted,
+    /// * [`crate::MarkovError::Reducible`] when the method requires an
+    ///   irreducible chain and the structure makes the solve impossible,
+    /// * [`crate::MarkovError::InvalidArgument`] for malformed `init`.
+    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult>;
+
+    /// Short human-readable name used in reports and benchmarks.
+    fn name(&self) -> &'static str;
+}
+
+/// Validates/creates the starting vector shared by the iterative solvers.
+pub(crate) fn initial_vector(n: usize, init: Option<&[f64]>) -> Result<Vec<f64>> {
+    use crate::MarkovError;
+    match init {
+        None => Ok(stochcdr_linalg::vecops::uniform(n)),
+        Some(x) => {
+            if x.len() != n {
+                return Err(MarkovError::InvalidArgument(format!(
+                    "initial vector length {} != state count {n}",
+                    x.len()
+                )));
+            }
+            if !stochcdr_linalg::vecops::is_nonnegative(x) {
+                return Err(MarkovError::InvalidArgument(
+                    "initial vector must be non-negative and finite".into(),
+                ));
+            }
+            let mut x = x.to_vec();
+            if !stochcdr_linalg::vecops::normalize_l1(&mut x) {
+                return Err(MarkovError::InvalidArgument(
+                    "initial vector must have positive mass".into(),
+                ));
+            }
+            Ok(x)
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_chains {
+    //! Chains with known stationary distributions, shared by solver tests.
+
+    use stochcdr_linalg::CooMatrix;
+
+    use crate::StochasticMatrix;
+
+    /// Two-state chain with stationary distribution `(b, a) / (a + b)`.
+    pub fn two_state(a: f64, b: f64) -> (StochasticMatrix, Vec<f64>) {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0 - a);
+        coo.push(0, 1, a);
+        coo.push(1, 0, b);
+        coo.push(1, 1, 1.0 - b);
+        let pi = vec![b / (a + b), a / (a + b)];
+        (StochasticMatrix::new(coo.to_csr()).unwrap(), pi)
+    }
+
+    /// Birth–death random walk on `0..n` with up-probability `p`,
+    /// down-probability `q = 1 - p`, reflecting at the ends.
+    /// Stationary distribution is geometric with ratio `p/q`.
+    pub fn birth_death(n: usize, p: f64) -> (StochasticMatrix, Vec<f64>) {
+        let q = 1.0 - p;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            if i == 0 {
+                coo.push(0, 1, p);
+                coo.push(0, 0, q);
+            } else if i == n - 1 {
+                coo.push(i, i - 1, q);
+                coo.push(i, i, p);
+            } else {
+                coo.push(i, i + 1, p);
+                coo.push(i, i - 1, q);
+            }
+        }
+        // Detailed balance: pi[i+1]/pi[i] = p/q.
+        let r = p / q;
+        let mut pi = Vec::with_capacity(n);
+        let mut v = 1.0;
+        for _ in 0..n {
+            pi.push(v);
+            v *= r;
+        }
+        let s: f64 = pi.iter().sum();
+        for v in &mut pi {
+            *v /= s;
+        }
+        (StochasticMatrix::new(coo.to_csr()).unwrap(), pi)
+    }
+
+    /// Random dense-ish stochastic matrix with a deterministic seed
+    /// (reproducible across runs without pulling in `rand`).
+    pub fn pseudo_random(n: usize, seed: u64) -> StochasticMatrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let mut row: Vec<f64> = (0..n).map(|_| next() + 1e-3).collect();
+            let s: f64 = row.iter().sum();
+            for v in &mut row {
+                *v /= s;
+            }
+            for (j, v) in row.into_iter().enumerate() {
+                coo.push(i, j, v);
+            }
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_vector_defaults_to_uniform() {
+        let x = initial_vector(4, None).unwrap();
+        assert_eq!(x, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn initial_vector_normalizes() {
+        let x = initial_vector(2, Some(&[1.0, 3.0])).unwrap();
+        assert_eq!(x, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn initial_vector_rejects_bad_input() {
+        assert!(initial_vector(2, Some(&[1.0])).is_err());
+        assert!(initial_vector(2, Some(&[-1.0, 2.0])).is_err());
+        assert!(initial_vector(2, Some(&[0.0, 0.0])).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Power iteration for the stationary distribution.
+
+use stochcdr_linalg::vecops;
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+use super::{initial_vector, StationaryResult, StationarySolver};
+
+/// Power iteration: `η_{k+1} = η_k P`, renormalized in L1.
+///
+/// Converges for any aperiodic chain at rate `|λ₂|` (the subdominant
+/// eigenvalue magnitude). For the stiff, nearly-decomposable chains produced
+/// by CDR models `|λ₂|` is extremely close to one — this is precisely why
+/// the paper develops a multigrid solver. Power iteration remains the
+/// baseline every other solver is validated against.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_linalg::CooMatrix;
+/// use stochcdr_markov::{StochasticMatrix, stationary::{PowerIteration, StationarySolver}};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 0, 0.5); coo.push(0, 1, 0.5);
+/// coo.push(1, 0, 0.5); coo.push(1, 1, 0.5);
+/// let p = StochasticMatrix::new(coo.to_csr())?;
+/// let r = PowerIteration::new(1e-12, 100).solve(&p, None)?;
+/// assert_eq!(r.distribution, vec![0.5, 0.5]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerIteration {
+    tol: f64,
+    max_iters: usize,
+}
+
+impl PowerIteration {
+    /// Creates a solver with the given L1 residual tolerance and iteration
+    /// budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0` or `max_iters == 0`.
+    pub fn new(tol: f64, max_iters: usize) -> Self {
+        assert!(tol > 0.0, "tolerance must be positive");
+        assert!(max_iters > 0, "iteration budget must be positive");
+        PowerIteration { tol, max_iters }
+    }
+
+    /// Residual tolerance.
+    pub fn tol(&self) -> f64 {
+        self.tol
+    }
+
+    /// Iteration budget.
+    pub fn max_iters(&self) -> usize {
+        self.max_iters
+    }
+}
+
+impl Default for PowerIteration {
+    /// Tolerance `1e-12`, budget `100_000` iterations.
+    fn default() -> Self {
+        PowerIteration::new(1e-12, 100_000)
+    }
+}
+
+impl StationarySolver for PowerIteration {
+    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
+        let n = p.n();
+        let mut x = initial_vector(n, init)?;
+        let mut y = vec![0.0; n];
+        for it in 1..=self.max_iters {
+            p.step_into(&x, &mut y);
+            // P is row-stochastic so ||y||_1 == ||x||_1 == 1 exactly up to
+            // round-off; renormalize anyway to stop drift over many iters.
+            vecops::normalize_l1(&mut y);
+            let res = vecops::dist1(&x, &y);
+            std::mem::swap(&mut x, &mut y);
+            if res <= self.tol {
+                vecops::clamp_roundoff(&mut x, 1e-12);
+                return Ok(StationaryResult { distribution: x, iterations: it, residual: res });
+            }
+        }
+        let res = p.stationary_residual(&x);
+        Err(MarkovError::NotConverged { iterations: self.max_iters, residual: res })
+    }
+
+    fn name(&self) -> &'static str {
+        "power"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_chains::{birth_death, pseudo_random, two_state};
+    use super::*;
+
+    #[test]
+    fn two_state_exact() {
+        let (p, pi) = two_state(0.3, 0.7);
+        let r = PowerIteration::default().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-10);
+    }
+
+    #[test]
+    fn birth_death_matches_geometric() {
+        let (p, pi) = birth_death(20, 0.4);
+        let r = PowerIteration::default().solve(&p, None).unwrap();
+        // Periodic interior structure, but reflecting self-loops at the ends
+        // break periodicity.
+        assert!(vecops::dist1(&r.distribution, &pi) < 1e-8, "dist {}", vecops::dist1(&r.distribution, &pi));
+    }
+
+    #[test]
+    fn random_chain_converges_and_is_stationary() {
+        let p = pseudo_random(30, 42);
+        let r = PowerIteration::default().solve(&p, None).unwrap();
+        assert!(p.stationary_residual(&r.distribution) < 1e-10);
+        assert!((vecops::sum(&r.distribution) - 1.0).abs() < 1e-12);
+        assert!(vecops::is_nonnegative(&r.distribution));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_not_converged() {
+        // A strictly periodic chain never converges pointwise from a
+        // non-stationary start.
+        let (p, _) = two_state(1.0, 1.0);
+        let err = PowerIteration::new(1e-12, 50).solve(&p, Some(&[1.0, 0.0])).unwrap_err();
+        assert!(matches!(err, MarkovError::NotConverged { iterations: 50, .. }));
+    }
+
+    #[test]
+    fn periodic_chain_from_stationary_start_is_fixed() {
+        let (p, _) = two_state(1.0, 1.0);
+        let r = PowerIteration::default().solve(&p, Some(&[0.5, 0.5])).unwrap();
+        assert_eq!(r.distribution, vec![0.5, 0.5]);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn respects_initial_guess_validation() {
+        let (p, _) = two_state(0.5, 0.5);
+        assert!(PowerIteration::default().solve(&p, Some(&[1.0])).is_err());
+    }
+}

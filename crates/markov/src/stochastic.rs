@@ -1,0 +1,245 @@
+//! Validated transition probability matrices.
+
+use stochcdr_linalg::{CsrMatrix, vecops};
+
+use crate::{MarkovError, Result};
+
+/// Row-sum tolerance accepted at construction; rows are renormalized to sum
+/// to exactly one afterwards so downstream analyses see a clean TPM.
+pub(crate) const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A validated transition probability matrix of a discrete-time Markov
+/// chain.
+///
+/// Invariants enforced at construction and preserved thereafter:
+///
+/// * the matrix is square,
+/// * every stored entry is a finite probability in `[0, 1]` (up to
+///   round-off),
+/// * every row sums to one within [`f64`] round-off (rows are renormalized
+///   exactly once at construction).
+///
+/// The paper calls this matrix `P`; its entries are
+/// `p_ij = P(X_{k+1} = x_j | X_k = x_i)`.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_linalg::CooMatrix;
+/// use stochcdr_markov::StochasticMatrix;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 1, 1.0);
+/// coo.push(1, 0, 1.0);
+/// let p = StochasticMatrix::new(coo.to_csr())?;
+/// assert_eq!(p.n(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticMatrix {
+    p: CsrMatrix,
+    /// Cached transpose, built lazily by solvers that sweep columns.
+    /// Stored eagerly here to keep the type simple and shareable.
+    pt: CsrMatrix,
+}
+
+impl StochasticMatrix {
+    /// Validates and wraps a transition matrix.
+    ///
+    /// Rows whose sums deviate from one by at most `1e-9` are renormalized;
+    /// larger deviations are rejected.
+    ///
+    /// # Errors
+    ///
+    /// * [`MarkovError::NotSquare`] if the matrix is not square,
+    /// * [`MarkovError::InvalidProbability`] for negative/non-finite entries,
+    /// * [`MarkovError::RowSumNotOne`] if a row sum is off by more than the
+    ///   tolerance (including empty rows).
+    pub fn new(p: CsrMatrix) -> Result<Self> {
+        Self::with_tolerance(p, ROW_SUM_TOL)
+    }
+
+    /// Like [`new`](Self::new) with a caller-chosen row-sum tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn with_tolerance(p: CsrMatrix, tol: f64) -> Result<Self> {
+        if p.rows() != p.cols() {
+            return Err(MarkovError::NotSquare { rows: p.rows(), cols: p.cols() });
+        }
+        for (r, c, v) in p.iter() {
+            if !v.is_finite() || v < 0.0 || v > 1.0 + tol {
+                return Err(MarkovError::InvalidProbability { row: r, col: c, value: v });
+            }
+        }
+        let sums = p.row_sums();
+        let mut factors = Vec::with_capacity(p.rows());
+        for (r, &s) in sums.iter().enumerate() {
+            if (s - 1.0).abs() > tol {
+                return Err(MarkovError::RowSumNotOne { row: r, sum: s });
+            }
+            factors.push(1.0 / s);
+        }
+        let p = p.scale_rows(&factors);
+        let pt = p.transpose();
+        Ok(StochasticMatrix { p, pt })
+    }
+
+    /// Number of states.
+    pub fn n(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// The underlying CSR matrix `P`.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.p
+    }
+
+    /// The cached transpose `P^T` (rows of `pt` are columns of `P`).
+    pub fn transposed(&self) -> &CsrMatrix {
+        &self.pt
+    }
+
+    /// Number of stored transitions.
+    pub fn nnz(&self) -> usize {
+        self.p.nnz()
+    }
+
+    /// One step of the chain: `x P` for a distribution row-vector `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n()`.
+    pub fn step(&self, x: &[f64]) -> Vec<f64> {
+        self.p.mul_left(x)
+    }
+
+    /// In-place step: writes `x P` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `n()`.
+    pub fn step_into(&self, x: &[f64], out: &mut [f64]) {
+        self.p.mul_left_into(x, out);
+    }
+
+    /// Residual `|| x P - x ||_1` of a candidate stationary vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != n()`.
+    pub fn stationary_residual(&self, x: &[f64]) -> f64 {
+        let y = self.step(x);
+        vecops::dist1(&y, x)
+    }
+
+    /// The transition probability `P(i -> j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of bounds.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.p.get(i, j)
+    }
+
+    /// Consumes the wrapper and returns the underlying matrix.
+    pub fn into_inner(self) -> CsrMatrix {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochcdr_linalg::CooMatrix;
+
+    fn two_state(a: f64, b: f64) -> StochasticMatrix {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0 - a);
+        coo.push(0, 1, a);
+        coo.push(1, 0, b);
+        coo.push(1, 1, 1.0 - b);
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn valid_chain_accepted() {
+        let p = two_state(0.3, 0.6);
+        assert_eq!(p.n(), 2);
+        assert_eq!(p.prob(0, 1), 0.3);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let coo = CooMatrix::new(2, 3);
+        assert!(matches!(
+            StochasticMatrix::new(coo.to_csr()),
+            Err(MarkovError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_row_sum_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 0.5);
+        coo.push(1, 1, 1.0);
+        assert!(matches!(
+            StochasticMatrix::new(coo.to_csr()),
+            Err(MarkovError::RowSumNotOne { row: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_row_rejected() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        // row 1 empty -> sums to 0
+        assert!(matches!(
+            StochasticMatrix::new(coo.to_csr()),
+            Err(MarkovError::RowSumNotOne { row: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn negative_probability_rejected() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, -0.5);
+        // -0.5 is stored; matrix invalid
+        assert!(matches!(
+            StochasticMatrix::new(coo.to_csr()),
+            Err(MarkovError::InvalidProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn near_one_row_sums_are_renormalized() {
+        let mut coo = CooMatrix::new(1, 1);
+        coo.push(0, 0, 1.0 + 1e-12);
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        assert!((p.prob(0, 0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn step_propagates_distribution() {
+        let p = two_state(1.0, 1.0); // deterministic toggle
+        let x = p.step(&[1.0, 0.0]);
+        assert_eq!(x, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn stationary_residual_zero_for_fixed_point() {
+        let p = two_state(0.5, 0.5);
+        assert!(p.stationary_residual(&[0.5, 0.5]) < 1e-15);
+        assert!(p.stationary_residual(&[1.0, 0.0]) > 0.9);
+    }
+
+    #[test]
+    fn transpose_is_cached_consistently() {
+        let p = two_state(0.3, 0.6);
+        assert_eq!(p.transposed().get(1, 0), 0.3);
+        assert_eq!(p.transposed().get(0, 1), 0.6);
+    }
+}

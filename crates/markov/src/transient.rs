@@ -1,0 +1,166 @@
+//! Finite-horizon (transient) distribution evolution.
+
+use stochcdr_linalg::vecops;
+
+use crate::{MarkovError, Result, StochasticMatrix};
+
+/// Evolves a distribution `k` steps: returns `x P^k`.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidArgument`] if `x` has the wrong length or
+/// is not a (non-negative, positive-mass) distribution.
+pub fn evolve(p: &StochasticMatrix, x: &[f64], k: usize) -> Result<Vec<f64>> {
+    if x.len() != p.n() {
+        return Err(MarkovError::InvalidArgument(format!(
+            "vector length {} != state count {}",
+            x.len(),
+            p.n()
+        )));
+    }
+    if !vecops::is_nonnegative(x) {
+        return Err(MarkovError::InvalidArgument("distribution must be non-negative".into()));
+    }
+    let mut cur = x.to_vec();
+    if !vecops::normalize_l1(&mut cur) {
+        return Err(MarkovError::InvalidArgument("distribution must have positive mass".into()));
+    }
+    let mut next = vec![0.0; p.n()];
+    for _ in 0..k {
+        p.step_into(&cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    Ok(cur)
+}
+
+/// The distribution after `k` steps started deterministically from `state`.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidArgument`] if `state` is out of range.
+pub fn k_step_from(p: &StochasticMatrix, state: usize, k: usize) -> Result<Vec<f64>> {
+    if state >= p.n() {
+        return Err(MarkovError::InvalidArgument(format!(
+            "state {state} out of range 0..{}",
+            p.n()
+        )));
+    }
+    let mut x = vec![0.0; p.n()];
+    x[state] = 1.0;
+    evolve(p, &x, k)
+}
+
+/// Total-variation distance between two distributions:
+/// `½ Σ_i |x_i − y_i|`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn total_variation(x: &[f64], y: &[f64]) -> f64 {
+    0.5 * vecops::dist1(x, y)
+}
+
+/// Estimates the mixing time: the smallest `k ≤ max_steps` such that the
+/// total-variation distance between `x P^k` and `stationary` drops below
+/// `eps`. Returns `None` if not reached within the horizon.
+///
+/// # Errors
+///
+/// Propagates [`evolve`] validation errors.
+pub fn mixing_time(
+    p: &StochasticMatrix,
+    x: &[f64],
+    stationary: &[f64],
+    eps: f64,
+    max_steps: usize,
+) -> Result<Option<usize>> {
+    if stationary.len() != p.n() {
+        return Err(MarkovError::InvalidArgument("stationary vector length mismatch".into()));
+    }
+    let mut cur = evolve(p, x, 0)?; // validates and normalizes
+    let mut next = vec![0.0; p.n()];
+    for k in 0..=max_steps {
+        if total_variation(&cur, stationary) < eps {
+            return Ok(Some(k));
+        }
+        p.step_into(&cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stochcdr_linalg::CooMatrix;
+
+    fn two_state(a: f64, b: f64) -> StochasticMatrix {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0 - a);
+        coo.push(0, 1, a);
+        coo.push(1, 0, b);
+        coo.push(1, 1, 1.0 - b);
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn zero_steps_is_identity() {
+        let p = two_state(0.3, 0.4);
+        let x = evolve(&p, &[0.25, 0.75], 0).unwrap();
+        assert_eq!(x, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn one_step_matches_matrix() {
+        let p = two_state(0.3, 0.4);
+        let x = evolve(&p, &[1.0, 0.0], 1).unwrap();
+        assert!((x[0] - 0.7).abs() < 1e-15);
+        assert!((x[1] - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn k_step_from_state() {
+        let p = two_state(1.0, 1.0); // toggle
+        assert_eq!(k_step_from(&p, 0, 3).unwrap(), vec![0.0, 1.0]);
+        assert_eq!(k_step_from(&p, 0, 4).unwrap(), vec![1.0, 0.0]);
+        assert!(k_step_from(&p, 7, 1).is_err());
+    }
+
+    #[test]
+    fn distribution_validation() {
+        let p = two_state(0.5, 0.5);
+        assert!(evolve(&p, &[1.0], 1).is_err());
+        assert!(evolve(&p, &[-1.0, 2.0], 1).is_err());
+        assert!(evolve(&p, &[0.0, 0.0], 1).is_err());
+    }
+
+    #[test]
+    fn mixing_approaches_stationary() {
+        let p = two_state(0.3, 0.6);
+        let pi = [2.0 / 3.0, 1.0 / 3.0];
+        let k = mixing_time(&p, &[1.0, 0.0], &pi, 1e-9, 10_000).unwrap();
+        assert!(k.is_some());
+        let k = k.unwrap();
+        // Verify: after k steps TV < eps, after k-1 steps TV >= eps.
+        let xk = evolve(&p, &[1.0, 0.0], k).unwrap();
+        assert!(total_variation(&xk, &pi) < 1e-9);
+        if k > 0 {
+            let xp = evolve(&p, &[1.0, 0.0], k - 1).unwrap();
+            assert!(total_variation(&xp, &pi) >= 1e-9);
+        }
+    }
+
+    #[test]
+    fn periodic_chain_never_mixes() {
+        let p = two_state(1.0, 1.0);
+        let pi = [0.5, 0.5];
+        let k = mixing_time(&p, &[1.0, 0.0], &pi, 1e-3, 100).unwrap();
+        assert_eq!(k, None);
+    }
+
+    #[test]
+    fn total_variation_bounds() {
+        assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Adaptive (strength-based) coarsening for chains without geometric
+//! structure.
+//!
+//! The paper's coarsening exploits the CDR model's layout (pairing
+//! adjacent phase bins). For arbitrary chains the multigrid literature it
+//! cites (Buchholz's "adaptive aggregation/disaggregation") builds the
+//! aggregates from the *matrix itself*: states that exchange probability
+//! strongly should share an aggregate, because their stationary
+//! probabilities equilibrate quickly relative to the rest of the chain.
+//!
+//! [`StrengthCoarsening`] implements greedy pairwise aggregation by
+//! symmetric coupling strength — the Markov-chain analogue of pairwise
+//! aggregation AMG.
+
+use stochcdr_linalg::CsrMatrix;
+use stochcdr_markov::lumping::Partition;
+use stochcdr_markov::StochasticMatrix;
+
+/// Greedy strength-based pairwise coarsening.
+///
+/// At each level every state is matched with its most strongly coupled
+/// unmatched neighbor (`strength(i, j) = p_ij + p_ji`); unmatched leftovers
+/// become singletons. Levels are generated until the size drops to
+/// `stop_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrengthCoarsening {
+    stop_at: usize,
+}
+
+impl StrengthCoarsening {
+    /// Coarsens until the level size is `<= stop_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop_at == 0`.
+    pub fn until(stop_at: usize) -> Self {
+        assert!(stop_at > 0, "stop size must be positive");
+        StrengthCoarsening { stop_at }
+    }
+
+    /// Builds one pairwise partition for the given transition matrix.
+    ///
+    /// Returns `None` when the chain is already at or below the stop size.
+    pub fn coarsen_once(&self, p: &CsrMatrix) -> Option<Partition> {
+        let n = p.rows();
+        if n <= self.stop_at {
+            return None;
+        }
+        // Symmetric strengths: collect (strength, i, j) for i < j.
+        let mut edges: Vec<(f64, u32, u32)> = Vec::with_capacity(p.nnz());
+        for (i, j, v) in p.iter() {
+            match i.cmp(&j) {
+                std::cmp::Ordering::Less => edges.push((v + p.get(j, i), i as u32, j as u32)),
+                std::cmp::Ordering::Greater => {
+                    // Only count (j, i) if (j -> i) has no reverse edge;
+                    // otherwise the Less arm already recorded the pair.
+                    if p.get(j, i) == 0.0 {
+                        edges.push((v, j as u32, i as u32));
+                    }
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        edges.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
+
+        let mut mate = vec![u32::MAX; n];
+        for &(_, i, j) in &edges {
+            if mate[i as usize] == u32::MAX && mate[j as usize] == u32::MAX {
+                mate[i as usize] = j;
+                mate[j as usize] = i;
+            }
+        }
+        // Assign block labels: pairs share one label, singletons get their
+        // own.
+        let mut labels = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for i in 0..n {
+            if labels[i] != usize::MAX {
+                continue;
+            }
+            labels[i] = next;
+            let m = mate[i];
+            if m != u32::MAX {
+                labels[m as usize] = next;
+            }
+            next += 1;
+        }
+        Some(Partition::from_labels(labels).expect("labels are contiguous by construction"))
+    }
+
+    /// Builds the full partition hierarchy for a chain, re-aggregating the
+    /// (uniform-weight) coarse operator at each level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lumping failures (cannot occur for a valid chain, but
+    /// surfaced rather than panicking).
+    pub fn levels(&self, p: &StochasticMatrix) -> stochcdr_markov::Result<Vec<Partition>> {
+        let mut parts = Vec::new();
+        let mut current = p.clone();
+        while let Some(part) = self.coarsen_once(current.matrix()) {
+            // Aggregate with uniform weights to expose the next level's
+            // coupling structure; the solver rebuilds operators with real
+            // weights at run time.
+            let w = vec![1.0; current.n()];
+            current = stochcdr_markov::lumping::lump_weighted(&current, &part, &w)?;
+            parts.push(part);
+        }
+        Ok(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CycleKind, MultigridSolver};
+    use stochcdr_linalg::{vecops, CooMatrix};
+    use stochcdr_markov::stationary::{GthSolver, StationarySolver};
+
+    /// Two tightly coupled pairs with weak cross coupling.
+    fn paired_chain() -> StochasticMatrix {
+        let eps = 1e-3;
+        let mut coo = CooMatrix::new(4, 4);
+        // Pair {0,1}: strong exchange.
+        coo.push(0, 1, 0.9 - eps);
+        coo.push(0, 0, 0.1);
+        coo.push(0, 2, eps);
+        coo.push(1, 0, 0.8);
+        coo.push(1, 1, 0.2);
+        // Pair {2,3}.
+        coo.push(2, 3, 0.9 - eps);
+        coo.push(2, 2, 0.1);
+        coo.push(2, 0, eps);
+        coo.push(3, 2, 0.8);
+        coo.push(3, 3, 0.2);
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn pairs_strongly_coupled_states() {
+        let p = paired_chain();
+        let part = StrengthCoarsening::until(2).coarsen_once(p.matrix()).unwrap();
+        assert_eq!(part.block_count(), 2);
+        assert_eq!(part.block_of(0), part.block_of(1));
+        assert_eq!(part.block_of(2), part.block_of(3));
+        assert_ne!(part.block_of(0), part.block_of(2));
+    }
+
+    #[test]
+    fn respects_stop_size() {
+        let p = paired_chain();
+        assert!(StrengthCoarsening::until(4).coarsen_once(p.matrix()).is_none());
+        assert!(StrengthCoarsening::until(8).levels(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn hierarchy_chains_consistently() {
+        // Ring of 32 states.
+        let n = 32;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 0.55);
+            coo.push(i, (i + n - 1) % n, 0.35);
+            coo.push(i, i, 0.1);
+        }
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let parts = StrengthCoarsening::until(4).levels(&p).unwrap();
+        assert!(!parts.is_empty());
+        assert_eq!(parts[0].n(), n);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].block_count(), w[1].n());
+        }
+        assert!(parts.last().unwrap().block_count() <= 4);
+    }
+
+    #[test]
+    fn multigrid_with_adaptive_hierarchy_solves() {
+        // Unstructured chain: pseudo-random sparse stochastic matrix.
+        let n = 64;
+        let mut state = 0xDEADBEEFu64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 997) as f64 / 997.0
+        };
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let mut weights = [(0usize, 0.0f64); 4];
+            for w in weights.iter_mut() {
+                *w = ((rnd() * n as f64) as usize % n, rnd() + 0.05);
+            }
+            let total: f64 = weights.iter().map(|&(_, v)| v).sum();
+            for &(j, v) in &weights {
+                coo.push(i, j, v / total);
+            }
+            // Ensure connectivity via a weak ring.
+            coo.push(i, (i + 1) % n, 1e-3);
+        }
+        // Renormalize rows.
+        let m = coo.to_csr();
+        let sums = m.row_sums();
+        let factors: Vec<f64> = sums.iter().map(|s| 1.0 / s).collect();
+        let p = StochasticMatrix::new(m.scale_rows(&factors)).unwrap();
+
+        let parts = StrengthCoarsening::until(8).levels(&p).unwrap();
+        let solver = MultigridSolver::builder(parts)
+            .cycle(CycleKind::W)
+            .tol(1e-11)
+            .max_cycles(500)
+            .build();
+        let mg = solver.solve(&p, None).unwrap();
+        let reference = GthSolver::new().solve(&p, None).unwrap();
+        assert!(
+            vecops::dist1(&mg.distribution, &reference.distribution) < 1e-8,
+            "adaptive multigrid deviates"
+        );
+    }
+}

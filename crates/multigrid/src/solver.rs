@@ -1,0 +1,539 @@
+//! The multi-level aggregation/disaggregation solver.
+
+use stochcdr_linalg::vecops;
+use stochcdr_markov::lumping::{aggregate, disaggregate, lump_weighted, Partition};
+use stochcdr_markov::stationary::{
+    GthSolver, StationaryResult, StationarySolver,
+};
+use stochcdr_markov::{MarkovError, Result, StochasticMatrix};
+
+use crate::Smoother;
+
+/// Recursion pattern of the multigrid cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleKind {
+    /// One recursive visit per level (V-cycle).
+    V,
+    /// Two recursive visits per level (W-cycle) — more coarse-level work,
+    /// more robust on stiff chains.
+    W,
+}
+
+impl CycleKind {
+    fn gamma(self) -> usize {
+        match self {
+            CycleKind::V => 1,
+            CycleKind::W => 2,
+        }
+    }
+}
+
+/// Builder for [`MultigridSolver`].
+#[derive(Debug, Clone)]
+pub struct MultigridBuilder {
+    partitions: Vec<Partition>,
+    pre_sweeps: usize,
+    post_sweeps: usize,
+    cycle: CycleKind,
+    smoother: Smoother,
+    tol: f64,
+    max_cycles: usize,
+    coarse_direct_max: usize,
+    fmg: bool,
+}
+
+impl MultigridBuilder {
+    /// Pre-smoothing sweeps per level (default 1).
+    pub fn pre_sweeps(mut self, n: usize) -> Self {
+        self.pre_sweeps = n;
+        self
+    }
+
+    /// Post-smoothing sweeps per level (default 2).
+    pub fn post_sweeps(mut self, n: usize) -> Self {
+        self.post_sweeps = n;
+        self
+    }
+
+    /// Cycle kind (default V).
+    pub fn cycle(mut self, kind: CycleKind) -> Self {
+        self.cycle = kind;
+        self
+    }
+
+    /// Smoother (default damped Jacobi, ω = 0.8).
+    pub fn smoother(mut self, s: Smoother) -> Self {
+        self.smoother = s;
+        self
+    }
+
+    /// Residual tolerance `||ηP − η||₁` (default 1e-12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0`.
+    pub fn tol(mut self, tol: f64) -> Self {
+        assert!(tol > 0.0, "tolerance must be positive");
+        self.tol = tol;
+        self
+    }
+
+    /// Cycle budget (default 200).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn max_cycles(mut self, n: usize) -> Self {
+        assert!(n > 0, "cycle budget must be positive");
+        self.max_cycles = n;
+        self
+    }
+
+    /// Largest coarsest-level size accepted for the direct (GTH) solve
+    /// (default 4096).
+    pub fn coarse_direct_max(mut self, n: usize) -> Self {
+        self.coarse_direct_max = n;
+        self
+    }
+
+    /// Enables full-multigrid (FMG) initialization (default off): before
+    /// cycling, the chain is recursively aggregated to the coarsest level
+    /// with uniform weights, solved there directly, and the solution
+    /// prolonged back up — a coarse-grid first guess that usually saves
+    /// several fine-level cycles.
+    pub fn fmg(mut self, enable: bool) -> Self {
+        self.fmg = enable;
+        self
+    }
+
+    /// Finalizes the solver.
+    pub fn build(self) -> MultigridSolver {
+        MultigridSolver {
+            partitions: self.partitions,
+            pre_sweeps: self.pre_sweeps,
+            post_sweeps: self.post_sweeps,
+            cycle: self.cycle,
+            smoother: self.smoother,
+            tol: self.tol,
+            max_cycles: self.max_cycles,
+            coarse_direct_max: self.coarse_direct_max,
+            fmg: self.fmg,
+        }
+    }
+}
+
+/// Per-solve diagnostics collected by
+/// [`MultigridSolver::solve_with_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultigridStats {
+    /// L1 residual after each cycle.
+    pub residual_history: Vec<f64>,
+    /// Number of levels (including the fine grid).
+    pub levels: usize,
+    /// State count at each level, fine first.
+    pub level_sizes: Vec<usize>,
+}
+
+/// Multi-level aggregation/disaggregation stationary solver.
+///
+/// One cycle at level `ℓ`:
+///
+/// 1. pre-smooth the iterate `x` on the level-`ℓ` chain,
+/// 2. aggregate: build the weighted-lumped coarse chain using `x` as the
+///    lumping weights (weak lumping), restrict `x` by block sums,
+/// 3. recurse (or solve the coarsest level directly with GTH),
+/// 4. disaggregate: distribute the coarse solution over each block
+///    proportionally to the fine iterate (multiplicative correction),
+/// 5. post-smooth.
+///
+/// The coarse chain is rebuilt *every cycle* from the current iterate —
+/// the scheme is a fixed-point (nonlinear) multigrid whose exact solution
+/// is a fixed point of the aggregation/disaggregation pair.
+#[derive(Debug, Clone)]
+pub struct MultigridSolver {
+    partitions: Vec<Partition>,
+    pre_sweeps: usize,
+    post_sweeps: usize,
+    cycle: CycleKind,
+    smoother: Smoother,
+    tol: f64,
+    max_cycles: usize,
+    coarse_direct_max: usize,
+    fmg: bool,
+}
+
+impl MultigridSolver {
+    /// Starts building a solver from a fine-to-coarse partition sequence
+    /// (e.g. from [`crate::GeometricCoarsening::levels`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if consecutive partitions do not chain (`partitions[k]`'s
+    /// block count must equal `partitions[k+1]`'s state count).
+    pub fn builder(partitions: Vec<Partition>) -> MultigridBuilder {
+        for w in partitions.windows(2) {
+            assert_eq!(
+                w[0].block_count(),
+                w[1].n(),
+                "partition sequence does not chain"
+            );
+        }
+        MultigridBuilder {
+            partitions,
+            pre_sweeps: 1,
+            post_sweeps: 2,
+            cycle: CycleKind::V,
+            smoother: Smoother::default(),
+            tol: 1e-12,
+            max_cycles: 200,
+            coarse_direct_max: 4096,
+            fmg: false,
+        }
+    }
+
+    /// Number of levels including the fine grid.
+    pub fn levels(&self) -> usize {
+        self.partitions.len() + 1
+    }
+
+    /// Solves and returns per-cycle diagnostics alongside the result.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StationarySolver::solve`].
+    pub fn solve_with_stats(
+        &self,
+        p: &StochasticMatrix,
+        init: Option<&[f64]>,
+    ) -> Result<(StationaryResult, MultigridStats)> {
+        if let Some(part) = self.partitions.first() {
+            if part.n() != p.n() {
+                return Err(MarkovError::InvalidArgument(format!(
+                    "finest partition covers {} states, chain has {}",
+                    part.n(),
+                    p.n()
+                )));
+            }
+        }
+        let coarsest = self.partitions.last().map_or(p.n(), Partition::block_count);
+        if coarsest > self.coarse_direct_max {
+            return Err(MarkovError::InvalidArgument(format!(
+                "coarsest level has {coarsest} states, exceeding the direct-solve cap {}; \
+                 add more coarsening levels",
+                self.coarse_direct_max
+            )));
+        }
+
+        let mut x = match init {
+            None if self.fmg => self.fmg_initial(p)?,
+            None => vecops::uniform(p.n()),
+            Some(v) => {
+                let mut x = v.to_vec();
+                if x.len() != p.n() || !vecops::is_nonnegative(&x) || !vecops::normalize_l1(&mut x)
+                {
+                    return Err(MarkovError::InvalidArgument(
+                        "initial vector must be a non-negative distribution of matching length"
+                            .into(),
+                    ));
+                }
+                x
+            }
+        };
+
+        let mut level_sizes = vec![p.n()];
+        level_sizes.extend(self.partitions.iter().map(Partition::block_count));
+
+        let mut history = Vec::new();
+        for cycle in 1..=self.max_cycles {
+            self.run_cycle(p, 0, &mut x)?;
+            let res = p.stationary_residual(&x);
+            history.push(res);
+            if res <= self.tol {
+                vecops::clamp_roundoff(&mut x, 1e-12);
+                let result =
+                    StationaryResult { distribution: x, iterations: cycle, residual: res };
+                let stats = MultigridStats {
+                    residual_history: history,
+                    levels: self.levels(),
+                    level_sizes,
+                };
+                return Ok((result, stats));
+            }
+        }
+        Err(MarkovError::NotConverged {
+            iterations: self.max_cycles,
+            residual: *history.last().unwrap_or(&f64::NAN),
+        })
+    }
+
+    /// Full-multigrid first guess: aggregate to the coarsest level with
+    /// uniform weights, solve there, prolong back up level by level with a
+    /// smoothing pass at each.
+    fn fmg_initial(&self, p: &StochasticMatrix) -> Result<Vec<f64>> {
+        // Build the chain of uniformly-aggregated operators.
+        let mut chains = vec![p.clone()];
+        for part in &self.partitions {
+            let w = vec![1.0; chains.last().expect("non-empty").n()];
+            let coarse = lump_weighted(chains.last().expect("non-empty"), part, &w)?;
+            chains.push(coarse);
+        }
+        let mut x = vecops::uniform(chains.last().expect("non-empty").n());
+        self.solve_coarsest(chains.last().expect("non-empty"), &mut x)?;
+        // Prolong upward with uniform in-block weights, smoothing as we go.
+        for (level, part) in self.partitions.iter().enumerate().rev() {
+            let w = vec![1.0; part.n()];
+            x = disaggregate(part, &x, &w);
+            vecops::normalize_l1(&mut x);
+            self.smoother.apply(&chains[level], &mut x, self.post_sweeps.max(1));
+        }
+        Ok(x)
+    }
+
+    /// One multigrid cycle at `level`, updating `x` in place.
+    fn run_cycle(&self, chain: &StochasticMatrix, level: usize, x: &mut Vec<f64>) -> Result<()> {
+        if level == self.partitions.len() {
+            return self.solve_coarsest(chain, x);
+        }
+        self.smoother.apply(chain, x, self.pre_sweeps);
+
+        let part = &self.partitions[level];
+        let coarse = lump_weighted(chain, part, x)?;
+        let mut xc = aggregate(part, x);
+        vecops::normalize_l1(&mut xc);
+        for _ in 0..self.cycle.gamma() {
+            self.run_cycle(&coarse, level + 1, &mut xc)?;
+        }
+        *x = disaggregate(part, &xc, x);
+        vecops::normalize_l1(x);
+
+        self.smoother.apply(chain, x, self.post_sweeps);
+        Ok(())
+    }
+
+    /// Direct solve at the coarsest level; falls back to smoothing sweeps
+    /// when the (weight-dependent) coarse chain is numerically reducible.
+    fn solve_coarsest(&self, chain: &StochasticMatrix, x: &mut Vec<f64>) -> Result<()> {
+        match GthSolver::new().solve(chain, None) {
+            Ok(r) => {
+                *x = r.distribution;
+                Ok(())
+            }
+            Err(MarkovError::Reducible(_)) => {
+                // Zero-weight aggregates can disconnect the coarse chain;
+                // relaxation still reduces the error, so smooth instead.
+                self.smoother.apply(chain, x, 20);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl StationarySolver for MultigridSolver {
+    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
+        self.solve_with_stats(p, init).map(|(r, _)| r)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cycle {
+            CycleKind::V => "multigrid-v",
+            CycleKind::W => "multigrid-w",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GeometricCoarsening, PairwiseCoarsening};
+    use stochcdr_linalg::CooMatrix;
+    use stochcdr_markov::stationary::PowerIteration;
+
+    /// Birth–death chain of `n` states with up-probability `up`.
+    fn birth_death(n: usize, up: f64) -> StochasticMatrix {
+        let down = 1.0 - up;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            if i == 0 {
+                coo.push(0, 0, down);
+            } else {
+                coo.push(i, i - 1, down);
+            }
+            if i == n - 1 {
+                coo.push(i, i, up);
+            } else {
+                coo.push(i, i + 1, up);
+            }
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    /// A stiff nearly-completely-decomposable chain: `k` clusters of `m`
+    /// states with weak ring coupling `eps` — the structure multigrid
+    /// excels at. Within each cluster, a reflecting birth–death walk with a
+    /// geometric (non-uniform) stationary profile.
+    fn ncd_chain(k: usize, m: usize, eps: f64) -> StochasticMatrix {
+        let n = k * m;
+        let (up, down) = (0.7 * (1.0 - eps), 0.3 * (1.0 - eps));
+        let mut coo = CooMatrix::new(n, n);
+        for c in 0..k {
+            for i in 0..m {
+                let s = c * m + i;
+                if i == 0 {
+                    coo.push(s, s, down);
+                } else {
+                    coo.push(s, s - 1, down);
+                }
+                if i == m - 1 {
+                    coo.push(s, s, up);
+                } else {
+                    coo.push(s, s + 1, up);
+                }
+                // Weak coupling to the same position in the next cluster.
+                coo.push(s, ((c + 1) % k) * m + i, eps);
+            }
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn matches_power_iteration_on_birth_death() {
+        let p = birth_death(64, 0.45);
+        let solver =
+            MultigridSolver::builder(PairwiseCoarsening::until(8).levels(64)).tol(1e-11).build();
+        let mg = solver.solve(&p, None).unwrap();
+        let pw = PowerIteration::new(1e-13, 2_000_000).solve(&p, None).unwrap();
+        assert!(vecops::dist1(&mg.distribution, &pw.distribution) < 1e-8);
+    }
+
+    #[test]
+    fn solves_ncd_chain_where_power_struggles() {
+        let p = ncd_chain(4, 8, 1e-7);
+        // Start with all mass in cluster 0: the inter-cluster equilibration
+        // is the 1 − O(eps) slow mode.
+        let mut init = vec![0.0; 32];
+        for v in init.iter_mut().take(8) {
+            *v = 1.0 / 8.0;
+        }
+        let solver = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(32))
+            .cycle(CycleKind::W)
+            .tol(1e-12)
+            .build();
+        let (r, stats) = solver.solve_with_stats(&p, Some(&init)).unwrap();
+        assert!(p.stationary_residual(&r.distribution) < 1e-11);
+        assert!(stats.levels >= 3);
+        // Correctness: all four clusters carry equal mass.
+        for c in 0..4 {
+            let mass: f64 = r.distribution[c * 8..(c + 1) * 8].iter().sum();
+            assert!((mass - 0.25).abs() < 1e-9, "cluster {c} mass {mass}");
+        }
+        // Power iteration with an equivalent sweep budget barely moves the
+        // cluster masses: residual stays at the O(eps) coupling scale.
+        let budget = r.iterations * (stats.levels * 4);
+        let mut x = init;
+        let mut buf = vec![0.0; 32];
+        for _ in 0..budget {
+            p.step_into(&x, &mut buf);
+            std::mem::swap(&mut x, &mut buf);
+        }
+        assert!(p.stationary_residual(&x) > p.stationary_residual(&r.distribution) * 100.0);
+    }
+
+    #[test]
+    fn geometric_coarsening_on_product_chain() {
+        // 2-component chain: independent toggle (dim 2) x birth-death (dim 32),
+        // phase component fastest-varying.
+        let bd = birth_death(32, 0.4);
+        let mut coo = CooMatrix::new(64, 64);
+        for s in 0..64usize {
+            let (t, phi) = (s / 32, s % 32);
+            for (phi2, v) in bd.matrix().row(phi) {
+                coo.push(s, (1 - t) * 32 + phi2, v);
+            }
+        }
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let parts = GeometricCoarsening::new(vec![2, 32], 1, 4).levels();
+        let solver = MultigridSolver::builder(parts).tol(1e-11).max_cycles(500).build();
+        let r = solver.solve(&p, None).unwrap();
+        // Product stationary: uniform over toggle x geometric over phase.
+        let pw = GthSolver::new().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &pw.distribution) < 1e-8);
+    }
+
+    #[test]
+    fn fmg_initialization_saves_cycles_on_stiff_chain() {
+        let p = ncd_chain(4, 8, 1e-7);
+        let parts = PairwiseCoarsening::until(4).levels(32);
+        let plain = MultigridSolver::builder(parts.clone())
+            .cycle(CycleKind::W)
+            .tol(1e-11)
+            .build()
+            .solve(&p, None)
+            .unwrap();
+        let fmg = MultigridSolver::builder(parts)
+            .cycle(CycleKind::W)
+            .tol(1e-11)
+            .fmg(true)
+            .build()
+            .solve(&p, None)
+            .unwrap();
+        assert!(p.stationary_residual(&fmg.distribution) < 1e-10);
+        assert!(
+            fmg.iterations <= plain.iterations,
+            "FMG {} cycles vs plain {}",
+            fmg.iterations,
+            plain.iterations
+        );
+        assert!(vecops::dist1(&fmg.distribution, &plain.distribution) < 1e-8);
+    }
+
+    #[test]
+    fn no_partitions_degenerates_to_direct() {
+        let p = birth_death(16, 0.3);
+        let solver = MultigridSolver::builder(vec![]).build();
+        let r = solver.solve(&p, None).unwrap();
+        assert!(p.stationary_residual(&r.distribution) < 1e-12);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn coarse_cap_enforced() {
+        let p = birth_death(64, 0.4);
+        let solver = MultigridSolver::builder(vec![]).coarse_direct_max(8).build();
+        assert!(matches!(
+            solver.solve(&p, None),
+            Err(MarkovError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_partition_rejected() {
+        let p = birth_death(16, 0.4);
+        let solver =
+            MultigridSolver::builder(PairwiseCoarsening::until(4).levels(32)).build();
+        assert!(solver.solve(&p, None).is_err());
+    }
+
+    #[test]
+    fn stats_expose_hierarchy() {
+        let p = birth_death(64, 0.45);
+        let solver =
+            MultigridSolver::builder(PairwiseCoarsening::until(8).levels(64)).tol(1e-10).build();
+        let (_, stats) = solver.solve_with_stats(&p, None).unwrap();
+        assert_eq!(stats.level_sizes, vec![64, 32, 16, 8]);
+        assert_eq!(stats.levels, 4);
+        assert!(!stats.residual_history.is_empty());
+        // Residual history is (weakly) decreasing at the tail.
+        let h = &stats.residual_history;
+        if h.len() >= 2 {
+            assert!(h[h.len() - 1] <= h[0]);
+        }
+    }
+
+    #[test]
+    fn invalid_init_rejected() {
+        let p = birth_death(16, 0.4);
+        let solver = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(16)).build();
+        assert!(solver.solve(&p, Some(&[1.0, 2.0])).is_err());
+    }
+}

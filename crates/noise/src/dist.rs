@@ -1,0 +1,441 @@
+//! Continuous amplitude distributions for jitter sources.
+
+use crate::special;
+
+/// A continuous probability distribution on the real line, described by its
+/// cumulative distribution function.
+///
+/// Only the CDF (and survival function) are required: discretization
+/// integrates the density over grid bins, and the far-tail BER computations
+/// use the survival function directly.
+pub trait Distribution {
+    /// Cumulative distribution function `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Survival function `P(X > x)`.
+    ///
+    /// The default `1 − cdf(x)` loses relative accuracy in the upper tail;
+    /// implementations with analytic tails should override it.
+    fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+}
+
+/// Gaussian (normal) distribution — the standard model for the random part
+/// of data jitter (`n_w`, the eye opening).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    mean: f64,
+    std: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std <= 0` or either parameter is non-finite.
+    pub fn new(mean: f64, std: f64) -> Self {
+        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(std > 0.0, "standard deviation must be positive");
+        Gaussian { mean, std }
+    }
+
+    /// Standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+}
+
+impl Distribution for Gaussian {
+    fn cdf(&self, x: f64) -> f64 {
+        special::normal_cdf((x - self.mean) / self.std)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        special::normal_sf((x - self.mean) / self.std)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.std * self.std
+    }
+}
+
+/// Uniform distribution on `[lo, hi]` — bounded jitter with flat density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or parameters are non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lower bound must be below upper bound");
+        Uniform { lo, hi }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl Distribution for Uniform {
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        let w = self.hi - self.lo;
+        w * w / 12.0
+    }
+}
+
+/// Triangular distribution on `[lo, hi]` with the given mode — a simple
+/// bounded, peaked density used for drift jitter whose worst case is known.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangular {
+    lo: f64,
+    mode: f64,
+    hi: f64,
+}
+
+impl Triangular {
+    /// Creates a triangular distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo <= mode <= hi` and `lo < hi`.
+    pub fn new(lo: f64, mode: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && mode.is_finite() && hi.is_finite());
+        assert!(lo < hi && lo <= mode && mode <= hi, "need lo <= mode <= hi, lo < hi");
+        Triangular { lo, mode, hi }
+    }
+}
+
+impl Distribution for Triangular {
+    fn cdf(&self, x: f64) -> f64 {
+        let (a, c, b) = (self.lo, self.mode, self.hi);
+        if x <= a {
+            0.0
+        } else if x < c {
+            (x - a) * (x - a) / ((b - a) * (c - a))
+        } else if x < b {
+            1.0 - (b - x) * (b - x) / ((b - a) * (b - c))
+        } else {
+            1.0
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.lo + self.mode + self.hi) / 3.0
+    }
+
+    fn variance(&self) -> f64 {
+        let (a, c, b) = (self.lo, self.mode, self.hi);
+        (a * a + b * b + c * c - a * b - a * c - b * c) / 18.0
+    }
+}
+
+/// Amplitude distribution of sinusoidal jitter `A sin(θ)` with uniform
+/// phase — the arcsine law on `[−A, +A]`.
+///
+/// The paper notes that "one can even mimic deterministic sinusoidally
+/// varying jitter by assigning the amplitude distribution of `n_r`
+/// appropriately"; this is that distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinusoidalJitter {
+    amplitude: f64,
+}
+
+impl SinusoidalJitter {
+    /// Creates the amplitude distribution of a sinusoid with the given
+    /// amplitude.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude <= 0` or non-finite.
+    pub fn new(amplitude: f64) -> Self {
+        assert!(amplitude.is_finite() && amplitude > 0.0, "amplitude must be positive");
+        SinusoidalJitter { amplitude }
+    }
+
+    /// Peak amplitude `A`.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+}
+
+impl Distribution for SinusoidalJitter {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= -self.amplitude {
+            0.0
+        } else if x >= self.amplitude {
+            1.0
+        } else {
+            0.5 + (x / self.amplitude).asin() / std::f64::consts::PI
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        0.0
+    }
+
+    fn variance(&self) -> f64 {
+        self.amplitude * self.amplitude / 2.0
+    }
+}
+
+/// Dual-Dirac jitter: the industry-standard decomposition of total jitter
+/// into deterministic jitter (DJ, modeled as two Dirac deltas `±DJ/2`
+/// apart) convolved with random jitter (RJ, Gaussian σ):
+///
+/// ```text
+/// pdf(x) = ½ N(x; −DJ/2, σ) + ½ N(x; +DJ/2, σ)
+/// ```
+///
+/// The "total jitter at BER" of datasheets is
+/// `TJ(BER) = DJ + 2 Q(BER) σ`, available as
+/// [`total_jitter_at_ber`](Self::total_jitter_at_ber).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualDirac {
+    dj: f64,
+    sigma: f64,
+}
+
+impl DualDirac {
+    /// Creates a dual-Dirac model with deterministic jitter `dj`
+    /// (peak-to-peak separation of the two deltas) and random jitter
+    /// sigma `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dj >= 0` and `sigma > 0` (a pure-DJ model has a
+    /// degenerate CDF; add even a tiny RJ).
+    pub fn new(dj: f64, sigma: f64) -> Self {
+        assert!(dj >= 0.0 && dj.is_finite(), "DJ must be non-negative");
+        assert!(sigma > 0.0 && sigma.is_finite(), "RJ sigma must be positive");
+        DualDirac { dj, sigma }
+    }
+
+    /// Deterministic-jitter separation.
+    pub fn dj(&self) -> f64 {
+        self.dj
+    }
+
+    /// Random-jitter sigma.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Datasheet total jitter at a BER: `TJ = DJ + 2 Q(BER) σ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `(0, 0.5)`.
+    pub fn total_jitter_at_ber(&self, ber: f64) -> f64 {
+        assert!(ber > 0.0 && ber < 0.5, "BER must be in (0, 0.5)");
+        self.dj + 2.0 * special::q_factor(ber) * self.sigma
+    }
+}
+
+impl Distribution for DualDirac {
+    fn cdf(&self, x: f64) -> f64 {
+        let h = self.dj / 2.0;
+        0.5 * (special::normal_cdf((x + h) / self.sigma)
+            + special::normal_cdf((x - h) / self.sigma))
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        let h = self.dj / 2.0;
+        0.5 * (special::normal_sf((x + h) / self.sigma)
+            + special::normal_sf((x - h) / self.sigma))
+    }
+
+    fn mean(&self) -> f64 {
+        0.0
+    }
+
+    fn variance(&self) -> f64 {
+        // Mixture variance: sigma^2 + (DJ/2)^2.
+        self.sigma * self.sigma + (self.dj / 2.0) * (self.dj / 2.0)
+    }
+}
+
+/// A location-shifted distribution: `Y = X + shift`.
+///
+/// Used to give the drift source `n_r` its nonzero mean without duplicating
+/// every base distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shifted<D> {
+    inner: D,
+    shift: f64,
+}
+
+impl<D: Distribution> Shifted<D> {
+    /// Shifts `inner` to the right by `shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift` is non-finite.
+    pub fn new(inner: D, shift: f64) -> Self {
+        assert!(shift.is_finite(), "shift must be finite");
+        Shifted { inner, shift }
+    }
+}
+
+impl<D: Distribution> Distribution for Shifted<D> {
+    fn cdf(&self, x: f64) -> f64 {
+        self.inner.cdf(x - self.shift)
+    }
+
+    fn sf(&self, x: f64) -> f64 {
+        self.inner.sf(x - self.shift)
+    }
+
+    fn mean(&self) -> f64 {
+        self.inner.mean() + self.shift
+    }
+
+    fn variance(&self) -> f64 {
+        self.inner.variance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cdf_monotone(d: &dyn Distribution, lo: f64, hi: f64) {
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let x = lo + (hi - lo) * i as f64 / 100.0;
+            let c = d.cdf(x);
+            assert!(c >= prev - 1e-12, "cdf not monotone at {x}");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn gaussian_properties() {
+        let g = Gaussian::new(1.0, 2.0);
+        assert_eq!(g.mean(), 1.0);
+        assert_eq!(g.variance(), 4.0);
+        assert!((g.cdf(1.0) - 0.5).abs() < 1e-6);
+        check_cdf_monotone(&g, -10.0, 10.0);
+        // sf accurate in the far tail.
+        assert!(g.sf(1.0 + 2.0 * 7.0) > 0.0);
+    }
+
+    #[test]
+    fn uniform_properties() {
+        let u = Uniform::new(-1.0, 3.0);
+        assert_eq!(u.mean(), 1.0);
+        assert!((u.variance() - 16.0 / 12.0).abs() < 1e-12);
+        assert_eq!(u.cdf(-2.0), 0.0);
+        assert_eq!(u.cdf(5.0), 1.0);
+        assert!((u.cdf(1.0) - 0.5).abs() < 1e-12);
+        check_cdf_monotone(&u, -2.0, 4.0);
+    }
+
+    #[test]
+    fn triangular_properties() {
+        let t = Triangular::new(0.0, 1.0, 2.0);
+        assert_eq!(t.mean(), 1.0);
+        assert!((t.cdf(1.0) - 0.5).abs() < 1e-12);
+        assert!((t.variance() - 3.0 / 18.0).abs() < 1e-9);
+        check_cdf_monotone(&t, -0.5, 2.5);
+    }
+
+    #[test]
+    fn sinusoidal_properties() {
+        let s = SinusoidalJitter::new(0.1);
+        assert_eq!(s.mean(), 0.0);
+        assert!((s.variance() - 0.005).abs() < 1e-12);
+        assert!((s.cdf(0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.cdf(-0.2), 0.0);
+        assert_eq!(s.cdf(0.2), 1.0);
+        check_cdf_monotone(&s, -0.15, 0.15);
+        // Arcsine density piles mass at the edges: P(|X| > 0.09) is large.
+        let edge = s.sf(0.09) + s.cdf(-0.09);
+        assert!(edge > 0.2, "edge mass {edge}");
+    }
+
+    #[test]
+    fn dual_dirac_properties() {
+        let d = DualDirac::new(0.1, 0.01);
+        assert_eq!(d.mean(), 0.0);
+        assert!((d.variance() - (0.0001 + 0.0025)).abs() < 1e-12);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-6);
+        check_cdf_monotone(&d, -0.2, 0.2);
+        // Bimodal: the CDF has a plateau between the deltas.
+        let slope_center = d.cdf(0.005) - d.cdf(-0.005);
+        let slope_peak = d.cdf(0.055) - d.cdf(0.045);
+        assert!(slope_peak > slope_center * 3.0, "expected bimodal density");
+        // TJ formula: DJ + 2 Q sigma.
+        let tj = d.total_jitter_at_ber(1e-12);
+        assert!((tj - (0.1 + 2.0 * 7.0345 * 0.01)).abs() < 1e-3);
+        // Zero DJ degenerates to a Gaussian.
+        let g = DualDirac::new(0.0, 0.02);
+        let reference = Gaussian::new(0.0, 0.02);
+        for x in [-0.05, 0.0, 0.03] {
+            assert!((g.cdf(x) - reference.cdf(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dual_dirac_tail_is_dj_shifted_gaussian() {
+        // Far in the tail, sf(x) ≈ ½ Q((x − DJ/2)/σ): the nearer delta
+        // dominates.
+        let d = DualDirac::new(0.2, 0.01);
+        let x = 0.2; // 10 sigma past the near delta
+        let expect = 0.5 * crate::special::normal_sf((x - 0.1) / 0.01);
+        assert!((d.sf(x) / expect - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shifted_distribution() {
+        let d = Shifted::new(Uniform::new(-1.0, 1.0), 5.0);
+        assert_eq!(d.mean(), 5.0);
+        assert!((d.cdf(5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.variance(), Uniform::new(-1.0, 1.0).variance());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gaussian_rejects_bad_sigma() {
+        let _ = Gaussian::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = Uniform::new(1.0, 0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Random sampling from noise models — the Monte-Carlo substrate.
+//!
+//! The paper's core argument is that Monte-Carlo simulation cannot verify
+//! BERs of 1e-10; the workspace still implements MC simulation to
+//! cross-validate the analysis at *high* BER operating points. This module
+//! provides the samplers: inverse-CDF sampling of a [`DiscreteDist`] (with
+//! `O(log n)` lookup) and a Box–Muller Gaussian sampler.
+
+use rand::Rng;
+
+use crate::discretize::DiscreteDist;
+
+/// Pre-processed sampler over a [`DiscreteDist`] using cumulative inversion.
+///
+/// # Example
+///
+/// ```
+/// use stochcdr_noise::DiscreteDist;
+/// use stochcdr_noise::sampling::DiscreteSampler;
+/// use rand::SeedableRng;
+///
+/// let d = DiscreteDist::two_point(-1, 0.5, 1).unwrap();
+/// let sampler = DiscreteSampler::new(&d);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = sampler.sample(&mut rng);
+/// assert!(x == -1 || x == 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteSampler {
+    offsets: Vec<i32>,
+    /// Cumulative probabilities; last entry is exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl DiscreteSampler {
+    /// Builds a sampler from a discrete distribution.
+    pub fn new(dist: &DiscreteDist) -> Self {
+        let mut offsets = Vec::with_capacity(dist.support_len());
+        let mut cdf = Vec::with_capacity(dist.support_len());
+        let mut acc = 0.0;
+        for (k, p) in dist.iter() {
+            acc += p;
+            offsets.push(k);
+            cdf.push(acc);
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0; // absorb round-off so sampling never falls off the end
+        }
+        DiscreteSampler { offsets, cdf }
+    }
+
+    /// Draws one grid offset.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i32 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        self.offsets[idx.min(self.offsets.len() - 1)]
+    }
+}
+
+/// Draws a standard-normal sample via the Box–Muller transform.
+///
+/// Uses the polar (Marsaglia) variant to avoid trigonometric calls.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draws a Gaussian sample with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std < 0`.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    assert!(std >= 0.0, "standard deviation must be non-negative");
+    mean + std * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn discrete_sampler_matches_pmf() {
+        let d = DiscreteDist::from_pairs([(-2, 0.2), (0, 0.5), (3, 0.3)]).unwrap();
+        let s = DiscreteSampler::new(&d);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(s.sample(&mut rng)).or_insert(0usize) += 1;
+        }
+        for (k, p) in d.iter() {
+            let freq = counts[&k] as f64 / n as f64;
+            assert!((freq - p).abs() < 0.01, "offset {k}: {freq} vs {p}");
+        }
+        assert_eq!(counts.len(), 3);
+    }
+
+    #[test]
+    fn point_mass_always_same() {
+        let s = DiscreteSampler::new(&DiscreteDist::point(7));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = gaussian(&mut rng, 2.0, 3.0);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_tail_fraction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let beyond_2: usize = (0..n).filter(|_| standard_normal(&mut rng).abs() > 2.0).count();
+        let frac = beyond_2 as f64 / n as f64;
+        assert!((frac - 0.0455).abs() < 0.01, "2-sigma fraction {frac}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Shared helpers for the `stochcdr` example binaries.
+//!
+//! The binaries in this package are end-to-end walkthroughs of the public
+//! API on designer-facing scenarios:
+//!
+//! * `quickstart` — build a model, solve it, read BER and densities,
+//! * `loop_filter_design` — choose a counter length / dead zone for a
+//!   jitter spec (the paper's Figure-5 workflow, automated),
+//! * `jitter_tolerance` — find the maximum tolerable interference-jitter
+//!   amplitude at a BER target (a jitter-tolerance mask point),
+//! * `slip_budget` — cycle-slip rate versus frequency offset for
+//!   plesiochronous operation.
+
+use stochcdr::{CdrAnalysis, CdrChain};
+
+/// Prints a compact one-line summary of an analysis, shared by the
+/// examples.
+pub fn summarize(label: &str, chain: &CdrChain, a: &CdrAnalysis) {
+    println!(
+        "{label:<24} states={:<7} BER={:<10.3e} mean(phi)={:<+8.4} std(phi)={:<8.4} \
+         cycles={:<4} solve={:.3}s",
+        chain.state_count(),
+        a.ber,
+        a.phi_density.mean_ui(),
+        a.phi_density.std_ui(),
+        a.iterations,
+        a.solve_time.as_secs_f64(),
+    );
+}

@@ -1,0 +1,47 @@
+//! Quickstart: model a phase-picking CDR, solve for its stationary
+//! behavior, and read out BER and densities.
+//!
+//! ```sh
+//! cargo run --release -p stochcdr-examples --bin quickstart
+//! ```
+
+use stochcdr::{report, CdrConfig, CdrModel, SolverChoice};
+use stochcdr_examples::summarize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the design: a 8-phase VCO with a divide-by-16 grid
+    //    refinement, an 8-state up/down counter loop filter, and the
+    //    stochastic environment (data statistics + two jitter sources).
+    let config = CdrConfig::builder()
+        .phases(8) // phase mux step G = UI/8
+        .grid_refinement(16) // 128 phase-error bins per UI
+        .counter_len(8)
+        .white_sigma_ui(0.05) // eye-opening jitter n_w
+        .drift(2e-3, 8e-3) // n_r: 2000 ppm offset + bounded deviation
+        .build()?;
+
+    // 2. Assemble the Markov chain (the paper's Figure-2 network, with
+    //    n_w marginalized analytically).
+    let model = CdrModel::new(config);
+    let chain = model.build_chain()?;
+    println!(
+        "chain: {} states, {} transitions, built in {:?}",
+        chain.state_count(),
+        chain.nnz(),
+        chain.form_time()
+    );
+
+    // 3. Solve for the stationary distribution with the multigrid solver
+    //    and derive the performance measures.
+    let analysis = chain.analyze(SolverChoice::Multigrid)?;
+    summarize("quickstart", &chain, &analysis);
+
+    // 4. The BER would take ~4e14 Monte-Carlo symbols to measure; the
+    //    analysis resolved it in the solve time printed above.
+    println!("\n{}", report::figure_panel(&chain, &analysis));
+
+    // 5. Cycle slips: mean time between slips under stationary operation.
+    let mtbs = stochcdr::cycle_slip::mean_time_between_slips(&chain, &analysis.stationary)?;
+    println!("mean time between cycle slips: {mtbs:.3e} symbols");
+    Ok(())
+}

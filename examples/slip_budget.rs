@@ -1,0 +1,57 @@
+//! Cycle-slip budget versus frequency offset.
+//!
+//! In plesiochronous operation the transmit and receive clocks differ by a
+//! bounded frequency offset (±20 ppm Stratum-3, worse before lock). Each
+//! ppm of offset is a deterministic phase drift the loop must cancel;
+//! past a critical offset the loop slips cycles at a rate that dominates
+//! the error budget. This example tabulates the mean time between slips
+//! and the BER across frequency offsets — a link-budget table that would
+//! be unmeasurable by simulation at the quiet end.
+//!
+//! ```sh
+//! cargo run --release -p stochcdr-examples --bin slip_budget
+//! ```
+
+use stochcdr::cycle_slip::mean_time_between_slips;
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+use stochcdr_examples::summarize;
+use stochcdr_noise::jitter::{DriftJitterSpec, DriftShape};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("cycle-slip budget vs frequency offset (counter 8, sigma_nw 0.05 UI)\n");
+    println!("{:<12} {:>14} {:>12} {:>16}", "offset", "MTBS (symbols)", "BER", "MTBS @ 2.5Gb/s");
+
+    for ppm in [500.0, 2_000.0, 8_000.0, 16_000.0, 24_000.0] {
+        let drift = DriftJitterSpec::from_frequency_offset_ppm(ppm, 8e-3, DriftShape::Triangular);
+        let config = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(16)
+            .counter_len(8)
+            .white_sigma_ui(0.05)
+            .drift_spec(drift)
+            .build()?;
+        let chain = CdrModel::new(config).build_chain()?;
+        let a = chain.analyze(SolverChoice::Multigrid)?;
+        let mtbs = mean_time_between_slips(&chain, &a.stationary)?;
+        let seconds = mtbs / 2.5e9;
+        let human = if seconds < 1.0 {
+            format!("{:.2e} s", seconds)
+        } else if seconds < 3.6e3 {
+            format!("{seconds:.1} s")
+        } else if seconds < 3.2e7 {
+            format!("{:.1} hours", seconds / 3.6e3)
+        } else {
+            format!("{:.1e} years", seconds / 3.156e7)
+        };
+        println!("{:<12} {:>14.3e} {:>12.3e} {:>16}", format!("{ppm} ppm"), mtbs, a.ber, human);
+        if ppm == 500.0 {
+            summarize("  (detail at 500 ppm)", &chain, &a);
+        }
+    }
+
+    println!(
+        "\nreading: the slip rate collapses once the per-symbol drift approaches the \
+         loop's maximum correction rate — the designer's frequency-offset budget."
+    );
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Cross-crate integration tests for the `stochcdr` workspace.
+//!
+//! The test files in `tests/` exercise whole pipelines across crates:
+//! model assembly (`stochcdr-fsm` + `stochcdr-noise` + core), stationary
+//! solvers (`stochcdr-markov` + `stochcdr-multigrid`), and the
+//! paper-reproduction presets (`stochcdr-bench` parameters re-derived
+//! here at reduced size).
+
+/// Builds the small reference configuration shared by the integration
+/// tests: 8 phases, 32-bin grid, counter 4.
+pub fn small_config() -> stochcdr::CdrConfig {
+    stochcdr::CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(4)
+        .counter_len(4)
+        .white_sigma_ui(0.06)
+        .drift(4e-3, 1.6e-2)
+        .build()
+        .expect("reference config is valid")
+}

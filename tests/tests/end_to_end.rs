@@ -1,0 +1,112 @@
+//! End-to-end pipeline tests: config → FSM network → Markov chain →
+//! stationary solve → BER / densities / slips → Monte-Carlo agreement.
+
+use stochcdr::cycle_slip::mean_time_between_slips;
+use stochcdr::monte_carlo::MonteCarlo;
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+use stochcdr_integration::small_config;
+use stochcdr_linalg::vecops;
+
+#[test]
+fn full_pipeline_runs_and_is_consistent() {
+    let config = small_config();
+    let model = CdrModel::new(config.clone());
+
+    // Both construction paths agree entry-by-entry.
+    let fast = model.build_chain().expect("fast path");
+    let reference = model.build_chain_via_network().expect("network path");
+    assert_eq!(fast.tpm().nnz(), reference.tpm().nnz());
+    for (r, c, v) in fast.tpm().matrix().iter() {
+        assert!((v - reference.tpm().matrix().get(r, c)).abs() < 1e-12);
+    }
+
+    // The chain is a valid, irreducible, aperiodic Markov chain.
+    let cls = stochcdr_markov::classify::classify(fast.tpm());
+    assert!(cls.is_irreducible());
+    assert_eq!(stochcdr_markov::classify::period(fast.tpm()), 1);
+
+    // Stationary analysis produces a distribution with the documented
+    // invariants.
+    let analysis = fast.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis");
+    assert!((vecops::sum(&analysis.stationary) - 1.0).abs() < 1e-9);
+    assert!(vecops::is_nonnegative(&analysis.stationary));
+    assert!(fast.tpm().stationary_residual(&analysis.stationary) < 1e-9);
+    assert!(analysis.ber > 0.0 && analysis.ber < 0.5);
+
+    // Slip rate exists and is finite.
+    let mtbs = mean_time_between_slips(&fast, &analysis.stationary).expect("mtbs");
+    assert!(mtbs.is_finite() && mtbs > 1.0);
+}
+
+#[test]
+fn monte_carlo_agrees_with_analysis_at_high_noise() {
+    let config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(4)
+        .counter_len(4)
+        .white_sigma_ui(0.18)
+        .drift(4e-3, 1.6e-2)
+        .build()
+        .expect("config");
+    let chain = CdrModel::new(config.clone()).build_chain().expect("chain");
+    let analysis = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis");
+    let mc = MonteCarlo::new(config);
+    let run = mc.run(400_000, 20260706);
+    assert!(run.bit_errors > 500, "need statistics: {}", run.bit_errors);
+    let diff = (run.ber - analysis.ber_discrete).abs();
+    assert!(
+        diff < 4.0 * run.ber_ci95 + 0.05 * analysis.ber_discrete,
+        "MC {} ± {} vs analysis {}",
+        run.ber,
+        run.ber_ci95,
+        analysis.ber_discrete
+    );
+    // Phase-occupancy histogram matches the stationary marginal.
+    let tv = mc.validate_against(&chain, &analysis.stationary, 300_000, 7);
+    assert!(tv < 0.02, "TV distance {tv}");
+}
+
+#[test]
+fn counter_length_u_shape_reproduces() {
+    // The Figure-5 shape at the calibrated figure geometry (the fast-loop
+    // penalty at counter 4 needs the full 128-bin grid to resolve; coarser
+    // grids blur it below the C4/C8 gap).
+    let ber_of = |counter: usize| {
+        let config = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(16)
+            .counter_len(counter)
+            .white_sigma_ui(0.05)
+            .drift(2e-3, 8e-3)
+            .build()
+            .expect("config");
+        let chain = CdrModel::new(config).build_chain().expect("chain");
+        chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis").ber
+    };
+    let (b4, b8, b16) = (ber_of(4), ber_of(8), ber_of(16));
+    assert!(b8 * 2.0 < b4, "counter 8 ({b8:.2e}) should clearly beat 4 ({b4:.2e})");
+    assert!(b8 * 2.0 < b16, "counter 8 ({b8:.2e}) should clearly beat 16 ({b16:.2e})");
+}
+
+#[test]
+fn noise_scaling_reproduces_fig4_monotonicity() {
+    let ber_of = |sigma: f64| {
+        let config = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(8)
+            .counter_len(8)
+            .white_sigma_ui(sigma)
+            .drift(2e-3, 8e-3)
+            .build()
+            .expect("config");
+        let chain = CdrModel::new(config).build_chain().expect("chain");
+        chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis").ber
+    };
+    let quiet = ber_of(0.007);
+    let loud = ber_of(0.07);
+    assert!(
+        loud > quiet * 1e3 || quiet == 0.0,
+        "10x noise should blow up the BER: {quiet:.2e} -> {loud:.2e}"
+    );
+    assert!(loud > 1e-12 && loud < 1e-3, "loud point in a plausible band: {loud:.2e}");
+}

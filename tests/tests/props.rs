@@ -1,0 +1,150 @@
+//! Property-based tests over randomized configurations and noise specs.
+
+use proptest::prelude::*;
+use stochcdr::{CdrConfig, CdrModel, FilterKind};
+use stochcdr_linalg::vecops;
+use stochcdr_markov::lumping::{aggregate, disaggregate, Partition};
+use stochcdr_markov::stationary::{GthSolver, StationarySolver};
+use stochcdr_noise::discretize::{discretize_sigma, DiscreteDist};
+use stochcdr_noise::dist::Gaussian;
+
+/// Strategy over small but varied CDR configurations.
+fn config_strategy() -> impl Strategy<Value = CdrConfig> {
+    (
+        2usize..=4,              // grid refinement
+        2usize..=6,              // counter length
+        0usize..=2,              // dead zone bins
+        0.02f64..0.15,           // sigma_w
+        1e-3f64..8e-3,           // drift mean
+        8e-3f64..4e-2,           // drift deviation
+        prop::sample::select(vec![2usize, 3, 5]), // data run bound
+        prop::sample::select(vec![
+            FilterKind::OverflowCounter,
+            FilterKind::ConsecutiveDetector,
+        ]),
+    )
+        .prop_filter_map("config must validate", |(r, c, dz, s, dm, dd, run, fk)| {
+            CdrConfig::builder()
+                .phases(8)
+                .grid_refinement(r)
+                .counter_len(c)
+                .filter_kind(fk)
+                .dead_zone_bins(dz)
+                .data(stochcdr_noise::sonet::DataSpec::new(0.5, run).ok()?)
+                .white_sigma_ui(s)
+                .drift(dm, dd)
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated model yields a valid stochastic matrix whose
+    /// stationary distribution exists and has physical BER.
+    #[test]
+    fn random_configs_build_valid_chains(config in config_strategy()) {
+        let chain = CdrModel::new(config).build_chain().expect("chain builds");
+        // Row sums are exactly one (validated) and wrap probabilities are
+        // probabilities.
+        for s in chain.tpm().matrix().row_sums() {
+            prop_assert!((s - 1.0).abs() < 1e-12);
+        }
+        for &w in chain.wrap_prob() {
+            prop_assert!((0.0..=1.0).contains(&w));
+        }
+        let eta = GthSolver::new().solve(chain.tpm(), None).expect("stationary").distribution;
+        prop_assert!((vecops::sum(&eta) - 1.0).abs() < 1e-9);
+        prop_assert!(vecops::is_nonnegative(&eta));
+        let a = chain.analysis_from_stationary(
+            eta, 1, 0.0, std::time::Duration::ZERO, "gth");
+        prop_assert!(a.ber >= 0.0 && a.ber <= 1.0);
+        prop_assert!((a.phi_density.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    /// The fast and network construction paths agree on random configs.
+    #[test]
+    fn construction_paths_agree(config in config_strategy()) {
+        let model = CdrModel::new(config);
+        let fast = model.build_chain().expect("fast");
+        let net = model.build_chain_via_network().expect("network");
+        prop_assert_eq!(fast.tpm().nnz(), net.tpm().nnz());
+        let mut max_diff = 0.0f64;
+        for (r, c, v) in fast.tpm().matrix().iter() {
+            max_diff = max_diff.max((v - net.tpm().matrix().get(r, c)).abs());
+        }
+        prop_assert!(max_diff < 1e-12, "paths differ by {}", max_diff);
+    }
+
+    /// Gaussian discretization preserves total mass and the first two
+    /// moments across parameter ranges.
+    #[test]
+    fn discretization_preserves_moments(
+        sigma in 0.005f64..0.2,
+        bins_pow in 6u32..10,
+    ) {
+        let delta = 1.0 / f64::from(2u32.pow(bins_pow));
+        let g = Gaussian::new(0.0, sigma);
+        let d = discretize_sigma(&g, delta, 8.0);
+        prop_assert!((d.total_mass() - 1.0).abs() < 1e-9);
+        prop_assert!((d.mean_offset() * delta).abs() < delta);
+        // Variance within 15% once there are a few bins per sigma, always
+        // bounded by the truncated-support worst case otherwise.
+        if sigma / delta > 3.0 {
+            let v = d.variance_offset() * delta * delta;
+            prop_assert!((v / (sigma * sigma) - 1.0).abs() < 0.15,
+                "var {} vs {}", v, sigma * sigma);
+        }
+    }
+
+    /// Convolution of discrete distributions adds means and variances.
+    #[test]
+    fn convolution_is_additive(
+        a_off in -10i32..10, a_p in 0.05f64..0.95,
+        b_off in -10i32..10, b_p in 0.05f64..0.95,
+    ) {
+        let a = DiscreteDist::two_point(a_off, a_p, a_off + 3).expect("a");
+        let b = DiscreteDist::two_point(b_off, b_p, b_off + 5).expect("b");
+        let c = a.convolve(&b);
+        prop_assert!((c.mean_offset() - a.mean_offset() - b.mean_offset()).abs() < 1e-12);
+        prop_assert!(
+            (c.variance_offset() - a.variance_offset() - b.variance_offset()).abs() < 1e-10
+        );
+        prop_assert!((c.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    /// Aggregation conserves probability mass for any partition and any
+    /// weight vector; disaggregation inverts it on the block level.
+    #[test]
+    fn aggregation_mass_conservation(
+        labels in prop::collection::vec(0usize..5, 10..40),
+        seed in 0u64..1000,
+    ) {
+        // Normalize labels to a contiguous range.
+        let mut sorted: Vec<usize> = labels.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let relabeled: Vec<usize> = labels
+            .iter()
+            .map(|l| sorted.binary_search(l).expect("label present"))
+            .collect();
+        let part = Partition::from_labels(relabeled).expect("partition");
+        // Pseudo-random distribution.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut x: Vec<f64> = (0..part.n())
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 + 1.0
+            })
+            .collect();
+        vecops::normalize_l1(&mut x);
+        let coarse = aggregate(&part, &x);
+        prop_assert!((vecops::sum(&coarse) - 1.0).abs() < 1e-12);
+        // Disaggregating with x as weights reproduces x exactly.
+        let back = disaggregate(&part, &coarse, &x);
+        prop_assert!(vecops::dist1(&back, &x) < 1e-12);
+    }
+}

@@ -1,0 +1,106 @@
+//! The paper's headline claims, encoded as tests at reduced scale so the
+//! reproduction cannot silently regress (EXPERIMENTS.md records the
+//! full-scale numbers).
+
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+
+fn config(refinement: usize, dead_zone: usize) -> CdrConfig {
+    CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(refinement)
+        .counter_len(8)
+        .dead_zone_bins(dead_zone)
+        .white_sigma_ui(if dead_zone > 0 { 0.01 } else { 0.05 })
+        .drift(2e-3, if dead_zone > 0 { 2e-3 } else { 8e-3 })
+        .build()
+        .expect("config")
+}
+
+/// "Through the use of a specialized multi-grid method, very large systems
+/// can be solved in reasonable time": multigrid cycle counts must be
+/// mesh-independent — quadrupling the grid must not grow the cycle count.
+#[test]
+fn multigrid_cycles_are_mesh_independent() {
+    let cycles_at = |refinement: usize| {
+        let chain = CdrModel::new(config(refinement, 0)).build_chain().expect("chain");
+        chain
+            .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
+            .expect("analysis")
+            .iterations
+    };
+    let small = cycles_at(8);
+    let large = cycles_at(32);
+    assert!(
+        large <= small * 2,
+        "multigrid lost mesh independence: {small} cycles at 8, {large} at 32"
+    );
+}
+
+/// On stiff (dead-zone) chains, one-level iteration counts blow up while
+/// multigrid W-cycles stay in the double digits — the reason the paper
+/// needs the dedicated solver at all.
+#[test]
+fn stiff_chains_need_multigrid() {
+    let chain = CdrModel::new(config(16, 32)).build_chain().expect("chain");
+    let tol = 1e-10;
+    let mg = chain
+        .solver_with_tol(SolverChoice::MultigridW, tol)
+        .solve(chain.tpm(), None)
+        .expect("multigrid");
+    let pw = chain
+        .solver_with_tol(SolverChoice::Power, tol)
+        .solve(chain.tpm(), None)
+        .expect("power");
+    assert!(mg.iterations < 100, "W-cycles exploded: {}", mg.iterations);
+    assert!(
+        pw.iterations > mg.iterations * 20,
+        "stiffness missing: power {} vs multigrid {}",
+        pw.iterations,
+        mg.iterations
+    );
+}
+
+/// The analysis must resolve BERs far beyond Monte-Carlo reach: the quiet
+/// Figure-4 point has BER below 1e-20 (1e-120 at the full figure grid),
+/// which no simulation could ever measure, yet solves in a bounded number
+/// of cycles.
+#[test]
+fn resolves_immeasurably_low_ber() {
+    let cfg = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(8)
+        .counter_len(8)
+        .white_sigma_ui(0.007)
+        .drift(2e-3, 8e-3)
+        .build()
+        .expect("config");
+    let chain = CdrModel::new(cfg).build_chain().expect("chain");
+    let a = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis");
+    assert!(a.ber > 0.0 && a.ber < 1e-20, "BER {:.2e}", a.ber);
+    assert!(a.iterations < 200);
+}
+
+/// Cycle-slip MTBS must respond exponentially to noise (the rare-event
+/// scaling that motivates the whole method).
+#[test]
+fn slip_times_scale_exponentially_with_noise() {
+    let mtbs_at = |sigma: f64| {
+        let cfg = CdrConfig::builder()
+            .phases(8)
+            .grid_refinement(8)
+            .counter_len(8)
+            .white_sigma_ui(sigma)
+            .drift(2e-3, 8e-3)
+            .build()
+            .expect("config");
+        let chain = CdrModel::new(cfg).build_chain().expect("chain");
+        let a = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis");
+        stochcdr::cycle_slip::mean_time_between_slips(&chain, &a.stationary).expect("mtbs")
+    };
+    let quiet = mtbs_at(0.05);
+    let loud = mtbs_at(0.15);
+    assert!(
+        quiet > loud * 1e6,
+        "MTBS should collapse by many orders: quiet {quiet:.2e} vs loud {loud:.2e}"
+    );
+}
