@@ -48,5 +48,38 @@ fn bench_cycle_parts(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cycle_parts);
+/// Overhead of the compiled-in `stochcdr-obs` instrumentation on a full
+/// multigrid stationary solve. `metrics_disabled` is the production
+/// default (no sink installed: every obs call is one relaxed atomic
+/// load); `null_sink` exercises the complete record path into a
+/// discarding sink. The disabled row must stay within noise (<2%) of
+/// what an uninstrumented build would measure — the record path never
+/// runs and the no-allocation property is asserted by
+/// `crates/obs/tests/no_alloc.rs`.
+fn bench_obs_overhead(c: &mut Criterion) {
+    let config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(8)
+        .counter_len(8)
+        .white_sigma_ui(0.05)
+        .drift(2e-3, 8e-3)
+        .build()
+        .expect("config");
+    let chain = CdrModel::new(config).build_chain().expect("chain");
+
+    let mut group = c.benchmark_group("obs_overhead_mg_solve_2k");
+    group.sample_size(10);
+    group.bench_function("metrics_disabled", |b| {
+        let _ = stochcdr_obs::uninstall();
+        b.iter(|| chain.analyze(stochcdr::SolverChoice::Multigrid).expect("analyze"));
+    });
+    group.bench_function("null_sink", |b| {
+        stochcdr_obs::install(Box::new(stochcdr_obs::NullSink));
+        b.iter(|| chain.analyze(stochcdr::SolverChoice::Multigrid).expect("analyze"));
+        stochcdr_obs::uninstall();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_parts, bench_obs_overhead);
 criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! **Benchmark snapshot** — one JSON file capturing the repository's key
+//! performance numbers for regression tracking.
+//!
+//! Runs the reference operating point (Fig. 5 parameters) end to end —
+//! chain build, multigrid stationary solve, and a short Monte-Carlo
+//! cross-check — while the `stochcdr-obs` summary sink captures the
+//! instrumented internals, then serializes the headline metrics:
+//! state count, TPM nonzeros, multigrid cycles, wall times, BER.
+//!
+//! Usage: `cargo run --release -p stochcdr-bench --bin bench_snapshot --
+//! [--out BENCH.json] [--refinement N] [--symbols N]`
+//! (`scripts/bench_snapshot.sh` wraps this with a dated filename).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use stochcdr::monte_carlo::MonteCarlo;
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
+use stochcdr_obs as obs;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH.json".to_string());
+    let refinement: usize =
+        flag(&args, "--refinement").map_or(16, |v| v.parse().expect("--refinement N"));
+    let symbols: u64 =
+        flag(&args, "--symbols").map_or(200_000, |v| v.parse().expect("--symbols N"));
+
+    let config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(refinement)
+        .counter_len(8)
+        .white_sigma_ui(FIG5_SIGMA)
+        .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
+        .build()
+        .expect("config");
+
+    obs::install(Box::new(obs::SummarySink::new()));
+
+    let t0 = Instant::now();
+    let chain = CdrModel::new(config.clone()).build_chain().expect("chain");
+    let form_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let analysis = chain.analyze(SolverChoice::Multigrid).expect("analysis");
+    let solve_secs = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let mc = MonteCarlo::new(config).run(symbols, 0x5eed);
+    let mc_secs = t0.elapsed().as_secs_f64();
+
+    let summary = obs::uninstall().and_then(|mut s| s.finish()).unwrap_or_default();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"stochcdr-bench-snapshot/1\",");
+    let _ = writeln!(json, "  \"obs_schema\": \"{}\",", obs::SCHEMA_VERSION);
+    let _ = writeln!(json, "  \"states\": {},", chain.state_count());
+    let _ = writeln!(json, "  \"nnz\": {},", chain.nnz());
+    let _ = writeln!(json, "  \"solver\": \"{}\",", analysis.solver_name);
+    let _ = writeln!(json, "  \"cycles\": {},", analysis.iterations);
+    let _ = writeln!(json, "  \"residual\": {:e},", analysis.residual);
+    let _ = writeln!(json, "  \"ber\": {:e},", analysis.ber);
+    let _ = writeln!(json, "  \"mc_symbols\": {symbols},");
+    let _ = writeln!(json, "  \"mc_ber\": {:e},", mc.ber);
+    let _ = writeln!(json, "  \"mc_cycle_slips\": {},", mc.cycle_slips);
+    let _ = writeln!(json, "  \"form_secs\": {form_secs:e},");
+    let _ = writeln!(json, "  \"solve_secs\": {solve_secs:e},");
+    let _ = writeln!(json, "  \"mc_secs\": {mc_secs:e},");
+    json.push_str("  \"obs_summary\": ");
+    {
+        // Reuse the obs JSON escaper so the embedded table is valid JSON.
+        let mut escaped = String::new();
+        obs::json::escape_into(&mut escaped, &summary);
+        json.push_str(&escaped);
+    }
+    json.push_str("\n}\n");
+
+    // Self-check: the snapshot must parse back.
+    obs::json::Json::parse(&json).expect("snapshot serializes to valid JSON");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!(
+        "wrote {out_path}: {} states, {} cycles, BER {:.3e}, solve {:.3}s",
+        chain.state_count(),
+        analysis.iterations,
+        analysis.ber,
+        solve_secs
+    );
+}

@@ -63,15 +63,17 @@ fn main() {
                     report::solver_row(
                         solver.name(),
                         chain.state_count(),
+                        chain.nnz(),
                         r.iterations,
                         r.residual,
                         t0.elapsed().as_secs_f64()
                     )
                 ),
                 Err(e) => println!(
-                    "{:<14} {:>10} {:>10} {:>12} {:>10.3}s  ({e})",
+                    "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10.3}s  ({e})",
                     solver.name(),
                     chain.state_count(),
+                    chain.nnz(),
                     "-",
                     "-",
                     t0.elapsed().as_secs_f64()
@@ -111,15 +113,17 @@ fn main() {
                     report::solver_row(
                         solver.name(),
                         chain.state_count(),
+                        chain.nnz(),
                         r.iterations,
                         r.residual,
                         t0.elapsed().as_secs_f64()
                     )
                 ),
                 Err(e) => println!(
-                    "{:<14} {:>10} {:>10} {:>12} {:>10.3}s  ({e})",
+                    "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10.3}s  ({e})",
                     solver.name(),
                     chain.state_count(),
+                    chain.nnz(),
                     "-",
                     "-",
                     t0.elapsed().as_secs_f64()

@@ -79,8 +79,22 @@ pub fn usage() -> String {
      \x20 --density P          data transition density (default 0.5)\n\
      \x20 --run-length N       max identical-bit run (default 4)\n\
      \x20 --solver NAME        power|gs|jacobi|direct|mg|mgw (default mg)\n\
-     \x20 --tol X              stationary residual tolerance (default 1e-12)\n"
+     \x20 --tol X              stationary residual tolerance (default 1e-12)\n\
+     \n\
+     observability flags (all commands):\n\
+     \x20 --metrics PATH       capture instrumentation records to PATH\n\
+     \x20 --metrics-format F   summary (human table) | jsonl (default summary)\n"
         .to_string()
+}
+
+/// Output format for `--metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsFormat {
+    /// Aggregated human-readable table.
+    #[default]
+    Summary,
+    /// One JSON object per record (`stochcdr-obs/1` schema).
+    Jsonl,
 }
 
 /// Parsed model options shared by every subcommand.
@@ -92,6 +106,10 @@ pub struct Options {
     pub solver: SolverChoice,
     /// Residual tolerance.
     pub tol: f64,
+    /// Where to write instrumentation records (`--metrics`), if anywhere.
+    pub metrics: Option<String>,
+    /// Format for the metrics file.
+    pub metrics_format: MetricsFormat,
     /// Remaining subcommand-specific flags.
     pub extra: BTreeMap<String, String>,
 }
@@ -127,6 +145,8 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                     config: default_config()?,
                     solver: SolverChoice::Multigrid,
                     tol: 1e-12,
+                    metrics: None,
+                    metrics_format: MetricsFormat::Summary,
                     extra: BTreeMap::new(),
                 },
             })
@@ -188,6 +208,19 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         }
     };
 
+    let metrics = flags.remove("metrics");
+    let metrics_format = match flags.remove("metrics-format").as_deref() {
+        None | Some("summary") => MetricsFormat::Summary,
+        Some("jsonl") => MetricsFormat::Jsonl,
+        Some(v) => {
+            return Err(CliError::BadValue {
+                flag: "--metrics-format".into(),
+                value: v.into(),
+                expected: "summary | jsonl",
+            })
+        }
+    };
+
     let white = if dj > 0.0 {
         WhiteJitterSpec::from_dual_dirac(dj, sigma)
     } else {
@@ -207,7 +240,10 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         .build()?;
 
     // Whatever flags remain belong to the subcommand.
-    Ok(ParsedArgs { command, options: Options { config, solver, tol, extra: flags } })
+    Ok(ParsedArgs {
+        command,
+        options: Options { config, solver, tol, metrics, metrics_format, extra: flags },
+    })
 }
 
 /// Splices `--config FILE` contents into the argument list.

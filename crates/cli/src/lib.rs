@@ -20,10 +20,17 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{CliError, Options, ParsedArgs};
+pub use args::{CliError, MetricsFormat, Options, ParsedArgs};
+
+use stochcdr_obs as obs;
 
 /// Entry point shared by `main` and the tests: parses, dispatches, and
 /// returns the text that should be printed.
+///
+/// With `--metrics PATH` the instrumentation layer is enabled for the
+/// duration of the command: `--metrics-format jsonl` streams records to
+/// `PATH` as they happen; the default `summary` format aggregates them
+/// and writes a rendered table to `PATH` afterwards.
 ///
 /// # Errors
 ///
@@ -31,5 +38,31 @@ pub use args::{CliError, Options, ParsedArgs};
 /// or analysis failures (each rendered with a usage hint).
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let parsed = args::parse(argv)?;
-    commands::dispatch(&parsed)
+    let Some(path) = parsed.options.metrics.clone() else {
+        return commands::dispatch(&parsed);
+    };
+
+    match parsed.options.metrics_format {
+        MetricsFormat::Jsonl => {
+            let sink = obs::JsonLinesSink::to_file(&path).map_err(|e| {
+                CliError::Analysis(format!("cannot open metrics file '{path}': {e}"))
+            })?;
+            obs::install(Box::new(sink));
+        }
+        MetricsFormat::Summary => {
+            obs::install(Box::new(obs::SummarySink::new()));
+        }
+    }
+    let result = commands::dispatch(&parsed);
+    // Uninstall even on dispatch failure so the global recorder never
+    // outlives the command that enabled it.
+    let sink = obs::uninstall();
+    if parsed.options.metrics_format == MetricsFormat::Summary {
+        if let Some(report) = sink.and_then(|mut s| s.finish()) {
+            std::fs::write(&path, report).map_err(|e| {
+                CliError::Analysis(format!("cannot write metrics file '{path}': {e}"))
+            })?;
+        }
+    }
+    result
 }

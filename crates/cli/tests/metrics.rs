@@ -1,0 +1,85 @@
+//! End-to-end tests for the `--metrics` observability flags.
+//!
+//! Both formats run inside one test function: the obs recorder is a
+//! process-wide singleton, so sequencing the two captures avoids
+//! cross-test interference without any locking.
+
+use stochcdr_cli::run;
+use stochcdr_obs::json::Json;
+
+fn argv(s: &str) -> Vec<String> {
+    s.split_whitespace().map(String::from).collect()
+}
+
+#[test]
+fn metrics_capture_jsonl_and_summary() {
+    let dir = std::env::temp_dir();
+    let jsonl_path = dir.join("stochcdr_metrics_test.jsonl");
+    let summary_path = dir.join("stochcdr_metrics_test.txt");
+
+    // JSONL: every line parses, the schema header leads, and the stream
+    // carries per-cycle residuals, smoothing counters, and the TPM nnz.
+    let out = run(&argv(&format!(
+        "analyze --refinement 8 --metrics {} --metrics-format jsonl",
+        jsonl_path.display()
+    )))
+    .expect("analyze with jsonl metrics");
+    assert!(out.contains("BER"), "analysis output unaffected: {out}");
+    assert!(!stochcdr_obs::enabled(), "recorder must be uninstalled after run()");
+
+    let text = std::fs::read_to_string(&jsonl_path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 10, "expected a substantive record stream");
+    let mut cycle_events = 0;
+    let mut tpm_nnz = None;
+    let mut sweep_counters = 0;
+    for (i, line) in lines.iter().enumerate() {
+        let v = Json::parse(line).unwrap_or_else(|e| panic!("line {i} invalid: {e}\n{line}"));
+        let kind = v.get("kind").and_then(Json::as_str).expect("kind field");
+        if i == 0 {
+            assert_eq!(kind, "meta");
+            assert_eq!(
+                v.get("schema").and_then(Json::as_str),
+                Some(stochcdr_obs::SCHEMA_VERSION)
+            );
+            continue;
+        }
+        let name = v.get("name").and_then(Json::as_str).unwrap_or_default();
+        if kind == "event" && name == "multigrid.cycle" {
+            cycle_events += 1;
+            let fields = v.get("fields").expect("event fields");
+            assert!(fields.get("residual").and_then(Json::as_f64).unwrap() >= 0.0);
+            assert!(fields.get("cycle").and_then(Json::as_f64).unwrap() >= 1.0);
+        }
+        if kind == "event" && name == "fsm.tpm_assembled" {
+            tpm_nnz = v.get("fields").and_then(|f| f.get("nnz")).and_then(Json::as_f64);
+        }
+        if kind == "counter" && name.starts_with("multigrid.smooth_sweeps.level") {
+            sweep_counters += 1;
+        }
+    }
+    assert!(cycle_events > 0, "per-cycle residual events missing");
+    assert!(tpm_nnz.unwrap_or(0.0) > 0.0, "TPM nnz event missing");
+    assert!(sweep_counters > 0, "per-level smoothing counters missing");
+
+    // Summary: the default format writes an aggregated table.
+    run(&argv(&format!(
+        "analyze --refinement 8 --metrics {}",
+        summary_path.display()
+    )))
+    .expect("analyze with summary metrics");
+    let table = std::fs::read_to_string(&summary_path).unwrap();
+    assert!(table.contains(stochcdr_obs::SCHEMA_VERSION), "{table}");
+    assert!(table.contains("multigrid.solve"), "{table}");
+    assert!(table.contains("multigrid.smooth_sweeps.level0"), "{table}");
+    assert!(table.contains("fsm.tpm_assembled"), "{table}");
+
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&summary_path).ok();
+}
+
+#[test]
+fn bad_metrics_format_rejected() {
+    let err = run(&argv("analyze --metrics /tmp/x --metrics-format yaml")).unwrap_err();
+    assert!(err.to_string().contains("summary | jsonl"), "{err}");
+}

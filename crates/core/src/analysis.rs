@@ -4,6 +4,7 @@
 use std::time::Instant;
 
 use stochcdr_markov::functional::marginal;
+use stochcdr_obs as obs;
 use stochcdr_markov::stationary::{
     GaussSeidelSolver, GthSolver, JacobiSolver, PowerIteration, StationarySolver,
 };
@@ -167,9 +168,18 @@ impl CdrChain {
     /// Propagates solver failures.
     pub fn analyze_with_tol(&self, choice: SolverChoice, tol: f64) -> Result<CdrAnalysis> {
         let solver = self.solver_with_tol(choice, tol);
+        let _span = obs::span("core.analyze");
         let start = Instant::now();
         let result = solver.solve(self.tpm(), None)?;
         let solve_time = start.elapsed();
+        obs::event(
+            "core.stationary_solved",
+            &[
+                ("iterations", result.iterations.into()),
+                ("residual", result.residual.into()),
+                ("solve_ms", (solve_time.as_secs_f64() * 1e3).into()),
+            ],
+        );
         Ok(self.analysis_from_stationary(
             result.distribution,
             result.iterations,

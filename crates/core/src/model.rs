@@ -2,6 +2,8 @@
 
 use std::time::Instant;
 
+use stochcdr_obs as obs;
+
 use stochcdr_fsm::{CascadeNetwork, TpmBuilder};
 use stochcdr_linalg::CsrMatrix;
 use stochcdr_markov::StochasticMatrix;
@@ -61,6 +63,7 @@ impl CdrModel {
     ///
     /// Propagates TPM-validation errors (row mass drift).
     pub fn build_chain_via_network(&self) -> Result<CdrChain> {
+        let _span = obs::span("core.build_chain");
         let start = Instant::now();
         let net = self.network();
         let tpm = net.try_build_tpm()?;
@@ -74,6 +77,7 @@ impl CdrModel {
     ///
     /// Propagates TPM-validation errors.
     pub fn build_chain(&self) -> Result<CdrChain> {
+        let _span = obs::span("core.build_chain");
         let start = Instant::now();
         let cfg = &self.config;
         let (l, c_len, m) = (cfg.data_model.state_count(), cfg.filter_states(), cfg.m_bins());
@@ -157,6 +161,10 @@ impl CdrModel {
         let wrap_full = self.wrap_probabilities();
         if cls.is_irreducible() {
             let tpm = StochasticMatrix::new(full)?;
+            obs::event(
+                "core.chain_built",
+                &[("states", tpm.n().into()), ("nnz", tpm.matrix().nnz().into()), ("restricted", false.into())],
+            );
             return Ok(CdrChain::new(self.config.clone(), tpm, wrap_full, start.elapsed()));
         }
         let recurrent = cls.recurrent_classes();
@@ -169,6 +177,10 @@ impl CdrModel {
         let keep = cls.classes[recurrent[0]].clone(); // ascending by construction
         let restricted = full.submatrix(&keep);
         let tpm = StochasticMatrix::new(restricted)?;
+        obs::event(
+            "core.chain_built",
+            &[("states", tpm.n().into()), ("nnz", tpm.matrix().nnz().into()), ("restricted", true.into())],
+        );
         let wrap = keep.iter().map(|&s| wrap_full[s]).collect();
         Ok(CdrChain::new_restricted(self.config.clone(), tpm, wrap, start.elapsed(), keep))
     }

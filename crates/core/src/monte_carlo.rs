@@ -11,6 +11,7 @@
 //! harness for the whole model — and at 1e-10 BER it demonstrably cannot.
 
 use rand::rngs::StdRng;
+use stochcdr_obs as obs;
 use rand::{Rng, SeedableRng};
 use stochcdr_noise::sampling::DiscreteSampler;
 
@@ -75,6 +76,8 @@ impl MonteCarlo {
     /// Runs `symbols` symbol intervals with the given RNG seed, starting
     /// from the locked state.
     pub fn run(&self, symbols: u64, seed: u64) -> McResult {
+        let _span = obs::span("core.monte_carlo");
+        let wall = std::time::Instant::now();
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = &self.config;
         let m = cfg.m_bins();
@@ -147,6 +150,19 @@ impl MonteCarlo {
 
         let ber = bit_errors as f64 / symbols as f64;
         let ci = 1.96 * (ber.max(1e-300) * (1.0 - ber) / symbols as f64).sqrt();
+        obs::counter("core.mc.symbols", symbols);
+        obs::counter("core.mc.bit_errors", bit_errors);
+        obs::counter("core.mc.cycle_slips", slips);
+        obs::gauge("core.mc.symbols_per_sec", symbols as f64 / wall.elapsed().as_secs_f64().max(1e-12));
+        obs::event(
+            "core.mc.run",
+            &[
+                ("symbols", symbols.into()),
+                ("bit_errors", bit_errors.into()),
+                ("cycle_slips", slips.into()),
+                ("ber", ber.into()),
+            ],
+        );
         McResult {
             symbols,
             bit_errors,

@@ -55,22 +55,27 @@ pub fn figure_panel(chain: &CdrChain, analysis: &CdrAnalysis) -> String {
     out
 }
 
-/// One row of a solver-comparison table.
+/// One row of a solver-comparison table, including the TPM nonzero
+/// count captured during chain assembly (the same figure the
+/// `stochcdr-obs` layer reports as `fsm.tpm_assembled`/`core.chain_built`).
 pub fn solver_row(
     name: &str,
     states: usize,
+    nnz: usize,
     iterations: usize,
     residual: f64,
     seconds: f64,
 ) -> String {
-    format!("{name:<14} {states:>10} {iterations:>10} {residual:>12.2e} {seconds:>10.3}s")
+    format!(
+        "{name:<14} {states:>10} {nnz:>12} {iterations:>10} {residual:>12.2e} {seconds:>10.3}s"
+    )
 }
 
 /// Header matching [`solver_row`].
 pub fn solver_header() -> String {
     format!(
-        "{:<14} {:>10} {:>10} {:>12} {:>11}",
-        "solver", "states", "iters", "residual", "time"
+        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>11}",
+        "solver", "states", "nnz", "iters", "residual", "time"
     )
 }
 
@@ -124,7 +129,7 @@ mod tests {
     #[test]
     fn table_rows_align() {
         let h = solver_header();
-        let r = solver_row("multigrid", 2048, 12, 1e-13, 0.5);
+        let r = solver_row("multigrid", 2048, 10240, 12, 1e-13, 0.5);
         assert_eq!(h.len(), r.len());
     }
 }

@@ -1,6 +1,7 @@
 //! Row-oriented transition-probability-matrix builder.
 
 use stochcdr_linalg::{CooMatrix, CsrMatrix};
+use stochcdr_obs as obs;
 
 use crate::{FsmError, Result};
 
@@ -153,7 +154,13 @@ impl TpmBuilder {
                 "row {missing} was never built"
             )));
         }
-        Ok(self.coo.to_csr())
+        let _span = obs::span("fsm.tpm_finish");
+        let csr = self.coo.to_csr();
+        obs::event(
+            "fsm.tpm_assembled",
+            &[("rows", csr.rows().into()), ("nnz", csr.nnz().into())],
+        );
+        Ok(csr)
     }
 }
 

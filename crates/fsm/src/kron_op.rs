@@ -8,6 +8,7 @@
 //! ("hierarchical generalized Kronecker-algebra" — Plateau, Buchholz).
 
 use stochcdr_linalg::{kron, CsrMatrix};
+use stochcdr_obs as obs;
 
 /// A lazily-applied Kronecker product of square sparse factors.
 ///
@@ -108,7 +109,18 @@ impl KroneckerOp {
     /// Materializes the full Kronecker product (for tests and small
     /// systems).
     pub fn materialize(&self) -> CsrMatrix {
-        kron::kron_all(self.factors.iter())
+        let _span = obs::span("fsm.kron_materialize");
+        let m = kron::kron_all(self.factors.iter());
+        obs::event(
+            "fsm.kron_materialized",
+            &[
+                ("factors", self.factors.len().into()),
+                ("dim", self.dim.into()),
+                ("compact_nnz", self.compact_nnz().into()),
+                ("nnz", m.nnz().into()),
+            ],
+        );
+        m
     }
 }
 

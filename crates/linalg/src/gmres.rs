@@ -8,6 +8,7 @@
 //! magnitude faster than stationary sweeps.
 
 use crate::{vecops, CsrMatrix, LinalgError, Result};
+use stochcdr_obs as obs;
 
 /// Configuration for [`gmres`].
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +91,10 @@ pub fn gmres(
         let beta = vecops::norm2(&r);
         rel = beta / b_norm;
         if rel <= opts.tol {
+            obs::event(
+                "linalg.gmres",
+                &[("iterations", total_iters.into()), ("rel_residual", rel.into())],
+            );
             return Ok(GmresResult { x, iterations: total_iters, rel_residual: rel });
         }
         vecops::scale(1.0 / beta, &mut r);
@@ -163,6 +168,10 @@ pub fn gmres(
             vecops::axpy(*yj, &v[j], &mut x);
         }
         if rel <= opts.tol {
+            obs::event(
+                "linalg.gmres",
+                &[("iterations", total_iters.into()), ("rel_residual", rel.into())],
+            );
             return Ok(GmresResult { x, iterations: total_iters, rel_residual: rel });
         }
     }

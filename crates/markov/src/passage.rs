@@ -14,6 +14,7 @@
 //!   state before absorption, from a given start distribution.
 
 use stochcdr_linalg::{vecops, CsrMatrix};
+use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
@@ -109,6 +110,10 @@ pub fn mean_hitting_times(
             t[i] = new;
         }
         if change <= opts.tol * (1.0 + vecops::norm_inf(&t)) {
+            obs::event(
+                "markov.passage",
+                &[("iterations", (it + 1).into()), ("states", n.into())],
+            );
             return Ok(t);
         }
         let _ = it;

@@ -1,6 +1,7 @@
 //! Gauss–Seidel iteration for the stationary distribution.
 
 use stochcdr_linalg::vecops;
+use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
@@ -97,6 +98,10 @@ impl StationarySolver for GaussSeidelSolver {
             if change <= self.tol {
                 let residual = p.stationary_residual(&x);
                 vecops::clamp_roundoff(&mut x, 1e-12);
+                obs::event(
+                    "markov.gauss_seidel",
+                    &[("iterations", it.into()), ("residual", residual.into())],
+                );
                 return Ok(StationaryResult { distribution: x, iterations: it, residual });
             }
         }

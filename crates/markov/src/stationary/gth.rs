@@ -1,6 +1,7 @@
 //! Direct GTH (Grassmann–Taksar–Heyman) stationary solver.
 
 use stochcdr_linalg::{vecops, DenseMatrix};
+use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
@@ -97,9 +98,11 @@ impl GthSolver {
 
 impl StationarySolver for GthSolver {
     fn solve(&self, p: &StochasticMatrix, _init: Option<&[f64]>) -> Result<StationaryResult> {
+        let _span = obs::span("markov.gth");
         let dense = p.matrix().to_dense();
         let pi = self.solve_dense(&dense)?;
         let residual = p.stationary_residual(&pi);
+        obs::event("markov.gth", &[("states", p.n().into()), ("residual", residual.into())]);
         Ok(StationaryResult { distribution: pi, iterations: 1, residual })
     }
 

@@ -1,6 +1,7 @@
 //! Damped Jacobi iteration for the stationary distribution.
 
 use stochcdr_linalg::vecops;
+use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
@@ -102,6 +103,10 @@ impl StationarySolver for JacobiSolver {
             if change <= self.tol {
                 let residual = p.stationary_residual(&x);
                 vecops::clamp_roundoff(&mut x, 1e-12);
+                obs::event(
+                    "markov.jacobi",
+                    &[("iterations", it.into()), ("residual", residual.into())],
+                );
                 return Ok(StationaryResult { distribution: x, iterations: it, residual });
             }
         }

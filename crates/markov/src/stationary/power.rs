@@ -1,6 +1,7 @@
 //! Power iteration for the stationary distribution.
 
 use stochcdr_linalg::vecops;
+use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
@@ -81,6 +82,10 @@ impl StationarySolver for PowerIteration {
             std::mem::swap(&mut x, &mut y);
             if res <= self.tol {
                 vecops::clamp_roundoff(&mut x, 1e-12);
+                obs::event(
+                    "markov.power",
+                    &[("iterations", it.into()), ("residual", res.into())],
+                );
                 return Ok(StationaryResult { distribution: x, iterations: it, residual: res });
             }
         }

@@ -2,6 +2,7 @@
 
 use stochcdr_linalg::vecops;
 use stochcdr_markov::lumping::{aggregate, disaggregate, lump_weighted, Partition};
+use stochcdr_obs as obs;
 use stochcdr_markov::stationary::{
     GthSolver, StationaryResult, StationarySolver,
 };
@@ -243,15 +244,41 @@ impl MultigridSolver {
         let mut level_sizes = vec![p.n()];
         level_sizes.extend(self.partitions.iter().map(Partition::block_count));
 
+        let _solve_span = obs::span("multigrid.solve");
+        let coarsest_size = *level_sizes.last().expect("non-empty");
+        obs::event(
+            "multigrid.hierarchy",
+            &[
+                ("levels", self.levels().into()),
+                ("fine_states", p.n().into()),
+                ("coarsest_states", coarsest_size.into()),
+                ("coarsening_ratio", (p.n() as f64 / coarsest_size.max(1) as f64).into()),
+            ],
+        );
+
         let mut history = Vec::new();
         for cycle in 1..=self.max_cycles {
+            let _cycle_span = obs::span("cycle");
             self.run_cycle(p, 0, &mut x)?;
             let res = p.stationary_residual(&x);
             history.push(res);
+            obs::event(
+                "multigrid.cycle",
+                &[("cycle", cycle.into()), ("residual", res.into())],
+            );
             if res <= self.tol {
                 vecops::clamp_roundoff(&mut x, 1e-12);
+                // Clamping perturbs the iterate, so the pre-clamp residual
+                // no longer describes the distribution actually returned:
+                // recompute it and keep history's last entry in sync.
+                let final_res = p.stationary_residual(&x);
+                *history.last_mut().expect("pushed above") = final_res;
+                obs::event(
+                    "multigrid.converged",
+                    &[("cycles", cycle.into()), ("residual", final_res.into())],
+                );
                 let result =
-                    StationaryResult { distribution: x, iterations: cycle, residual: res };
+                    StationaryResult { distribution: x, iterations: cycle, residual: final_res };
                 let stats = MultigridStats {
                     residual_history: history,
                     levels: self.levels(),
@@ -292,21 +319,34 @@ impl MultigridSolver {
     /// One multigrid cycle at `level`, updating `x` in place.
     fn run_cycle(&self, chain: &StochasticMatrix, level: usize, x: &mut Vec<f64>) -> Result<()> {
         if level == self.partitions.len() {
+            let _span = obs::span("coarse_solve");
             return self.solve_coarsest(chain, x);
         }
         self.smoother.apply(chain, x, self.pre_sweeps);
+        if obs::enabled() {
+            // Per-level sweep counters need an owned name; gate the
+            // format! so the disabled path stays allocation-free.
+            obs::counter(&format!("multigrid.smooth_sweeps.level{level}"), self.pre_sweeps as u64);
+        }
 
         let part = &self.partitions[level];
+        let agg_span = obs::span("aggregate");
         let coarse = lump_weighted(chain, part, x)?;
         let mut xc = aggregate(part, x);
         vecops::normalize_l1(&mut xc);
+        drop(agg_span);
         for _ in 0..self.cycle.gamma() {
             self.run_cycle(&coarse, level + 1, &mut xc)?;
         }
+        let disagg_span = obs::span("disaggregate");
         *x = disaggregate(part, &xc, x);
         vecops::normalize_l1(x);
+        drop(disagg_span);
 
         self.smoother.apply(chain, x, self.post_sweeps);
+        if obs::enabled() {
+            obs::counter(&format!("multigrid.smooth_sweeps.level{level}"), self.post_sweeps as u64);
+        }
         Ok(())
     }
 

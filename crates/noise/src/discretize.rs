@@ -9,6 +9,7 @@
 
 use crate::dist::Distribution;
 use crate::{NoiseError, Result};
+use stochcdr_obs as obs;
 
 /// A finite probability mass function over integer grid offsets.
 ///
@@ -175,7 +176,16 @@ pub fn discretize(dist: &dyn Distribution, delta: f64, lo: f64, hi: f64) -> Disc
         };
         pairs.push((k as i32, mass));
     }
-    DiscreteDist::from_pairs(pairs).expect("discretization of a CDF yields a valid pmf")
+    let d = DiscreteDist::from_pairs(pairs).expect("discretization of a CDF yields a valid pmf");
+    obs::event(
+        "noise.discretized",
+        &[
+            ("support", d.support_len().into()),
+            ("delta", delta.into()),
+            ("mean_offset", d.mean_offset().into()),
+        ],
+    );
+    d
 }
 
 /// Discretizes with a symmetric `n_sigma` truncation around the mean.

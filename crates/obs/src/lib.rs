@@ -1,0 +1,197 @@
+//! `stochcdr-obs` — zero-dependency instrumentation facade for the
+//! stochcdr workspace.
+//!
+//! Library crates call the free functions in this module — [`span`],
+//! [`counter`], [`gauge`], [`event`] — unconditionally. When no sink is
+//! installed (the default) every call reduces to a single relaxed
+//! atomic load and performs **no heap allocation**, so instrumented hot
+//! loops pay effectively nothing. When a [`Sink`] is installed via
+//! [`install`], records flow to it tagged with nanoseconds since
+//! installation.
+//!
+//! ```
+//! let _ = stochcdr_obs::uninstall();
+//! stochcdr_obs::install(Box::new(stochcdr_obs::SummarySink::new()));
+//! {
+//!     let _outer = stochcdr_obs::span("solve");
+//!     for i in 0..3u64 {
+//!         let _inner = stochcdr_obs::span("cycle");
+//!         stochcdr_obs::counter("sweeps", 2);
+//!         stochcdr_obs::event("cycle.done", &[("cycle", i.into())]);
+//!     }
+//! }
+//! let report = stochcdr_obs::uninstall().unwrap().finish().unwrap();
+//! assert!(report.contains("sweeps"));
+//! ```
+//!
+//! Call sites that would need to build owned data (e.g. `format!`ed
+//! names) must gate that work behind [`enabled`]. Numeric-field events
+//! built with `&[("k", v.into())]` are allocation-free and need no
+//! gate.
+//!
+//! The recorder keeps one global span stack: it assumes instrumented
+//! regions run on one thread at a time (true for the single-threaded
+//! solvers here). Concurrent spans from multiple threads are recorded
+//! safely but may interleave their paths.
+
+#![warn(missing_docs)]
+
+pub mod json;
+mod record;
+mod sink;
+
+pub use record::{Record, Value};
+pub use sink::{JsonLinesSink, NullSink, Sink, SummarySink, SCHEMA_VERSION};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Fast-path flag: true iff a sink is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+static STATE: Mutex<Option<Recorder>> = Mutex::new(None);
+
+struct Recorder {
+    sink: Box<dyn Sink>,
+    /// Names of currently-open spans, outermost first.
+    stack: Vec<&'static str>,
+    epoch: Instant,
+    /// Incremented on every install; guards against span guards that
+    /// outlive the sink they were opened under.
+    session: u64,
+}
+
+/// Installs `sink` as the global record consumer, enabling
+/// instrumentation. Replaces (and finishes) any previously installed
+/// sink, returning it.
+pub fn install(sink: Box<dyn Sink>) -> Option<Box<dyn Sink>> {
+    let mut guard = STATE.lock().unwrap();
+    let prev = guard.take().map(|mut r| {
+        r.sink.finish();
+        r.sink
+    });
+    let session = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
+    *guard = Some(Recorder {
+        sink,
+        stack: Vec::with_capacity(8),
+        epoch: Instant::now(),
+        session,
+    });
+    ENABLED.store(true, Ordering::Release);
+    prev
+}
+
+static SESSION_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Uninstalls the current sink (calling its [`Sink::finish`]) and
+/// disables instrumentation. Returns the sink for inspection.
+pub fn uninstall() -> Option<Box<dyn Sink>> {
+    let mut guard = STATE.lock().unwrap();
+    ENABLED.store(false, Ordering::Release);
+    guard.take().map(|mut r| {
+        r.sink.finish();
+        r.sink
+    })
+}
+
+/// Whether a sink is currently installed. Call sites gate any
+/// allocating record-preparation work behind this.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// An open span; records its wall-clock duration when dropped.
+///
+/// Created by [`span`]. Inactive guards (instrumentation disabled at
+/// entry) are inert.
+#[must_use = "a span measures the scope it is bound to; bind it to a variable"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// Depth of this span in the stack at open time (1-based); 0 marks
+    /// an inactive guard.
+    depth: usize,
+    session: u64,
+    start: Instant,
+}
+
+/// Opens a named span. The returned guard records a
+/// [`Record::Span`] with the `/`-joined path of all open span names
+/// when it is dropped.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        // Inactive guard: the clock read is a cheap vDSO call and the
+        // guard performs no work on drop. No allocation either way.
+        return SpanGuard { depth: 0, session: 0, start: Instant::now() };
+    }
+    let mut guard = STATE.lock().unwrap();
+    match guard.as_mut() {
+        Some(rec) => {
+            rec.stack.push(name);
+            SpanGuard { depth: rec.stack.len(), session: rec.session, start: Instant::now() }
+        }
+        None => SpanGuard { depth: 0, session: 0, start: Instant::now() },
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.depth == 0 || !enabled() {
+            return;
+        }
+        let nanos = self.start.elapsed().as_nanos() as u64;
+        let mut guard = STATE.lock().unwrap();
+        let Some(rec) = guard.as_mut() else { return };
+        if rec.session != self.session || rec.stack.len() < self.depth {
+            // The sink changed, or the stack was already unwound past
+            // us (out-of-order drop); nothing sensible to record.
+            return;
+        }
+        // Drop any spans opened after us that leaked (e.g. via
+        // std::mem::forget), then pop ourselves.
+        rec.stack.truncate(self.depth);
+        let path = rec.stack.join("/");
+        rec.stack.pop();
+        let at = rec.epoch.elapsed().as_nanos() as u64;
+        rec.sink.record(at, &Record::Span { path: &path, nanos, depth: self.depth });
+    }
+}
+
+/// Increments a named counter by `delta`.
+#[inline]
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec, at| rec.sink.record(at, &Record::Counter { name, delta }));
+}
+
+/// Records a point-in-time gauge measurement.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec, at| rec.sink.record(at, &Record::Gauge { name, value }));
+}
+
+/// Records a structured event. Build numeric fields on the stack:
+/// `obs::event("cycle.done", &[("residual", res.into())])` — this
+/// allocates nothing when instrumentation is disabled.
+#[inline]
+pub fn event(name: &str, fields: &[(&str, Value)]) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec, at| rec.sink.record(at, &Record::Event { name, fields }));
+}
+
+fn with_recorder(f: impl FnOnce(&mut Recorder, u64)) {
+    let mut guard = STATE.lock().unwrap();
+    if let Some(rec) = guard.as_mut() {
+        let at = rec.epoch.elapsed().as_nanos() as u64;
+        f(rec, at);
+    }
+}

@@ -1,0 +1,122 @@
+//! The record types flowing from instrumented code into sinks.
+
+/// A single metric value.
+///
+/// Numeric variants are plain copies — building a `&[("k", v.into())]`
+/// field slice on the stack performs no heap allocation, which is what
+/// keeps disabled-path instrumentation allocation-free.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Owned string (allocates; prefer numeric values on hot paths).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One instrumentation record, borrowed from the emitting site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record<'a> {
+    /// A completed span: `path` is the `/`-joined name stack
+    /// (e.g. `multigrid.solve/multigrid.cycle`).
+    Span {
+        /// Full span path, outermost first.
+        path: &'a str,
+        /// Wall-clock duration in nanoseconds.
+        nanos: u64,
+        /// Nesting depth (1 = top level).
+        depth: usize,
+    },
+    /// A monotone counter increment.
+    Counter {
+        /// Counter name.
+        name: &'a str,
+        /// Increment (counters only go up).
+        delta: u64,
+    },
+    /// A point-in-time measurement.
+    Gauge {
+        /// Gauge name.
+        name: &'a str,
+        /// Measured value.
+        value: f64,
+    },
+    /// A structured event with named fields.
+    Event {
+        /// Event name.
+        name: &'a str,
+        /// Field key/value pairs.
+        fields: &'a [(&'a str, Value)],
+    },
+}
+
+impl Record<'_> {
+    /// The record's name (span path, counter/gauge/event name).
+    pub fn name(&self) -> &str {
+        match self {
+            Record::Span { path, .. } => path,
+            Record::Counter { name, .. }
+            | Record::Gauge { name, .. }
+            | Record::Event { name, .. } => name,
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Record consumers: the [`Sink`] trait and the three built-ins —
+//! [`NullSink`] (discard), [`SummarySink`] (aggregated human-readable
+//! table), and [`JsonLinesSink`] (one JSON object per record).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+use crate::record::{Record, Value};
+
+/// Version tag written to the first line of every JSONL stream and
+/// recorded in docs; bump on breaking schema changes.
+pub const SCHEMA_VERSION: &str = "stochcdr-obs/1";
+
+/// A consumer of instrumentation records.
+///
+/// Implementations receive every record emitted while they are
+/// installed. `at_nanos` is the monotonic time since the sink was
+/// installed.
+pub trait Sink: Send {
+    /// Consumes one record.
+    fn record(&mut self, at_nanos: u64, record: &Record<'_>);
+
+    /// Called once when the sink is uninstalled. Streaming sinks flush
+    /// here; aggregating sinks may return a rendered report.
+    fn finish(&mut self) -> Option<String> {
+        None
+    }
+}
+
+/// Discards every record. Installing this is equivalent to leaving
+/// instrumentation disabled, but exercises the full record path —
+/// useful for overhead measurements.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&mut self, _at_nanos: u64, _record: &Record<'_>) {}
+}
+
+#[derive(Debug, Default, Clone)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct GaugeAgg {
+    count: u64,
+    last: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Aggregates records in memory and renders a hierarchical summary
+/// table from [`Sink::finish`].
+#[derive(Debug, Default)]
+pub struct SummarySink {
+    spans: BTreeMap<String, SpanAgg>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, GaugeAgg>,
+    events: BTreeMap<String, u64>,
+    last_event_fields: BTreeMap<String, String>,
+    end_ns: u64,
+}
+
+impl SummarySink {
+    /// Creates an empty summary sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the aggregated table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "stochcdr-obs summary ({}; {:.3} s observed)",
+            SCHEMA_VERSION,
+            self.end_ns as f64 * 1e-9
+        );
+        if !self.spans.is_empty() {
+            out.push_str("\nspans (path, count, total, mean, min..max):\n");
+            for (path, agg) in &self.spans {
+                // Indent by nesting depth so the hierarchy reads as a tree.
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                let mean = agg.total_ns as f64 / agg.count.max(1) as f64;
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{:<32} {:>8}  {:>10}  {:>10}  {}..{}",
+                    "",
+                    leaf,
+                    agg.count,
+                    fmt_ns(agg.total_ns as f64),
+                    fmt_ns(mean),
+                    fmt_ns(agg.min_ns as f64),
+                    fmt_ns(agg.max_ns as f64),
+                    indent = depth * 2,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {total}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges (last, min..max, n):\n");
+            for (name, agg) in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:.6e}  {:.3e}..{:.3e}  n={}",
+                    name, agg.last, agg.min, agg.max, agg.count
+                );
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("\nevents (count, last fields):\n");
+            for (name, count) in &self.events {
+                let fields = self
+                    .last_event_fields
+                    .get(name)
+                    .map(String::as_str)
+                    .unwrap_or("");
+                let _ = writeln!(out, "  {name:<40} {count:>6}  {fields}");
+            }
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::U64(x) => x.to_string(),
+        Value::I64(x) => x.to_string(),
+        Value::F64(x) => format!("{x:.6e}"),
+        Value::Bool(x) => x.to_string(),
+        Value::Str(x) => x.clone(),
+    }
+}
+
+impl Sink for SummarySink {
+    fn record(&mut self, at_nanos: u64, record: &Record<'_>) {
+        self.end_ns = self.end_ns.max(at_nanos);
+        match record {
+            Record::Span { path, nanos, .. } => {
+                let agg = self.spans.entry((*path).to_string()).or_default();
+                if agg.count == 0 {
+                    agg.min_ns = *nanos;
+                    agg.max_ns = *nanos;
+                } else {
+                    agg.min_ns = agg.min_ns.min(*nanos);
+                    agg.max_ns = agg.max_ns.max(*nanos);
+                }
+                agg.count += 1;
+                agg.total_ns += nanos;
+            }
+            Record::Counter { name, delta } => {
+                *self.counters.entry((*name).to_string()).or_default() += delta;
+            }
+            Record::Gauge { name, value } => {
+                let agg = self.gauges.entry((*name).to_string()).or_default();
+                if agg.count == 0 {
+                    agg.min = *value;
+                    agg.max = *value;
+                } else {
+                    agg.min = agg.min.min(*value);
+                    agg.max = agg.max.max(*value);
+                }
+                agg.count += 1;
+                agg.last = *value;
+            }
+            Record::Event { name, fields } => {
+                *self.events.entry((*name).to_string()).or_default() += 1;
+                let mut rendered = String::new();
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        rendered.push(' ');
+                    }
+                    let _ = write!(rendered, "{k}={}", fmt_value(v));
+                }
+                self.last_event_fields.insert((*name).to_string(), rendered);
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Option<String> {
+        Some(self.render())
+    }
+}
+
+/// Streams each record as one JSON object per line.
+///
+/// The first line is a meta record carrying [`SCHEMA_VERSION`]:
+/// `{"kind":"meta","schema":"stochcdr-obs/1"}`. Subsequent lines have
+/// `kind` of `span`, `counter`, `gauge`, or `event`, a `t` field
+/// (nanoseconds since install), and kind-specific fields.
+pub struct JsonLinesSink {
+    w: Box<dyn Write + Send>,
+    line: String,
+}
+
+impl std::fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonLinesSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// Wraps an arbitrary writer.
+    pub fn new(mut w: Box<dyn Write + Send>) -> Self {
+        let _ = writeln!(w, "{{\"kind\":\"meta\",\"schema\":\"{SCHEMA_VERSION}\"}}");
+        JsonLinesSink { w, line: String::with_capacity(256) }
+    }
+
+    /// Opens `path` for writing (truncating) and streams records to it.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(Box::new(BufWriter::new(file))))
+    }
+
+    /// Streams into a shared in-memory buffer; the returned handle can
+    /// be read after the sink is uninstalled. Used by tests.
+    pub fn to_shared_buffer() -> (Self, Arc<Mutex<Vec<u8>>>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        let sink = Self::new(Box::new(SharedBuffer(Arc::clone(&buf))));
+        (sink, buf)
+    }
+
+    fn push_value(line: &mut String, v: &Value) {
+        match v {
+            Value::U64(x) => {
+                let _ = write!(line, "{x}");
+            }
+            Value::I64(x) => {
+                let _ = write!(line, "{x}");
+            }
+            Value::F64(x) => json::write_f64(line, *x),
+            Value::Bool(x) => {
+                let _ = write!(line, "{x}");
+            }
+            Value::Str(x) => json::escape_into(line, x),
+        }
+    }
+}
+
+struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn record(&mut self, at_nanos: u64, record: &Record<'_>) {
+        let line = &mut self.line;
+        line.clear();
+        match record {
+            Record::Span { path, nanos, depth } => {
+                line.push_str("{\"kind\":\"span\",\"path\":");
+                json::escape_into(line, path);
+                let _ = write!(line, ",\"nanos\":{nanos},\"depth\":{depth}");
+            }
+            Record::Counter { name, delta } => {
+                line.push_str("{\"kind\":\"counter\",\"name\":");
+                json::escape_into(line, name);
+                let _ = write!(line, ",\"delta\":{delta}");
+            }
+            Record::Gauge { name, value } => {
+                line.push_str("{\"kind\":\"gauge\",\"name\":");
+                json::escape_into(line, name);
+                line.push_str(",\"value\":");
+                json::write_f64(line, *value);
+            }
+            Record::Event { name, fields } => {
+                line.push_str("{\"kind\":\"event\",\"name\":");
+                json::escape_into(line, name);
+                line.push_str(",\"fields\":{");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    json::escape_into(line, k);
+                    line.push(':');
+                    Self::push_value(line, v);
+                }
+                line.push('}');
+            }
+        }
+        let _ = write!(line, ",\"t\":{at_nanos}}}");
+        let _ = writeln!(self.w, "{}", line);
+    }
+
+    fn finish(&mut self) -> Option<String> {
+        let _ = self.w.flush();
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn summary_aggregates_and_renders() {
+        let mut s = SummarySink::new();
+        s.record(10, &Record::Span { path: "solve", nanos: 100, depth: 1 });
+        s.record(20, &Record::Span { path: "solve/cycle", nanos: 40, depth: 2 });
+        s.record(30, &Record::Span { path: "solve/cycle", nanos: 60, depth: 2 });
+        s.record(40, &Record::Counter { name: "sweeps", delta: 3 });
+        s.record(50, &Record::Counter { name: "sweeps", delta: 2 });
+        s.record(60, &Record::Gauge { name: "residual", value: 1e-9 });
+        s.record(
+            70,
+            &Record::Event { name: "cycle.done", fields: &[("residual", Value::F64(1e-9))] },
+        );
+        let text = s.render();
+        assert!(text.contains("cycle"), "{text}");
+        assert!(text.contains("sweeps"), "{text}");
+        assert!(text.contains('5'), "{text}");
+        assert!(text.contains("cycle.done"), "{text}");
+        assert_eq!(s.spans["solve/cycle"].count, 2);
+        assert_eq!(s.spans["solve/cycle"].total_ns, 100);
+        assert_eq!(s.counters["sweeps"], 5);
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_json() {
+        let (mut sink, buf) = JsonLinesSink::to_shared_buffer();
+        sink.record(5, &Record::Span { path: "a/b", nanos: 17, depth: 2 });
+        sink.record(6, &Record::Gauge { name: "g", value: f64::NAN });
+        sink.record(
+            7,
+            &Record::Event {
+                name: "e\"scaped",
+                fields: &[("k", Value::Str("v\n".into())), ("n", Value::I64(-3))],
+            },
+        );
+        sink.finish();
+        let bytes = buf.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let meta = Json::parse(lines[0]).unwrap();
+        assert_eq!(meta.get("schema").and_then(Json::as_str), Some(SCHEMA_VERSION));
+        let span = Json::parse(lines[1]).unwrap();
+        assert_eq!(span.get("nanos").and_then(Json::as_f64), Some(17.0));
+        let gauge = Json::parse(lines[2]).unwrap();
+        assert_eq!(gauge.get("value"), Some(&Json::Null));
+        let event = Json::parse(lines[3]).unwrap();
+        assert_eq!(event.get("name").and_then(Json::as_str), Some("e\"scaped"));
+        let fields = event.get("fields").unwrap();
+        assert_eq!(fields.get("k").and_then(Json::as_str), Some("v\n"));
+        assert_eq!(fields.get("n").and_then(Json::as_f64), Some(-3.0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Integration tests for the global recorder: span nesting, timer
+//! monotonicity, and a full JSONL round-trip through install/uninstall.
+//!
+//! The recorder is a process-wide singleton, so everything runs inside
+//! one `#[test]` function, sequenced.
+
+use std::sync::{Arc, Mutex};
+
+use stochcdr_obs as obs;
+use stochcdr_obs::json::Json;
+use stochcdr_obs::{Record, Sink, Value};
+
+#[derive(Debug, Default)]
+struct Captured {
+    /// (t, path, nanos, depth) per closed span.
+    spans: Vec<(u64, String, u64, usize)>,
+    counters: Vec<(String, u64)>,
+}
+
+/// Collects raw records into shared state readable after uninstall.
+struct CaptureSink(Arc<Mutex<Captured>>);
+
+impl CaptureSink {
+    fn new() -> (Self, Arc<Mutex<Captured>>) {
+        let shared = Arc::new(Mutex::new(Captured::default()));
+        (CaptureSink(Arc::clone(&shared)), shared)
+    }
+}
+
+impl Sink for CaptureSink {
+    fn record(&mut self, at_nanos: u64, record: &Record<'_>) {
+        let mut cap = self.0.lock().unwrap();
+        match record {
+            Record::Span { path, nanos, depth } => {
+                cap.spans.push((at_nanos, (*path).to_string(), *nanos, *depth));
+            }
+            Record::Counter { name, delta } => {
+                cap.counters.push(((*name).to_string(), *delta));
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn global_recorder_end_to_end() {
+    span_paths_nest_and_unwind();
+    span_timers_are_monotone();
+    jsonl_round_trips_through_global_api();
+    guards_from_a_previous_session_are_inert();
+}
+
+fn span_paths_nest_and_unwind() {
+    let _ = obs::uninstall();
+    let (sink, cap) = CaptureSink::new();
+    obs::install(Box::new(sink));
+    {
+        let _a = obs::span("outer");
+        {
+            let _b = obs::span("middle");
+            let _c = obs::span("inner");
+            obs::counter("work", 2);
+        }
+        let _d = obs::span("sibling");
+    }
+    obs::uninstall();
+    let cap = cap.lock().unwrap();
+
+    let paths: Vec<(&str, usize)> =
+        cap.spans.iter().map(|(_, p, _, d)| (p.as_str(), *d)).collect();
+    // Inner-most spans close first; the sibling reuses depth 2 after the
+    // middle/inner pair unwound.
+    assert_eq!(
+        paths,
+        vec![
+            ("outer/middle/inner", 3),
+            ("outer/middle", 2),
+            ("outer/sibling", 2),
+            ("outer", 1),
+        ]
+    );
+    assert_eq!(cap.counters, vec![("work".to_string(), 2)]);
+    // Emission times (t) are non-decreasing.
+    let times: Vec<u64> = cap.spans.iter().map(|(t, ..)| *t).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+}
+
+fn span_timers_are_monotone() {
+    let _ = obs::uninstall();
+    let (sink, cap) = CaptureSink::new();
+    obs::install(Box::new(sink));
+    {
+        let _outer = obs::span("outer");
+        let inner = obs::span("inner");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        drop(inner);
+    }
+    obs::uninstall();
+    let cap = cap.lock().unwrap();
+    let inner = cap.spans.iter().find(|(_, p, ..)| p == "outer/inner").unwrap();
+    let outer = cap.spans.iter().find(|(_, p, ..)| p == "outer").unwrap();
+    // The slept interval is visible, and the enclosing span cannot be
+    // shorter than the enclosed one.
+    assert!(inner.2 >= 2_000_000, "inner span {}ns", inner.2);
+    assert!(outer.2 >= inner.2, "outer {}ns < inner {}ns", outer.2, inner.2);
+}
+
+fn jsonl_round_trips_through_global_api() {
+    let _ = obs::uninstall();
+    let (sink, buf) = obs::JsonLinesSink::to_shared_buffer();
+    obs::install(Box::new(sink));
+    {
+        let _s = obs::span("solve");
+        obs::counter("iters", 7);
+        obs::gauge("residual", 1.5e-11);
+        obs::event(
+            "cycle.done",
+            &[("cycle", 1u64.into()), ("note", Value::Str("first".into()))],
+        );
+    }
+    obs::uninstall();
+
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let lines: Vec<Json> =
+        text.lines().map(|l| Json::parse(l).expect("valid JSON line")).collect();
+    assert_eq!(lines[0].get("schema").and_then(Json::as_str), Some(obs::SCHEMA_VERSION));
+    let kinds: Vec<&str> =
+        lines.iter().filter_map(|v| v.get("kind").and_then(Json::as_str)).collect();
+    assert_eq!(kinds, vec!["meta", "counter", "gauge", "event", "span"]);
+    let event = &lines[3];
+    assert_eq!(
+        event.get("fields").and_then(|f| f.get("note")).and_then(Json::as_str),
+        Some("first")
+    );
+    assert_eq!(
+        event.get("fields").and_then(|f| f.get("cycle")).and_then(Json::as_f64),
+        Some(1.0)
+    );
+    let span = &lines[4];
+    assert_eq!(span.get("path").and_then(Json::as_str), Some("solve"));
+    assert!(span.get("nanos").and_then(Json::as_f64).unwrap() > 0.0);
+}
+
+fn guards_from_a_previous_session_are_inert() {
+    let _ = obs::uninstall();
+    let (sink, _cap) = CaptureSink::new();
+    obs::install(Box::new(sink));
+    let stale = obs::span("stale");
+    obs::uninstall();
+    let (sink2, cap2) = CaptureSink::new();
+    obs::install(Box::new(sink2));
+    drop(stale); // belongs to the torn-down session: must not record
+    obs::uninstall();
+    let cap = cap2.lock().unwrap();
+    assert!(cap.spans.is_empty(), "stale guard recorded: {:?}", cap.spans);
+}

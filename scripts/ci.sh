@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verification: release build, full test suite, and clippy with
+# warnings denied. Everything runs offline — the workspace resolves its
+# external dev-dependencies (rand/proptest/criterion) to local shims.
+set -eu
+
+cd "$(dirname "$0")/.."
+cargo build --release --offline
+cargo test -q --offline
+cargo clippy --offline --all-targets -- -D warnings

@@ -1,0 +1,474 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_filter` / `prop_filter_map`,
+//! range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, [`ProptestConfig`], and the `proptest!` /
+//! `prop_assert*` macros. Unlike real proptest there is no shrinking and
+//! no persisted regression corpus: each case is generated from a
+//! deterministic per-test seed, so failures are reproducible run to run.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic per-test random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds the generator for a named test: the seed is a hash of the
+    /// test name so every test explores a distinct but stable sequence.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325; // FNV-1a
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+}
+
+/// A generator of test values.
+///
+/// `generate` returns `None` when a filter rejects the candidate; the
+/// runner retries (up to an internal cap) before giving up.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draws one candidate value, or `None` on filter rejection.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values where `f` returns `Some`, unwrapping them.
+    fn prop_filter_map<O, F>(self, _reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying the predicate.
+    fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// A strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.inner.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.inner.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        Some(rng.inner.gen_range(self.clone()))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+        Some(rng.inner.gen_range(self.clone()))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Size specification for collection strategies: a fixed length or a
+/// half-open/inclusive range of lengths.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+/// Strategy modules mirroring proptest's `prop::` namespace.
+pub mod strategies {
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// A `Vec` whose elements come from `element` and whose length is
+        /// drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+                let span = self.size.hi_inclusive - self.size.lo + 1;
+                let len = self.size.lo + rng.below(span);
+                let mut out = Vec::with_capacity(len);
+                for _ in 0..len {
+                    out.push(self.element.generate(rng)?);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling strategies.
+
+        use super::super::{Strategy, TestRng};
+
+        /// Chooses uniformly among the given values.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `values` is empty.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            assert!(!values.is_empty(), "select needs at least one value");
+            Select { values }
+        }
+
+        /// See [`select`].
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            values: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> Option<T> {
+                Some(self.values[rng.below(self.values.len())].clone())
+            }
+        }
+    }
+
+    pub mod num {
+        //! Placeholder for numeric strategy aliases (ranges implement
+        //! [`super::super::Strategy`] directly).
+        pub use super::super::Strategy;
+    }
+
+    pub mod bool {
+        //! Boolean strategies.
+
+        use super::super::{Strategy, TestRng};
+
+        /// Uniformly random `bool`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy (`prop::bool::ANY`).
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+                Some(rng.below(2) == 1)
+            }
+        }
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`).
+pub mod prop {
+    pub use super::strategies::{bool, collection, num, sample};
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Retry budget per case when filters reject candidates.
+    pub max_global_rejects: u32,
+    _non_exhaustive: PhantomData<()>,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536, _non_exhaustive: PhantomData }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use super::{prop, Just, ProptestConfig, Strategy, TestRng};
+    pub use super::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. See the crate docs for the supported grammar:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn name(x in 0usize..10, v in prop::collection::vec(-1.0f64..1.0, 3)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            // Strategies are built once; each case redraws values.
+            let __strategies = ($(&($strat),)+);
+            for __case in 0..__config.cases {
+                let mut __rejects = 0u32;
+                let ($($pat,)+) = loop {
+                    match $crate::Strategy::generate(&__strategies, &mut __rng) {
+                        Some(v) => break v,
+                        None => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < __config.max_global_rejects,
+                                "strategy for `{}` rejected {} candidates in a row",
+                                stringify!($name),
+                                __rejects
+                            );
+                        }
+                    }
+                };
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_generate() {
+        let mut rng = TestRng::deterministic("t1");
+        let s = prop::collection::vec((0usize..5, -1.0f64..1.0), 0..10);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng).unwrap();
+            assert!(v.len() < 10);
+            for (i, x) in v {
+                assert!(i < 5);
+                assert!((-1.0..1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn select_and_filter_map() {
+        let mut rng = TestRng::deterministic("t2");
+        let s = prop::sample::select(vec![2usize, 3, 5])
+            .prop_filter_map("odd only", |v| (v % 2 == 1).then_some(v * 10));
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            if let Some(v) = s.generate(&mut rng) {
+                seen.insert(v);
+            }
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![30, 50]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The macro binds multiple strategies and runs the body.
+        #[test]
+        fn macro_smoke(a in 1usize..4, b in prop::collection::vec(0.0f64..1.0, 2), c in 0u64..10) {
+            prop_assert!((1..4).contains(&a));
+            prop_assert_eq!(b.len(), 2);
+            prop_assert!(c < 10, "c was {}", c);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0i32..100) {
+            prop_assert_ne!(x, 1000);
+        }
+    }
+}
