@@ -17,10 +17,27 @@ use std::time::Instant;
 use stochcdr::monte_carlo::MonteCarlo;
 use stochcdr::{CdrConfig, CdrModel, SolverChoice};
 use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
+use stochcdr_linalg::par;
+use stochcdr_markov::StochasticMatrix;
 use stochcdr_obs as obs;
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Mean seconds per `x·P` product over enough repetitions to fill
+/// ~0.3 s of wall clock (calibrated from a single warm rep).
+fn time_spmv(p: &StochasticMatrix, x: &[f64], y: &mut [f64]) -> f64 {
+    p.step_into(x, y); // warm-up, also the calibration rep
+    let t0 = Instant::now();
+    p.step_into(x, y);
+    let one = t0.elapsed().as_secs_f64();
+    let reps = ((0.3 / one.max(1e-9)) as u64).clamp(3, 20_000);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        p.step_into(x, y);
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
 }
 
 fn main() {
@@ -54,6 +71,23 @@ fn main() {
     let mc = MonteCarlo::new(config).run(symbols, 0x5eed);
     let mc_secs = t0.elapsed().as_secs_f64();
 
+    // SpMV microbenchmark: the same `x·P` kernel at 1 thread vs the
+    // configured pool. The determinism contract demands bit-identical
+    // output either way, which the snapshot asserts before recording the
+    // speedup.
+    let threads = par::threads();
+    obs::gauge("bench.threads", threads as f64);
+    let n = chain.state_count();
+    let x = vec![1.0 / n as f64; n];
+    let mut y1 = vec![0.0; n];
+    let mut yn = vec![0.0; n];
+    par::set_threads(Some(1));
+    let spmv_1t_secs = time_spmv(chain.tpm(), &x, &mut y1);
+    par::set_threads(Some(threads));
+    let spmv_nt_secs = time_spmv(chain.tpm(), &x, &mut yn);
+    assert_eq!(y1, yn, "N-thread SpMV must be bit-identical to 1-thread");
+    let spmv_speedup = spmv_1t_secs / spmv_nt_secs;
+
     let summary = obs::uninstall().and_then(|mut s| s.finish()).unwrap_or_default();
 
     let mut json = String::new();
@@ -72,6 +106,10 @@ fn main() {
     let _ = writeln!(json, "  \"form_secs\": {form_secs:e},");
     let _ = writeln!(json, "  \"solve_secs\": {solve_secs:e},");
     let _ = writeln!(json, "  \"mc_secs\": {mc_secs:e},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"spmv_1t_secs\": {spmv_1t_secs:e},");
+    let _ = writeln!(json, "  \"spmv_nt_secs\": {spmv_nt_secs:e},");
+    let _ = writeln!(json, "  \"spmv_speedup\": {spmv_speedup:.3},");
     json.push_str("  \"obs_summary\": ");
     {
         // Reuse the obs JSON escaper so the embedded table is valid JSON.
@@ -86,7 +124,8 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!(
-        "wrote {out_path}: {} states, {} cycles, BER {:.3e}, solve {:.3}s",
+        "wrote {out_path}: {} states, {} cycles, BER {:.3e}, solve {:.3}s, \
+         spmv x{spmv_speedup:.2} at {threads} threads",
         chain.state_count(),
         analysis.iterations,
         analysis.ber,

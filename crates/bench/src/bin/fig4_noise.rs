@@ -15,6 +15,17 @@ use stochcdr::{report, CdrModel, SolverChoice};
 use stochcdr_bench::{fig4_config, FIG4_SIGMA_SCALE};
 
 fn main() {
+    // `--solver NAME` picks any registry solver (default: the paper's
+    // multigrid); names come from the same registry as the CLI.
+    let mut solver = SolverChoice::Multigrid;
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--solver") {
+        let name = args.get(i + 1).map(String::as_str).unwrap_or("");
+        solver = SolverChoice::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown solver '{name}'; expected {}", SolverChoice::cli_names());
+            std::process::exit(2);
+        });
+    }
     println!("=== Figure 4: effect of the n_w (eye-opening) noise level ===\n");
     let mut bers = Vec::new();
     for (panel, scale) in [("top (baseline noise)", 1.0), ("bottom (10x n_w)", FIG4_SIGMA_SCALE)]
@@ -22,7 +33,7 @@ fn main() {
         let config = fig4_config(scale).expect("preset config");
         let model = CdrModel::new(config);
         let chain = model.build_chain().expect("chain assembly");
-        let analysis = chain.analyze(SolverChoice::Multigrid).expect("analysis");
+        let analysis = chain.analyze(solver).expect("analysis");
         println!("--- panel: {panel} ---");
         println!("{}", report::figure_panel(&chain, &analysis));
         bers.push(analysis.ber);

@@ -18,7 +18,7 @@ fn main() {
             let solver = chain.solver_with_tol(choice, 1e-10);
             let t = Instant::now();
             match solver.solve(chain.tpm(), None) {
-                Ok(r) => print!(" {}={} it {:.2}s", solver.name(), r.iterations, t.elapsed().as_secs_f64()),
+                Ok(r) => print!(" {}={} it {:.2}s", solver.name(), r.iterations(), t.elapsed().as_secs_f64()),
                 Err(e) => print!(" {}=FAIL({e:.30})", solver.name()),
             }
         }

@@ -15,9 +15,54 @@
 
 use std::time::Instant;
 
-use stochcdr::{report, CdrConfig, CdrModel, SolverChoice};
+use stochcdr::{report, CdrChain, CdrConfig, CdrModel, SolverChoice};
 use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
 use stochcdr_noise::sonet::DataSpec;
+
+/// Solvers benchmarked on the smooth scaling family. Adding a solver to
+/// either table is one line here — the solve/print plumbing below goes
+/// through the `SolverChoice` registry.
+const SCALING_SOLVERS: &[SolverChoice] =
+    &[SolverChoice::Power, SolverChoice::GaussSeidel, SolverChoice::Multigrid];
+
+/// Solvers benchmarked on the stiff dead-zone family (adds the W-cycle).
+const STIFF_SOLVERS: &[SolverChoice] = &[
+    SolverChoice::Power,
+    SolverChoice::GaussSeidel,
+    SolverChoice::Multigrid,
+    SolverChoice::MultigridW,
+];
+
+/// Runs each registry choice on `chain` and prints one table row per
+/// solver — the single copy of the solve-and-report block.
+fn bench_solvers(chain: &CdrChain, choices: &[SolverChoice], tol: f64) {
+    for &choice in choices {
+        let solver = chain.solver_with_tol(choice, tol);
+        let t0 = Instant::now();
+        match solver.solve(chain.tpm(), None) {
+            Ok(r) => println!(
+                "{}",
+                report::solver_row(
+                    solver.name(),
+                    chain.state_count(),
+                    chain.nnz(),
+                    r.iterations(),
+                    r.residual(),
+                    t0.elapsed().as_secs_f64()
+                )
+            ),
+            Err(e) => println!(
+                "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10.3}s  ({e})",
+                solver.name(),
+                chain.state_count(),
+                chain.nnz(),
+                "-",
+                "-",
+                t0.elapsed().as_secs_f64()
+            ),
+        }
+    }
+}
 
 fn scaled_config(refinement: usize, run_len: usize, counter: usize) -> CdrConfig {
     CdrConfig::builder()
@@ -54,32 +99,7 @@ fn main() {
             chain.nnz(),
             form.as_secs_f64()
         );
-        for choice in [SolverChoice::Power, SolverChoice::GaussSeidel, SolverChoice::Multigrid] {
-            let solver = chain.solver_with_tol(choice, tol);
-            let t0 = Instant::now();
-            match solver.solve(chain.tpm(), None) {
-                Ok(r) => println!(
-                    "{}",
-                    report::solver_row(
-                        solver.name(),
-                        chain.state_count(),
-                        chain.nnz(),
-                        r.iterations,
-                        r.residual,
-                        t0.elapsed().as_secs_f64()
-                    )
-                ),
-                Err(e) => println!(
-                    "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10.3}s  ({e})",
-                    solver.name(),
-                    chain.state_count(),
-                    chain.nnz(),
-                    "-",
-                    "-",
-                    t0.elapsed().as_secs_f64()
-                ),
-            }
-        }
+        bench_solvers(&chain, SCALING_SOLVERS, tol);
     }
     // Part 2: a *stiff* operating point — dead-zone phase detector, so the
     // phase diffuses freely (no corrections) across a quarter-UI plateau.
@@ -99,37 +119,7 @@ fn main() {
             .expect("stiff config");
         let chain = CdrModel::new(config).build_chain().expect("chain");
         println!("--- {} states ({} nnz) ---", chain.state_count(), chain.nnz());
-        for choice in [
-            SolverChoice::Power,
-            SolverChoice::GaussSeidel,
-            SolverChoice::Multigrid,
-            SolverChoice::MultigridW,
-        ] {
-            let solver = chain.solver_with_tol(choice, tol);
-            let t0 = Instant::now();
-            match solver.solve(chain.tpm(), None) {
-                Ok(r) => println!(
-                    "{}",
-                    report::solver_row(
-                        solver.name(),
-                        chain.state_count(),
-                        chain.nnz(),
-                        r.iterations,
-                        r.residual,
-                        t0.elapsed().as_secs_f64()
-                    )
-                ),
-                Err(e) => println!(
-                    "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10.3}s  ({e})",
-                    solver.name(),
-                    chain.state_count(),
-                    chain.nnz(),
-                    "-",
-                    "-",
-                    t0.elapsed().as_secs_f64()
-                ),
-            }
-        }
+        bench_solvers(&chain, STIFF_SOLVERS, tol);
     }
 
     println!(

@@ -80,6 +80,8 @@ pub fn usage() -> String {
      \x20 --run-length N       max identical-bit run (default 4)\n\
      \x20 --solver NAME        power|gs|jacobi|direct|mg|mgw (default mg)\n\
      \x20 --tol X              stationary residual tolerance (default 1e-12)\n\
+     \x20 --threads N          worker threads for parallel kernels; 0 = auto\n\
+     \x20                      (flag > STOCHCDR_THREADS env > available cores)\n\
      \n\
      observability flags (all commands):\n\
      \x20 --metrics PATH       capture instrumentation records to PATH\n\
@@ -106,6 +108,9 @@ pub struct Options {
     pub solver: SolverChoice,
     /// Residual tolerance.
     pub tol: f64,
+    /// Worker-thread count for parallel kernels (`--threads`); 0 means
+    /// auto (`STOCHCDR_THREADS` env, else available parallelism).
+    pub threads: usize,
     /// Where to write instrumentation records (`--metrics`), if anywhere.
     pub metrics: Option<String>,
     /// Format for the metrics file.
@@ -145,6 +150,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                     config: default_config()?,
                     solver: SolverChoice::Multigrid,
                     tol: 1e-12,
+                    threads: 0,
                     metrics: None,
                     metrics_format: MetricsFormat::Summary,
                     extra: BTreeMap::new(),
@@ -180,6 +186,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
     let drift_dev = take_f64(&mut flags, "drift-dev", 8e-3)?;
     let density = take_f64(&mut flags, "density", 0.5)?;
     let tol = take_f64(&mut flags, "tol", 1e-12)?;
+    let threads = take_usize(&mut flags, "threads", 0)?;
 
     let filter = match flags.remove("filter").as_deref() {
         None | Some("counter") => FilterKind::OverflowCounter,
@@ -192,20 +199,18 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
             })
         }
     };
-    let solver = match flags.remove("solver").as_deref() {
-        None | Some("mg") => SolverChoice::Multigrid,
-        Some("mgw") => SolverChoice::MultigridW,
-        Some("power") => SolverChoice::Power,
-        Some("gs") => SolverChoice::GaussSeidel,
-        Some("jacobi") => SolverChoice::Jacobi,
-        Some("direct") => SolverChoice::Direct,
-        Some(v) => {
-            return Err(CliError::BadValue {
-                flag: "--solver".into(),
-                value: v.into(),
-                expected: "power|gs|jacobi|direct|mg|mgw",
-            })
-        }
+    let solver = match flags.remove("solver") {
+        None => SolverChoice::Multigrid,
+        Some(v) => match SolverChoice::parse(&v) {
+            Some(s) => s,
+            None => {
+                return Err(CliError::BadValue {
+                    flag: "--solver".into(),
+                    value: v,
+                    expected: "power|gs|jacobi|direct|mg|mgw",
+                })
+            }
+        },
     };
 
     let metrics = flags.remove("metrics");
@@ -242,7 +247,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
     // Whatever flags remain belong to the subcommand.
     Ok(ParsedArgs {
         command,
-        options: Options { config, solver, tol, metrics, metrics_format, extra: flags },
+        options: Options { config, solver, tol, threads, metrics, metrics_format, extra: flags },
     })
 }
 
@@ -347,6 +352,24 @@ mod tests {
         assert_eq!(p.options.config.white.sigma_ui, 0.1);
         assert_eq!(p.options.solver, SolverChoice::Power);
         assert_eq!(p.options.tol, 1e-9);
+    }
+
+    #[test]
+    fn threads_flag_parses_and_defaults_to_auto() {
+        assert_eq!(parse(&argv("analyze")).unwrap().options.threads, 0);
+        assert_eq!(parse(&argv("analyze --threads 4")).unwrap().options.threads, 4);
+        assert!(matches!(
+            parse(&argv("analyze --threads many")),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn solver_parse_goes_through_registry() {
+        for choice in SolverChoice::ALL {
+            let p = parse(&argv(&format!("analyze --solver {}", choice.cli_name()))).unwrap();
+            assert_eq!(p.options.solver, choice);
+        }
     }
 
     #[test]

@@ -38,6 +38,10 @@ use stochcdr_obs as obs;
 /// or analysis failures (each rendered with a usage hint).
 pub fn run(argv: &[String]) -> Result<String, CliError> {
     let parsed = args::parse(argv)?;
+    // `--threads N` overrides the STOCHCDR_THREADS env var; 0 keeps auto.
+    if parsed.options.threads > 0 {
+        stochcdr_linalg::par::set_threads(Some(parsed.options.threads));
+    }
     let Some(path) = parsed.options.metrics.clone() else {
         return commands::dispatch(&parsed);
     };
@@ -53,6 +57,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
             obs::install(Box::new(obs::SummarySink::new()));
         }
     }
+    obs::gauge("cli.threads", stochcdr_linalg::par::threads() as f64);
     let result = commands::dispatch(&parsed);
     // Uninstall even on dispatch failure so the global recorder never
     // outlives the command that enabled it.

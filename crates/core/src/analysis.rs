@@ -37,6 +37,44 @@ pub enum SolverChoice {
     MultigridW,
 }
 
+impl SolverChoice {
+    /// Every solver, in the canonical presentation order used by the CLI
+    /// and the benchmark tables. Adding a solver here is the single
+    /// registration point: `parse`, `cli_name`, the CLI `--solver` flag,
+    /// and the benchmark sweeps all iterate this list.
+    pub const ALL: [SolverChoice; 6] = [
+        SolverChoice::Power,
+        SolverChoice::GaussSeidel,
+        SolverChoice::Jacobi,
+        SolverChoice::Direct,
+        SolverChoice::Multigrid,
+        SolverChoice::MultigridW,
+    ];
+
+    /// The CLI spelling of this choice (`--solver` value).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            SolverChoice::Power => "power",
+            SolverChoice::GaussSeidel => "gs",
+            SolverChoice::Jacobi => "jacobi",
+            SolverChoice::Direct => "direct",
+            SolverChoice::Multigrid => "mg",
+            SolverChoice::MultigridW => "mgw",
+        }
+    }
+
+    /// Parses a CLI spelling; `None` for unknown names.
+    pub fn parse(name: &str) -> Option<SolverChoice> {
+        SolverChoice::ALL.iter().copied().find(|c| c.cli_name() == name)
+    }
+
+    /// All CLI spellings joined with `|` — for usage strings and error
+    /// messages.
+    pub fn cli_names() -> String {
+        SolverChoice::ALL.map(SolverChoice::cli_name).join("|")
+    }
+}
+
 /// Default residual tolerance for analyses.
 pub const DEFAULT_TOL: f64 = 1e-12;
 
@@ -175,15 +213,17 @@ impl CdrChain {
         obs::event(
             "core.stationary_solved",
             &[
-                ("iterations", result.iterations.into()),
-                ("residual", result.residual.into()),
+                ("iterations", result.iterations().into()),
+                ("residual", result.residual().into()),
                 ("solve_ms", (solve_time.as_secs_f64() * 1e3).into()),
             ],
         );
+        let iterations = result.iterations();
+        let residual = result.residual();
         Ok(self.analysis_from_stationary(
             result.distribution,
-            result.iterations,
-            result.residual,
+            iterations,
+            residual,
             solve_time,
             solver.name(),
         ))
@@ -255,13 +295,10 @@ mod tests {
     fn all_solvers_agree() {
         let c = chain();
         let reference = c.analyze(SolverChoice::Direct).unwrap();
-        for choice in [
-            SolverChoice::Power,
-            SolverChoice::GaussSeidel,
-            SolverChoice::Jacobi,
-            SolverChoice::Multigrid,
-            SolverChoice::MultigridW,
-        ] {
+        for choice in SolverChoice::ALL {
+            if choice == SolverChoice::Direct {
+                continue;
+            }
             let a = c.analyze_with_tol(choice, 1e-11).unwrap();
             let dist = vecops::dist1(&a.stationary, &reference.stationary);
             assert!(dist < 1e-7, "{choice:?} deviates by {dist}");
@@ -307,6 +344,15 @@ mod tests {
             a.iterations,
             p.iterations
         );
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        for choice in SolverChoice::ALL {
+            assert_eq!(SolverChoice::parse(choice.cli_name()), Some(choice));
+        }
+        assert_eq!(SolverChoice::parse("nope"), None);
+        assert_eq!(SolverChoice::cli_names(), "power|gs|jacobi|direct|mg|mgw");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use stochcdr_obs as obs;
 
-use stochcdr_fsm::{CascadeNetwork, TpmBuilder};
+use stochcdr_fsm::{build_rows, CascadeNetwork};
 use stochcdr_linalg::CsrMatrix;
 use stochcdr_markov::StochasticMatrix;
 
@@ -99,49 +99,45 @@ impl CdrModel {
             .collect();
 
         let nr: Vec<(i64, f64)> = acc.nr().iter().map(|(k, p)| (k as i64, p)).collect();
+        let branches: Vec<_> = (0..l).map(|d| cfg.data_model.branches(d)).collect();
         let n = cfg.state_count();
-        let mut builder = TpmBuilder::new(n);
 
-        for d in 0..l {
-            let branches = cfg.data_model.branches(d);
-            for c in 0..c_len {
-                #[allow(clippy::needless_range_loop)] // bin indexes three parallel tables
-                for bin in 0..m {
-                    let state = (d * c_len + c) * m + bin;
-                    builder.begin_row(state);
-                    for &crate::data_model::DataBranch {
-                        transition,
-                        next_state: d2,
-                        prob: p_branch,
-                    } in &branches
-                    {
-                        if p_branch == 0.0 {
-                            continue;
-                        }
-                        // Decisions: +1 / 0 / −1 with marginalized n_w.
-                        let decisions: [(i64, f64); 3] = if transition {
-                            let dp = &decision_probs[bin];
-                            [(1, dp[0]), (0, dp[1]), (-1, dp[2])]
-                        } else {
-                            [(0, 1.0), (1, 0.0), (-1, 0.0)]
-                        };
-                        for (decision, p_dec) in decisions {
-                            if p_dec == 0.0 {
-                                continue;
-                            }
-                            let (c2, dir) = counter.advance(c, decision);
-                            for &(nr_val, p_nr) in &nr {
-                                let bin2 = acc.advance(bin, dir, nr_val);
-                                let next = (d2 * c_len + c2) * m + bin2;
-                                builder.emit(next, p_branch * p_dec * p_nr);
-                            }
-                        }
+        // Each row is a pure function of its state index, so the rows are
+        // assembled in parallel; `build_rows` guarantees the result is
+        // byte-identical to a serial pass for any thread count.
+        let tpm = build_rows(n, 1e-9, |state, em| {
+            let bin = state % m;
+            let c = (state / m) % c_len;
+            let d = state / (m * c_len);
+            for &crate::data_model::DataBranch {
+                transition,
+                next_state: d2,
+                prob: p_branch,
+            } in &branches[d]
+            {
+                if p_branch == 0.0 {
+                    continue;
+                }
+                // Decisions: +1 / 0 / −1 with marginalized n_w.
+                let decisions: [(i64, f64); 3] = if transition {
+                    let dp = &decision_probs[bin];
+                    [(1, dp[0]), (0, dp[1]), (-1, dp[2])]
+                } else {
+                    [(0, 1.0), (1, 0.0), (-1, 0.0)]
+                };
+                for (decision, p_dec) in decisions {
+                    if p_dec == 0.0 {
+                        continue;
                     }
-                    builder.end_row()?;
+                    let (c2, dir) = counter.advance(c, decision);
+                    for &(nr_val, p_nr) in &nr {
+                        let bin2 = acc.advance(bin, dir, nr_val);
+                        let next = (d2 * c_len + c2) * m + bin2;
+                        em.emit(next, p_branch * p_dec * p_nr);
+                    }
                 }
             }
-        }
-        let tpm = builder.finish()?;
+        })?;
         self.finish_chain(tpm, start)
     }
 

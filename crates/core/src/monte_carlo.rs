@@ -13,6 +13,7 @@
 use rand::rngs::StdRng;
 use stochcdr_obs as obs;
 use rand::{Rng, SeedableRng};
+use stochcdr_linalg::par;
 use stochcdr_noise::sampling::DiscreteSampler;
 
 use crate::stages::{bin_of_offset, offset_of_bin, LoopCounter, PhaseAccumulator, PhaseDetector};
@@ -78,6 +79,59 @@ impl MonteCarlo {
     pub fn run(&self, symbols: u64, seed: u64) -> McResult {
         let _span = obs::span("core.monte_carlo");
         let wall = std::time::Instant::now();
+        let (bit_errors, slips, hist) = self.simulate(symbols, seed);
+        self.finish(symbols, bit_errors, slips, hist, wall)
+    }
+
+    /// Runs `symbols` symbol intervals split over `shards` independent
+    /// streams, simulated in parallel and merged in shard order.
+    ///
+    /// Each shard starts from the locked state with its own RNG stream
+    /// derived from `seed` by a SplitMix64-style mix, and simulates
+    /// `symbols / shards` (±1) intervals. The shard decomposition and seed
+    /// derivation depend only on `(symbols, seed, shards)` — never on the
+    /// thread count — and the per-shard counters are merged in ascending
+    /// shard order with exact integer addition, so the result is identical
+    /// for any `STOCHCDR_THREADS` setting.
+    ///
+    /// Restarting every shard at lock is the standard embarrassingly-
+    /// parallel MC decomposition; it differs from one long serial run by
+    /// `O(shards · t_mix)` relaxation symbols, negligible against the shard
+    /// length for the locked operating points simulated here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn run_sharded(&self, symbols: u64, seed: u64, shards: u64) -> McResult {
+        assert!(shards > 0, "need at least one shard");
+        let _span = obs::span("core.monte_carlo");
+        let wall = std::time::Instant::now();
+        let base = symbols / shards;
+        let rem = symbols % shards;
+        let parts = par::map_tasks(shards as usize, |k| {
+            let k = k as u64;
+            let quota = base + u64::from(k < rem);
+            self.simulate(quota, shard_seed(seed, k))
+        });
+        let m = self.config.m_bins();
+        let mut bit_errors = 0u64;
+        let mut slips = 0u64;
+        let mut hist = vec![0u64; m];
+        for (e, s, h) in parts {
+            bit_errors += e;
+            slips += s;
+            for (acc, v) in hist.iter_mut().zip(&h) {
+                *acc += v;
+            }
+        }
+        obs::counter("core.mc.shards", shards);
+        self.finish(symbols, bit_errors, slips, hist, wall)
+    }
+
+    /// The raw simulation loop: `symbols` intervals from the locked state,
+    /// returning `(bit_errors, cycle_slips, phase_histogram)` with no
+    /// instrumentation (so shards can run it concurrently at zero cost).
+    fn simulate(&self, symbols: u64, seed: u64) -> (u64, u64, Vec<u64>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let cfg = &self.config;
         let m = cfg.m_bins();
@@ -147,7 +201,18 @@ impl MonteCarlo {
             bin = bin_of_offset(unwrapped, m);
             debug_assert_eq!(bin, self.acc.advance(bin_of_offset(o, m), dir, nr));
         }
+        (bit_errors, slips, hist)
+    }
 
+    /// Derives the [`McResult`] and emits the run telemetry.
+    fn finish(
+        &self,
+        symbols: u64,
+        bit_errors: u64,
+        slips: u64,
+        hist: Vec<u64>,
+        wall: std::time::Instant,
+    ) -> McResult {
         let ber = bit_errors as f64 / symbols as f64;
         let ci = 1.96 * (ber.max(1e-300) * (1.0 - ber) / symbols as f64).sqrt();
         obs::counter("core.mc.symbols", symbols);
@@ -198,6 +263,16 @@ impl MonteCarlo {
         }
         tv / 2.0
     }
+}
+
+/// Derives the RNG seed for shard `k` from the run seed with a
+/// SplitMix64-style finalizer, so shard streams are decorrelated even for
+/// adjacent seeds and the derivation is a pure function of `(seed, k)`.
+fn shard_seed(seed: u64, k: u64) -> u64 {
+    let mut z = seed.wrapping_add((k + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -296,5 +371,28 @@ mod tests {
         assert_eq!(hist_total, r.symbols);
         assert!(r.bit_errors <= r.symbols);
         assert!((r.ber - r.bit_errors as f64 / r.symbols as f64).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sharded_run_is_reproducible_and_consistent() {
+        let mc = MonteCarlo::new(config());
+        let a = mc.run_sharded(50_000, 11, 4);
+        let b = mc.run_sharded(50_000, 11, 4);
+        assert_eq!(a, b, "sharded run must be a pure function of (symbols, seed, shards)");
+        assert_eq!(a.symbols, 50_000);
+        let hist_total: u64 = a.phase_histogram.iter().sum();
+        assert_eq!(hist_total, a.symbols);
+        assert!(a.bit_errors <= a.symbols);
+        // One shard degenerates to the serial run.
+        assert_eq!(mc.run_sharded(20_000, 3, 1), mc.run(20_000, shard_seed(3, 0)));
+    }
+
+    #[test]
+    fn shard_quota_covers_non_divisible_totals() {
+        let mc = MonteCarlo::new(config());
+        // 10_003 symbols over 4 shards: quotas 2501/2501/2501/2500.
+        let r = mc.run_sharded(10_003, 21, 4);
+        let hist_total: u64 = r.phase_histogram.iter().sum();
+        assert_eq!(hist_total, 10_003);
     }
 }

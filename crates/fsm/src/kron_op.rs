@@ -6,8 +6,14 @@
 //! `Σ_i nnz(A_i) · (states / n_i)` work and no extra storage. This is the
 //! representation the paper points to for "solving more complex models"
 //! ("hierarchical generalized Kronecker-algebra" — Plateau, Buchholz).
+//!
+//! [`KroneckerOp`] implements [`TransitionOp`], so every
+//! `StationarySolver` that stays matrix-free in the products (power
+//! iteration, weighted Jacobi) runs on it directly — no TPM is ever
+//! formed. Row access and the diagonal are served from the factors, so
+//! even Jacobi's diagonal extraction stays compact.
 
-use stochcdr_linalg::{kron, CsrMatrix};
+use stochcdr_linalg::{kron, par, CsrMatrix, TransitionOp};
 use stochcdr_obs as obs;
 
 /// A lazily-applied Kronecker product of square sparse factors.
@@ -68,42 +74,19 @@ impl KroneckerOp {
     /// Computes `y = x (A_1 ⊗ … ⊗ A_k)` without materializing the product.
     ///
     /// Works mode by mode: viewing `x` as a `k`-dimensional tensor, applies
-    /// each factor along its own mode.
+    /// each factor along its own mode. Each mode application parallelizes
+    /// over the outer tensor blocks (the scatter of a factor row stays
+    /// inside its own block), with chunk boundaries aligned to blocks so
+    /// every output element is accumulated by exactly one worker in serial
+    /// order — results are bit-identical for any thread count.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != dim()`.
     pub fn mul_left(&self, x: &[f64]) -> Vec<f64> {
-        assert_eq!(x.len(), self.dim, "vector length must match joint dimension");
-        let mut cur = x.to_vec();
-        let mut next = vec![0.0f64; self.dim];
-        // outer = product of dims before the mode; inner = after.
-        let mut outer = 1usize;
-        let mut inner = self.dim;
-        for f in &self.factors {
-            let n = f.rows();
-            inner /= n;
-            next.iter_mut().for_each(|v| *v = 0.0);
-            // Tensor layout: index = (o * n + i) * inner + r.
-            for o in 0..outer {
-                let base = o * n * inner;
-                for i in 0..n {
-                    let row_base = base + i * inner;
-                    for (j, a) in f.row(i) {
-                        let dst_base = base + j * inner;
-                        for r in 0..inner {
-                            let v = cur[row_base + r];
-                            if v != 0.0 {
-                                next[dst_base + r] += v * a;
-                            }
-                        }
-                    }
-                }
-            }
-            std::mem::swap(&mut cur, &mut next);
-            outer *= n;
-        }
-        cur
+        let mut y = vec![0.0f64; self.dim];
+        TransitionOp::mul_left_into(self, x, &mut y);
+        y
     }
 
     /// Materializes the full Kronecker product (for tests and small
@@ -121,6 +104,163 @@ impl KroneckerOp {
             ],
         );
         m
+    }
+}
+
+/// One left-product mode application: `next[(o,·,r)] = cur[(o,·,r)] · f`
+/// for every outer index `o` and trailing index `r < inner`.
+///
+/// Parallel over blocks of `n · inner` elements (one block per outer
+/// index); the scatter of each factor row lands inside its own block, so
+/// the block partition makes every output element single-writer while
+/// preserving the serial accumulation order exactly.
+fn apply_mode_left(f: &CsrMatrix, inner: usize, cur: &[f64], next: &mut [f64]) {
+    let n = f.rows();
+    let block = n * inner;
+    par::for_each_chunk_aligned_mut(next, block, |start, chunk| {
+        for (b, out) in chunk.chunks_mut(block).enumerate() {
+            let base = start + b * block;
+            out.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..n {
+                let row_base = base + i * inner;
+                for (j, a) in f.row(i) {
+                    let dst = j * inner;
+                    for r in 0..inner {
+                        let v = cur[row_base + r];
+                        if v != 0.0 {
+                            out[dst + r] += v * a;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// One right-product mode application: `next[(o,i,r)] = Σ_j f_ij cur[(o,j,r)]`.
+///
+/// Pure gather per output block — same block-aligned parallel partition as
+/// [`apply_mode_left`].
+fn apply_mode_right(f: &CsrMatrix, inner: usize, cur: &[f64], next: &mut [f64]) {
+    let n = f.rows();
+    let block = n * inner;
+    par::for_each_chunk_aligned_mut(next, block, |start, chunk| {
+        for (b, out) in chunk.chunks_mut(block).enumerate() {
+            let base = start + b * block;
+            out.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..n {
+                let dst = i * inner;
+                for (j, a) in f.row(i) {
+                    let src = base + j * inner;
+                    for r in 0..inner {
+                        let v = cur[src + r];
+                        if v != 0.0 {
+                            out[dst + r] += a * v;
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Enumerates the row entries of the Kronecker product in ascending column
+/// order: lexicographic recursion over factor-row entries, outermost
+/// factor slowest-varying.
+fn row_product(
+    factors: &[CsrMatrix],
+    digits: &[usize],
+    level: usize,
+    col: usize,
+    val: f64,
+    f: &mut dyn FnMut(usize, f64),
+) {
+    if level == factors.len() {
+        f(col, val);
+        return;
+    }
+    let fac = &factors[level];
+    for (j, a) in fac.row(digits[level]) {
+        if a != 0.0 {
+            row_product(factors, digits, level + 1, col * fac.cols() + j, val * a, f);
+        }
+    }
+}
+
+impl TransitionOp for KroneckerOp {
+    fn rows(&self) -> usize {
+        self.dim
+    }
+
+    fn cols(&self) -> usize {
+        self.dim
+    }
+
+    /// The compact representation size `Σ nnz(A_i)`, not the nnz of the
+    /// materialized product.
+    fn nnz(&self) -> usize {
+        self.compact_nnz()
+    }
+
+    fn mul_left_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.dim, "vector length must match joint dimension");
+        assert_eq!(y.len(), self.dim, "output length must match joint dimension");
+        let mut cur = x.to_vec();
+        let mut next = vec![0.0f64; self.dim];
+        let mut inner = self.dim;
+        for f in &self.factors {
+            inner /= f.rows();
+            apply_mode_left(f, inner, &cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        y.copy_from_slice(&cur);
+    }
+
+    fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.dim, "vector length must match joint dimension");
+        assert_eq!(y.len(), self.dim, "output length must match joint dimension");
+        let mut cur = x.to_vec();
+        let mut next = vec![0.0f64; self.dim];
+        let mut inner = self.dim;
+        for f in &self.factors {
+            inner /= f.rows();
+            apply_mode_right(f, inner, &cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        y.copy_from_slice(&cur);
+    }
+
+    fn for_each_in_row(&self, row: usize, f: &mut dyn FnMut(usize, f64)) {
+        assert!(row < self.dim, "row {row} out of range");
+        // Mixed-radix decomposition of the row index, innermost last.
+        let mut digits = vec![0usize; self.factors.len()];
+        let mut rem = row;
+        for (idx, fac) in self.factors.iter().enumerate().rev() {
+            digits[idx] = rem % fac.rows();
+            rem /= fac.rows();
+        }
+        row_product(&self.factors, &digits, 0, 0, 1.0, f);
+    }
+
+    /// Diagonal of the product: successive outer products of the factor
+    /// diagonals — `O(dim)` output without touching off-diagonal entries.
+    fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![1.0f64];
+        for f in &self.factors {
+            let fd = f.diagonal();
+            let mut nd = Vec::with_capacity(d.len() * fd.len());
+            for &a in &d {
+                for &b in &fd {
+                    nd.push(a * b);
+                }
+            }
+            d = nd;
+        }
+        d
+    }
+
+    fn materialize_csr(&self) -> CsrMatrix {
+        self.materialize()
     }
 }
 
@@ -159,6 +299,42 @@ mod tests {
         for (a, b) in y1.iter().zip(&y2) {
             assert!((a - b).abs() < 1e-12, "{y1:?} vs {y2:?}");
         }
+    }
+
+    #[test]
+    fn right_product_matches_materialized() {
+        let op = KroneckerOp::new(vec![stochastic2(0.3), stochastic3(), stochastic2(0.1)]);
+        let m = op.materialize();
+        let x: Vec<f64> = (0..12).map(|i| ((i * 53 + 7) % 19) as f64 / 19.0).collect();
+        let y1 = op.mul_right(&x);
+        let y2 = m.mul_right(&x);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-12, "{y1:?} vs {y2:?}");
+        }
+    }
+
+    #[test]
+    fn row_access_matches_materialized() {
+        let op = KroneckerOp::new(vec![stochastic2(0.25), stochastic3()]);
+        let m = op.materialize();
+        for row in 0..op.dim() {
+            let mut got: Vec<(usize, f64)> = Vec::new();
+            op.for_each_in_row(row, &mut |c, v| got.push((c, v)));
+            let want: Vec<(usize, f64)> = m.row(row).collect();
+            assert_eq!(got.len(), want.len(), "row {row}");
+            for ((gc, gv), (wc, wv)) in got.iter().zip(&want) {
+                assert_eq!(gc, wc, "row {row}");
+                assert!((gv - wv).abs() < 1e-15, "row {row}");
+            }
+            // Ascending column order is part of the TransitionOp contract.
+            assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "row {row} unsorted");
+        }
+    }
+
+    #[test]
+    fn diagonal_matches_materialized() {
+        let op = KroneckerOp::new(vec![stochastic2(0.25), stochastic3(), stochastic2(0.4)]);
+        assert_eq!(TransitionOp::diagonal(&op), op.materialize().diagonal());
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //! * [`ProductSpace`] — mixed-radix indexing of joint component states,
 //! * [`TpmBuilder`] — accumulates per-state transition distributions into a
 //!   sparse TPM, merging duplicate successors (the marginalization that
-//!   keeps row fan-out small),
+//!   keeps row fan-out small); [`build_rows`] is its parallel counterpart
+//!   for row generators that are pure functions of the state index,
 //! * [`Stage`] / [`CascadeNetwork`] — a feed-forward network of FSM stages
 //!   with private stochastic inputs and full-state feedback (the paper's
 //!   Figure 2 topology: data source → phase detector → counter → phase
@@ -67,7 +68,7 @@ pub mod reach;
 mod space;
 mod stage;
 
-pub use builder::TpmBuilder;
+pub use builder::{build_rows, RowEmitter, TpmBuilder};
 pub use error::{FsmError, Result};
 pub use kron_op::KroneckerOp;
 pub use mealy::TableFsm;

@@ -57,6 +57,12 @@ impl CscMatrix {
         self.t.get(col, row)
     }
 
+    /// Borrows the underlying CSR storage of the transpose (row r of the
+    /// returned matrix is column r of `self`).
+    pub fn transposed_csr(&self) -> &CsrMatrix {
+        &self.t
+    }
+
     /// Iterates over the stored `(row, value)` pairs of one column, in row
     /// order.
     ///

@@ -54,6 +54,61 @@ impl CsrMatrix {
         CsrMatrix { rows, cols, indptr, indices, data }
     }
 
+    /// Builds a CSR matrix from pre-assembled row data, validating the
+    /// structural invariants.
+    ///
+    /// This is the public entry point for assemblers that build rows
+    /// directly (e.g. the parallel TPM row assembly in `stochcdr-fsm`)
+    /// and so skip the COO round trip. Within each row, column indices
+    /// must be strictly ascending (sorted and duplicate-free) and in
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if the component lengths are
+    /// inconsistent, an index is out of bounds, or a row's indices are not
+    /// strictly ascending.
+    pub fn from_sorted_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != rows + 1
+            || indices.len() != data.len()
+            || indptr.first() != Some(&0)
+            || *indptr.last().unwrap_or(&0) != indices.len()
+        {
+            return Err(LinalgError::ShapeMismatch(format!(
+                "csr parts inconsistent: {rows} rows, indptr len {}, {} indices, {} values",
+                indptr.len(),
+                indices.len(),
+                data.len()
+            )));
+        }
+        for r in 0..rows {
+            let (lo, hi) = (indptr[r], indptr[r + 1]);
+            if lo > hi || hi > indices.len() {
+                return Err(LinalgError::ShapeMismatch(format!(
+                    "row {r} has invalid extent {lo}..{hi}"
+                )));
+            }
+            let row = &indices[lo..hi];
+            if row.iter().any(|&c| c as usize >= cols) {
+                return Err(LinalgError::ShapeMismatch(format!(
+                    "row {r} has a column index out of bounds (cols = {cols})"
+                )));
+            }
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(LinalgError::ShapeMismatch(format!(
+                    "row {r} columns are not strictly ascending"
+                )));
+            }
+        }
+        Ok(CsrMatrix { rows, cols, indptr, indices, data })
+    }
+
     /// Builds an empty `rows x cols` matrix with no stored entries.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         CsrMatrix {
@@ -208,13 +263,24 @@ impl CsrMatrix {
 
     /// In-place variant of [`mul_right`](Self::mul_right); `y` is overwritten.
     ///
+    /// Large products fan out across the [`crate::par`] worker pool by row
+    /// range. Each `y[r]` is still accumulated by a single worker in
+    /// ascending stored-entry order, so the result is bit-identical for
+    /// every thread count.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols` or `y.len() != rows`.
     pub fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "x length must equal column count");
         assert_eq!(y.len(), self.rows, "y length must equal row count");
-        for (r, yr) in y.iter_mut().enumerate() {
+        crate::par::for_each_chunk_mut(y, |start, chunk| self.mul_right_range(start, x, chunk));
+    }
+
+    /// Computes rows `start..start + y.len()` of `A x` into `y`.
+    fn mul_right_range(&self, start: usize, x: &[f64], y: &mut [f64]) {
+        for (i, yr) in y.iter_mut().enumerate() {
+            let r = start + i;
             let (lo, hi) = (self.indptr[r], self.indptr[r + 1]);
             let mut acc = 0.0;
             for k in lo..hi {

@@ -7,7 +7,7 @@
 //! first-passage systems `(I − Q) t = 1`, where it converges orders of
 //! magnitude faster than stationary sweeps.
 
-use crate::{vecops, CsrMatrix, LinalgError, Result};
+use crate::{vecops, LinalgError, Result, TransitionOp};
 use stochcdr_obs as obs;
 
 /// Configuration for [`gmres`].
@@ -41,7 +41,9 @@ pub struct GmresResult {
 
 /// Solves `A x = b` with restarted GMRES(m).
 ///
-/// `x0` optionally seeds the iteration (zero vector otherwise).
+/// `A` is any [`TransitionOp`] backend — only `A·x` products are taken,
+/// so structured operators never materialize. `x0` optionally seeds the
+/// iteration (zero vector otherwise).
 ///
 /// # Errors
 ///
@@ -50,7 +52,7 @@ pub struct GmresResult {
 ///   reaching the tolerance within the budget (reported with the last
 ///   step index and residual in the `pivot` field).
 pub fn gmres(
-    a: &CsrMatrix,
+    a: &dyn TransitionOp,
     b: &[f64],
     x0: Option<&[f64]>,
     opts: &GmresOptions,
@@ -181,7 +183,7 @@ pub fn gmres(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CooMatrix;
+    use crate::{CooMatrix, CsrMatrix};
 
     fn mat(n: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
         let mut coo = CooMatrix::new(n, n);

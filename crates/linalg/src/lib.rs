@@ -16,7 +16,12 @@
 //! * [`kron`] — Kronecker products/sums used by compositional FSM models,
 //! * [`vecops`] — the handful of BLAS-1 kernels iterative solvers need,
 //! * [`pattern`] — nonzero-pattern statistics and "spy" rendering
-//!   (the paper's Figure 3).
+//!   (the paper's Figure 3),
+//! * [`TransitionOp`] — the matrix-free operator interface every solver
+//!   consumes, implemented by CSR/CSC/dense here and by structured
+//!   backends downstream,
+//! * [`par`] — a zero-dependency scoped-thread worker pool whose kernels
+//!   are bit-identical for every thread count.
 //!
 //! # Example
 //!
@@ -43,6 +48,8 @@ mod error;
 pub mod gmres;
 pub mod kron;
 mod lu;
+mod op;
+pub mod par;
 pub mod pattern;
 mod permute;
 pub mod vecops;
@@ -54,4 +61,5 @@ pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};
 pub use gmres::{gmres, GmresOptions, GmresResult};
 pub use lu::LuFactors;
+pub use op::TransitionOp;
 pub use permute::Permutation;

@@ -1,0 +1,319 @@
+//! Deterministic scoped-thread parallel kernels.
+//!
+//! A zero-dependency worker layer built on `std::thread::scope`. Every
+//! primitive here is designed around one contract:
+//!
+//! > **Determinism contract.** The numerical result of a parallel kernel
+//! > is bit-identical for every thread count, including one.
+//!
+//! Two mechanisms enforce it:
+//!
+//! 1. **Disjoint output partitioning** ([`for_each_chunk_mut`],
+//!    [`for_each_chunk_aligned_mut`]): the output slice is split into
+//!    contiguous chunks and each output element is computed *wholly* by
+//!    one worker, in the same element-local order as the serial loop.
+//!    Chunk boundaries may depend on the thread count because no
+//!    floating-point value ever crosses a boundary.
+//! 2. **Fixed-shape reductions** ([`map_chunks`], [`map_tasks`]): work is
+//!    cut into chunks whose boundaries are a pure function of the problem
+//!    size (never of the thread count), and per-chunk partial results are
+//!    combined by the caller in ascending chunk order. Workers may steal
+//!    chunks in any order; the combine order is still deterministic.
+//!
+//! Thread-count resolution (highest precedence first):
+//! [`set_threads`] (the `--threads` CLI flag) → the `STOCHCDR_THREADS`
+//! environment variable → [`std::thread::available_parallelism`].
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Minimum number of output elements before a kernel goes parallel.
+///
+/// Below this size the scoped-thread spawn overhead dominates; kernels
+/// fall back to the serial path (which, per the determinism contract,
+/// produces the same bits).
+pub const PARALLEL_CUTOFF: usize = 8192;
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static ENV: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Hardware parallelism as reported by the OS (≥ 1).
+pub fn available() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn env_threads() -> Option<usize> {
+    *ENV.get_or_init(|| {
+        std::env::var("STOCHCDR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
+}
+
+/// Overrides the worker count for all subsequent parallel kernels.
+///
+/// `Some(n)` pins the count to `n` (the `--threads N` CLI flag lands
+/// here); `None` clears the override, falling back to `STOCHCDR_THREADS`
+/// and then to [`available`].
+pub fn set_threads(n: Option<usize>) {
+    OVERRIDE.store(n.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolved worker count: override → `STOCHCDR_THREADS` → hardware.
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    env_threads().unwrap_or_else(available)
+}
+
+/// Splits `out` into at most `threads()` contiguous chunks and runs
+/// `body(start, chunk)` on each, in parallel.
+///
+/// `start` is the offset of `chunk` within `out`. The body must compute
+/// each output element independently of the chunk geometry — that is what
+/// makes the result bit-identical for every thread count. Small slices
+/// (below [`PARALLEL_CUTOFF`]) run serially as a single chunk.
+pub fn for_each_chunk_mut<T, F>(out: &mut [T], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    for_each_chunk_aligned_mut(out, 1, body);
+}
+
+/// Like [`for_each_chunk_mut`] but chunk boundaries are multiples of
+/// `align` elements.
+///
+/// Used when the output is logically a sequence of fixed-size blocks that
+/// must not be split across workers (e.g. the per-mode blocks of a
+/// Kronecker-factor apply).
+pub fn for_each_chunk_aligned_mut<T, F>(out: &mut [T], align: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(align >= 1, "alignment must be at least 1");
+    assert!(out.len().is_multiple_of(align), "slice length must be a multiple of the alignment");
+    let n = out.len();
+    let blocks = n / align;
+    let t = threads().min(blocks.max(1));
+    if t <= 1 || n < PARALLEL_CUTOFF {
+        if !out.is_empty() {
+            body(0, out);
+        }
+        return;
+    }
+    let base = blocks / t;
+    let rem = blocks % t;
+    std::thread::scope(|scope| {
+        let body = &body;
+        let mut rest = out;
+        let mut start = 0usize;
+        let mut last: Option<(usize, &mut [T])> = None;
+        for k in 0..t {
+            let len = (base + usize::from(k < rem)) * align;
+            let (chunk, tail) = rest.split_at_mut(len);
+            rest = tail;
+            if k + 1 == t {
+                // Run the final chunk on the calling thread.
+                last = Some((start, chunk));
+            } else {
+                scope.spawn(move || body(start, chunk));
+            }
+            start += len;
+        }
+        if let Some((s, chunk)) = last {
+            body(s, chunk);
+        }
+    });
+}
+
+/// Maps fixed-size chunks of `0..n` and returns the per-chunk results in
+/// ascending chunk order.
+///
+/// `chunk` must be a pure function of the problem (a constant, or derived
+/// from `n`), never of the thread count: the chunk geometry — and hence
+/// any floating-point combine the caller performs over the returned
+/// vector — is then identical for every thread count. Workers pull chunk
+/// indices from a shared cursor, so load imbalance does not serialize the
+/// pool.
+pub fn map_chunks<R, F>(n: usize, chunk: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    assert!(chunk >= 1, "chunk size must be at least 1");
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = n.div_ceil(chunk);
+    let range = |i: usize| i * chunk..((i + 1) * chunk).min(n);
+    let t = threads().min(k);
+    if t <= 1 || n < PARALLEL_CUTOFF {
+        return (0..k).map(|i| body(range(i))).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(k);
+    slots.resize_with(k, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..t)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= k {
+                            break;
+                        }
+                        got.push((i, body(range(i))));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("parallel worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every chunk computed")).collect()
+}
+
+/// Runs `k` independent tasks and returns their results in task order.
+///
+/// Tasks always fan out across the worker pool regardless of `k` (there
+/// is no size cutoff — callers use this for coarse-grained work such as
+/// Monte-Carlo shards where each task is expensive).
+pub fn map_tasks<R, F>(k: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let t = threads().min(k);
+    if t <= 1 {
+        return (0..k).map(&body).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(k);
+    slots.resize_with(k, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..t)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= k {
+                            break;
+                        }
+                        got.push((i, body(i)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("parallel worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots.into_iter().map(|r| r.expect("every task computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the global thread override.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn thread_resolution_override_wins() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(3));
+        assert_eq!(threads(), 3);
+        set_threads(None);
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn chunked_mut_covers_every_element_once() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let n = PARALLEL_CUTOFF + 37;
+        let mut out = vec![0usize; n];
+        for_each_chunk_mut(&mut out, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = start + k;
+            }
+        });
+        set_threads(None);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn aligned_chunks_respect_block_boundaries() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(3));
+        let block = 16;
+        let n = PARALLEL_CUTOFF + 7 * block;
+        let mut out = vec![0usize; n];
+        for_each_chunk_aligned_mut(&mut out, block, |start, chunk| {
+            assert_eq!(start % block, 0);
+            assert_eq!(chunk.len() % block, 0);
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = start + k;
+            }
+        });
+        set_threads(None);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn map_chunks_is_ordered_and_complete() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let n = PARALLEL_CUTOFF * 2 + 11;
+        let parts = map_chunks(n, 1000, |r| r.len());
+        set_threads(None);
+        assert_eq!(parts.iter().sum::<usize>(), n);
+        // Every chunk except the last has the fixed size.
+        assert!(parts[..parts.len() - 1].iter().all(|&l| l == 1000));
+    }
+
+    #[test]
+    fn map_tasks_preserves_order() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let out = map_tasks(33, |i| i * i);
+        set_threads(None);
+        assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduction_is_thread_count_invariant() {
+        let _g = LOCK.lock().unwrap();
+        let n = PARALLEL_CUTOFF * 3 + 5;
+        let data: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sum_with = |t: usize| {
+            set_threads(Some(t));
+            let parts = map_chunks(n, 4096, |r| data[r].iter().sum::<f64>());
+            set_threads(None);
+            parts.iter().sum::<f64>()
+        };
+        let s1 = sum_with(1);
+        for t in [2, 3, 8] {
+            assert_eq!(s1.to_bits(), sum_with(t).to_bits());
+        }
+    }
+}

@@ -14,9 +14,15 @@
 //! * [`lump_weighted`] — the aggregated TPM with respect to a weight vector
 //!   (rows of each block averaged with the block-conditional weights).
 
-use stochcdr_linalg::{CooMatrix, CsrMatrix};
+use stochcdr_linalg::{par, CooMatrix, CsrMatrix};
 
 use crate::{MarkovError, Result, StochasticMatrix};
+
+/// Fixed row-chunk size for the parallel aggregation kernels. A pure
+/// constant (never derived from the thread count) so the order in which
+/// per-chunk results are concatenated/combined — and hence every
+/// floating-point sum — is identical for every thread count.
+const LUMP_CHUNK: usize = 4096;
 
 /// A partition of `0..n` into disjoint, exhaustive blocks.
 ///
@@ -38,6 +44,14 @@ pub struct Partition {
     block_of: Vec<usize>,
     /// Number of blocks.
     blocks: usize,
+    /// CSR-style member index: block `b`'s members (ascending) are
+    /// `member_idx[member_ptr[b]..member_ptr[b + 1]]`. Precomputed so the
+    /// aggregation kernels can *gather* per block — each block summed by
+    /// one worker in ascending member order, which reproduces the serial
+    /// scatter bit for bit at any thread count.
+    member_ptr: Vec<usize>,
+    /// Members of all blocks, grouped by block, ascending within a block.
+    member_idx: Vec<usize>,
 }
 
 impl Partition {
@@ -64,12 +78,30 @@ impl Partition {
                 "block {missing} has no members"
             )));
         }
-        Ok(Partition { block_of, blocks })
+        Ok(Partition::build(block_of, blocks))
     }
 
     /// The trivial partition with every state in its own block.
     pub fn discrete(n: usize) -> Self {
-        Partition { block_of: (0..n).collect(), blocks: n }
+        Partition::build((0..n).collect(), n)
+    }
+
+    /// Assembles the CSR-style member index (counting sort by block).
+    fn build(block_of: Vec<usize>, blocks: usize) -> Self {
+        let mut member_ptr = vec![0usize; blocks + 1];
+        for &b in &block_of {
+            member_ptr[b + 1] += 1;
+        }
+        for b in 0..blocks {
+            member_ptr[b + 1] += member_ptr[b];
+        }
+        let mut member_idx = vec![0usize; block_of.len()];
+        let mut next = member_ptr.clone();
+        for (s, &b) in block_of.iter().enumerate() {
+            member_idx[next[b]] = s;
+            next[b] += 1;
+        }
+        Partition { block_of, blocks, member_ptr, member_idx }
     }
 
     /// Number of states partitioned.
@@ -98,12 +130,34 @@ impl Partition {
 
     /// Collects the members of each block.
     pub fn members(&self) -> Vec<Vec<usize>> {
-        let mut m = vec![Vec::new(); self.blocks];
-        for (s, &b) in self.block_of.iter().enumerate() {
-            m[b].push(s);
-        }
-        m
+        (0..self.blocks).map(|b| self.block_members(b).to_vec()).collect()
     }
+
+    /// The members of one block, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= block_count()`.
+    pub fn block_members(&self, block: usize) -> &[usize] {
+        &self.member_idx[self.member_ptr[block]..self.member_ptr[block + 1]]
+    }
+}
+
+/// Per-block weight totals and sizes, gathered in ascending member order
+/// (bit-identical to the serial state-order scatter, parallelizable).
+fn block_weights(partition: &Partition, w: &[f64]) -> (Vec<f64>, Vec<usize>) {
+    let nb = partition.block_count();
+    let mut weight = vec![0.0f64; nb];
+    par::for_each_chunk_mut(&mut weight, |b0, chunk| {
+        for (k, acc) in chunk.iter_mut().enumerate() {
+            *acc = 0.0;
+            for &i in partition.block_members(b0 + k) {
+                *acc += w[i];
+            }
+        }
+    });
+    let size = (0..nb).map(|b| partition.block_members(b).len()).collect();
+    (weight, size)
 }
 
 /// Tests Kemeny–Snell strong lumpability: the partition is exactly lumpable
@@ -195,25 +249,32 @@ pub fn lump_weighted(
         return Err(MarkovError::InvalidArgument("weights must be non-negative".into()));
     }
     let nb = partition.block_count();
-    let mut block_weight = vec![0.0f64; nb];
-    let mut block_size = vec![0usize; nb];
-    for (i, &wi) in w.iter().enumerate() {
-        block_weight[partition.block_of(i)] += wi;
-        block_size[partition.block_of(i)] += 1;
-    }
-    let mut coo = CooMatrix::with_capacity(nb, nb, p.nnz().min(nb * nb));
-    for (i, &w_i) in w.iter().enumerate() {
-        let bi = partition.block_of(i);
-        let wi = if block_weight[bi] > 0.0 {
-            w_i / block_weight[bi]
-        } else {
-            1.0 / block_size[bi] as f64
-        };
-        if wi == 0.0 {
-            continue;
+    let (block_weight, block_size) = block_weights(partition, w);
+    // Triplet generation parallelizes over fixed-size row chunks; the
+    // chunks are then pushed in ascending order, so the duplicate-summing
+    // in `to_csr` sees exactly the serial (state-ascending) sequence.
+    let chunks = par::map_chunks(n, LUMP_CHUNK, |range| {
+        let mut tri: Vec<(usize, usize, f64)> = Vec::new();
+        for i in range {
+            let bi = partition.block_of(i);
+            let wi = if block_weight[bi] > 0.0 {
+                w[i] / block_weight[bi]
+            } else {
+                1.0 / block_size[bi] as f64
+            };
+            if wi == 0.0 {
+                continue;
+            }
+            for (j, v) in p.matrix().row(i) {
+                tri.push((bi, partition.block_of(j), wi * v));
+            }
         }
-        for (j, v) in p.matrix().row(i) {
-            coo.push(bi, partition.block_of(j), wi * v);
+        tri
+    });
+    let mut coo = CooMatrix::with_capacity(nb, nb, p.nnz().min(nb * nb));
+    for tri in chunks {
+        for (r, c, v) in tri {
+            coo.push(r, c, v);
         }
     }
     let csr = fix_row_sums(coo.to_csr());
@@ -246,24 +307,22 @@ fn fix_row_sums(m: CsrMatrix) -> CsrMatrix {
 pub fn disaggregate(partition: &Partition, coarse: &[f64], w: &[f64]) -> Vec<f64> {
     assert_eq!(coarse.len(), partition.block_count(), "coarse vector per block");
     assert_eq!(w.len(), partition.n(), "weights per fine state");
-    let nb = partition.block_count();
-    let mut block_weight = vec![0.0f64; nb];
-    let mut block_size = vec![0usize; nb];
-    for (i, &wi) in w.iter().enumerate() {
-        block_weight[partition.block_of(i)] += wi;
-        block_size[partition.block_of(i)] += 1;
-    }
-    (0..partition.n())
-        .map(|i| {
+    let (block_weight, block_size) = block_weights(partition, w);
+    let mut out = vec![0.0; partition.n()];
+    // Pure per-state map: parallel over disjoint output chunks.
+    par::for_each_chunk_mut(&mut out, |i0, chunk| {
+        for (k, o) in chunk.iter_mut().enumerate() {
+            let i = i0 + k;
             let b = partition.block_of(i);
             let share = if block_weight[b] > 0.0 {
                 w[i] / block_weight[b]
             } else {
                 1.0 / block_size[b] as f64
             };
-            coarse[b] * share
-        })
-        .collect()
+            *o = coarse[b] * share;
+        }
+    });
+    out
 }
 
 /// Aggregates a fine vector to blocks: `X_A = Σ_{i∈A} x_i`.
@@ -274,9 +333,18 @@ pub fn disaggregate(partition: &Partition, coarse: &[f64], w: &[f64]) -> Vec<f64
 pub fn aggregate(partition: &Partition, x: &[f64]) -> Vec<f64> {
     assert_eq!(x.len(), partition.n(), "vector length must match partition");
     let mut out = vec![0.0; partition.block_count()];
-    for (i, &v) in x.iter().enumerate() {
-        out[partition.block_of(i)] += v;
-    }
+    // Gather per block: each block is summed by one worker over its
+    // members in ascending order — the same additions, in the same order,
+    // as the serial state-order scatter, at any thread count.
+    par::for_each_chunk_mut(&mut out, |b0, chunk| {
+        for (k, o) in chunk.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for &i in partition.block_members(b0 + k) {
+                acc += x[i];
+            }
+            *o = acc;
+        }
+    });
     out
 }
 

@@ -1,56 +1,36 @@
-//! Matrix-free stationary analysis.
+//! Matrix-free stationary analysis helpers.
 //!
 //! The paper's outlook for "more complex models" is to avoid explicit
 //! sparse storage entirely, using "hierarchical generalized
 //! Kronecker-algebra and/or probability decision diagram representations".
-//! Any such representation only needs to expose one operation — applying
-//! the transition operator to a distribution — which this module captures
-//! as [`StochasticOp`], together with a power-iteration solver that works
-//! directly on the operator.
+//! The workspace-wide interface for that is
+//! [`TransitionOp`](stochcdr_linalg::TransitionOp), which every
+//! [`StationarySolver`](crate::stationary::StationarySolver) consumes via
+//! `solve_op`. This module keeps two conveniences on top of it:
+//!
+//! * [`FnOp`] — wraps a closure as a left-apply-only operator (tests and
+//!   ad-hoc compositions),
+//! * [`stationary_power`] — a thin functional wrapper over
+//!   [`PowerIteration::solve_op`](crate::stationary::PowerIteration).
 
-use stochcdr_linalg::vecops;
+use stochcdr_linalg::TransitionOp;
 
-use crate::stationary::StationaryResult;
-use crate::{MarkovError, Result, StochasticMatrix};
+use crate::stationary::{PowerIteration, SolveOptions, StationarySolver, StationaryResult};
+use crate::Result;
 
-/// A (row-)stochastic linear operator applied from the left:
-/// `out = x P` for a distribution row-vector `x`.
+/// Wraps a closure as a left-apply-only [`TransitionOp`] (useful for tests
+/// and ad-hoc compositions).
 ///
-/// Implementations must preserve non-negativity and total mass (up to
-/// round-off). Implemented for [`StochasticMatrix`] and intended for
-/// compact product-form representations (e.g. Kronecker operators) that
-/// never materialize `P`.
-pub trait StochasticOp {
-    /// Number of states.
-    fn n(&self) -> usize;
-
-    /// Applies one step: writes `x P` into `out`.
-    ///
-    /// # Panics
-    ///
-    /// Implementations may panic if `x.len() != n()` or
-    /// `out.len() != n()`.
-    fn apply_left(&self, x: &[f64], out: &mut [f64]);
-}
-
-impl StochasticOp for StochasticMatrix {
-    fn n(&self) -> usize {
-        StochasticMatrix::n(self)
-    }
-
-    fn apply_left(&self, x: &[f64], out: &mut [f64]) {
-        self.step_into(x, out);
-    }
-}
-
-/// Wraps a closure as a [`StochasticOp`] (useful for tests and ad-hoc
-/// compositions).
+/// Only `x·A` products are supported; `mul_right_into` and row traversal
+/// panic. That restricts `FnOp` to solvers that are fully matrix-free in
+/// the left product — power iteration — which is exactly the set of
+/// methods a black-box operator can drive.
 pub struct FnOp<F> {
     n: usize,
     f: F,
 }
 
-impl<F: Fn(&[f64], &mut [f64])> FnOp<F> {
+impl<F: Fn(&[f64], &mut [f64]) + Sync> FnOp<F> {
     /// Creates an operator of dimension `n` from `f(x, out)` computing
     /// `out = x P`.
     ///
@@ -63,13 +43,29 @@ impl<F: Fn(&[f64], &mut [f64])> FnOp<F> {
     }
 }
 
-impl<F: Fn(&[f64], &mut [f64])> StochasticOp for FnOp<F> {
-    fn n(&self) -> usize {
+impl<F: Fn(&[f64], &mut [f64]) + Sync> TransitionOp for FnOp<F> {
+    fn rows(&self) -> usize {
         self.n
     }
 
-    fn apply_left(&self, x: &[f64], out: &mut [f64]) {
-        (self.f)(x, out)
+    fn cols(&self) -> usize {
+        self.n
+    }
+
+    fn nnz(&self) -> usize {
+        0 // unknown for a black-box closure
+    }
+
+    fn mul_left_into(&self, x: &[f64], y: &mut [f64]) {
+        (self.f)(x, y)
+    }
+
+    fn mul_right_into(&self, _x: &[f64], _y: &mut [f64]) {
+        panic!("FnOp exposes only the left product x·A");
+    }
+
+    fn for_each_in_row(&self, _row: usize, _f: &mut dyn FnMut(usize, f64)) {
+        panic!("FnOp has no row access; use a materialized backend");
     }
 }
 
@@ -82,49 +78,31 @@ impl std::fmt::Debug for FnOp<fn(&[f64], &mut [f64])> {
 /// Power iteration on a matrix-free operator: `x_{k+1} = x_k P`,
 /// renormalized, until the L1 change drops below `tol`.
 ///
+/// Equivalent to `PowerIteration::new(tol, max_iters).solve_op(op, init)`;
+/// kept as a function for call sites that do not want to name the solver.
+///
 /// # Errors
 ///
-/// * [`MarkovError::InvalidArgument`] for a malformed initial vector,
-/// * [`MarkovError::NotConverged`] when the budget is exhausted.
+/// * [`crate::MarkovError::InvalidArgument`] for a malformed initial
+///   vector,
+/// * [`crate::MarkovError::NotConverged`] when the budget is exhausted.
+///
+/// # Panics
+///
+/// Panics if `tol <= 0` or `max_iters == 0`.
 pub fn stationary_power(
-    op: &dyn StochasticOp,
+    op: &dyn TransitionOp,
     init: Option<&[f64]>,
     tol: f64,
     max_iters: usize,
 ) -> Result<StationaryResult> {
-    assert!(tol > 0.0, "tolerance must be positive");
-    let n = op.n();
-    let mut x = match init {
-        None => vecops::uniform(n),
-        Some(v) => {
-            let mut x = v.to_vec();
-            if x.len() != n || !vecops::is_nonnegative(&x) || !vecops::normalize_l1(&mut x) {
-                return Err(MarkovError::InvalidArgument(
-                    "initial vector must be a non-negative distribution of matching length"
-                        .into(),
-                ));
-            }
-            x
-        }
-    };
-    let mut y = vec![0.0; n];
-    let mut res = f64::INFINITY;
-    for it in 1..=max_iters {
-        op.apply_left(&x, &mut y);
-        vecops::normalize_l1(&mut y);
-        res = vecops::dist1(&x, &y);
-        std::mem::swap(&mut x, &mut y);
-        if res <= tol {
-            vecops::clamp_roundoff(&mut x, 1e-12);
-            return Ok(StationaryResult { distribution: x, iterations: it, residual: res });
-        }
-    }
-    Err(MarkovError::NotConverged { iterations: max_iters, residual: res })
+    PowerIteration::with_options(SolveOptions::new(tol, max_iters)).solve_op(op, init)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{MarkovError, StochasticMatrix};
     use stochcdr_linalg::CooMatrix;
 
     fn two_state(a: f64, b: f64) -> StochasticMatrix {

@@ -12,11 +12,19 @@
 //!   set `B`,
 //! * [`expected_visits_before_hit`] — expected number of visits to each
 //!   state before absorption, from a given start distribution.
+//!
+//! All entry points take the operator abstraction
+//! [`TransitionOp`](stochcdr_linalg::TransitionOp), so they work with any
+//! backend — [`StochasticMatrix`](crate::StochasticMatrix) (which coerces at
+//! the call site), bare CSR, dense, or product-form operators with row
+//! access. Backends without a cached transpose are materialized once for the
+//! backward-reachability check.
 
-use stochcdr_linalg::{vecops, CsrMatrix};
+use stochcdr_linalg::{vecops, CsrMatrix, TransitionOp};
 use stochcdr_obs as obs;
 
-use crate::{MarkovError, Result, StochasticMatrix};
+use crate::stationary::square_dim;
+use crate::{MarkovError, Result};
 
 /// Iterative-solve configuration shared by the passage computations.
 ///
@@ -70,23 +78,14 @@ impl Default for PassageOptions {
 ///   hitting time is infinite),
 /// * [`MarkovError::NotConverged`] if the budget is exhausted.
 pub fn mean_hitting_times(
-    p: &StochasticMatrix,
+    p: &dyn TransitionOp,
     target: &[usize],
     opts: &PassageOptions,
 ) -> Result<Vec<f64>> {
-    let n = p.n();
+    let n = square_dim(p)?;
     let in_target = membership(n, target)?;
+    check_reachable(p, &in_target)?;
 
-    // Detect unreachable states up front: BFS backwards from the target
-    // along reversed edges.
-    let reachable = backward_reachable(p.transposed(), &in_target);
-    if let Some(bad) = reachable.iter().position(|&r| !r) {
-        return Err(MarkovError::Reducible(format!(
-            "state {bad} cannot reach the target set; its hitting time is infinite"
-        )));
-    }
-
-    let a = p.matrix();
     let mut t = vec![0.0f64; n];
     for it in 0..opts.max_iters {
         let mut change = 0.0f64;
@@ -96,13 +95,13 @@ pub fn mean_hitting_times(
             }
             let mut acc = 1.0;
             let mut pii = 0.0;
-            for (j, v) in a.row(i) {
+            p.for_each_in_row(i, &mut |j, v| {
                 if j == i {
                     pii = v;
                 } else if !in_target[j] {
                     acc += v * t[j];
                 }
-            }
+            });
             let denom = 1.0 - pii;
             debug_assert!(denom > 0.0, "reachability check should exclude absorbing non-targets");
             let new = acc / denom;
@@ -137,12 +136,12 @@ pub fn mean_hitting_times(
 /// [`MarkovError::InvalidArgument`] if `eta` has the wrong length or no mass
 /// outside the target.
 pub fn mean_time_between(
-    p: &StochasticMatrix,
+    p: &dyn TransitionOp,
     eta: &[f64],
     target: &[usize],
     opts: &PassageOptions,
 ) -> Result<f64> {
-    let n = p.n();
+    let n = square_dim(p)?;
     if eta.len() != n {
         return Err(MarkovError::InvalidArgument(format!(
             "stationary vector length {} != state count {n}",
@@ -181,15 +180,10 @@ pub fn mean_time_between(
 /// * [`MarkovError::InvalidArgument`] if `target` is empty or out of range,
 /// * [`MarkovError::Reducible`] if some state cannot reach the target,
 /// * [`MarkovError::Linalg`] if the dense solve fails.
-pub fn mean_hitting_times_direct(p: &StochasticMatrix, target: &[usize]) -> Result<Vec<f64>> {
-    let n = p.n();
+pub fn mean_hitting_times_direct(p: &dyn TransitionOp, target: &[usize]) -> Result<Vec<f64>> {
+    let n = square_dim(p)?;
     let in_target = membership(n, target)?;
-    let reachable = backward_reachable(p.transposed(), &in_target);
-    if let Some(bad) = reachable.iter().position(|&r| !r) {
-        return Err(MarkovError::Reducible(format!(
-            "state {bad} cannot reach the target set; its hitting time is infinite"
-        )));
-    }
+    check_reachable(p, &in_target)?;
     let transient: Vec<usize> = (0..n).filter(|&i| !in_target[i]).collect();
     let mut index_of = vec![usize::MAX; n];
     for (k, &s) in transient.iter().enumerate() {
@@ -198,11 +192,11 @@ pub fn mean_hitting_times_direct(p: &StochasticMatrix, target: &[usize]) -> Resu
     let nt = transient.len();
     let mut a = stochcdr_linalg::DenseMatrix::identity(nt);
     for (k, &s) in transient.iter().enumerate() {
-        for (j, v) in p.matrix().row(s) {
+        p.for_each_in_row(s, &mut |j, v| {
             if !in_target[j] {
                 a[(k, index_of[j])] -= v;
             }
-        }
+        });
     }
     let sol = a.solve(&vec![1.0; nt])?;
     let mut t = vec![0.0; n];
@@ -228,18 +222,13 @@ pub fn mean_hitting_times_direct(p: &StochasticMatrix, target: &[usize]) -> Resu
 /// * [`MarkovError::Reducible`] if some state cannot reach the target,
 /// * [`MarkovError::Linalg`] if GMRES stagnates within its budget.
 pub fn mean_hitting_times_gmres(
-    p: &StochasticMatrix,
+    p: &dyn TransitionOp,
     target: &[usize],
     opts: &stochcdr_linalg::GmresOptions,
 ) -> Result<Vec<f64>> {
-    let n = p.n();
+    let n = square_dim(p)?;
     let in_target = membership(n, target)?;
-    let reachable = backward_reachable(p.transposed(), &in_target);
-    if let Some(bad) = reachable.iter().position(|&r| !r) {
-        return Err(MarkovError::Reducible(format!(
-            "state {bad} cannot reach the target set; its hitting time is infinite"
-        )));
-    }
+    check_reachable(p, &in_target)?;
     let transient: Vec<usize> = (0..n).filter(|&i| !in_target[i]).collect();
     let mut index_of = vec![usize::MAX; n];
     for (k, &s) in transient.iter().enumerate() {
@@ -250,11 +239,11 @@ pub fn mean_hitting_times_gmres(
     let mut coo = stochcdr_linalg::CooMatrix::new(nt, nt);
     for (k, &s) in transient.iter().enumerate() {
         coo.push(k, k, 1.0);
-        for (j, v) in p.matrix().row(s) {
+        p.for_each_in_row(s, &mut |j, v| {
             if !in_target[j] {
                 coo.push(k, index_of[j], -v);
             }
-        }
+        });
     }
     let a = coo.to_csr();
     let rhs = vec![1.0; nt];
@@ -280,18 +269,17 @@ pub fn mean_hitting_times_gmres(
 /// States that can reach neither set retain probability zero (they never
 /// hit `a`), matching the probabilistic definition.
 pub fn hitting_probabilities(
-    p: &StochasticMatrix,
+    p: &dyn TransitionOp,
     a: &[usize],
     b: &[usize],
     opts: &PassageOptions,
 ) -> Result<Vec<f64>> {
-    let n = p.n();
+    let n = square_dim(p)?;
     let in_a = membership(n, a)?;
     let in_b = membership(n, b)?;
     if (0..n).any(|i| in_a[i] && in_b[i]) {
         return Err(MarkovError::InvalidArgument("target sets overlap".into()));
     }
-    let m = p.matrix();
     let mut h = vec![0.0f64; n];
     for i in 0..n {
         if in_a[i] {
@@ -306,13 +294,13 @@ pub fn hitting_probabilities(
             }
             let mut acc = 0.0;
             let mut pii = 0.0;
-            for (j, v) in m.row(i) {
+            p.for_each_in_row(i, &mut |j, v| {
                 if j == i {
                     pii = v;
                 } else {
                     acc += v * h[j];
                 }
-            }
+            });
             let denom = 1.0 - pii;
             if denom <= 0.0 {
                 continue; // absorbing non-target state: never hits `a`
@@ -339,12 +327,12 @@ pub fn hitting_probabilities(
 ///
 /// Same conditions as [`mean_hitting_times`].
 pub fn expected_visits_before_hit(
-    p: &StochasticMatrix,
+    p: &dyn TransitionOp,
     start: &[f64],
     target: &[usize],
     opts: &PassageOptions,
 ) -> Result<Vec<f64>> {
-    let n = p.n();
+    let n = square_dim(p)?;
     if start.len() != n {
         return Err(MarkovError::InvalidArgument(format!(
             "start vector length {} != state count {n}",
@@ -352,19 +340,12 @@ pub fn expected_visits_before_hit(
         )));
     }
     let in_target = membership(n, target)?;
-    let reachable = backward_reachable(p.transposed(), &in_target);
-    if let Some(bad) = reachable.iter().position(|&r| !r) {
-        return Err(MarkovError::Reducible(format!(
-            "state {bad} cannot reach the target set; expected visits diverge"
-        )));
-    }
+    check_reachable(p, &in_target)?;
     // v_{k+1} = start + v_k Q, Q = P restricted outside target.
-    let a = p.matrix();
     let mut v: Vec<f64> =
         start.iter().enumerate().map(|(i, &s)| if in_target[i] { 0.0 } else { s }).collect();
     let mut next = vec![0.0f64; n];
     for _ in 0..opts.max_iters {
-        next.copy_from_slice(&v);
         // next = start + v Q  (start restricted outside target).
         for x in next.iter_mut() {
             *x = 0.0;
@@ -379,11 +360,11 @@ pub fn expected_visits_before_hit(
             if vi == 0.0 || in_target[i] {
                 continue;
             }
-            for (j, pv) in a.row(i) {
+            p.for_each_in_row(i, &mut |j, pv| {
                 if !in_target[j] {
                     next[j] += vi * pv;
                 }
-            }
+            });
         }
         let change = vecops::dist_inf(&v, &next);
         std::mem::swap(&mut v, &mut next);
@@ -411,6 +392,27 @@ fn membership(n: usize, set: &[usize]) -> Result<Vec<bool>> {
     Ok(mask)
 }
 
+/// Fails with [`MarkovError::Reducible`] unless every state can reach the
+/// target set. Uses the backend's cached transpose when available;
+/// otherwise materializes and transposes once.
+fn check_reachable(p: &dyn TransitionOp, in_target: &[bool]) -> Result<()> {
+    let pt_owned;
+    let pt: &CsrMatrix = match p.transpose_csr() {
+        Some(t) => t,
+        None => {
+            pt_owned = p.materialize_csr().transpose();
+            &pt_owned
+        }
+    };
+    let reachable = backward_reachable(pt, in_target);
+    if let Some(bad) = reachable.iter().position(|&r| !r) {
+        return Err(MarkovError::Reducible(format!(
+            "state {bad} cannot reach the target set; its hitting time is infinite"
+        )));
+    }
+    Ok(())
+}
+
 /// BFS along reversed edges from the target: which states can reach it?
 fn backward_reachable(pt: &CsrMatrix, in_target: &[bool]) -> Vec<bool> {
     let n = in_target.len();
@@ -432,6 +434,7 @@ fn backward_reachable(pt: &CsrMatrix, in_target: &[bool]) -> Vec<bool> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::StochasticMatrix;
     use stochcdr_linalg::CooMatrix;
 
     fn chain(n: usize, edges: &[(usize, usize, f64)]) -> StochasticMatrix {
@@ -478,6 +481,17 @@ mod tests {
         for (a, b) in ti.iter().zip(&td) {
             assert!((a - b).abs() < 1e-6, "{ti:?} vs {td:?}");
         }
+    }
+
+    #[test]
+    fn csr_backend_is_bit_identical() {
+        // The port to TransitionOp must not change the arithmetic: running
+        // the solve through the bare CSR backend (no cached transpose)
+        // reproduces the StochasticMatrix path bit for bit.
+        let p = walk();
+        let a = mean_hitting_times(&p, &[3], &PassageOptions::default()).unwrap();
+        let b = mean_hitting_times(p.matrix(), &[3], &PassageOptions::default()).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Gauss–Seidel iteration for the stationary distribution.
 
-use stochcdr_linalg::vecops;
+use stochcdr_linalg::{vecops, CsrMatrix, TransitionOp};
 use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
-use super::{initial_vector, StationaryResult, StationarySolver};
+use super::{finalize, initial_vector, square_dim, SolveOptions, StationaryResult, StationarySolver};
 
 /// Gauss–Seidel iteration on the stationarity equations.
 ///
@@ -20,10 +20,14 @@ use super::{initial_vector, StationaryResult, StationarySolver};
 /// the [`StochasticMatrix`] caches. Typically converges in roughly half the
 /// iterations of Jacobi on these chains and is the classical accelerated
 /// baseline the paper's aggregation/disaggregation methods are built on.
+///
+/// For backends that do not cache a transpose
+/// ([`TransitionOp::transpose_csr`] returns `None`, e.g. the Kronecker
+/// product-form operator), `solve_op` materializes the operator and
+/// transposes it once — an O(nnz) cost paid up front.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaussSeidelSolver {
-    tol: f64,
-    max_iters: usize,
+    opts: SolveOptions,
 }
 
 impl GaussSeidelSolver {
@@ -33,9 +37,17 @@ impl GaussSeidelSolver {
     ///
     /// Panics if `tol <= 0` or `max_iters == 0`.
     pub fn new(tol: f64, max_iters: usize) -> Self {
-        assert!(tol > 0.0, "tolerance must be positive");
-        assert!(max_iters > 0, "iteration budget must be positive");
-        GaussSeidelSolver { tol, max_iters }
+        GaussSeidelSolver::with_options(SolveOptions::new(tol, max_iters))
+    }
+
+    /// Creates a solver from shared [`SolveOptions`].
+    pub fn with_options(opts: SolveOptions) -> Self {
+        GaussSeidelSolver { opts }
+    }
+
+    /// The full iteration controls.
+    pub fn options(&self) -> &SolveOptions {
+        &self.opts
     }
 
     /// Performs one forward sweep in place; returns the L1 change.
@@ -53,60 +65,83 @@ impl GaussSeidelSolver {
     /// Panics if `x.len() != p.n()`.
     pub fn sweep_once(&self, p: &StochasticMatrix, x: &mut [f64]) -> f64 {
         assert_eq!(x.len(), p.n(), "vector length must match state count");
-        let pt = p.transposed();
-        let mut change = 0.0;
-        for i in 0..p.n() {
-            let mut acc = 0.0;
-            let mut pii = 0.0;
-            for (j, v) in pt.row(i) {
-                if j == i {
-                    pii = v;
-                } else {
-                    acc += v * x[j];
-                }
-            }
-            let denom = 1.0 - pii;
-            if denom > f64::EPSILON {
-                let new = (acc / denom).max(0.0);
-                change += (new - x[i]).abs();
-                x[i] = new;
+        sweep_transposed(p.transposed(), x)
+    }
+}
+
+/// One forward Gauss–Seidel sweep over the rows of `P^T`.
+///
+/// Inherently sequential: each state's update reads the freshest values of
+/// the states swept before it, so this kernel does not parallelize.
+pub(crate) fn sweep_transposed(pt: &CsrMatrix, x: &mut [f64]) -> f64 {
+    let mut change = 0.0;
+    for i in 0..x.len() {
+        let mut acc = 0.0;
+        let mut pii = 0.0;
+        for (j, v) in pt.row(i) {
+            if j == i {
+                pii = v;
+            } else {
+                acc += v * x[j];
             }
         }
-        vecops::normalize_l1(x);
-        change
+        let denom = 1.0 - pii;
+        if denom > f64::EPSILON {
+            let new = (acc / denom).max(0.0);
+            change += (new - x[i]).abs();
+            x[i] = new;
+        }
     }
+    vecops::normalize_l1(x);
+    change
 }
 
 impl Default for GaussSeidelSolver {
     /// Tolerance `1e-12`, budget `100_000`.
     fn default() -> Self {
-        GaussSeidelSolver::new(1e-12, 100_000)
+        GaussSeidelSolver::with_options(SolveOptions::default())
     }
 }
 
 impl StationarySolver for GaussSeidelSolver {
-    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
-        let mut x = initial_vector(p.n(), init)?;
-        for it in 1..=self.max_iters {
-            let change = self.sweep_once(p, &mut x);
+    fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult> {
+        let n = square_dim(op)?;
+        let mut x = initial_vector(n, init)?;
+        // Sweeps need P^T rows; materialize once for backends without a
+        // cached transpose.
+        let pt_owned;
+        let pt: &CsrMatrix = match op.transpose_csr() {
+            Some(t) => t,
+            None => {
+                pt_owned = op.materialize_csr().transpose();
+                &pt_owned
+            }
+        };
+        let mut history = Vec::new();
+        for it in 1..=self.opts.max_iters {
+            let change = sweep_transposed(pt, &mut x);
             if vecops::sum(&x) == 0.0 {
                 // The sweep annihilated the iterate (possible for
                 // concentrated starts); re-seed with the uniform vector.
-                x = vecops::uniform(p.n());
+                x = vecops::uniform(n);
                 continue;
             }
-            if change <= self.tol {
-                let residual = p.stationary_residual(&x);
-                vecops::clamp_roundoff(&mut x, 1e-12);
+            if self.opts.record_history {
+                history.push(change);
+            }
+            if change <= self.opts.tol {
                 obs::event(
                     "markov.gauss_seidel",
-                    &[("iterations", it.into()), ("residual", residual.into())],
+                    &[("iterations", it.into()), ("change", change.into())],
                 );
-                return Ok(StationaryResult { distribution: x, iterations: it, residual });
+                return Ok(finalize(op, x, it, history));
             }
         }
-        let residual = p.stationary_residual(&x);
-        Err(MarkovError::NotConverged { iterations: self.max_iters, residual })
+        let residual = {
+            let y = op.mul_left(&x);
+            vecops::dist1(&y, &x)
+        };
+        Err(MarkovError::NotConverged { iterations: self.opts.max_iters, residual })
     }
 
     fn name(&self) -> &'static str {
@@ -145,10 +180,10 @@ mod tests {
         // damped variant for a fair iteration-count comparison.
         let jc = JacobiSolver::new(1e-10, 200_000, 0.7).solve(&p, None).unwrap();
         assert!(
-            gs.iterations < jc.iterations,
+            gs.iterations() < jc.iterations(),
             "GS {} iters vs Jacobi {}",
-            gs.iterations,
-            jc.iterations
+            gs.iterations(),
+            jc.iterations()
         );
     }
 
@@ -169,5 +204,23 @@ mod tests {
         let r = GaussSeidelSolver::default().solve(&p, None).unwrap();
         assert!(p.stationary_residual(&r.distribution) < 1e-9);
         assert!(vecops::is_nonnegative(&r.distribution));
+    }
+
+    #[test]
+    fn reported_residual_is_post_clamp() {
+        let p = pseudo_random(18, 5);
+        let r = GaussSeidelSolver::default().solve(&p, None).unwrap();
+        assert_eq!(r.residual(), p.stationary_residual(&r.distribution));
+    }
+
+    #[test]
+    fn uncached_transpose_backend_agrees() {
+        // Solving through the bare CSR backend (no cached transpose) must
+        // give exactly the cached-transpose result.
+        let p = pseudo_random(15, 21);
+        let solver = GaussSeidelSolver::default();
+        let a = solver.solve(&p, None).unwrap();
+        let b = solver.solve_op(p.matrix(), None).unwrap();
+        assert_eq!(a.distribution, b.distribution);
     }
 }

@@ -1,9 +1,9 @@
 //! Direct GTH (Grassmann–Taksar–Heyman) stationary solver.
 
-use stochcdr_linalg::{vecops, DenseMatrix};
+use stochcdr_linalg::{vecops, DenseMatrix, TransitionOp};
 use stochcdr_obs as obs;
 
-use crate::{MarkovError, Result, StochasticMatrix};
+use crate::{MarkovError, Result};
 
 use super::{StationaryResult, StationarySolver};
 
@@ -97,13 +97,28 @@ impl GthSolver {
 }
 
 impl StationarySolver for GthSolver {
-    fn solve(&self, p: &StochasticMatrix, _init: Option<&[f64]>) -> Result<StationaryResult> {
+    /// Materializes the operator as a dense matrix (O(n²) space) and runs
+    /// the elimination. No roundoff clamp is applied: GTH is
+    /// subtraction-free, so the result is non-negative by construction and
+    /// tiny true stationary masses are preserved exactly. The reported
+    /// residual is measured on the returned vector.
+    fn solve_op(&self, op: &dyn TransitionOp, _init: Option<&[f64]>) -> Result<StationaryResult> {
         let _span = obs::span("markov.gth");
-        let dense = p.matrix().to_dense();
+        let dense = op.materialize_dense();
         let pi = self.solve_dense(&dense)?;
-        let residual = p.stationary_residual(&pi);
-        obs::event("markov.gth", &[("states", p.n().into()), ("residual", residual.into())]);
-        Ok(StationaryResult { distribution: pi, iterations: 1, residual })
+        let residual = {
+            let y = op.mul_left(&pi);
+            vecops::dist1(&y, &pi)
+        };
+        obs::event("markov.gth", &[("states", op.rows().into()), ("residual", residual.into())]);
+        Ok(StationaryResult {
+            distribution: pi,
+            report: super::SolveReport {
+                iterations: 1,
+                residual,
+                residual_history: vec![residual],
+            },
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -116,13 +131,14 @@ mod tests {
     use super::super::test_chains::{birth_death, pseudo_random, two_state};
     use super::super::PowerIteration;
     use super::*;
+    use crate::StochasticMatrix;
 
     #[test]
     fn two_state_closed_form() {
         let (p, pi) = two_state(0.3, 0.7);
         let r = GthSolver::new().solve(&p, None).unwrap();
         assert!(vecops::dist1(&r.distribution, &pi) < 1e-14);
-        assert!(r.residual < 1e-14);
+        assert!(r.residual() < 1e-14);
     }
 
     #[test]

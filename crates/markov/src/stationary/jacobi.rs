@@ -1,11 +1,11 @@
 //! Damped Jacobi iteration for the stationary distribution.
 
-use stochcdr_linalg::vecops;
+use stochcdr_linalg::{vecops, TransitionOp};
 use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
-use super::{initial_vector, StationaryResult, StationarySolver};
+use super::{finalize, initial_vector, square_dim, SolveOptions, StationaryResult, StationarySolver};
 
 /// Damped (weighted) Jacobi iteration on the stationarity equations.
 ///
@@ -20,12 +20,15 @@ use super::{initial_vector, StationaryResult, StationarySolver};
 ///
 /// Damped Jacobi is also the *smoother* used between grid transfers in the
 /// paper's multigrid method ("the lumping and expanding steps are
-/// interleaved with simple Gauss–Jacobi iterations"); the `sweeps_once`
+/// interleaved with simple Gauss–Jacobi iterations"); the `sweep_once`
 /// entry point exists for that use.
+///
+/// Matrix-free: a sweep needs only the `x·A` product and the diagonal, so
+/// structured backends such as the Kronecker product-form operator never
+/// materialize. The dominant SpMV runs on the parallel kernel layer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JacobiSolver {
-    tol: f64,
-    max_iters: usize,
+    opts: SolveOptions,
     omega: f64,
 }
 
@@ -36,15 +39,27 @@ impl JacobiSolver {
     ///
     /// Panics if `tol <= 0`, `max_iters == 0`, or `ω ∉ (0, 1]`.
     pub fn new(tol: f64, max_iters: usize, omega: f64) -> Self {
-        assert!(tol > 0.0, "tolerance must be positive");
-        assert!(max_iters > 0, "iteration budget must be positive");
+        JacobiSolver::with_options(SolveOptions::new(tol, max_iters), omega)
+    }
+
+    /// Creates a solver from shared [`SolveOptions`] and damping `ω`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ω ∉ (0, 1]`.
+    pub fn with_options(opts: SolveOptions, omega: f64) -> Self {
         assert!(omega > 0.0 && omega <= 1.0, "damping must be in (0, 1]");
-        JacobiSolver { tol, max_iters, omega }
+        JacobiSolver { opts, omega }
     }
 
     /// Damping factor `ω`.
     pub fn omega(&self) -> f64 {
         self.omega
+    }
+
+    /// The full iteration controls.
+    pub fn options(&self) -> &SolveOptions {
+        &self.opts
     }
 
     /// Performs one damped Jacobi sweep in place and returns the L1 change.
@@ -58,13 +73,20 @@ impl JacobiSolver {
     /// Panics if `x.len() != p.n()`.
     pub fn sweep_once(&self, p: &StochasticMatrix, x: &mut [f64]) -> f64 {
         assert_eq!(x.len(), p.n(), "vector length must match state count");
-        let pt = p.transposed();
-        let mut y = vec![0.0; p.n()];
-        // y_i = Σ_j x_j p_ji = (P^T x)_i, computed row-wise on P^T.
-        pt.mul_right_into(x, &mut y);
+        let diag = p.matrix().diagonal();
+        self.sweep_op(p, &diag, x)
+    }
+
+    /// One damped Jacobi sweep against any operator; `diag` must be the
+    /// operator's main diagonal (hoisted by callers that sweep repeatedly).
+    pub(crate) fn sweep_op(&self, op: &dyn TransitionOp, diag: &[f64], x: &mut [f64]) -> f64 {
+        let n = x.len();
+        let mut y = vec![0.0; n];
+        // y_i = Σ_j x_j p_ji = (x P)_i.
+        op.mul_left_into(x, &mut y);
         let mut change = 0.0;
-        for i in 0..p.n() {
-            let pii = p.prob(i, i);
+        for i in 0..n {
+            let pii = diag[i];
             let denom = 1.0 - pii;
             let new = if denom > f64::EPSILON {
                 // Remove the diagonal term included in y_i.
@@ -85,33 +107,40 @@ impl JacobiSolver {
 impl Default for JacobiSolver {
     /// Tolerance `1e-12`, budget `100_000`, damping `0.8`.
     fn default() -> Self {
-        JacobiSolver::new(1e-12, 100_000, 0.8)
+        JacobiSolver::with_options(SolveOptions::default(), 0.8)
     }
 }
 
 impl StationarySolver for JacobiSolver {
-    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
-        let mut x = initial_vector(p.n(), init)?;
-        for it in 1..=self.max_iters {
-            let change = self.sweep_once(p, &mut x);
+    fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult> {
+        let n = square_dim(op)?;
+        let mut x = initial_vector(n, init)?;
+        let diag = op.diagonal();
+        let mut history = Vec::new();
+        for it in 1..=self.opts.max_iters {
+            let change = self.sweep_op(op, &diag, &mut x);
             if vecops::sum(&x) == 0.0 {
                 // Degenerate iterate (possible for adversarial starts on
                 // structured chains); re-seed with the uniform vector.
-                x = vecops::uniform(p.n());
+                x = vecops::uniform(n);
                 continue;
             }
-            if change <= self.tol {
-                let residual = p.stationary_residual(&x);
-                vecops::clamp_roundoff(&mut x, 1e-12);
+            if self.opts.record_history {
+                history.push(change);
+            }
+            if change <= self.opts.tol {
                 obs::event(
                     "markov.jacobi",
-                    &[("iterations", it.into()), ("residual", residual.into())],
+                    &[("iterations", it.into()), ("change", change.into())],
                 );
-                return Ok(StationaryResult { distribution: x, iterations: it, residual });
+                return Ok(finalize(op, x, it, history));
             }
         }
-        let residual = p.stationary_residual(&x);
-        Err(MarkovError::NotConverged { iterations: self.max_iters, residual })
+        let residual = {
+            let y = op.mul_left(&x);
+            vecops::dist1(&y, &x)
+        };
+        Err(MarkovError::NotConverged { iterations: self.opts.max_iters, residual })
     }
 
     fn name(&self) -> &'static str {
@@ -175,5 +204,12 @@ mod tests {
     fn invalid_damping_panics() {
         let result = std::panic::catch_unwind(|| JacobiSolver::new(1e-9, 10, 1.5));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn reported_residual_is_post_clamp() {
+        let p = pseudo_random(18, 11);
+        let r = JacobiSolver::default().solve(&p, None).unwrap();
+        assert_eq!(r.residual(), p.stationary_residual(&r.distribution));
     }
 }

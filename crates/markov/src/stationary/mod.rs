@@ -28,28 +28,104 @@ pub use gth::GthSolver;
 pub use jacobi::JacobiSolver;
 pub use power::PowerIteration;
 
+use stochcdr_linalg::{vecops, TransitionOp};
+use stochcdr_obs as obs;
+
 use crate::{Result, StochasticMatrix};
+
+/// Shared iteration controls for every [`StationarySolver`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Convergence tolerance on the solver's per-iteration change metric.
+    pub tol: f64,
+    /// Iteration budget before giving up with `NotConverged`.
+    pub max_iters: usize,
+    /// Record the per-iteration convergence metric in
+    /// [`SolveReport::residual_history`] (off by default: long power-method
+    /// runs would otherwise allocate megabytes of history).
+    pub record_history: bool,
+}
+
+impl Default for SolveOptions {
+    /// Tolerance `1e-12`, budget `100_000` iterations, no history.
+    fn default() -> Self {
+        SolveOptions { tol: 1e-12, max_iters: 100_000, record_history: false }
+    }
+}
+
+impl SolveOptions {
+    /// Creates options with the given tolerance and iteration budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol` is not positive/finite or `max_iters` is zero.
+    pub fn new(tol: f64, max_iters: usize) -> Self {
+        assert!(tol.is_finite() && tol > 0.0, "tolerance must be positive and finite");
+        assert!(max_iters > 0, "iteration budget must be positive");
+        SolveOptions { tol, max_iters, record_history: false }
+    }
+
+    /// Enables residual-history recording.
+    #[must_use]
+    pub fn with_history(mut self) -> Self {
+        self.record_history = true;
+        self
+    }
+}
+
+/// What a solve did: iteration count, final residual, optional history.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolveReport {
+    /// Iterations performed (1 for direct solvers).
+    pub iterations: usize,
+    /// Final residual `||η P − η||_1`, measured *after* the roundoff clamp
+    /// so it reports exactly the distribution handed back.
+    pub residual: f64,
+    /// Per-iteration convergence metric (solver-specific: the residual for
+    /// power/multigrid, the sweep change for Jacobi/Gauss–Seidel), with
+    /// the last entry synced to the final post-clamp residual. Empty
+    /// unless [`SolveOptions::record_history`] is set — except for
+    /// multigrid, which always records its (short) cycle history.
+    pub residual_history: Vec<f64>,
+}
 
 /// Outcome of a stationary-distribution solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StationaryResult {
     /// The stationary distribution `η` (non-negative, sums to one).
     pub distribution: Vec<f64>,
+    /// Iteration/residual telemetry for the solve.
+    pub report: SolveReport,
+}
+
+impl StationaryResult {
     /// Iterations performed (1 for direct solvers).
-    pub iterations: usize,
-    /// Final residual `||η P − η||_1`.
-    pub residual: f64,
+    pub fn iterations(&self) -> usize {
+        self.report.iterations
+    }
+
+    /// Final residual `||η P − η||_1` (post-clamp).
+    pub fn residual(&self) -> f64 {
+        self.report.residual
+    }
 }
 
 /// A solver computing the stationary distribution of a Markov chain.
 ///
 /// Implementations must return a non-negative vector summing to one whose
 /// residual `||η P − η||_1` meets the solver's own tolerance, or an error.
+/// Every solver consumes the matrix-free [`TransitionOp`] interface;
+/// [`StationarySolver::solve`] is a convenience wrapper for concrete
+/// [`StochasticMatrix`] chains.
 pub trait StationarySolver {
-    /// Computes the stationary distribution.
+    /// Computes the stationary distribution of a transition operator.
     ///
     /// `init` optionally seeds iterative methods; direct methods ignore it.
-    /// When `None`, the uniform distribution is used.
+    /// When `None`, the uniform distribution is used. Matrix-free backends
+    /// (e.g. the Kronecker product-form operator) work without
+    /// materialization for solvers that only need `x·A` products (power
+    /// iteration, weighted Jacobi); solvers that need a transpose or dense
+    /// elimination materialize and document the cost.
     ///
     /// # Errors
     ///
@@ -57,11 +133,62 @@ pub trait StationarySolver {
     ///   exhausted,
     /// * [`crate::MarkovError::Reducible`] when the method requires an
     ///   irreducible chain and the structure makes the solve impossible,
-    /// * [`crate::MarkovError::InvalidArgument`] for malformed `init`.
-    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult>;
+    /// * [`crate::MarkovError::InvalidArgument`] for malformed `init` or a
+    ///   non-square operator.
+    fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult>;
+
+    /// Computes the stationary distribution of a validated stochastic
+    /// matrix (see [`StationarySolver::solve_op`] for the contract).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`StationarySolver::solve_op`].
+    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
+        self.solve_op(p, init)
+    }
 
     /// Short human-readable name used in reports and benchmarks.
     fn name(&self) -> &'static str;
+}
+
+/// Rejects non-square operators; returns the dimension.
+pub(crate) fn square_dim(op: &dyn TransitionOp) -> Result<usize> {
+    if op.rows() != op.cols() {
+        return Err(crate::MarkovError::InvalidArgument(format!(
+            "stationary solve needs a square operator, got {}x{}",
+            op.rows(),
+            op.cols()
+        )));
+    }
+    Ok(op.rows())
+}
+
+/// Shared convergence epilogue: clamp roundoff noise out of the iterate,
+/// recompute the residual on the *clamped* vector so the report describes
+/// exactly what is returned, sync the history tail, and emit the common
+/// iteration telemetry.
+pub(crate) fn finalize(
+    op: &dyn TransitionOp,
+    mut x: Vec<f64>,
+    iterations: usize,
+    mut residual_history: Vec<f64>,
+) -> StationaryResult {
+    vecops::clamp_roundoff(&mut x, 1e-12);
+    let residual = {
+        let y = op.mul_left(&x);
+        vecops::dist1(&y, &x)
+    };
+    if let Some(last) = residual_history.last_mut() {
+        *last = residual;
+    }
+    if obs::enabled() {
+        obs::counter("markov.solve.iterations", iterations as u64);
+        obs::gauge("markov.solve.residual", residual);
+    }
+    StationaryResult {
+        distribution: x,
+        report: SolveReport { iterations, residual, residual_history },
+    }
 }
 
 /// Validates/creates the starting vector shared by the iterative solvers.

@@ -1,11 +1,11 @@
 //! Power iteration for the stationary distribution.
 
-use stochcdr_linalg::vecops;
+use stochcdr_linalg::{vecops, TransitionOp};
 use stochcdr_obs as obs;
 
-use crate::{MarkovError, Result, StochasticMatrix};
+use crate::{MarkovError, Result};
 
-use super::{initial_vector, StationaryResult, StationarySolver};
+use super::{finalize, initial_vector, square_dim, SolveOptions, StationaryResult, StationarySolver};
 
 /// Power iteration: `η_{k+1} = η_k P`, renormalized in L1.
 ///
@@ -14,6 +14,9 @@ use super::{initial_vector, StationaryResult, StationarySolver};
 /// by CDR models `|λ₂|` is extremely close to one — this is precisely why
 /// the paper develops a multigrid solver. Power iteration remains the
 /// baseline every other solver is validated against.
+///
+/// Fully matrix-free: only `x·A` products are taken, so structured
+/// backends such as the Kronecker product-form operator never materialize.
 ///
 /// # Example
 ///
@@ -33,8 +36,7 @@ use super::{initial_vector, StationaryResult, StationarySolver};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerIteration {
-    tol: f64,
-    max_iters: usize,
+    opts: SolveOptions,
 }
 
 impl PowerIteration {
@@ -45,52 +47,66 @@ impl PowerIteration {
     ///
     /// Panics if `tol <= 0` or `max_iters == 0`.
     pub fn new(tol: f64, max_iters: usize) -> Self {
-        assert!(tol > 0.0, "tolerance must be positive");
-        assert!(max_iters > 0, "iteration budget must be positive");
-        PowerIteration { tol, max_iters }
+        PowerIteration::with_options(SolveOptions::new(tol, max_iters))
+    }
+
+    /// Creates a solver from shared [`SolveOptions`].
+    pub fn with_options(opts: SolveOptions) -> Self {
+        PowerIteration { opts }
     }
 
     /// Residual tolerance.
     pub fn tol(&self) -> f64 {
-        self.tol
+        self.opts.tol
     }
 
     /// Iteration budget.
     pub fn max_iters(&self) -> usize {
-        self.max_iters
+        self.opts.max_iters
+    }
+
+    /// The full iteration controls.
+    pub fn options(&self) -> &SolveOptions {
+        &self.opts
     }
 }
 
 impl Default for PowerIteration {
     /// Tolerance `1e-12`, budget `100_000` iterations.
     fn default() -> Self {
-        PowerIteration::new(1e-12, 100_000)
+        PowerIteration::with_options(SolveOptions::default())
     }
 }
 
 impl StationarySolver for PowerIteration {
-    fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
-        let n = p.n();
+    fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult> {
+        let n = square_dim(op)?;
         let mut x = initial_vector(n, init)?;
         let mut y = vec![0.0; n];
-        for it in 1..=self.max_iters {
-            p.step_into(&x, &mut y);
+        let mut history = Vec::new();
+        for it in 1..=self.opts.max_iters {
+            op.mul_left_into(&x, &mut y);
             // P is row-stochastic so ||y||_1 == ||x||_1 == 1 exactly up to
             // round-off; renormalize anyway to stop drift over many iters.
             vecops::normalize_l1(&mut y);
             let res = vecops::dist1(&x, &y);
             std::mem::swap(&mut x, &mut y);
-            if res <= self.tol {
-                vecops::clamp_roundoff(&mut x, 1e-12);
+            if self.opts.record_history {
+                history.push(res);
+            }
+            if res <= self.opts.tol {
                 obs::event(
                     "markov.power",
                     &[("iterations", it.into()), ("residual", res.into())],
                 );
-                return Ok(StationaryResult { distribution: x, iterations: it, residual: res });
+                return Ok(finalize(op, x, it, history));
             }
         }
-        let res = p.stationary_residual(&x);
-        Err(MarkovError::NotConverged { iterations: self.max_iters, residual: res })
+        let res = {
+            let y = op.mul_left(&x);
+            vecops::dist1(&y, &x)
+        };
+        Err(MarkovError::NotConverged { iterations: self.opts.max_iters, residual: res })
     }
 
     fn name(&self) -> &'static str {
@@ -142,12 +158,41 @@ mod tests {
         let (p, _) = two_state(1.0, 1.0);
         let r = PowerIteration::default().solve(&p, Some(&[0.5, 0.5])).unwrap();
         assert_eq!(r.distribution, vec![0.5, 0.5]);
-        assert_eq!(r.iterations, 1);
+        assert_eq!(r.iterations(), 1);
     }
 
     #[test]
     fn respects_initial_guess_validation() {
         let (p, _) = two_state(0.5, 0.5);
         assert!(PowerIteration::default().solve(&p, Some(&[1.0])).is_err());
+    }
+
+    #[test]
+    fn reported_residual_is_post_clamp() {
+        let p = pseudo_random(12, 7);
+        let r = PowerIteration::default().solve(&p, None).unwrap();
+        // The report must describe the returned (clamped) vector exactly.
+        assert_eq!(r.residual(), p.stationary_residual(&r.distribution));
+    }
+
+    #[test]
+    fn history_records_when_requested() {
+        let (p, _) = two_state(0.3, 0.7);
+        let solver =
+            PowerIteration::with_options(SolveOptions::new(1e-12, 1000).with_history());
+        let r = solver.solve(&p, None).unwrap();
+        assert_eq!(r.report.residual_history.len(), r.iterations());
+        assert_eq!(*r.report.residual_history.last().unwrap(), r.residual());
+    }
+
+    #[test]
+    fn dense_backend_is_bit_identical_to_csr() {
+        let p = pseudo_random(16, 3);
+        let dense = p.matrix().to_dense();
+        let solver = PowerIteration::default();
+        let a = solver.solve(&p, None).unwrap();
+        let b = solver.solve_op(&dense, None).unwrap();
+        assert_eq!(a.distribution, b.distribution);
+        assert_eq!(a.report, b.report);
     }
 }

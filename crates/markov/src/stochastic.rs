@@ -1,6 +1,6 @@
 //! Validated transition probability matrices.
 
-use stochcdr_linalg::{CsrMatrix, vecops};
+use stochcdr_linalg::{vecops, CsrMatrix, TransitionOp};
 
 use crate::{MarkovError, Result};
 
@@ -114,16 +114,24 @@ impl StochasticMatrix {
     ///
     /// Panics if `x.len() != n()`.
     pub fn step(&self, x: &[f64]) -> Vec<f64> {
-        self.p.mul_left(x)
+        let mut out = vec![0.0; self.n()];
+        self.step_into(x, &mut out);
+        out
     }
 
     /// In-place step: writes `x P` into `out`.
+    ///
+    /// Computed as the row-parallel product `P^T x` on the cached
+    /// transpose, which is bit-identical to the serial scatter `x P` (per
+    /// output element, contributions accumulate in the same ascending
+    /// source-row order, and IEEE multiplication commutes) while giving
+    /// each output element to exactly one worker.
     ///
     /// # Panics
     ///
     /// Panics if either slice length differs from `n()`.
     pub fn step_into(&self, x: &[f64], out: &mut [f64]) {
-        self.p.mul_left_into(x, out);
+        self.pt.mul_right_into(x, out);
     }
 
     /// Residual `|| x P - x ||_1` of a candidate stationary vector.
@@ -148,6 +156,50 @@ impl StochasticMatrix {
     /// Consumes the wrapper and returns the underlying matrix.
     pub fn into_inner(self) -> CsrMatrix {
         self.p
+    }
+}
+
+impl TransitionOp for StochasticMatrix {
+    fn rows(&self) -> usize {
+        self.n()
+    }
+
+    fn cols(&self) -> usize {
+        self.n()
+    }
+
+    fn nnz(&self) -> usize {
+        StochasticMatrix::nnz(self)
+    }
+
+    fn mul_left_into(&self, x: &[f64], y: &mut [f64]) {
+        self.step_into(x, y);
+    }
+
+    fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
+        self.p.mul_right_into(x, y);
+    }
+
+    fn for_each_in_row(&self, row: usize, f: &mut dyn FnMut(usize, f64)) {
+        for (c, v) in self.p.row(row) {
+            f(c, v);
+        }
+    }
+
+    fn diagonal(&self) -> Vec<f64> {
+        self.p.diagonal()
+    }
+
+    fn transpose_csr(&self) -> Option<&CsrMatrix> {
+        Some(&self.pt)
+    }
+
+    fn materialize_csr(&self) -> CsrMatrix {
+        self.p.clone()
+    }
+
+    fn materialize_dense(&self) -> stochcdr_linalg::DenseMatrix {
+        self.p.to_dense()
     }
 }
 
@@ -241,5 +293,34 @@ mod tests {
         let p = two_state(0.3, 0.6);
         assert_eq!(p.transposed().get(1, 0), 0.3);
         assert_eq!(p.transposed().get(0, 1), 0.6);
+    }
+
+    #[test]
+    fn transposed_step_is_bit_identical_to_scatter() {
+        // The parallel step computes P^T x on the cached transpose; it must
+        // reproduce the serial scatter x P bit for bit (same per-element
+        // accumulation order; multiplication commutes).
+        let n = 40;
+        let mut coo = CooMatrix::new(n, n);
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n {
+            let mut row: Vec<f64> = (0..5).map(|_| next() + 1e-3).collect();
+            let s: f64 = row.iter().sum();
+            for v in &mut row {
+                *v /= s;
+            }
+            for (k, v) in row.into_iter().enumerate() {
+                coo.push(i, (i * 7 + k * 11) % n, v);
+            }
+        }
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 0.0 } else { next() }).collect();
+        assert_eq!(p.step(&x), p.matrix().mul_left(&x));
     }
 }

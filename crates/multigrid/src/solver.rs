@@ -1,10 +1,10 @@
 //! The multi-level aggregation/disaggregation solver.
 
-use stochcdr_linalg::vecops;
+use stochcdr_linalg::{vecops, TransitionOp};
 use stochcdr_markov::lumping::{aggregate, disaggregate, lump_weighted, Partition};
 use stochcdr_obs as obs;
 use stochcdr_markov::stationary::{
-    GthSolver, StationaryResult, StationarySolver,
+    GthSolver, SolveReport, StationaryResult, StationarySolver,
 };
 use stochcdr_markov::{MarkovError, Result, StochasticMatrix};
 
@@ -277,8 +277,14 @@ impl MultigridSolver {
                     "multigrid.converged",
                     &[("cycles", cycle.into()), ("residual", final_res.into())],
                 );
-                let result =
-                    StationaryResult { distribution: x, iterations: cycle, residual: final_res };
+                let result = StationaryResult {
+                    distribution: x,
+                    report: SolveReport {
+                        iterations: cycle,
+                        residual: final_res,
+                        residual_history: history.clone(),
+                    },
+                };
                 let stats = MultigridStats {
                     residual_history: history,
                     levels: self.levels(),
@@ -370,6 +376,17 @@ impl MultigridSolver {
 }
 
 impl StationarySolver for MultigridSolver {
+    /// Materializes the operator as a validated [`StochasticMatrix`] and
+    /// runs the cycling on it. The aggregation/disaggregation transfers
+    /// need explicit row access and rebuild lumped chains every cycle, so
+    /// multigrid cannot stay matrix-free; backends that already are a
+    /// `StochasticMatrix` take the direct [`solve`](StationarySolver::solve)
+    /// path with no copy.
+    fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult> {
+        let p = StochasticMatrix::with_tolerance(op.materialize_csr(), 1e-6)?;
+        self.solve_with_stats(&p, init).map(|(r, _)| r)
+    }
+
     fn solve(&self, p: &StochasticMatrix, init: Option<&[f64]>) -> Result<StationaryResult> {
         self.solve_with_stats(p, init).map(|(r, _)| r)
     }
@@ -469,7 +486,7 @@ mod tests {
         }
         // Power iteration with an equivalent sweep budget barely moves the
         // cluster masses: residual stays at the O(eps) coupling scale.
-        let budget = r.iterations * (stats.levels * 4);
+        let budget = r.iterations() * (stats.levels * 4);
         let mut x = init;
         let mut buf = vec![0.0; 32];
         for _ in 0..budget {
@@ -519,10 +536,10 @@ mod tests {
             .unwrap();
         assert!(p.stationary_residual(&fmg.distribution) < 1e-10);
         assert!(
-            fmg.iterations <= plain.iterations,
+            fmg.iterations() <= plain.iterations(),
             "FMG {} cycles vs plain {}",
-            fmg.iterations,
-            plain.iterations
+            fmg.iterations(),
+            plain.iterations()
         );
         assert!(vecops::dist1(&fmg.distribution, &plain.distribution) < 1e-8);
     }
@@ -533,7 +550,7 @@ mod tests {
         let solver = MultigridSolver::builder(vec![]).build();
         let r = solver.solve(&p, None).unwrap();
         assert!(p.stationary_residual(&r.distribution) < 1e-12);
-        assert_eq!(r.iterations, 1);
+        assert_eq!(r.iterations(), 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use stochcdr_fsm::KroneckerOp;
 use stochcdr_linalg::{CooMatrix, CsrMatrix};
-use stochcdr_markov::operator::{stationary_power, FnOp};
+use stochcdr_markov::operator::stationary_power;
 use stochcdr_markov::stationary::{GthSolver, StationarySolver};
 use stochcdr_markov::StochasticMatrix;
 
@@ -52,15 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Matrix-free stationary solve on the product form would need the full
     // 16.7M-entry vector; demonstrate on the first four lanes (4096 states)
     // and verify against the product of per-lane stationaries.
+    // `KroneckerOp` implements `TransitionOp`, so the solver consumes the
+    // product form directly — no adapter and no materialization.
     let small = KroneckerOp::new(factors[..4].to_vec());
-    let op_adapter = FnOp::new(small.dim(), |x: &[f64], out: &mut [f64]| {
-        out.copy_from_slice(&small.mul_left(x));
-    });
-    let joint = stationary_power(&op_adapter, None, 1e-12, 200_000)?;
+    let joint = stationary_power(&small, None, 1e-12, 200_000)?;
     println!(
         "matrix-free power iteration: {} states, {} iterations",
         small.dim(),
-        joint.iterations
+        joint.iterations()
     );
 
     // Independence check: the joint stationary factorizes.

@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
 # Writes a dated benchmark snapshot (BENCH_<YYYY-MM-DD>.json) capturing the
 # repository's headline performance numbers: state count, TPM nonzeros,
-# multigrid cycles, wall times, and BER, plus the rendered stochcdr-obs
-# summary. Extra arguments are forwarded to the snapshot binary
+# multigrid cycles, wall times, and BER, plus the worker-thread count and a
+# 1-thread vs N-thread SpMV speedup row, plus the rendered stochcdr-obs
+# summary. The pool size honors STOCHCDR_THREADS (default: all cores).
+# Extra arguments are forwarded to the snapshot binary
 # (e.g. --refinement 64 --symbols 1000000).
 set -eu
 
 cd "$(dirname "$0")/.."
 out="BENCH_$(date +%F).json"
+echo "snapshot threads: ${STOCHCDR_THREADS:-auto}"
 cargo run --release --offline -p stochcdr-bench --bin bench_snapshot -- --out "$out" "$@"

@@ -2,9 +2,14 @@
 # Tier-1 verification: release build, full test suite, and clippy with
 # warnings denied. Everything runs offline — the workspace resolves its
 # external dev-dependencies (rand/proptest/criterion) to local shims.
+#
+# The test suite runs twice, pinned to 1 and 4 worker threads, so the
+# determinism contract of the parallel kernels (bit-identical results for
+# every pool size) is exercised on every CI pass.
 set -eu
 
 cd "$(dirname "$0")/.."
 cargo build --release --offline
-cargo test -q --offline
+STOCHCDR_THREADS=1 cargo test -q --offline
+STOCHCDR_THREADS=4 cargo test -q --offline
 cargo clippy --offline --all-targets -- -D warnings

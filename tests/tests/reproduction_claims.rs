@@ -51,12 +51,12 @@ fn stiff_chains_need_multigrid() {
         .solver_with_tol(SolverChoice::Power, tol)
         .solve(chain.tpm(), None)
         .expect("power");
-    assert!(mg.iterations < 100, "W-cycles exploded: {}", mg.iterations);
+    assert!(mg.iterations() < 100, "W-cycles exploded: {}", mg.iterations());
     assert!(
-        pw.iterations > mg.iterations * 20,
+        pw.iterations() > mg.iterations() * 20,
         "stiffness missing: power {} vs multigrid {}",
-        pw.iterations,
-        mg.iterations
+        pw.iterations(),
+        mg.iterations()
     );
 }
 

@@ -39,10 +39,10 @@ fn multigrid_cycle_counts_beat_one_level_iteration_counts() {
         .solve(chain.tpm(), None)
         .expect("power");
     assert!(
-        mg.iterations * 3 < pw.iterations,
+        mg.iterations() * 3 < pw.iterations(),
         "multigrid {} cycles vs power {} iterations",
-        mg.iterations,
-        pw.iterations
+        mg.iterations(),
+        pw.iterations()
     );
 }
 
@@ -87,7 +87,7 @@ fn stationary_from_any_start_is_unique() {
     // Change-based stopping underestimates the error by 1/(1 − rho), so the
     // two runs agree to a looser tolerance than the sweep tolerance; both
     // residuals must still be tiny.
-    assert!(a.residual < 1e-9 && b.residual < 1e-9);
+    assert!(a.residual() < 1e-9 && b.residual() < 1e-9);
     assert!(vecops::dist1(&a.distribution, &b.distribution) < 1e-5);
 }
 
