@@ -71,11 +71,19 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("metrics_disabled", |b| {
         let _ = stochcdr_obs::uninstall();
-        b.iter(|| chain.analyze(stochcdr::SolverChoice::Multigrid).expect("analyze"));
+        b.iter(|| {
+            chain
+                .analyze(stochcdr::SolverChoice::Multigrid)
+                .expect("analyze")
+        });
     });
     group.bench_function("null_sink", |b| {
         stochcdr_obs::install(Box::new(stochcdr_obs::NullSink));
-        b.iter(|| chain.analyze(stochcdr::SolverChoice::Multigrid).expect("analyze"));
+        b.iter(|| {
+            chain
+                .analyze(stochcdr::SolverChoice::Multigrid)
+                .expect("analyze")
+        });
         stochcdr_obs::uninstall();
     });
     group.finish();

@@ -28,7 +28,9 @@ fn bench_passage(c: &mut Criterion) {
     });
     group.bench_function("stationary_plus_slip_rate", |b| {
         b.iter(|| {
-            let a = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-9).expect("analysis");
+            let a = chain
+                .analyze_with_tol(SolverChoice::Multigrid, 1e-9)
+                .expect("analysis");
             stochcdr::cycle_slip::mean_time_between_slips(&chain, &a.stationary).expect("mtbs")
         });
     });

@@ -18,7 +18,11 @@ fn bench_solvers(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("stationary_solvers_4k_states");
     group.sample_size(10);
-    for choice in [SolverChoice::Power, SolverChoice::GaussSeidel, SolverChoice::Multigrid] {
+    for choice in [
+        SolverChoice::Power,
+        SolverChoice::GaussSeidel,
+        SolverChoice::Multigrid,
+    ] {
         let solver = chain.solver_with_tol(choice, tol);
         group.bench_function(solver.name(), |b| {
             b.iter(|| solver.solve(chain.tpm(), None).expect("solve"))

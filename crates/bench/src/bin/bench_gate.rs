@@ -1,0 +1,118 @@
+//! **Benchmark regression gate** — compares two `bench_snapshot` JSON
+//! files and fails when any *deterministic* metric moved.
+//!
+//! The determinism contract makes this gate sharp: state count, TPM
+//! nonzeros, solver cycles, residual, BER, and the Monte-Carlo results
+//! are bit-identical across machines and thread counts, so any drift is
+//! a real behavior change, not noise. Wall-clock fields (`*_secs`,
+//! `spmv_*`) are advisory: the gate prints their ratios but never fails
+//! on them, since CI runners vary.
+//!
+//! Usage: `bench_gate BASELINE.json FRESH.json` — exits 1 on a
+//! deterministic mismatch, 2 on unreadable/invalid input.
+
+use stochcdr_obs::json::Json;
+
+/// Metrics that must match exactly between snapshots.
+const EXACT: &[&str] = &[
+    "states",
+    "nnz",
+    "cycles",
+    "residual",
+    "ber",
+    "mc_symbols",
+    "mc_ber",
+    "mc_cycle_slips",
+];
+
+/// Wall-clock metrics reported as ratios, never gated on.
+const ADVISORY: &[&str] = &[
+    "form_secs",
+    "solve_secs",
+    "mc_secs",
+    "spmv_1t_secs",
+    "spmv_nt_secs",
+    "spmv_speedup",
+];
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: cannot read '{path}': {e}");
+        std::process::exit(2);
+    });
+    let doc = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_gate: '{path}' is not valid JSON: {e}");
+        std::process::exit(2);
+    });
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("stochcdr-bench-snapshot/1") => doc,
+        other => {
+            eprintln!("bench_gate: '{path}' has unexpected schema {other:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench_gate BASELINE.json FRESH.json");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+
+    let mut failures = 0usize;
+    println!("bench gate: {baseline_path} (baseline) vs {fresh_path} (fresh)");
+
+    // String-valued deterministic field.
+    let b_solver = baseline.get("solver").and_then(Json::as_str);
+    let f_solver = fresh.get("solver").and_then(Json::as_str);
+    if b_solver == f_solver {
+        println!("  ok    solver          = {}", f_solver.unwrap_or("?"));
+    } else {
+        println!("  FAIL  solver          : {b_solver:?} -> {f_solver:?}");
+        failures += 1;
+    }
+
+    for key in EXACT {
+        let b = baseline.get(key).and_then(Json::as_f64);
+        let f = fresh.get(key).and_then(Json::as_f64);
+        match (b, f) {
+            (Some(b), Some(f)) if b == f => println!("  ok    {key:<15} = {f:e}"),
+            _ => {
+                println!("  FAIL  {key:<15} : {b:?} -> {f:?}");
+                failures += 1;
+            }
+        }
+    }
+
+    let b_threads = baseline.get("threads").and_then(Json::as_f64);
+    let f_threads = fresh.get("threads").and_then(Json::as_f64);
+    if b_threads != f_threads {
+        // Not a failure: the determinism contract covers every gated
+        // metric at any pool size; timing ratios just mean less.
+        println!(
+            "  note  threads         : {b_threads:?} -> {f_threads:?} (timing ratios approximate)"
+        );
+    }
+
+    println!("  --- advisory wall-clock ratios (fresh / baseline) ---");
+    for key in ADVISORY {
+        match (
+            baseline.get(key).and_then(Json::as_f64),
+            fresh.get(key).and_then(Json::as_f64),
+        ) {
+            (Some(b), Some(f)) if b > 0.0 => {
+                println!("  info  {key:<15} : {f:.3e} vs {b:.3e}  (x{:.2})", f / b);
+            }
+            (b, f) => println!("  info  {key:<15} : {b:?} -> {f:?}"),
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_gate: {failures} deterministic metric(s) drifted");
+        std::process::exit(1);
+    }
+    println!("bench_gate: PASS (all deterministic metrics identical)");
+}

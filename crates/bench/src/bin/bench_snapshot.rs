@@ -22,7 +22,9 @@ use stochcdr_markov::StochasticMatrix;
 use stochcdr_obs as obs;
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Mean seconds per `x·P` product over enough repetitions to fill
@@ -88,12 +90,15 @@ fn main() {
     assert_eq!(y1, yn, "N-thread SpMV must be bit-identical to 1-thread");
     let spmv_speedup = spmv_1t_secs / spmv_nt_secs;
 
-    let summary = obs::uninstall().and_then(|mut s| s.finish()).unwrap_or_default();
+    let summary = obs::uninstall()
+        .and_then(|mut s| s.finish())
+        .unwrap_or_default();
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"schema\": \"stochcdr-bench-snapshot/1\",");
     let _ = writeln!(json, "  \"obs_schema\": \"{}\",", obs::SCHEMA_VERSION);
+    let _ = writeln!(json, "  \"refinement\": {refinement},");
     let _ = writeln!(json, "  \"states\": {},", chain.state_count());
     let _ = writeln!(json, "  \"nnz\": {},", chain.nnz());
     let _ = writeln!(json, "  \"solver\": \"{}\",", analysis.solver_name);

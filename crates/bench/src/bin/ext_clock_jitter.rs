@@ -22,7 +22,10 @@ fn main() {
         println!("--- {label} ---");
         println!("rms jitter          : {:.4e} UI", report.rms_ui);
         println!("lag-1 correlation   : {:.4}", report.lag1_correlation());
-        println!("correlation length  : {} symbols", report.correlation_length());
+        println!(
+            "correlation length  : {} symbols",
+            report.correlation_length()
+        );
         println!("accumulated jitter J(k) [UI]:");
         for &k in &[1usize, 4, 16, 64, 256] {
             println!("  J({k:>4}) = {:.4e}", report.accumulated_ui[k.min(400)]);

@@ -35,13 +35,23 @@ fn main() {
     println!("pattern statistics:");
     println!("  density        : {:.4e}", stats.density);
     println!("  avg row nnz    : {:.1}", stats.avg_row_nnz);
-    println!("  min/max row nnz: {} / {}", stats.min_row_nnz, stats.max_row_nnz);
-    println!("  bandwidth      : lower {} upper {}", stats.lower_bandwidth, stats.upper_bandwidth);
+    println!(
+        "  min/max row nnz: {} / {}",
+        stats.min_row_nnz, stats.max_row_nnz
+    );
+    println!(
+        "  bandwidth      : lower {} upper {}",
+        stats.lower_bandwidth, stats.upper_bandwidth
+    );
 
     let pgm = pattern::spy_pgm(tpm, 512);
     let path = "fig3_tpm_pattern.pgm";
     std::fs::write(path, pgm).expect("write PGM");
-    println!("\nwrote {path} ({}x{} downsampled pattern image)", 512.min(tpm.rows()), 512.min(tpm.rows()));
+    println!(
+        "\nwrote {path} ({}x{} downsampled pattern image)",
+        512.min(tpm.rows()),
+        512.min(tpm.rows())
+    );
 
     // Sanity: the chain this pattern belongs to is solvable.
     let a = chain.analyze(SolverChoice::Multigrid).expect("analysis");

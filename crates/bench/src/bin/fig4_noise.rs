@@ -10,9 +10,67 @@
 //! annotation lines (counter length, σ(n_w), max n_r, BER; state-space
 //! size, iterations, matrix-form time, solve time) and ASCII versions of
 //! the two density curves.
+//!
+//! The two panels are one σ(n_w) sweep on the `stochcdr-sweep` engine:
+//! the shared factor cache rebuilds only the phase-detector factors
+//! between panels, and solves stay cold so the printed iteration counts
+//! match a standalone `analyze` run. With `--check`, the output is
+//! diffed against `results/fig4_noise.txt` instead of printed.
 
-use stochcdr::{report, CdrModel, SolverChoice};
-use stochcdr_bench::{fig4_config, FIG4_SIGMA_SCALE};
+use std::fmt::Write as _;
+
+use stochcdr::{report, SolverChoice};
+use stochcdr_bench::{fig4_config, golden, FIG4_SIGMA_BASE, FIG4_SIGMA_SCALE};
+use stochcdr_sweep::{run_map, FactorCache, SweepAxis, SweepSpec};
+
+const PANELS: [&str; 2] = ["top (baseline noise)", "bottom (10x n_w)"];
+
+fn render(solver: SolverChoice) -> String {
+    let spec = SweepSpec::new(fig4_config(1.0).expect("preset config"))
+        .axis(SweepAxis::SigmaNw(vec![
+            FIG4_SIGMA_BASE,
+            FIG4_SIGMA_BASE * FIG4_SIGMA_SCALE,
+        ]))
+        .solver(solver)
+        .warm_start(false);
+    let cache = FactorCache::new();
+    let panels = run_map(&spec, &cache, &|ctx, chain, analysis| {
+        Ok((
+            PANELS[ctx.flat],
+            report::figure_panel(chain, analysis),
+            analysis.ber,
+        ))
+    })
+    .expect("figure-4 sweep");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Figure 4: effect of the n_w (eye-opening) noise level ===\n"
+    );
+    for (panel, body, _) in &panels {
+        let _ = writeln!(out, "--- panel: {panel} ---");
+        let _ = writeln!(out, "{body}");
+    }
+    let bers: Vec<f64> = panels.iter().map(|p| p.2).collect();
+    let _ = writeln!(out, "summary:");
+    let _ = writeln!(out, "  baseline BER : {:.2e}  (paper: negligible)", bers[0]);
+    let _ = writeln!(
+        out,
+        "  10x n_w BER  : {:.2e}  (paper: BER becomes significant)",
+        bers[1]
+    );
+    if bers[0] > 0.0 {
+        let _ = writeln!(out, "  increase     : {:.1e}x", bers[1] / bers[0]);
+    } else {
+        let _ = writeln!(
+            out,
+            "  increase     : from (sub-underflow) ~0 to {:.2e}",
+            bers[1]
+        );
+    }
+    out
+}
 
 fn main() {
     // `--solver NAME` picks any registry solver (default: the paper's
@@ -22,28 +80,12 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--solver") {
         let name = args.get(i + 1).map(String::as_str).unwrap_or("");
         solver = SolverChoice::parse(name).unwrap_or_else(|| {
-            eprintln!("unknown solver '{name}'; expected {}", SolverChoice::cli_names());
+            eprintln!(
+                "unknown solver '{name}'; expected {}",
+                SolverChoice::cli_names()
+            );
             std::process::exit(2);
         });
     }
-    println!("=== Figure 4: effect of the n_w (eye-opening) noise level ===\n");
-    let mut bers = Vec::new();
-    for (panel, scale) in [("top (baseline noise)", 1.0), ("bottom (10x n_w)", FIG4_SIGMA_SCALE)]
-    {
-        let config = fig4_config(scale).expect("preset config");
-        let model = CdrModel::new(config);
-        let chain = model.build_chain().expect("chain assembly");
-        let analysis = chain.analyze(solver).expect("analysis");
-        println!("--- panel: {panel} ---");
-        println!("{}", report::figure_panel(&chain, &analysis));
-        bers.push(analysis.ber);
-    }
-    println!("summary:");
-    println!("  baseline BER : {:.2e}  (paper: negligible)", bers[0]);
-    println!("  10x n_w BER  : {:.2e}  (paper: BER becomes significant)", bers[1]);
-    if bers[0] > 0.0 {
-        println!("  increase     : {:.1e}x", bers[1] / bers[0]);
-    } else {
-        println!("  increase     : from (sub-underflow) ~0 to {:.2e}", bers[1]);
-    }
+    golden::print_or_check("fig4_noise", &render(solver));
 }

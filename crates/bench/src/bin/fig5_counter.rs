@@ -28,11 +28,16 @@ fn main() {
         results.push((len, analysis.ber));
     }
 
-    let &(best_len, best_ber) =
-        results.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
+    let &(best_len, best_ber) = results
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
     println!("summary (BER vs counter length):");
     for &(len, ber) in &results {
-        println!("  C = {len:>2}: BER = {ber:.2e}  ({:.1}x the optimum)", ber / best_ber);
+        println!(
+            "  C = {len:>2}: BER = {ber:.2e}  ({:.1}x the optimum)",
+            ber / best_ber
+        );
     }
     println!(
         "\noptimal counter length: {best_len} (paper: 8 — high-bandwidth loops follow n_w, \

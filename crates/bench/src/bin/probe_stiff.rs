@@ -10,15 +10,33 @@ fn main() {
         (0.01, 2e-4, 1.2e-3, 64, 128),
     ] {
         let cfg = CdrConfig::builder()
-            .phases(8).grid_refinement(refinement).counter_len(8).dead_zone_bins(dead)
-            .white_sigma_ui(sigma).drift(mean, dev).build().expect("config");
+            .phases(8)
+            .grid_refinement(refinement)
+            .counter_len(8)
+            .dead_zone_bins(dead)
+            .white_sigma_ui(sigma)
+            .drift(mean, dev)
+            .build()
+            .expect("config");
         let chain = CdrModel::new(cfg).build_chain().expect("chain");
-        print!("sigma={sigma} mean={mean} dev={dev} dead={dead} m={}: ", chain.config().m_bins());
-        for choice in [SolverChoice::Power, SolverChoice::Multigrid, SolverChoice::MultigridW] {
+        print!(
+            "sigma={sigma} mean={mean} dev={dev} dead={dead} m={}: ",
+            chain.config().m_bins()
+        );
+        for choice in [
+            SolverChoice::Power,
+            SolverChoice::Multigrid,
+            SolverChoice::MultigridW,
+        ] {
             let solver = chain.solver_with_tol(choice, 1e-10);
             let t = Instant::now();
             match solver.solve(chain.tpm(), None) {
-                Ok(r) => print!(" {}={} it {:.2}s", solver.name(), r.iterations(), t.elapsed().as_secs_f64()),
+                Ok(r) => print!(
+                    " {}={} it {:.2}s",
+                    solver.name(),
+                    r.iterations(),
+                    t.elapsed().as_secs_f64()
+                ),
                 Err(e) => print!(" {}=FAIL({e:.30})", solver.name()),
             }
         }

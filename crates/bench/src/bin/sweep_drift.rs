@@ -1,0 +1,135 @@
+//! **Sweep-engine acceptance benchmark** — the PR's headline scenario: a
+//! 64-point drift-ppm sweep at refinement 32.
+//!
+//! The drift axis perturbs only the `n_r` pmf, so the factor cache keeps
+//! every other assembly factor (and the multigrid hierarchy) warm across
+//! all 64 points; warm-started solves seed each point from its chunk
+//! neighbor. The binary reports the factor-cache hit rate (gated at
+//! ≥ 90%) and the wall-time ratio against the pre-engine baseline: the
+//! same grid run as a hand-rolled build-and-analyze loop with no cache
+//! and cold solves.
+//!
+//! Usage: `cargo run --release -p stochcdr-bench --bin sweep_drift --
+//! [--points N] [--refinement N] [--out SWEEP.json] [--skip-baseline]`
+
+use std::time::Instant;
+
+use stochcdr::cycle_slip::mean_time_between_slips;
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+use stochcdr_noise::jitter::{DriftJitterSpec, DriftShape};
+use stochcdr_sweep::{render, run, SweepAxis, SweepSpec};
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn base_config(refinement: usize) -> CdrConfig {
+    CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(refinement)
+        .counter_len(8)
+        .white_sigma_ui(0.05)
+        .drift(2e-3, 9e-3)
+        .build()
+        .expect("config")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let points: usize = flag(&args, "--points").map_or(64, |v| v.parse().expect("--points N"));
+    let refinement: usize =
+        flag(&args, "--refinement").map_or(32, |v| v.parse().expect("--refinement N"));
+    let skip_baseline = args.iter().any(|a| a == "--skip-baseline");
+
+    let base = base_config(refinement);
+    let ppm: Vec<f64> = (0..points).map(|i| 2000.0 + 10.0 * i as f64).collect();
+    let spec = SweepSpec::new(base.clone())
+        .axis(SweepAxis::DriftPpm(ppm.clone()))
+        .solver(SolverChoice::Multigrid)
+        .tol(1e-10);
+
+    println!(
+        "=== sweep_drift: {points}-point drift-ppm sweep, refinement {refinement} \
+         ({} states) ===",
+        base.state_count()
+    );
+
+    let t0 = Instant::now();
+    let sweep = run(&spec).expect("sweep");
+    let engine_secs = t0.elapsed().as_secs_f64();
+    let stats = &sweep.cache;
+    let warm = sweep.points.iter().filter(|p| p.warm_started).count();
+    println!(
+        "engine : {engine_secs:.2}s  ({warm}/{points} warm-started solves, \
+         mean {:.1} cycles)",
+        sweep.points.iter().map(|p| p.iterations).sum::<usize>() as f64 / points as f64
+    );
+    println!(
+        "cache  : {} hits / {} accesses = {:.1}% hit rate; misses by kind: \
+         nr {}, others {}",
+        stats.hits,
+        stats.accesses(),
+        stats.hit_rate() * 100.0,
+        stats.by_kind.get("acc.nr").map_or(0, |k| k.misses),
+        stats.misses - stats.by_kind.get("acc.nr").map_or(0, |k| k.misses),
+    );
+
+    if let Some(path) = flag(&args, "--out") {
+        std::fs::write(&path, render(&spec, &sweep.points)).expect("write sweep JSON");
+        println!("wrote  : {path}");
+    }
+
+    if !skip_baseline {
+        // Pre-engine baseline: rebuild everything from scratch at each
+        // point and solve cold — what fig4_noise-style loops did before
+        // the sweep engine existed.
+        let t0 = Instant::now();
+        let mut baseline_ber = Vec::with_capacity(points);
+        for &f_ppm in &ppm {
+            let config = {
+                let mut b = base.to_builder();
+                b = b.drift_spec(DriftJitterSpec::from_frequency_offset_ppm(
+                    f_ppm,
+                    base.drift.max_dev_ui,
+                    DriftShape::Triangular,
+                ));
+                b.build().expect("point config")
+            };
+            let chain = CdrModel::new(config).build_chain().expect("chain");
+            let a = chain
+                .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
+                .expect("analysis");
+            let mtbs = mean_time_between_slips(&chain, &a.stationary).expect("mtbs");
+            baseline_ber.push((a.ber, mtbs));
+        }
+        let loop_secs = t0.elapsed().as_secs_f64();
+        println!(
+            "loop   : {loop_secs:.2}s cold hand-rolled baseline  (engine x{:.2})",
+            loop_secs / engine_secs
+        );
+        // Same physics either way: the cache and warm starts change cost,
+        // not answers (BER agrees to solver tolerance).
+        for (p, (ber, _)) in sweep.points.iter().zip(&baseline_ber) {
+            let scale = p.ber.abs().max(ber.abs()).max(1e-300);
+            assert!(
+                (p.ber - ber).abs() / scale < 1e-6,
+                "engine BER {} deviates from baseline {} at point {}",
+                p.ber,
+                ber,
+                p.flat
+            );
+        }
+        println!("check  : engine BERs match the baseline loop at every point");
+    }
+
+    if stats.hit_rate() < 0.90 {
+        eprintln!(
+            "sweep_drift: FAIL — factor-cache hit rate {:.1}% below the 90% acceptance bar",
+            stats.hit_rate() * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("sweep_drift: PASS (hit rate >= 90%)");
+}

@@ -8,46 +8,75 @@
 //! density moments as the grid is refined, holding the physical operating
 //! point fixed. Convergence of the column values is the evidence that the
 //! discretized chain represents the underlying continuous loop.
+//!
+//! The refinement ladder runs as one sweep-engine axis (cold solves; the
+//! state space changes at every rung, so there is nothing to warm-start).
+//! With `--check`, the output is diffed against
+//! `results/tab_grid_convergence.txt` instead of printed.
 
-use stochcdr::{CdrConfig, CdrModel, SolverChoice};
-use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
+use std::fmt::Write as _;
 
-fn main() {
-    println!("=== Discretization convergence (fixed physical operating point) ===\n");
-    println!(
-        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>10}",
-        "refinement", "states", "BER", "mean(phi)", "std(phi)", "cycles"
-    );
-    let mut previous_ber: Option<f64> = None;
-    for refinement in [8usize, 16, 32, 64, 128] {
-        let config = CdrConfig::builder()
-            .phases(8)
-            .grid_refinement(refinement)
-            .counter_len(8)
-            .white_sigma_ui(FIG5_SIGMA)
-            .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
-            .build()
-            .expect("config");
-        let chain = CdrModel::new(config).build_chain().expect("chain");
-        let a = chain.analyze(SolverChoice::Multigrid).expect("analysis");
-        let trend = match previous_ber {
-            Some(prev) if prev > 0.0 => format!("  ({:+.1}%)", (a.ber / prev - 1.0) * 100.0),
-            _ => String::new(),
-        };
-        println!(
-            "{:<12} {:>8} {:>12.3e} {:>12.4} {:>12.4} {:>10}{trend}",
-            refinement,
+use stochcdr::{CdrConfig, SolverChoice};
+use stochcdr_bench::{golden, FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
+use stochcdr_sweep::{run_map, FactorCache, SweepAxis, SweepSpec};
+
+fn render() -> String {
+    let base = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(8)
+        .counter_len(8)
+        .white_sigma_ui(FIG5_SIGMA)
+        .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
+        .build()
+        .expect("config");
+    let spec = SweepSpec::new(base)
+        .axis(SweepAxis::Refinement(vec![8, 16, 32, 64, 128]))
+        .solver(SolverChoice::Multigrid)
+        .warm_start(false);
+    let cache = FactorCache::new();
+    let rows = run_map(&spec, &cache, &|ctx, chain, a| {
+        Ok((
+            ctx.params[0].1.clone(),
             chain.state_count(),
             a.ber,
             a.phi_density.mean_ui(),
             a.phi_density.std_ui(),
-            a.iterations
+            a.iterations,
+        ))
+    })
+    .expect("grid-convergence sweep");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Discretization convergence (fixed physical operating point) ===\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "refinement", "states", "BER", "mean(phi)", "std(phi)", "cycles"
+    );
+    let mut previous_ber: Option<f64> = None;
+    for (refinement, states, ber, mean, std, cycles) in rows {
+        let trend = match previous_ber {
+            Some(prev) if prev > 0.0 => format!("  ({:+.1}%)", (ber / prev - 1.0) * 100.0),
+            _ => String::new(),
+        };
+        let _ = writeln!(
+            out,
+            "{refinement:<12} {states:>8} {ber:>12.3e} {mean:>12.4} {std:>12.4} {cycles:>10}{trend}"
         );
-        previous_ber = Some(a.ber);
+        previous_ber = Some(ber);
     }
-    println!(
+    let _ = writeln!(
+        out,
         "\nreading: successive refinements change the BER by shrinking percentages; the \
          density moments are grid-insensitive, the BER tail converges to a few percent by \
          refinement 32 (the figure grid, refinement 16, sits within ~30% of the limit)."
     );
+    out
+}
+
+fn main() {
+    golden::print_or_check("tab_grid_convergence", &render());
 }

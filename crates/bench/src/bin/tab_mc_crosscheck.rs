@@ -79,7 +79,10 @@ fn main() {
     );
 
     println!("\n=== Part 2: symbols required by MC (95% conf, 10% precision) ===\n");
-    println!("{:<12} {:>18} {:>24}", "target BER", "required symbols", "at 2.5 Gb/s");
+    println!(
+        "{:<12} {:>18} {:>24}",
+        "target BER", "required symbols", "at 2.5 Gb/s"
+    );
     for ber in [1e-4, 1e-7, 1e-10, 1e-14] {
         let n = McResult::required_symbols(ber, 0.1);
         let seconds = n / 2.5e9;

@@ -9,21 +9,30 @@
 //! counter FSMs for the largest rows), and each stationary solver runs at
 //! the same tolerance.
 //!
+//! Each size row is a solver-axis sweep on the `stochcdr-sweep` engine;
+//! a factor cache shared across every row reuses the assembly factors
+//! (and the multigrid hierarchy) between solver runs on the same chain.
+//!
 //! Usage: `cargo run --release -p stochcdr-bench --bin tab_solver_scaling
-//! [--large]`. The `--large` flag adds the half-million-state row (several
-//! minutes of runtime).
+//! [--large] [--check]`. The `--large` flag adds the half-million-state
+//! row (several minutes of runtime); `--check` diffs the output against
+//! `results/tab_solver_scaling.txt` instead of printing.
 
-use std::time::Instant;
+use std::fmt::Write as _;
 
-use stochcdr::{report, CdrChain, CdrConfig, CdrModel, SolverChoice};
-use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
+use stochcdr::{report, CdrConfig, SolverChoice};
+use stochcdr_bench::{golden, FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
 use stochcdr_noise::sonet::DataSpec;
+use stochcdr_sweep::{run_map, FactorCache, SweepAxis, SweepSpec};
 
 /// Solvers benchmarked on the smooth scaling family. Adding a solver to
 /// either table is one line here — the solve/print plumbing below goes
 /// through the `SolverChoice` registry.
-const SCALING_SOLVERS: &[SolverChoice] =
-    &[SolverChoice::Power, SolverChoice::GaussSeidel, SolverChoice::Multigrid];
+const SCALING_SOLVERS: &[SolverChoice] = &[
+    SolverChoice::Power,
+    SolverChoice::GaussSeidel,
+    SolverChoice::Multigrid,
+];
 
 /// Solvers benchmarked on the stiff dead-zone family (adds the W-cycle).
 const STIFF_SOLVERS: &[SolverChoice] = &[
@@ -33,34 +42,48 @@ const STIFF_SOLVERS: &[SolverChoice] = &[
     SolverChoice::MultigridW,
 ];
 
-/// Runs each registry choice on `chain` and prints one table row per
-/// solver — the single copy of the solve-and-report block.
-fn bench_solvers(chain: &CdrChain, choices: &[SolverChoice], tol: f64) {
-    for &choice in choices {
-        let solver = chain.solver_with_tol(choice, tol);
-        let t0 = Instant::now();
-        match solver.solve(chain.tpm(), None) {
-            Ok(r) => println!(
-                "{}",
-                report::solver_row(
-                    solver.name(),
-                    chain.state_count(),
-                    chain.nnz(),
-                    r.iterations(),
-                    r.residual(),
-                    t0.elapsed().as_secs_f64()
-                )
-            ),
-            Err(e) => println!(
-                "{:<14} {:>10} {:>12} {:>10} {:>12} {:>10.3}s  ({e})",
-                solver.name(),
+/// One table row per solver on `config`, appended to `out` behind a
+/// `--- N states ---` banner. Runs as a solver-axis sweep sharing
+/// `cache`; solves stay cold so iteration counts match standalone runs.
+fn bench_solvers(
+    out: &mut String,
+    config: CdrConfig,
+    choices: &[SolverChoice],
+    tol: f64,
+    cache: &FactorCache,
+    banner_form_time: bool,
+) {
+    let spec = SweepSpec::new(config)
+        .axis(SweepAxis::Solver(choices.to_vec()))
+        .tol(tol)
+        .warm_start(false);
+    let rows = run_map(&spec, cache, &|ctx, chain, analysis| {
+        Ok((
+            report::solver_row(
+                analysis.solver_name,
                 chain.state_count(),
                 chain.nnz(),
-                "-",
-                "-",
-                t0.elapsed().as_secs_f64()
+                analysis.iterations,
+                analysis.residual,
+                ctx.solve_secs,
             ),
-        }
+            chain.state_count(),
+            chain.nnz(),
+            ctx.form_secs,
+        ))
+    })
+    .expect("solver sweep");
+    let (_, states, nnz, form_secs) = rows[0].clone();
+    if banner_form_time {
+        let _ = writeln!(
+            out,
+            "--- {states} states ({nnz} nnz), matrix form time {form_secs:.2}s ---"
+        );
+    } else {
+        let _ = writeln!(out, "--- {states} states ({nnz} nnz) ---");
+    }
+    for (row, ..) in &rows {
+        let _ = writeln!(out, "{row}");
     }
 }
 
@@ -76,8 +99,7 @@ fn scaled_config(refinement: usize, run_len: usize, counter: usize) -> CdrConfig
         .expect("config")
 }
 
-fn main() {
-    let large = std::env::args().any(|a| a == "--large");
+fn render(large: bool) -> String {
     let tol = 1e-10;
     // (refinement, data run, counter) -> states = run * counter * 8 * refinement.
     let mut sizes: Vec<(usize, usize, usize)> =
@@ -85,28 +107,33 @@ fn main() {
     if large {
         sizes.push((512, 16, 16));
     }
+    let cache = FactorCache::new();
 
-    println!("=== Solver scaling on the CDR model family (tol = {tol:.0e}) ===\n");
-    println!("{}", report::solver_header());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Solver scaling on the CDR model family (tol = {tol:.0e}) ===\n"
+    );
+    let _ = writeln!(out, "{}", report::solver_header());
     for (refinement, run, counter) in sizes {
-        let config = scaled_config(refinement, run, counter);
-        let t0 = Instant::now();
-        let chain = CdrModel::new(config).build_chain().expect("chain");
-        let form = t0.elapsed();
-        println!(
-            "--- {} states ({} nnz), matrix form time {:.2}s ---",
-            chain.state_count(),
-            chain.nnz(),
-            form.as_secs_f64()
+        bench_solvers(
+            &mut out,
+            scaled_config(refinement, run, counter),
+            SCALING_SOLVERS,
+            tol,
+            &cache,
+            true,
         );
-        bench_solvers(&chain, SCALING_SOLVERS, tol);
     }
     // Part 2: a *stiff* operating point — dead-zone phase detector, so the
     // phase diffuses freely (no corrections) across a quarter-UI plateau.
     // This is the regime where one-level methods stall at 1 − O(1/m²) and
     // the paper's multigrid shines.
-    println!("\n=== Stiff (dead-zone) operating point: dead zone = UI/4 ===\n");
-    println!("{}", report::solver_header());
+    let _ = writeln!(
+        out,
+        "\n=== Stiff (dead-zone) operating point: dead zone = UI/4 ===\n"
+    );
+    let _ = writeln!(out, "{}", report::solver_header());
     for refinement in [32usize, 64, 128] {
         let config = CdrConfig::builder()
             .phases(8)
@@ -117,14 +144,19 @@ fn main() {
             .drift(2e-4, 2e-3)
             .build()
             .expect("stiff config");
-        let chain = CdrModel::new(config).build_chain().expect("chain");
-        println!("--- {} states ({} nnz) ---", chain.state_count(), chain.nnz());
-        bench_solvers(&chain, STIFF_SOLVERS, tol);
+        bench_solvers(&mut out, config, STIFF_SOLVERS, tol, &cache, false);
     }
 
-    println!(
+    let _ = writeln!(
+        out,
         "\npaper claim reproduced in shape: multigrid iteration counts stay flat as the \
          state space grows, while one-level methods scale with the grid — decisively so \
          on the stiff dead-zone chains."
     );
+    out
+}
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    golden::print_or_check("tab_solver_scaling", &render(large));
 }

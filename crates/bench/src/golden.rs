@@ -1,0 +1,182 @@
+//! Golden-result gate: numeric diff of regenerated figures/tables against
+//! the artifacts committed under `results/`.
+//!
+//! The figure and table binaries accept a `--check` flag: instead of
+//! printing, they regenerate their output and diff it against the
+//! committed golden file. Numeric fields compare at a relative tolerance
+//! (default [`RTOL`]); wall-clock timings are masked, because they are the
+//! one legitimately machine-dependent part of the output. Everything else
+//! — iteration counts, residuals, BERs, density plots — is covered by the
+//! workspace's determinism contract and must reproduce exactly.
+
+use std::path::PathBuf;
+
+/// Relative tolerance for numeric fields in golden comparisons.
+pub const RTOL: f64 = 1e-9;
+
+/// The committed golden artifacts live in `results/` at the repo root.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// True when the token is a wall-clock reading: a number with an `s`
+/// suffix (`0.012s`) — the formats `report::solver_row` and the figure
+/// annotations use.
+fn is_timing(token: &str) -> bool {
+    token
+        .strip_suffix('s')
+        .is_some_and(|num| !num.is_empty() && num.parse::<f64>().is_ok())
+}
+
+/// Strips punctuation that wraps numbers in prose (`(20676` → `20676`,
+/// `nnz),` is untouched because it does not parse either way).
+fn trim_punct(token: &str) -> &str {
+    token
+        .trim_start_matches(['(', '['])
+        .trim_end_matches([')', ']', ',', ':', '%'])
+}
+
+fn as_number(token: &str) -> Option<f64> {
+    trim_punct(token).parse::<f64>().ok()
+}
+
+/// Diffs `actual` against `golden` line by line.
+///
+/// Tokens split on whitespace. A token pair matches when:
+///
+/// * both are timings (number + `s` suffix), or either is the number
+///   before a `mins` unit — masked;
+/// * both parse as numbers within relative tolerance `rtol`
+///   (absolute for values straddling zero);
+/// * otherwise, the tokens are byte-identical.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first mismatch.
+pub fn compare(actual: &str, golden: &str, rtol: f64) -> Result<(), String> {
+    let a_lines: Vec<&str> = actual.lines().collect();
+    let g_lines: Vec<&str> = golden.lines().collect();
+    if a_lines.len() != g_lines.len() {
+        return Err(format!(
+            "line count differs: {} regenerated vs {} golden",
+            a_lines.len(),
+            g_lines.len()
+        ));
+    }
+    for (lineno, (a_line, g_line)) in a_lines.iter().zip(&g_lines).enumerate() {
+        let a_toks: Vec<&str> = a_line.split_whitespace().collect();
+        let g_toks: Vec<&str> = g_line.split_whitespace().collect();
+        if a_toks.len() != g_toks.len() {
+            return Err(format!(
+                "line {}: token count differs\n  regenerated: {}\n  golden     : {}",
+                lineno + 1,
+                a_line,
+                g_line
+            ));
+        }
+        for (col, (a, g)) in a_toks.iter().zip(&g_toks).enumerate() {
+            // Numbers immediately before a "mins" unit are wall times too.
+            let before_mins = a_toks.get(col + 1) == Some(&"mins");
+            if (is_timing(a) && is_timing(g)) || before_mins {
+                continue;
+            }
+            match (as_number(a), as_number(g)) {
+                (Some(x), Some(y)) => {
+                    let scale = x.abs().max(y.abs());
+                    if (x - y).abs() > rtol * scale.max(1e-300) {
+                        return Err(format!(
+                            "line {}: numeric field differs by more than rtol {rtol:e}: \
+                             {x:e} vs {y:e}\n  regenerated: {}\n  golden     : {}",
+                            lineno + 1,
+                            a_line,
+                            g_line
+                        ));
+                    }
+                }
+                _ => {
+                    if a != g {
+                        return Err(format!(
+                            "line {}: token '{}' vs '{}'\n  regenerated: {}\n  golden     : {}",
+                            lineno + 1,
+                            a,
+                            g,
+                            a_line,
+                            g_line
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Binary entry point: with `--check` among the process arguments, diffs
+/// `rendered` against `results/<name>.txt` and exits 1 on mismatch (2 if
+/// the golden file is unreadable); otherwise prints `rendered` verbatim.
+pub fn print_or_check(name: &str, rendered: &str) {
+    if !std::env::args().any(|a| a == "--check") {
+        print!("{rendered}");
+        return;
+    }
+    let path = results_dir().join(format!("{name}.txt"));
+    let golden = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("FAIL {name}: cannot read golden {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    };
+    match compare(rendered, &golden, RTOL) {
+        Ok(()) => println!(
+            "OK {name}: matches {} (numeric rtol {RTOL:e}, timings masked)",
+            path.display()
+        ),
+        Err(msg) => {
+            eprintln!("FAIL {name}: {msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_text_passes() {
+        let text = "a 1.5 b\nrow 2038 9.68e-11 0.012s\n";
+        assert!(compare(text, text, RTOL).is_ok());
+    }
+
+    #[test]
+    fn timings_are_masked() {
+        let a = "power 2038 421 9.68e-11 0.012s\ntime 0.00 mins x 0.05 mins\n";
+        let g = "power 2038 421 9.68e-11 67.801s\ntime 12.34 mins x 9.99 mins\n";
+        assert!(compare(a, g, RTOL).is_ok());
+    }
+
+    #[test]
+    fn numeric_drift_beyond_rtol_fails() {
+        let a = "BER: 1.47001e-120";
+        let g = "BER: 1.47e-120";
+        assert!(compare(a, g, 1e-9).is_err());
+        assert!(compare(a, g, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn wrapped_numbers_compare_numerically() {
+        let a = "--- 2038 states (20676 nnz), matrix form time 0.01s ---";
+        let g = "--- 2038 states (20676 nnz), matrix form time 5.00s ---";
+        assert!(compare(a, g, RTOL).is_ok());
+        let bad = "--- 2038 states (20677 nnz), matrix form time 0.01s ---";
+        assert!(compare(bad, g, RTOL).is_err());
+    }
+
+    #[test]
+    fn structural_changes_fail() {
+        assert!(compare("one line\n", "one line\nextra\n", RTOL).is_err());
+        assert!(compare("a b c", "a b", RTOL).is_err());
+        assert!(compare("#### plot", "##### plot", RTOL).is_err());
+    }
+}

@@ -7,6 +7,8 @@
 
 use stochcdr::{CdrConfig, Result};
 
+pub mod golden;
+
 /// The phase-grid geometry used by the figure experiments: 8 VCO phases
 /// (`G = UI/8`, a coarse phase mux whose hunting penalty is visible),
 /// refinement 16 → 128 bins/UI.

@@ -36,7 +36,11 @@ impl fmt::Display for CliError {
                 write!(f, "unknown command '{c}'\n\n{}", usage())
             }
             CliError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
-            CliError::BadValue { flag, value, expected } => {
+            CliError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "bad value '{value}' for '{flag}': expected {expected}")
             }
             CliError::MissingValue(flag) => write!(f, "flag '{flag}' needs a value"),
@@ -59,7 +63,10 @@ pub fn usage() -> String {
      \n\
      commands:\n\
      \x20 analyze    stationary analysis: BER, densities, slip rate\n\
-     \x20 sweep      sweep one knob (--knob counter|dead-zone|sigma-nw, --values a,b,c)\n\
+     \x20 sweep      parameter-grid sweep on the cached parallel engine:\n\
+     \x20            --knob counter|dead-zone|sigma-nw|drift-ppm|refinement|filter|solver\n\
+     \x20            --values a,b,c  (or multi-axis: --axes \"drift-ppm=50,100;counter=4,8\")\n\
+     \x20            --warm-start on|off (default on), --out FILE (stochcdr-sweep/1 JSON)\n\
      \x20 bathtub    BER vs static sampling offset (--points N, --target BER)\n\
      \x20 slip       mean time between cycle slips + first-passage time\n\
      \x20 acquire    lock-acquisition curve and mean pull-in time (--horizon N)\n\
@@ -159,7 +166,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         }
         Some(c) => c.clone(),
     };
-    let known = ["analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy"];
+    let known = [
+        "analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy",
+    ];
     if !known.contains(&command.as_str()) {
         return Err(CliError::UnknownCommand(command));
     }
@@ -171,7 +180,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(CliError::UnknownFlag(flag.clone()));
         };
-        let value = it.next().ok_or_else(|| CliError::MissingValue(flag.clone()))?;
+        let value = it
+            .next()
+            .ok_or_else(|| CliError::MissingValue(flag.clone()))?;
         flags.insert(name.to_string(), value.clone());
     }
 
@@ -231,8 +242,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
     } else {
         WhiteJitterSpec::from_sigma(sigma)
     };
-    let data = DataSpec::new(density, run_length)
-        .map_err(|e| CliError::Analysis(e.to_string()))?;
+    let data = DataSpec::new(density, run_length).map_err(|e| CliError::Analysis(e.to_string()))?;
     let config = CdrConfig::builder()
         .phases(phases)
         .grid_refinement(refinement)
@@ -247,7 +257,15 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
     // Whatever flags remain belong to the subcommand.
     Ok(ParsedArgs {
         command,
-        options: Options { config, solver, tol, threads, metrics, metrics_format, extra: flags },
+        options: Options {
+            config,
+            solver,
+            tol,
+            threads,
+            metrics,
+            metrics_format,
+            extra: flags,
+        },
     })
 }
 
@@ -262,7 +280,9 @@ fn expand_config_files(argv: &[String]) -> Result<Vec<String>, CliError> {
     let mut rest = Vec::new();
     while let Some(a) = it.next() {
         if a == "--config" {
-            let path = it.next().ok_or_else(|| CliError::MissingValue("--config".into()))?;
+            let path = it
+                .next()
+                .ok_or_else(|| CliError::MissingValue("--config".into()))?;
             let text = std::fs::read_to_string(path).map_err(|e| CliError::BadValue {
                 flag: "--config".into(),
                 value: format!("{path}: {e}"),
@@ -357,7 +377,10 @@ mod tests {
     #[test]
     fn threads_flag_parses_and_defaults_to_auto() {
         assert_eq!(parse(&argv("analyze")).unwrap().options.threads, 0);
-        assert_eq!(parse(&argv("analyze --threads 4")).unwrap().options.threads, 4);
+        assert_eq!(
+            parse(&argv("analyze --threads 4")).unwrap().options.threads,
+            4
+        );
         assert!(matches!(
             parse(&argv("analyze --threads many")),
             Err(CliError::BadValue { .. })
@@ -375,20 +398,32 @@ mod tests {
     #[test]
     fn filter_and_dj_flags() {
         let p = parse(&argv("analyze --filter consecutive --dj 0.1 --counter 3")).unwrap();
-        assert_eq!(p.options.config.filter_kind, FilterKind::ConsecutiveDetector);
+        assert_eq!(
+            p.options.config.filter_kind,
+            FilterKind::ConsecutiveDetector
+        );
         assert_eq!(p.options.config.white.dj_ui, 0.1);
     }
 
     #[test]
     fn subcommand_specific_flags_pass_through() {
         let p = parse(&argv("bathtub --points 31")).unwrap();
-        assert_eq!(p.options.extra.get("points").map(String::as_str), Some("31"));
+        assert_eq!(
+            p.options.extra.get("points").map(String::as_str),
+            Some("31")
+        );
     }
 
     #[test]
     fn errors_are_reported() {
-        assert!(matches!(parse(&argv("frobnicate")), Err(CliError::UnknownCommand(_))));
-        assert!(matches!(parse(&argv("analyze --phases")), Err(CliError::MissingValue(_))));
+        assert!(matches!(
+            parse(&argv("frobnicate")),
+            Err(CliError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse(&argv("analyze --phases")),
+            Err(CliError::MissingValue(_))
+        ));
         assert!(matches!(
             parse(&argv("analyze --phases abc")),
             Err(CliError::BadValue { .. })
@@ -397,14 +432,19 @@ mod tests {
             parse(&argv("analyze --solver warp")),
             Err(CliError::BadValue { .. })
         ));
-        assert!(matches!(parse(&argv("analyze stray")), Err(CliError::UnknownFlag(_))));
+        assert!(matches!(
+            parse(&argv("analyze stray")),
+            Err(CliError::UnknownFlag(_))
+        ));
     }
 
     #[test]
     fn invalid_model_rejected_via_library_validation() {
         // Drift too small for the grid: surfaced as an analysis error.
-        let e = parse(&argv("analyze --refinement 1 --drift-mean 1e-6 --drift-dev 1e-5"))
-            .unwrap_err();
+        let e = parse(&argv(
+            "analyze --refinement 1 --drift-mean 1e-6 --drift-dev 1e-5",
+        ))
+        .unwrap_err();
         assert!(matches!(e, CliError::Analysis(_)));
     }
 
@@ -412,8 +452,11 @@ mod tests {
     fn config_file_is_spliced_and_overridable() {
         let dir = std::env::temp_dir();
         let path = dir.join("stochcdr_cli_test.cfg");
-        std::fs::write(&path, "# a comment\n--phases 4 --counter 16\n--sigma-nw 0.1\n")
-            .unwrap();
+        std::fs::write(
+            &path,
+            "# a comment\n--phases 4 --counter 16\n--sigma-nw 0.1\n",
+        )
+        .unwrap();
         let p = parse(&argv(&format!(
             "analyze --config {} --counter 6",
             path.display()

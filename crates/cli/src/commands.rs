@@ -8,6 +8,8 @@ use stochcdr::clock_jitter::analyze_clock_jitter;
 use stochcdr::cycle_slip::{mean_time_between_slips, mean_time_to_first_slip};
 use stochcdr::{report, CdrAnalysis, CdrChain, CdrModel};
 use stochcdr_linalg::pattern;
+use stochcdr_obs as obs;
+use stochcdr_sweep::{render as sweep_render, run as sweep_run, SweepAxis, SweepSpec};
 
 use crate::args::{usage, CliError, Options, ParsedArgs};
 
@@ -75,61 +77,142 @@ fn analyze(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn sweep(opts: &Options) -> Result<String, CliError> {
-    let knob = opts.extra.get("knob").cloned().unwrap_or_else(|| "counter".into());
-    let values = opts.extra.get("values").cloned().unwrap_or_else(|| "4,8,16".into());
-    let mut out = String::new();
-    let _ = writeln!(out, "{:<12} {:>12} {:>14} {:>8}", knob, "BER", "MTBS (sym)", "iters");
-    for v in values.split(',') {
-        // Rebuild through the builder so every swept value is re-validated.
-        let base = &opts.config;
-        let mut builder = stochcdr::CdrConfig::builder()
-            .phases(base.phases)
-            .grid_refinement(base.grid_refinement)
-            .counter_len(base.counter_len)
-            .filter_kind(base.filter_kind)
-            .dead_zone_bins(base.dead_zone_bins)
-            .data_model(base.data_model.clone())
-            .white(base.white)
-            .drift_spec(base.drift);
-        match knob.as_str() {
-            "counter" => {
-                builder = builder.counter_len(v.parse().map_err(|_| CliError::BadValue {
-                    flag: "--values".into(),
-                    value: v.into(),
-                    expected: "integers",
-                })?)
-            }
-            "dead-zone" => {
-                builder = builder.dead_zone_bins(v.parse().map_err(|_| CliError::BadValue {
-                    flag: "--values".into(),
-                    value: v.into(),
-                    expected: "integers",
-                })?)
-            }
-            "sigma-nw" => {
-                let sigma: f64 = v.parse().map_err(|_| CliError::BadValue {
-                    flag: "--values".into(),
-                    value: v.into(),
-                    expected: "numbers",
-                })?;
-                builder =
-                    builder.white(stochcdr_noise::jitter::WhiteJitterSpec::from_sigma(sigma));
-            }
-            other => {
-                return Err(CliError::BadValue {
-                    flag: "--knob".into(),
-                    value: other.into(),
-                    expected: "counter | dead-zone | sigma-nw",
-                })
-            }
-        }
-        let config = builder.build()?;
-        let chain = CdrModel::new(config).build_chain()?;
-        let a = chain.analyze_with_tol(opts.solver, opts.tol)?;
-        let mtbs = mean_time_between_slips(&chain, &a.stationary)?;
-        let _ = writeln!(out, "{:<12} {:>12.3e} {:>14.3e} {:>8}", v, a.ber, mtbs, a.iterations);
+/// Parses one comma-separated value list into a typed sweep axis.
+fn parse_axis(flag: &str, name: &str, values: &str) -> Result<SweepAxis, CliError> {
+    let toks: Vec<&str> = values
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let bad = |value: &str, expected: &'static str| CliError::BadValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+        expected,
+    };
+    let usizes = |expected| -> Result<Vec<usize>, CliError> {
+        toks.iter()
+            .map(|v| v.parse().map_err(|_| bad(v, expected)))
+            .collect()
+    };
+    let f64s = |expected| -> Result<Vec<f64>, CliError> {
+        toks.iter()
+            .map(|v| v.parse().map_err(|_| bad(v, expected)))
+            .collect()
+    };
+    match name {
+        "counter" => Ok(SweepAxis::CounterLen(usizes("integers")?)),
+        "dead-zone" => Ok(SweepAxis::DeadZone(usizes("integers")?)),
+        "refinement" => Ok(SweepAxis::Refinement(usizes("integers")?)),
+        "sigma-nw" => Ok(SweepAxis::SigmaNw(f64s("numbers")?)),
+        "drift-ppm" => Ok(SweepAxis::DriftPpm(f64s("numbers")?)),
+        "filter" => toks
+            .iter()
+            .map(|v| match *v {
+                "counter" | "overflow" => Ok(stochcdr::FilterKind::OverflowCounter),
+                "consecutive" => Ok(stochcdr::FilterKind::ConsecutiveDetector),
+                other => Err(bad(other, "counter | consecutive")),
+            })
+            .collect::<Result<_, _>>()
+            .map(SweepAxis::Filter),
+        "solver" => toks
+            .iter()
+            .map(|v| {
+                stochcdr::SolverChoice::parse(v)
+                    .ok_or_else(|| bad(v, "power|gs|jacobi|direct|mg|mgw"))
+            })
+            .collect::<Result<_, _>>()
+            .map(SweepAxis::Solver),
+        other => Err(CliError::BadValue {
+            flag: "--knob".into(),
+            value: other.into(),
+            expected: "counter | dead-zone | sigma-nw | drift-ppm | refinement | filter | solver",
+        }),
     }
+}
+
+fn sweep(opts: &Options) -> Result<String, CliError> {
+    // Axes come from `--axes "name=v1,v2;name2=..."`, from the original
+    // `--knob NAME --values a,b,c` pair, or default to a counter sweep.
+    let mut axes: Vec<SweepAxis> = Vec::new();
+    if let Some(text) = opts.extra.get("axes") {
+        for part in text.split(';').filter(|p| !p.trim().is_empty()) {
+            let (name, values) = part.split_once('=').ok_or_else(|| CliError::BadValue {
+                flag: "--axes".into(),
+                value: part.into(),
+                expected: "name=v1,v2[;name=...]",
+            })?;
+            axes.push(parse_axis("--axes", name.trim(), values)?);
+        }
+    }
+    if axes.is_empty() || opts.extra.contains_key("knob") {
+        let knob = opts
+            .extra
+            .get("knob")
+            .cloned()
+            .unwrap_or_else(|| "counter".into());
+        let values = opts
+            .extra
+            .get("values")
+            .cloned()
+            .unwrap_or_else(|| "4,8,16".into());
+        axes.push(parse_axis("--values", &knob, &values)?);
+    }
+    let warm = match opts.extra.get("warm-start").map(String::as_str) {
+        None | Some("on") | Some("true") => true,
+        Some("off") | Some("false") => false,
+        Some(v) => {
+            return Err(CliError::BadValue {
+                flag: "--warm-start".into(),
+                value: v.into(),
+                expected: "on | off",
+            })
+        }
+    };
+
+    let mut spec = SweepSpec::new(opts.config.clone())
+        .solver(opts.solver)
+        .tol(opts.tol)
+        .warm_start(warm);
+    for axis in axes {
+        spec = spec.axis(axis);
+    }
+    let sweep = sweep_run(&spec)?;
+
+    if let Some(path) = opts.extra.get("out") {
+        std::fs::write(path, sweep_render(&spec, &sweep.points))
+            .map_err(|e| CliError::Analysis(format!("cannot write sweep output '{path}': {e}")))?;
+    }
+
+    // The point label column: axis names for the header, value labels per
+    // row (comma-joined when sweeping several axes at once).
+    let header = spec
+        .axes
+        .iter()
+        .map(SweepAxis::name)
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>14} {:>8}",
+        header, "BER", "MTBS (sym)", "iters"
+    );
+    for p in &sweep.points {
+        let label = p
+            .params
+            .iter()
+            .map(|(_, l)| l.as_str())
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12.3e} {:>14.3e} {:>8}",
+            label, p.ber, p.mtbs, p.iterations
+        );
+    }
+    // Cache effectiveness goes to the observability layer (visible with
+    // --metrics), keeping stdout shape stable.
+    obs::gauge("sweep.cache_hit_rate", sweep.cache.hit_rate());
     Ok(out)
 }
 
@@ -191,7 +274,11 @@ fn jitter(opts: &Options) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(out, "rms phase jitter   : {:.4e} UI", r.rms_ui);
     let _ = writeln!(out, "lag-1 correlation  : {:.4}", r.lag1_correlation());
-    let _ = writeln!(out, "correlation length : {} symbols", r.correlation_length());
+    let _ = writeln!(
+        out,
+        "correlation length : {} symbols",
+        r.correlation_length()
+    );
     let _ = writeln!(out, "{:>8} {:>14}", "lag", "J(lag) UI");
     for &k in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
         if k <= max_lag {
@@ -238,10 +325,27 @@ mod tests {
 
     #[test]
     fn sweep_smoke() {
-        let out =
-            run(&argv(&format!("sweep {SMALL} --knob counter --values 2,4"))).unwrap();
+        let out = run(&argv(&format!("sweep {SMALL} --knob counter --values 2,4"))).unwrap();
         assert_eq!(out.lines().count(), 3);
         assert!(out.contains("MTBS"));
+    }
+
+    #[test]
+    fn sweep_axes_grid_and_json_out() {
+        let path = std::env::temp_dir().join("stochcdr_sweep_out_test.json");
+        let out = run(&argv(&format!(
+            "sweep {SMALL} --axes drift-ppm=20000,21000;counter=2,4 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        // Header plus the 2×2 grid.
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.starts_with("drift-ppm,counter"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("stochcdr-sweep/1"));
+        assert!(run(&argv(&format!("sweep {SMALL} --axes nonsense"))).is_err());
+        assert!(run(&argv(&format!("sweep {SMALL} --warm-start maybe"))).is_err());
     }
 
     #[test]
@@ -254,7 +358,9 @@ mod tests {
 
     #[test]
     fn slip_and_acquire_and_jitter_smoke() {
-        assert!(run(&argv(&format!("slip {SMALL}"))).unwrap().contains("between slips"));
+        assert!(run(&argv(&format!("slip {SMALL}")))
+            .unwrap()
+            .contains("between slips"));
         let out = run(&argv(&format!("acquire {SMALL} --horizon 100"))).unwrap();
         assert!(out.contains("mean lock time"));
         let out = run(&argv(&format!("jitter {SMALL} --max-lag 32"))).unwrap();

@@ -25,7 +25,10 @@ fn metrics_capture_jsonl_and_summary() {
     )))
     .expect("analyze with jsonl metrics");
     assert!(out.contains("BER"), "analysis output unaffected: {out}");
-    assert!(!stochcdr_obs::enabled(), "recorder must be uninstalled after run()");
+    assert!(
+        !stochcdr_obs::enabled(),
+        "recorder must be uninstalled after run()"
+    );
 
     let text = std::fs::read_to_string(&jsonl_path).unwrap();
     let lines: Vec<&str> = text.lines().collect();
@@ -52,7 +55,10 @@ fn metrics_capture_jsonl_and_summary() {
             assert!(fields.get("cycle").and_then(Json::as_f64).unwrap() >= 1.0);
         }
         if kind == "event" && name == "fsm.tpm_assembled" {
-            tpm_nnz = v.get("fields").and_then(|f| f.get("nnz")).and_then(Json::as_f64);
+            tpm_nnz = v
+                .get("fields")
+                .and_then(|f| f.get("nnz"))
+                .and_then(Json::as_f64);
         }
         if kind == "counter" && name.starts_with("multigrid.smooth_sweeps.level") {
             sweep_counters += 1;

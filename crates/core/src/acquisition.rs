@@ -10,8 +10,8 @@
 //! * [`mean_lock_time`] — expected symbols to first enter the lock region
 //!   (a modified-TPM linear solve, like the paper's cycle-slip times).
 
-use stochcdr_markov::passage::{mean_hitting_times_direct, mean_hitting_times_gmres};
 use stochcdr_linalg::GmresOptions;
+use stochcdr_markov::passage::{mean_hitting_times_direct, mean_hitting_times_gmres};
 
 use crate::{CdrChain, CdrError, Result};
 
@@ -19,13 +19,19 @@ use crate::{CdrChain, CdrError, Result};
 /// `radius_bins` grid bins of zero.
 pub fn lock_states(chain: &CdrChain, radius_bins: usize) -> Vec<usize> {
     let r = radius_bins as i64;
-    (0..chain.state_count()).filter(|&s| chain.phase_offset_of(s).abs() <= r).collect()
+    (0..chain.state_count())
+        .filter(|&s| chain.phase_offset_of(s).abs() <= r)
+        .collect()
 }
 
 /// The worst-case acquisition start: half a UI of phase error (sampling at
 /// the data transitions), centered counter, fresh data run.
 pub fn worst_case_start(chain: &CdrChain) -> usize {
-    chain.pack(0, crate::stages::LoopCounter::new(chain.config()).center(), 0)
+    chain.pack(
+        0,
+        crate::stages::LoopCounter::new(chain.config()).center(),
+        0,
+    )
 }
 
 /// Cumulative lock probability `P(locked by symbol k)` for
@@ -48,7 +54,9 @@ pub fn lock_probability_curve(
 ) -> Result<Vec<f64>> {
     let n = chain.state_count();
     if start >= n {
-        return Err(CdrError::Config(format!("start state {start} out of range")));
+        return Err(CdrError::Config(format!(
+            "start state {start} out of range"
+        )));
     }
     let lock = lock_states(chain, radius_bins);
     if lock.is_empty() {

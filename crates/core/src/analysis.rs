@@ -4,12 +4,12 @@
 use std::time::Instant;
 
 use stochcdr_markov::functional::marginal;
-use stochcdr_obs as obs;
+use stochcdr_markov::lumping::Partition;
 use stochcdr_markov::stationary::{
     GaussSeidelSolver, GthSolver, JacobiSolver, PowerIteration, StationarySolver,
 };
-use stochcdr_markov::lumping::Partition;
 use stochcdr_multigrid::{CycleKind, MultigridSolver, Smoother};
+use stochcdr_obs as obs;
 
 use crate::ber::{ber_discrete, ber_symmetric_dist};
 use crate::density::PhiDensity;
@@ -65,7 +65,10 @@ impl SolverChoice {
 
     /// Parses a CLI spelling; `None` for unknown names.
     pub fn parse(name: &str) -> Option<SolverChoice> {
-        SolverChoice::ALL.iter().copied().find(|c| c.cli_name() == name)
+        SolverChoice::ALL
+            .iter()
+            .copied()
+            .find(|c| c.cli_name() == name)
     }
 
     /// All CLI spellings joined with `|` — for usage strings and error
@@ -115,39 +118,84 @@ impl CdrChain {
     /// surviving states' `(data, filter, phase)` coordinates rather than
     /// the full Cartesian product.
     pub fn phase_hierarchy(&self) -> Vec<Partition> {
-        let cfg = self.config();
-        let mut coords: Vec<[usize; 3]> = (0..self.state_count())
-            .map(|s| [self.data_of(s), self.counter_of(s), self.phase_bin_of(s)])
-            .collect();
-        let mut dims = [cfg.data_model.state_count(), cfg.filter_states(), cfg.m_bins()];
-        let schedule =
-            [(2usize, 8.min(cfg.m_bins())), (1, 2.min(cfg.filter_states())), (0, 2)];
+        let mut coords = self.hierarchy_coords();
         let mut parts = Vec::new();
+        for (comp, _) in self.coarsening_plan() {
+            let (part, coarse) = coarsen_step(&coords, comp);
+            parts.push(part);
+            coords = coarse;
+        }
+        parts
+    }
+
+    /// [`phase_hierarchy`](Self::phase_hierarchy) with per-level caching:
+    /// each `(Partition, coarse coords)` step is fetched from `cache`
+    /// under a key derived from the state layout (dimensions plus the
+    /// reachability-pruning map) and the level index. Sweep points whose
+    /// axes do not change the surviving state set share the entire
+    /// hierarchy.
+    pub fn phase_hierarchy_cached(&self, cache: &stochcdr_fsm::FactorCache) -> Vec<Partition> {
+        let cfg = self.config();
+        let mut base = stochcdr_fsm::KeyHasher::new();
+        base.usize(cfg.data_model.state_count())
+            .usize(cfg.filter_states())
+            .usize(cfg.m_bins())
+            .usize(self.state_count());
+        if self.pruned_states() > 0 {
+            for s in 0..self.state_count() {
+                base.usize(self.full_index_of(s));
+            }
+        }
+        let base = base.finish();
+        let mut coords: Option<std::sync::Arc<Vec<[usize; 3]>>> = None;
+        let mut parts = Vec::new();
+        for (level, (comp, _)) in self.coarsening_plan().into_iter().enumerate() {
+            let mut key = stochcdr_fsm::KeyHasher::new();
+            key.u64(base).usize(level).usize(comp);
+            let step = cache.get_or_build("mg.level", key.finish(), || {
+                let fine = match &coords {
+                    None => std::borrow::Cow::Owned(self.hierarchy_coords()),
+                    Some(c) => std::borrow::Cow::Borrowed(&***c),
+                };
+                coarsen_step(&fine, comp)
+            });
+            parts.push(step.0.clone());
+            coords = Some(std::sync::Arc::new(step.1.clone()));
+        }
+        parts
+    }
+
+    /// The surviving states' `(data, filter, phase)` coordinates — the
+    /// finest level of the coarsening hierarchy.
+    fn hierarchy_coords(&self) -> Vec<[usize; 3]> {
+        (0..self.state_count())
+            .map(|s| [self.data_of(s), self.counter_of(s), self.phase_bin_of(s)])
+            .collect()
+    }
+
+    /// The fixed coarsening schedule as a flat list of `(component,
+    /// resulting dimension)` steps: halve the phase grid to 8 bins, then
+    /// the filter to 2 states, then the data component to 2.
+    fn coarsening_plan(&self) -> Vec<(usize, usize)> {
+        let cfg = self.config();
+        let mut dims = [
+            cfg.data_model.state_count(),
+            cfg.filter_states(),
+            cfg.m_bins(),
+        ];
+        let schedule = [
+            (2usize, 8.min(cfg.m_bins())),
+            (1, 2.min(cfg.filter_states())),
+            (0, 2),
+        ];
+        let mut plan = Vec::new();
         for (comp, stop) in schedule {
             while dims[comp] > stop {
                 dims[comp] = dims[comp].div_ceil(2);
-                let next: Vec<[usize; 3]> = coords
-                    .iter()
-                    .map(|&t| {
-                        let mut u = t;
-                        u[comp] /= 2;
-                        u
-                    })
-                    .collect();
-                let mut uniq = next.clone();
-                uniq.sort_unstable();
-                uniq.dedup();
-                let labels: Vec<usize> = next
-                    .iter()
-                    .map(|t| uniq.binary_search(t).expect("label present"))
-                    .collect();
-                parts.push(
-                    Partition::from_labels(labels).expect("labels are contiguous"),
-                );
-                coords = uniq;
+                plan.push((comp, dims[comp]));
             }
         }
-        parts
+        plan
     }
 
     /// Builds the solver object for a [`SolverChoice`], configured for this
@@ -162,6 +210,27 @@ impl CdrChain {
     ///
     /// Panics if `tol <= 0`.
     pub fn solver_with_tol(&self, choice: SolverChoice, tol: f64) -> Box<dyn StationarySolver> {
+        let parts = match choice {
+            SolverChoice::Multigrid | SolverChoice::MultigridW => self.phase_hierarchy(),
+            _ => Vec::new(),
+        };
+        self.solver_from_hierarchy(choice, tol, parts)
+    }
+
+    /// [`solver_with_tol`](Self::solver_with_tol) with an externally built
+    /// (typically cached, see
+    /// [`phase_hierarchy_cached`](Self::phase_hierarchy_cached)) coarsening
+    /// hierarchy. Non-multigrid choices ignore `parts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0`.
+    pub fn solver_from_hierarchy(
+        &self,
+        choice: SolverChoice,
+        tol: f64,
+        parts: Vec<Partition>,
+    ) -> Box<dyn StationarySolver> {
         assert!(tol > 0.0, "tolerance must be positive");
         let iters = 5_000_000;
         match choice {
@@ -170,7 +239,6 @@ impl CdrChain {
             SolverChoice::Jacobi => Box::new(JacobiSolver::new(tol, iters, 0.8)),
             SolverChoice::Direct => Box::new(GthSolver::new()),
             SolverChoice::Multigrid | SolverChoice::MultigridW => {
-                let parts = self.phase_hierarchy();
                 let kind = if choice == SolverChoice::MultigridW {
                     CycleKind::W
                 } else {
@@ -244,7 +312,11 @@ impl CdrChain {
         solve_time: std::time::Duration,
         solver_name: &'static str,
     ) -> CdrAnalysis {
-        assert_eq!(stationary.len(), self.state_count(), "stationary vector length");
+        assert_eq!(
+            stationary.len(),
+            self.state_count(),
+            "stationary vector length"
+        );
         let cfg = self.config();
         let m = cfg.m_bins();
         let half = (m / 2) as i32;
@@ -271,6 +343,35 @@ impl CdrChain {
             solver_name,
         }
     }
+}
+
+/// One coarsening step of the phase-pairing hierarchy: halve component
+/// `comp` of every coordinate, label the surviving coarse coordinates in
+/// sorted order, and return the resulting [`Partition`] together with the
+/// coarse coordinate list (the next level's input).
+///
+/// Pure function of its inputs — this is what makes per-level caching
+/// across sweep points sound.
+fn coarsen_step(coords: &[[usize; 3]], comp: usize) -> (Partition, Vec<[usize; 3]>) {
+    let next: Vec<[usize; 3]> = coords
+        .iter()
+        .map(|&t| {
+            let mut u = t;
+            u[comp] /= 2;
+            u
+        })
+        .collect();
+    let mut uniq = next.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let labels: Vec<usize> = next
+        .iter()
+        .map(|t| uniq.binary_search(t).expect("label present"))
+        .collect();
+    (
+        Partition::from_labels(labels).expect("labels are contiguous"),
+        uniq,
+    )
 }
 
 #[cfg(test)]
@@ -328,7 +429,11 @@ mod tests {
         let a = c.analyze(SolverChoice::Multigrid).unwrap();
         // The loop locks: mean phase error well inside ±0.25 UI (drift
         // produces a small systematic offset).
-        assert!(a.phi_density.mean_ui().abs() < 0.25, "mean {}", a.phi_density.mean_ui());
+        assert!(
+            a.phi_density.mean_ui().abs() < 0.25,
+            "mean {}",
+            a.phi_density.mean_ui()
+        );
         assert!(a.ber < 0.5);
         assert!(a.ber > 0.0);
     }
@@ -344,6 +449,26 @@ mod tests {
             a.iterations,
             p.iterations
         );
+    }
+
+    #[test]
+    fn cached_hierarchy_matches_and_hits() {
+        let c = chain();
+        let cache = stochcdr_fsm::FactorCache::new();
+        let direct = c.phase_hierarchy();
+        let cached = c.phase_hierarchy_cached(&cache);
+        assert_eq!(direct, cached);
+        let levels = direct.len();
+        assert_eq!(cache.stats().by_kind["mg.level"].misses, levels as u64);
+        let again = c.phase_hierarchy_cached(&cache);
+        assert_eq!(direct, again);
+        let stats = cache.stats();
+        assert_eq!(stats.by_kind["mg.level"].hits, levels as u64);
+        // Solving from the cached hierarchy matches the stock solver.
+        let solver = c.solver_from_hierarchy(SolverChoice::Multigrid, 1e-12, cached);
+        let a = solver.solve(c.tpm(), None).unwrap();
+        let b = c.analyze(SolverChoice::Multigrid).unwrap();
+        assert_eq!(a.distribution, b.stationary);
     }
 
     #[test]

@@ -117,11 +117,13 @@ pub fn bathtub(phi: &PhiDensity, sigma_w_ui: f64, n_points: usize) -> Vec<Bathtu
                 .iter()
                 .map(|&(o, p)| {
                     let x = o as f64 * delta + offset;
-                    p * (normal_sf((0.5 - x) / sigma_w_ui)
-                        + normal_sf((0.5 + x) / sigma_w_ui))
+                    p * (normal_sf((0.5 - x) / sigma_w_ui) + normal_sf((0.5 + x) / sigma_w_ui))
                 })
                 .sum();
-            BathtubPoint { offset_ui: offset, ber }
+            BathtubPoint {
+                offset_ui: offset,
+                ber,
+            }
         })
         .collect()
 }
@@ -168,8 +170,7 @@ mod tests {
     fn wider_phase_density_increases_ber() {
         let delta = 1.0 / 64.0;
         let narrow = PhiDensity::from_pairs(delta, vec![(0, 1.0)]);
-        let wide =
-            PhiDensity::from_pairs(delta, vec![(-20, 0.25), (0, 0.5), (20, 0.25)]);
+        let wide = PhiDensity::from_pairs(delta, vec![(-20, 0.25), (0, 0.5), (20, 0.25)]);
         let sigma = 0.05;
         assert!(ber_continuous(&wide, sigma) > ber_continuous(&narrow, sigma));
     }
@@ -188,7 +189,10 @@ mod tests {
         assert!(d > 0.0);
         // The discrete estimator carries a half-bin quantization bias at
         // the ±UI/2 boundary, so agreement is O(delta) at this grid.
-        assert!((d / c - 1.0).abs() < 0.2, "discrete {d:.3e} vs continuous {c:.3e}");
+        assert!(
+            (d / c - 1.0).abs() < 0.2,
+            "discrete {d:.3e} vs continuous {c:.3e}"
+        );
     }
 
     #[test]
@@ -252,7 +256,11 @@ mod tests {
             assert!(curve[k + 1].ber >= curve[k].ber - 1e-18);
         }
         // At the UI edge the sampling instant sits on a transition: BER 1/2.
-        assert!((curve[100].ber - 0.5).abs() < 0.01, "edge BER {}", curve[100].ber);
+        assert!(
+            (curve[100].ber - 0.5).abs() < 0.01,
+            "edge BER {}",
+            curve[100].ber
+        );
     }
 
     #[test]

@@ -47,7 +47,14 @@ impl CdrChain {
     ) -> Self {
         debug_assert_eq!(tpm.n(), config.state_count());
         debug_assert_eq!(wrap_prob.len(), tpm.n());
-        CdrChain { config, tpm, wrap_prob, form_time, original: None, dense_of: None }
+        CdrChain {
+            config,
+            tpm,
+            wrap_prob,
+            form_time,
+            original: None,
+            dense_of: None,
+        }
     }
 
     /// Constructs a chain restricted to `keep` (ascending full-product
@@ -163,8 +170,8 @@ impl CdrChain {
         {
             return None;
         }
-        let full = (data * self.config.filter_states() + counter) * self.config.m_bins()
-            + phase_bin;
+        let full =
+            (data * self.config.filter_states() + counter) * self.config.m_bins() + phase_bin;
         match &self.dense_of {
             None => Some(full),
             Some(map) => match map[full] {
@@ -199,7 +206,12 @@ impl CdrChain {
             return s;
         }
         (0..self.state_count())
-            .min_by_key(|&s| (self.phase_offset_of(s).abs(), self.counter_of(s).abs_diff(center)))
+            .min_by_key(|&s| {
+                (
+                    self.phase_offset_of(s).abs(),
+                    self.counter_of(s).abs_diff(center),
+                )
+            })
             .expect("chain is non-empty")
     }
 }

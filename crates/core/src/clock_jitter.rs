@@ -82,14 +82,18 @@ pub fn analyze_clock_jitter(
     if max_lag == 0 {
         return Err(CdrError::Config("max_lag must be positive".into()));
     }
-    let phase: Vec<f64> = (0..chain.state_count()).map(|s| chain.phase_ui_of(s)).collect();
+    let phase: Vec<f64> = (0..chain.state_count())
+        .map(|s| chain.phase_ui_of(s))
+        .collect();
     let c = autocovariance(chain.tpm(), eta, &phase, max_lag)?;
     let rms = c[0].max(0.0).sqrt();
 
     // Accumulated jitter: E[(Φ_k − Φ_0)²] = 2 (C(0) − C(k)) for a
     // stationary process.
-    let accumulated: Vec<f64> =
-        c.iter().map(|&ck| (2.0 * (c[0] - ck)).max(0.0).sqrt()).collect();
+    let accumulated: Vec<f64> = c
+        .iter()
+        .map(|&ck| (2.0 * (c[0] - ck)).max(0.0).sqrt())
+        .collect();
 
     // One-sided PSD with Bartlett window, normalized so that
     // ∫_0^{1/2} S(f) df = C(0):
@@ -106,7 +110,12 @@ pub fn analyze_clock_jitter(
         psd.push((f, (2.0 * s).max(0.0)));
     }
 
-    Ok(ClockJitterReport { rms_ui: rms, autocovariance: c, accumulated_ui: accumulated, psd })
+    Ok(ClockJitterReport {
+        rms_ui: rms,
+        autocovariance: c,
+        accumulated_ui: accumulated,
+        psd,
+    })
 }
 
 #[cfg(test)]
@@ -132,13 +141,7 @@ mod tests {
     fn rms_matches_density_std() {
         let (chain, eta) = setup();
         let report = analyze_clock_jitter(&chain, &eta, 50, 16).unwrap();
-        let a = chain.analysis_from_stationary(
-            eta,
-            1,
-            0.0,
-            std::time::Duration::ZERO,
-            "gth",
-        );
+        let a = chain.analysis_from_stationary(eta, 1, 0.0, std::time::Duration::ZERO, "gth");
         // √C(0) is the std of the phase marginal plus the mean-removal:
         // both paths compute std of the same marginal.
         assert!((report.rms_ui - a.phi_density.std_ui()).abs() < 1e-10);

@@ -79,12 +79,32 @@ impl CdrConfig {
     /// Joint state-space dimensions `[data, filter, phase]`, phase
     /// fastest-varying (the layout the multigrid coarsening relies on).
     pub fn dims(&self) -> Vec<usize> {
-        vec![self.data_model.state_count(), self.filter_states(), self.m_bins()]
+        vec![
+            self.data_model.state_count(),
+            self.filter_states(),
+            self.m_bins(),
+        ]
     }
 
     /// Total joint states.
     pub fn state_count(&self) -> usize {
         self.dims().iter().product()
+    }
+
+    /// A builder pre-loaded with this configuration's values — the way a
+    /// parameter sweep derives neighboring configurations (each derived
+    /// point re-runs the full [`CdrConfigBuilder::build`] validation).
+    pub fn to_builder(&self) -> CdrConfigBuilder {
+        CdrConfigBuilder {
+            phases: self.phases,
+            grid_refinement: self.grid_refinement,
+            counter_len: self.counter_len,
+            filter_kind: self.filter_kind,
+            dead_zone_bins: self.dead_zone_bins,
+            data_model: Some(self.data_model.clone()),
+            white: Some(self.white),
+            drift: Some(self.drift),
+        }
     }
 }
 
@@ -181,7 +201,11 @@ impl CdrConfigBuilder {
     /// Drift jitter: per-symbol mean and max deviation (UI), triangular
     /// shape.
     pub fn drift(mut self, mean_ui: f64, max_dev_ui: f64) -> Self {
-        self.drift = Some(DriftJitterSpec::new(mean_ui, max_dev_ui, DriftShape::Triangular));
+        self.drift = Some(DriftJitterSpec::new(
+            mean_ui,
+            max_dev_ui,
+            DriftShape::Triangular,
+        ));
         self
     }
 
@@ -222,7 +246,9 @@ impl CdrConfigBuilder {
             )));
         }
         let data_model = self.data_model.unwrap_or_default();
-        let white = self.white.unwrap_or_else(|| WhiteJitterSpec::from_sigma(0.02));
+        let white = self
+            .white
+            .unwrap_or_else(|| WhiteJitterSpec::from_sigma(0.02));
         let drift = self
             .drift
             .unwrap_or_else(|| DriftJitterSpec::new(5e-4, 8e-3, DriftShape::Triangular));

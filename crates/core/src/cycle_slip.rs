@@ -52,7 +52,11 @@ pub fn mean_time_between_slips(chain: &CdrChain, eta: &[f64]) -> Result<f64> {
             chain.state_count()
         )));
     }
-    let rate: f64 = eta.iter().zip(chain.wrap_prob()).map(|(&e, &w)| e * w).sum();
+    let rate: f64 = eta
+        .iter()
+        .zip(chain.wrap_prob())
+        .map(|(&e, &w)| e * w)
+        .sum();
     if rate <= 0.0 {
         return Err(CdrError::Config(
             "stationary slip rate is zero; the configured noise cannot produce slips".into(),
@@ -161,7 +165,10 @@ mod tests {
             assert!(o == -(m as i64 / 2) || o == m as i64 / 2 - 1);
         }
         // Exactly 2 bins x data x counter states.
-        assert_eq!(b.len(), 2 * c.config().data_model.state_count() * c.config().filter_states());
+        assert_eq!(
+            b.len(),
+            2 * c.config().data_model.state_count() * c.config().filter_states()
+        );
     }
 
     #[test]

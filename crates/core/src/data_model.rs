@@ -86,19 +86,39 @@ impl DataModel {
             DataModel::RunLength(spec) => {
                 let p_t = spec.transition_density;
                 if state == spec.max_run_length - 1 {
-                    vec![DataBranch { transition: true, next_state: 0, prob: 1.0 }]
+                    vec![DataBranch {
+                        transition: true,
+                        next_state: 0,
+                        prob: 1.0,
+                    }]
                 } else {
                     vec![
-                        DataBranch { transition: true, next_state: 0, prob: p_t },
-                        DataBranch { transition: false, next_state: state + 1, prob: 1.0 - p_t },
+                        DataBranch {
+                            transition: true,
+                            next_state: 0,
+                            prob: p_t,
+                        },
+                        DataBranch {
+                            transition: false,
+                            next_state: state + 1,
+                            prob: 1.0 - p_t,
+                        },
                     ]
                 }
             }
             DataModel::TwoState { p_stay0, p_stay1 } => {
                 let stay = if state == 0 { p_stay0 } else { p_stay1 };
                 vec![
-                    DataBranch { transition: false, next_state: state, prob: stay },
-                    DataBranch { transition: true, next_state: 1 - state, prob: 1.0 - stay },
+                    DataBranch {
+                        transition: false,
+                        next_state: state,
+                        prob: stay,
+                    },
+                    DataBranch {
+                        transition: true,
+                        next_state: 1 - state,
+                        prob: 1.0 - stay,
+                    },
                 ]
             }
         }

@@ -52,7 +52,10 @@ impl PhiDensity {
 
     /// Mean in UI.
     pub fn mean_ui(&self) -> f64 {
-        self.bins.iter().map(|&(o, p)| o as f64 * self.delta_ui * p).sum()
+        self.bins
+            .iter()
+            .map(|&(o, p)| o as f64 * self.delta_ui * p)
+            .sum()
     }
 
     /// Standard deviation in UI.
@@ -87,7 +90,10 @@ impl PhiDensity {
                 *acc.entry(o + k).or_insert(0.0) += p * q;
             }
         }
-        PhiDensity { delta_ui: self.delta_ui, bins: acc.into_iter().collect() }
+        PhiDensity {
+            delta_ui: self.delta_ui,
+            bins: acc.into_iter().collect(),
+        }
     }
 
     /// Renders the density as a fixed-height ASCII plot (log scale), the

@@ -61,23 +61,25 @@
 pub mod acquisition;
 pub mod analysis;
 pub mod ber;
-pub mod clock_jitter;
 mod chain;
+pub mod clock_jitter;
 mod config;
 pub mod cycle_slip;
 pub mod data_model;
 pub mod density;
 mod error;
+pub mod factors;
 mod model;
 pub mod monte_carlo;
 pub mod report;
 mod stages;
 pub mod theory;
 
+pub use analysis::{CdrAnalysis, SolverChoice};
 pub use chain::CdrChain;
 pub use config::{CdrConfig, CdrConfigBuilder};
 pub use data_model::DataModel;
 pub use error::{CdrError, Result};
+pub use factors::AssemblyFactors;
 pub use model::CdrModel;
-pub use analysis::{CdrAnalysis, SolverChoice};
 pub use stages::{DataSource, FilterKind, LoopCounter, PhaseAccumulator, PhaseDetector};

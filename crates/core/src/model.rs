@@ -8,9 +8,8 @@ use stochcdr_fsm::{build_rows, CascadeNetwork};
 use stochcdr_linalg::CsrMatrix;
 use stochcdr_markov::StochasticMatrix;
 
-use crate::stages::{
-    offset_of_bin, DataSource, LoopCounter, PhaseAccumulator, PhaseDetector,
-};
+use crate::factors::{AssemblyFactors, SkeletonEntry};
+use crate::stages::{offset_of_bin, DataSource, LoopCounter, PhaseAccumulator, PhaseDetector};
 use crate::{CdrChain, CdrConfig, Result};
 
 /// Builds the joint Markov chain of a CDR configuration.
@@ -67,78 +66,68 @@ impl CdrModel {
         let start = Instant::now();
         let net = self.network();
         let tpm = net.try_build_tpm()?;
-        self.finish_chain(tpm, start)
+        self.finish_chain(tpm, &AssemblyFactors::compute(&self.config), start)
     }
 
     /// Builds the chain with analytic `n_w` marginalization (the fast
     /// path).
     ///
+    /// The decision tails, data branches, filter table, and the
+    /// drift-independent row skeleton are computed as [`AssemblyFactors`];
+    /// sweeps reuse them across points via
+    /// [`build_chain_with`](Self::build_chain_with).
+    ///
     /// # Errors
     ///
     /// Propagates TPM-validation errors.
     pub fn build_chain(&self) -> Result<CdrChain> {
+        self.build_chain_with(&AssemblyFactors::compute(&self.config))
+    }
+
+    /// Builds the chain from precomputed (possibly cached)
+    /// [`AssemblyFactors`].
+    ///
+    /// The assembly emits transitions in exactly the order and with
+    /// exactly the arithmetic of the monolithic fast path, so the TPM is
+    /// bit-identical whether the factors came fresh or from a sweep
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TPM-validation errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factors` were computed for a different configuration
+    /// (skeleton row count mismatch).
+    pub fn build_chain_with(&self, factors: &AssemblyFactors) -> Result<CdrChain> {
         let _span = obs::span("core.build_chain");
         let start = Instant::now();
         let cfg = &self.config;
-        let (l, c_len, m) = (cfg.data_model.state_count(), cfg.filter_states(), cfg.m_bins());
-        let pd = PhaseDetector::new(cfg);
-        let counter = LoopCounter::new(cfg);
-        let acc = PhaseAccumulator::new(cfg);
-        let dead = cfg.dead_zone_bins as i64;
-
-        // Decision tail probabilities per phase bin:
-        // P(+1) = P(n_w > dead − o), P(−1) = P(n_w < −dead − o).
-        let nw = pd.nw();
-        let decision_probs: Vec<[f64; 3]> = (0..m)
-            .map(|bin| {
-                let o = offset_of_bin(bin, m);
-                let p_plus = nw.prob_gt((dead - o) as i32);
-                let p_minus = nw.prob_lt((-dead - o) as i32);
-                [p_plus, (1.0 - p_plus - p_minus).max(0.0), p_minus]
-            })
-            .collect();
-
-        let nr: Vec<(i64, f64)> = acc.nr().iter().map(|(k, p)| (k as i64, p)).collect();
-        let branches: Vec<_> = (0..l).map(|d| cfg.data_model.branches(d)).collect();
+        let m = cfg.m_bins();
         let n = cfg.state_count();
+        assert_eq!(
+            factors.skeleton.rows(),
+            n,
+            "factors built for another configuration"
+        );
+        let acc = PhaseAccumulator::new(cfg);
+        let skeleton = &*factors.skeleton;
+        let nr = &*factors.nr;
 
         // Each row is a pure function of its state index, so the rows are
         // assembled in parallel; `build_rows` guarantees the result is
         // byte-identical to a serial pass for any thread count.
         let tpm = build_rows(n, 1e-9, |state, em| {
             let bin = state % m;
-            let c = (state / m) % c_len;
-            let d = state / (m * c_len);
-            for &crate::data_model::DataBranch {
-                transition,
-                next_state: d2,
-                prob: p_branch,
-            } in &branches[d]
-            {
-                if p_branch == 0.0 {
-                    continue;
-                }
-                // Decisions: +1 / 0 / −1 with marginalized n_w.
-                let decisions: [(i64, f64); 3] = if transition {
-                    let dp = &decision_probs[bin];
-                    [(1, dp[0]), (0, dp[1]), (-1, dp[2])]
-                } else {
-                    [(0, 1.0), (1, 0.0), (-1, 0.0)]
-                };
-                for (decision, p_dec) in decisions {
-                    if p_dec == 0.0 {
-                        continue;
-                    }
-                    let (c2, dir) = counter.advance(c, decision);
-                    for &(nr_val, p_nr) in &nr {
-                        let bin2 = acc.advance(bin, dir, nr_val);
-                        let next = (d2 * c_len + c2) * m + bin2;
-                        em.emit(next, p_branch * p_dec * p_nr);
-                    }
+            for &SkeletonEntry { next_base, dir, p } in skeleton.row(state) {
+                for &(nr_val, p_nr) in nr {
+                    let bin2 = acc.advance(bin, dir, nr_val);
+                    em.emit(next_base + bin2, p * p_nr);
                 }
             }
         })?;
-        self.finish_chain(tpm, start)
+        self.finish_chain(tpm, factors, start)
     }
 
     /// Restricts the assembled full-product TPM to its recurrent reachable
@@ -152,16 +141,30 @@ impl CdrModel {
     /// disjoint recurrent classes (the stationary behavior would depend on
     /// the initial state — a sign of a degenerate configuration), and
     /// propagates TPM validation errors.
-    fn finish_chain(&self, full: CsrMatrix, start: Instant) -> Result<CdrChain> {
+    fn finish_chain(
+        &self,
+        full: CsrMatrix,
+        factors: &AssemblyFactors,
+        start: Instant,
+    ) -> Result<CdrChain> {
         let cls = stochcdr_markov::classify::classify_graph(&full);
-        let wrap_full = self.wrap_probabilities();
+        let wrap_full = self.wrap_probabilities(factors);
         if cls.is_irreducible() {
             let tpm = StochasticMatrix::new(full)?;
             obs::event(
                 "core.chain_built",
-                &[("states", tpm.n().into()), ("nnz", tpm.matrix().nnz().into()), ("restricted", false.into())],
+                &[
+                    ("states", tpm.n().into()),
+                    ("nnz", tpm.matrix().nnz().into()),
+                    ("restricted", false.into()),
+                ],
             );
-            return Ok(CdrChain::new(self.config.clone(), tpm, wrap_full, start.elapsed()));
+            return Ok(CdrChain::new(
+                self.config.clone(),
+                tpm,
+                wrap_full,
+                start.elapsed(),
+            ));
         }
         let recurrent = cls.recurrent_classes();
         if recurrent.len() != 1 {
@@ -175,63 +178,50 @@ impl CdrModel {
         let tpm = StochasticMatrix::new(restricted)?;
         obs::event(
             "core.chain_built",
-            &[("states", tpm.n().into()), ("nnz", tpm.matrix().nnz().into()), ("restricted", true.into())],
+            &[
+                ("states", tpm.n().into()),
+                ("nnz", tpm.matrix().nnz().into()),
+                ("restricted", true.into()),
+            ],
         );
         let wrap = keep.iter().map(|&s| wrap_full[s]).collect();
-        Ok(CdrChain::new_restricted(self.config.clone(), tpm, wrap, start.elapsed(), keep))
+        Ok(CdrChain::new_restricted(
+            self.config.clone(),
+            tpm,
+            wrap,
+            start.elapsed(),
+            keep,
+        ))
     }
 
     /// Per-state probability that the phase accumulator wraps across
     /// ±UI/2 in one step — the exact per-state cycle-slip rate used by
     /// [`crate::cycle_slip`].
-    fn wrap_probabilities(&self) -> Vec<f64> {
+    ///
+    /// The `(dir, p_decision)` pairs come from the cached
+    /// [`WrapSkeleton`](crate::factors::WrapSkeleton) in exactly the
+    /// accumulation order of the pre-factoring monolithic loop, keeping
+    /// the sums bit-identical.
+    fn wrap_probabilities(&self, factors: &AssemblyFactors) -> Vec<f64> {
         let cfg = &self.config;
-        let (l, c_len, m) = (cfg.data_model.state_count(), cfg.filter_states(), cfg.m_bins());
+        let m = cfg.m_bins();
         let half = (m / 2) as i64;
         let step = cfg.step_bins() as i64;
-        let pd = PhaseDetector::new(cfg);
-        let counter = LoopCounter::new(cfg);
-        let acc = PhaseAccumulator::new(cfg);
-        let nw = pd.nw();
-        let dead = cfg.dead_zone_bins as i64;
-        let nr: Vec<(i64, f64)> = acc.nr().iter().map(|(k, p)| (k as i64, p)).collect();
+        let nr = &*factors.nr;
 
         let mut wrap = vec![0.0f64; cfg.state_count()];
-        for d in 0..l {
-            let p_trans: f64 = cfg
-                .data_model
-                .branches(d)
-                .iter()
-                .filter(|b| b.transition)
-                .map(|b| b.prob)
-                .sum();
-            for c in 0..c_len {
-                for bin in 0..m {
-                    let state = (d * c_len + c) * m + bin;
-                    let o = offset_of_bin(bin, m);
-                    let p_plus = nw.prob_gt((dead - o) as i32);
-                    let p_minus = nw.prob_lt((-dead - o) as i32);
-                    let decisions = [
-                        (1i64, p_trans * p_plus),
-                        (-1, p_trans * p_minus),
-                        (0, 1.0 - p_trans * (p_plus + p_minus)),
-                    ];
-                    let mut acc_p = 0.0;
-                    for (decision, p_dec) in decisions {
-                        if p_dec <= 0.0 {
-                            continue;
-                        }
-                        let (_, dir) = counter.advance(c, decision);
-                        for &(nr_val, p_nr) in &nr {
-                            let unwrapped = o - dir * step + nr_val;
-                            if unwrapped < -half || unwrapped >= half {
-                                acc_p += p_dec * p_nr;
-                            }
-                        }
+        for (state, w) in wrap.iter_mut().enumerate() {
+            let o = offset_of_bin(state % m, m);
+            let mut acc_p = 0.0;
+            for &(dir, p_dec) in factors.wrap.row(state) {
+                for &(nr_val, p_nr) in nr {
+                    let unwrapped = o - dir * step + nr_val;
+                    if unwrapped < -half || unwrapped >= half {
+                        acc_p += p_dec * p_nr;
                     }
-                    wrap[state] = acc_p;
                 }
             }
+            *w = acc_p;
         }
         wrap
     }
@@ -275,7 +265,10 @@ mod tests {
         // decisions(3) x |nr|; the network path: branches x |nw| x |nr|.
         let model = CdrModel::new(small_config());
         let pd = PhaseDetector::new(model.config());
-        assert!(pd.nw().support_len() > 3, "n_w support should exceed decision count");
+        assert!(
+            pd.nw().support_len() > 3,
+            "n_w support should exceed decision count"
+        );
     }
 
     #[test]
@@ -331,7 +324,11 @@ mod tests {
         let model = CdrModel::new(small_config());
         let chain = model.build_chain().unwrap();
         let cls = stochcdr_markov::classify::classify(chain.tpm());
-        assert!(cls.is_irreducible(), "CDR chain should be irreducible: {} classes", cls.class_count());
+        assert!(
+            cls.is_irreducible(),
+            "CDR chain should be irreducible: {} classes",
+            cls.class_count()
+        );
         assert_eq!(stochcdr_markov::classify::period(chain.tpm()), 1);
     }
 
@@ -370,8 +367,7 @@ mod tests {
         let s = chain.pack(0, about_to_overflow, high_phase);
         let mut movement = 0.0;
         for (next, p) in chain.tpm().matrix().row(s) {
-            movement +=
-                p * (chain.phase_offset_of(next) - chain.phase_offset_of(s)) as f64;
+            movement += p * (chain.phase_offset_of(next) - chain.phase_offset_of(s)) as f64;
         }
         assert!(movement < 0.0, "expected corrective pull, got {movement}");
     }

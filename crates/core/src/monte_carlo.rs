@@ -11,10 +11,10 @@
 //! harness for the whole model — and at 1e-10 BER it demonstrably cannot.
 
 use rand::rngs::StdRng;
-use stochcdr_obs as obs;
 use rand::{Rng, SeedableRng};
 use stochcdr_linalg::par;
 use stochcdr_noise::sampling::DiscreteSampler;
+use stochcdr_obs as obs;
 
 use crate::stages::{bin_of_offset, offset_of_bin, LoopCounter, PhaseAccumulator, PhaseDetector};
 use crate::{CdrChain, CdrConfig};
@@ -218,7 +218,10 @@ impl MonteCarlo {
         obs::counter("core.mc.symbols", symbols);
         obs::counter("core.mc.bit_errors", bit_errors);
         obs::counter("core.mc.cycle_slips", slips);
-        obs::gauge("core.mc.symbols_per_sec", symbols as f64 / wall.elapsed().as_secs_f64().max(1e-12));
+        obs::gauge(
+            "core.mc.symbols_per_sec",
+            symbols as f64 / wall.elapsed().as_secs_f64().max(1e-12),
+        );
         obs::event(
             "core.mc.run",
             &[
@@ -298,7 +301,10 @@ mod tests {
         let a = chain.analyze(SolverChoice::Multigrid).unwrap();
         let mc = MonteCarlo::new(cfg);
         let tv = mc.validate_against(&chain, &a.stationary, 200_000, 42);
-        assert!(tv < 0.02, "TV distance {tv} too large — model/simulator disagree");
+        assert!(
+            tv < 0.02,
+            "TV distance {tv} too large — model/simulator disagree"
+        );
     }
 
     #[test]
@@ -378,13 +384,19 @@ mod tests {
         let mc = MonteCarlo::new(config());
         let a = mc.run_sharded(50_000, 11, 4);
         let b = mc.run_sharded(50_000, 11, 4);
-        assert_eq!(a, b, "sharded run must be a pure function of (symbols, seed, shards)");
+        assert_eq!(
+            a, b,
+            "sharded run must be a pure function of (symbols, seed, shards)"
+        );
         assert_eq!(a.symbols, 50_000);
         let hist_total: u64 = a.phase_histogram.iter().sum();
         assert_eq!(hist_total, a.symbols);
         assert!(a.bit_errors <= a.symbols);
         // One shard degenerates to the serial run.
-        assert_eq!(mc.run_sharded(20_000, 3, 1), mc.run(20_000, shard_seed(3, 0)));
+        assert_eq!(
+            mc.run_sharded(20_000, 3, 1),
+            mc.run(20_000, shard_seed(3, 0))
+        );
     }
 
     #[test]

@@ -66,9 +66,7 @@ pub fn solver_row(
     residual: f64,
     seconds: f64,
 ) -> String {
-    format!(
-        "{name:<14} {states:>10} {nnz:>12} {iterations:>10} {residual:>12.2e} {seconds:>10.3}s"
-    )
+    format!("{name:<14} {states:>10} {nnz:>12} {iterations:>10} {residual:>12.2e} {seconds:>10.3}s")
 }
 
 /// Header matching [`solver_row`].

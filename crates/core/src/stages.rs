@@ -117,7 +117,10 @@ impl Stage for DataSource {
 
     fn step(&self, state: usize, noise: i64, _upstream: i64, _joint: &[usize]) -> StageOutput {
         let b = self.branch_for(state, noise as usize);
-        StageOutput { next_state: b.next_state, output: b.transition as i64 }
+        StageOutput {
+            next_state: b.next_state,
+            output: b.transition as i64,
+        }
     }
 
     fn name(&self) -> &str {
@@ -179,10 +182,16 @@ impl Stage for PhaseDetector {
 
     fn step(&self, _state: usize, noise: i64, upstream: i64, joint: &[usize]) -> StageOutput {
         if upstream == 0 {
-            return StageOutput { next_state: 0, output: 0 };
+            return StageOutput {
+                next_state: 0,
+                output: 0,
+            };
         }
         let phi = offset_of_bin(joint[PHASE_STAGE], self.m_bins);
-        StageOutput { next_state: 0, output: self.decide(phi, noise) }
+        StageOutput {
+            next_state: 0,
+            output: self.decide(phi, noise),
+        }
     }
 
     fn name(&self) -> &str {
@@ -229,7 +238,10 @@ pub struct LoopCounter {
 impl LoopCounter {
     /// Creates the filter from the configuration.
     pub fn new(config: &CdrConfig) -> Self {
-        LoopCounter { kind: config.filter_kind, len: config.counter_len }
+        LoopCounter {
+            kind: config.filter_kind,
+            len: config.counter_len,
+        }
     }
 
     /// The neutral/recentering state.
@@ -303,7 +315,10 @@ impl Stage for LoopCounter {
 
     fn step(&self, state: usize, _noise: i64, upstream: i64, _joint: &[usize]) -> StageOutput {
         let (next, out) = self.advance(state, upstream);
-        StageOutput { next_state: next, output: out }
+        StageOutput {
+            next_state: next,
+            output: out,
+        }
     }
 
     fn name(&self) -> &str {
@@ -357,7 +372,10 @@ impl Stage for PhaseAccumulator {
     }
 
     fn step(&self, state: usize, noise: i64, upstream: i64, _joint: &[usize]) -> StageOutput {
-        StageOutput { next_state: self.advance(state, upstream, noise), output: 0 }
+        StageOutput {
+            next_state: self.advance(state, upstream, noise),
+            output: 0,
+        }
     }
 
     fn name(&self) -> &str {
@@ -425,7 +443,7 @@ mod tests {
         let d = DataSource::from_model(model);
         let pmf = Stage::noise(&d);
         assert_eq!(pmf.len(), 3); // [0,.7), [.7,.8), [.8,1)
-        // State 0 stays for segments below 0.7.
+                                  // State 0 stays for segments below 0.7.
         assert_eq!(d.step(0, 0, 0, &[]).output, 0);
         assert_eq!(d.step(0, 1, 0, &[]).output, 1); // [.7,.8) flips state 0
         assert_eq!(d.step(0, 2, 0, &[]).output, 1);
@@ -493,7 +511,10 @@ mod tests {
     #[test]
     fn consecutive_filter_dynamics() {
         // len = 3: states 0 neutral, 1-2 up runs, 3-4 down runs.
-        let k = LoopCounter { kind: FilterKind::ConsecutiveDetector, len: 3 };
+        let k = LoopCounter {
+            kind: FilterKind::ConsecutiveDetector,
+            len: 3,
+        };
         assert_eq!(k.center(), 0);
         assert_eq!(FilterKind::ConsecutiveDetector.state_count(3), 5);
         // Three consecutive ups emit.
@@ -512,7 +533,10 @@ mod tests {
 
     #[test]
     fn consecutive_filter_len_one_is_unfiltered() {
-        let k = LoopCounter { kind: FilterKind::ConsecutiveDetector, len: 1 };
+        let k = LoopCounter {
+            kind: FilterKind::ConsecutiveDetector,
+            len: 1,
+        };
         assert_eq!(FilterKind::ConsecutiveDetector.state_count(1), 1);
         assert_eq!(k.advance(0, 1), (0, 1));
         assert_eq!(k.advance(0, -1), (0, -1));
@@ -533,7 +557,7 @@ mod tests {
     fn accumulator_wraps_at_half_ui() {
         let c = config();
         let acc = PhaseAccumulator::new(&c); // m=16
-        // bin 15 = offset +7; +2 more wraps to offset -7 = bin 1.
+                                             // bin 15 = offset +7; +2 more wraps to offset -7 = bin 1.
         assert_eq!(acc.advance(15, -1, 0), 1);
     }
 

@@ -67,7 +67,11 @@ mod tests {
             .grid_refinement(4)
             .counter_len(8)
             .white_sigma_ui(0.05)
-            .drift_spec(DriftJitterSpec::new(mean_ui, 1.6e-2, DriftShape::Triangular))
+            .drift_spec(DriftJitterSpec::new(
+                mean_ui,
+                1.6e-2,
+                DriftShape::Triangular,
+            ))
             .build()
             .unwrap()
     }
@@ -95,7 +99,9 @@ mod tests {
         let mtbs_at = |mean_ui: f64| {
             let cfg = config_with_drift(mean_ui);
             let chain = CdrModel::new(cfg).build_chain().unwrap();
-            let a = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-11).unwrap();
+            let a = chain
+                .analyze_with_tol(SolverChoice::Multigrid, 1e-11)
+                .unwrap();
             mean_time_between_slips(&chain, &a.stationary).unwrap()
         };
 

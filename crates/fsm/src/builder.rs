@@ -110,7 +110,10 @@ impl TpmBuilder {
     pub fn emit(&mut self, next: usize, prob: f64) {
         assert!(self.current_row.is_some(), "no open row");
         assert!(next < self.n, "successor {next} out of range");
-        assert!(prob.is_finite() && prob >= 0.0, "invalid probability {prob}");
+        assert!(
+            prob.is_finite() && prob >= 0.0,
+            "invalid probability {prob}"
+        );
         if prob > 0.0 {
             self.row.push((next, prob));
         }
@@ -187,7 +190,10 @@ impl RowEmitter {
     /// Panics if `next` is out of range or `prob` is negative/non-finite.
     pub fn emit(&mut self, next: usize, prob: f64) {
         assert!(next < self.n, "successor {next} out of range");
-        assert!(prob.is_finite() && prob >= 0.0, "invalid probability {prob}");
+        assert!(
+            prob.is_finite() && prob >= 0.0,
+            "invalid probability {prob}"
+        );
         if prob > 0.0 {
             self.row.push((next, prob));
         }
@@ -372,7 +378,11 @@ mod tests {
     fn build_rows_reports_lowest_bad_row() {
         let err = build_rows(500, 1e-9, |state, em| {
             // Rows 123 and 321 are short of probability mass.
-            let p = if state == 123 || state == 321 { 0.5 } else { 1.0 };
+            let p = if state == 123 || state == 321 {
+                0.5
+            } else {
+                1.0
+            };
             em.emit(state, p);
         })
         .unwrap_err();

@@ -1,0 +1,326 @@
+//! Keyed cache of sweep-invariant assembly factors.
+//!
+//! Parameter sweeps perturb one knob at a time, but most of the work of
+//! building a CDR chain — data-source branches, the discretized `n_w`
+//! decision tails, the drift distribution, the row skeleton of the TPM —
+//! depends on only a *subset* of the configuration. A [`FactorCache`]
+//! memoizes those factors across sweep points: each factor kind is stored
+//! under an explicit 64-bit key derived (via [`KeyHasher`]) from exactly
+//! the parameters it depends on, so a sweep axis that only perturbs one
+//! factor leaves every other entry warm.
+//!
+//! Entries are built **under the cache lock**: a factor is computed at
+//! most once per key, and the hit/miss statistics are deterministic
+//! regardless of how many sweep workers race on the cache. Factor builds
+//! are cheap relative to stationary solves, so the serialization is
+//! harmless — and it is what makes the cache-invalidation tests exact.
+//!
+//! Every access increments the `fsm.factor_cache.hit` /
+//! `fsm.factor_cache.miss` observability counters (plus a per-kind
+//! variant when a sink is installed), and [`FactorCache::stats`] exposes
+//! the same numbers programmatically.
+
+use std::any::{Any, TypeId};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use stochcdr_obs as obs;
+
+/// FNV-1a 64-bit streaming hasher for cache keys.
+///
+/// Zero-dependency and stable across runs and platforms (unlike
+/// `DefaultHasher`, whose output is randomized per process), which keeps
+/// cache behavior — and the determinism tests built on it — reproducible.
+#[derive(Debug, Clone, Copy)]
+pub struct KeyHasher(u64);
+
+impl KeyHasher {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a hash at the FNV offset basis.
+    pub fn new() -> Self {
+        KeyHasher(Self::OFFSET)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Absorbs an unsigned integer.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `usize` (widened to 64 bits).
+    pub fn usize(&mut self, v: usize) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Absorbs a signed integer.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.u64(v as u64)
+    }
+
+    /// Absorbs a float by its exact bit pattern (no tolerance: two
+    /// configs hash equal iff the parameter bits are equal).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Absorbs a boolean.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u64(u64::from(v))
+    }
+
+    /// Absorbs a string (length-prefixed, so `("ab","c")` and
+    /// `("a","bc")` hash differently).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.usize(s.len()).bytes(s.as_bytes())
+    }
+
+    /// The accumulated 64-bit key.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for KeyHasher {
+    fn default() -> Self {
+        KeyHasher::new()
+    }
+}
+
+/// Hit/miss counts for one factor kind.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KindStats {
+    /// Accesses served from the cache.
+    pub hits: u64,
+    /// Accesses that had to build the factor.
+    pub misses: u64,
+}
+
+impl KindStats {
+    /// Total accesses for this kind.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// A snapshot of cache effectiveness, overall and per factor kind.
+#[derive(Debug, Default, Clone)]
+pub struct CacheStats {
+    /// Total cache hits.
+    pub hits: u64,
+    /// Total cache misses (= factor builds).
+    pub misses: u64,
+    /// Live entries currently stored.
+    pub entries: usize,
+    /// Per-kind breakdown, keyed by the `kind` string passed to
+    /// [`FactorCache::get_or_build`].
+    pub by_kind: BTreeMap<String, KindStats>,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of accesses served from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Entry = Arc<dyn Any + Send + Sync>;
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<(&'static str, TypeId, u64), Entry>,
+    by_kind: BTreeMap<&'static str, KindStats>,
+}
+
+/// A concurrent, typed, keyed store of immutable factors.
+///
+/// Keys are `(kind, value type, 64-bit parameter hash)`; the stored
+/// value is shared out as an `Arc<T>`. See the module docs for the
+/// build-under-lock determinism rationale.
+#[derive(Default)]
+pub struct FactorCache {
+    inner: Mutex<Inner>,
+}
+
+impl FactorCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FactorCache::default()
+    }
+
+    /// Returns the cached factor for `(kind, key)`, building it with
+    /// `build` on the first access.
+    ///
+    /// `kind` names the factor family (e.g. `"acc.nr"`) and scopes both
+    /// the statistics and the key space; `key` must encode every
+    /// parameter the factor depends on (use [`KeyHasher`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking builder.
+    pub fn get_or_build<T, F>(&self, kind: &'static str, key: u64, build: F) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let mut inner = self.inner.lock().expect("factor cache poisoned");
+        let full_key = (kind, TypeId::of::<T>(), key);
+        if let Some(entry) = inner.map.get(&full_key) {
+            let arc = Arc::clone(entry)
+                .downcast::<T>()
+                .expect("type-indexed entry");
+            inner.by_kind.entry(kind).or_default().hits += 1;
+            obs::counter("fsm.factor_cache.hit", 1);
+            if obs::enabled() {
+                obs::counter(&format!("fsm.factor_cache.hit.{kind}"), 1);
+            }
+            return arc;
+        }
+        let value: Arc<T> = Arc::new(build());
+        inner.map.insert(full_key, value.clone() as Entry);
+        inner.by_kind.entry(kind).or_default().misses += 1;
+        obs::counter("fsm.factor_cache.miss", 1);
+        if obs::enabled() {
+            obs::counter(&format!("fsm.factor_cache.miss.{kind}"), 1);
+        }
+        value
+    }
+
+    /// Snapshots the hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("factor cache poisoned");
+        let mut stats = CacheStats {
+            entries: inner.map.len(),
+            ..CacheStats::default()
+        };
+        for (&kind, &ks) in &inner.by_kind {
+            stats.hits += ks.hits;
+            stats.misses += ks.misses;
+            stats.by_kind.insert(kind.to_string(), ks);
+        }
+        stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("factor cache poisoned").map.len()
+    }
+
+    /// True when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry and resets the statistics.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("factor cache poisoned");
+        inner.map.clear();
+        inner.by_kind.clear();
+    }
+}
+
+impl std::fmt::Debug for FactorCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("FactorCache")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn builds_once_per_key() {
+        let cache = FactorCache::new();
+        let builds = AtomicU64::new(0);
+        for _ in 0..3 {
+            let v = cache.get_or_build("k", 7, || {
+                builds.fetch_add(1, Ordering::Relaxed);
+                vec![1.0f64, 2.0]
+            });
+            assert_eq!(*v, vec![1.0, 2.0]);
+        }
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+        assert_eq!(stats.by_kind["k"], KindStats { hits: 2, misses: 1 });
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn distinct_keys_kinds_and_types_do_not_collide() {
+        let cache = FactorCache::new();
+        let a = cache.get_or_build("k", 1, || 10u64);
+        let b = cache.get_or_build("k", 2, || 20u64);
+        let c = cache.get_or_build("other", 1, || 30u64);
+        let d = cache.get_or_build::<i64, _>("k", 1, || -1);
+        assert_eq!((*a, *b, *c, *d), (10, 20, 30, -1));
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().misses, 4);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = FactorCache::new();
+        let _ = cache.get_or_build("k", 1, || 1u32);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn key_hasher_is_stable_and_injective_enough() {
+        let mut h = KeyHasher::new();
+        h.u64(1).f64(0.5).str("abc").bool(true).i64(-3);
+        let k1 = h.finish();
+        let mut h = KeyHasher::new();
+        h.u64(1).f64(0.5).str("abc").bool(true).i64(-3);
+        assert_eq!(k1, h.finish(), "same input, same key");
+        let mut h = KeyHasher::new();
+        h.u64(1).f64(0.5).str("ab").str("c").bool(true).i64(-3);
+        assert_ne!(k1, h.finish(), "length-prefixed strings");
+        // FNV of the empty input is the offset basis.
+        assert_eq!(KeyHasher::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let cache = std::sync::Arc::new(FactorCache::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || *cache.get_or_build("t", 9, || 42u64))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "built exactly once");
+        assert_eq!(stats.hits, 3);
+    }
+}

@@ -33,7 +33,11 @@ pub fn table_fsm_to_dot(fsm: &TableFsm, name: &str) -> String {
         let _ = writeln!(out, "  s{s} [label=\"{s}\"];");
     }
     for ((from, to), labels) in edges {
-        let _ = writeln!(out, "  s{from} -> s{to} [label=\"{}\"];", labels.join("\\n"));
+        let _ = writeln!(
+            out,
+            "  s{from} -> s{to} [label=\"{}\"];",
+            labels.join("\\n")
+        );
     }
     let _ = writeln!(out, "}}");
     out
@@ -47,7 +51,11 @@ pub fn table_fsm_to_dot(fsm: &TableFsm, name: &str) -> String {
 ///
 /// Panics if the matrix is not square.
 pub fn chain_to_dot(p: &CsrMatrix, name: &str, digits: usize) -> String {
-    assert_eq!(p.rows(), p.cols(), "chain rendering requires a square matrix");
+    assert_eq!(
+        p.rows(),
+        p.cols(),
+        "chain rendering requires a square matrix"
+    );
     let mut out = String::new();
     let _ = writeln!(out, "digraph {} {{", sanitize(name));
     let _ = writeln!(out, "  node [shape=circle];");
@@ -60,8 +68,16 @@ pub fn chain_to_dot(p: &CsrMatrix, name: &str, digits: usize) -> String {
 
 /// Keeps only identifier-safe characters for the graph name.
 fn sanitize(name: &str) -> String {
-    let cleaned: String =
-        name.chars().map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' }).collect();
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
     if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g{cleaned}")
     } else if cleaned.is_empty() {

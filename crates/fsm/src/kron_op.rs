@@ -50,7 +50,9 @@ impl KroneckerOp {
         let mut dim = 1usize;
         for f in &factors {
             assert_eq!(f.rows(), f.cols(), "factors must be square");
-            dim = dim.checked_mul(f.rows()).expect("joint dimension overflows usize");
+            dim = dim
+                .checked_mul(f.rows())
+                .expect("joint dimension overflows usize");
         }
         KroneckerOp { factors, dim }
     }
@@ -69,6 +71,32 @@ impl KroneckerOp {
     /// size; compare with `nnz` of [`materialize`](Self::materialize)).
     pub fn compact_nnz(&self) -> usize {
         self.factors.iter().map(CsrMatrix::nnz).sum()
+    }
+
+    /// Returns a copy of this operator with factor `idx` swapped for
+    /// `factor`, sharing nothing else — the cheap way for a parameter
+    /// sweep to perturb one component while every other factor (and the
+    /// joint dimension) is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range, `factor` is not square, or its
+    /// dimension differs from the factor it replaces (the joint space
+    /// must not change shape under a sweep).
+    pub fn with_factor(&self, idx: usize, factor: CsrMatrix) -> Self {
+        assert!(idx < self.factors.len(), "factor index out of range");
+        assert_eq!(factor.rows(), factor.cols(), "factors must be square");
+        assert_eq!(
+            factor.rows(),
+            self.factors[idx].rows(),
+            "replacement factor must keep the mode dimension"
+        );
+        let mut factors = self.factors.clone();
+        factors[idx] = factor;
+        KroneckerOp {
+            factors,
+            dim: self.dim,
+        }
     }
 
     /// Computes `y = x (A_1 ⊗ … ⊗ A_k)` without materializing the product.
@@ -203,8 +231,16 @@ impl TransitionOp for KroneckerOp {
     }
 
     fn mul_left_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.dim, "vector length must match joint dimension");
-        assert_eq!(y.len(), self.dim, "output length must match joint dimension");
+        assert_eq!(
+            x.len(),
+            self.dim,
+            "vector length must match joint dimension"
+        );
+        assert_eq!(
+            y.len(),
+            self.dim,
+            "output length must match joint dimension"
+        );
         let mut cur = x.to_vec();
         let mut next = vec![0.0f64; self.dim];
         let mut inner = self.dim;
@@ -217,8 +253,16 @@ impl TransitionOp for KroneckerOp {
     }
 
     fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(x.len(), self.dim, "vector length must match joint dimension");
-        assert_eq!(y.len(), self.dim, "output length must match joint dimension");
+        assert_eq!(
+            x.len(),
+            self.dim,
+            "vector length must match joint dimension"
+        );
+        assert_eq!(
+            y.len(),
+            self.dim,
+            "output length must match joint dimension"
+        );
         let mut cur = x.to_vec();
         let mut next = vec![0.0f64; self.dim];
         let mut inner = self.dim;
@@ -288,12 +332,33 @@ mod tests {
     }
 
     #[test]
+    fn with_factor_swaps_one_mode() {
+        let op = KroneckerOp::new(vec![stochastic2(0.3), stochastic3(), stochastic2(0.1)]);
+        let swapped = op.with_factor(2, stochastic2(0.4));
+        let direct = KroneckerOp::new(vec![stochastic2(0.3), stochastic3(), stochastic2(0.4)]);
+        assert_eq!(swapped.dim(), op.dim());
+        let x: Vec<f64> = (0..12).map(|i| ((i * 31 + 5) % 13) as f64 / 13.0).collect();
+        assert_eq!(swapped.mul_left(&x), direct.mul_left(&x));
+        // Untouched factors are reused verbatim.
+        assert_eq!(swapped.factors()[0].nnz(), op.factors()[0].nnz());
+    }
+
+    #[test]
+    #[should_panic(expected = "mode dimension")]
+    fn with_factor_rejects_dimension_change() {
+        let op = KroneckerOp::new(vec![stochastic2(0.3), stochastic3()]);
+        let _ = op.with_factor(0, stochastic3());
+    }
+
+    #[test]
     fn matches_materialized_product() {
         let op = KroneckerOp::new(vec![stochastic2(0.3), stochastic3(), stochastic2(0.1)]);
         let dense = op.materialize();
         assert_eq!(op.dim(), 12);
         // Compare on a deterministic pseudo-random vector.
-        let x: Vec<f64> = (0..12).map(|i| ((i * 37 + 11) % 17) as f64 / 17.0).collect();
+        let x: Vec<f64> = (0..12)
+            .map(|i| ((i * 37 + 11) % 17) as f64 / 17.0)
+            .collect();
         let y1 = op.mul_left(&x);
         let y2 = dense.mul_left(&x);
         for (a, b) in y1.iter().zip(&y2) {
@@ -327,7 +392,10 @@ mod tests {
                 assert!((gv - wv).abs() < 1e-15, "row {row}");
             }
             // Ascending column order is part of the TransitionOp contract.
-            assert!(got.windows(2).all(|w| w[0].0 < w[1].0), "row {row} unsorted");
+            assert!(
+                got.windows(2).all(|w| w[0].0 < w[1].0),
+                "row {row} unsorted"
+            );
         }
     }
 

@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+pub mod cache;
 pub mod dot;
 mod error;
 mod kron_op;
@@ -69,6 +70,7 @@ mod space;
 mod stage;
 
 pub use builder::{build_rows, RowEmitter, TpmBuilder};
+pub use cache::{CacheStats, FactorCache, KeyHasher, KindStats};
 pub use error::{FsmError, Result};
 pub use kron_op::KroneckerOp;
 pub use mealy::TableFsm;

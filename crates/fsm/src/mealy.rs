@@ -60,9 +60,17 @@ impl TableFsm {
             )));
         }
         if let Some(&bad) = next.iter().find(|&&s| s >= states) {
-            return Err(FsmError::StateOutOfRange { state: bad, count: states });
+            return Err(FsmError::StateOutOfRange {
+                state: bad,
+                count: states,
+            });
         }
-        Ok(TableFsm { states, inputs, next, out })
+        Ok(TableFsm {
+            states,
+            inputs,
+            next,
+            out,
+        })
     }
 
     /// Number of states.
@@ -81,7 +89,10 @@ impl TableFsm {
     ///
     /// Panics if `state` or `input` is out of range.
     pub fn next(&self, state: usize, input: usize) -> usize {
-        assert!(state < self.states && input < self.inputs, "index out of range");
+        assert!(
+            state < self.states && input < self.inputs,
+            "index out of range"
+        );
         self.next[state * self.inputs + input]
     }
 
@@ -91,7 +102,10 @@ impl TableFsm {
     ///
     /// Panics if `state` or `input` is out of range.
     pub fn output(&self, state: usize, input: usize) -> i64 {
-        assert!(state < self.states && input < self.inputs, "index out of range");
+        assert!(
+            state < self.states && input < self.inputs,
+            "index out of range"
+        );
         self.out[state * self.inputs + input]
     }
 

@@ -106,7 +106,10 @@ pub fn explore(
     let mut queue = VecDeque::new();
     for &s in initial {
         if s >= total_states {
-            return Err(FsmError::StateOutOfRange { state: s, count: total_states });
+            return Err(FsmError::StateOutOfRange {
+                state: s,
+                count: total_states,
+            });
         }
         if dense_of[s] == usize::MAX {
             dense_of[s] = 0; // placeholder, fixed after sort
@@ -130,7 +133,10 @@ pub fn explore(
             }
         });
         if let Some(bad) = oob {
-            return Err(FsmError::StateOutOfRange { state: bad, count: total_states });
+            return Err(FsmError::StateOutOfRange {
+                state: bad,
+                count: total_states,
+            });
         }
         for &(_, next, _) in &edges[start..] {
             if dense_of[next] == usize::MAX {
@@ -170,7 +176,10 @@ pub fn explore(
         ));
     }
     let tpm = builder.finish()?;
-    Ok(ExploredChain { space: ReachableSpace { original, dense_of }, tpm })
+    Ok(ExploredChain {
+        space: ReachableSpace { original, dense_of },
+        tpm,
+    })
 }
 
 /// Convenience wrapper: explores a [`CascadeNetwork`] from the given initial
@@ -237,7 +246,10 @@ mod tests {
 
     #[test]
     fn errors_reported() {
-        assert!(matches!(explore(4, &[], toy), Err(FsmError::NoInitialStates)));
+        assert!(matches!(
+            explore(4, &[], toy),
+            Err(FsmError::NoInitialStates)
+        ));
         assert!(matches!(
             explore(4, &[9], toy),
             Err(FsmError::StateOutOfRange { state: 9, .. })

@@ -32,15 +32,23 @@ impl ProductSpace {
     /// Panics if `dims` is empty, any dimension is zero, or the product
     /// overflows `usize`.
     pub fn new(dims: Vec<usize>) -> Self {
-        assert!(!dims.is_empty(), "product space needs at least one component");
-        assert!(dims.iter().all(|&d| d > 0), "all dimensions must be positive");
+        assert!(
+            !dims.is_empty(),
+            "product space needs at least one component"
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "all dimensions must be positive"
+        );
         let mut strides = vec![1usize; dims.len()];
         for i in (0..dims.len() - 1).rev() {
             strides[i] = strides[i + 1]
                 .checked_mul(dims[i + 1])
                 .expect("state space size overflows usize");
         }
-        let len = strides[0].checked_mul(dims[0]).expect("state space size overflows usize");
+        let len = strides[0]
+            .checked_mul(dims[0])
+            .expect("state space size overflows usize");
         ProductSpace { dims, strides, len }
     }
 
@@ -71,7 +79,11 @@ impl ProductSpace {
     /// Panics if `parts.len()` differs from the component count or any part
     /// exceeds its dimension.
     pub fn pack(&self, parts: &[usize]) -> usize {
-        assert_eq!(parts.len(), self.dims.len(), "one part per component required");
+        assert_eq!(
+            parts.len(),
+            self.dims.len(),
+            "one part per component required"
+        );
         let mut flat = 0;
         for ((&p, &d), &s) in parts.iter().zip(&self.dims).zip(&self.strides) {
             assert!(p < d, "component state {p} out of range 0..{d}");
@@ -97,8 +109,16 @@ impl ProductSpace {
     ///
     /// Panics if `flat >= len()` or `parts.len()` mismatches.
     pub fn unpack_into(&self, flat: usize, parts: &mut [usize]) {
-        assert!(flat < self.len, "flat index {flat} out of range 0..{}", self.len);
-        assert_eq!(parts.len(), self.dims.len(), "one slot per component required");
+        assert!(
+            flat < self.len,
+            "flat index {flat} out of range 0..{}",
+            self.len
+        );
+        assert_eq!(
+            parts.len(),
+            self.dims.len(),
+            "one slot per component required"
+        );
         let mut rem = flat;
         for (i, &s) in self.strides.iter().enumerate() {
             parts[i] = rem / s;

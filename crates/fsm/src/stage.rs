@@ -61,7 +61,14 @@ pub struct CascadeNetwork {
 impl std::fmt::Debug for CascadeNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CascadeNetwork")
-            .field("stages", &self.stages.iter().map(|s| s.name().to_owned()).collect::<Vec<_>>())
+            .field(
+                "stages",
+                &self
+                    .stages
+                    .iter()
+                    .map(|s| s.name().to_owned())
+                    .collect::<Vec<_>>(),
+            )
             .field("joint_states", &self.space.len())
             .finish()
     }
@@ -173,7 +180,9 @@ impl CascadeNetwork {
             self.successors(&parts, |next, prob| {
                 b.emit(space.pack(next), prob);
             });
-            builder.end_row().expect("stage pmfs validated at construction");
+            builder
+                .end_row()
+                .expect("stage pmfs validated at construction");
         }
         builder.finish().expect("every row visited")
     }
@@ -216,7 +225,10 @@ mod tests {
             vec![(0, 1.0 - self.0), (1, self.0)]
         }
         fn step(&self, _s: usize, n: i64, _u: i64, _j: &[usize]) -> StageOutput {
-            StageOutput { next_state: 0, output: n }
+            StageOutput {
+                next_state: 0,
+                output: n,
+            }
         }
         fn name(&self) -> &str {
             "bit"
@@ -234,7 +246,10 @@ mod tests {
         }
         fn step(&self, s: usize, _n: i64, up: i64, _j: &[usize]) -> StageOutput {
             let next = if up > 0 { (s + 1).min(self.0 - 1) } else { 0 };
-            StageOutput { next_state: next, output: (next == self.0 - 1) as i64 }
+            StageOutput {
+                next_state: next,
+                output: (next == self.0 - 1) as i64,
+            }
         }
         fn name(&self) -> &str {
             "counter"
@@ -253,12 +268,19 @@ mod tests {
         }
         fn step(&self, s: usize, _n: i64, _up: i64, j: &[usize]) -> StageOutput {
             let toggle = j[1] == 2; // counter state (previous cycle) saturated
-            StageOutput { next_state: if toggle { 1 - s } else { s }, output: 0 }
+            StageOutput {
+                next_state: if toggle { 1 - s } else { s },
+                output: 0,
+            }
         }
     }
 
     fn network() -> CascadeNetwork {
-        CascadeNetwork::new(vec![Box::new(Bit(0.5)), Box::new(Counter(3)), Box::new(Follower)])
+        CascadeNetwork::new(vec![
+            Box::new(Bit(0.5)),
+            Box::new(Counter(3)),
+            Box::new(Follower),
+        ])
     }
 
     #[test]
@@ -322,7 +344,10 @@ mod tests {
                 vec![(0, 0.7)]
             }
             fn step(&self, _: usize, _: i64, _: i64, _: &[usize]) -> StageOutput {
-                StageOutput { next_state: 0, output: 0 }
+                StageOutput {
+                    next_state: 0,
+                    output: 0,
+                }
             }
         }
         let _ = CascadeNetwork::new(vec![Box::new(Bad)]);
@@ -339,7 +364,10 @@ mod tests {
                 vec![(0, 0.5), (1, 0.5)]
             }
             fn step(&self, _s: usize, noise: i64, _up: i64, _j: &[usize]) -> StageOutput {
-                StageOutput { next_state: 0, output: noise }
+                StageOutput {
+                    next_state: 0,
+                    output: noise,
+                }
             }
         }
         struct Parity;
@@ -351,7 +379,10 @@ mod tests {
                 vec![(0, 1.0)]
             }
             fn step(&self, s: usize, _n: i64, up: i64, _j: &[usize]) -> StageOutput {
-                StageOutput { next_state: (s + up as usize) % 2, output: 0 }
+                StageOutput {
+                    next_state: (s + up as usize) % 2,
+                    output: 0,
+                }
             }
         }
         let net = CascadeNetwork::new(vec![Box::new(Coin), Box::new(Parity)]);

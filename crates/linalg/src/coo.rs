@@ -35,9 +35,15 @@ impl CooMatrix {
     /// Panics if `rows` or `cols` exceeds `u32::MAX` (the index type used for
     /// compact triplet storage).
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize,
-            "matrix dimensions exceed u32 index range");
-        CooMatrix { rows, cols, entries: Vec::new() }
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "matrix dimensions exceed u32 index range"
+        );
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty builder with capacity for `nnz` triplets.
@@ -83,7 +89,10 @@ impl CooMatrix {
             self.rows,
             self.cols
         );
-        assert!(value.is_finite(), "non-finite value {value} at ({row}, {col})");
+        assert!(
+            value.is_finite(),
+            "non-finite value {value} at ({row}, {col})"
+        );
         if value != 0.0 {
             self.entries.push((row as u32, col as u32, value));
         }
@@ -115,7 +124,9 @@ impl CooMatrix {
 
     /// Iterates over stored triplets in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
-        self.entries.iter().map(|&(r, c, v)| (r as usize, c as usize, v))
+        self.entries
+            .iter()
+            .map(|&(r, c, v)| (r as usize, c as usize, v))
     }
 
     /// Converts to CSR, summing duplicate entries and dropping entries whose
@@ -148,7 +159,12 @@ impl CooMatrix {
         for r in 0..self.rows {
             let (lo, hi) = (row_counts[r], row_counts[r + 1]);
             scratch.clear();
-            scratch.extend(cols_buf[lo..hi].iter().copied().zip(vals_buf[lo..hi].iter().copied()));
+            scratch.extend(
+                cols_buf[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(vals_buf[lo..hi].iter().copied()),
+            );
             scratch.sort_unstable_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < scratch.len() {

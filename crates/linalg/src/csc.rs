@@ -154,7 +154,10 @@ mod tests {
     fn products_match_csr() {
         let csr = sample_csr();
         let csc = csr.to_csc();
-        assert_eq!(csc.mul_right(&[1.0, 2.0, 3.0]), csr.mul_right(&[1.0, 2.0, 3.0]));
+        assert_eq!(
+            csc.mul_right(&[1.0, 2.0, 3.0]),
+            csr.mul_right(&[1.0, 2.0, 3.0])
+        );
         assert_eq!(csc.mul_left(&[1.0, 2.0]), csr.mul_left(&[1.0, 2.0]));
     }
 

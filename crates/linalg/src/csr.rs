@@ -51,7 +51,13 @@ impl CsrMatrix {
         debug_assert_eq!(indices.len(), data.len());
         debug_assert_eq!(*indptr.last().unwrap_or(&0), indices.len());
         debug_assert!(indices.iter().all(|&c| (c as usize) < cols || cols == 0));
-        CsrMatrix { rows, cols, indptr, indices, data }
+        CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Builds a CSR matrix from pre-assembled row data, validating the
@@ -106,7 +112,13 @@ impl CsrMatrix {
                 )));
             }
         }
-        Ok(CsrMatrix { rows, cols, indptr, indices, data })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            data,
+        })
     }
 
     /// Builds an empty `rows x cols` matrix with no stored entries.
@@ -145,7 +157,13 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        CsrMatrix { rows: n, cols: n, indptr, indices, data }
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -201,9 +219,17 @@ impl CsrMatrix {
     ///
     /// Panics if `row >= rows`.
     pub fn row(&self, row: usize) -> RowIter<'_> {
-        assert!(row < self.rows, "row {row} out of bounds for {} rows", self.rows);
+        assert!(
+            row < self.rows,
+            "row {row} out of bounds for {} rows",
+            self.rows
+        );
         let (lo, hi) = (self.indptr[row], self.indptr[row + 1]);
-        RowIter { indices: &self.indices[lo..hi], data: &self.data[lo..hi], pos: 0 }
+        RowIter {
+            indices: &self.indices[lo..hi],
+            data: &self.data[lo..hi],
+            pos: 0,
+        }
     }
 
     /// Number of stored entries in one row.
@@ -377,7 +403,9 @@ impl CsrMatrix {
             }
             indptr.push(indices.len());
         }
-        Ok(CsrMatrix::from_raw_parts(self.rows, other.cols, indptr, indices, data))
+        Ok(CsrMatrix::from_raw_parts(
+            self.rows, other.cols, indptr, indices, data,
+        ))
     }
 
     /// Returns the vector of row sums.
@@ -482,7 +510,10 @@ impl CsrMatrix {
     ///
     /// Panics if the matrix is not square or any index is out of bounds.
     pub fn submatrix(&self, keep: &[usize]) -> CsrMatrix {
-        assert_eq!(self.rows, self.cols, "submatrix extraction requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "submatrix extraction requires a square matrix"
+        );
         let mut map = vec![u32::MAX; self.cols];
         for (new, &old) in keep.iter().enumerate() {
             assert!(old < self.rows, "index {old} out of bounds");

@@ -31,7 +31,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -50,7 +54,11 @@ impl DenseMatrix {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols, "data length must be rows*cols");
-        DenseMatrix { rows, cols, data: data.to_vec() }
+        DenseMatrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -258,7 +266,10 @@ mod tests {
     #[test]
     fn singular_solve_errors() {
         let a = DenseMatrix::from_rows(2, 2, &[1.0, 2.0, 2.0, 4.0]);
-        assert!(matches!(a.solve(&[1.0, 1.0]), Err(LinalgError::SingularMatrix { .. })));
+        assert!(matches!(
+            a.solve(&[1.0, 1.0]),
+            Err(LinalgError::SingularMatrix { .. })
+        ));
     }
 
     #[test]

@@ -49,7 +49,12 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::IndexOutOfBounds { row, col, rows, cols } => write!(
+            LinalgError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
                 f,
                 "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
             ),
@@ -74,9 +79,17 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = LinalgError::IndexOutOfBounds { row: 5, col: 2, rows: 3, cols: 3 };
+        let e = LinalgError::IndexOutOfBounds {
+            row: 5,
+            col: 2,
+            rows: 3,
+            cols: 3,
+        };
         assert!(e.to_string().contains("(5, 2)"));
-        let e = LinalgError::SingularMatrix { step: 1, pivot: 0.0 };
+        let e = LinalgError::SingularMatrix {
+            step: 1,
+            pivot: 0.0,
+        };
         assert!(e.to_string().contains("singular"));
         let e = LinalgError::ShapeMismatch("2x2 vs 3x3".into());
         assert!(e.to_string().contains("2x2 vs 3x3"));

@@ -24,7 +24,11 @@ pub struct GmresOptions {
 impl Default for GmresOptions {
     /// Restart 50, tolerance `1e-10`, budget `100_000` iterations.
     fn default() -> Self {
-        GmresOptions { restart: 50, tol: 1e-10, max_iters: 100_000 }
+        GmresOptions {
+            restart: 50,
+            tol: 1e-10,
+            max_iters: 100_000,
+        }
     }
 }
 
@@ -95,9 +99,16 @@ pub fn gmres(
         if rel <= opts.tol {
             obs::event(
                 "linalg.gmres",
-                &[("iterations", total_iters.into()), ("rel_residual", rel.into())],
+                &[
+                    ("iterations", total_iters.into()),
+                    ("rel_residual", rel.into()),
+                ],
             );
-            return Ok(GmresResult { x, iterations: total_iters, rel_residual: rel });
+            return Ok(GmresResult {
+                x,
+                iterations: total_iters,
+                rel_residual: rel,
+            });
         }
         vecops::scale(1.0 / beta, &mut r);
 
@@ -134,7 +145,11 @@ pub fn gmres(
             }
             // New rotation to annihilate hj[j+1].
             let denom = (hj[j] * hj[j] + hj[j + 1] * hj[j + 1]).sqrt();
-            let (c, s) = if denom > 0.0 { (hj[j] / denom, hj[j + 1] / denom) } else { (1.0, 0.0) };
+            let (c, s) = if denom > 0.0 {
+                (hj[j] / denom, hj[j + 1] / denom)
+            } else {
+                (1.0, 0.0)
+            };
             cs.push(c);
             sn.push(s);
             hj[j] = c * hj[j] + s * hj[j + 1];
@@ -162,7 +177,10 @@ pub fn gmres(
             }
             let hii = h[i][i];
             if hii.abs() < 1e-300 {
-                return Err(LinalgError::SingularMatrix { step: i, pivot: hii });
+                return Err(LinalgError::SingularMatrix {
+                    step: i,
+                    pivot: hii,
+                });
             }
             y[i] = acc / hii;
         }
@@ -172,12 +190,22 @@ pub fn gmres(
         if rel <= opts.tol {
             obs::event(
                 "linalg.gmres",
-                &[("iterations", total_iters.into()), ("rel_residual", rel.into())],
+                &[
+                    ("iterations", total_iters.into()),
+                    ("rel_residual", rel.into()),
+                ],
             );
-            return Ok(GmresResult { x, iterations: total_iters, rel_residual: rel });
+            return Ok(GmresResult {
+                x,
+                iterations: total_iters,
+                rel_residual: rel,
+            });
         }
     }
-    Err(LinalgError::SingularMatrix { step: total_iters, pivot: rel })
+    Err(LinalgError::SingularMatrix {
+        step: total_iters,
+        pivot: rel,
+    })
 }
 
 #[cfg(test)]
@@ -204,11 +232,17 @@ mod tests {
 
     #[test]
     fn solves_nonsymmetric_system() {
-        let a = mat(3, &[
-            (0, 0, 2.0), (0, 1, -1.0),
-            (1, 1, 3.0), (1, 2, 1.0),
-            (2, 0, 0.5), (2, 2, 4.0),
-        ]);
+        let a = mat(
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 1, 3.0),
+                (1, 2, 1.0),
+                (2, 0, 0.5),
+                (2, 2, 4.0),
+            ],
+        );
         let b = [1.0, -2.0, 3.0];
         let r = gmres(&a, &b, None, &GmresOptions::default()).unwrap();
         let back = a.mul_right(&r.x);
@@ -231,7 +265,11 @@ mod tests {
         }
         let a = coo.to_csr();
         let b: Vec<f64> = (0..n).map(|i| (i % 3) as f64 + 1.0).collect();
-        let opts = GmresOptions { restart: n, tol: 1e-12, max_iters: n + 1 };
+        let opts = GmresOptions {
+            restart: n,
+            tol: 1e-12,
+            max_iters: n + 1,
+        };
         let r = gmres(&a, &b, None, &opts).unwrap();
         assert!(r.iterations <= n);
         assert!(r.rel_residual < 1e-10);
@@ -250,7 +288,11 @@ mod tests {
         }
         let a = coo.to_csr();
         let b = vec![1.0; n];
-        let opts = GmresOptions { restart: 5, tol: 1e-10, max_iters: 10_000 };
+        let opts = GmresOptions {
+            restart: 5,
+            tol: 1e-10,
+            max_iters: 10_000,
+        };
         let r = gmres(&a, &b, None, &opts).unwrap();
         let back = a.mul_right(&r.x);
         for v in back {
@@ -278,7 +320,11 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_failure() {
         let a = mat(2, &[(0, 0, 1.0), (0, 1, -1.0), (1, 0, 1.0), (1, 1, 1.0)]);
-        let opts = GmresOptions { restart: 1, tol: 1e-16, max_iters: 2 };
+        let opts = GmresOptions {
+            restart: 1,
+            tol: 1e-16,
+            max_iters: 2,
+        };
         // With such a tight tolerance and tiny budget the solve cannot finish.
         let result = gmres(&a, &[1.0, 5.0], None, &opts);
         assert!(result.is_err());

@@ -55,7 +55,8 @@ pub fn kron_sum(a: &CsrMatrix, b: &CsrMatrix) -> CsrMatrix {
     assert_eq!(b.rows(), b.cols(), "kron_sum requires square B");
     let left = kron(a, &CsrMatrix::identity(b.rows()));
     let right = kron(&CsrMatrix::identity(a.rows()), b);
-    left.add_scaled(1.0, &right).expect("shapes match by construction")
+    left.add_scaled(1.0, &right)
+        .expect("shapes match by construction")
 }
 
 /// Computes the Kronecker product of a sequence of factors, left to right.

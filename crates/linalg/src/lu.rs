@@ -62,7 +62,10 @@ impl LuFactors {
                 }
             }
             if pmax < PIVOT_TOL {
-                return Err(LinalgError::SingularMatrix { step: k, pivot: pmax });
+                return Err(LinalgError::SingularMatrix {
+                    step: k,
+                    pivot: pmax,
+                });
             }
             if p != k {
                 perm.swap(p, k);
@@ -182,11 +185,7 @@ mod tests {
     use super::*;
 
     fn wilkinson() -> DenseMatrix {
-        DenseMatrix::from_rows(
-            3,
-            3,
-            &[1e-10, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 2.0],
-        )
+        DenseMatrix::from_rows(3, 3, &[1e-10, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0, 2.0])
     }
 
     #[test]

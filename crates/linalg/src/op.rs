@@ -180,12 +180,20 @@ impl TransitionOp for DenseMatrix {
     }
 
     fn mul_left_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(y.len(), DenseMatrix::cols(self), "y length must equal column count");
+        assert_eq!(
+            y.len(),
+            DenseMatrix::cols(self),
+            "y length must equal column count"
+        );
         y.copy_from_slice(&DenseMatrix::mul_left(self, x));
     }
 
     fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(y.len(), DenseMatrix::rows(self), "y length must equal row count");
+        assert_eq!(
+            y.len(),
+            DenseMatrix::rows(self),
+            "y length must equal row count"
+        );
         y.copy_from_slice(&DenseMatrix::mul_right(self, x));
     }
 
@@ -221,12 +229,20 @@ impl TransitionOp for CscMatrix {
     }
 
     fn mul_left_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(y.len(), CscMatrix::cols(self), "y length must equal column count");
+        assert_eq!(
+            y.len(),
+            CscMatrix::cols(self),
+            "y length must equal column count"
+        );
         y.copy_from_slice(&CscMatrix::mul_left(self, x));
     }
 
     fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
-        assert_eq!(y.len(), CscMatrix::rows(self), "y length must equal row count");
+        assert_eq!(
+            y.len(),
+            CscMatrix::rows(self),
+            "y length must equal row count"
+        );
         y.copy_from_slice(&CscMatrix::mul_right(self, x));
     }
 

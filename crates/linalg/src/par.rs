@@ -40,7 +40,9 @@ static ENV: OnceLock<Option<usize>> = OnceLock::new();
 
 /// Hardware parallelism as reported by the OS (≥ 1).
 pub fn available() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 fn env_threads() -> Option<usize> {
@@ -97,7 +99,10 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(align >= 1, "alignment must be at least 1");
-    assert!(out.len().is_multiple_of(align), "slice length must be a multiple of the alignment");
+    assert!(
+        out.len().is_multiple_of(align),
+        "slice length must be a multiple of the alignment"
+    );
     let n = out.len();
     let blocks = n / align;
     let t = threads().min(blocks.max(1));
@@ -181,7 +186,10 @@ where
             }
         }
     });
-    slots.into_iter().map(|r| r.expect("every chunk computed")).collect()
+    slots
+        .into_iter()
+        .map(|r| r.expect("every chunk computed"))
+        .collect()
 }
 
 /// Runs `k` independent tasks and returns their results in task order.
@@ -226,7 +234,10 @@ where
             }
         }
     });
-    slots.into_iter().map(|r| r.expect("every task computed")).collect()
+    slots
+        .into_iter()
+        .map(|r| r.expect("every task computed"))
+        .collect()
 }
 
 #[cfg(test)]

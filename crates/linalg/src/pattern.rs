@@ -118,7 +118,11 @@ pub fn spy_pgm(a: &CsrMatrix, max_size: usize) -> Vec<u8> {
     for row in &grid {
         for &fill in row {
             // Emphasize sparse cells: even a single entry should be visible.
-            let shade = if fill == 0.0 { 255u8 } else { (200.0 * (1.0 - fill.sqrt())) as u8 };
+            let shade = if fill == 0.0 {
+                255u8
+            } else {
+                (200.0 * (1.0 - fill.sqrt())) as u8
+            };
             out.push(shade);
         }
     }
@@ -189,7 +193,7 @@ mod tests {
         let art = spy_ascii(&tridiag(8), 8);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 10); // 8 rows + 2 border lines
-        // Diagonal cells must be non-blank.
+                                     // Diagonal cells must be non-blank.
         for (i, line) in lines[1..9].iter().enumerate() {
             let cell = line.as_bytes()[1 + i] as char;
             assert_ne!(cell, ' ', "diagonal cell {i} should be filled:\n{art}");

@@ -54,7 +54,10 @@ impl Permutation {
     /// The identity permutation on `0..n`.
     pub fn identity(n: usize) -> Self {
         let forward: Vec<usize> = (0..n).collect();
-        Permutation { inverse: forward.clone(), forward }
+        Permutation {
+            inverse: forward.clone(),
+            forward,
+        }
     }
 
     /// Builds the permutation that sorts indices by the given key function.
@@ -108,7 +111,10 @@ impl Permutation {
 
     /// Returns the inverse permutation as a new object.
     pub fn inverted(&self) -> Permutation {
-        Permutation { forward: self.inverse.clone(), inverse: self.forward.clone() }
+        Permutation {
+            forward: self.inverse.clone(),
+            inverse: self.forward.clone(),
+        }
     }
 
     /// Symmetrically permutes a square matrix: `B[new_i, new_j] = A[old_i, old_j]`.
@@ -117,8 +123,16 @@ impl Permutation {
     ///
     /// Panics if `a` is not square of matching dimension.
     pub fn permute_matrix(&self, a: &CsrMatrix) -> CsrMatrix {
-        assert_eq!(a.rows(), a.cols(), "symmetric permutation requires a square matrix");
-        assert_eq!(a.rows(), self.len(), "matrix dimension must match permutation");
+        assert_eq!(
+            a.rows(),
+            a.cols(),
+            "symmetric permutation requires a square matrix"
+        );
+        assert_eq!(
+            a.rows(),
+            self.len(),
+            "matrix dimension must match permutation"
+        );
         let mut coo = CooMatrix::with_capacity(a.rows(), a.cols(), a.nnz());
         for (r, c, v) in a.iter() {
             coo.push(self.inverse[r], self.inverse[c], v);

@@ -5,17 +5,15 @@ use stochcdr_linalg::{kron, vecops, CooMatrix, CsrMatrix, DenseMatrix, Permutati
 
 /// Strategy generating a random sparse matrix as triplets.
 fn sparse(rows: usize, cols: usize) -> impl Strategy<Value = CsrMatrix> {
-    prop::collection::vec(
-        (0..rows, 0..cols, -10.0f64..10.0),
-        0..rows * cols.min(40),
+    prop::collection::vec((0..rows, 0..cols, -10.0f64..10.0), 0..rows * cols.min(40)).prop_map(
+        move |trips| {
+            let mut coo = CooMatrix::new(rows, cols);
+            for (r, c, v) in trips {
+                coo.push(r, c, v);
+            }
+            coo.to_csr()
+        },
     )
-    .prop_map(move |trips| {
-        let mut coo = CooMatrix::new(rows, cols);
-        for (r, c, v) in trips {
-            coo.push(r, c, v);
-        }
-        coo.to_csr()
-    })
 }
 
 fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {

@@ -65,7 +65,9 @@ pub fn censor(p: &StochasticMatrix, keep: &[usize]) -> Result<StochasticMatrix> 
             )));
         }
         if in_keep[s] {
-            return Err(MarkovError::InvalidArgument(format!("state {s} listed twice")));
+            return Err(MarkovError::InvalidArgument(format!(
+                "state {s} listed twice"
+            )));
         }
         in_keep[s] = true;
         keep_index[s] = k;
@@ -120,7 +122,11 @@ pub fn censor(p: &StochasticMatrix, keep: &[usize]) -> Result<StochasticMatrix> 
             // column j); LU round-off can leave -1e-18-scale negatives.
             if v < -1e-9 {
                 return Err(MarkovError::Linalg(
-                    stochcdr_linalg::LinalgError::NonFiniteValue { row: k, col: j, value: v },
+                    stochcdr_linalg::LinalgError::NonFiniteValue {
+                        row: k,
+                        col: j,
+                        value: v,
+                    },
                 ));
             }
             f[(k, j)] = v.max(0.0);
@@ -230,7 +236,10 @@ mod tests {
         // State 2 is absorbing: eliminating it leaves a walk that may never
         // return to the kept set.
         let p = chain(3, &[(0, 1, 0.5), (0, 2, 0.5), (1, 0, 1.0), (2, 2, 1.0)]);
-        assert!(matches!(censor(&p, &[0, 1]), Err(MarkovError::Reducible(_))));
+        assert!(matches!(
+            censor(&p, &[0, 1]),
+            Err(MarkovError::Reducible(_))
+        ));
     }
 
     #[test]

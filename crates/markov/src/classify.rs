@@ -35,7 +35,9 @@ impl Classification {
 
     /// Indices of the recurrent (closed) classes.
     pub fn recurrent_classes(&self) -> Vec<usize> {
-        (0..self.classes.len()).filter(|&c| self.closed[c]).collect()
+        (0..self.classes.len())
+            .filter(|&c| self.closed[c])
+            .collect()
     }
 
     /// All transient states (members of non-closed classes), ascending.
@@ -88,7 +90,11 @@ pub fn classify(p: &StochasticMatrix) -> Classification {
 ///
 /// Panics if the matrix is not square.
 pub fn classify_graph(a: &CsrMatrix) -> Classification {
-    assert_eq!(a.rows(), a.cols(), "classification requires a square matrix");
+    assert_eq!(
+        a.rows(),
+        a.cols(),
+        "classification requires a square matrix"
+    );
     let n = a.rows();
     // Iterative Tarjan.
     const UNSET: usize = usize::MAX;
@@ -161,7 +167,11 @@ pub fn classify_graph(a: &CsrMatrix) -> Classification {
             }
         }
     }
-    Classification { class_of, classes, closed }
+    Classification {
+        class_of,
+        classes,
+        closed,
+    }
 }
 
 /// Computes the period of an irreducible chain: the gcd of all cycle
@@ -256,10 +266,7 @@ mod tests {
 
     #[test]
     fn two_closed_classes() {
-        let p = chain(4, &[
-            (0, 1, 1.0), (1, 0, 1.0),
-            (2, 3, 1.0), (3, 2, 1.0),
-        ]);
+        let p = chain(4, &[(0, 1, 1.0), (1, 0, 1.0), (2, 3, 1.0), (3, 2, 1.0)]);
         let cls = classify(&p);
         assert_eq!(cls.class_count(), 2);
         assert_eq!(cls.recurrent_classes().len(), 2);
@@ -275,12 +282,19 @@ mod tests {
     #[test]
     fn period_two_walk() {
         // Bipartite 4-cycle.
-        let p = chain(4, &[
-            (0, 1, 0.5), (0, 3, 0.5),
-            (1, 0, 0.5), (1, 2, 0.5),
-            (2, 1, 0.5), (2, 3, 0.5),
-            (3, 2, 0.5), (3, 0, 0.5),
-        ]);
+        let p = chain(
+            4,
+            &[
+                (0, 1, 0.5),
+                (0, 3, 0.5),
+                (1, 0, 0.5),
+                (1, 2, 0.5),
+                (2, 1, 0.5),
+                (2, 3, 0.5),
+                (3, 2, 0.5),
+                (3, 0, 0.5),
+            ],
+        );
         assert_eq!(period(&p), 2);
     }
 

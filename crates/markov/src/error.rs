@@ -60,7 +60,10 @@ impl fmt::Display for MarkovError {
             MarkovError::InvalidProbability { row, col, value } => {
                 write!(f, "invalid probability {value} at ({row}, {col})")
             }
-            MarkovError::NotConverged { iterations, residual } => write!(
+            MarkovError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
                 f,
                 "solver did not converge after {iterations} iterations (residual {residual:e})"
             ),
@@ -94,7 +97,10 @@ mod tests {
     fn display_mentions_cause() {
         let e = MarkovError::RowSumNotOne { row: 3, sum: 0.5 };
         assert!(e.to_string().contains("row 3"));
-        let e = MarkovError::NotConverged { iterations: 10, residual: 1e-3 };
+        let e = MarkovError::NotConverged {
+            iterations: 10,
+            residual: 1e-3,
+        };
         assert!(e.to_string().contains("10"));
     }
 

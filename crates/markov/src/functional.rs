@@ -37,7 +37,11 @@ pub fn variance(eta: &[f64], f: &[f64]) -> Result<f64> {
 ///
 /// The predicate is consulted for every state index `0..eta.len()`.
 pub fn event_probability(eta: &[f64], predicate: impl Fn(usize) -> bool) -> f64 {
-    eta.iter().enumerate().filter(|&(i, _)| predicate(i)).map(|(_, &e)| e).sum()
+    eta.iter()
+        .enumerate()
+        .filter(|&(i, _)| predicate(i))
+        .map(|(_, &e)| e)
+        .sum()
 }
 
 /// Marginal distribution of a state labeling: sums `η` over states with the
@@ -82,7 +86,12 @@ pub fn autocovariance(
     let mut g = f.to_vec();
     let mut next = vec![0.0; p.n()];
     for _lag in 0..=max_lag {
-        let moment: f64 = eta.iter().zip(f).zip(&g).map(|((&e, &fi), &gi)| e * fi * gi).sum();
+        let moment: f64 = eta
+            .iter()
+            .zip(f)
+            .zip(&g)
+            .map(|((&e, &fi), &gi)| e * fi * gi)
+            .sum();
         out.push(moment - mean * mean);
         p.matrix().mul_right_into(&g, &mut next);
         std::mem::swap(&mut g, &mut next);

@@ -101,7 +101,12 @@ impl Partition {
             member_idx[next[b]] = s;
             next[b] += 1;
         }
-        Partition { block_of, blocks, member_ptr, member_idx }
+        Partition {
+            block_of,
+            blocks,
+            member_ptr,
+            member_idx,
+        }
     }
 
     /// Number of states partitioned.
@@ -130,7 +135,9 @@ impl Partition {
 
     /// Collects the members of each block.
     pub fn members(&self) -> Vec<Vec<usize>> {
-        (0..self.blocks).map(|b| self.block_members(b).to_vec()).collect()
+        (0..self.blocks)
+            .map(|b| self.block_members(b).to_vec())
+            .collect()
     }
 
     /// The members of one block, ascending.
@@ -243,10 +250,14 @@ pub fn lump_weighted(
         ));
     }
     if w.len() != n {
-        return Err(MarkovError::InvalidArgument("weight vector length mismatch".into()));
+        return Err(MarkovError::InvalidArgument(
+            "weight vector length mismatch".into(),
+        ));
     }
     if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
-        return Err(MarkovError::InvalidArgument("weights must be non-negative".into()));
+        return Err(MarkovError::InvalidArgument(
+            "weights must be non-negative".into(),
+        ));
     }
     let nb = partition.block_count();
     let (block_weight, block_size) = block_weights(partition, w);
@@ -286,8 +297,10 @@ pub fn lump_weighted(
 /// few ulps beyond the default tolerance).
 fn fix_row_sums(m: CsrMatrix) -> CsrMatrix {
     let sums = m.row_sums();
-    let factors: Vec<f64> =
-        sums.iter().map(|&s| if s > 0.0 { 1.0 / s } else { 1.0 }).collect();
+    let factors: Vec<f64> = sums
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s } else { 1.0 })
+        .collect();
     m.scale_rows(&factors)
 }
 
@@ -305,7 +318,11 @@ fn fix_row_sums(m: CsrMatrix) -> CsrMatrix {
 ///
 /// Panics if dimensions are inconsistent.
 pub fn disaggregate(partition: &Partition, coarse: &[f64], w: &[f64]) -> Vec<f64> {
-    assert_eq!(coarse.len(), partition.block_count(), "coarse vector per block");
+    assert_eq!(
+        coarse.len(),
+        partition.block_count(),
+        "coarse vector per block"
+    );
     assert_eq!(w.len(), partition.n(), "weights per fine state");
     let (block_weight, block_size) = block_weights(partition, w);
     let mut out = vec![0.0; partition.n()];
@@ -364,12 +381,23 @@ mod tests {
 
     /// A 4-state chain exactly lumpable to {0,1} vs {2,3}.
     fn lumpable_chain() -> StochasticMatrix {
-        chain(4, &[
-            (0, 1, 0.6), (0, 2, 0.2), (0, 3, 0.2),
-            (1, 0, 0.6), (1, 2, 0.3), (1, 3, 0.1),
-            (2, 3, 0.5), (2, 0, 0.25), (2, 1, 0.25),
-            (3, 2, 0.5), (3, 0, 0.1), (3, 1, 0.4),
-        ])
+        chain(
+            4,
+            &[
+                (0, 1, 0.6),
+                (0, 2, 0.2),
+                (0, 3, 0.2),
+                (1, 0, 0.6),
+                (1, 2, 0.3),
+                (1, 3, 0.1),
+                (2, 3, 0.5),
+                (2, 0, 0.25),
+                (2, 1, 0.25),
+                (3, 2, 0.5),
+                (3, 0, 0.1),
+                (3, 1, 0.4),
+            ],
+        )
     }
 
     #[test]
@@ -432,7 +460,10 @@ mod tests {
         let lc = lump_weighted(&p, &part, &ef).unwrap();
         let el = GthSolver::new().solve(&lc, None).unwrap().distribution;
         let agg = aggregate(&part, &ef);
-        assert!(vecops::dist1(&agg, &el) < 1e-9, "agg {agg:?} vs coarse {el:?}");
+        assert!(
+            vecops::dist1(&agg, &el) < 1e-9,
+            "agg {agg:?} vs coarse {el:?}"
+        );
     }
 
     #[test]

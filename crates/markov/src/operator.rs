@@ -15,7 +15,7 @@
 
 use stochcdr_linalg::TransitionOp;
 
-use crate::stationary::{PowerIteration, SolveOptions, StationarySolver, StationaryResult};
+use crate::stationary::{PowerIteration, SolveOptions, StationaryResult, StationarySolver};
 use crate::Result;
 
 /// Wraps a closure as a left-apply-only [`TransitionOp`] (useful for tests
@@ -143,6 +143,9 @@ mod tests {
     fn budget_exhaustion_errors() {
         let p = two_state(1.0, 1.0); // periodic
         let err = stationary_power(&p, Some(&[1.0, 0.0]), 1e-12, 7).unwrap_err();
-        assert!(matches!(err, MarkovError::NotConverged { iterations: 7, .. }));
+        assert!(matches!(
+            err,
+            MarkovError::NotConverged { iterations: 7, .. }
+        ));
     }
 }

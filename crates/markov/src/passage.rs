@@ -42,7 +42,10 @@ pub struct PassageOptions {
 impl Default for PassageOptions {
     /// Tolerance `1e-10`, budget `1_000_000` sweeps.
     fn default() -> Self {
-        PassageOptions { tol: 1e-10, max_iters: 1_000_000 }
+        PassageOptions {
+            tol: 1e-10,
+            max_iters: 1_000_000,
+        }
     }
 }
 
@@ -103,7 +106,10 @@ pub fn mean_hitting_times(
                 }
             });
             let denom = 1.0 - pii;
-            debug_assert!(denom > 0.0, "reachability check should exclude absorbing non-targets");
+            debug_assert!(
+                denom > 0.0,
+                "reachability check should exclude absorbing non-targets"
+            );
             let new = acc / denom;
             change = change.max((new - t[i]).abs());
             t[i] = new;
@@ -117,7 +123,10 @@ pub fn mean_hitting_times(
         }
         let _ = it;
     }
-    Err(MarkovError::NotConverged { iterations: opts.max_iters, residual: f64::NAN })
+    Err(MarkovError::NotConverged {
+        iterations: opts.max_iters,
+        residual: f64::NAN,
+    })
 }
 
 /// Mean time between visits to `target` under stationary operation.
@@ -313,7 +322,10 @@ pub fn hitting_probabilities(
             return Ok(h);
         }
     }
-    Err(MarkovError::NotConverged { iterations: opts.max_iters, residual: f64::NAN })
+    Err(MarkovError::NotConverged {
+        iterations: opts.max_iters,
+        residual: f64::NAN,
+    })
 }
 
 /// Expected number of visits to each non-target state before hitting
@@ -342,8 +354,11 @@ pub fn expected_visits_before_hit(
     let in_target = membership(n, target)?;
     check_reachable(p, &in_target)?;
     // v_{k+1} = start + v_k Q, Q = P restricted outside target.
-    let mut v: Vec<f64> =
-        start.iter().enumerate().map(|(i, &s)| if in_target[i] { 0.0 } else { s }).collect();
+    let mut v: Vec<f64> = start
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| if in_target[i] { 0.0 } else { s })
+        .collect();
     let mut next = vec![0.0f64; n];
     for _ in 0..opts.max_iters {
         // next = start + v Q  (start restricted outside target).
@@ -372,7 +387,10 @@ pub fn expected_visits_before_hit(
             return Ok(v);
         }
     }
-    Err(MarkovError::NotConverged { iterations: opts.max_iters, residual: f64::NAN })
+    Err(MarkovError::NotConverged {
+        iterations: opts.max_iters,
+        residual: f64::NAN,
+    })
 }
 
 /// Builds a membership mask, validating the index set.
@@ -417,8 +435,7 @@ fn check_reachable(p: &dyn TransitionOp, in_target: &[bool]) -> Result<()> {
 fn backward_reachable(pt: &CsrMatrix, in_target: &[bool]) -> Vec<bool> {
     let n = in_target.len();
     let mut seen: Vec<bool> = in_target.to_vec();
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&i| in_target[i]).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| in_target[i]).collect();
     while let Some(v) = queue.pop_front() {
         // Rows of pt are in-edges of v in the original graph.
         for (u, _) in pt.row(v) {
@@ -447,12 +464,18 @@ mod tests {
 
     /// Gambler's-ruin style walk on 0..=3, absorbing at 3; fair coin.
     fn walk() -> StochasticMatrix {
-        chain(4, &[
-            (0, 0, 0.5), (0, 1, 0.5),
-            (1, 0, 0.5), (1, 2, 0.5),
-            (2, 1, 0.5), (2, 3, 0.5),
-            (3, 3, 1.0),
-        ])
+        chain(
+            4,
+            &[
+                (0, 0, 0.5),
+                (0, 1, 0.5),
+                (1, 0, 0.5),
+                (1, 2, 0.5),
+                (2, 1, 0.5),
+                (2, 3, 0.5),
+                (3, 3, 1.0),
+            ],
+        )
     }
 
     #[test]
@@ -507,8 +530,8 @@ mod tests {
     #[test]
     fn gmres_matches_direct() {
         let p = walk();
-        let tg = mean_hitting_times_gmres(&p, &[3], &stochcdr_linalg::GmresOptions::default())
-            .unwrap();
+        let tg =
+            mean_hitting_times_gmres(&p, &[3], &stochcdr_linalg::GmresOptions::default()).unwrap();
         let td = mean_hitting_times_direct(&p, &[3]).unwrap();
         for (a, b) in tg.iter().zip(&td) {
             assert!((a - b).abs() < 1e-6, "{tg:?} vs {td:?}");
@@ -553,13 +576,19 @@ mod tests {
     #[test]
     fn gambler_ruin_probabilities() {
         // Fair walk on 0..=4 absorbing at both ends: P(hit 4 before 0 | i) = i/4.
-        let p = chain(5, &[
-            (0, 0, 1.0),
-            (1, 0, 0.5), (1, 2, 0.5),
-            (2, 1, 0.5), (2, 3, 0.5),
-            (3, 2, 0.5), (3, 4, 0.5),
-            (4, 4, 1.0),
-        ]);
+        let p = chain(
+            5,
+            &[
+                (0, 0, 1.0),
+                (1, 0, 0.5),
+                (1, 2, 0.5),
+                (2, 1, 0.5),
+                (2, 3, 0.5),
+                (3, 2, 0.5),
+                (3, 4, 0.5),
+                (4, 4, 1.0),
+            ],
+        );
         let h = hitting_probabilities(&p, &[4], &[0], &PassageOptions::default()).unwrap();
         for i in 0..5 {
             assert!((h[i] - i as f64 / 4.0).abs() < 1e-8, "{h:?}");
@@ -581,7 +610,11 @@ mod tests {
         let v = expected_visits_before_hit(&p, &start, &[3], &PassageOptions::default()).unwrap();
         let t = mean_hitting_times(&p, &[3], &PassageOptions::default()).unwrap();
         let total: f64 = v.iter().sum();
-        assert!((total - t[0]).abs() < 1e-6, "visits {total} vs time {}", t[0]);
+        assert!(
+            (total - t[0]).abs() < 1e-6,
+            "visits {total} vs time {}",
+            t[0]
+        );
     }
 
     #[test]

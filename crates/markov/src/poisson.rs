@@ -77,7 +77,11 @@ pub fn poisson_solve(p: &StochasticMatrix, eta: &[f64], f: &[f64]) -> Result<Vec
             coo.push(r, c, -v);
         }
         let a = coo.to_csr();
-        let opts = GmresOptions { restart: 80, tol: 1e-10, max_iters: 200_000 };
+        let opts = GmresOptions {
+            restart: 80,
+            tol: 1e-10,
+            max_iters: 200_000,
+        };
         stochcdr_linalg::gmres(&a, &fbar, None, &opts)?.x
     };
     // Normalize: pi . h = 0.
@@ -125,7 +129,9 @@ pub fn required_samples(
     half_width: f64,
 ) -> Result<f64> {
     if half_width <= 0.0 {
-        return Err(MarkovError::InvalidArgument("half width must be positive".into()));
+        return Err(MarkovError::InvalidArgument(
+            "half width must be positive".into(),
+        ));
     }
     let sigma2 = asymptotic_variance(p, eta, f)?;
     Ok((1.96 / half_width).powi(2) * sigma2)

@@ -42,7 +42,11 @@ impl ChainSampler {
             }
             offsets.push(targets.len());
         }
-        ChainSampler { offsets, targets, cdf }
+        ChainSampler {
+            offsets,
+            targets,
+            cdf,
+        }
     }
 
     /// Number of states.
@@ -195,22 +199,34 @@ mod tests {
     fn empirical_hitting_time_matches_passage_solve() {
         // Reflecting fair walk to an absorbing end (from passage tests:
         // E[T | start 0] = 12).
-        let p = chain(4, &[
-            (0, 0, 0.5), (0, 1, 0.5),
-            (1, 0, 0.5), (1, 2, 0.5),
-            (2, 1, 0.5), (2, 3, 0.5),
-            (3, 3, 1.0),
-        ]);
+        let p = chain(
+            4,
+            &[
+                (0, 0, 0.5),
+                (0, 1, 0.5),
+                (1, 0, 0.5),
+                (1, 2, 0.5),
+                (2, 1, 0.5),
+                (2, 3, 0.5),
+                (3, 3, 1.0),
+            ],
+        );
         let exact = mean_hitting_times(&p, &[3], &PassageOptions::default()).unwrap()[0];
         let sampler = ChainSampler::new(&p);
         let mut rng = StdRng::seed_from_u64(5);
         let n = 20_000;
         let mut total = 0u64;
         for _ in 0..n {
-            total += sampler.hitting_time(0, &[3], 100_000, &mut rng).unwrap().unwrap();
+            total += sampler
+                .hitting_time(0, &[3], 100_000, &mut rng)
+                .unwrap()
+                .unwrap();
         }
         let mean = total as f64 / n as f64;
-        assert!((mean / exact - 1.0).abs() < 0.05, "empirical {mean} vs exact {exact}");
+        assert!(
+            (mean / exact - 1.0).abs() < 0.05,
+            "empirical {mean} vs exact {exact}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
-use super::{finalize, initial_vector, square_dim, SolveOptions, StationaryResult, StationarySolver};
+use super::{finalize, square_dim, SolveOptions, StationaryResult, StationarySolver};
 
 /// Gauss–Seidel iteration on the stationarity equations.
 ///
@@ -106,7 +106,7 @@ impl Default for GaussSeidelSolver {
 impl StationarySolver for GaussSeidelSolver {
     fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult> {
         let n = square_dim(op)?;
-        let mut x = initial_vector(n, init)?;
+        let mut x = self.opts.starting_vector(n, init)?;
         // Sweeps need P^T rows; materialize once for backends without a
         // cached transpose.
         let pt_owned;
@@ -141,7 +141,10 @@ impl StationarySolver for GaussSeidelSolver {
             let y = op.mul_left(&x);
             vecops::dist1(&y, &x)
         };
-        Err(MarkovError::NotConverged { iterations: self.opts.max_iters, residual })
+        Err(MarkovError::NotConverged {
+            iterations: self.opts.max_iters,
+            residual,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -175,10 +178,14 @@ mod tests {
     #[test]
     fn faster_than_jacobi_on_birth_death() {
         let (p, _) = birth_death(30, 0.48);
-        let gs = GaussSeidelSolver::new(1e-10, 200_000).solve(&p, None).unwrap();
+        let gs = GaussSeidelSolver::new(1e-10, 200_000)
+            .solve(&p, None)
+            .unwrap();
         // Undamped Jacobi oscillates on this near-bipartite chain; use the
         // damped variant for a fair iteration-count comparison.
-        let jc = JacobiSolver::new(1e-10, 200_000, 0.7).solve(&p, None).unwrap();
+        let jc = JacobiSolver::new(1e-10, 200_000, 0.7)
+            .solve(&p, None)
+            .unwrap();
         assert!(
             gs.iterations() < jc.iterations(),
             "GS {} iters vs Jacobi {}",
@@ -193,7 +200,9 @@ mod tests {
         // is overwritten before propagating); the solver must recover
         // rather than report the zero vector as converged.
         let (p, pi) = two_state(0.3, 0.6);
-        let r = GaussSeidelSolver::default().solve(&p, Some(&[1.0, 0.0])).unwrap();
+        let r = GaussSeidelSolver::default()
+            .solve(&p, Some(&[1.0, 0.0]))
+            .unwrap();
         assert!((vecops::sum(&r.distribution) - 1.0).abs() < 1e-12);
         assert!(vecops::dist1(&r.distribution, &pi) < 1e-9);
     }

@@ -45,7 +45,10 @@ impl GthSolver {
     /// [`MarkovError::NotSquare`] for non-square input.
     pub fn solve_dense(&self, a: &DenseMatrix) -> Result<Vec<f64>> {
         if a.rows() != a.cols() {
-            return Err(MarkovError::NotSquare { rows: a.rows(), cols: a.cols() });
+            return Err(MarkovError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
         }
         let n = a.rows();
         if n == 0 {
@@ -110,7 +113,10 @@ impl StationarySolver for GthSolver {
             let y = op.mul_left(&pi);
             vecops::dist1(&y, &pi)
         };
-        obs::event("markov.gth", &[("states", op.rows().into()), ("residual", residual.into())]);
+        obs::event(
+            "markov.gth",
+            &[("states", op.rows().into()), ("residual", residual.into())],
+        );
         Ok(StationaryResult {
             distribution: pi,
             report: super::SolveReport {
@@ -171,7 +177,10 @@ mod tests {
         coo.push(0, 0, 1.0);
         coo.push(1, 1, 1.0);
         let p = StochasticMatrix::new(coo.to_csr()).unwrap();
-        assert!(matches!(GthSolver::new().solve(&p, None), Err(MarkovError::Reducible(_))));
+        assert!(matches!(
+            GthSolver::new().solve(&p, None),
+            Err(MarkovError::Reducible(_))
+        ));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
-use super::{finalize, initial_vector, square_dim, SolveOptions, StationaryResult, StationarySolver};
+use super::{finalize, square_dim, SolveOptions, StationaryResult, StationarySolver};
 
 /// Damped (weighted) Jacobi iteration on the stationarity equations.
 ///
@@ -114,7 +114,7 @@ impl Default for JacobiSolver {
 impl StationarySolver for JacobiSolver {
     fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult> {
         let n = square_dim(op)?;
-        let mut x = initial_vector(n, init)?;
+        let mut x = self.opts.starting_vector(n, init)?;
         let diag = op.diagonal();
         let mut history = Vec::new();
         for it in 1..=self.opts.max_iters {
@@ -140,7 +140,10 @@ impl StationarySolver for JacobiSolver {
             let y = op.mul_left(&x);
             vecops::dist1(&y, &x)
         };
-        Err(MarkovError::NotConverged { iterations: self.opts.max_iters, residual })
+        Err(MarkovError::NotConverged {
+            iterations: self.opts.max_iters,
+            residual,
+        })
     }
 
     fn name(&self) -> &'static str {

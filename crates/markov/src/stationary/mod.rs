@@ -44,12 +44,24 @@ pub struct SolveOptions {
     /// [`SolveReport::residual_history`] (off by default: long power-method
     /// runs would otherwise allocate megabytes of history).
     pub record_history: bool,
+    /// Warm-start vector for iterative methods: when set (and no explicit
+    /// `init` argument is passed to the solve call, which takes
+    /// precedence), iterations start from this distribution instead of
+    /// uniform. Parameter sweeps seed each point from a neighbor's η this
+    /// way. Validated and L1-normalized like an explicit `init`; direct
+    /// methods ignore it.
+    pub init: Option<Vec<f64>>,
 }
 
 impl Default for SolveOptions {
     /// Tolerance `1e-12`, budget `100_000` iterations, no history.
     fn default() -> Self {
-        SolveOptions { tol: 1e-12, max_iters: 100_000, record_history: false }
+        SolveOptions {
+            tol: 1e-12,
+            max_iters: 100_000,
+            record_history: false,
+            init: None,
+        }
     }
 }
 
@@ -60,9 +72,17 @@ impl SolveOptions {
     ///
     /// Panics if `tol` is not positive/finite or `max_iters` is zero.
     pub fn new(tol: f64, max_iters: usize) -> Self {
-        assert!(tol.is_finite() && tol > 0.0, "tolerance must be positive and finite");
+        assert!(
+            tol.is_finite() && tol > 0.0,
+            "tolerance must be positive and finite"
+        );
         assert!(max_iters > 0, "iteration budget must be positive");
-        SolveOptions { tol, max_iters, record_history: false }
+        SolveOptions {
+            tol,
+            max_iters,
+            record_history: false,
+            init: None,
+        }
     }
 
     /// Enables residual-history recording.
@@ -70,6 +90,24 @@ impl SolveOptions {
     pub fn with_history(mut self) -> Self {
         self.record_history = true;
         self
+    }
+
+    /// Sets the warm-start vector (see [`SolveOptions::init`]).
+    #[must_use]
+    pub fn with_init(mut self, init: Vec<f64>) -> Self {
+        self.init = Some(init);
+        self
+    }
+
+    /// Resolves the starting vector for an iterative solve: the explicit
+    /// `init` argument wins, then [`SolveOptions::init`], then uniform.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::MarkovError::InvalidArgument`] for a malformed vector
+    /// (wrong length, negative entries, zero mass).
+    pub fn starting_vector(&self, n: usize, init: Option<&[f64]>) -> Result<Vec<f64>> {
+        initial_vector(n, init.or(self.init.as_deref()))
     }
 }
 
@@ -187,7 +225,11 @@ pub(crate) fn finalize(
     }
     StationaryResult {
         distribution: x,
-        report: SolveReport { iterations, residual, residual_history },
+        report: SolveReport {
+            iterations,
+            residual,
+            residual_history,
+        },
     }
 }
 
@@ -311,6 +353,27 @@ mod tests {
     fn initial_vector_normalizes() {
         let x = initial_vector(2, Some(&[1.0, 3.0])).unwrap();
         assert_eq!(x, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn options_init_warm_starts_and_explicit_arg_wins() {
+        let (p, pi) = test_chains::two_state(0.3, 0.2);
+        let warm = PowerIteration::with_options(SolveOptions::new(1e-13, 10_000).with_init(pi));
+        let seeded = warm.solve(&p, None).unwrap();
+        let cold = PowerIteration::new(1e-13, 10_000).solve(&p, None).unwrap();
+        assert!(
+            seeded.iterations() < cold.iterations(),
+            "seeding at the answer must converge faster ({} vs {})",
+            seeded.iterations(),
+            cold.iterations()
+        );
+        // An explicit init argument overrides the options seed.
+        let explicit = warm.solve(&p, Some(&[0.5, 0.5])).unwrap();
+        assert_eq!(explicit.iterations(), cold.iterations());
+        // A malformed options seed is rejected like a malformed argument.
+        let bad =
+            PowerIteration::with_options(SolveOptions::new(1e-13, 10_000).with_init(vec![1.0]));
+        assert!(bad.solve(&p, None).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result};
 
-use super::{finalize, initial_vector, square_dim, SolveOptions, StationaryResult, StationarySolver};
+use super::{finalize, square_dim, SolveOptions, StationaryResult, StationarySolver};
 
 /// Power iteration: `η_{k+1} = η_k P`, renormalized in L1.
 ///
@@ -81,7 +81,7 @@ impl Default for PowerIteration {
 impl StationarySolver for PowerIteration {
     fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult> {
         let n = square_dim(op)?;
-        let mut x = initial_vector(n, init)?;
+        let mut x = self.opts.starting_vector(n, init)?;
         let mut y = vec![0.0; n];
         let mut history = Vec::new();
         for it in 1..=self.opts.max_iters {
@@ -106,7 +106,10 @@ impl StationarySolver for PowerIteration {
             let y = op.mul_left(&x);
             vecops::dist1(&y, &x)
         };
-        Err(MarkovError::NotConverged { iterations: self.opts.max_iters, residual: res })
+        Err(MarkovError::NotConverged {
+            iterations: self.opts.max_iters,
+            residual: res,
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -132,7 +135,11 @@ mod tests {
         let r = PowerIteration::default().solve(&p, None).unwrap();
         // Periodic interior structure, but reflecting self-loops at the ends
         // break periodicity.
-        assert!(vecops::dist1(&r.distribution, &pi) < 1e-8, "dist {}", vecops::dist1(&r.distribution, &pi));
+        assert!(
+            vecops::dist1(&r.distribution, &pi) < 1e-8,
+            "dist {}",
+            vecops::dist1(&r.distribution, &pi)
+        );
     }
 
     #[test]
@@ -149,14 +156,21 @@ mod tests {
         // A strictly periodic chain never converges pointwise from a
         // non-stationary start.
         let (p, _) = two_state(1.0, 1.0);
-        let err = PowerIteration::new(1e-12, 50).solve(&p, Some(&[1.0, 0.0])).unwrap_err();
-        assert!(matches!(err, MarkovError::NotConverged { iterations: 50, .. }));
+        let err = PowerIteration::new(1e-12, 50)
+            .solve(&p, Some(&[1.0, 0.0]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            MarkovError::NotConverged { iterations: 50, .. }
+        ));
     }
 
     #[test]
     fn periodic_chain_from_stationary_start_is_fixed() {
         let (p, _) = two_state(1.0, 1.0);
-        let r = PowerIteration::default().solve(&p, Some(&[0.5, 0.5])).unwrap();
+        let r = PowerIteration::default()
+            .solve(&p, Some(&[0.5, 0.5]))
+            .unwrap();
         assert_eq!(r.distribution, vec![0.5, 0.5]);
         assert_eq!(r.iterations(), 1);
     }
@@ -178,8 +192,7 @@ mod tests {
     #[test]
     fn history_records_when_requested() {
         let (p, _) = two_state(0.3, 0.7);
-        let solver =
-            PowerIteration::with_options(SolveOptions::new(1e-12, 1000).with_history());
+        let solver = PowerIteration::with_options(SolveOptions::new(1e-12, 1000).with_history());
         let r = solver.solve(&p, None).unwrap();
         assert_eq!(r.report.residual_history.len(), r.iterations());
         assert_eq!(*r.report.residual_history.last().unwrap(), r.residual());

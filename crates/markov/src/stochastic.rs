@@ -68,11 +68,18 @@ impl StochasticMatrix {
     /// Same as [`new`](Self::new).
     pub fn with_tolerance(p: CsrMatrix, tol: f64) -> Result<Self> {
         if p.rows() != p.cols() {
-            return Err(MarkovError::NotSquare { rows: p.rows(), cols: p.cols() });
+            return Err(MarkovError::NotSquare {
+                rows: p.rows(),
+                cols: p.cols(),
+            });
         }
         for (r, c, v) in p.iter() {
             if !v.is_finite() || v < 0.0 || v > 1.0 + tol {
-                return Err(MarkovError::InvalidProbability { row: r, col: c, value: v });
+                return Err(MarkovError::InvalidProbability {
+                    row: r,
+                    col: c,
+                    value: v,
+                });
             }
         }
         let sums = p.row_sums();
@@ -320,7 +327,9 @@ mod tests {
             }
         }
         let p = StochasticMatrix::new(coo.to_csr()).unwrap();
-        let x: Vec<f64> = (0..n).map(|i| if i % 3 == 0 { 0.0 } else { next() }).collect();
+        let x: Vec<f64> = (0..n)
+            .map(|i| if i % 3 == 0 { 0.0 } else { next() })
+            .collect();
         assert_eq!(p.step(&x), p.matrix().mul_left(&x));
     }
 }

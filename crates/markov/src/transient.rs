@@ -19,11 +19,15 @@ pub fn evolve(p: &StochasticMatrix, x: &[f64], k: usize) -> Result<Vec<f64>> {
         )));
     }
     if !vecops::is_nonnegative(x) {
-        return Err(MarkovError::InvalidArgument("distribution must be non-negative".into()));
+        return Err(MarkovError::InvalidArgument(
+            "distribution must be non-negative".into(),
+        ));
     }
     let mut cur = x.to_vec();
     if !vecops::normalize_l1(&mut cur) {
-        return Err(MarkovError::InvalidArgument("distribution must have positive mass".into()));
+        return Err(MarkovError::InvalidArgument(
+            "distribution must have positive mass".into(),
+        ));
     }
     let mut next = vec![0.0; p.n()];
     for _ in 0..k {
@@ -75,7 +79,9 @@ pub fn mixing_time(
     max_steps: usize,
 ) -> Result<Option<usize>> {
     if stationary.len() != p.n() {
-        return Err(MarkovError::InvalidArgument("stationary vector length mismatch".into()));
+        return Err(MarkovError::InvalidArgument(
+            "stationary vector length mismatch".into(),
+        ));
     }
     let mut cur = evolve(p, x, 0)?; // validates and normalizes
     let mut next = vec![0.0; p.n()];

@@ -139,7 +139,9 @@ mod tests {
     #[test]
     fn pairs_strongly_coupled_states() {
         let p = paired_chain();
-        let part = StrengthCoarsening::until(2).coarsen_once(p.matrix()).unwrap();
+        let part = StrengthCoarsening::until(2)
+            .coarsen_once(p.matrix())
+            .unwrap();
         assert_eq!(part.block_count(), 2);
         assert_eq!(part.block_of(0), part.block_of(1));
         assert_eq!(part.block_of(2), part.block_of(3));
@@ -149,7 +151,9 @@ mod tests {
     #[test]
     fn respects_stop_size() {
         let p = paired_chain();
-        assert!(StrengthCoarsening::until(4).coarsen_once(p.matrix()).is_none());
+        assert!(StrengthCoarsening::until(4)
+            .coarsen_once(p.matrix())
+            .is_none());
         assert!(StrengthCoarsening::until(8).levels(&p).unwrap().is_empty());
     }
 

@@ -83,7 +83,10 @@ impl GeometricCoarsening {
         assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
         assert!(component < dims.len(), "component index out of range");
         assert!(stop_at > 0, "stop size must be positive");
-        GeometricCoarsening { dims, schedule: vec![(component, stop_at)] }
+        GeometricCoarsening {
+            dims,
+            schedule: vec![(component, stop_at)],
+        }
     }
 
     /// Creates a coarsening that halves several components in sequence:
@@ -135,8 +138,7 @@ impl GeometricCoarsening {
                     parts_buf[component] /= 2;
                     *label = pack(&parts_buf, &coarse_strides);
                 }
-                parts
-                    .push(Partition::from_labels(labels).expect("halving labels are contiguous"));
+                parts.push(Partition::from_labels(labels).expect("halving labels are contiguous"));
                 dims = coarse_dims;
             }
         }
@@ -246,10 +248,7 @@ mod tests {
     fn schedule_continues_through_components() {
         // dims (data=4, counter=8, phase=16): phase to 4, then counter to
         // 2, then data to 1.
-        let g = GeometricCoarsening::with_schedule(
-            vec![4, 8, 16],
-            vec![(2, 4), (1, 2), (0, 1)],
-        );
+        let g = GeometricCoarsening::with_schedule(vec![4, 8, 16], vec![(2, 4), (1, 2), (0, 1)]);
         let dims = g.level_dims();
         assert_eq!(dims.first().unwrap(), &vec![4, 8, 16]);
         assert_eq!(dims.last().unwrap(), &vec![1, 2, 4]);

@@ -79,7 +79,11 @@ mod tests {
     #[test]
     fn all_smoothers_reduce_residual() {
         let p = chain();
-        for s in [Smoother::Jacobi { omega: 0.8 }, Smoother::GaussSeidel, Smoother::Power] {
+        for s in [
+            Smoother::Jacobi { omega: 0.8 },
+            Smoother::GaussSeidel,
+            Smoother::Power,
+        ] {
             let mut x: Vec<f64> = (0..16).map(|i| (i + 1) as f64).collect();
             vecops::normalize_l1(&mut x);
             let before = p.stationary_residual(&x);

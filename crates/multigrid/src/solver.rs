@@ -2,11 +2,9 @@
 
 use stochcdr_linalg::{vecops, TransitionOp};
 use stochcdr_markov::lumping::{aggregate, disaggregate, lump_weighted, Partition};
-use stochcdr_obs as obs;
-use stochcdr_markov::stationary::{
-    GthSolver, SolveReport, StationaryResult, StationarySolver,
-};
+use stochcdr_markov::stationary::{GthSolver, SolveReport, StationaryResult, StationarySolver};
 use stochcdr_markov::{MarkovError, Result, StochasticMatrix};
+use stochcdr_obs as obs;
 
 use crate::Smoother;
 
@@ -252,7 +250,10 @@ impl MultigridSolver {
                 ("levels", self.levels().into()),
                 ("fine_states", p.n().into()),
                 ("coarsest_states", coarsest_size.into()),
-                ("coarsening_ratio", (p.n() as f64 / coarsest_size.max(1) as f64).into()),
+                (
+                    "coarsening_ratio",
+                    (p.n() as f64 / coarsest_size.max(1) as f64).into(),
+                ),
             ],
         );
 
@@ -317,7 +318,8 @@ impl MultigridSolver {
             let w = vec![1.0; part.n()];
             x = disaggregate(part, &x, &w);
             vecops::normalize_l1(&mut x);
-            self.smoother.apply(&chains[level], &mut x, self.post_sweeps.max(1));
+            self.smoother
+                .apply(&chains[level], &mut x, self.post_sweeps.max(1));
         }
         Ok(x)
     }
@@ -332,7 +334,10 @@ impl MultigridSolver {
         if obs::enabled() {
             // Per-level sweep counters need an owned name; gate the
             // format! so the disabled path stays allocation-free.
-            obs::counter(&format!("multigrid.smooth_sweeps.level{level}"), self.pre_sweeps as u64);
+            obs::counter(
+                &format!("multigrid.smooth_sweeps.level{level}"),
+                self.pre_sweeps as u64,
+            );
         }
 
         let part = &self.partitions[level];
@@ -351,7 +356,10 @@ impl MultigridSolver {
 
         self.smoother.apply(chain, x, self.post_sweeps);
         if obs::enabled() {
-            obs::counter(&format!("multigrid.smooth_sweeps.level{level}"), self.post_sweeps as u64);
+            obs::counter(
+                &format!("multigrid.smooth_sweeps.level{level}"),
+                self.post_sweeps as u64,
+            );
         }
         Ok(())
     }
@@ -456,10 +464,13 @@ mod tests {
     #[test]
     fn matches_power_iteration_on_birth_death() {
         let p = birth_death(64, 0.45);
-        let solver =
-            MultigridSolver::builder(PairwiseCoarsening::until(8).levels(64)).tol(1e-11).build();
+        let solver = MultigridSolver::builder(PairwiseCoarsening::until(8).levels(64))
+            .tol(1e-11)
+            .build();
         let mg = solver.solve(&p, None).unwrap();
-        let pw = PowerIteration::new(1e-13, 2_000_000).solve(&p, None).unwrap();
+        let pw = PowerIteration::new(1e-13, 2_000_000)
+            .solve(&p, None)
+            .unwrap();
         assert!(vecops::dist1(&mg.distribution, &pw.distribution) < 1e-8);
     }
 
@@ -510,7 +521,10 @@ mod tests {
         }
         let p = StochasticMatrix::new(coo.to_csr()).unwrap();
         let parts = GeometricCoarsening::new(vec![2, 32], 1, 4).levels();
-        let solver = MultigridSolver::builder(parts).tol(1e-11).max_cycles(500).build();
+        let solver = MultigridSolver::builder(parts)
+            .tol(1e-11)
+            .max_cycles(500)
+            .build();
         let r = solver.solve(&p, None).unwrap();
         // Product stationary: uniform over toggle x geometric over phase.
         let pw = GthSolver::new().solve(&p, None).unwrap();
@@ -556,7 +570,9 @@ mod tests {
     #[test]
     fn coarse_cap_enforced() {
         let p = birth_death(64, 0.4);
-        let solver = MultigridSolver::builder(vec![]).coarse_direct_max(8).build();
+        let solver = MultigridSolver::builder(vec![])
+            .coarse_direct_max(8)
+            .build();
         assert!(matches!(
             solver.solve(&p, None),
             Err(MarkovError::InvalidArgument(_))
@@ -566,16 +582,16 @@ mod tests {
     #[test]
     fn mismatched_partition_rejected() {
         let p = birth_death(16, 0.4);
-        let solver =
-            MultigridSolver::builder(PairwiseCoarsening::until(4).levels(32)).build();
+        let solver = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(32)).build();
         assert!(solver.solve(&p, None).is_err());
     }
 
     #[test]
     fn stats_expose_hierarchy() {
         let p = birth_death(64, 0.45);
-        let solver =
-            MultigridSolver::builder(PairwiseCoarsening::until(8).levels(64)).tol(1e-10).build();
+        let solver = MultigridSolver::builder(PairwiseCoarsening::until(8).levels(64))
+            .tol(1e-10)
+            .build();
         let (_, stats) = solver.solve_with_stats(&p, None).unwrap();
         assert_eq!(stats.level_sizes, vec![64, 32, 16, 8]);
         assert_eq!(stats.levels, 4);

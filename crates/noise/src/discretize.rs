@@ -56,7 +56,10 @@ impl DiscreteDist {
 
     /// The deterministic distribution concentrated at one offset.
     pub fn point(offset: i32) -> Self {
-        DiscreteDist { offsets: vec![offset], probs: vec![1.0] }
+        DiscreteDist {
+            offsets: vec![offset],
+            probs: vec![1.0],
+        }
     }
 
     /// A two-point distribution: `P(a) = pa`, `P(b) = 1 − pa`.
@@ -159,14 +162,25 @@ impl DiscreteDist {
 ///
 /// Panics if `delta <= 0` or `lo >= hi`.
 pub fn discretize(dist: &dyn Distribution, delta: f64, lo: f64, hi: f64) -> DiscreteDist {
-    assert!(delta > 0.0 && delta.is_finite(), "grid step must be positive");
+    assert!(
+        delta > 0.0 && delta.is_finite(),
+        "grid step must be positive"
+    );
     assert!(lo < hi, "truncation range must be non-empty");
     let k_lo = (lo / delta).round() as i64;
     let k_hi = (hi / delta).round() as i64;
     let mut pairs = Vec::with_capacity((k_hi - k_lo + 1) as usize);
     for k in k_lo..=k_hi {
-        let left = if k == k_lo { f64::NEG_INFINITY } else { (k as f64 - 0.5) * delta };
-        let right = if k == k_hi { f64::INFINITY } else { (k as f64 + 0.5) * delta };
+        let left = if k == k_lo {
+            f64::NEG_INFINITY
+        } else {
+            (k as f64 - 0.5) * delta
+        };
+        let right = if k == k_hi {
+            f64::INFINITY
+        } else {
+            (k as f64 + 0.5) * delta
+        };
         let mass = if right.is_infinite() {
             dist.sf(left)
         } else if left.is_infinite() {
@@ -307,7 +321,11 @@ mod tests {
         let u = Uniform::new(-0.05, 0.05);
         let d = discretize(&u, 0.01, -0.05, 0.05);
         // Interior bins all equal.
-        let inner: Vec<f64> = d.iter().filter(|&(k, _)| k.abs() < 4).map(|(_, p)| p).collect();
+        let inner: Vec<f64> = d
+            .iter()
+            .filter(|&(k, _)| k.abs() < 4)
+            .map(|(_, p)| p)
+            .collect();
         for w in inner.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-12);
         }

@@ -42,7 +42,10 @@ impl Gaussian {
     ///
     /// Panics if `std <= 0` or either parameter is non-finite.
     pub fn new(mean: f64, std: f64) -> Self {
-        assert!(mean.is_finite() && std.is_finite(), "parameters must be finite");
+        assert!(
+            mean.is_finite() && std.is_finite(),
+            "parameters must be finite"
+        );
         assert!(std > 0.0, "standard deviation must be positive");
         Gaussian { mean, std }
     }
@@ -133,7 +136,10 @@ impl Triangular {
     /// Panics unless `lo <= mode <= hi` and `lo < hi`.
     pub fn new(lo: f64, mode: f64, hi: f64) -> Self {
         assert!(lo.is_finite() && mode.is_finite() && hi.is_finite());
-        assert!(lo < hi && lo <= mode && mode <= hi, "need lo <= mode <= hi, lo < hi");
+        assert!(
+            lo < hi && lo <= mode && mode <= hi,
+            "need lo <= mode <= hi, lo < hi"
+        );
         Triangular { lo, mode, hi }
     }
 }
@@ -181,7 +187,10 @@ impl SinusoidalJitter {
     ///
     /// Panics if `amplitude <= 0` or non-finite.
     pub fn new(amplitude: f64) -> Self {
-        assert!(amplitude.is_finite() && amplitude > 0.0, "amplitude must be positive");
+        assert!(
+            amplitude.is_finite() && amplitude > 0.0,
+            "amplitude must be positive"
+        );
         SinusoidalJitter { amplitude }
     }
 
@@ -239,7 +248,10 @@ impl DualDirac {
     /// degenerate CDF; add even a tiny RJ).
     pub fn new(dj: f64, sigma: f64) -> Self {
         assert!(dj >= 0.0 && dj.is_finite(), "DJ must be non-negative");
-        assert!(sigma > 0.0 && sigma.is_finite(), "RJ sigma must be positive");
+        assert!(
+            sigma > 0.0 && sigma.is_finite(),
+            "RJ sigma must be positive"
+        );
         DualDirac { dj, sigma }
     }
 
@@ -273,8 +285,7 @@ impl Distribution for DualDirac {
 
     fn sf(&self, x: f64) -> f64 {
         let h = self.dj / 2.0;
-        0.5 * (special::normal_sf((x + h) / self.sigma)
-            + special::normal_sf((x - h) / self.sigma))
+        0.5 * (special::normal_sf((x + h) / self.sigma) + special::normal_sf((x - h) / self.sigma))
     }
 
     fn mean(&self) -> f64 {

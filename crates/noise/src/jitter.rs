@@ -51,8 +51,15 @@ impl WhiteJitterSpec {
     ///
     /// Panics if `sigma_ui <= 0`.
     pub fn from_sigma(sigma_ui: f64) -> Self {
-        assert!(sigma_ui > 0.0 && sigma_ui.is_finite(), "sigma must be positive");
-        WhiteJitterSpec { sigma_ui, dj_ui: 0.0, n_sigma: 8.0 }
+        assert!(
+            sigma_ui > 0.0 && sigma_ui.is_finite(),
+            "sigma must be positive"
+        );
+        WhiteJitterSpec {
+            sigma_ui,
+            dj_ui: 0.0,
+            n_sigma: 8.0,
+        }
     }
 
     /// Creates a dual-Dirac spec: deterministic jitter `dj_ui`
@@ -62,9 +69,16 @@ impl WhiteJitterSpec {
     ///
     /// Panics if `sigma_ui <= 0` or `dj_ui < 0`.
     pub fn from_dual_dirac(dj_ui: f64, sigma_ui: f64) -> Self {
-        assert!(sigma_ui > 0.0 && sigma_ui.is_finite(), "sigma must be positive");
+        assert!(
+            sigma_ui > 0.0 && sigma_ui.is_finite(),
+            "sigma must be positive"
+        );
         assert!(dj_ui >= 0.0 && dj_ui.is_finite(), "DJ must be non-negative");
-        WhiteJitterSpec { sigma_ui, dj_ui, n_sigma: 8.0 }
+        WhiteJitterSpec {
+            sigma_ui,
+            dj_ui,
+            n_sigma: 8.0,
+        }
     }
 
     /// Derives σ from an eye-opening spec: the eye is `eye_ui` wide at the
@@ -83,11 +97,17 @@ impl WhiteJitterSpec {
             )));
         }
         if !(0.0..0.5).contains(&ber) || ber == 0.0 {
-            return Err(NoiseError::Infeasible(format!("reference BER {ber} must be in (0, 0.5)")));
+            return Err(NoiseError::Infeasible(format!(
+                "reference BER {ber} must be in (0, 0.5)"
+            )));
         }
         let half_closure = (1.0 - eye_ui) / 2.0;
         let sigma = half_closure / q_factor(ber);
-        Ok(WhiteJitterSpec { sigma_ui: sigma, dj_ui: 0.0, n_sigma: 8.0 })
+        Ok(WhiteJitterSpec {
+            sigma_ui: sigma,
+            dj_ui: 0.0,
+            n_sigma: 8.0,
+        })
     }
 
     /// Overrides the discretization truncation (default 8σ).
@@ -168,9 +188,16 @@ impl DriftJitterSpec {
     ///
     /// Panics if `max_dev_ui < 0` or parameters are non-finite.
     pub fn new(mean_ui: f64, max_dev_ui: f64, shape: DriftShape) -> Self {
-        assert!(mean_ui.is_finite() && max_dev_ui.is_finite(), "parameters must be finite");
+        assert!(
+            mean_ui.is_finite() && max_dev_ui.is_finite(),
+            "parameters must be finite"
+        );
         assert!(max_dev_ui >= 0.0, "max deviation must be non-negative");
-        DriftJitterSpec { mean_ui, max_dev_ui, shape }
+        DriftJitterSpec {
+            mean_ui,
+            max_dev_ui,
+            shape,
+        }
     }
 
     /// Creates a spec from a fractional frequency offset (ppm):
@@ -202,7 +229,10 @@ impl DriftJitterSpec {
         let hi = self.mean_ui + self.max_dev_ui;
         let d: DiscreteDist = match self.shape {
             DriftShape::Uniform => {
-                let u = Shifted::new(Uniform::new(-self.max_dev_ui, self.max_dev_ui), self.mean_ui);
+                let u = Shifted::new(
+                    Uniform::new(-self.max_dev_ui, self.max_dev_ui),
+                    self.mean_ui,
+                );
                 discretize(&u, delta_ui, lo, hi)
             }
             DriftShape::Triangular => {
@@ -309,7 +339,11 @@ mod tests {
     #[test]
     fn drift_spec_mean_preserved_exactly() {
         let delta = 1.0 / 64.0;
-        for shape in [DriftShape::Uniform, DriftShape::Triangular, DriftShape::Sinusoidal] {
+        for shape in [
+            DriftShape::Uniform,
+            DriftShape::Triangular,
+            DriftShape::Sinusoidal,
+        ] {
             let s = DriftJitterSpec::new(2.3e-4, 5e-3, shape);
             let d = s.discretize(delta);
             let mean_ui = d.mean_offset() * delta;
@@ -358,11 +392,19 @@ mod tests {
 
     #[test]
     fn random_part_variances_differ_by_shape() {
-        let u = DriftJitterSpec::new(0.0, 0.01, DriftShape::Uniform).random_part().unwrap();
-        let t = DriftJitterSpec::new(0.0, 0.01, DriftShape::Triangular).random_part().unwrap();
-        let s = DriftJitterSpec::new(0.0, 0.01, DriftShape::Sinusoidal).random_part().unwrap();
+        let u = DriftJitterSpec::new(0.0, 0.01, DriftShape::Uniform)
+            .random_part()
+            .unwrap();
+        let t = DriftJitterSpec::new(0.0, 0.01, DriftShape::Triangular)
+            .random_part()
+            .unwrap();
+        let s = DriftJitterSpec::new(0.0, 0.01, DriftShape::Sinusoidal)
+            .random_part()
+            .unwrap();
         assert!(t.variance() < u.variance());
         assert!(u.variance() < s.variance());
-        assert!(DriftJitterSpec::new(0.0, 0.0, DriftShape::Uniform).random_part().is_none());
+        assert!(DriftJitterSpec::new(0.0, 0.0, DriftShape::Uniform)
+            .random_part()
+            .is_none());
     }
 }

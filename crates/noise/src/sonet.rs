@@ -47,15 +47,23 @@ impl DataSpec {
             )));
         }
         if max_run_length == 0 {
-            return Err(NoiseError::InvalidParameter("max run length must be >= 1".into()));
+            return Err(NoiseError::InvalidParameter(
+                "max run length must be >= 1".into(),
+            ));
         }
-        Ok(DataSpec { transition_density, max_run_length })
+        Ok(DataSpec {
+            transition_density,
+            max_run_length,
+        })
     }
 
     /// Scrambled SONET payload: density ½, 72-bit CID immunity requirement
     /// folded down to a modeling run-bound of 72.
     pub fn sonet_scrambled() -> Self {
-        DataSpec { transition_density: 0.5, max_run_length: 72 }
+        DataSpec {
+            transition_density: 0.5,
+            max_run_length: 72,
+        }
     }
 
     /// A denser test pattern (e.g. clock-like preamble regions).
@@ -119,11 +127,7 @@ impl SonetProfile {
         Ok(SonetProfile {
             data: DataSpec::new(0.5, 8)?,
             white: WhiteJitterSpec::from_eye_opening(0.7, 1e-12)?,
-            drift: DriftJitterSpec::from_frequency_offset_ppm(
-                20.0,
-                4e-3,
-                DriftShape::Triangular,
-            ),
+            drift: DriftJitterSpec::from_frequency_offset_ppm(20.0, 4e-3, DriftShape::Triangular),
         })
     }
 

@@ -124,15 +124,27 @@ pub fn span(name: &'static str) -> SpanGuard {
     if !enabled() {
         // Inactive guard: the clock read is a cheap vDSO call and the
         // guard performs no work on drop. No allocation either way.
-        return SpanGuard { depth: 0, session: 0, start: Instant::now() };
+        return SpanGuard {
+            depth: 0,
+            session: 0,
+            start: Instant::now(),
+        };
     }
     let mut guard = STATE.lock().unwrap();
     match guard.as_mut() {
         Some(rec) => {
             rec.stack.push(name);
-            SpanGuard { depth: rec.stack.len(), session: rec.session, start: Instant::now() }
+            SpanGuard {
+                depth: rec.stack.len(),
+                session: rec.session,
+                start: Instant::now(),
+            }
         }
-        None => SpanGuard { depth: 0, session: 0, start: Instant::now() },
+        None => SpanGuard {
+            depth: 0,
+            session: 0,
+            start: Instant::now(),
+        },
     }
 }
 
@@ -155,7 +167,14 @@ impl Drop for SpanGuard {
         let path = rec.stack.join("/");
         rec.stack.pop();
         let at = rec.epoch.elapsed().as_nanos() as u64;
-        rec.sink.record(at, &Record::Span { path: &path, nanos, depth: self.depth });
+        rec.sink.record(
+            at,
+            &Record::Span {
+                path: &path,
+                nanos,
+                depth: self.depth,
+            },
+        );
     }
 }
 

@@ -230,7 +230,10 @@ impl JsonLinesSink {
     /// Wraps an arbitrary writer.
     pub fn new(mut w: Box<dyn Write + Send>) -> Self {
         let _ = writeln!(w, "{{\"kind\":\"meta\",\"schema\":\"{SCHEMA_VERSION}\"}}");
-        JsonLinesSink { w, line: String::with_capacity(256) }
+        JsonLinesSink {
+            w,
+            line: String::with_capacity(256),
+        }
     }
 
     /// Opens `path` for writing (truncating) and streams records to it.
@@ -331,15 +334,57 @@ mod tests {
     #[test]
     fn summary_aggregates_and_renders() {
         let mut s = SummarySink::new();
-        s.record(10, &Record::Span { path: "solve", nanos: 100, depth: 1 });
-        s.record(20, &Record::Span { path: "solve/cycle", nanos: 40, depth: 2 });
-        s.record(30, &Record::Span { path: "solve/cycle", nanos: 60, depth: 2 });
-        s.record(40, &Record::Counter { name: "sweeps", delta: 3 });
-        s.record(50, &Record::Counter { name: "sweeps", delta: 2 });
-        s.record(60, &Record::Gauge { name: "residual", value: 1e-9 });
+        s.record(
+            10,
+            &Record::Span {
+                path: "solve",
+                nanos: 100,
+                depth: 1,
+            },
+        );
+        s.record(
+            20,
+            &Record::Span {
+                path: "solve/cycle",
+                nanos: 40,
+                depth: 2,
+            },
+        );
+        s.record(
+            30,
+            &Record::Span {
+                path: "solve/cycle",
+                nanos: 60,
+                depth: 2,
+            },
+        );
+        s.record(
+            40,
+            &Record::Counter {
+                name: "sweeps",
+                delta: 3,
+            },
+        );
+        s.record(
+            50,
+            &Record::Counter {
+                name: "sweeps",
+                delta: 2,
+            },
+        );
+        s.record(
+            60,
+            &Record::Gauge {
+                name: "residual",
+                value: 1e-9,
+            },
+        );
         s.record(
             70,
-            &Record::Event { name: "cycle.done", fields: &[("residual", Value::F64(1e-9))] },
+            &Record::Event {
+                name: "cycle.done",
+                fields: &[("residual", Value::F64(1e-9))],
+            },
         );
         let text = s.render();
         assert!(text.contains("cycle"), "{text}");
@@ -354,8 +399,21 @@ mod tests {
     #[test]
     fn jsonl_lines_are_valid_json() {
         let (mut sink, buf) = JsonLinesSink::to_shared_buffer();
-        sink.record(5, &Record::Span { path: "a/b", nanos: 17, depth: 2 });
-        sink.record(6, &Record::Gauge { name: "g", value: f64::NAN });
+        sink.record(
+            5,
+            &Record::Span {
+                path: "a/b",
+                nanos: 17,
+                depth: 2,
+            },
+        );
+        sink.record(
+            6,
+            &Record::Gauge {
+                name: "g",
+                value: f64::NAN,
+            },
+        );
         sink.record(
             7,
             &Record::Event {
@@ -369,7 +427,10 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 4);
         let meta = Json::parse(lines[0]).unwrap();
-        assert_eq!(meta.get("schema").and_then(Json::as_str), Some(SCHEMA_VERSION));
+        assert_eq!(
+            meta.get("schema").and_then(Json::as_str),
+            Some(SCHEMA_VERSION)
+        );
         let span = Json::parse(lines[1]).unwrap();
         assert_eq!(span.get("nanos").and_then(Json::as_f64), Some(17.0));
         let gauge = Json::parse(lines[2]).unwrap();

@@ -32,7 +32,8 @@ impl Sink for CaptureSink {
         let mut cap = self.0.lock().unwrap();
         match record {
             Record::Span { path, nanos, depth } => {
-                cap.spans.push((at_nanos, (*path).to_string(), *nanos, *depth));
+                cap.spans
+                    .push((at_nanos, (*path).to_string(), *nanos, *depth));
             }
             Record::Counter { name, delta } => {
                 cap.counters.push(((*name).to_string(), *delta));
@@ -66,8 +67,11 @@ fn span_paths_nest_and_unwind() {
     obs::uninstall();
     let cap = cap.lock().unwrap();
 
-    let paths: Vec<(&str, usize)> =
-        cap.spans.iter().map(|(_, p, _, d)| (p.as_str(), *d)).collect();
+    let paths: Vec<(&str, usize)> = cap
+        .spans
+        .iter()
+        .map(|(_, p, _, d)| (p.as_str(), *d))
+        .collect();
     // Inner-most spans close first; the sibling reuses depth 2 after the
     // middle/inner pair unwound.
     assert_eq!(
@@ -97,12 +101,21 @@ fn span_timers_are_monotone() {
     }
     obs::uninstall();
     let cap = cap.lock().unwrap();
-    let inner = cap.spans.iter().find(|(_, p, ..)| p == "outer/inner").unwrap();
+    let inner = cap
+        .spans
+        .iter()
+        .find(|(_, p, ..)| p == "outer/inner")
+        .unwrap();
     let outer = cap.spans.iter().find(|(_, p, ..)| p == "outer").unwrap();
     // The slept interval is visible, and the enclosing span cannot be
     // shorter than the enclosed one.
     assert!(inner.2 >= 2_000_000, "inner span {}ns", inner.2);
-    assert!(outer.2 >= inner.2, "outer {}ns < inner {}ns", outer.2, inner.2);
+    assert!(
+        outer.2 >= inner.2,
+        "outer {}ns < inner {}ns",
+        outer.2,
+        inner.2
+    );
 }
 
 fn jsonl_round_trips_through_global_api() {
@@ -121,19 +134,32 @@ fn jsonl_round_trips_through_global_api() {
     obs::uninstall();
 
     let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
-    let lines: Vec<Json> =
-        text.lines().map(|l| Json::parse(l).expect("valid JSON line")).collect();
-    assert_eq!(lines[0].get("schema").and_then(Json::as_str), Some(obs::SCHEMA_VERSION));
-    let kinds: Vec<&str> =
-        lines.iter().filter_map(|v| v.get("kind").and_then(Json::as_str)).collect();
+    let lines: Vec<Json> = text
+        .lines()
+        .map(|l| Json::parse(l).expect("valid JSON line"))
+        .collect();
+    assert_eq!(
+        lines[0].get("schema").and_then(Json::as_str),
+        Some(obs::SCHEMA_VERSION)
+    );
+    let kinds: Vec<&str> = lines
+        .iter()
+        .filter_map(|v| v.get("kind").and_then(Json::as_str))
+        .collect();
     assert_eq!(kinds, vec!["meta", "counter", "gauge", "event", "span"]);
     let event = &lines[3];
     assert_eq!(
-        event.get("fields").and_then(|f| f.get("note")).and_then(Json::as_str),
+        event
+            .get("fields")
+            .and_then(|f| f.get("note"))
+            .and_then(Json::as_str),
         Some("first")
     );
     assert_eq!(
-        event.get("fields").and_then(|f| f.get("cycle")).and_then(Json::as_f64),
+        event
+            .get("fields")
+            .and_then(|f| f.get("cycle"))
+            .and_then(Json::as_f64),
         Some(1.0)
     );
     let span = &lines[4];
@@ -152,5 +178,9 @@ fn guards_from_a_previous_session_are_inert() {
     drop(stale); // belongs to the torn-down session: must not record
     obs::uninstall();
     let cap = cap2.lock().unwrap();
-    assert!(cap.spans.is_empty(), "stale guard recorded: {:?}", cap.spans);
+    assert!(
+        cap.spans.is_empty(),
+        "stale guard recorded: {:?}",
+        cap.spans
+    );
 }

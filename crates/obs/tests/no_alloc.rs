@@ -37,6 +37,26 @@ fn alloc_count() -> u64 {
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
+/// Smallest allocation delta observed across `attempts` runs of `f`.
+///
+/// The counter is process-global, so the libtest harness (which runs the
+/// sibling test on another thread) can allocate inside a measurement
+/// window. A genuine allocation in the code under test repeats on every
+/// attempt; harness noise does not, so the minimum is the honest figure.
+fn min_delta<F: FnMut()>(mut f: F, attempts: usize) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..attempts {
+        let before = alloc_count();
+        f();
+        let delta = alloc_count() - before;
+        best = best.min(delta);
+        if best == 0 {
+            break;
+        }
+    }
+    best
+}
+
 #[test]
 fn disabled_instrumentation_does_not_allocate() {
     let _ = obs::uninstall();
@@ -49,23 +69,24 @@ fn disabled_instrumentation_does_not_allocate() {
     obs::event("warmup", &[("k", 1u64.into())]);
 
     let residual = 3.5e-13_f64;
-    let before = alloc_count();
-    for i in 0..10_000u64 {
-        let _span = obs::span("multigrid.solve");
-        let _inner = obs::span("cycle");
-        obs::counter("multigrid.smooth_sweeps", 3);
-        obs::gauge("residual", residual);
-        obs::event(
-            "multigrid.cycle",
-            &[("cycle", i.into()), ("residual", residual.into())],
-        );
-    }
-    let after = alloc_count();
+    let allocated = min_delta(
+        || {
+            for i in 0..10_000u64 {
+                let _span = obs::span("multigrid.solve");
+                let _inner = obs::span("cycle");
+                obs::counter("multigrid.smooth_sweeps", 3);
+                obs::gauge("residual", residual);
+                obs::event(
+                    "multigrid.cycle",
+                    &[("cycle", i.into()), ("residual", residual.into())],
+                );
+            }
+        },
+        5,
+    );
     assert_eq!(
-        after - before,
-        0,
-        "disabled obs calls allocated {} times",
-        after - before
+        allocated, 0,
+        "disabled obs calls allocated {allocated} times"
     );
 }
 
@@ -94,24 +115,34 @@ fn disabled_obs_adds_no_allocations_to_a_hot_loop() {
     let mut x = vec![1.0 / 64.0; 64];
     let mut y = vec![0.0; 64];
 
-    // Baseline: the bare kernel.
-    let before = alloc_count();
     let mut acc = 0.0;
-    for _ in 0..1_000 {
-        acc += sweep(&mut x, &mut y);
-    }
-    let bare = alloc_count() - before;
+
+    // Baseline: the bare kernel.
+    let bare = min_delta(
+        || {
+            for _ in 0..1_000 {
+                acc += sweep(&mut x, &mut y);
+            }
+        },
+        5,
+    );
 
     // Same kernel with the full instrumentation pattern around it.
-    let before = alloc_count();
-    for cycle in 0..1_000u64 {
-        let _span = obs::span("cycle");
-        let res = sweep(&mut x, &mut y);
-        acc += res;
-        obs::counter("sweeps", 1);
-        obs::event("cycle", &[("cycle", cycle.into()), ("residual", res.into())]);
-    }
-    let instrumented = alloc_count() - before;
+    let instrumented = min_delta(
+        || {
+            for cycle in 0..1_000u64 {
+                let _span = obs::span("cycle");
+                let res = sweep(&mut x, &mut y);
+                acc += res;
+                obs::counter("sweeps", 1);
+                obs::event(
+                    "cycle",
+                    &[("cycle", cycle.into()), ("residual", res.into())],
+                );
+            }
+        },
+        5,
+    );
 
     assert!(acc.is_finite());
     assert_eq!(

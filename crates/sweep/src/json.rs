@@ -1,0 +1,139 @@
+//! Stable JSON rendering of sweep results (`stochcdr-sweep/1`).
+//!
+//! Only deterministic fields are emitted — no wall-clock times, no cache
+//! statistics — so the rendered bytes are identical for every thread
+//! count (the property the thread-identity test pins down).
+
+use stochcdr_obs::json::{escape_into, write_f64};
+
+use crate::engine::SweepPoint;
+use crate::spec::SweepSpec;
+use crate::SCHEMA_VERSION;
+
+/// Renders a completed sweep as a `stochcdr-sweep/1` JSON document.
+///
+/// Layout:
+///
+/// ```json
+/// {
+///   "schema": "stochcdr-sweep/1",
+///   "solver": "mg",
+///   "tol": 1e-12,
+///   "warm_start": true,
+///   "axes": [{"name": "drift-ppm", "values": ["1e2", "2e2"]}],
+///   "points": [{"flat": 0, "params": {"drift-ppm": "1e2"}, ...}]
+/// }
+/// ```
+///
+/// Floats use the same `{:e}` convention as `stochcdr-obs` snapshots
+/// (non-finite values become `null`); points appear in grid order.
+pub fn render(spec: &SweepSpec, points: &[SweepPoint]) -> String {
+    let mut out = String::with_capacity(256 + points.len() * 256);
+    out.push_str("{\n  \"schema\": ");
+    escape_into(&mut out, SCHEMA_VERSION);
+    out.push_str(",\n  \"solver\": ");
+    escape_into(&mut out, spec.solver.cli_name());
+    out.push_str(",\n  \"tol\": ");
+    write_f64(&mut out, spec.tol);
+    out.push_str(",\n  \"warm_start\": ");
+    out.push_str(if spec.warm_start { "true" } else { "false" });
+    out.push_str(",\n  \"axes\": [");
+    for (i, axis) in spec.axes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"name\": ");
+        escape_into(&mut out, axis.name());
+        out.push_str(", \"values\": [");
+        for v in 0..axis.len() {
+            if v > 0 {
+                out.push_str(", ");
+            }
+            escape_into(&mut out, &axis.label(v));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\n  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        write_point(&mut out, p);
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn write_point(out: &mut String, p: &SweepPoint) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "    {{\"flat\": {}, \"params\": {{", p.flat);
+    for (i, (name, label)) in p.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        escape_into(out, name);
+        out.push_str(": ");
+        escape_into(out, label);
+    }
+    let _ = write!(out, "}}, \"solver\": ");
+    escape_into(out, p.solver);
+    let _ = write!(
+        out,
+        ", \"states\": {}, \"nnz\": {}, \"iterations\": {}, \"residual\": ",
+        p.states, p.nnz, p.iterations
+    );
+    write_f64(out, p.residual);
+    out.push_str(", \"ber\": ");
+    write_f64(out, p.ber);
+    out.push_str(", \"ber_discrete\": ");
+    write_f64(out, p.ber_discrete);
+    out.push_str(", \"mtbs\": ");
+    write_f64(out, p.mtbs);
+    let _ = write!(out, ", \"warm_started\": {}}}", p.warm_started);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SweepAxis;
+    use crate::{run, SweepSpec};
+    use stochcdr::{CdrConfig, SolverChoice};
+    use stochcdr_obs::json::Json;
+
+    fn base() -> CdrConfig {
+        CdrConfig::builder()
+            .phases(4)
+            .grid_refinement(2)
+            .counter_len(4)
+            .white_sigma_ui(0.08)
+            .drift(2e-2, 8e-2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn renders_parseable_json_with_schema_and_points() {
+        let spec = SweepSpec::new(base())
+            .axis(SweepAxis::CounterLen(vec![2, 4]))
+            .solver(SolverChoice::Power)
+            .tol(1e-8);
+        let sweep = run(&spec).unwrap();
+        let text = render(&spec, &sweep.points);
+        let doc = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("stochcdr-sweep/1")
+        );
+        assert_eq!(doc.get("solver").and_then(Json::as_str), Some("power"));
+        let points = match doc.get("points") {
+            Some(Json::Arr(v)) => v,
+            other => panic!("points not an array: {other:?}"),
+        };
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].get("flat").and_then(Json::as_f64), Some(0.0));
+        assert!(points[0].get("ber").and_then(Json::as_f64).is_some());
+        assert!(points[1].get("params").is_some());
+        // Advisory timings must NOT appear in the deterministic output.
+        assert!(!text.contains("secs"), "timings leaked into JSON");
+    }
+}

@@ -1,0 +1,57 @@
+//! `stochcdr-sweep` — declarative parameter-grid sweeps over the CDR
+//! model with Kronecker-factor caching and warm-started solves.
+//!
+//! The paper's payoff plots (Figure 4's noise levels, Figure 5's filter
+//! lengths, the solver-scaling tables) are all *sweeps*: the same chain
+//! assembled and solved at a grid of operating points. This crate turns
+//! that pattern into a declarative [`SweepSpec`] executed by a parallel
+//! engine with three wins over a hand-rolled loop:
+//!
+//! 1. **Factor caching** — assembly factors (data branches, decision
+//!    tails, drift pmf, the TPM row skeleton, the multigrid hierarchy)
+//!    are fetched from a [`FactorCache`] keyed by exactly the parameters
+//!    each factor depends on, so a sweep axis that perturbs one factor
+//!    (e.g. drift ppm touches only the `n_r` pmf) reuses all others.
+//! 2. **Warm starts** — within a chunk of consecutive grid points, each
+//!    stationary solve is seeded from the previous point's η (when the
+//!    state spaces match), cutting iteration counts on smooth axes.
+//! 3. **Determinism** — points run in parallel on the `linalg::par` pool
+//!    under the PR 2 contract: results (and the emitted
+//!    `stochcdr-sweep/1` JSON) are **bit-identical for every thread
+//!    count**, with points merged in grid order. Warm-start seeding
+//!    follows fixed chunk boundaries that never depend on the thread
+//!    count.
+//!
+//! ```
+//! use stochcdr::CdrConfig;
+//! use stochcdr_sweep::{run, SweepAxis, SweepSpec};
+//!
+//! let base = CdrConfig::builder()
+//!     .phases(4)
+//!     .grid_refinement(2)
+//!     .counter_len(4)
+//!     .white_sigma_ui(0.08)
+//!     .drift(2e-2, 8e-2)
+//!     .build()
+//!     .unwrap();
+//! let spec = SweepSpec::new(base).axis(SweepAxis::CounterLen(vec![2, 4]));
+//! let sweep = run(&spec).unwrap();
+//! assert_eq!(sweep.points.len(), 2);
+//! assert!(sweep.cache.hits > 0, "factors shared across points");
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod json;
+mod spec;
+
+pub use engine::{run, run_map, run_with, PointCtx, SweepPoint, SweepRun, WARM_CHUNK};
+pub use json::render;
+pub use spec::{SweepAxis, SweepSpec};
+
+pub use stochcdr_fsm::FactorCache;
+
+/// JSON schema tag emitted by [`render`]; bump on breaking changes.
+pub const SCHEMA_VERSION: &str = "stochcdr-sweep/1";

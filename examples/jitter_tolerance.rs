@@ -24,7 +24,11 @@ fn ber_at(amplitude_ui: f64) -> Result<f64, Box<dyn std::error::Error>> {
         .grid_refinement(16)
         .counter_len(8)
         .white_sigma_ui(0.04)
-        .drift_spec(DriftJitterSpec::new(5e-4, amplitude_ui, DriftShape::Sinusoidal))
+        .drift_spec(DriftJitterSpec::new(
+            5e-4,
+            amplitude_ui,
+            DriftShape::Sinusoidal,
+        ))
         .build()?;
     let chain = CdrModel::new(config).build_chain()?;
     Ok(chain.analyze(SolverChoice::Multigrid)?.ber)

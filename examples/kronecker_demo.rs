@@ -40,8 +40,9 @@ fn lane_chain(bias: f64) -> CsrMatrix {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lanes = 8usize;
-    let factors: Vec<CsrMatrix> =
-        (0..lanes).map(|k| lane_chain(0.1 + 0.02 * k as f64)).collect();
+    let factors: Vec<CsrMatrix> = (0..lanes)
+        .map(|k| lane_chain(0.1 + 0.02 * k as f64))
+        .collect();
     let op = KroneckerOp::new(factors.clone());
     println!(
         "joint chain: {} states; product form stores {} entries vs 8^8 * 3^8 (infeasible) materialized",

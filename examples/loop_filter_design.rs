@@ -51,9 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let (c, d, ber) = best.expect("at least one design evaluated");
-    println!(
-        "\nrecommended loop filter: counter length {c}, dead zone {d} bins (BER {ber:.2e})"
-    );
+    println!("\nrecommended loop filter: counter length {c}, dead zone {d} bins (BER {ber:.2e})");
     println!(
         "each design point above would need ~{:.0e} Monte-Carlo symbols to verify directly",
         stochcdr::monte_carlo::McResult::required_symbols(ber, 0.1)

@@ -19,7 +19,10 @@ use stochcdr_noise::jitter::{DriftJitterSpec, DriftShape};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cycle-slip budget vs frequency offset (counter 8, sigma_nw 0.05 UI)\n");
-    println!("{:<12} {:>14} {:>12} {:>16}", "offset", "MTBS (symbols)", "BER", "MTBS @ 2.5Gb/s");
+    println!(
+        "{:<12} {:>14} {:>12} {:>16}",
+        "offset", "MTBS (symbols)", "BER", "MTBS @ 2.5Gb/s"
+    );
 
     for ppm in [500.0, 2_000.0, 8_000.0, 16_000.0, 24_000.0] {
         let drift = DriftJitterSpec::from_frequency_offset_ppm(ppm, 8e-3, DriftShape::Triangular);
@@ -43,7 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             format!("{:.1e} years", seconds / 3.156e7)
         };
-        println!("{:<12} {:>14.3e} {:>12.3e} {:>16}", format!("{ppm} ppm"), mtbs, a.ber, human);
+        println!(
+            "{:<12} {:>14.3e} {:>12.3e} {:>16}",
+            format!("{ppm} ppm"),
+            mtbs,
+            a.ber,
+            human
+        );
         if ppm == 500.0 {
             summarize("  (detail at 500 ppm)", &chain, &a);
         }

@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Benchmark regression gate: takes a fresh bench_snapshot and compares it
+# against the committed baseline (results/BENCH_AFTER_PR2.json by default,
+# override with $1). Deterministic metrics — states, nnz, solver cycles,
+# residual, BER, Monte-Carlo results — must be bit-identical; wall-clock
+# numbers are advisory (the gate prints fresh/baseline ratios but never
+# fails on them).
+#
+# The worker pool is pinned to the baseline's recorded thread count so the
+# advisory timing ratios are as comparable as an unpinned runner allows.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline="${1:-results/BENCH_AFTER_PR2.json}"
+fresh="target/BENCH_GATE_FRESH.json"
+
+# Pull the thread count and grid refinement the baseline was recorded at
+# (bare integer fields in the snapshot JSON); fall back to 4 threads and
+# the snapshot binary's default refinement of 16 if absent. The fresh
+# snapshot must reproduce the baseline's configuration, or every
+# "deterministic" metric would differ for config reasons, not drift.
+threads=$(sed -n 's/^ *"threads": *\([0-9][0-9]*\),*$/\1/p' "$baseline")
+threads="${threads:-4}"
+refinement=$(sed -n 's/^ *"refinement": *\([0-9][0-9]*\),*$/\1/p' "$baseline")
+refinement="${refinement:-16}"
+echo "bench gate: pinning STOCHCDR_THREADS=$threads, refinement $refinement (baseline's config)"
+
+cargo build --release --offline -p stochcdr-bench
+STOCHCDR_THREADS="$threads" ./target/release/bench_snapshot --out "$fresh" --refinement "$refinement"
+./target/release/bench_gate "$baseline" "$fresh"

@@ -3,12 +3,15 @@
 # repository's headline performance numbers: state count, TPM nonzeros,
 # multigrid cycles, wall times, and BER, plus the worker-thread count and a
 # 1-thread vs N-thread SpMV speedup row, plus the rendered stochcdr-obs
-# summary. The pool size honors STOCHCDR_THREADS (default: all cores).
+# summary. The pool size honors STOCHCDR_THREADS (default: all cores) and
+# is part of the output filename (BENCH_<date>_T<threads>.json) so
+# snapshots taken at different pool sizes never overwrite each other.
 # Extra arguments are forwarded to the snapshot binary
 # (e.g. --refinement 64 --symbols 1000000).
 set -eu
 
 cd "$(dirname "$0")/.."
-out="BENCH_$(date +%F).json"
-echo "snapshot threads: ${STOCHCDR_THREADS:-auto}"
+threads="${STOCHCDR_THREADS:-auto}"
+out="BENCH_$(date +%F)_T${threads}.json"
+echo "snapshot threads: ${threads}"
 cargo run --release --offline -p stochcdr-bench --bin bench_snapshot -- --out "$out" "$@"

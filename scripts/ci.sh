@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1 verification: release build, full test suite, and clippy with
-# warnings denied. Everything runs offline — the workspace resolves its
-# external dev-dependencies (rand/proptest/criterion) to local shims.
+# Tier-1 verification: formatting, release build, full test suite, and
+# clippy with warnings denied. Everything runs offline — the workspace
+# resolves its external dev-dependencies (rand/proptest/criterion) to
+# local shims.
 #
 # The test suite runs twice, pinned to 1 and 4 worker threads, so the
 # determinism contract of the parallel kernels (bit-identical results for
@@ -9,6 +10,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+cargo fmt --all -- --check
 cargo build --release --offline
 STOCHCDR_THREADS=1 cargo test -q --offline
 STOCHCDR_THREADS=4 cargo test -q --offline

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Golden-result gate: regenerates the committed figure/table artifacts and
+# diffs them against results/*.txt. Numeric fields compare at rtol 1e-9;
+# wall-clock timings are masked (see crates/bench/src/golden.rs). The
+# gated outputs are fully deterministic (bit-identical for any thread
+# count), so any drift is a real behavior change.
+#
+# fig4_noise is quick; the two tables redo real solver work, so the full
+# gate takes a few minutes in release mode.
+set -eu
+
+cd "$(dirname "$0")/.."
+cargo build --release --offline -p stochcdr-bench
+
+./target/release/fig4_noise --check
+./target/release/tab_grid_convergence --check
+./target/release/tab_solver_scaling --check
+
+echo "golden gate: all artifacts match"

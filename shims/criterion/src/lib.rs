@@ -34,12 +34,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates `name/parameter`.
     pub fn new(name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 
     /// Creates a parameter-only id.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -80,7 +84,11 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(samples: usize, sample_time: Duration) -> Self {
-        Bencher { sample_time, samples, results: Vec::new() }
+        Bencher {
+            sample_time,
+            samples,
+            results: Vec::new(),
+        }
     }
 
     /// Times `f`, storing per-iteration estimates.
@@ -98,8 +106,7 @@ impl Bencher {
                 let per_sample = if elapsed.is_zero() {
                     iters * 4
                 } else {
-                    let scale =
-                        self.sample_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                    let scale = self.sample_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
                     ((iters as f64 * scale).ceil() as u64).max(1)
                 };
                 for _ in 0..self.samples {
@@ -137,7 +144,12 @@ fn format_ns(ns: f64) -> String {
     }
 }
 
-fn run_one(full_id: &str, samples: usize, throughput: Option<Throughput>, run: impl FnOnce(&mut Bencher)) {
+fn run_one(
+    full_id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    run: impl FnOnce(&mut Bencher),
+) {
     let mut b = Bencher::new(samples.max(2), Duration::from_millis(30));
     run(&mut b);
     let ns = b.median_ns();
@@ -166,7 +178,12 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== {name}");
-        BenchmarkGroup { _c: self, name, samples: 10, throughput: None }
+        BenchmarkGroup {
+            _c: self,
+            name,
+            samples: 10,
+            throughput: None,
+        }
     }
 
     /// Runs a standalone benchmark.

@@ -28,7 +28,9 @@ impl TestRng {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x100000001b3);
         }
-        TestRng { inner: StdRng::seed_from_u64(h) }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
     }
 
     fn below(&mut self, n: usize) -> usize {
@@ -202,20 +204,29 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { lo: n, hi_inclusive: n }
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
     }
 }
 
@@ -229,7 +240,10 @@ pub mod strategies {
         /// A `Vec` whose elements come from `element` and whose length is
         /// drawn from `size`.
         pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-            VecStrategy { element, size: size.into() }
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
         }
 
         /// See [`vec`].
@@ -327,13 +341,20 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     /// Configuration running `cases` cases per test.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..Self::default() }
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_global_rejects: 65_536, _non_exhaustive: PhantomData }
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+            _non_exhaustive: PhantomData,
+        }
     }
 }
 

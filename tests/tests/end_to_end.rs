@@ -27,7 +27,9 @@ fn full_pipeline_runs_and_is_consistent() {
 
     // Stationary analysis produces a distribution with the documented
     // invariants.
-    let analysis = fast.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis");
+    let analysis = fast
+        .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
+        .expect("analysis");
     assert!((vecops::sum(&analysis.stationary) - 1.0).abs() < 1e-9);
     assert!(vecops::is_nonnegative(&analysis.stationary));
     assert!(fast.tpm().stationary_residual(&analysis.stationary) < 1e-9);
@@ -49,7 +51,9 @@ fn monte_carlo_agrees_with_analysis_at_high_noise() {
         .build()
         .expect("config");
     let chain = CdrModel::new(config.clone()).build_chain().expect("chain");
-    let analysis = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis");
+    let analysis = chain
+        .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
+        .expect("analysis");
     let mc = MonteCarlo::new(config);
     let run = mc.run(400_000, 20260706);
     assert!(run.bit_errors > 500, "need statistics: {}", run.bit_errors);
@@ -81,11 +85,20 @@ fn counter_length_u_shape_reproduces() {
             .build()
             .expect("config");
         let chain = CdrModel::new(config).build_chain().expect("chain");
-        chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis").ber
+        chain
+            .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
+            .expect("analysis")
+            .ber
     };
     let (b4, b8, b16) = (ber_of(4), ber_of(8), ber_of(16));
-    assert!(b8 * 2.0 < b4, "counter 8 ({b8:.2e}) should clearly beat 4 ({b4:.2e})");
-    assert!(b8 * 2.0 < b16, "counter 8 ({b8:.2e}) should clearly beat 16 ({b16:.2e})");
+    assert!(
+        b8 * 2.0 < b4,
+        "counter 8 ({b8:.2e}) should clearly beat 4 ({b4:.2e})"
+    );
+    assert!(
+        b8 * 2.0 < b16,
+        "counter 8 ({b8:.2e}) should clearly beat 16 ({b16:.2e})"
+    );
 }
 
 #[test]
@@ -100,7 +113,10 @@ fn noise_scaling_reproduces_fig4_monotonicity() {
             .build()
             .expect("config");
         let chain = CdrModel::new(config).build_chain().expect("chain");
-        chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis").ber
+        chain
+            .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
+            .expect("analysis")
+            .ber
     };
     let quiet = ber_of(0.007);
     let loud = ber_of(0.07);
@@ -108,5 +124,8 @@ fn noise_scaling_reproduces_fig4_monotonicity() {
         loud > quiet * 1e3 || quiet == 0.0,
         "10x noise should blow up the BER: {quiet:.2e} -> {loud:.2e}"
     );
-    assert!(loud > 1e-12 && loud < 1e-3, "loud point in a plausible band: {loud:.2e}");
+    assert!(
+        loud > 1e-12 && loud < 1e-3,
+        "loud point in a plausible band: {loud:.2e}"
+    );
 }

@@ -7,9 +7,7 @@ use stochcdr_linalg::{vecops, CooMatrix};
 use stochcdr_markov::censored::censor;
 use stochcdr_markov::lumping::{aggregate, lump_weighted, Partition};
 use stochcdr_markov::simulate::{occupancy_tv, ChainSampler};
-use stochcdr_markov::stationary::{
-    GaussSeidelSolver, GthSolver, PowerIteration, StationarySolver,
-};
+use stochcdr_markov::stationary::{GaussSeidelSolver, GthSolver, PowerIteration, StationarySolver};
 use stochcdr_markov::StochasticMatrix;
 
 /// Random irreducible chain: a weak ring backbone guarantees strong

@@ -49,7 +49,12 @@ fn csr_and_dense_backends_bit_identical_through_every_solver() {
             "{}: CSR and dense stationary vectors must be bit-identical",
             solver.name()
         );
-        assert_eq!(a.iterations(), b.iterations(), "{}: iteration counts", solver.name());
+        assert_eq!(
+            a.iterations(),
+            b.iterations(),
+            "{}: iteration counts",
+            solver.name()
+        );
     }
 }
 
@@ -147,12 +152,29 @@ fn one_thread_and_four_threads_are_bit_identical() {
     let parallel = run_all();
     par::set_threads(None);
 
-    assert_eq!(serial.0, parallel.0, "TPM assembly must not depend on thread count");
+    assert_eq!(
+        serial.0, parallel.0,
+        "TPM assembly must not depend on thread count"
+    );
     assert_eq!(serial.1, parallel.1, "SpMV must not depend on thread count");
     for (i, (a, b)) in serial.2.iter().zip(&parallel.2).enumerate() {
-        assert_eq!(a, b, "solver {:?} must not depend on thread count", SolverChoice::ALL[i]);
+        assert_eq!(
+            a,
+            b,
+            "solver {:?} must not depend on thread count",
+            SolverChoice::ALL[i]
+        );
     }
-    assert_eq!(serial.3, parallel.3, "Kronecker x·A must not depend on thread count");
-    assert_eq!(serial.4, parallel.4, "Kronecker A·x must not depend on thread count");
-    assert_eq!(serial.5, parallel.5, "sharded Monte Carlo must not depend on thread count");
+    assert_eq!(
+        serial.3, parallel.3,
+        "Kronecker x·A must not depend on thread count"
+    );
+    assert_eq!(
+        serial.4, parallel.4,
+        "Kronecker A·x must not depend on thread count"
+    );
+    assert_eq!(
+        serial.5, parallel.5,
+        "sharded Monte Carlo must not depend on thread count"
+    );
 }

@@ -11,12 +11,12 @@ use stochcdr_noise::dist::Gaussian;
 /// Strategy over small but varied CDR configurations.
 fn config_strategy() -> impl Strategy<Value = CdrConfig> {
     (
-        2usize..=4,              // grid refinement
-        2usize..=6,              // counter length
-        0usize..=2,              // dead zone bins
-        0.02f64..0.15,           // sigma_w
-        1e-3f64..8e-3,           // drift mean
-        8e-3f64..4e-2,           // drift deviation
+        2usize..=4,                               // grid refinement
+        2usize..=6,                               // counter length
+        0usize..=2,                               // dead zone bins
+        0.02f64..0.15,                            // sigma_w
+        1e-3f64..8e-3,                            // drift mean
+        8e-3f64..4e-2,                            // drift deviation
         prop::sample::select(vec![2usize, 3, 5]), // data run bound
         prop::sample::select(vec![
             FilterKind::OverflowCounter,

@@ -22,7 +22,9 @@ fn config(refinement: usize, dead_zone: usize) -> CdrConfig {
 #[test]
 fn multigrid_cycles_are_mesh_independent() {
     let cycles_at = |refinement: usize| {
-        let chain = CdrModel::new(config(refinement, 0)).build_chain().expect("chain");
+        let chain = CdrModel::new(config(refinement, 0))
+            .build_chain()
+            .expect("chain");
         chain
             .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
             .expect("analysis")
@@ -51,7 +53,11 @@ fn stiff_chains_need_multigrid() {
         .solver_with_tol(SolverChoice::Power, tol)
         .solve(chain.tpm(), None)
         .expect("power");
-    assert!(mg.iterations() < 100, "W-cycles exploded: {}", mg.iterations());
+    assert!(
+        mg.iterations() < 100,
+        "W-cycles exploded: {}",
+        mg.iterations()
+    );
     assert!(
         pw.iterations() > mg.iterations() * 20,
         "stiffness missing: power {} vs multigrid {}",
@@ -75,7 +81,9 @@ fn resolves_immeasurably_low_ber() {
         .build()
         .expect("config");
     let chain = CdrModel::new(cfg).build_chain().expect("chain");
-    let a = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis");
+    let a = chain
+        .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
+        .expect("analysis");
     assert!(a.ber > 0.0 && a.ber < 1e-20, "BER {:.2e}", a.ber);
     assert!(a.iterations < 200);
 }
@@ -94,7 +102,9 @@ fn slip_times_scale_exponentially_with_noise() {
             .build()
             .expect("config");
         let chain = CdrModel::new(cfg).build_chain().expect("chain");
-        let a = chain.analyze_with_tol(SolverChoice::Multigrid, 1e-10).expect("analysis");
+        let a = chain
+            .analyze_with_tol(SolverChoice::Multigrid, 1e-10)
+            .expect("analysis");
         stochcdr::cycle_slip::mean_time_between_slips(&chain, &a.stationary).expect("mtbs")
     };
     let quiet = mtbs_at(0.05);

@@ -12,7 +12,10 @@ use stochcdr_multigrid::GeometricCoarsening;
 #[test]
 fn all_solvers_produce_the_same_stationary_distribution() {
     let chain = CdrModel::new(small_config()).build_chain().expect("chain");
-    let reference = GthSolver::new().solve(chain.tpm(), None).expect("direct").distribution;
+    let reference = GthSolver::new()
+        .solve(chain.tpm(), None)
+        .expect("direct")
+        .distribution;
     for choice in [
         SolverChoice::Power,
         SolverChoice::Jacobi,
@@ -52,7 +55,10 @@ fn exact_stationary_is_a_fixed_point_of_aggregation() {
     // vector reproduces the aggregated stationary as the coarse stationary
     // — the property that makes the multigrid scheme consistent.
     let chain = CdrModel::new(small_config()).build_chain().expect("chain");
-    let eta = GthSolver::new().solve(chain.tpm(), None).expect("direct").distribution;
+    let eta = GthSolver::new()
+        .solve(chain.tpm(), None)
+        .expect("direct")
+        .distribution;
     let cfg = chain.config();
     let parts = GeometricCoarsening::new(
         vec![cfg.data_model.state_count(), cfg.counter_len, cfg.m_bins()],
@@ -62,7 +68,10 @@ fn exact_stationary_is_a_fixed_point_of_aggregation() {
     .levels();
     let part: &Partition = &parts[0];
     let coarse = lump_weighted(chain.tpm(), part, &eta).expect("lump");
-    let eta_coarse = GthSolver::new().solve(&coarse, None).expect("coarse solve").distribution;
+    let eta_coarse = GthSolver::new()
+        .solve(&coarse, None)
+        .expect("coarse solve")
+        .distribution;
     let agg = aggregate(part, &eta);
     assert!(
         vecops::dist1(&agg, &eta_coarse) < 1e-8,
@@ -96,12 +105,21 @@ fn autocorrelation_of_phase_decays() {
     // The recovered-clock phase error decorrelates over the loop time
     // constant; the normalized autocorrelation must decay from 1 toward 0.
     let chain = CdrModel::new(small_config()).build_chain().expect("chain");
-    let eta = GthSolver::new().solve(chain.tpm(), None).expect("direct").distribution;
-    let phase: Vec<f64> = (0..chain.state_count()).map(|s| chain.phase_ui_of(s)).collect();
+    let eta = GthSolver::new()
+        .solve(chain.tpm(), None)
+        .expect("direct")
+        .distribution;
+    let phase: Vec<f64> = (0..chain.state_count())
+        .map(|s| chain.phase_ui_of(s))
+        .collect();
     let rho = stochcdr_markov::functional::autocorrelation(chain.tpm(), &eta, &phase, 200)
         .expect("autocorrelation");
     assert!((rho[0] - 1.0).abs() < 1e-9);
-    assert!(rho[200].abs() < 0.1, "rho(200) = {} should be near 0", rho[200]);
+    assert!(
+        rho[200].abs() < 0.1,
+        "rho(200) = {} should be near 0",
+        rho[200]
+    );
     // Short-lag correlation is high: the phase moves at most G per symbol.
     assert!(rho[1] > 0.5, "rho(1) = {}", rho[1]);
 }
