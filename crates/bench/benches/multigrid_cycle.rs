@@ -86,6 +86,20 @@ fn bench_obs_overhead(c: &mut Criterion) {
         });
         stochcdr_obs::uninstall();
     });
+    // Full `--trace` path: span begin/end pairs serialized as Chrome
+    // Trace events into a discarding writer — the acceptance bar is <5%
+    // over `metrics_disabled`.
+    group.bench_function("chrome_trace", |b| {
+        stochcdr_obs::install(Box::new(stochcdr_obs::ChromeTraceSink::new(Box::new(
+            std::io::sink(),
+        ))));
+        b.iter(|| {
+            chain
+                .analyze(stochcdr::SolverChoice::Multigrid)
+                .expect("analyze")
+        });
+        stochcdr_obs::uninstall();
+    });
     group.finish();
 }
 

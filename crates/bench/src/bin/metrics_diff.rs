@@ -1,0 +1,131 @@
+//! **Metrics artifact diff** — compares two `stochcdr-obs` JSONL
+//! captures (`--metrics A --metrics-format jsonl`) and fails when any
+//! *deterministic* record moved.
+//!
+//! The determinism contract (see `crates/linalg/src/par.rs`) pins every
+//! count the instrumentation emits: counter totals, event counts, span
+//! counts, and histogram observation counts are identical between two
+//! runs of the same configuration at the same thread count. Timing
+//! payloads — span nanoseconds, gauge values, histogram quantiles — are
+//! wall-clock and therefore advisory: printed as fresh/baseline ratios,
+//! never gated on.
+//!
+//! Usage: `metrics_diff BASELINE.jsonl FRESH.jsonl` — exits 1 on a
+//! deterministic mismatch, 2 on unreadable/invalid input.
+
+use std::collections::BTreeSet;
+
+use stochcdr_obs::artifact::Artifact;
+
+fn load(path: &str) -> Artifact {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("metrics_diff: cannot read '{path}': {e}");
+        std::process::exit(2);
+    });
+    Artifact::load_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("metrics_diff: '{path}' is not a metrics artifact: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Walks the union of both key sets, comparing `u64` values exactly.
+/// Returns the number of mismatches (missing keys count as mismatches).
+fn diff_exact<'a, I, J>(section: &str, baseline: I, fresh: J) -> usize
+where
+    I: Iterator<Item = (&'a str, u64)>,
+    J: Iterator<Item = (&'a str, u64)>,
+{
+    let b: Vec<(&str, u64)> = baseline.collect();
+    let f: Vec<(&str, u64)> = fresh.collect();
+    let keys: BTreeSet<&str> = b.iter().chain(&f).map(|(k, _)| *k).collect();
+    let get = |side: &[(&str, u64)], k: &str| side.iter().find(|(n, _)| *n == k).map(|(_, v)| *v);
+    let mut failures = 0;
+    for key in keys {
+        match (get(&b, key), get(&f, key)) {
+            (Some(bv), Some(fv)) if bv == fv => {
+                println!("  ok    {section:<10} {key:<42} = {fv}");
+            }
+            (bv, fv) => {
+                println!("  FAIL  {section:<10} {key:<42} : {bv:?} -> {fv:?}");
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: metrics_diff BASELINE.jsonl FRESH.jsonl");
+        std::process::exit(2);
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    println!("metrics diff: {baseline_path} (baseline) vs {fresh_path} (fresh)");
+
+    let mut failures = 0usize;
+    if baseline.schema != fresh.schema {
+        println!(
+            "  FAIL  schema     : {:?} -> {:?}",
+            baseline.schema, fresh.schema
+        );
+        failures += 1;
+    }
+    failures += diff_exact(
+        "counter",
+        baseline.counters.iter().map(|(k, v)| (k.as_str(), *v)),
+        fresh.counters.iter().map(|(k, v)| (k.as_str(), *v)),
+    );
+    failures += diff_exact(
+        "event",
+        baseline.events.iter().map(|(k, v)| (k.as_str(), *v)),
+        fresh.events.iter().map(|(k, v)| (k.as_str(), *v)),
+    );
+    failures += diff_exact(
+        "span",
+        baseline.spans.iter().map(|(k, s)| (k.as_str(), s.count)),
+        fresh.spans.iter().map(|(k, s)| (k.as_str(), s.count)),
+    );
+    failures += diff_exact(
+        "hist",
+        baseline.hist_counts().into_iter(),
+        fresh.hist_counts().into_iter(),
+    );
+
+    println!("  --- advisory wall-clock ratios (fresh / baseline) ---");
+    for (path, fs) in &fresh.spans {
+        if let Some(bs) = baseline.spans.get(path) {
+            if bs.total_ns > 0 {
+                println!(
+                    "  info  span       {path:<42} : {:.3e}ns vs {:.3e}ns  (x{:.2})",
+                    fs.total_ns as f64,
+                    bs.total_ns as f64,
+                    fs.total_ns as f64 / bs.total_ns as f64
+                );
+            }
+        }
+    }
+    for (name, fh) in &fresh.hists {
+        if let Some(bh) = baseline.hists.get(name) {
+            let (bq, fq) = (bh.quantile(0.5), fh.quantile(0.5));
+            if bq > 0.0 {
+                println!(
+                    "  info  hist p50   {name:<42} : {fq:.3e} vs {bq:.3e}  (x{:.2})",
+                    fq / bq
+                );
+            }
+        }
+    }
+    for (name, fv) in &fresh.gauges {
+        if let Some(bv) = baseline.gauges.get(name) {
+            println!("  info  gauge      {name:<42} : {fv:.3e} vs {bv:.3e}");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("metrics_diff: {failures} deterministic record(s) drifted");
+        std::process::exit(1);
+    }
+    println!("metrics_diff: PASS (all deterministic records identical)");
+}

@@ -72,6 +72,8 @@ pub fn usage() -> String {
      \x20 acquire    lock-acquisition curve and mean pull-in time (--horizon N)\n\
      \x20 jitter     recovered-clock jitter report (--max-lag N)\n\
      \x20 spy        ASCII nonzero pattern of the transition matrix (--size N)\n\
+     \x20 report     render a recorded artifact (--in FILE): a stochcdr-obs/2\n\
+     \x20            metrics JSONL stream or a Chrome trace from --trace\n\
      \n\
      model flags (all commands):\n\
      \x20 --phases N           VCO phases (default 8)\n\
@@ -92,7 +94,11 @@ pub fn usage() -> String {
      \n\
      observability flags (all commands):\n\
      \x20 --metrics PATH       capture instrumentation records to PATH\n\
-     \x20 --metrics-format F   summary (human table) | jsonl (default summary)\n"
+     \x20 --metrics-format F   accepted values: summary | jsonl (default\n\
+     \x20                      summary, a human table; jsonl streams the\n\
+     \x20                      stochcdr-obs/2 records); requires --metrics\n\
+     \x20 --trace PATH         write a Chrome Trace Event JSON file (open in\n\
+     \x20                      ui.perfetto.dev or chrome://tracing)\n"
         .to_string()
 }
 
@@ -102,8 +108,23 @@ pub enum MetricsFormat {
     /// Aggregated human-readable table.
     #[default]
     Summary,
-    /// One JSON object per record (`stochcdr-obs/1` schema).
+    /// One JSON object per record (`stochcdr-obs/2` schema).
     Jsonl,
+}
+
+impl MetricsFormat {
+    /// The accepted `--metrics-format` values, quoted in `--help` and in
+    /// rejection errors so the two can never drift apart.
+    pub const EXPECTED: &'static str = "summary | jsonl";
+
+    /// Parses a `--metrics-format` value.
+    pub fn parse(v: &str) -> Option<Self> {
+        match v {
+            "summary" => Some(MetricsFormat::Summary),
+            "jsonl" => Some(MetricsFormat::Jsonl),
+            _ => None,
+        }
+    }
 }
 
 /// Parsed model options shared by every subcommand.
@@ -122,6 +143,8 @@ pub struct Options {
     pub metrics: Option<String>,
     /// Format for the metrics file.
     pub metrics_format: MetricsFormat,
+    /// Where to write a Chrome Trace Event file (`--trace`), if anywhere.
+    pub trace: Option<String>,
     /// Remaining subcommand-specific flags.
     pub extra: BTreeMap<String, String>,
 }
@@ -160,6 +183,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                     threads: 0,
                     metrics: None,
                     metrics_format: MetricsFormat::Summary,
+                    trace: None,
                     extra: BTreeMap::new(),
                 },
             })
@@ -167,7 +191,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         Some(c) => c.clone(),
     };
     let known = [
-        "analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy",
+        "analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy", "report",
     ];
     if !known.contains(&command.as_str()) {
         return Err(CliError::UnknownCommand(command));
@@ -225,17 +249,27 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
     };
 
     let metrics = flags.remove("metrics");
-    let metrics_format = match flags.remove("metrics-format").as_deref() {
-        None | Some("summary") => MetricsFormat::Summary,
-        Some("jsonl") => MetricsFormat::Jsonl,
+    let metrics_format = match flags.remove("metrics-format") {
+        None => MetricsFormat::Summary,
         Some(v) => {
-            return Err(CliError::BadValue {
+            let fmt = MetricsFormat::parse(&v).ok_or_else(|| CliError::BadValue {
                 flag: "--metrics-format".into(),
-                value: v.into(),
-                expected: "summary | jsonl",
-            })
+                value: v.clone(),
+                expected: MetricsFormat::EXPECTED,
+            })?;
+            // Without a destination the format would be silently ignored;
+            // make the dead flag loud instead.
+            if metrics.is_none() {
+                return Err(CliError::BadValue {
+                    flag: "--metrics-format".into(),
+                    value: v,
+                    expected: "to be used together with --metrics PATH",
+                });
+            }
+            fmt
         }
     };
+    let trace = flags.remove("trace");
 
     let white = if dj > 0.0 {
         WhiteJitterSpec::from_dual_dirac(dj, sigma)
@@ -264,6 +298,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
             threads,
             metrics,
             metrics_format,
+            trace,
             extra: flags,
         },
     })
@@ -471,6 +506,36 @@ mod tests {
             parse(&argv("analyze --config /no/such/file")),
             Err(CliError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn metrics_format_requires_a_destination() {
+        // Valid when paired with --metrics.
+        let p = parse(&argv("analyze --metrics m.jsonl --metrics-format jsonl")).unwrap();
+        assert_eq!(p.options.metrics_format, MetricsFormat::Jsonl);
+        // Unknown values name the accepted set.
+        let e = parse(&argv("analyze --metrics m.jsonl --metrics-format xml")).unwrap_err();
+        assert!(e.to_string().contains(MetricsFormat::EXPECTED), "{e}");
+        // A format without a destination would be silently dead: reject.
+        let e = parse(&argv("analyze --metrics-format jsonl")).unwrap_err();
+        assert!(e.to_string().contains("--metrics"), "{e}");
+        // The help text documents the accepted values.
+        assert!(usage().contains(MetricsFormat::EXPECTED));
+    }
+
+    #[test]
+    fn trace_flag_and_report_command_parse() {
+        let p = parse(&argv("analyze --trace out.json")).unwrap();
+        assert_eq!(p.options.trace.as_deref(), Some("out.json"));
+        assert_eq!(parse(&argv("analyze")).unwrap().options.trace, None);
+        let p = parse(&argv("report --in m.jsonl")).unwrap();
+        assert_eq!(p.command, "report");
+        assert_eq!(
+            p.options.extra.get("in").map(String::as_str),
+            Some("m.jsonl")
+        );
+        assert!(usage().contains("--trace"));
+        assert!(usage().contains("report"));
     }
 
     #[test]

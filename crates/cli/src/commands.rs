@@ -29,8 +29,117 @@ pub fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
         "acquire" => acquire(&parsed.options),
         "jitter" => jitter(&parsed.options),
         "spy" => spy(&parsed.options),
+        "report" => report_cmd(&parsed.options),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.1}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+/// Histogram cells whose names mark nanoseconds (a `_ns` / `.ns`
+/// component, e.g. `multigrid.smooth.ns.level0`) render with time units.
+fn fmt_hist_cell(name: &str, v: f64) -> String {
+    if name.ends_with("_ns") || name.ends_with(".ns") || name.contains(".ns.") {
+        fmt_ns(v)
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+/// `stochcdr report --in FILE`: renders a recorded artifact — either a
+/// `--metrics ... --metrics-format jsonl` stream or a `--trace` Chrome
+/// trace — as a human-readable table, validating its structure.
+fn report_cmd(opts: &Options) -> Result<String, CliError> {
+    let path = opts
+        .extra
+        .get("in")
+        .ok_or_else(|| CliError::MissingValue("--in".into()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Analysis(format!("cannot read artifact '{path}': {e}")))?;
+    let mut out = String::new();
+    if obs::artifact::looks_like_trace(&text) {
+        let check = obs::artifact::check_trace(&text)
+            .map_err(|e| CliError::Analysis(format!("invalid trace '{path}': {e}")))?;
+        let _ = writeln!(
+            out,
+            "chrome trace: {} events ({} begin / {} end) on {} thread lanes",
+            check.events, check.begins, check.ends, check.threads
+        );
+        if !check.span_counts.is_empty() {
+            let _ = writeln!(out, "\nspans (name, count):");
+            for (name, count) in &check.span_counts {
+                let _ = writeln!(out, "  {name:<40} {count}");
+            }
+        }
+        if !check.unbalanced.is_empty() {
+            return Err(CliError::Analysis(format!(
+                "trace '{path}' has unbalanced begin/end events for: {}",
+                check.unbalanced.join(", ")
+            )));
+        }
+        let _ = writeln!(out, "\nbegin/end events balanced for every span name");
+    } else {
+        let art = obs::artifact::Artifact::load_jsonl(&text)
+            .map_err(|e| CliError::Analysis(format!("invalid metrics artifact '{path}': {e}")))?;
+        let _ = writeln!(out, "metrics artifact ({})", art.schema);
+        if !art.spans.is_empty() {
+            let _ = writeln!(out, "\nspans (path, count, total, mean):");
+            for (p, s) in &art.spans {
+                let mean = s.total_ns as f64 / s.count.max(1) as f64;
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>8}  {:>10}  {:>10}",
+                    p,
+                    s.count,
+                    fmt_ns(s.total_ns as f64),
+                    fmt_ns(mean)
+                );
+            }
+        }
+        if !art.counters.is_empty() {
+            let _ = writeln!(out, "\ncounters:");
+            for (name, total) in &art.counters {
+                let _ = writeln!(out, "  {name:<40} {total}");
+            }
+        }
+        if !art.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges (last):");
+            for (name, v) in &art.gauges {
+                let _ = writeln!(out, "  {name:<40} {v:.6e}");
+            }
+        }
+        if !art.hists.is_empty() {
+            let _ = writeln!(out, "\nhistograms (name, count, p50, p95, max):");
+            for (name, h) in &art.hists {
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>8}  {:>10}  {:>10}  {}",
+                    name,
+                    h.count(),
+                    fmt_hist_cell(name, h.quantile(0.5)),
+                    fmt_hist_cell(name, h.quantile(0.95)),
+                    fmt_hist_cell(name, h.max()),
+                );
+            }
+        }
+        if !art.events.is_empty() {
+            let _ = writeln!(out, "\nevents (count):");
+            for (name, count) in &art.events {
+                let _ = writeln!(out, "  {name:<40} {count}");
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn build_and_solve(opts: &Options) -> Result<(CdrChain, CdrAnalysis), CliError> {

@@ -11,6 +11,7 @@
 //! stochcdr acquire  --horizon 1000
 //! stochcdr jitter   --max-lag 200
 //! stochcdr spy      --size 64
+//! stochcdr report   --in metrics.jsonl
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy keeps
@@ -30,7 +31,9 @@ use stochcdr_obs as obs;
 /// With `--metrics PATH` the instrumentation layer is enabled for the
 /// duration of the command: `--metrics-format jsonl` streams records to
 /// `PATH` as they happen; the default `summary` format aggregates them
-/// and writes a rendered table to `PATH` afterwards.
+/// and writes a rendered table to `PATH` afterwards. `--trace PATH`
+/// additionally (or independently) streams a Chrome Trace Event file —
+/// both can be active at once through a fan-out sink.
 ///
 /// # Errors
 ///
@@ -42,27 +45,45 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     if parsed.options.threads > 0 {
         stochcdr_linalg::par::set_threads(Some(parsed.options.threads));
     }
-    let Some(path) = parsed.options.metrics.clone() else {
+    let metrics = parsed.options.metrics.clone();
+    let trace = parsed.options.trace.clone();
+    if metrics.is_none() && trace.is_none() {
         return commands::dispatch(&parsed);
-    };
+    }
 
-    match parsed.options.metrics_format {
-        MetricsFormat::Jsonl => {
-            let sink = obs::JsonLinesSink::to_file(&path).map_err(|e| {
+    let mut sinks: Vec<Box<dyn obs::Sink>> = Vec::new();
+    if let Some(path) = &trace {
+        let sink = obs::ChromeTraceSink::to_file(path)
+            .map_err(|e| CliError::Analysis(format!("cannot open trace file '{path}': {e}")))?;
+        sinks.push(Box::new(sink));
+    }
+    let summary_path = match (&metrics, parsed.options.metrics_format) {
+        (Some(path), MetricsFormat::Jsonl) => {
+            let sink = obs::JsonLinesSink::to_file(path).map_err(|e| {
                 CliError::Analysis(format!("cannot open metrics file '{path}': {e}"))
             })?;
-            obs::install(Box::new(sink));
+            sinks.push(Box::new(sink));
+            None
         }
-        MetricsFormat::Summary => {
-            obs::install(Box::new(obs::SummarySink::new()));
+        (Some(path), MetricsFormat::Summary) => {
+            sinks.push(Box::new(obs::SummarySink::new()));
+            Some(path.clone())
         }
+        (None, _) => None,
+    };
+    let single = sinks.len() == 1;
+    if single {
+        obs::install(sinks.pop().expect("one sink"));
+    } else {
+        obs::install(Box::new(obs::MultiSink::new(sinks)));
     }
+
     obs::gauge("cli.threads", stochcdr_linalg::par::threads() as f64);
     let result = commands::dispatch(&parsed);
     // Uninstall even on dispatch failure so the global recorder never
     // outlives the command that enabled it.
     let sink = obs::uninstall();
-    if parsed.options.metrics_format == MetricsFormat::Summary {
+    if let Some(path) = summary_path {
         if let Some(report) = sink.and_then(|mut s| s.finish()) {
             std::fs::write(&path, report).map_err(|e| {
                 CliError::Analysis(format!("cannot write metrics file '{path}': {e}"))

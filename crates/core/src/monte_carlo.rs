@@ -111,7 +111,16 @@ impl MonteCarlo {
         let parts = par::map_tasks(shards as usize, |k| {
             let k = k as u64;
             let quota = base + u64::from(k < rem);
-            self.simulate(quota, shard_seed(seed, k))
+            let shard_t0 = obs::enabled().then(std::time::Instant::now);
+            let out = self.simulate(quota, shard_seed(seed, k));
+            if let Some(t0) = shard_t0 {
+                let secs = t0.elapsed().as_secs_f64();
+                obs::histogram("core.mc.shard.ns", secs * 1e9);
+                if secs > 0.0 {
+                    obs::histogram("core.mc.shard.symbols_per_sec", quota as f64 / secs);
+                }
+            }
+            out
         });
         let m = self.config.m_bins();
         let mut bit_errors = 0u64;

@@ -227,6 +227,7 @@ where
     assert!(tol > 0.0, "tolerance must be positive");
     let _span = obs::span("fsm.tpm_build_rows");
     let chunks = par::map_chunks(n, ROW_CHUNK, |range| {
+        let chunk_t0 = obs::enabled().then(std::time::Instant::now);
         let mut indices: Vec<u32> = Vec::new();
         let mut data: Vec<f64> = Vec::new();
         let mut lens: Vec<usize> = Vec::with_capacity(range.len());
@@ -255,6 +256,9 @@ where
                 )));
             }
             lens.push(indices.len() - before);
+        }
+        if let Some(t0) = chunk_t0 {
+            obs::histogram("fsm.tpm_row_chunk.ns", t0.elapsed().as_nanos() as f64);
         }
         Ok((indices, data, lens))
     });

@@ -23,10 +23,21 @@
 //! Thread-count resolution (highest precedence first):
 //! [`set_threads`] (the `--threads` CLI flag) → the `STOCHCDR_THREADS`
 //! environment variable → [`std::thread::available_parallelism`].
+//!
+//! When `stochcdr-obs` instrumentation is enabled, every parallel kernel
+//! invocation additionally profiles its workers: each worker runs under a
+//! `par.worker` span on its own trace lane (attributed to the span that
+//! launched the kernel), per-worker busy nanoseconds feed the
+//! `par.worker.busy_ns` histogram, and the busy/wall ratio is emitted as
+//! the `par.utilization` gauge. All of it is timing-only — the numeric
+//! results remain bit-identical whether instrumentation is on or off.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
+use std::time::Instant;
+
+use stochcdr_obs as obs;
 
 /// Minimum number of output elements before a kernel goes parallel.
 ///
@@ -72,6 +83,77 @@ pub fn threads() -> usize {
     env_threads().unwrap_or_else(available)
 }
 
+/// Per-kernel-invocation worker profiler, active only while a sink is
+/// installed (`None` otherwise — the disabled path adds one relaxed
+/// atomic load per kernel call and allocates nothing).
+struct ScopeObs {
+    kernel: &'static str,
+    /// Span open on the launching thread, so worker-lane spans link back
+    /// to the scope that fanned out.
+    parent: u64,
+    start: Instant,
+    busy: Vec<AtomicU64>,
+}
+
+impl ScopeObs {
+    fn new(kernel: &'static str, workers: usize) -> Option<Self> {
+        if !obs::enabled() {
+            return None;
+        }
+        Some(ScopeObs {
+            kernel,
+            parent: obs::current_span_id(),
+            start: Instant::now(),
+            busy: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Runs one worker's whole share under a `par.worker` span.
+    ///
+    /// `pin_lane` gives pool thread `worker` the stable trace lane
+    /// `worker + 1` — but only when the thread has no lane yet, so
+    /// nested kernels (a worker fanning out again) fall back to fresh
+    /// lane ids instead of colliding with the outer pool's lanes.
+    /// The caller-thread share of [`for_each_chunk_aligned_mut`] passes
+    /// `pin_lane = false` and stays on the caller's own lane.
+    fn run<R>(this: Option<&Self>, worker: usize, pin_lane: bool, f: impl FnOnce() -> R) -> R {
+        let Some(s) = this else { return f() };
+        let _lane = (pin_lane && !obs::has_lane()).then(|| obs::lane(worker as u64 + 1));
+        let _span = obs::span_child_of("par.worker", s.parent);
+        let t0 = Instant::now();
+        let r = f();
+        s.busy[worker].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        r
+    }
+
+    /// Emits the per-scope utilization records once every worker joined.
+    fn finish(this: Option<Self>, threads: usize) {
+        let Some(s) = this else { return };
+        let wall = s.start.elapsed().as_nanos() as u64;
+        let mut total = 0u64;
+        for b in &s.busy {
+            let ns = b.load(Ordering::Relaxed);
+            total += ns;
+            obs::histogram("par.worker.busy_ns", ns as f64);
+        }
+        let util = if wall == 0 || threads == 0 {
+            0.0
+        } else {
+            total as f64 / (threads as f64 * wall as f64)
+        };
+        obs::gauge("par.utilization", util);
+        obs::event(
+            s.kernel,
+            &[
+                ("threads", threads.into()),
+                ("wall_ns", wall.into()),
+                ("busy_ns", total.into()),
+                ("utilization", util.into()),
+            ],
+        );
+    }
+}
+
 /// Splits `out` into at most `threads()` contiguous chunks and runs
 /// `body(start, chunk)` on each, in parallel.
 ///
@@ -114,8 +196,10 @@ where
     }
     let base = blocks / t;
     let rem = blocks % t;
+    let sobs = ScopeObs::new("par.for_each_chunk", t);
     std::thread::scope(|scope| {
         let body = &body;
+        let sobs = &sobs;
         let mut rest = out;
         let mut start = 0usize;
         let mut last: Option<(usize, &mut [T])> = None;
@@ -127,14 +211,15 @@ where
                 // Run the final chunk on the calling thread.
                 last = Some((start, chunk));
             } else {
-                scope.spawn(move || body(start, chunk));
+                scope.spawn(move || ScopeObs::run(sobs.as_ref(), k, true, || body(start, chunk)));
             }
             start += len;
         }
         if let Some((s, chunk)) = last {
-            body(s, chunk);
+            ScopeObs::run(sobs.as_ref(), t - 1, false, || body(s, chunk));
         }
     });
+    ScopeObs::finish(sobs, t);
 }
 
 /// Maps fixed-size chunks of `0..n` and returns the per-chunk results in
@@ -164,19 +249,23 @@ where
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(k);
     slots.resize_with(k, || None);
+    let sobs = ScopeObs::new("par.map_chunks", t);
     std::thread::scope(|scope| {
+        let (sobs, cursor, body, range) = (&sobs, &cursor, &body, &range);
         let handles: Vec<_> = (0..t)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut got = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= k {
-                            break;
+            .map(|w| {
+                scope.spawn(move || {
+                    ScopeObs::run(sobs.as_ref(), w, true, || {
+                        let mut got = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= k {
+                                break;
+                            }
+                            got.push((i, body(range(i))));
                         }
-                        got.push((i, body(range(i))));
-                    }
-                    got
+                        got
+                    })
                 })
             })
             .collect();
@@ -186,6 +275,7 @@ where
             }
         }
     });
+    ScopeObs::finish(sobs, t);
     slots
         .into_iter()
         .map(|r| r.expect("every chunk computed"))
@@ -212,19 +302,23 @@ where
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(k);
     slots.resize_with(k, || None);
+    let sobs = ScopeObs::new("par.map_tasks", t);
     std::thread::scope(|scope| {
+        let (sobs, cursor, body) = (&sobs, &cursor, &body);
         let handles: Vec<_> = (0..t)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut got = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= k {
-                            break;
+            .map(|w| {
+                scope.spawn(move || {
+                    ScopeObs::run(sobs.as_ref(), w, true, || {
+                        let mut got = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= k {
+                                break;
+                            }
+                            got.push((i, body(i)));
                         }
-                        got.push((i, body(i)));
-                    }
-                    got
+                        got
+                    })
                 })
             })
             .collect();
@@ -234,6 +328,7 @@ where
             }
         }
     });
+    ScopeObs::finish(sobs, t);
     slots
         .into_iter()
         .map(|r| r.expect("every task computed"))
@@ -309,6 +404,28 @@ mod tests {
         let out = map_tasks(33, |i| i * i);
         set_threads(None);
         assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_kernels_profile_their_workers() {
+        let _g = LOCK.lock().unwrap();
+        let _ = obs::uninstall();
+        set_threads(Some(4));
+        obs::install(Box::new(obs::SummarySink::new()));
+        let mut out = vec![0.0f64; PARALLEL_CUTOFF * 2];
+        for_each_chunk_mut(&mut out, |start, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = (start + i) as f64;
+            }
+        });
+        let _sums = map_chunks(PARALLEL_CUTOFF * 2, 4096, |r| r.len());
+        let report = obs::uninstall().and_then(|mut s| s.finish()).unwrap();
+        set_threads(None);
+        assert!(report.contains("par.worker"), "{report}");
+        assert!(report.contains("par.utilization"), "{report}");
+        assert!(report.contains("par.worker.busy_ns"), "{report}");
+        assert!(report.contains("par.for_each_chunk"), "{report}");
+        assert!(report.contains("par.map_chunks"), "{report}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Validated transition probability matrices.
 
 use stochcdr_linalg::{vecops, CsrMatrix, TransitionOp};
+use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result};
 
@@ -138,7 +139,16 @@ impl StochasticMatrix {
     ///
     /// Panics if either slice length differs from `n()`.
     pub fn step_into(&self, x: &[f64], out: &mut [f64]) {
-        self.pt.mul_right_into(x, out);
+        // Latency histogram only for operators large enough that the
+        // clock reads are noise; coarse multigrid levels run sub-µs
+        // SpMVs where the instrumentation would dominate the kernel.
+        if obs::enabled() && x.len() >= 512 {
+            let t0 = std::time::Instant::now();
+            self.pt.mul_right_into(x, out);
+            obs::histogram("markov.spmv.ns", t0.elapsed().as_nanos() as f64);
+        } else {
+            self.pt.mul_right_into(x, out);
+        }
     }
 
     /// Residual `|| x P - x ||_1` of a candidate stationary vector.

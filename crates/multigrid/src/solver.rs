@@ -8,6 +8,27 @@ use stochcdr_obs as obs;
 
 use crate::Smoother;
 
+/// Static span names per level, so per-level trace lanes stay
+/// allocation-free. Hierarchies deeper than this share the last name.
+const LEVEL_SPANS: [&str; 12] = [
+    "mg.level0",
+    "mg.level1",
+    "mg.level2",
+    "mg.level3",
+    "mg.level4",
+    "mg.level5",
+    "mg.level6",
+    "mg.level7",
+    "mg.level8",
+    "mg.level9",
+    "mg.level10",
+    "mg.level.deep",
+];
+
+fn level_span(level: usize) -> &'static str {
+    LEVEL_SPANS[level.min(LEVEL_SPANS.len() - 1)]
+}
+
 /// Recursion pattern of the multigrid cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CycleKind {
@@ -259,9 +280,21 @@ impl MultigridSolver {
 
         let mut history = Vec::new();
         for cycle in 1..=self.max_cycles {
-            let _cycle_span = obs::span("cycle");
+            let cycle_t0 = obs::enabled().then(std::time::Instant::now);
+            let cycle_span = obs::span("cycle");
             self.run_cycle(p, 0, &mut x)?;
             let res = p.stationary_residual(&x);
+            drop(cycle_span);
+            if let Some(t0) = cycle_t0 {
+                obs::histogram("multigrid.cycle.ns", t0.elapsed().as_nanos() as f64);
+                // Per-cycle contraction factor: the distribution the
+                // convergence claim rests on, not just its last value.
+                if let Some(&prev) = history.last() {
+                    if prev > 0.0 {
+                        obs::histogram("multigrid.residual_reduction", res / prev);
+                    }
+                }
+            }
             history.push(res);
             obs::event(
                 "multigrid.cycle",
@@ -324,21 +357,41 @@ impl MultigridSolver {
         Ok(x)
     }
 
+    /// Smoothing sweeps with per-level accounting: a `smooth` span, the
+    /// level's sweep counter, and a per-level sweep-time histogram. The
+    /// owned names only materialize when instrumentation is enabled.
+    fn smooth_instrumented(
+        &self,
+        chain: &StochasticMatrix,
+        x: &mut [f64],
+        sweeps: usize,
+        level: usize,
+    ) {
+        if !obs::enabled() {
+            self.smoother.apply(chain, x, sweeps);
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        {
+            let _span = obs::span("smooth");
+            self.smoother.apply(chain, x, sweeps);
+        }
+        let ns = t0.elapsed().as_nanos() as f64;
+        obs::counter(
+            &format!("multigrid.smooth_sweeps.level{level}"),
+            sweeps as u64,
+        );
+        obs::histogram(&format!("multigrid.smooth.ns.level{level}"), ns);
+    }
+
     /// One multigrid cycle at `level`, updating `x` in place.
     fn run_cycle(&self, chain: &StochasticMatrix, level: usize, x: &mut Vec<f64>) -> Result<()> {
+        let _level_span = obs::span(level_span(level));
         if level == self.partitions.len() {
             let _span = obs::span("coarse_solve");
             return self.solve_coarsest(chain, x);
         }
-        self.smoother.apply(chain, x, self.pre_sweeps);
-        if obs::enabled() {
-            // Per-level sweep counters need an owned name; gate the
-            // format! so the disabled path stays allocation-free.
-            obs::counter(
-                &format!("multigrid.smooth_sweeps.level{level}"),
-                self.pre_sweeps as u64,
-            );
-        }
+        self.smooth_instrumented(chain, x, self.pre_sweeps, level);
 
         let part = &self.partitions[level];
         let agg_span = obs::span("aggregate");
@@ -354,13 +407,7 @@ impl MultigridSolver {
         vecops::normalize_l1(x);
         drop(disagg_span);
 
-        self.smoother.apply(chain, x, self.post_sweeps);
-        if obs::enabled() {
-            obs::counter(
-                &format!("multigrid.smooth_sweeps.level{level}"),
-                self.post_sweeps as u64,
-            );
-        }
+        self.smooth_instrumented(chain, x, self.post_sweeps, level);
         Ok(())
     }
 

@@ -1,0 +1,285 @@
+//! Loading and validating recorded observability artifacts.
+//!
+//! Two artifact shapes exist: the JSONL metrics stream written by
+//! [`crate::JsonLinesSink`] (`stochcdr-obs/1` or `/2`) and the Chrome
+//! Trace Event array written by [`crate::ChromeTraceSink`]. This module
+//! parses both — [`Artifact`] aggregates a metrics stream for
+//! reporting/diffing, and [`check_trace`] validates a trace file's
+//! structure (balanced begin/end edges per span name).
+
+use std::collections::BTreeMap;
+
+use crate::hist::LogHist;
+use crate::json::Json;
+
+/// Aggregated view of one JSONL metrics artifact.
+#[derive(Debug, Default, Clone)]
+pub struct Artifact {
+    /// Schema tag from the meta line (`stochcdr-obs/1` or `/2`).
+    pub schema: String,
+    /// Counter name → summed deltas.
+    pub counters: BTreeMap<String, u64>,
+    /// Event name → occurrence count.
+    pub events: BTreeMap<String, u64>,
+    /// Gauge name → last recorded value.
+    pub gauges: BTreeMap<String, f64>,
+    /// Span path → aggregated stats.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Histogram name → reconstructed histogram.
+    pub hists: BTreeMap<String, LogHist>,
+}
+
+/// Aggregated timing stats for one span path.
+#[derive(Debug, Default, Clone)]
+pub struct SpanStat {
+    /// Completed span count.
+    pub count: u64,
+    /// Summed duration (ns).
+    pub total_ns: u64,
+    /// Fastest instance (ns).
+    pub min_ns: u64,
+    /// Slowest instance (ns).
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn fold(&mut self, nanos: u64) {
+        if self.count == 0 {
+            self.min_ns = nanos;
+            self.max_ns = nanos;
+        } else {
+            self.min_ns = self.min_ns.min(nanos);
+            self.max_ns = self.max_ns.max(nanos);
+        }
+        self.count += 1;
+        self.total_ns += nanos;
+    }
+}
+
+fn need_u64(v: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("line {line_no}: missing numeric \"{key}\""))
+}
+
+fn need_str<'a>(v: &'a Json, key: &str, line_no: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("line {line_no}: missing string \"{key}\""))
+}
+
+impl Artifact {
+    /// Parses a JSONL metrics stream produced by [`crate::JsonLinesSink`].
+    ///
+    /// Accepts both `stochcdr-obs/1` and `/2`; `/1` streams simply lack
+    /// span identity and `hist` lines. Unknown record kinds are an error
+    /// so schema drift is caught loudly.
+    pub fn load_jsonl(text: &str) -> Result<Artifact, String> {
+        let mut art = Artifact::default();
+        let mut lines = text
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty());
+        let (_, meta_line) = lines.next().ok_or("empty artifact")?;
+        let meta = Json::parse(meta_line).map_err(|e| format!("meta line: {e}"))?;
+        if meta.get("kind").and_then(Json::as_str) != Some("meta") {
+            return Err("first line is not a meta record".into());
+        }
+        let schema = need_str(&meta, "schema", 1)?;
+        if schema != "stochcdr-obs/1" && schema != crate::SCHEMA_VERSION {
+            return Err(format!("unsupported schema \"{schema}\""));
+        }
+        art.schema = schema.to_string();
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let v = Json::parse(line).map_err(|e| format!("line {line_no}: {e}"))?;
+            match need_str(&v, "kind", line_no)? {
+                "span" => {
+                    let path = need_str(&v, "path", line_no)?;
+                    let nanos = need_u64(&v, "nanos", line_no)?;
+                    art.spans.entry(path.to_string()).or_default().fold(nanos);
+                }
+                "counter" => {
+                    let name = need_str(&v, "name", line_no)?;
+                    let delta = need_u64(&v, "delta", line_no)?;
+                    *art.counters.entry(name.to_string()).or_default() += delta;
+                }
+                "gauge" => {
+                    let name = need_str(&v, "name", line_no)?;
+                    // NaN gauges serialize as null; keep them out of the map.
+                    if let Some(value) = v.get("value").and_then(Json::as_f64) {
+                        art.gauges.insert(name.to_string(), value);
+                    }
+                }
+                "event" => {
+                    let name = need_str(&v, "name", line_no)?;
+                    *art.events.entry(name.to_string()).or_default() += 1;
+                }
+                "hist" => {
+                    let name = need_str(&v, "name", line_no)?;
+                    let count = need_u64(&v, "count", line_no)?;
+                    let other = need_u64(&v, "other", line_no)?;
+                    let sum = v.get("sum").and_then(Json::as_f64).unwrap_or(0.0);
+                    let min = v.get("min").and_then(Json::as_f64).unwrap_or(0.0);
+                    let max = v.get("max").and_then(Json::as_f64).unwrap_or(0.0);
+                    let mut bins = BTreeMap::new();
+                    if let Some(Json::Arr(pairs)) = v.get("bins") {
+                        for pair in pairs {
+                            let Json::Arr(kv) = pair else {
+                                return Err(format!("line {line_no}: bad bins entry"));
+                            };
+                            let (Some(k), Some(c)) = (
+                                kv.first().and_then(Json::as_f64),
+                                kv.get(1).and_then(Json::as_f64),
+                            ) else {
+                                return Err(format!("line {line_no}: bad bins entry"));
+                            };
+                            bins.insert(k as i32, c as u64);
+                        }
+                    }
+                    art.hists.insert(
+                        name.to_string(),
+                        LogHist::from_parts(count, other, sum, min, max, bins),
+                    );
+                }
+                "meta" => return Err(format!("line {line_no}: duplicate meta record")),
+                other => return Err(format!("line {line_no}: unknown kind \"{other}\"")),
+            }
+        }
+        Ok(art)
+    }
+
+    /// Histogram observation counts (`name` → count) — deterministic for
+    /// a pinned thread count even though the timing values are not.
+    pub fn hist_counts(&self) -> BTreeMap<&str, u64> {
+        self.hists
+            .iter()
+            .map(|(name, h)| (name.as_str(), h.count()))
+            .collect()
+    }
+}
+
+/// Heuristic: Chrome trace artifacts are a JSON array, JSONL metrics
+/// streams start with an object line.
+pub fn looks_like_trace(text: &str) -> bool {
+    text.trim_start().starts_with('[')
+}
+
+/// Structural summary of a Chrome trace file from [`check_trace`].
+#[derive(Debug, Default, Clone)]
+pub struct TraceCheck {
+    /// Total trace events (all phases).
+    pub events: usize,
+    /// `ph:"B"` count.
+    pub begins: usize,
+    /// `ph:"E"` count.
+    pub ends: usize,
+    /// Distinct `tid` lanes seen.
+    pub threads: usize,
+    /// Span names whose begin/end counts differ (empty = balanced).
+    pub unbalanced: Vec<String>,
+    /// Per-span-name begin counts, for reporting.
+    pub span_counts: BTreeMap<String, usize>,
+}
+
+/// Parses a Chrome Trace Event array and checks that every span name
+/// has matching begin/end edge counts.
+///
+/// Per-*name* balance (rather than per-thread stack nesting) is the
+/// right invariant here: a worker span can begin on one lane while an
+/// overlapping same-name span runs on another, but a name with more
+/// `B` than `E` edges means a guard never closed.
+pub fn check_trace(text: &str) -> Result<TraceCheck, String> {
+    let parsed = Json::parse(text)?;
+    let Json::Arr(events) = parsed else {
+        return Err("trace is not a JSON array".into());
+    };
+    let mut check = TraceCheck {
+        events: events.len(),
+        ..TraceCheck::default()
+    };
+    let mut balance: BTreeMap<String, i64> = BTreeMap::new();
+    let mut tids = std::collections::BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        if let Some(tid) = e.get("tid").and_then(Json::as_f64) {
+            tids.insert(tid as u64);
+        }
+        match ph {
+            "B" => {
+                check.begins += 1;
+                *balance.entry(name.to_string()).or_default() += 1;
+                *check.span_counts.entry(name.to_string()).or_default() += 1;
+            }
+            "E" => {
+                check.ends += 1;
+                *balance.entry(name.to_string()).or_default() -= 1;
+            }
+            _ => {}
+        }
+    }
+    check.threads = tids.len();
+    check.unbalanced = balance
+        .into_iter()
+        .filter(|(_, bal)| *bal != 0)
+        .map(|(name, _)| name)
+        .collect();
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_wrong_schema_and_garbage() {
+        assert!(Artifact::load_jsonl("").is_err());
+        assert!(Artifact::load_jsonl("{\"kind\":\"meta\",\"schema\":\"other/9\"}\n").is_err());
+        assert!(Artifact::load_jsonl("not json\n").is_err());
+        let bad_kind =
+            "{\"kind\":\"meta\",\"schema\":\"stochcdr-obs/2\"}\n{\"kind\":\"mystery\"}\n";
+        assert!(Artifact::load_jsonl(bad_kind).is_err());
+    }
+
+    #[test]
+    fn accepts_schema_one_streams() {
+        let text = concat!(
+            "{\"kind\":\"meta\",\"schema\":\"stochcdr-obs/1\"}\n",
+            "{\"kind\":\"span\",\"path\":\"a/b\",\"nanos\":10,\"depth\":2,\"t\":1}\n",
+            "{\"kind\":\"counter\",\"name\":\"c\",\"delta\":4,\"t\":2}\n",
+        );
+        let art = Artifact::load_jsonl(text).unwrap();
+        assert_eq!(art.schema, "stochcdr-obs/1");
+        assert_eq!(art.spans["a/b"].count, 1);
+        assert_eq!(art.counters["c"], 4);
+    }
+
+    #[test]
+    fn trace_check_flags_unbalanced_names() {
+        let text = r#"[
+            {"name":"a","ph":"B","pid":0,"tid":0,"ts":1},
+            {"name":"a","ph":"E","pid":0,"tid":0,"ts":2},
+            {"name":"b","ph":"B","pid":0,"tid":1,"ts":3}
+        ]"#;
+        let check = check_trace(text).unwrap();
+        assert_eq!(check.events, 3);
+        assert_eq!(check.begins, 2);
+        assert_eq!(check.ends, 1);
+        assert_eq!(check.threads, 2);
+        assert_eq!(check.unbalanced, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn detects_artifact_shape() {
+        assert!(looks_like_trace("  [\n{}\n]"));
+        assert!(!looks_like_trace("{\"kind\":\"meta\"}"));
+    }
+}

@@ -2,12 +2,12 @@
 //! stochcdr workspace.
 //!
 //! Library crates call the free functions in this module — [`span`],
-//! [`counter`], [`gauge`], [`event`] — unconditionally. When no sink is
-//! installed (the default) every call reduces to a single relaxed
-//! atomic load and performs **no heap allocation**, so instrumented hot
-//! loops pay effectively nothing. When a [`Sink`] is installed via
-//! [`install`], records flow to it tagged with nanoseconds since
-//! installation.
+//! [`counter`], [`gauge`], [`event`], [`histogram`] — unconditionally.
+//! When no sink is installed (the default) every call reduces to a
+//! single relaxed atomic load and performs **no heap allocation**, so
+//! instrumented hot loops pay effectively nothing. When a [`Sink`] is
+//! installed via [`install`], records flow to it tagged with nanoseconds
+//! since installation.
 //!
 //! ```
 //! let _ = stochcdr_obs::uninstall();
@@ -17,11 +17,13 @@
 //!     for i in 0..3u64 {
 //!         let _inner = stochcdr_obs::span("cycle");
 //!         stochcdr_obs::counter("sweeps", 2);
+//!         stochcdr_obs::histogram("residual_reduction", 0.25);
 //!         stochcdr_obs::event("cycle.done", &[("cycle", i.into())]);
 //!     }
 //! }
 //! let report = stochcdr_obs::uninstall().unwrap().finish().unwrap();
 //! assert!(report.contains("sweeps"));
+//! assert!(report.contains("residual_reduction"));
 //! ```
 //!
 //! Call sites that would need to build owned data (e.g. `format!`ed
@@ -29,21 +31,33 @@
 //! built with `&[("k", v.into())]` are allocation-free and need no
 //! gate.
 //!
-//! The recorder keeps one global span stack: it assumes instrumented
-//! regions run on one thread at a time (true for the single-threaded
-//! solvers here). Concurrent spans from multiple threads are recorded
-//! safely but may interleave their paths.
+//! # Hierarchical, thread-aware spans
+//!
+//! Every thread keeps its own span stack, so concurrent spans from
+//! parallel workers never interleave their paths. Each span carries a
+//! process-unique id, its parent's id, and the emitting thread's lane
+//! id ([`thread_id`]); worker code can attribute its spans to a span on
+//! *another* thread with [`span_child_of`] + [`current_span_id`], which
+//! is how `linalg::par` links pool-worker lanes to the caller's scope.
+//! The [`ChromeTraceSink`] turns the begin/end stream into a Chrome
+//! Trace Event file viewable in Perfetto or `chrome://tracing`.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
+pub mod hist;
 pub mod json;
 mod record;
 mod sink;
+mod trace;
 
+pub use hist::LogHist;
 pub use record::{Record, Value};
-pub use sink::{JsonLinesSink, NullSink, Sink, SummarySink, SCHEMA_VERSION};
+pub use sink::{JsonLinesSink, MultiSink, NullSink, Sink, SummarySink, SCHEMA_VERSION};
+pub use trace::ChromeTraceSink;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -52,14 +66,43 @@ static ENABLED: AtomicBool = AtomicBool::new(false);
 
 static STATE: Mutex<Option<Recorder>> = Mutex::new(None);
 
+/// Monotone install counter; also readable without the state lock so
+/// thread-local stacks can detect entries from torn-down sessions.
+static SESSION_COUNTER: AtomicU64 = AtomicU64::new(1);
+static CURRENT_SESSION: AtomicU64 = AtomicU64::new(0);
+
+/// Process-unique span ids (0 is reserved for "no span").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Lane ids handed to threads on first use (0 is usually the main
+/// thread — whichever thread touches the recorder first).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
 struct Recorder {
     sink: Box<dyn Sink>,
-    /// Names of currently-open spans, outermost first.
-    stack: Vec<&'static str>,
     epoch: Instant,
-    /// Incremented on every install; guards against span guards that
-    /// outlive the sink they were opened under.
     session: u64,
+}
+
+#[derive(Clone, Copy)]
+struct StackEntry {
+    name: &'static str,
+    id: u64,
+    session: u64,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    /// Lane id assigned from [`NEXT_THREAD_ID`] on first use.
+    tid: Option<u64>,
+    /// Explicit lane override (worker pools pin stable lane numbers).
+    lane: Option<u64>,
+    /// Open spans on this thread, outermost first.
+    stack: Vec<StackEntry>,
+}
+
+thread_local! {
+    static THREAD: RefCell<ThreadState> = RefCell::new(ThreadState::default());
 }
 
 /// Installs `sink` as the global record consumer, enabling
@@ -72,9 +115,9 @@ pub fn install(sink: Box<dyn Sink>) -> Option<Box<dyn Sink>> {
         r.sink
     });
     let session = SESSION_COUNTER.fetch_add(1, Ordering::Relaxed);
+    CURRENT_SESSION.store(session, Ordering::Relaxed);
     *guard = Some(Recorder {
         sink,
-        stack: Vec::with_capacity(8),
         epoch: Instant::now(),
         session,
     });
@@ -82,13 +125,12 @@ pub fn install(sink: Box<dyn Sink>) -> Option<Box<dyn Sink>> {
     prev
 }
 
-static SESSION_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
-
 /// Uninstalls the current sink (calling its [`Sink::finish`]) and
 /// disables instrumentation. Returns the sink for inspection.
 pub fn uninstall() -> Option<Box<dyn Sink>> {
     let mut guard = STATE.lock().unwrap();
     ENABLED.store(false, Ordering::Release);
+    CURRENT_SESSION.store(0, Ordering::Relaxed);
     guard.take().map(|mut r| {
         r.sink.finish();
         r.sink
@@ -102,77 +144,207 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// This thread's lane id: the explicit [`lane`] override if one is
+/// active, else a stable id assigned on first use (0 for the first
+/// thread that asks — normally `main`).
+pub fn thread_id() -> u64 {
+    THREAD.with(|t| {
+        let mut t = t.borrow_mut();
+        if let Some(lane) = t.lane {
+            return lane;
+        }
+        *t.tid
+            .get_or_insert_with(|| NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed))
+    })
+}
+
+/// Restores the previous lane override when dropped.
+#[derive(Debug)]
+pub struct LaneGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        THREAD.with(|t| t.borrow_mut().lane = self.prev);
+    }
+}
+
+/// Pins this thread's lane id for the guard's lifetime.
+///
+/// Worker pools use this to give scoped threads *stable* trace lanes
+/// (worker k → lane k+1) instead of a fresh id per spawn, which would
+/// scatter a long run over thousands of one-shot lanes.
+pub fn lane(lane: u64) -> LaneGuard {
+    THREAD.with(|t| {
+        let mut t = t.borrow_mut();
+        let prev = t.lane.replace(lane);
+        LaneGuard { prev }
+    })
+}
+
+/// Whether an explicit lane override is active on this thread.
+pub fn has_lane() -> bool {
+    THREAD.with(|t| t.borrow().lane.is_some())
+}
+
+/// Id of this thread's innermost open span (0 when none). Capture this
+/// before handing work to another thread, then open the worker's spans
+/// with [`span_child_of`] to keep the cross-thread parent linkage.
+pub fn current_span_id() -> u64 {
+    let session = CURRENT_SESSION.load(Ordering::Relaxed);
+    if session == 0 {
+        return 0;
+    }
+    THREAD.with(|t| {
+        t.borrow()
+            .stack
+            .last()
+            .filter(|e| e.session == session)
+            .map_or(0, |e| e.id)
+    })
+}
+
 /// An open span; records its wall-clock duration when dropped.
 ///
-/// Created by [`span`]. Inactive guards (instrumentation disabled at
-/// entry) are inert.
+/// Created by [`span`] / [`span_child_of`]. Inactive guards
+/// (instrumentation disabled at entry) are inert.
 #[must_use = "a span measures the scope it is bound to; bind it to a variable"]
 #[derive(Debug)]
 pub struct SpanGuard {
-    /// Depth of this span in the stack at open time (1-based); 0 marks
-    /// an inactive guard.
-    depth: usize,
+    /// 0 marks an inactive guard.
+    id: u64,
+    parent: u64,
+    tid: u64,
     session: u64,
     start: Instant,
 }
 
-/// Opens a named span. The returned guard records a
-/// [`Record::Span`] with the `/`-joined path of all open span names
-/// when it is dropped.
+/// Opens a named span nested under this thread's innermost open span.
+///
+/// The returned guard records a [`Record::Span`] with the `/`-joined
+/// path of this thread's open span names when it is dropped, plus the
+/// span's id, parent id, and lane id for trace reconstruction.
 #[inline]
 pub fn span(name: &'static str) -> SpanGuard {
     if !enabled() {
-        // Inactive guard: the clock read is a cheap vDSO call and the
-        // guard performs no work on drop. No allocation either way.
-        return SpanGuard {
-            depth: 0,
-            session: 0,
-            start: Instant::now(),
-        };
+        return SpanGuard::inert();
     }
+    open_span(name, None)
+}
+
+/// Opens a named span whose parent is an explicit span id — usually one
+/// captured on *another* thread with [`current_span_id`].
+///
+/// The span's path is still rooted on the opening thread (pool workers
+/// appear as their own lanes), but the id linkage records which scope
+/// spawned the work.
+#[inline]
+pub fn span_child_of(name: &'static str, parent: u64) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert();
+    }
+    open_span(name, Some(parent))
+}
+
+fn open_span(name: &'static str, parent: Option<u64>) -> SpanGuard {
     let mut guard = STATE.lock().unwrap();
-    match guard.as_mut() {
-        Some(rec) => {
-            rec.stack.push(name);
-            SpanGuard {
-                depth: rec.stack.len(),
-                session: rec.session,
-                start: Instant::now(),
-            }
-        }
-        None => SpanGuard {
-            depth: 0,
+    let Some(rec) = guard.as_mut() else {
+        return SpanGuard::inert();
+    };
+    let session = rec.session;
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let (parent, tid, depth) = THREAD.with(|t| {
+        let mut t = t.borrow_mut();
+        // Entries from torn-down sessions are dead weight: their guards
+        // will unwind by id (or never), so drop them before nesting.
+        t.stack.retain(|e| e.session == session);
+        let parent = parent.or_else(|| t.stack.last().map(|e| e.id)).unwrap_or(0);
+        t.stack.push(StackEntry { name, id, session });
+        let depth = t.stack.len();
+        let tid = if let Some(lane) = t.lane {
+            lane
+        } else {
+            *t.tid
+                .get_or_insert_with(|| NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed))
+        };
+        (parent, tid, depth)
+    });
+    let at = rec.epoch.elapsed().as_nanos() as u64;
+    rec.sink.record(
+        at,
+        &Record::SpanBegin {
+            name,
+            id,
+            parent,
+            tid,
+            depth,
+        },
+    );
+    SpanGuard {
+        id,
+        parent,
+        tid,
+        session,
+        start: Instant::now(),
+    }
+}
+
+impl SpanGuard {
+    fn inert() -> SpanGuard {
+        // The clock read is a cheap vDSO call and the guard performs no
+        // work on drop. No allocation either way.
+        SpanGuard {
+            id: 0,
+            parent: 0,
+            tid: 0,
             session: 0,
             start: Instant::now(),
-        },
+        }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if self.depth == 0 || !enabled() {
+        if self.id == 0 {
             return;
         }
         let nanos = self.start.elapsed().as_nanos() as u64;
-        let mut guard = STATE.lock().unwrap();
-        let Some(rec) = guard.as_mut() else { return };
-        if rec.session != self.session || rec.stack.len() < self.depth {
-            // The sink changed, or the stack was already unwound past
-            // us (out-of-order drop); nothing sensible to record.
+        // Unwind this thread's stack to (and including) our entry even if
+        // the session already ended — a leaked entry would corrupt later
+        // paths. Spans opened after us that leaked (mem::forget) unwind
+        // with us, unrecorded.
+        let popped = THREAD.with(|t| {
+            let mut t = t.borrow_mut();
+            let idx = t.stack.iter().rposition(|e| e.id == self.id)?;
+            let path_names: Vec<&'static str> = t.stack[..=idx].iter().map(|e| e.name).collect();
+            t.stack.truncate(idx);
+            Some(path_names)
+        });
+        let Some(path_names) = popped else { return };
+        if !enabled() {
             return;
         }
-        // Drop any spans opened after us that leaked (e.g. via
-        // std::mem::forget), then pop ourselves.
-        rec.stack.truncate(self.depth);
-        let path = rec.stack.join("/");
-        rec.stack.pop();
+        let mut guard = STATE.lock().unwrap();
+        let Some(rec) = guard.as_mut() else { return };
+        if rec.session != self.session {
+            // The sink changed under us; nothing sensible to record.
+            return;
+        }
+        let depth = path_names.len();
+        let name = path_names.last().copied().unwrap_or("");
+        let path = path_names.join("/");
         let at = rec.epoch.elapsed().as_nanos() as u64;
         rec.sink.record(
             at,
             &Record::Span {
                 path: &path,
+                name,
+                id: self.id,
+                parent: self.parent,
+                tid: self.tid,
                 nanos,
-                depth: self.depth,
+                depth,
             },
         );
     }
@@ -194,6 +366,20 @@ pub fn gauge(name: &str, value: f64) {
         return;
     }
     with_recorder(|rec, at| rec.sink.record(at, &Record::Gauge { name, value }));
+}
+
+/// Records one observation into a log-binned histogram.
+///
+/// Use this instead of [`gauge`] for hot repeated measurements (per-cycle
+/// residual-reduction factors, SpMV latency, shard throughput): sinks
+/// aggregate the observations into a [`LogHist`] and report
+/// count/p50/p95/max instead of a lossy last-write-wins value.
+#[inline]
+pub fn histogram(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_recorder(|rec, at| rec.sink.record(at, &Record::Histogram { name, value }));
 }
 
 /// Records a structured event. Build numeric fields on the stack:

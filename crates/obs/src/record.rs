@@ -76,11 +76,35 @@ impl From<String> for Value {
 /// One instrumentation record, borrowed from the emitting site.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Record<'a> {
+    /// A span just opened. Streaming sinks that need both edges (the
+    /// Chrome trace exporter) consume this; aggregating sinks ignore it
+    /// and wait for the matching [`Record::Span`].
+    SpanBegin {
+        /// Span name (the leaf, not the full path).
+        name: &'a str,
+        /// Process-unique span id.
+        id: u64,
+        /// Id of the enclosing span (0 = root). May live on another
+        /// thread when the span was opened with an explicit parent.
+        parent: u64,
+        /// Lane/thread id of the opening thread.
+        tid: u64,
+        /// Nesting depth on the opening thread (1 = top level).
+        depth: usize,
+    },
     /// A completed span: `path` is the `/`-joined name stack
     /// (e.g. `multigrid.solve/multigrid.cycle`).
     Span {
-        /// Full span path, outermost first.
+        /// Full span path on the owning thread, outermost first.
         path: &'a str,
+        /// Span name (the leaf of `path`).
+        name: &'a str,
+        /// Process-unique span id (matches the [`Record::SpanBegin`]).
+        id: u64,
+        /// Id of the enclosing span (0 = root).
+        parent: u64,
+        /// Lane/thread id of the owning thread.
+        tid: u64,
         /// Wall-clock duration in nanoseconds.
         nanos: u64,
         /// Nesting depth (1 = top level).
@@ -107,16 +131,27 @@ pub enum Record<'a> {
         /// Field key/value pairs.
         fields: &'a [(&'a str, Value)],
     },
+    /// One observation for a log-binned histogram (see
+    /// [`crate::hist::LogHist`]). Sinks aggregate; the emitting site
+    /// ships only the raw value, so hot loops stay allocation-free.
+    Histogram {
+        /// Histogram name.
+        name: &'a str,
+        /// Observed value.
+        value: f64,
+    },
 }
 
 impl Record<'_> {
-    /// The record's name (span path, counter/gauge/event name).
+    /// The record's name (span path, counter/gauge/event/histogram name).
     pub fn name(&self) -> &str {
         match self {
             Record::Span { path, .. } => path,
-            Record::Counter { name, .. }
+            Record::SpanBegin { name, .. }
+            | Record::Counter { name, .. }
             | Record::Gauge { name, .. }
-            | Record::Event { name, .. } => name,
+            | Record::Event { name, .. }
+            | Record::Histogram { name, .. } => name,
         }
     }
 }

@@ -1,6 +1,7 @@
-//! Record consumers: the [`Sink`] trait and the three built-ins —
+//! Record consumers: the [`Sink`] trait and the built-ins —
 //! [`NullSink`] (discard), [`SummarySink`] (aggregated human-readable
-//! table), and [`JsonLinesSink`] (one JSON object per record).
+//! table), [`JsonLinesSink`] (one JSON object per record), and
+//! [`MultiSink`] (fan-out to several sinks, e.g. metrics + trace).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -9,12 +10,16 @@ use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+use crate::hist::LogHist;
 use crate::json;
 use crate::record::{Record, Value};
 
 /// Version tag written to the first line of every JSONL stream and
 /// recorded in docs; bump on breaking schema changes.
-pub const SCHEMA_VERSION: &str = "stochcdr-obs/1";
+///
+/// `/2` extends `/1` with span identity (`name`/`id`/`parent`/`tid` on
+/// span lines) and aggregated `hist` lines flushed at finish.
+pub const SCHEMA_VERSION: &str = "stochcdr-obs/2";
 
 /// A consumer of instrumentation records.
 ///
@@ -26,7 +31,8 @@ pub trait Sink: Send {
     fn record(&mut self, at_nanos: u64, record: &Record<'_>);
 
     /// Called once when the sink is uninstalled. Streaming sinks flush
-    /// here; aggregating sinks may return a rendered report.
+    /// here; aggregating sinks may return a rendered report. Must be
+    /// idempotent — the facade and callers may both invoke it.
     fn finish(&mut self) -> Option<String> {
         None
     }
@@ -40,6 +46,46 @@ pub struct NullSink;
 
 impl Sink for NullSink {
     fn record(&mut self, _at_nanos: u64, _record: &Record<'_>) {}
+}
+
+/// Fans every record out to each inner sink in order. `finish` returns
+/// the first rendered report any inner sink produces.
+pub struct MultiSink {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl std::fmt::Debug for MultiSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl MultiSink {
+    /// Wraps `sinks`; records are delivered in the given order.
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn record(&mut self, at_nanos: u64, record: &Record<'_>) {
+        for s in &mut self.sinks {
+            s.record(at_nanos, record);
+        }
+    }
+
+    fn finish(&mut self) -> Option<String> {
+        let mut report = None;
+        for s in &mut self.sinks {
+            let r = s.finish();
+            if report.is_none() {
+                report = r;
+            }
+        }
+        report
+    }
 }
 
 #[derive(Debug, Default, Clone)]
@@ -66,6 +112,7 @@ pub struct SummarySink {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, GaugeAgg>,
     events: BTreeMap<String, u64>,
+    hists: BTreeMap<String, LogHist>,
     last_event_fields: BTreeMap<String, String>,
     end_ns: u64,
 }
@@ -122,6 +169,20 @@ impl SummarySink {
                 );
             }
         }
+        if !self.hists.is_empty() {
+            out.push_str("\nhistograms (name, count, p50, p95, max):\n");
+            for (name, h) in &self.hists {
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {:>8}  {:>10}  {:>10}  {}",
+                    name,
+                    h.count(),
+                    fmt_hist_value(name, h.quantile(0.5)),
+                    fmt_hist_value(name, h.quantile(0.95)),
+                    fmt_hist_value(name, h.max()),
+                );
+            }
+        }
         if !self.events.is_empty() {
             out.push_str("\nevents (count, last fields):\n");
             for (name, count) in &self.events {
@@ -149,6 +210,17 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Histogram cells: names marked with a `_ns` / `.ns` component hold
+/// nanoseconds (e.g. `multigrid.smooth.ns.level0`) and render with time
+/// units; everything else renders in scientific form.
+fn fmt_hist_value(name: &str, v: f64) -> String {
+    if name.ends_with("_ns") || name.ends_with(".ns") || name.contains(".ns.") {
+        fmt_ns(v)
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
 fn fmt_value(v: &Value) -> String {
     match v {
         Value::U64(x) => x.to_string(),
@@ -163,6 +235,9 @@ impl Sink for SummarySink {
     fn record(&mut self, at_nanos: u64, record: &Record<'_>) {
         self.end_ns = self.end_ns.max(at_nanos);
         match record {
+            // Aggregation keys on completed spans; the begin edge only
+            // matters to streaming trace sinks.
+            Record::SpanBegin { .. } => {}
             Record::Span { path, nanos, .. } => {
                 let agg = self.spans.entry((*path).to_string()).or_default();
                 if agg.count == 0 {
@@ -190,6 +265,12 @@ impl Sink for SummarySink {
                 agg.count += 1;
                 agg.last = *value;
             }
+            Record::Histogram { name, value } => {
+                self.hists
+                    .entry((*name).to_string())
+                    .or_default()
+                    .observe(*value);
+            }
             Record::Event { name, fields } => {
                 *self.events.entry((*name).to_string()).or_default() += 1;
                 let mut rendered = String::new();
@@ -212,12 +293,19 @@ impl Sink for SummarySink {
 /// Streams each record as one JSON object per line.
 ///
 /// The first line is a meta record carrying [`SCHEMA_VERSION`]:
-/// `{"kind":"meta","schema":"stochcdr-obs/1"}`. Subsequent lines have
+/// `{"kind":"meta","schema":"stochcdr-obs/2"}`. Subsequent lines have
 /// `kind` of `span`, `counter`, `gauge`, or `event`, a `t` field
-/// (nanoseconds since install), and kind-specific fields.
+/// (nanoseconds since install), and kind-specific fields. Histogram
+/// observations are aggregated in memory and flushed as `hist` lines
+/// (count/other/sum/min/max/p50/p95 plus sparse `bins`) when the sink
+/// finishes. `SpanBegin` edges are not streamed — the completed `span`
+/// line carries the full identity (`name`, `id`, `parent`, `tid`).
 pub struct JsonLinesSink {
     w: Box<dyn Write + Send>,
     line: String,
+    hists: BTreeMap<String, LogHist>,
+    end_ns: u64,
+    flushed: bool,
 }
 
 impl std::fmt::Debug for JsonLinesSink {
@@ -233,6 +321,9 @@ impl JsonLinesSink {
         JsonLinesSink {
             w,
             line: String::with_capacity(256),
+            hists: BTreeMap::new(),
+            end_ns: 0,
+            flushed: false,
         }
     }
 
@@ -282,13 +373,36 @@ impl Write for SharedBuffer {
 
 impl Sink for JsonLinesSink {
     fn record(&mut self, at_nanos: u64, record: &Record<'_>) {
+        self.end_ns = self.end_ns.max(at_nanos);
         let line = &mut self.line;
         line.clear();
         match record {
-            Record::Span { path, nanos, depth } => {
+            Record::SpanBegin { .. } => return,
+            Record::Histogram { name, value } => {
+                self.hists
+                    .entry((*name).to_string())
+                    .or_default()
+                    .observe(*value);
+                return;
+            }
+            Record::Span {
+                path,
+                name,
+                id,
+                parent,
+                tid,
+                nanos,
+                depth,
+            } => {
                 line.push_str("{\"kind\":\"span\",\"path\":");
                 json::escape_into(line, path);
-                let _ = write!(line, ",\"nanos\":{nanos},\"depth\":{depth}");
+                line.push_str(",\"name\":");
+                json::escape_into(line, name);
+                let _ = write!(
+                    line,
+                    ",\"id\":{id},\"parent\":{parent},\"tid\":{tid},\
+                     \"nanos\":{nanos},\"depth\":{depth}"
+                );
             }
             Record::Counter { name, delta } => {
                 line.push_str("{\"kind\":\"counter\",\"name\":");
@@ -321,6 +435,34 @@ impl Sink for JsonLinesSink {
     }
 
     fn finish(&mut self) -> Option<String> {
+        if !self.flushed {
+            self.flushed = true;
+            for (name, h) in &self.hists {
+                let mut line = String::with_capacity(256);
+                line.push_str("{\"kind\":\"hist\",\"name\":");
+                json::escape_into(&mut line, name);
+                let _ = write!(line, ",\"count\":{},\"other\":{}", h.count(), h.other());
+                line.push_str(",\"sum\":");
+                json::write_f64(&mut line, h.sum());
+                line.push_str(",\"min\":");
+                json::write_f64(&mut line, h.min());
+                line.push_str(",\"max\":");
+                json::write_f64(&mut line, h.max());
+                line.push_str(",\"p50\":");
+                json::write_f64(&mut line, h.quantile(0.5));
+                line.push_str(",\"p95\":");
+                json::write_f64(&mut line, h.quantile(0.95));
+                line.push_str(",\"bins\":[");
+                for (i, (k, c)) in h.bins().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    let _ = write!(line, "[{k},{c}]");
+                }
+                let _ = write!(line, "],\"t\":{}}}", self.end_ns);
+                let _ = writeln!(self.w, "{}", line);
+            }
+        }
         let _ = self.w.flush();
         None
     }
@@ -331,33 +473,24 @@ mod tests {
     use super::*;
     use crate::json::Json;
 
+    fn span<'a>(path: &'a str, name: &'a str, nanos: u64, depth: usize) -> Record<'a> {
+        Record::Span {
+            path,
+            name,
+            id: depth as u64,
+            parent: 0,
+            tid: 0,
+            nanos,
+            depth,
+        }
+    }
+
     #[test]
     fn summary_aggregates_and_renders() {
         let mut s = SummarySink::new();
-        s.record(
-            10,
-            &Record::Span {
-                path: "solve",
-                nanos: 100,
-                depth: 1,
-            },
-        );
-        s.record(
-            20,
-            &Record::Span {
-                path: "solve/cycle",
-                nanos: 40,
-                depth: 2,
-            },
-        );
-        s.record(
-            30,
-            &Record::Span {
-                path: "solve/cycle",
-                nanos: 60,
-                depth: 2,
-            },
-        );
+        s.record(10, &span("solve", "solve", 100, 1));
+        s.record(20, &span("solve/cycle", "cycle", 40, 2));
+        s.record(30, &span("solve/cycle", "cycle", 60, 2));
         s.record(
             40,
             &Record::Counter {
@@ -379,6 +512,15 @@ mod tests {
                 value: 1e-9,
             },
         );
+        for v in [100.0, 200.0, 400.0] {
+            s.record(
+                65,
+                &Record::Histogram {
+                    name: "smooth_ns",
+                    value: v,
+                },
+            );
+        }
         s.record(
             70,
             &Record::Event {
@@ -391,22 +533,18 @@ mod tests {
         assert!(text.contains("sweeps"), "{text}");
         assert!(text.contains('5'), "{text}");
         assert!(text.contains("cycle.done"), "{text}");
+        assert!(text.contains("histograms"), "{text}");
+        assert!(text.contains("smooth_ns"), "{text}");
         assert_eq!(s.spans["solve/cycle"].count, 2);
         assert_eq!(s.spans["solve/cycle"].total_ns, 100);
         assert_eq!(s.counters["sweeps"], 5);
+        assert_eq!(s.hists["smooth_ns"].count(), 3);
     }
 
     #[test]
     fn jsonl_lines_are_valid_json() {
         let (mut sink, buf) = JsonLinesSink::to_shared_buffer();
-        sink.record(
-            5,
-            &Record::Span {
-                path: "a/b",
-                nanos: 17,
-                depth: 2,
-            },
-        );
+        sink.record(5, &span("a/b", "b", 17, 2));
         sink.record(
             6,
             &Record::Gauge {
@@ -421,11 +559,18 @@ mod tests {
                 fields: &[("k", Value::Str("v\n".into())), ("n", Value::I64(-3))],
             },
         );
+        sink.record(
+            8,
+            &Record::Histogram {
+                name: "h",
+                value: 2.0,
+            },
+        );
         sink.finish();
         let bytes = buf.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
+        assert_eq!(lines.len(), 5);
         let meta = Json::parse(lines[0]).unwrap();
         assert_eq!(
             meta.get("schema").and_then(Json::as_str),
@@ -433,6 +578,8 @@ mod tests {
         );
         let span = Json::parse(lines[1]).unwrap();
         assert_eq!(span.get("nanos").and_then(Json::as_f64), Some(17.0));
+        assert_eq!(span.get("name").and_then(Json::as_str), Some("b"));
+        assert_eq!(span.get("tid").and_then(Json::as_f64), Some(0.0));
         let gauge = Json::parse(lines[2]).unwrap();
         assert_eq!(gauge.get("value"), Some(&Json::Null));
         let event = Json::parse(lines[3]).unwrap();
@@ -440,5 +587,10 @@ mod tests {
         let fields = event.get("fields").unwrap();
         assert_eq!(fields.get("k").and_then(Json::as_str), Some("v\n"));
         assert_eq!(fields.get("n").and_then(Json::as_f64), Some(-3.0));
+        // Histograms flush at finish, after every streamed record.
+        let hist = Json::parse(lines[4]).unwrap();
+        assert_eq!(hist.get("kind").and_then(Json::as_str), Some("hist"));
+        assert_eq!(hist.get("count").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(hist.get("max").and_then(Json::as_f64), Some(2.0));
     }
 }

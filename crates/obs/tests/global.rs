@@ -31,7 +31,9 @@ impl Sink for CaptureSink {
     fn record(&mut self, at_nanos: u64, record: &Record<'_>) {
         let mut cap = self.0.lock().unwrap();
         match record {
-            Record::Span { path, nanos, depth } => {
+            Record::Span {
+                path, nanos, depth, ..
+            } => {
                 cap.spans
                     .push((at_nanos, (*path).to_string(), *nanos, *depth));
             }

@@ -66,6 +66,7 @@ fn disabled_instrumentation_does_not_allocate() {
     let _g = obs::span("warmup");
     obs::counter("warmup", 1);
     obs::gauge("warmup", 0.0);
+    obs::histogram("warmup", 1.0);
     obs::event("warmup", &[("k", 1u64.into())]);
 
     let residual = 3.5e-13_f64;
@@ -76,6 +77,7 @@ fn disabled_instrumentation_does_not_allocate() {
                 let _inner = obs::span("cycle");
                 obs::counter("multigrid.smooth_sweeps", 3);
                 obs::gauge("residual", residual);
+                obs::histogram("multigrid.residual_reduction", residual);
                 obs::event(
                     "multigrid.cycle",
                     &[("cycle", i.into()), ("residual", residual.into())],
@@ -135,6 +137,7 @@ fn disabled_obs_adds_no_allocations_to_a_hot_loop() {
                 let res = sweep(&mut x, &mut y);
                 acc += res;
                 obs::counter("sweeps", 1);
+                obs::histogram("sweep.residual", res);
                 obs::event(
                     "cycle",
                     &[("cycle", cycle.into()), ("residual", res.into())],

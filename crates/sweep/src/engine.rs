@@ -231,6 +231,8 @@ where
     );
 
     obs::counter("sweep.points", 1);
+    obs::histogram("sweep.point.form_ns", form_secs * 1e9);
+    obs::histogram("sweep.point.solve_ns", solve_time.as_nanos() as f64);
     if obs::enabled() {
         obs::event(
             "sweep.point",

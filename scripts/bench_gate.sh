@@ -1,17 +1,19 @@
 #!/usr/bin/env sh
 # Benchmark regression gate: takes a fresh bench_snapshot and compares it
-# against the committed baseline (results/BENCH_AFTER_PR2.json by default,
-# override with $1). Deterministic metrics — states, nnz, solver cycles,
+# against the committed baseline (results/BENCH_AFTER_PR4_T4.json by
+# default, override with $1). Deterministic metrics — states, nnz, solver cycles,
 # residual, BER, Monte-Carlo results — must be bit-identical; wall-clock
 # numbers are advisory (the gate prints fresh/baseline ratios but never
-# fails on them).
+# fails on them). A second stage runs the same analyze twice with
+# --metrics and feeds both artifacts to metrics_diff, gating on the
+# instrumentation's own determinism contract.
 #
 # The worker pool is pinned to the baseline's recorded thread count so the
 # advisory timing ratios are as comparable as an unpinned runner allows.
 set -eu
 
 cd "$(dirname "$0")/.."
-baseline="${1:-results/BENCH_AFTER_PR2.json}"
+baseline="${1:-results/BENCH_AFTER_PR4_T4.json}"
 fresh="target/BENCH_GATE_FRESH.json"
 
 # Pull the thread count and grid refinement the baseline was recorded at
@@ -25,6 +27,17 @@ refinement=$(sed -n 's/^ *"refinement": *\([0-9][0-9]*\),*$/\1/p' "$baseline")
 refinement="${refinement:-16}"
 echo "bench gate: pinning STOCHCDR_THREADS=$threads, refinement $refinement (baseline's config)"
 
-cargo build --release --offline -p stochcdr-bench
+cargo build --release --offline -p stochcdr-bench -p stochcdr-cli
 STOCHCDR_THREADS="$threads" ./target/release/bench_snapshot --out "$fresh" --refinement "$refinement"
 ./target/release/bench_gate "$baseline" "$fresh"
+
+# Determinism gate on the instrumentation itself: two analyze runs with
+# the same configuration and pinned thread count must produce metrics
+# artifacts whose counters, events, span counts, and histogram
+# observation counts are identical (timing payloads are advisory).
+echo "bench gate: metrics_diff determinism check (2 identical analyze runs)"
+./target/release/stochcdr analyze --refinement "$refinement" --threads "$threads" \
+    --metrics target/BENCH_GATE_METRICS_A.jsonl --metrics-format jsonl >/dev/null
+./target/release/stochcdr analyze --refinement "$refinement" --threads "$threads" \
+    --metrics target/BENCH_GATE_METRICS_B.jsonl --metrics-format jsonl >/dev/null
+./target/release/metrics_diff target/BENCH_GATE_METRICS_A.jsonl target/BENCH_GATE_METRICS_B.jsonl

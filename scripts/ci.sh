@@ -6,7 +6,9 @@
 #
 # The test suite runs twice, pinned to 1 and 4 worker threads, so the
 # determinism contract of the parallel kernels (bit-identical results for
-# every pool size) is exercised on every CI pass.
+# every pool size) is exercised on every CI pass. A final trace smoke
+# (scripts/trace_smoke.sh) captures and validates one instrumented run's
+# --trace and --metrics artifacts.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,3 +17,4 @@ cargo build --release --offline
 STOCHCDR_THREADS=1 cargo test -q --offline
 STOCHCDR_THREADS=4 cargo test -q --offline
 cargo clippy --offline --all-targets -- -D warnings
+./scripts/trace_smoke.sh
