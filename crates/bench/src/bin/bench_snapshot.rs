@@ -20,6 +20,7 @@ use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
 use stochcdr_linalg::par;
 use stochcdr_markov::StochasticMatrix;
 use stochcdr_obs as obs;
+use stochcdr_sweep::{run, SweepAxis, SweepSpec};
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -90,6 +91,64 @@ fn main() {
     assert_eq!(y1, yn, "N-thread SpMV must be bit-identical to 1-thread");
     let spmv_speedup = spmv_1t_secs / spmv_nt_secs;
 
+    // Large-operator SpMV probe. The reference chain above sits *below*
+    // the `linalg::par` nnz gate, so its "speedup" only measures that the
+    // gate keeps the kernel serial. This refinement-64 chain (>500k
+    // nonzeros) clears the gate: the 1-thread run is the forced-serial
+    // (gated) timing and the N-thread run exercises the actual parallel
+    // kernel, so the pair records both sides of the dispatch.
+    let large_config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(64)
+        .counter_len(8)
+        .white_sigma_ui(FIG5_SIGMA)
+        .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
+        .build()
+        .expect("large config");
+    let large = CdrModel::new(large_config)
+        .build_chain()
+        .expect("large chain");
+    let ln = large.state_count();
+    let lx = vec![1.0 / ln as f64; ln];
+    let mut ly1 = vec![0.0; ln];
+    let mut lyn = vec![0.0; ln];
+    par::set_threads(Some(1));
+    let spmv_large_1t_secs = time_spmv(large.tpm(), &lx, &mut ly1);
+    par::set_threads(Some(threads));
+    let spmv_large_nt_secs = time_spmv(large.tpm(), &lx, &mut lyn);
+    assert_eq!(ly1, lyn, "N-thread SpMV must be bit-identical to 1-thread");
+    let spmv_large_speedup = spmv_large_1t_secs / spmv_large_nt_secs;
+
+    // Tiny drift-ppm sweep: exercises the sweep engine's factor cache so
+    // the snapshot records how the multigrid hierarchy ("mg.level") and
+    // the symbolic lumping plans ("mg.plan") are reused across points.
+    // The counts are deterministic (totals do not depend on scheduling),
+    // so they gate exactly.
+    let sweep_config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(8)
+        .counter_len(8)
+        .white_sigma_ui(FIG5_SIGMA)
+        .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
+        .build()
+        .expect("sweep config");
+    let ppm = vec![2000.0, 2040.0, 2080.0, 2120.0];
+    let sweep_drift_points = ppm.len();
+    let sweep_spec = SweepSpec::new(sweep_config)
+        .axis(SweepAxis::DriftPpm(ppm))
+        .solver(SolverChoice::Multigrid)
+        .tol(1e-10);
+    let sweep = run(&sweep_spec).expect("drift sweep");
+    let cache_kind = |kind: &str| {
+        sweep
+            .cache
+            .by_kind
+            .get(kind)
+            .map_or((0, 0), |s| (s.hits, s.misses))
+    };
+    let (mg_level_hits, mg_level_misses) = cache_kind("mg.level");
+    let (mg_plan_hits, mg_plan_misses) = cache_kind("mg.plan");
+
     let summary = obs::uninstall()
         .and_then(|mut s| s.finish())
         .unwrap_or_default();
@@ -115,6 +174,34 @@ fn main() {
     let _ = writeln!(json, "  \"spmv_1t_secs\": {spmv_1t_secs:e},");
     let _ = writeln!(json, "  \"spmv_nt_secs\": {spmv_nt_secs:e},");
     let _ = writeln!(json, "  \"spmv_speedup\": {spmv_speedup:.3},");
+    let _ = writeln!(json, "  \"spmv_large_states\": {ln},");
+    let _ = writeln!(json, "  \"spmv_large_nnz\": {},", large.nnz());
+    let _ = writeln!(json, "  \"spmv_large_1t_secs\": {spmv_large_1t_secs:e},");
+    let _ = writeln!(json, "  \"spmv_large_nt_secs\": {spmv_large_nt_secs:e},");
+    let _ = writeln!(json, "  \"spmv_large_speedup\": {spmv_large_speedup:.3},");
+    let phases = analysis.mg_phases.unwrap_or_default();
+    let _ = writeln!(json, "  \"solve_setup_secs\": {:e},", phases.setup_secs);
+    let _ = writeln!(
+        json,
+        "  \"solve_aggregate_secs\": {:e},",
+        phases.aggregate_secs
+    );
+    let _ = writeln!(json, "  \"solve_smooth_secs\": {:e},", phases.smooth_secs);
+    let _ = writeln!(
+        json,
+        "  \"solve_coarse_secs\": {:e},",
+        phases.coarse_solve_secs
+    );
+    let _ = writeln!(
+        json,
+        "  \"solve_disaggregate_secs\": {:e},",
+        phases.disaggregate_secs
+    );
+    let _ = writeln!(json, "  \"sweep_drift_points\": {sweep_drift_points},");
+    let _ = writeln!(json, "  \"sweep_mg_level_hits\": {mg_level_hits},");
+    let _ = writeln!(json, "  \"sweep_mg_level_misses\": {mg_level_misses},");
+    let _ = writeln!(json, "  \"sweep_mg_plan_hits\": {mg_plan_hits},");
+    let _ = writeln!(json, "  \"sweep_mg_plan_misses\": {mg_plan_misses},");
     json.push_str("  \"obs_summary\": ");
     {
         // Reuse the obs JSON escaper so the embedded table is valid JSON.
@@ -130,7 +217,7 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!(
         "wrote {out_path}: {} states, {} cycles, BER {:.3e}, solve {:.3}s, \
-         spmv x{spmv_speedup:.2} at {threads} threads",
+         spmv x{spmv_speedup:.2} (large x{spmv_large_speedup:.2}) at {threads} threads",
         chain.state_count(),
         analysis.iterations,
         analysis.ber,

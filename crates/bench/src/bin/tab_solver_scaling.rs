@@ -66,6 +66,7 @@ fn bench_solvers(
                 analysis.iterations,
                 analysis.residual,
                 ctx.solve_secs,
+                analysis.mg_phases.as_ref(),
             ),
             chain.state_count(),
             chain.nnz(),

@@ -28,6 +28,18 @@ fn is_timing(token: &str) -> bool {
         .is_some_and(|num| !num.is_empty() && num.parse::<f64>().is_ok())
 }
 
+/// True when the token is a phase-share percentage: a bare number with a
+/// `%` suffix (`41.3%`), as printed by the `agg`/`smooth`/`coarse`
+/// columns of `report::solver_row`. Shares are ratios of wall-clock
+/// timings, so they are machine-dependent and masked like the timings
+/// themselves. Parenthesized percentages in prose (`(-82.3%)`) do not
+/// match this shape and still compare numerically.
+fn is_share(token: &str) -> bool {
+    token
+        .strip_suffix('%')
+        .is_some_and(|num| !num.is_empty() && num.parse::<f64>().is_ok())
+}
+
 /// Strips punctuation that wraps numbers in prose (`(20676` → `20676`,
 /// `nnz),` is untouched because it does not parse either way).
 fn trim_punct(token: &str) -> &str {
@@ -44,8 +56,9 @@ fn as_number(token: &str) -> Option<f64> {
 ///
 /// Tokens split on whitespace. A token pair matches when:
 ///
-/// * both are timings (number + `s` suffix), or either is the number
-///   before a `mins` unit — masked;
+/// * both are timings (number + `s` suffix), both are phase shares
+///   (number + bare `%` suffix), or either is the number before a
+///   `mins` unit — masked;
 /// * both parse as numbers within relative tolerance `rtol`
 ///   (absolute for values straddling zero);
 /// * otherwise, the tokens are byte-identical.
@@ -77,7 +90,7 @@ pub fn compare(actual: &str, golden: &str, rtol: f64) -> Result<(), String> {
         for (col, (a, g)) in a_toks.iter().zip(&g_toks).enumerate() {
             // Numbers immediately before a "mins" unit are wall times too.
             let before_mins = a_toks.get(col + 1) == Some(&"mins");
-            if (is_timing(a) && is_timing(g)) || before_mins {
+            if (is_timing(a) && is_timing(g)) || (is_share(a) && is_share(g)) || before_mins {
                 continue;
             }
             match (as_number(a), as_number(g)) {
@@ -154,6 +167,18 @@ mod tests {
         let a = "power 2038 421 9.68e-11 0.012s\ntime 0.00 mins x 0.05 mins\n";
         let g = "power 2038 421 9.68e-11 67.801s\ntime 12.34 mins x 9.99 mins\n";
         assert!(compare(a, g, RTOL).is_ok());
+    }
+
+    #[test]
+    fn phase_shares_are_masked_but_wrapped_percentages_are_not() {
+        let a = "multigrid 2038 12 9.68e-11 0.012s 41.3% 50.1% 3.6%";
+        let g = "multigrid 2038 12 9.68e-11 0.500s 60.0% 30.0% 9.9%";
+        assert!(compare(a, g, RTOL).is_ok());
+        // A share against a non-share token is still a mismatch.
+        assert!(compare("41.3%", "-", RTOL).is_err());
+        // Parenthesized percentages in prose keep their numeric gate.
+        assert!(compare("(-82.3%)", "(-82.3%)", RTOL).is_ok());
+        assert!(compare("(-82.3%)", "(-41.0%)", RTOL).is_err());
     }
 
     #[test]

@@ -1,0 +1,36 @@
+//! Regression pin for the symbolic/numeric multigrid split at the
+//! benchmark reference operating point (the `bench_snapshot`
+//! configuration: Fig. 5 noise parameters, refinement 16).
+//!
+//! The perf work must not change a single bit of the solve: the cycle
+//! count and the final residual are pinned to the exact values the
+//! pre-split solver produced. Any arithmetic reordering — in the plan
+//! replay, the workspace smoothers, or the in-place coarsest solve —
+//! shows up here as a changed bit, not as a tolerance drift.
+
+use stochcdr::{CdrConfig, CdrModel, SolverChoice};
+use stochcdr_bench::{FIG5_DRIFT_DEV, FIG5_DRIFT_MEAN, FIG5_SIGMA};
+
+#[test]
+fn reference_point_cycle_count_and_residual_are_bit_stable() {
+    let config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(16)
+        .counter_len(8)
+        .white_sigma_ui(FIG5_SIGMA)
+        .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
+        .build()
+        .expect("config");
+    let chain = CdrModel::new(config).build_chain().expect("chain");
+    let analysis = chain.analyze(SolverChoice::Multigrid).expect("analysis");
+
+    assert_eq!(analysis.iterations, 36, "multigrid cycle count drifted");
+    assert_eq!(
+        analysis.residual, 8.904770992370091e-13,
+        "final residual is no longer bit-identical to the pre-split solver"
+    );
+    // The phase accounting must cover the phases the solve actually ran.
+    let phases = analysis.mg_phases.expect("multigrid solve records phases");
+    assert!(phases.setup_secs > 0.0);
+    assert!(phases.cycle_total_secs() > 0.0);
+}

@@ -4,11 +4,11 @@
 use std::time::Instant;
 
 use stochcdr_markov::functional::marginal;
-use stochcdr_markov::lumping::Partition;
+use stochcdr_markov::lumping::{LumpPlan, Partition};
 use stochcdr_markov::stationary::{
     GaussSeidelSolver, GthSolver, JacobiSolver, PowerIteration, StationarySolver,
 };
-use stochcdr_multigrid::{CycleKind, MultigridSolver, Smoother};
+use stochcdr_multigrid::{CycleKind, MgPhases, MultigridSolver, Smoother};
 use stochcdr_obs as obs;
 
 use crate::ber::{ber_discrete, ber_symmetric_dist};
@@ -105,6 +105,9 @@ pub struct CdrAnalysis {
     pub solve_time: std::time::Duration,
     /// Which solver produced the result.
     pub solver_name: &'static str,
+    /// Per-phase wall-time attribution for multigrid solves (`None` for
+    /// other solvers, or when the stationary vector came from outside).
+    pub mg_phases: Option<MgPhases>,
 }
 
 impl CdrChain {
@@ -239,23 +242,81 @@ impl CdrChain {
             SolverChoice::Jacobi => Box::new(JacobiSolver::new(tol, iters, 0.8)),
             SolverChoice::Direct => Box::new(GthSolver::new()),
             SolverChoice::Multigrid | SolverChoice::MultigridW => {
-                let kind = if choice == SolverChoice::MultigridW {
-                    CycleKind::W
-                } else {
-                    CycleKind::V
-                };
-                Box::new(
-                    MultigridSolver::builder(parts)
-                        .cycle(kind)
-                        .smoother(Smoother::GaussSeidel)
-                        .pre_sweeps(1)
-                        .post_sweeps(2)
-                        .tol(tol)
-                        .max_cycles(2_000)
-                        .build(),
-                )
+                Box::new(self.multigrid_solver(choice, tol, parts, None))
             }
         }
+    }
+
+    /// The concrete multigrid solver with the project-standard
+    /// configuration (Gauss–Seidel smoothing, 1 pre-/2 post-sweeps, 2000
+    /// cycle budget). Unlike [`solver_from_hierarchy`](Self::solver_from_hierarchy)
+    /// this keeps the concrete type, so callers reach
+    /// [`MultigridSolver::solve_with_stats`] (phase attribution) and can
+    /// inject cached symbolic plans (see
+    /// [`mg_plans_cached`](Self::mg_plans_cached)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0` or `choice` is not a multigrid variant.
+    pub fn multigrid_solver(
+        &self,
+        choice: SolverChoice,
+        tol: f64,
+        parts: Vec<Partition>,
+        plans: Option<std::sync::Arc<Vec<LumpPlan>>>,
+    ) -> MultigridSolver {
+        assert!(tol > 0.0, "tolerance must be positive");
+        let kind = match choice {
+            SolverChoice::Multigrid => CycleKind::V,
+            SolverChoice::MultigridW => CycleKind::W,
+            other => panic!("multigrid_solver called with {other:?}"),
+        };
+        let mut b = MultigridSolver::builder(parts)
+            .cycle(kind)
+            .smoother(Smoother::GaussSeidel)
+            .pre_sweeps(1)
+            .post_sweeps(2)
+            .tol(tol)
+            .max_cycles(2_000);
+        if let Some(plans) = plans {
+            b = b.plans(plans);
+        }
+        b.build()
+    }
+
+    /// The symbolic lumping plans for `parts` against this chain's TPM,
+    /// fetched from `cache` under the `mg.plan` kind. The key hashes the
+    /// TPM's sparsity *pattern* (plans are pure functions of pattern +
+    /// partitions, never of transition values), so sweep points that move
+    /// only numeric factors share one plan stack while any pattern change
+    /// — pruning, support growth — forces a rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` does not chain over this chain's states (the
+    /// partitions must come from this chain's hierarchy builders).
+    pub fn mg_plans_cached(
+        &self,
+        cache: &stochcdr_fsm::FactorCache,
+        parts: &[Partition],
+    ) -> std::sync::Arc<Vec<LumpPlan>> {
+        let m = self.tpm().matrix();
+        let mut key = stochcdr_fsm::KeyHasher::new();
+        key.usize(self.state_count()).usize(m.nnz());
+        for &p in m.indptr() {
+            key.usize(p);
+        }
+        for &c in m.indices() {
+            key.u64(c as u64);
+        }
+        key.usize(parts.len());
+        for part in parts {
+            key.usize(part.block_count());
+        }
+        cache.get_or_build("mg.plan", key.finish(), || {
+            LumpPlan::build_stack(self.tpm(), parts)
+                .expect("hierarchy partitions chain over this chain's states")
+        })
     }
 
     /// Runs the full stationary analysis with the chosen solver.
@@ -273,10 +334,28 @@ impl CdrChain {
     ///
     /// Propagates solver failures.
     pub fn analyze_with_tol(&self, choice: SolverChoice, tol: f64) -> Result<CdrAnalysis> {
-        let solver = self.solver_with_tol(choice, tol);
+        // Multigrid keeps the concrete solver type so the analysis can
+        // carry per-phase attribution; other solvers go through the trait
+        // object. Same solve, same bits either way.
+        enum Prepared {
+            Mg(MultigridSolver),
+            Other(Box<dyn StationarySolver>),
+        }
+        let prepared = match choice {
+            SolverChoice::Multigrid | SolverChoice::MultigridW => {
+                Prepared::Mg(self.multigrid_solver(choice, tol, self.phase_hierarchy(), None))
+            }
+            _ => Prepared::Other(self.solver_with_tol(choice, tol)),
+        };
         let _span = obs::span("core.analyze");
         let start = Instant::now();
-        let result = solver.solve(self.tpm(), None)?;
+        let (result, solver_name, mg_phases) = match &prepared {
+            Prepared::Mg(s) => {
+                let (result, stats) = s.solve_with_stats(self.tpm(), None)?;
+                (result, s.name(), Some(stats.phases))
+            }
+            Prepared::Other(s) => (s.solve(self.tpm(), None)?, s.name(), None),
+        };
         let solve_time = start.elapsed();
         obs::event(
             "core.stationary_solved",
@@ -288,13 +367,15 @@ impl CdrChain {
         );
         let iterations = result.iterations();
         let residual = result.residual();
-        Ok(self.analysis_from_stationary(
+        let mut a = self.analysis_from_stationary(
             result.distribution,
             iterations,
             residual,
             solve_time,
-            solver.name(),
-        ))
+            solver_name,
+        );
+        a.mg_phases = mg_phases;
+        Ok(a)
     }
 
     /// Assembles the derived quantities from an externally computed
@@ -341,6 +422,7 @@ impl CdrChain {
             residual,
             solve_time,
             solver_name,
+            mg_phases: None,
         }
     }
 }

@@ -83,3 +83,4 @@ pub use error::{CdrError, Result};
 pub use factors::AssemblyFactors;
 pub use model::CdrModel;
 pub use stages::{DataSource, FilterKind, LoopCounter, PhaseAccumulator, PhaseDetector};
+pub use stochcdr_multigrid::MgPhases;

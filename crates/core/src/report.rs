@@ -14,6 +14,7 @@
 //! equivalents.
 
 use crate::{CdrAnalysis, CdrChain};
+use stochcdr_multigrid::MgPhases;
 
 /// The paper's upper annotation line: design and noise parameters + BER.
 pub fn annotation_line(chain: &CdrChain, analysis: &CdrAnalysis) -> String {
@@ -58,6 +59,12 @@ pub fn figure_panel(chain: &CdrChain, analysis: &CdrAnalysis) -> String {
 /// One row of a solver-comparison table, including the TPM nonzero
 /// count captured during chain assembly (the same figure the
 /// `stochcdr-obs` layer reports as `fsm.tpm_assembled`/`core.chain_built`).
+///
+/// When the solve was multigrid, `phases` carries the per-phase time
+/// accounting from [`MgPhases`] and the last three columns show how the
+/// solve time splits between coarse-operator refresh (aggregation),
+/// smoothing, and the coarsest-level direct solve. One-level solvers
+/// pass `None` and print `-`.
 pub fn solver_row(
     name: &str,
     states: usize,
@@ -65,15 +72,34 @@ pub fn solver_row(
     iterations: usize,
     residual: f64,
     seconds: f64,
+    phases: Option<&MgPhases>,
 ) -> String {
-    format!("{name:<14} {states:>10} {nnz:>12} {iterations:>10} {residual:>12.2e} {seconds:>10.3}s")
+    let share = |phase_secs: f64| {
+        if seconds > 0.0 {
+            format!("{:.1}%", 100.0 * phase_secs / seconds)
+        } else {
+            "-".to_string()
+        }
+    };
+    let (agg, smooth, coarse) = match phases {
+        Some(ph) => (
+            share(ph.aggregate_secs),
+            share(ph.smooth_secs),
+            share(ph.coarse_solve_secs),
+        ),
+        None => ("-".to_string(), "-".to_string(), "-".to_string()),
+    };
+    format!(
+        "{name:<14} {states:>10} {nnz:>12} {iterations:>10} {residual:>12.2e} {seconds:>10.3}s \
+         {agg:>7} {smooth:>7} {coarse:>7}"
+    )
 }
 
 /// Header matching [`solver_row`].
 pub fn solver_header() -> String {
     format!(
-        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>11}",
-        "solver", "states", "nnz", "iters", "residual", "time"
+        "{:<14} {:>10} {:>12} {:>10} {:>12} {:>11} {:>7} {:>7} {:>7}",
+        "solver", "states", "nnz", "iters", "residual", "time", "agg", "smooth", "coarse"
     )
 }
 
@@ -127,7 +153,18 @@ mod tests {
     #[test]
     fn table_rows_align() {
         let h = solver_header();
-        let r = solver_row("multigrid", 2048, 10240, 12, 1e-13, 0.5);
+        let r = solver_row("multigrid", 2048, 10240, 12, 1e-13, 0.5, None);
         assert_eq!(h.len(), r.len());
+        let phases = MgPhases {
+            aggregate_secs: 0.2,
+            smooth_secs: 0.25,
+            coarse_solve_secs: 0.05,
+            ..MgPhases::default()
+        };
+        let p = solver_row("multigrid", 2048, 10240, 12, 1e-13, 0.5, Some(&phases));
+        assert_eq!(h.len(), p.len());
+        assert!(p.contains("40.0%"));
+        assert!(p.contains("50.0%"));
+        assert!(p.contains("10.0%"));
     }
 }

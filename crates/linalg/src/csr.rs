@@ -196,6 +196,16 @@ impl CsrMatrix {
         &self.data
     }
 
+    /// Mutable access to the value array (length `nnz`).
+    ///
+    /// The sparsity structure (`indptr`, `indices`) stays immutable; this
+    /// exists for numeric-refresh paths (e.g. the multigrid setup/numeric
+    /// split) that overwrite values in a fixed pattern without
+    /// reallocating.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Returns the value at `(row, col)`, or `0.0` if not stored.
     ///
     /// Binary-searches the row; O(log nnz(row)).
@@ -289,10 +299,12 @@ impl CsrMatrix {
 
     /// In-place variant of [`mul_right`](Self::mul_right); `y` is overwritten.
     ///
-    /// Large products fan out across the [`crate::par`] worker pool by row
-    /// range. Each `y[r]` is still accumulated by a single worker in
-    /// ascending stored-entry order, so the result is bit-identical for
-    /// every thread count.
+    /// Large products fan out across the [`crate::par`] worker pool by
+    /// nnz-balanced row ranges (the index pointer is the weight prefix, so
+    /// each worker gets an equal share of stored entries rather than of
+    /// rows, and the parallel gate fires on work performed). Each `y[r]`
+    /// is still accumulated by a single worker in ascending stored-entry
+    /// order, so the result is bit-identical for every thread count.
     ///
     /// # Panics
     ///
@@ -300,7 +312,9 @@ impl CsrMatrix {
     pub fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "x length must equal column count");
         assert_eq!(y.len(), self.rows, "y length must equal row count");
-        crate::par::for_each_chunk_mut(y, |start, chunk| self.mul_right_range(start, x, chunk));
+        crate::par::for_each_weighted_chunk_mut(y, &self.indptr, |start, chunk| {
+            self.mul_right_range(start, x, chunk)
+        });
     }
 
     /// Computes rows `start..start + y.len()` of `A x` into `y`.
@@ -427,7 +441,25 @@ impl CsrMatrix {
     /// Returns the main diagonal as a dense vector.
     pub fn diagonal(&self) -> Vec<f64> {
         let n = self.rows.min(self.cols);
-        (0..n).map(|i| self.get(i, i)).collect()
+        let mut out = vec![0.0; n];
+        self.diagonal_into(&mut out);
+        out
+    }
+
+    /// Writes the main diagonal into a caller-provided buffer.
+    ///
+    /// Same values as [`diagonal`](Self::diagonal); repeated smoothing
+    /// sweeps hoist the buffer out of their inner loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != min(rows, cols)`.
+    pub fn diagonal_into(&self, out: &mut [f64]) {
+        let n = self.rows.min(self.cols);
+        assert_eq!(out.len(), n, "diagonal buffer length must match");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.get(i, i);
+        }
     }
 
     /// Returns a copy with every row scaled by the corresponding factor.
@@ -731,5 +763,44 @@ mod tests {
     fn max_abs_works() {
         assert_eq!(sample().max_abs(), 5.0);
         assert_eq!(CsrMatrix::zeros(2, 2).max_abs(), 0.0);
+    }
+
+    #[test]
+    fn mul_right_is_thread_count_invariant_on_skewed_rows() {
+        // Heavily skewed nnz distribution (one dense row, many sparse
+        // ones) pushed above the weighted parallel gate: the nnz-balanced
+        // chunking must still produce the serial bits.
+        let n = 2048;
+        let mut coo = CooMatrix::new(n, n);
+        for j in 0..n {
+            coo.push(0, j, 1.0 / (j as f64 + 1.0));
+        }
+        for i in 1..n {
+            for k in 0..96 {
+                coo.push(i, (i * 13 + k * 29) % n, (i * 8 + k) as f64 * 1e-4);
+            }
+        }
+        let a = coo.to_csr();
+        assert!(a.nnz() >= crate::par::PARALLEL_NNZ_CUTOFF);
+        let _g = crate::par::TEST_THREADS_LOCK.lock().unwrap();
+        let x: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 2.0)).collect();
+        let serial = {
+            crate::par::set_threads(Some(1));
+            let y = a.mul_right(&x);
+            crate::par::set_threads(None);
+            y
+        };
+        for t in [2, 3, 4] {
+            crate::par::set_threads(Some(t));
+            let y = a.mul_right(&x);
+            crate::par::set_threads(None);
+            assert!(
+                serial
+                    .iter()
+                    .zip(&y)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "thread count {t} changed bits"
+            );
+        }
     }
 }

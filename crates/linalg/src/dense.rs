@@ -61,6 +61,12 @@ impl DenseMatrix {
         }
     }
 
+    /// Overwrites every entry with `v` (e.g. re-zeroing a reused scratch
+    /// matrix between coarse direct solves).
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows

@@ -43,8 +43,23 @@ use stochcdr_obs as obs;
 ///
 /// Below this size the scoped-thread spawn overhead dominates; kernels
 /// fall back to the serial path (which, per the determinism contract,
-/// produces the same bits).
-pub const PARALLEL_CUTOFF: usize = 8192;
+/// produces the same bits). Elementwise kernels are memory-bound: under
+/// ~0.5 MB of traffic the per-call spawn cost (tens of microseconds per
+/// worker) exceeds the copy time itself, so the gate sits at 64k
+/// elements. Measured on the FIG4 operator (4k states): parallel
+/// elementwise passes at this size *cost* ~2x rather than paying.
+pub const PARALLEL_CUTOFF: usize = 65_536;
+
+/// Minimum total *weight* (e.g. matrix nonzeros) before a weighted kernel
+/// ([`for_each_weighted_chunk_mut`]) goes parallel.
+///
+/// Weighted kernels gate on the work actually performed rather than the
+/// output length: a tall-skinny CSR operator concentrates its flops in
+/// few rows, so nonzeros — not rows — predict the win. The crossover is
+/// bandwidth-bound: a 54k-nnz SpMV (~25 us of serial work) loses 2x to
+/// spawn overhead at 4 threads, so the gate requires ~128k nonzeros
+/// (~1.5 MB of matrix traffic) before fanning out.
+pub const PARALLEL_NNZ_CUTOFF: usize = 131_072;
 
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static ENV: OnceLock<Option<usize>> = OnceLock::new();
@@ -222,6 +237,78 @@ where
     ScopeObs::finish(sobs, t);
 }
 
+/// Like [`for_each_chunk_mut`] but with chunk boundaries balanced by a
+/// per-element *weight* prefix sum instead of element counts.
+///
+/// `prefix` must have length `out.len() + 1` and be non-decreasing;
+/// `prefix[i+1] - prefix[i]` is the cost of producing `out[i]` (for a CSR
+/// row-parallel product, pass the index pointer so each worker gets an
+/// equal share of nonzeros rather than of rows). The kernel runs serially
+/// when the total weight is below [`PARALLEL_NNZ_CUTOFF`] — the gate is
+/// on work performed, not output length.
+///
+/// The determinism contract holds exactly as for [`for_each_chunk_mut`]:
+/// each output element is computed wholly by one worker in serial
+/// element-local order, so boundaries may depend on the thread count.
+///
+/// # Panics
+///
+/// Panics if `prefix.len() != out.len() + 1`.
+pub fn for_each_weighted_chunk_mut<T, F>(out: &mut [T], prefix: &[usize], body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = out.len();
+    assert_eq!(
+        prefix.len(),
+        n + 1,
+        "weight prefix must have one entry per element plus a total"
+    );
+    debug_assert!(prefix.windows(2).all(|w| w[0] <= w[1]));
+    let total = prefix[n] - prefix[0];
+    let t = threads().min(n.max(1));
+    if t <= 1 || total < PARALLEL_NNZ_CUTOFF {
+        if !out.is_empty() {
+            body(0, out);
+        }
+        return;
+    }
+    let sobs = ScopeObs::new("par.for_each_weighted_chunk", t);
+    std::thread::scope(|scope| {
+        let body = &body;
+        let sobs = &sobs;
+        let mut rest = out;
+        let mut start = 0usize;
+        for k in 0..t {
+            // Boundary after chunk k: the element count whose cumulative
+            // weight first exceeds an equal share of the total. The last
+            // boundary is forced to `n` so trailing zero-weight elements
+            // are still covered.
+            let end = if k + 1 == t {
+                n
+            } else {
+                let target = prefix[0] + ((total as u128 * (k as u128 + 1)) / t as u128) as usize;
+                prefix[1..=n].partition_point(|&w| w <= target).max(start)
+            };
+            let (chunk, tail) = rest.split_at_mut(end - start);
+            rest = tail;
+            if chunk.is_empty() {
+                start = end;
+                continue;
+            }
+            if k + 1 == t {
+                // Run the final chunk on the calling thread.
+                ScopeObs::run(sobs.as_ref(), k, false, || body(start, chunk));
+            } else {
+                scope.spawn(move || ScopeObs::run(sobs.as_ref(), k, true, || body(start, chunk)));
+            }
+            start = end;
+        }
+    });
+    ScopeObs::finish(sobs, t);
+}
+
 /// Maps fixed-size chunks of `0..n` and returns the per-chunk results in
 /// ascending chunk order.
 ///
@@ -335,13 +422,15 @@ where
         .collect()
 }
 
+/// Serializes tests (crate-wide) that mutate the global thread override.
+#[cfg(test)]
+pub(crate) static TEST_THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Mutex;
 
-    /// Serializes tests that mutate the global thread override.
-    static LOCK: Mutex<()> = Mutex::new(());
+    use super::TEST_THREADS_LOCK as LOCK;
 
     #[test]
     fn thread_resolution_override_wins() {
@@ -383,6 +472,54 @@ mod tests {
         });
         set_threads(None);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn weighted_chunks_cover_every_element_once() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        // Skewed weights: a few heavy rows at the front, a zero-weight
+        // tail that only the forced final boundary can cover.
+        let n = 4000;
+        let mut prefix = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        prefix.push(acc);
+        for i in 0..n {
+            acc += if i < 100 {
+                1500
+            } else if i < n - 64 {
+                3
+            } else {
+                0
+            };
+            prefix.push(acc);
+        }
+        assert!(acc >= PARALLEL_NNZ_CUTOFF);
+        let mut out = vec![0usize; n];
+        for_each_weighted_chunk_mut(&mut out, &prefix, |start, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = start + k;
+            }
+        });
+        set_threads(None);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn weighted_chunks_serial_below_weight_gate() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        // Many elements, tiny total weight: must run as one serial chunk.
+        let n = PARALLEL_CUTOFF * 2;
+        let prefix: Vec<usize> = (0..=n).map(|i| i / 4).collect();
+        assert!(prefix[n] < PARALLEL_NNZ_CUTOFF);
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let mut out = vec![0u8; n];
+        for_each_weighted_chunk_mut(&mut out, &prefix, |_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        set_threads(None);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

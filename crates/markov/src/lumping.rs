@@ -13,6 +13,23 @@
 //! * [`lump_exact`] — the lumped TPM of an exactly lumpable partition,
 //! * [`lump_weighted`] — the aggregated TPM with respect to a weight vector
 //!   (rows of each block averaged with the block-conditional weights).
+//!
+//! # Symbolic/numeric split
+//!
+//! The sparsity pattern of the weighted-lumped matrix depends only on the
+//! fine pattern and the partition — the weights touch the *values* alone.
+//! Solvers that re-aggregate every iteration (aggregation/disaggregation
+//! multigrid rebuilds the coarse chain from the current iterate each
+//! cycle) therefore split the work:
+//!
+//! * [`LumpPlan`] — one-time **symbolic** setup: the coarse CSR pattern, a
+//!   fine-entry → coarse-slot gather map replaying the from-scratch
+//!   assembly order exactly, and the transpose permutation,
+//! * [`LumpWorkspace`] — preallocated per-level numeric buffers,
+//! * [`lump_weighted_into`] — the **numeric** refresh: recomputes values
+//!   into an existing matrix with zero heap allocations, bit-identical to
+//!   [`lump_weighted`] for strictly positive weights (see the invalidation
+//!   and precision notes on [`LumpPlan`]).
 
 use stochcdr_linalg::{par, CooMatrix, CsrMatrix};
 
@@ -304,6 +321,459 @@ fn fix_row_sums(m: CsrMatrix) -> CsrMatrix {
     m.scale_rows(&factors)
 }
 
+/// One-time symbolic setup for repeated weighted lumping over a fixed
+/// fine pattern and partition.
+///
+/// The plan precomputes everything [`lump_weighted`] derives from the
+/// sparsity structure alone:
+///
+/// * the coarse CSR pattern (`indptr`/`indices`),
+/// * per coarse slot, the list of fine entries that sum into it — in
+///   **exactly** the order the from-scratch COO assembly visits them
+///   (fine rows ascending, entries in column order, then the same
+///   unstable sort by coarse column the COO→CSR merge performs), so the
+///   refreshed values are bit-identical to a fresh [`lump_weighted`],
+/// * the transpose permutation feeding the cached `P^T`.
+///
+/// # Invalidation
+///
+/// A plan is valid for exactly one (fine pattern, partition) pair: any
+/// change to the fine matrix's `indptr`/`indices` or to the partition
+/// labels requires a rebuild. Value-only changes never invalidate it.
+///
+/// # Precision
+///
+/// For strictly positive weights the refresh reproduces the from-scratch
+/// result bit for bit. When a state has weight exactly `0.0` (while its
+/// block has positive total weight), the from-scratch path *drops* that
+/// state's entries before the unstable duplicate-merge sort, which may
+/// permute equal-column entries differently; the refresh instead keeps
+/// the full gather order, so results can differ by the usual summation
+/// round-off. Both are valid aggregations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LumpPlan {
+    fine_n: usize,
+    fine_nnz: usize,
+    nb: usize,
+    /// Coarse CSR pattern.
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    /// Per-slot gather extents into `gather_src`/`gather_row`
+    /// (length `nnz() + 1`); doubles as the weight prefix for
+    /// nnz-balanced parallel refresh.
+    gather_ptr: Vec<usize>,
+    /// Fine entry index of each gather term, in from-scratch summation
+    /// order.
+    gather_src: Vec<u32>,
+    /// Fine row of each gather term (the weight-share lookup).
+    gather_row: Vec<u32>,
+    /// Transpose pattern and permutation: `pt.data[m] = data[t_from[m]]`.
+    t_indptr: Vec<usize>,
+    t_indices: Vec<u32>,
+    t_from: Vec<u32>,
+}
+
+impl LumpPlan {
+    /// Builds the symbolic plan for lumping `p` with `partition`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] if the partition does not
+    /// cover `p`'s state space.
+    pub fn build(p: &StochasticMatrix, partition: &Partition) -> Result<LumpPlan> {
+        LumpPlan::from_pattern(p.n(), p.matrix().indptr(), p.matrix().indices(), partition)
+    }
+
+    /// Builds the symbolic plan from a raw fine CSR pattern.
+    ///
+    /// This is what lets a whole multigrid plan *stack* be built without
+    /// any intermediate numeric matrices: level `k + 1` plans from level
+    /// `k`'s [`coarse pattern`](Self::pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] on a size mismatch.
+    pub fn from_pattern(
+        n: usize,
+        indptr: &[usize],
+        indices: &[u32],
+        partition: &Partition,
+    ) -> Result<LumpPlan> {
+        if partition.n() != n || indptr.len() != n + 1 {
+            return Err(MarkovError::InvalidArgument(
+                "partition size does not match state count".into(),
+            ));
+        }
+        let nnz = indptr[n];
+        let nb = partition.block_count();
+        // Replay of the from-scratch assembly, applied to entry *indices*
+        // instead of values. Step 1: counting sort of the (coarse row,
+        // coarse col, fine entry) triplets by coarse row — stable by fine
+        // insertion order, exactly like `CooMatrix::to_csr`.
+        let mut row_counts = vec![0usize; nb + 1];
+        for i in 0..n {
+            row_counts[partition.block_of(i) + 1] += indptr[i + 1] - indptr[i];
+        }
+        for b in 0..nb {
+            row_counts[b + 1] += row_counts[b];
+        }
+        let mut next = row_counts.clone();
+        let mut cols_buf = vec![0u32; nnz];
+        let mut ent_buf = vec![0u32; nnz];
+        for i in 0..n {
+            let bi = partition.block_of(i);
+            for (k, &j) in indices
+                .iter()
+                .enumerate()
+                .take(indptr[i + 1])
+                .skip(indptr[i])
+            {
+                let slot = next[bi];
+                cols_buf[slot] = partition.block_of(j as usize) as u32;
+                ent_buf[slot] = k as u32;
+                next[bi] += 1;
+            }
+        }
+        // Step 2: per coarse row, the same `sort_unstable_by_key` the
+        // COO→CSR merge runs. The scratch element type is deliberately
+        // `(u32, f64)` — identical to the value path — because the
+        // unstable sort's permutation of equal keys can depend on the
+        // element type; the fine entry index rides in the f64 payload
+        // (entry counts are far below 2^53, so the round trip is exact).
+        let mut c_indptr = Vec::with_capacity(nb + 1);
+        c_indptr.push(0usize);
+        let mut c_indices: Vec<u32> = Vec::new();
+        let mut gather_ptr = vec![0usize];
+        let mut gather_src: Vec<u32> = Vec::new();
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for b in 0..nb {
+            let (lo, hi) = (row_counts[b], row_counts[b + 1]);
+            scratch.clear();
+            scratch.extend(
+                cols_buf[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(ent_buf[lo..hi].iter().map(|&k| k as f64)),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    gather_src.push(scratch[i].1 as u32);
+                    i += 1;
+                }
+                c_indices.push(c);
+                gather_ptr.push(gather_src.len());
+            }
+            c_indptr.push(c_indices.len());
+        }
+        let gather_row: Vec<u32> = gather_src
+            .iter()
+            .map(|&k| {
+                // Fine row of entry k: the partition of indptr is
+                // monotone, so a binary search recovers the row.
+                (indptr.partition_point(|&p| p <= k as usize) - 1) as u32
+            })
+            .collect();
+        // Step 3: transpose placement — counting sort by coarse column,
+        // rows ascending, mirroring `CsrMatrix::transpose`.
+        let nnz_c = c_indices.len();
+        let mut t_counts = vec![0usize; nb + 1];
+        for &c in &c_indices {
+            t_counts[c as usize + 1] += 1;
+        }
+        for b in 0..nb {
+            t_counts[b + 1] += t_counts[b];
+        }
+        let t_indptr = t_counts.clone();
+        let mut t_indices = vec![0u32; nnz_c];
+        let mut t_from = vec![0u32; nnz_c];
+        let mut t_next = t_counts;
+        for r in 0..nb {
+            for (k, &c) in c_indices
+                .iter()
+                .enumerate()
+                .take(c_indptr[r + 1])
+                .skip(c_indptr[r])
+            {
+                let slot = t_next[c as usize];
+                t_indices[slot] = r as u32;
+                t_from[slot] = k as u32;
+                t_next[c as usize] += 1;
+            }
+        }
+        Ok(LumpPlan {
+            fine_n: n,
+            fine_nnz: nnz,
+            nb,
+            indptr: c_indptr,
+            indices: c_indices,
+            gather_ptr,
+            gather_src,
+            gather_row,
+            t_indptr,
+            t_indices,
+            t_from,
+        })
+    }
+
+    /// Builds the plan stack for a whole coarsening hierarchy: plan `k`
+    /// lumps level `k`'s pattern with `partitions[k]`, and level `k + 1`
+    /// plans from plan `k`'s coarse pattern — no numeric matrices needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] if any partition does not
+    /// chain (`partitions[k].n()` must equal the previous block count).
+    pub fn build_stack(p: &StochasticMatrix, partitions: &[Partition]) -> Result<Vec<LumpPlan>> {
+        let mut plans: Vec<LumpPlan> = Vec::with_capacity(partitions.len());
+        for part in partitions {
+            let plan = match plans.last() {
+                None => LumpPlan::build(p, part)?,
+                Some(prev) => LumpPlan::from_pattern(prev.nb, &prev.indptr, &prev.indices, part)?,
+            };
+            plans.push(plan);
+        }
+        Ok(plans)
+    }
+
+    /// Fine state count the plan was built for.
+    pub fn fine_n(&self) -> usize {
+        self.fine_n
+    }
+
+    /// Fine stored-entry count the plan was built for.
+    pub fn fine_nnz(&self) -> usize {
+        self.fine_nnz
+    }
+
+    /// Number of coarse blocks.
+    pub fn block_count(&self) -> usize {
+        self.nb
+    }
+
+    /// Stored entries in the coarse pattern.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The coarse CSR pattern `(indptr, indices)`.
+    pub fn pattern(&self) -> (&[usize], &[u32]) {
+        (&self.indptr, &self.indices)
+    }
+}
+
+/// Preallocated numeric buffers for [`lump_weighted_into`].
+///
+/// After a refresh with weights `w`, the buffers double as the
+/// aggregation/disaggregation operators for the *same* `w`:
+/// [`block_weight`](Self::block_weight) holds the per-block weight totals
+/// (`aggregate(partition, w)` unnormalized) and
+/// [`wscale`](Self::wscale) the per-state shares
+/// (`w[i] / W_block`, uniform for zero-weight blocks) — exactly the
+/// factors [`disaggregate`] recomputes from scratch.
+#[derive(Debug, Clone)]
+pub struct LumpWorkspace {
+    block_weight: Vec<f64>,
+    wscale: Vec<f64>,
+}
+
+impl LumpWorkspace {
+    /// Allocates buffers sized for `plan`.
+    pub fn for_plan(plan: &LumpPlan) -> Self {
+        LumpWorkspace {
+            block_weight: vec![0.0; plan.nb],
+            wscale: vec![0.0; plan.fine_n],
+        }
+    }
+
+    /// Per-block weight totals from the last refresh.
+    pub fn block_weight(&self) -> &[f64] {
+        &self.block_weight
+    }
+
+    /// Per-state weight shares from the last refresh.
+    pub fn wscale(&self) -> &[f64] {
+        &self.wscale
+    }
+}
+
+/// Numeric-only refresh of a weighted lumping: recomputes the values of
+/// `out` (pattern fixed by `plan`) from the fine matrix `p` and weights
+/// `w`, with **zero heap allocations**.
+///
+/// Bit-identical to a from-scratch [`lump_weighted`] for strictly
+/// positive weights (see [`LumpPlan`] for the zero-weight caveat); the
+/// parallel slot gather is nnz-balanced and, per the determinism
+/// contract, produces the same bits at any thread count.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidArgument`] for the same malformed-weight
+/// conditions as [`lump_weighted`], or if `out`/`plan`/`p` shapes are
+/// inconsistent.
+pub fn lump_weighted_into(
+    p: &StochasticMatrix,
+    partition: &Partition,
+    w: &[f64],
+    plan: &LumpPlan,
+    ws: &mut LumpWorkspace,
+    out: &mut StochasticMatrix,
+) -> Result<()> {
+    let n = p.n();
+    if partition.n() != n || plan.fine_n != n || plan.fine_nnz != p.nnz() {
+        return Err(MarkovError::InvalidArgument(
+            "lump plan does not match the fine matrix/partition".into(),
+        ));
+    }
+    if w.len() != n {
+        return Err(MarkovError::InvalidArgument(
+            "weight vector length mismatch".into(),
+        ));
+    }
+    if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+        return Err(MarkovError::InvalidArgument(
+            "weights must be non-negative".into(),
+        ));
+    }
+    if out.n() != plan.nb || out.nnz() != plan.nnz() {
+        return Err(MarkovError::InvalidArgument(
+            "output matrix does not match the plan's coarse pattern".into(),
+        ));
+    }
+    debug_assert_eq!(ws.block_weight.len(), plan.nb);
+    debug_assert_eq!(ws.wscale.len(), n);
+    // Phase 1: per-block weight totals (gather, ascending members — the
+    // same order as `block_weights`).
+    par::for_each_chunk_mut(&mut ws.block_weight, |b0, chunk| {
+        for (k, acc) in chunk.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for &i in partition.block_members(b0 + k) {
+                s += w[i];
+            }
+            *acc = s;
+        }
+    });
+    // Phase 2: per-state shares (zero-weight blocks fall back to uniform).
+    {
+        let bw = &ws.block_weight;
+        par::for_each_chunk_mut(&mut ws.wscale, |i0, chunk| {
+            for (k, o) in chunk.iter_mut().enumerate() {
+                let i = i0 + k;
+                let b = partition.block_of(i);
+                *o = if bw[b] > 0.0 {
+                    w[i] / bw[b]
+                } else {
+                    1.0 / partition.block_members(b).len() as f64
+                };
+            }
+        });
+    }
+    // Phase 3: slot gather — each coarse value is the sum of its fine
+    // entries in the recorded from-scratch order. Parallel over slots,
+    // weighted by gather-list length; each slot is summed wholly by one
+    // worker.
+    let fine = p.matrix().data();
+    let (pm, ptm) = out.parts_mut();
+    let data = pm.data_mut();
+    {
+        let wscale = &ws.wscale;
+        par::for_each_weighted_chunk_mut(data, &plan.gather_ptr, |start, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let s = start + k;
+                let mut sum = 0.0;
+                for m in plan.gather_ptr[s]..plan.gather_ptr[s + 1] {
+                    sum += wscale[plan.gather_row[m] as usize] * fine[plan.gather_src[m] as usize];
+                }
+                *slot = sum;
+            }
+        });
+    }
+    // Phase 4: the two row-scaling passes of the from-scratch path, in
+    // order — `fix_row_sums` (guarded inverse) then the unconditional
+    // renormalization `StochasticMatrix::with_tolerance` performs. Serial:
+    // O(coarse nnz), dominated by the gather above.
+    for b in 0..plan.nb {
+        let row = &mut data[plan.indptr[b]..plan.indptr[b + 1]];
+        let s: f64 = row.iter().sum();
+        let f = if s > 0.0 { 1.0 / s } else { 1.0 };
+        for v in row.iter_mut() {
+            *v *= f;
+        }
+        let row = &mut data[plan.indptr[b]..plan.indptr[b + 1]];
+        let s2: f64 = row.iter().sum();
+        let f2 = 1.0 / s2;
+        for v in row.iter_mut() {
+            *v *= f2;
+        }
+    }
+    // Phase 5: refresh the cached transpose through the precomputed
+    // permutation.
+    let data = pm.data();
+    let t_data = ptm.data_mut();
+    par::for_each_chunk_mut(t_data, |start, chunk| {
+        for (k, o) in chunk.iter_mut().enumerate() {
+            *o = data[plan.t_from[start + k] as usize];
+        }
+    });
+    Ok(())
+}
+
+/// Allocates a coarse matrix from the plan's pattern and refreshes it via
+/// [`lump_weighted_into`] — the allocating entry point for callers that
+/// hold a plan but no matrix yet (hierarchy setup, FMG chains).
+///
+/// # Errors
+///
+/// Same as [`lump_weighted_into`].
+pub fn lump_with_plan(
+    p: &StochasticMatrix,
+    partition: &Partition,
+    w: &[f64],
+    plan: &LumpPlan,
+    ws: &mut LumpWorkspace,
+) -> Result<StochasticMatrix> {
+    let csr = CsrMatrix::from_sorted_parts(
+        plan.nb,
+        plan.nb,
+        plan.indptr.clone(),
+        plan.indices.clone(),
+        vec![0.0; plan.nnz()],
+    )
+    .map_err(|e| MarkovError::InvalidArgument(format!("corrupt lump plan: {e}")))?;
+    let pt = csr.transpose();
+    let mut out = StochasticMatrix::from_parts_unchecked(csr, pt);
+    lump_weighted_into(p, partition, w, plan, ws, &mut out)?;
+    Ok(out)
+}
+
+/// In-place disaggregation with precomputed shares:
+/// `out[i] = coarse[block(i)] * share[i]`.
+///
+/// With `share` = [`LumpWorkspace::wscale`] from a refresh over weights
+/// `w`, this equals [`disaggregate`]`(partition, coarse, w)` bit for bit
+/// — without recomputing the block weights or allocating.
+///
+/// # Panics
+///
+/// Panics if the lengths are inconsistent.
+pub fn disaggregate_scaled(partition: &Partition, coarse: &[f64], share: &[f64], out: &mut [f64]) {
+    assert_eq!(
+        coarse.len(),
+        partition.block_count(),
+        "coarse vector per block"
+    );
+    assert_eq!(share.len(), partition.n(), "share per fine state");
+    assert_eq!(out.len(), partition.n(), "output per fine state");
+    par::for_each_chunk_mut(out, |i0, chunk| {
+        for (k, o) in chunk.iter_mut().enumerate() {
+            let i = i0 + k;
+            *o = coarse[partition.block_of(i)] * share[i];
+        }
+    });
+}
+
 /// Prolongs a coarse (block) vector back to the fine state space,
 /// distributing each block's value according to the fine weights `w`
 /// (the disaggregation step of aggregation/disaggregation):
@@ -492,6 +962,150 @@ mod tests {
         let part4 = Partition::from_labels(vec![0, 0, 1, 1]).unwrap();
         let l = lump_weighted(&p, &part4, &[0.0, 0.0, 0.5, 0.5]).unwrap();
         assert_eq!(l.n(), 2);
+    }
+
+    /// Deterministic pseudo-random chain for plan tests.
+    fn random_chain(n: usize, seed: u64) -> StochasticMatrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            let deg = 2 + (i % 5);
+            let mut row: Vec<f64> = (0..deg).map(|_| next() + 1e-3).collect();
+            let s: f64 = row.iter().sum();
+            for v in &mut row {
+                *v /= s;
+            }
+            for (k, v) in row.into_iter().enumerate() {
+                coo.push(i, (i * 7 + k * 13 + 1) % n, v);
+            }
+        }
+        StochasticMatrix::new(coo.to_csr()).unwrap()
+    }
+
+    #[test]
+    fn plan_refresh_is_bit_identical_to_from_scratch() {
+        for seed in [1u64, 7, 42] {
+            let n = 60;
+            let p = random_chain(n, seed);
+            let part =
+                Partition::from_labels((0..n).map(|i| (i * 11 + seed as usize) % 9).collect())
+                    .unwrap();
+            let plan = LumpPlan::build(&p, &part).unwrap();
+            let mut ws = LumpWorkspace::for_plan(&plan);
+            // Strictly positive weights: the bit-identity regime.
+            let w: Vec<f64> = (0..n).map(|i| 0.01 + (i as f64 * 0.37).fract()).collect();
+            let fresh = lump_weighted(&p, &part, &w).unwrap();
+            let planned = lump_with_plan(&p, &part, &w, &plan, &mut ws).unwrap();
+            assert_eq!(planned.matrix().indptr(), fresh.matrix().indptr());
+            assert_eq!(planned.matrix().indices(), fresh.matrix().indices());
+            assert!(
+                planned
+                    .matrix()
+                    .data()
+                    .iter()
+                    .zip(fresh.matrix().data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "values diverge for seed {seed}"
+            );
+            assert!(
+                planned
+                    .transposed()
+                    .data()
+                    .iter()
+                    .zip(fresh.transposed().data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "transpose values diverge for seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_refresh_tracks_changing_weights() {
+        let n = 40;
+        let p = random_chain(n, 5);
+        let part = Partition::from_labels((0..n).map(|i| i / 8).collect()).unwrap();
+        let plan = LumpPlan::build(&p, &part).unwrap();
+        let mut ws = LumpWorkspace::for_plan(&plan);
+        let w1: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut out = lump_with_plan(&p, &part, &w1, &plan, &mut ws).unwrap();
+        // Refresh the same matrix with different weights: must equal a
+        // fresh lump with those weights.
+        let w2: Vec<f64> = (0..n).map(|i| 2.0 + ((i * 31) % 7) as f64).collect();
+        lump_weighted_into(&p, &part, &w2, &plan, &mut ws, &mut out).unwrap();
+        let fresh = lump_weighted(&p, &part, &w2).unwrap();
+        assert!(out
+            .matrix()
+            .data()
+            .iter()
+            .zip(fresh.matrix().data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // The workspace doubles as the aggregation operators for w2.
+        let bw = aggregate(&part, &w2);
+        assert!(ws
+            .block_weight()
+            .iter()
+            .zip(&bw)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        let coarse: Vec<f64> = (0..part.block_count()).map(|b| (b + 1) as f64).collect();
+        let mut dis = vec![0.0; n];
+        disaggregate_scaled(&part, &coarse, ws.wscale(), &mut dis);
+        let fresh_dis = disaggregate(&part, &coarse, &w2);
+        assert!(dis
+            .iter()
+            .zip(&fresh_dis)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn plan_stack_chains_through_coarse_patterns() {
+        let n = 64;
+        let p = random_chain(n, 9);
+        let part0 = Partition::from_labels((0..n).map(|i| i / 2).collect()).unwrap();
+        let part1 = Partition::from_labels((0..n / 2).map(|i| i / 4).collect()).unwrap();
+        let plans = LumpPlan::build_stack(&p, &[part0.clone(), part1.clone()]).unwrap();
+        assert_eq!(plans.len(), 2);
+        let mut ws0 = LumpWorkspace::for_plan(&plans[0]);
+        let w = vec![1.0; n];
+        let c0 = lump_with_plan(&p, &part0, &w, &plans[0], &mut ws0).unwrap();
+        // Plan 1 was built from plan 0's pattern; it must match the
+        // numeric coarse matrix's pattern.
+        assert_eq!(plans[1].fine_n(), c0.n());
+        assert_eq!(plans[1].fine_nnz(), c0.nnz());
+        let mut ws1 = LumpWorkspace::for_plan(&plans[1]);
+        let w1 = vec![1.0; c0.n()];
+        let c1 = lump_with_plan(&c0, &part1, &w1, &plans[1], &mut ws1).unwrap();
+        let fresh = lump_weighted(&c0, &part1, &w1).unwrap();
+        assert!(c1
+            .matrix()
+            .data()
+            .iter()
+            .zip(fresh.matrix().data())
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn plan_rejects_mismatched_inputs() {
+        let p = lumpable_chain();
+        let part = Partition::from_labels(vec![0, 0, 1, 1]).unwrap();
+        let plan = LumpPlan::build(&p, &part).unwrap();
+        let mut ws = LumpWorkspace::for_plan(&plan);
+        // Wrong weight length.
+        let mut out = lump_with_plan(&p, &part, &[1.0; 4], &plan, &mut ws).unwrap();
+        assert!(lump_weighted_into(&p, &part, &[1.0; 3], &plan, &mut ws, &mut out).is_err());
+        // Negative weights.
+        assert!(
+            lump_weighted_into(&p, &part, &[1.0, -1.0, 1.0, 1.0], &plan, &mut ws, &mut out)
+                .is_err()
+        );
+        // Plan built for a different partition size.
+        let small = Partition::from_labels(vec![0, 1]).unwrap();
+        assert!(LumpPlan::from_pattern(4, &[0, 1, 2], &[0, 1], &small).is_err());
     }
 
     #[test]

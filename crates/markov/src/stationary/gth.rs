@@ -44,20 +44,41 @@ impl GthSolver {
     /// states below it (elimination breaks down), and
     /// [`MarkovError::NotSquare`] for non-square input.
     pub fn solve_dense(&self, a: &DenseMatrix) -> Result<Vec<f64>> {
-        if a.rows() != a.cols() {
+        let mut p = a.clone();
+        let mut pi = vec![0.0; a.rows()];
+        self.solve_dense_in_place(&mut p, &mut pi)?;
+        Ok(pi)
+    }
+
+    /// Allocation-free variant of [`solve_dense`](Self::solve_dense): the
+    /// elimination destroys `p` (which must hold the transition matrix on
+    /// entry) and the stationary vector lands in `pi`. Same arithmetic,
+    /// same bits as the allocating path; the multigrid coarse solver
+    /// reuses one dense scratch across all cycles this way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`solve_dense`](Self::solve_dense).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi.len() != p.rows()`.
+    pub fn solve_dense_in_place(&self, p: &mut DenseMatrix, pi: &mut [f64]) -> Result<()> {
+        if p.rows() != p.cols() {
             return Err(MarkovError::NotSquare {
-                rows: a.rows(),
-                cols: a.cols(),
+                rows: p.rows(),
+                cols: p.cols(),
             });
         }
-        let n = a.rows();
+        let n = p.rows();
+        assert_eq!(pi.len(), n, "stationary vector length must match");
         if n == 0 {
             return Err(MarkovError::InvalidArgument("empty chain".into()));
         }
         if n == 1 {
-            return Ok(vec![1.0]);
+            pi[0] = 1.0;
+            return Ok(());
         }
-        let mut p = a.clone();
         // Elimination phase: remove states n-1, n-2, ..., 1.
         for k in (1..n).rev() {
             let s: f64 = (0..k).map(|j| p[(k, j)]).sum();
@@ -85,7 +106,7 @@ impl GthSolver {
             p[(k, k)] = s;
         }
         // Back-substitution phase.
-        let mut pi = vec![0.0; n];
+        pi.fill(0.0);
         pi[0] = 1.0;
         for k in 1..n {
             let mut acc = 0.0;
@@ -94,8 +115,8 @@ impl GthSolver {
             }
             pi[k] = acc / p[(k, k)];
         }
-        vecops::normalize_l1(&mut pi);
-        Ok(pi)
+        vecops::normalize_l1(pi);
+        Ok(())
     }
 }
 

@@ -80,10 +80,42 @@ impl JacobiSolver {
     /// One damped Jacobi sweep against any operator; `diag` must be the
     /// operator's main diagonal (hoisted by callers that sweep repeatedly).
     pub(crate) fn sweep_op(&self, op: &dyn TransitionOp, diag: &[f64], x: &mut [f64]) -> f64 {
+        let mut y = vec![0.0; x.len()];
+        self.sweep_op_into(op, diag, x, &mut y)
+    }
+
+    /// Allocation-free sweep with caller-provided diagonal and scratch.
+    ///
+    /// `diag` must be `p`'s main diagonal and `y` a scratch vector of the
+    /// same length as `x`. Same bits as [`sweep_once`](Self::sweep_once);
+    /// multigrid smoothing hoists both buffers out of the cycle loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent.
+    pub fn sweep_with_scratch(
+        &self,
+        p: &StochasticMatrix,
+        diag: &[f64],
+        x: &mut [f64],
+        y: &mut [f64],
+    ) -> f64 {
+        assert_eq!(x.len(), p.n(), "vector length must match state count");
+        assert_eq!(diag.len(), p.n(), "diagonal length must match state count");
+        self.sweep_op_into(p, diag, x, y)
+    }
+
+    fn sweep_op_into(
+        &self,
+        op: &dyn TransitionOp,
+        diag: &[f64],
+        x: &mut [f64],
+        y: &mut [f64],
+    ) -> f64 {
         let n = x.len();
-        let mut y = vec![0.0; n];
+        assert_eq!(y.len(), n, "scratch length must match vector length");
         // y_i = Σ_j x_j p_ji = (x P)_i.
-        op.mul_left_into(x, &mut y);
+        op.mul_left_into(x, y);
         let mut change = 0.0;
         for i in 0..n {
             let pii = diag[i];
@@ -98,7 +130,7 @@ impl JacobiSolver {
             change += (blended - x[i]).abs();
             y[i] = blended;
         }
-        x.copy_from_slice(&y);
+        x.copy_from_slice(y);
         vecops::normalize_l1(x);
         change
     }

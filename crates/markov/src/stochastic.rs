@@ -96,6 +96,25 @@ impl StochasticMatrix {
         Ok(StochasticMatrix { p, pt })
     }
 
+    /// Wraps pre-validated parts without re-checking the invariants.
+    ///
+    /// `pt` must be the exact transpose of `p` and the rows of `p` must
+    /// satisfy the documented invariants (the numeric-refresh paths in
+    /// [`crate::lumping`] maintain them by construction).
+    pub(crate) fn from_parts_unchecked(p: CsrMatrix, pt: CsrMatrix) -> Self {
+        debug_assert_eq!(p.rows(), p.cols());
+        debug_assert_eq!(pt.rows(), p.cols());
+        debug_assert_eq!(pt.nnz(), p.nnz());
+        StochasticMatrix { p, pt }
+    }
+
+    /// Mutable access to the matrix and its cached transpose, for
+    /// numeric-refresh paths that overwrite values in a fixed pattern.
+    /// The caller must keep the two value arrays consistent.
+    pub(crate) fn parts_mut(&mut self) -> (&mut CsrMatrix, &mut CsrMatrix) {
+        (&mut self.p, &mut self.pt)
+    }
+
     /// Number of states.
     pub fn n(&self) -> usize {
         self.p.rows()
@@ -159,6 +178,18 @@ impl StochasticMatrix {
     pub fn stationary_residual(&self, x: &[f64]) -> f64 {
         let y = self.step(x);
         vecops::dist1(&y, x)
+    }
+
+    /// Allocation-free variant of
+    /// [`stationary_residual`](Self::stationary_residual): `scratch`
+    /// receives `x P`. Same bits as the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice length differs from `n()`.
+    pub fn stationary_residual_with(&self, x: &[f64], scratch: &mut [f64]) -> f64 {
+        self.step_into(x, scratch);
+        vecops::dist1(scratch, x)
     }
 
     /// The transition probability `P(i -> j)`.

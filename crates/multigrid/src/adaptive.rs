@@ -13,7 +13,7 @@
 //! aggregation AMG.
 
 use stochcdr_linalg::CsrMatrix;
-use stochcdr_markov::lumping::Partition;
+use stochcdr_markov::lumping::{lump_with_plan, LumpPlan, LumpWorkspace, Partition};
 use stochcdr_markov::StochasticMatrix;
 
 /// Greedy strength-based pairwise coarsening.
@@ -96,17 +96,38 @@ impl StrengthCoarsening {
     /// Propagates lumping failures (cannot occur for a valid chain, but
     /// surfaced rather than panicking).
     pub fn levels(&self, p: &StochasticMatrix) -> stochcdr_markov::Result<Vec<Partition>> {
+        self.levels_with_plans(p).map(|(parts, _)| parts)
+    }
+
+    /// Like [`levels`](Self::levels), but also returns the symbolic
+    /// lumping plan for each transfer. The strength analysis has to build
+    /// every coarse operator anyway, so the plans come out as a by-product
+    /// — callers hand them to
+    /// [`MultigridBuilder::plans`](crate::MultigridBuilder::plans) and the
+    /// solver skips its own symbolic pass.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`levels`](Self::levels).
+    pub fn levels_with_plans(
+        &self,
+        p: &StochasticMatrix,
+    ) -> stochcdr_markov::Result<(Vec<Partition>, Vec<LumpPlan>)> {
         let mut parts = Vec::new();
+        let mut plans = Vec::new();
         let mut current = p.clone();
         while let Some(part) = self.coarsen_once(current.matrix()) {
             // Aggregate with uniform weights to expose the next level's
-            // coupling structure; the solver rebuilds operators with real
-            // weights at run time.
+            // coupling structure; the solver refreshes operators with real
+            // weights at run time through the same plans.
+            let plan = LumpPlan::build(&current, &part)?;
+            let mut ws = LumpWorkspace::for_plan(&plan);
             let w = vec![1.0; current.n()];
-            current = stochcdr_markov::lumping::lump_weighted(&current, &part, &w)?;
+            current = lump_with_plan(&current, &part, &w, &plan, &mut ws)?;
             parts.push(part);
+            plans.push(plan);
         }
-        Ok(parts)
+        Ok((parts, plans))
     }
 }
 
@@ -175,6 +196,37 @@ mod tests {
             assert_eq!(w[0].block_count(), w[1].n());
         }
         assert!(parts.last().unwrap().block_count() <= 4);
+    }
+
+    #[test]
+    fn plans_chain_and_injecting_them_is_bit_identical() {
+        let n = 32;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 0.55);
+            coo.push(i, (i + n - 1) % n, 0.35);
+            coo.push(i, i, 0.1);
+        }
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let (parts, plans) = StrengthCoarsening::until(4).levels_with_plans(&p).unwrap();
+        assert_eq!(parts.len(), plans.len());
+        assert_eq!(plans[0].fine_n(), n);
+        for (part, plan) in parts.iter().zip(&plans) {
+            assert_eq!(part.block_count(), plan.block_count());
+        }
+        let base = MultigridSolver::builder(parts.clone())
+            .tol(1e-10)
+            .build()
+            .solve(&p, None)
+            .unwrap();
+        let injected = MultigridSolver::builder(parts)
+            .plans(std::sync::Arc::new(plans))
+            .tol(1e-10)
+            .build()
+            .solve(&p, None)
+            .unwrap();
+        assert_eq!(base.distribution, injected.distribution);
+        assert_eq!(base.iterations(), injected.iterations());
     }
 
     #[test]

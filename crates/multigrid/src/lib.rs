@@ -22,6 +22,13 @@
 //! The coarsest level ("solved exactly with a direct method") uses GTH
 //! elimination.
 //!
+//! The solver is split into a one-time **symbolic setup** and cheap
+//! **numeric cycles**: [`MultigridSolver::prepare`] builds an
+//! [`MgHierarchy`] (cached coarse sparsity patterns, scatter maps, and all
+//! per-level workspaces), after which every cycle is an allocation-free
+//! numeric refresh — see [`hierarchy`](MgHierarchy) for the invalidation
+//! rules.
+//!
 //! # Example
 //!
 //! ```
@@ -52,10 +59,12 @@
 
 mod adaptive;
 mod coarsen;
+mod hierarchy;
 mod smoother;
 mod solver;
 
 pub use adaptive::StrengthCoarsening;
 pub use coarsen::{GeometricCoarsening, PairwiseCoarsening};
+pub use hierarchy::{MgHierarchy, MgPhases};
 pub use smoother::Smoother;
 pub use solver::{CycleKind, MultigridBuilder, MultigridSolver, MultigridStats};

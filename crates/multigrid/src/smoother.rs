@@ -51,6 +51,50 @@ impl Smoother {
             }
         }
     }
+
+    /// Allocation-free variant of [`apply`](Self::apply) with caller-owned
+    /// scratch: `diag` receives `p`'s main diagonal (Jacobi only) and
+    /// `scratch` is a work vector, both of length `p.n()`. Same bits as
+    /// `apply`; the cycle loop hoists both buffers into the hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree with `p.n()`.
+    pub(crate) fn apply_ws(
+        &self,
+        p: &StochasticMatrix,
+        x: &mut [f64],
+        sweeps: usize,
+        diag: &mut [f64],
+        scratch: &mut [f64],
+    ) {
+        if sweeps == 0 {
+            return;
+        }
+        match self {
+            Smoother::Jacobi { omega } => {
+                // The diagonal is constant across sweeps: hoist it once.
+                p.matrix().diagonal_into(diag);
+                let j = JacobiSolver::new(f64::MIN_POSITIVE, 1, *omega);
+                for _ in 0..sweeps {
+                    j.sweep_with_scratch(p, diag, x, scratch);
+                }
+            }
+            Smoother::GaussSeidel => {
+                let g = GaussSeidelSolver::new(f64::MIN_POSITIVE, 1);
+                for _ in 0..sweeps {
+                    g.sweep_once(p, x);
+                }
+            }
+            Smoother::Power => {
+                for _ in 0..sweeps {
+                    p.step_into(x, scratch);
+                    x.copy_from_slice(&scratch[..x.len()]);
+                    stochcdr_linalg::vecops::normalize_l1(x);
+                }
+            }
+        }
+    }
 }
 
 impl Default for Smoother {
@@ -91,6 +135,25 @@ mod tests {
             let after = p.stationary_residual(&x);
             assert!(after < before, "{s:?}: {after} !< {before}");
             assert!((vecops::sum(&x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn apply_ws_matches_apply_bitwise() {
+        let p = chain();
+        for s in [
+            Smoother::Jacobi { omega: 0.8 },
+            Smoother::GaussSeidel,
+            Smoother::Power,
+        ] {
+            let mut a: Vec<f64> = (0..16).map(|i| (i + 1) as f64).collect();
+            vecops::normalize_l1(&mut a);
+            let mut b = a.clone();
+            let mut diag = vec![0.0; 16];
+            let mut scratch = vec![f64::NAN; 16];
+            s.apply(&p, &mut a, 7);
+            s.apply_ws(&p, &mut b, 7, &mut diag, &mut scratch);
+            assert_eq!(a, b, "{s:?}");
         }
     }
 

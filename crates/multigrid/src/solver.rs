@@ -1,11 +1,15 @@
 //! The multi-level aggregation/disaggregation solver.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use stochcdr_linalg::{vecops, TransitionOp};
-use stochcdr_markov::lumping::{aggregate, disaggregate, lump_weighted, Partition};
+use stochcdr_markov::lumping::{disaggregate_scaled, lump_weighted_into, LumpPlan, Partition};
 use stochcdr_markov::stationary::{GthSolver, SolveReport, StationaryResult, StationarySolver};
 use stochcdr_markov::{MarkovError, Result, StochasticMatrix};
 use stochcdr_obs as obs;
 
+use crate::hierarchy::{CoarseWs, MgHierarchy, MgLevel, MgPhases};
 use crate::Smoother;
 
 /// Static span names per level, so per-level trace lanes stay
@@ -60,6 +64,7 @@ pub struct MultigridBuilder {
     max_cycles: usize,
     coarse_direct_max: usize,
     fmg: bool,
+    plans: Option<Arc<Vec<LumpPlan>>>,
 }
 
 impl MultigridBuilder {
@@ -126,6 +131,17 @@ impl MultigridBuilder {
         self
     }
 
+    /// Injects precomputed symbolic lumping plans (default: none; the
+    /// solver runs the symbolic analysis itself during
+    /// [`MultigridSolver::prepare`]). Plans are pure functions of the fine
+    /// sparsity pattern and the partition sequence, so sweep drivers cache
+    /// and share them across solves whose patterns match; a mismatched
+    /// stack is rejected by `prepare`, never silently used.
+    pub fn plans(mut self, plans: Arc<Vec<LumpPlan>>) -> Self {
+        self.plans = Some(plans);
+        self
+    }
+
     /// Finalizes the solver.
     pub fn build(self) -> MultigridSolver {
         MultigridSolver {
@@ -138,6 +154,7 @@ impl MultigridBuilder {
             max_cycles: self.max_cycles,
             coarse_direct_max: self.coarse_direct_max,
             fmg: self.fmg,
+            plans: self.plans,
         }
     }
 }
@@ -152,6 +169,10 @@ pub struct MultigridStats {
     pub levels: usize,
     /// State count at each level, fine first.
     pub level_sizes: Vec<usize>,
+    /// Wall-clock seconds per phase (setup, smoothing, aggregation,
+    /// disaggregation, coarse solves, residual checks). Advisory: the
+    /// arithmetic is deterministic, the timings are not.
+    pub phases: MgPhases,
 }
 
 /// Multi-level aggregation/disaggregation stationary solver.
@@ -180,6 +201,7 @@ pub struct MultigridSolver {
     max_cycles: usize,
     coarse_direct_max: usize,
     fmg: bool,
+    plans: Option<Arc<Vec<LumpPlan>>>,
 }
 
 impl MultigridSolver {
@@ -208,6 +230,7 @@ impl MultigridSolver {
             max_cycles: 200,
             coarse_direct_max: 4096,
             fmg: false,
+            plans: None,
         }
     }
 
@@ -226,6 +249,24 @@ impl MultigridSolver {
         p: &StochasticMatrix,
         init: Option<&[f64]>,
     ) -> Result<(StationaryResult, MultigridStats)> {
+        let mut h = self.prepare(p)?;
+        self.solve_prepared(p, &mut h, init)
+    }
+
+    /// One-time symbolic + storage setup for `p`: validates the partition
+    /// sequence, runs (or adopts injected) symbolic lumping plans, and
+    /// allocates every buffer the cycle loop needs. The returned hierarchy
+    /// is valid for any chain sharing `p`'s sparsity pattern — value
+    /// changes never require re-preparation.
+    ///
+    /// Instrumented as the `mg.setup` span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] when the finest partition
+    /// does not cover `p`, when the coarsest level exceeds the
+    /// direct-solve cap, or when injected plans do not match.
+    pub fn prepare(&self, p: &StochasticMatrix) -> Result<MgHierarchy> {
         if let Some(part) = self.partitions.first() {
             if part.n() != p.n() {
                 return Err(MarkovError::InvalidArgument(format!(
@@ -243,9 +284,71 @@ impl MultigridSolver {
                 self.coarse_direct_max
             )));
         }
+        let t0 = Instant::now();
+        let _span = obs::span("mg.setup");
+        let plans = match &self.plans {
+            Some(pl) => Arc::clone(pl),
+            None => Arc::new(LumpPlan::build_stack(p, &self.partitions)?),
+        };
+        let mut h = MgHierarchy::build(p, &self.partitions, plans)?;
+        h.phases.setup_secs = t0.elapsed().as_secs_f64();
+        Ok(h)
+    }
 
+    /// Runs one multigrid cycle against a prepared hierarchy and returns
+    /// the L1 stationarity residual of the updated iterate.
+    ///
+    /// This is the allocation-free hot path: after [`prepare`](Self::prepare),
+    /// repeated calls perform no heap allocations (instrumentation off,
+    /// single worker thread) and produce bits identical to the original
+    /// rebuild-everything cycle at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] if `h` was prepared for a
+    /// different pattern, or propagates coarse-solve failures.
+    pub fn cycle(&self, p: &StochasticMatrix, h: &mut MgHierarchy, x: &mut [f64]) -> Result<f64> {
+        if !h.matches(p) {
+            return Err(MarkovError::InvalidArgument(
+                "hierarchy was prepared for a different chain".into(),
+            ));
+        }
+        let MgHierarchy {
+            plans,
+            levels,
+            gth,
+            resid,
+            phases,
+            ..
+        } = h;
+        self.run_cycle(p, 0, plans, levels, gth, phases, x)?;
+        let t0 = Instant::now();
+        let res = p.stationary_residual_with(x, resid);
+        phases.residual_secs += t0.elapsed().as_secs_f64();
+        Ok(res)
+    }
+
+    /// Cycles a prepared hierarchy to convergence. Same contract as
+    /// [`solve_with_stats`](Self::solve_with_stats), minus the setup work:
+    /// callers that solve many chains with one pattern (parameter sweeps)
+    /// prepare once and reuse `h`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StationarySolver::solve`].
+    pub fn solve_prepared(
+        &self,
+        p: &StochasticMatrix,
+        h: &mut MgHierarchy,
+        init: Option<&[f64]>,
+    ) -> Result<(StationaryResult, MultigridStats)> {
+        if !h.matches(p) {
+            return Err(MarkovError::InvalidArgument(
+                "hierarchy was prepared for a different chain".into(),
+            ));
+        }
         let mut x = match init {
-            None if self.fmg => self.fmg_initial(p)?,
+            None if self.fmg => self.fmg_initial(p, h)?,
             None => vecops::uniform(p.n()),
             Some(v) => {
                 let mut x = v.to_vec();
@@ -260,8 +363,7 @@ impl MultigridSolver {
             }
         };
 
-        let mut level_sizes = vec![p.n()];
-        level_sizes.extend(self.partitions.iter().map(Partition::block_count));
+        let level_sizes = h.level_sizes();
 
         let _solve_span = obs::span("multigrid.solve");
         let coarsest_size = *level_sizes.last().expect("non-empty");
@@ -280,10 +382,9 @@ impl MultigridSolver {
 
         let mut history = Vec::new();
         for cycle in 1..=self.max_cycles {
-            let cycle_t0 = obs::enabled().then(std::time::Instant::now);
+            let cycle_t0 = obs::enabled().then(Instant::now);
             let cycle_span = obs::span("cycle");
-            self.run_cycle(p, 0, &mut x)?;
-            let res = p.stationary_residual(&x);
+            let res = self.cycle(p, h, &mut x)?;
             drop(cycle_span);
             if let Some(t0) = cycle_t0 {
                 obs::histogram("multigrid.cycle.ns", t0.elapsed().as_nanos() as f64);
@@ -305,7 +406,7 @@ impl MultigridSolver {
                 // Clamping perturbs the iterate, so the pre-clamp residual
                 // no longer describes the distribution actually returned:
                 // recompute it and keep history's last entry in sync.
-                let final_res = p.stationary_residual(&x);
+                let final_res = p.stationary_residual_with(&x, &mut h.resid);
                 *history.last_mut().expect("pushed above") = final_res;
                 obs::event(
                     "multigrid.converged",
@@ -323,6 +424,7 @@ impl MultigridSolver {
                     residual_history: history,
                     levels: self.levels(),
                     level_sizes,
+                    phases: h.phases,
                 };
                 return Ok((result, stats));
             }
@@ -333,26 +435,46 @@ impl MultigridSolver {
         })
     }
 
-    /// Full-multigrid first guess: aggregate to the coarsest level with
-    /// uniform weights, solve there, prolong back up level by level with a
-    /// smoothing pass at each.
-    fn fmg_initial(&self, p: &StochasticMatrix) -> Result<Vec<f64>> {
-        // Build the chain of uniformly-aggregated operators.
-        let mut chains = vec![p.clone()];
-        for part in &self.partitions {
-            let w = vec![1.0; chains.last().expect("non-empty").n()];
-            let coarse = lump_weighted(chains.last().expect("non-empty"), part, &w)?;
-            chains.push(coarse);
+    /// Full-multigrid first guess over the prepared hierarchy: `prepare`
+    /// refreshed every coarse chain with uniform weights (exactly the
+    /// chains the from-scratch FMG built), so this just solves the
+    /// coarsest chain and prolongs back up with the cached uniform shares,
+    /// smoothing at each level. One-time initialization: allocation here
+    /// is fine.
+    fn fmg_initial(&self, p: &StochasticMatrix, h: &mut MgHierarchy) -> Result<Vec<f64>> {
+        // Re-refresh every level with uniform weights: a freshly prepared
+        // hierarchy already is (this is a bit-identical no-op there), but a
+        // reused one holds iterate-weighted chains from previous cycles.
+        for k in 0..h.levels.len() {
+            let (done, rest) = h.levels.split_at_mut(k);
+            let lvl = &mut rest[0];
+            let fine = if k == 0 { p } else { &done[k - 1].coarse };
+            let ones = vec![1.0; fine.n()];
+            lump_weighted_into(
+                fine,
+                &self.partitions[k],
+                &ones,
+                &h.plans[k],
+                &mut lvl.ws,
+                &mut lvl.coarse,
+            )?;
         }
-        let mut x = vecops::uniform(chains.last().expect("non-empty").n());
-        self.solve_coarsest(chains.last().expect("non-empty"), &mut x)?;
+        let MgHierarchy { levels, gth, .. } = h;
+        let coarsest = levels.last().map_or(p, |l| &l.coarse);
+        let mut x = vecops::uniform(coarsest.n());
+        self.solve_coarsest_ws(coarsest, gth, &mut x)?;
         // Prolong upward with uniform in-block weights, smoothing as we go.
         for (level, part) in self.partitions.iter().enumerate().rev() {
-            let w = vec![1.0; part.n()];
-            x = disaggregate(part, &x, &w);
-            vecops::normalize_l1(&mut x);
-            self.smoother
-                .apply(&chains[level], &mut x, self.post_sweeps.max(1));
+            let mut xf = vec![0.0; part.n()];
+            disaggregate_scaled(part, &x, levels[level].ws.wscale(), &mut xf);
+            vecops::normalize_l1(&mut xf);
+            let chain = if level == 0 {
+                p
+            } else {
+                &levels[level - 1].coarse
+            };
+            self.smoother.apply(chain, &mut xf, self.post_sweeps.max(1));
+            x = xf;
         }
         Ok(x)
     }
@@ -360,23 +482,29 @@ impl MultigridSolver {
     /// Smoothing sweeps with per-level accounting: a `smooth` span, the
     /// level's sweep counter, and a per-level sweep-time histogram. The
     /// owned names only materialize when instrumentation is enabled.
-    fn smooth_instrumented(
+    #[allow(clippy::too_many_arguments)]
+    fn smooth_ws(
         &self,
         chain: &StochasticMatrix,
         x: &mut [f64],
         sweeps: usize,
         level: usize,
+        diag: &mut [f64],
+        scratch: &mut [f64],
+        ph: &mut MgPhases,
     ) {
+        let t0 = Instant::now();
         if !obs::enabled() {
-            self.smoother.apply(chain, x, sweeps);
+            self.smoother.apply_ws(chain, x, sweeps, diag, scratch);
+            ph.smooth_secs += t0.elapsed().as_secs_f64();
             return;
         }
-        let t0 = std::time::Instant::now();
         {
             let _span = obs::span("smooth");
-            self.smoother.apply(chain, x, sweeps);
+            self.smoother.apply_ws(chain, x, sweeps, diag, scratch);
         }
         let ns = t0.elapsed().as_nanos() as f64;
+        ph.smooth_secs += ns * 1e-9;
         obs::counter(
             &format!("multigrid.smooth_sweeps.level{level}"),
             sweeps as u64,
@@ -384,45 +512,112 @@ impl MultigridSolver {
         obs::histogram(&format!("multigrid.smooth.ns.level{level}"), ns);
     }
 
-    /// One multigrid cycle at `level`, updating `x` in place.
-    fn run_cycle(&self, chain: &StochasticMatrix, level: usize, x: &mut Vec<f64>) -> Result<()> {
+    /// One multigrid cycle at `level`, updating `x` in place. Numeric
+    /// only: the coarse chain's values are refreshed through the cached
+    /// plan, the restriction is the block-weight vector the refresh
+    /// already computed, and the prolongation reuses its per-state shares.
+    #[allow(clippy::too_many_arguments)]
+    fn run_cycle(
+        &self,
+        chain: &StochasticMatrix,
+        level: usize,
+        plans: &[LumpPlan],
+        levels: &mut [MgLevel],
+        cw: &mut CoarseWs,
+        ph: &mut MgPhases,
+        x: &mut [f64],
+    ) -> Result<()> {
         let _level_span = obs::span(level_span(level));
-        if level == self.partitions.len() {
+        let Some((lvl, rest)) = levels.split_first_mut() else {
+            let t0 = Instant::now();
             let _span = obs::span("coarse_solve");
-            return self.solve_coarsest(chain, x);
-        }
-        self.smooth_instrumented(chain, x, self.pre_sweeps, level);
+            let r = self.solve_coarsest_ws(chain, cw, x);
+            ph.coarse_solve_secs += t0.elapsed().as_secs_f64();
+            return r;
+        };
+        self.smooth_ws(
+            chain,
+            x,
+            self.pre_sweeps,
+            level,
+            &mut lvl.diag,
+            &mut lvl.sm,
+            ph,
+        );
 
         let part = &self.partitions[level];
+        let plan = &plans[level];
+        let t0 = Instant::now();
         let agg_span = obs::span("aggregate");
-        let coarse = lump_weighted(chain, part, x)?;
-        let mut xc = aggregate(part, x);
-        vecops::normalize_l1(&mut xc);
-        drop(agg_span);
-        for _ in 0..self.cycle.gamma() {
-            self.run_cycle(&coarse, level + 1, &mut xc)?;
+        {
+            let _refresh = obs::span("mg.refresh");
+            lump_weighted_into(chain, part, x, plan, &mut lvl.ws, &mut lvl.coarse)?;
         }
+        // The refresh's block-weight pass *is* the restriction: same block
+        // sums, same order, same bits as `aggregate(part, x)`.
+        lvl.xc.copy_from_slice(lvl.ws.block_weight());
+        vecops::normalize_l1(&mut lvl.xc);
+        drop(agg_span);
+        ph.aggregate_secs += t0.elapsed().as_secs_f64();
+        for _ in 0..self.cycle.gamma() {
+            self.run_cycle(&lvl.coarse, level + 1, plans, rest, cw, ph, &mut lvl.xc)?;
+        }
+        let t0 = Instant::now();
         let disagg_span = obs::span("disaggregate");
-        *x = disaggregate(part, &xc, x);
+        disaggregate_scaled(part, &lvl.xc, lvl.ws.wscale(), x);
         vecops::normalize_l1(x);
         drop(disagg_span);
+        ph.disaggregate_secs += t0.elapsed().as_secs_f64();
 
-        self.smooth_instrumented(chain, x, self.post_sweeps, level);
+        self.smooth_ws(
+            chain,
+            x,
+            self.post_sweeps,
+            level,
+            &mut lvl.diag,
+            &mut lvl.sm,
+            ph,
+        );
         Ok(())
     }
 
     /// Direct solve at the coarsest level; falls back to smoothing sweeps
     /// when the (weight-dependent) coarse chain is numerically reducible.
-    fn solve_coarsest(&self, chain: &StochasticMatrix, x: &mut Vec<f64>) -> Result<()> {
-        match GthSolver::new().solve(chain, None) {
-            Ok(r) => {
-                *x = r.distribution;
+    /// The dense scratch is reused across cycles: zero it, scatter the
+    /// chain's entries (what `to_dense` builds), eliminate in place.
+    fn solve_coarsest_ws(
+        &self,
+        chain: &StochasticMatrix,
+        cw: &mut CoarseWs,
+        x: &mut [f64],
+    ) -> Result<()> {
+        let gth_span = obs::span("markov.gth");
+        cw.dense.fill(0.0);
+        let m = chain.matrix();
+        for r in 0..chain.n() {
+            let row = cw.dense.row_mut(r);
+            for (c, v) in m.row(r) {
+                row[c] = v;
+            }
+        }
+        match GthSolver::new().solve_dense_in_place(&mut cw.dense, x) {
+            Ok(()) => {
+                if obs::enabled() {
+                    let residual = chain.stationary_residual_with(x, &mut cw.resid);
+                    obs::event(
+                        "markov.gth",
+                        &[("states", chain.n().into()), ("residual", residual.into())],
+                    );
+                }
                 Ok(())
             }
             Err(MarkovError::Reducible(_)) => {
+                drop(gth_span);
                 // Zero-weight aggregates can disconnect the coarse chain;
                 // relaxation still reduces the error, so smooth instead.
-                self.smoother.apply(chain, x, 20);
+                // (A failed elimination never touches `x`.)
+                self.smoother
+                    .apply_ws(chain, x, 20, &mut cw.diag, &mut cw.sm);
                 Ok(())
             }
             Err(e) => Err(e),

@@ -28,6 +28,7 @@ use stochcdr::cycle_slip::mean_time_between_slips;
 use stochcdr::{CdrAnalysis, CdrChain, CdrModel, Result, SolverChoice};
 use stochcdr_fsm::{CacheStats, FactorCache};
 use stochcdr_linalg::par;
+use stochcdr_markov::stationary::StationarySolver;
 use stochcdr_obs as obs;
 
 use crate::spec::SweepSpec;
@@ -216,19 +217,39 @@ where
     let init = warm.filter(|eta| spec.warm_start && eta.len() == chain.state_count());
     let warm_started = init.is_some();
 
-    let solver = chain.solver_from_hierarchy(choice, spec.tol, parts);
-    let solve_start = Instant::now();
-    let result = solver.solve(chain.tpm(), init.as_deref())?;
-    let solve_time = solve_start.elapsed();
+    // Multigrid points fetch the symbolic lumping plans from the cache
+    // too (`mg.plan` kind): points that only move transition values share
+    // one plan stack, so their solves skip the symbolic setup entirely.
+    let (result, solve_time, solver_name, mg_phases) = match choice {
+        SolverChoice::Multigrid | SolverChoice::MultigridW => {
+            let plans = chain.mg_plans_cached(cache, &parts);
+            let solver = chain.multigrid_solver(choice, spec.tol, parts, Some(plans));
+            let solve_start = Instant::now();
+            let (result, stats) = solver.solve_with_stats(chain.tpm(), init.as_deref())?;
+            (
+                result,
+                solve_start.elapsed(),
+                solver.name(),
+                Some(stats.phases),
+            )
+        }
+        _ => {
+            let solver = chain.solver_from_hierarchy(choice, spec.tol, parts);
+            let solve_start = Instant::now();
+            let result = solver.solve(chain.tpm(), init.as_deref())?;
+            (result, solve_start.elapsed(), solver.name(), None)
+        }
+    };
     let iterations = result.iterations();
     let residual = result.residual();
-    let analysis = chain.analysis_from_stationary(
+    let mut analysis = chain.analysis_from_stationary(
         result.distribution,
         iterations,
         residual,
         solve_time,
-        solver.name(),
+        solver_name,
     );
+    analysis.mg_phases = mg_phases;
 
     obs::counter("sweep.points", 1);
     obs::histogram("sweep.point.form_ns", form_secs * 1e9);

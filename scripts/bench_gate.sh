@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Benchmark regression gate: takes a fresh bench_snapshot and compares it
-# against the committed baseline (results/BENCH_AFTER_PR4_T4.json by
+# against the committed baseline (results/BENCH_AFTER_PR5_T4.json by
 # default, override with $1). Deterministic metrics — states, nnz, solver cycles,
 # residual, BER, Monte-Carlo results — must be bit-identical; wall-clock
 # numbers are advisory (the gate prints fresh/baseline ratios but never
@@ -13,7 +13,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-baseline="${1:-results/BENCH_AFTER_PR4_T4.json}"
+baseline="${1:-results/BENCH_AFTER_PR5_T4.json}"
 fresh="target/BENCH_GATE_FRESH.json"
 
 # Pull the thread count and grid refinement the baseline was recorded at
