@@ -30,6 +30,12 @@ const EXACT: &[&str] = &[
     "sweep_mg_level_misses",
     "sweep_mg_plan_hits",
     "sweep_mg_plan_misses",
+    // Main-thread allocation counts of the uninstrumented build/solve
+    // pre-pass: a pure function of configuration and thread count, so an
+    // unexplained change means an allocation crept into (or left) a
+    // kernel. Byte figures and high-water marks are advisory below.
+    "mem_form_alloc_count",
+    "mem_solve_alloc_count",
 ];
 
 /// Wall-clock metrics reported as ratios, never gated on. The multigrid
@@ -51,6 +57,16 @@ const ADVISORY: &[&str] = &[
     "solve_smooth_secs",
     "solve_coarse_secs",
     "solve_disaggregate_secs",
+    // Memory figures: byte totals depend on allocator growth policies and
+    // worker-thread scheduling (high-water marks), and RSS on the kernel,
+    // so they are reported, not gated.
+    "mem_form_alloc_bytes",
+    "mem_form_peak_bytes",
+    "mem_solve_alloc_bytes",
+    "mem_solve_peak_bytes",
+    "mem_peak_bytes",
+    "mem_alloc_count",
+    "mem_peak_rss_bytes",
 ];
 
 fn load(path: &str) -> Json {

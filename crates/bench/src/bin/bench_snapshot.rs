@@ -22,6 +22,11 @@ use stochcdr_markov::StochasticMatrix;
 use stochcdr_obs as obs;
 use stochcdr_sweep::{run, SweepAxis, SweepSpec};
 
+/// Route allocations through the accounting wrapper so the snapshot can
+/// record allocation counts and heap high-water marks per phase.
+#[global_allocator]
+static GLOBAL: obs::mem::TrackingAlloc = obs::mem::TrackingAlloc::new();
+
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -59,6 +64,30 @@ fn main() {
         .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
         .build()
         .expect("config");
+
+    // Memory pre-pass, *before* the summary sink is installed: the sink's
+    // own bookkeeping (histogram bins, span maps) allocates on timing-
+    // dependent paths, so measuring alongside it would make the counts
+    // nondeterministic. With obs disabled the main-thread allocation
+    // counts of chain build and solve are a pure function of the
+    // configuration and thread count, so the gate can compare them
+    // exactly; heap high-water marks include worker threads and are
+    // advisory. Forcing the pool config first keeps its one-time lazy
+    // init (env parse) out of the measured windows.
+    let _ = par::threads();
+    obs::mem::reset_peak();
+    let mark = obs::mem::thread_mark();
+    let mem_chain = CdrModel::new(config.clone()).build_chain().expect("chain");
+    let (mem_form_alloc_bytes, mem_form_alloc_count) = mark.delta();
+    let mem_form_peak_bytes = obs::mem::peak_bytes();
+    obs::mem::reset_peak();
+    let mark = obs::mem::thread_mark();
+    let _ = mem_chain
+        .analyze(SolverChoice::Multigrid)
+        .expect("analysis");
+    let (mem_solve_alloc_bytes, mem_solve_alloc_count) = mark.delta();
+    let mem_solve_peak_bytes = obs::mem::peak_bytes();
+    drop(mem_chain);
 
     obs::install(Box::new(obs::SummarySink::new()));
 
@@ -149,6 +178,8 @@ fn main() {
     let (mg_level_hits, mg_level_misses) = cache_kind("mg.level");
     let (mg_plan_hits, mg_plan_misses) = cache_kind("mg.plan");
 
+    // Whole-process memory gauges go into the summary before it detaches.
+    obs::mem::publish();
     let summary = obs::uninstall()
         .and_then(|mut s| s.finish())
         .unwrap_or_default();
@@ -196,6 +227,25 @@ fn main() {
         json,
         "  \"solve_disaggregate_secs\": {:e},",
         phases.disaggregate_secs
+    );
+    let _ = writeln!(json, "  \"mem_form_alloc_count\": {mem_form_alloc_count},");
+    let _ = writeln!(json, "  \"mem_form_alloc_bytes\": {mem_form_alloc_bytes},");
+    let _ = writeln!(json, "  \"mem_form_peak_bytes\": {mem_form_peak_bytes},");
+    let _ = writeln!(
+        json,
+        "  \"mem_solve_alloc_count\": {mem_solve_alloc_count},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"mem_solve_alloc_bytes\": {mem_solve_alloc_bytes},"
+    );
+    let _ = writeln!(json, "  \"mem_solve_peak_bytes\": {mem_solve_peak_bytes},");
+    let _ = writeln!(json, "  \"mem_peak_bytes\": {},", obs::mem::peak_bytes());
+    let _ = writeln!(json, "  \"mem_alloc_count\": {},", obs::mem::alloc_count());
+    let _ = writeln!(
+        json,
+        "  \"mem_peak_rss_bytes\": {},",
+        obs::mem::peak_rss_bytes()
     );
     let _ = writeln!(json, "  \"sweep_drift_points\": {sweep_drift_points},");
     let _ = writeln!(json, "  \"sweep_mg_level_hits\": {mg_level_hits},");

@@ -1,0 +1,69 @@
+//! **Run-diff regression report** — the scriptable face of the
+//! `stochcdr diff` subcommand, built on [`stochcdr_obs::artifact::diff`].
+//!
+//! Where `metrics_diff` walks raw sections, this binary runs the shared
+//! diff engine: counters, event counts, span counts, and histogram bins
+//! compare exactly; span timings, memory attribution, and gauges are
+//! advisory within `--rel-tol` (default 0.5). The rendered report is
+//! what `scripts/bench_gate.sh` uploads from CI.
+//!
+//! Usage: `obs_diff BASELINE.jsonl FRESH.jsonl [--rel-tol X] [--out REPORT.txt]`
+//! — exits 1 on a deterministic mismatch, 2 on unreadable/invalid input
+//! or a bad flag (the `metrics_diff` convention).
+
+use stochcdr_obs::artifact::{diff, Artifact, DiffOptions};
+
+fn bail(msg: &str) -> ! {
+    eprintln!("obs_diff: {msg}");
+    eprintln!("usage: obs_diff BASELINE.jsonl FRESH.jsonl [--rel-tol X] [--out REPORT.txt]");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Artifact {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| bail(&format!("cannot read '{path}': {e}")));
+    Artifact::load_jsonl(&text)
+        .unwrap_or_else(|e| bail(&format!("'{path}' is not a metrics artifact: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut rel_tol = DiffOptions::default().rel_tol;
+    let mut out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--rel-tol" => {
+                let v = it.next().unwrap_or_else(|| bail("--rel-tol needs a value"));
+                rel_tol = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t > 0.0)
+                    .unwrap_or_else(|| bail(&format!("invalid --rel-tol '{v}'")));
+            }
+            "--out" => out = Some(it.next().unwrap_or_else(|| bail("--out needs a value"))),
+            flag if flag.starts_with("--") => bail(&format!("unknown flag '{flag}'")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = &paths[..] else {
+        bail("expected exactly two artifact paths");
+    };
+
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    let report = diff(&baseline, &fresh, &DiffOptions { rel_tol });
+    print!("{}", report.text);
+    if let Some(path) = out {
+        std::fs::write(&path, &report.text)
+            .unwrap_or_else(|e| bail(&format!("cannot write '{path}': {e}")));
+    }
+    if !report.ok() {
+        eprintln!(
+            "obs_diff: {} deterministic record(s) drifted",
+            report.failures.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -72,8 +72,12 @@ pub fn usage() -> String {
      \x20 acquire    lock-acquisition curve and mean pull-in time (--horizon N)\n\
      \x20 jitter     recovered-clock jitter report (--max-lag N)\n\
      \x20 spy        ASCII nonzero pattern of the transition matrix (--size N)\n\
-     \x20 report     render a recorded artifact (--in FILE): a stochcdr-obs/2\n\
-     \x20            metrics JSONL stream or a Chrome trace from --trace\n\
+     \x20 report     render a recorded artifact (--in FILE): a stochcdr-obs\n\
+     \x20            metrics JSONL stream (schema /1../3) or a Chrome trace\n\
+     \x20            from --trace\n\
+     \x20 diff       compare two metrics artifacts (--baseline A --fresh B):\n\
+     \x20            counts exact, timings/memory advisory (--rel-tol X,\n\
+     \x20            default 0.5); --out FILE saves the regression report\n\
      \n\
      model flags (all commands):\n\
      \x20 --phases N           VCO phases (default 8)\n\
@@ -96,7 +100,10 @@ pub fn usage() -> String {
      \x20 --metrics PATH       capture instrumentation records to PATH\n\
      \x20 --metrics-format F   accepted values: summary | jsonl (default\n\
      \x20                      summary, a human table; jsonl streams the\n\
-     \x20                      stochcdr-obs/2 records); requires --metrics\n\
+     \x20                      stochcdr-obs/3 records); requires --metrics\n\
+     \x20 --mem-budget BYTES   soft live-heap budget (suffixes K/M/G); the\n\
+     \x20                      Kronecker path refuses to materialize past it\n\
+     \x20                      and a mem.budget_exceeded event is recorded\n\
      \x20 --trace PATH         write a Chrome Trace Event JSON file (open in\n\
      \x20                      ui.perfetto.dev or chrome://tracing)\n"
         .to_string()
@@ -145,6 +152,10 @@ pub struct Options {
     pub metrics_format: MetricsFormat,
     /// Where to write a Chrome Trace Event file (`--trace`), if anywhere.
     pub trace: Option<String>,
+    /// Soft live-heap budget in bytes (`--mem-budget`), if any: published
+    /// to [`stochcdr_obs::mem`] so budget-aware paths (the Kronecker
+    /// materialization) can refuse oversized intermediates.
+    pub mem_budget: Option<u64>,
     /// Remaining subcommand-specific flags.
     pub extra: BTreeMap<String, String>,
 }
@@ -184,6 +195,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                     metrics: None,
                     metrics_format: MetricsFormat::Summary,
                     trace: None,
+                    mem_budget: None,
                     extra: BTreeMap::new(),
                 },
             })
@@ -191,7 +203,7 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         Some(c) => c.clone(),
     };
     let known = [
-        "analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy", "report",
+        "analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy", "report", "diff",
     ];
     if !known.contains(&command.as_str()) {
         return Err(CliError::UnknownCommand(command));
@@ -270,6 +282,14 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         }
     };
     let trace = flags.remove("trace");
+    let mem_budget = match flags.remove("mem-budget") {
+        None => None,
+        Some(v) => Some(parse_mem_size(&v).ok_or_else(|| CliError::BadValue {
+            flag: "--mem-budget".into(),
+            value: v,
+            expected: "a byte count, optionally suffixed K/M/G",
+        })?),
+    };
 
     let white = if dj > 0.0 {
         WhiteJitterSpec::from_dual_dirac(dj, sigma)
@@ -299,9 +319,24 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
             metrics,
             metrics_format,
             trace,
+            mem_budget,
             extra: flags,
         },
     })
+}
+
+/// Parses a byte size with an optional binary suffix: `1048576`,
+/// `512K`, `64M`, `2G` (case-insensitive, `1024`-based).
+fn parse_mem_size(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (digits, mult) = match v.chars().last()? {
+        'k' | 'K' => (&v[..v.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&v[..v.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&v[..v.len() - 1], 1u64 << 30),
+        _ => (v, 1),
+    };
+    let n: u64 = digits.trim().parse().ok()?;
+    n.checked_mul(mult)
 }
 
 /// Splices `--config FILE` contents into the argument list.
@@ -536,6 +571,42 @@ mod tests {
         );
         assert!(usage().contains("--trace"));
         assert!(usage().contains("report"));
+    }
+
+    #[test]
+    fn mem_budget_parses_suffixes() {
+        assert_eq!(parse(&argv("analyze")).unwrap().options.mem_budget, None);
+        let p = parse(&argv("analyze --mem-budget 1048576")).unwrap();
+        assert_eq!(p.options.mem_budget, Some(1 << 20));
+        let p = parse(&argv("analyze --mem-budget 512K")).unwrap();
+        assert_eq!(p.options.mem_budget, Some(512 << 10));
+        let p = parse(&argv("analyze --mem-budget 64m")).unwrap();
+        assert_eq!(p.options.mem_budget, Some(64 << 20));
+        let p = parse(&argv("analyze --mem-budget 2G")).unwrap();
+        assert_eq!(p.options.mem_budget, Some(2 << 30));
+        assert!(matches!(
+            parse(&argv("analyze --mem-budget lots")),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(usage().contains("--mem-budget"));
+    }
+
+    #[test]
+    fn diff_command_parses_with_artifact_flags() {
+        let p = parse(&argv(
+            "diff --baseline a.jsonl --fresh b.jsonl --rel-tol 0.2",
+        ))
+        .unwrap();
+        assert_eq!(p.command, "diff");
+        assert_eq!(
+            p.options.extra.get("baseline").map(String::as_str),
+            Some("a.jsonl")
+        );
+        assert_eq!(
+            p.options.extra.get("fresh").map(String::as_str),
+            Some("b.jsonl")
+        );
+        assert!(usage().contains("diff"));
     }
 
     #[test]

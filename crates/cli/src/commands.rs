@@ -30,6 +30,7 @@ pub fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
         "jitter" => jitter(&parsed.options),
         "spy" => spy(&parsed.options),
         "report" => report_cmd(&parsed.options),
+        "diff" => diff_cmd(&parsed.options),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
 }
@@ -46,6 +47,18 @@ fn fmt_ns(ns: f64) -> String {
     }
 }
 
+fn fmt_bytes(b: u64) -> String {
+    if b < 1 << 10 {
+        format!("{b}B")
+    } else if b < 1 << 20 {
+        format!("{:.1}KiB", b as f64 / (1u64 << 10) as f64)
+    } else if b < 1 << 30 {
+        format!("{:.1}MiB", b as f64 / (1u64 << 20) as f64)
+    } else {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    }
+}
+
 /// Histogram cells whose names mark nanoseconds (a `_ns` / `.ns`
 /// component, e.g. `multigrid.smooth.ns.level0`) render with time units.
 fn fmt_hist_cell(name: &str, v: f64) -> String {
@@ -56,9 +69,58 @@ fn fmt_hist_cell(name: &str, v: f64) -> String {
     }
 }
 
+/// `stochcdr diff --baseline A --fresh B`: compares two metrics
+/// artifacts with [`obs::artifact::diff`] — counters, events, span
+/// counts, and value-histogram bins exactly; timings, memory, and gauges
+/// within `--rel-tol` (advisory). A deterministic mismatch is an error
+/// carrying the full regression report; `--out FILE` saves the report
+/// either way.
+fn diff_cmd(opts: &Options) -> Result<String, CliError> {
+    let load = |flag: &str| -> Result<obs::artifact::Artifact, CliError> {
+        let path = opts
+            .extra
+            .get(flag)
+            .ok_or_else(|| CliError::MissingValue(format!("--{flag}")))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Analysis(format!("cannot read artifact '{path}': {e}")))?;
+        obs::artifact::Artifact::load_jsonl(&text)
+            .map_err(|e| CliError::Analysis(format!("invalid metrics artifact '{path}': {e}")))
+    };
+    let baseline = load("baseline")?;
+    let fresh = load("fresh")?;
+    let rel_tol = extra_f64(
+        opts,
+        "rel-tol",
+        obs::artifact::DiffOptions::default().rel_tol,
+    )?;
+    if !(rel_tol.is_finite() && rel_tol > 0.0) {
+        return Err(CliError::BadValue {
+            flag: "--rel-tol".into(),
+            value: rel_tol.to_string(),
+            expected: "a positive number",
+        });
+    }
+    let report = obs::artifact::diff(&baseline, &fresh, &obs::artifact::DiffOptions { rel_tol });
+    if let Some(path) = opts.extra.get("out") {
+        std::fs::write(path, &report.text)
+            .map_err(|e| CliError::Analysis(format!("cannot write diff report '{path}': {e}")))?;
+    }
+    if report.ok() {
+        Ok(report.text)
+    } else {
+        Err(CliError::Analysis(format!(
+            "{} deterministic record(s) drifted\n{}",
+            report.failures.len(),
+            report.text
+        )))
+    }
+}
+
 /// `stochcdr report --in FILE`: renders a recorded artifact — either a
 /// `--metrics ... --metrics-format jsonl` stream or a `--trace` Chrome
-/// trace — as a human-readable table, validating its structure.
+/// trace — as a human-readable table, validating its structure. Memory
+/// attribution (schema `stochcdr-obs/3`) renders only when present, so
+/// older `/1` and `/2` artifacts print exactly as they used to.
 fn report_cmd(opts: &Options) -> Result<String, CliError> {
     let path = opts
         .extra
@@ -104,6 +166,22 @@ fn report_cmd(opts: &Options) -> Result<String, CliError> {
                     fmt_ns(s.total_ns as f64),
                     fmt_ns(mean)
                 );
+            }
+        }
+        // Memory attribution arrived with stochcdr-obs/3; older artifacts
+        // carry all-zero fields and skip the section entirely.
+        if art.spans.values().any(|s| s.allocs > 0) {
+            let _ = writeln!(out, "\nspan memory (path, bytes, allocs):");
+            for (p, s) in &art.spans {
+                if s.allocs > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  {:<40} {:>12}  {:>8}",
+                        p,
+                        fmt_bytes(s.alloc_bytes),
+                        s.allocs
+                    );
+                }
             }
         }
         if !art.counters.is_empty() {
@@ -481,6 +559,42 @@ mod tests {
         let out = run(&argv(&format!("spy {SMALL} --size 16"))).unwrap();
         assert!(out.contains('+'));
         assert!(out.contains("nonzeros"));
+    }
+
+    #[test]
+    fn report_renders_memory_only_when_artifact_has_it() {
+        let dir = std::env::temp_dir();
+        // A /3 artifact with span memory attribution...
+        let v3 = dir.join("stochcdr_cli_report_v3.jsonl");
+        std::fs::write(
+            &v3,
+            "{\"kind\":\"meta\",\"schema\":\"stochcdr-obs/3\"}\n\
+             {\"kind\":\"span\",\"path\":\"solve\",\"name\":\"solve\",\"nanos\":1200,\
+              \"alloc_bytes\":65536,\"allocs\":3}\n",
+        )
+        .unwrap();
+        let out = run(&argv(&format!("report --in {}", v3.display()))).unwrap();
+        assert!(out.contains("stochcdr-obs/3"), "{out}");
+        assert!(out.contains("span memory"), "{out}");
+        assert!(out.contains("64.0KiB"), "{out}");
+
+        // ...and a pre-/3 artifact renders exactly as before: no memory
+        // section, no error.
+        let v2 = dir.join("stochcdr_cli_report_v2.jsonl");
+        std::fs::write(
+            &v2,
+            "{\"kind\":\"meta\",\"schema\":\"stochcdr-obs/2\"}\n\
+             {\"kind\":\"span\",\"path\":\"solve\",\"name\":\"solve\",\"nanos\":1200}\n\
+             {\"kind\":\"counter\",\"name\":\"sweeps\",\"delta\":3}\n",
+        )
+        .unwrap();
+        let out = run(&argv(&format!("report --in {}", v2.display()))).unwrap();
+        assert!(out.contains("stochcdr-obs/2"), "{out}");
+        assert!(!out.contains("span memory"), "{out}");
+        assert!(out.contains("sweeps"), "{out}");
+
+        std::fs::remove_file(&v3).ok();
+        std::fs::remove_file(&v2).ok();
     }
 
     #[test]

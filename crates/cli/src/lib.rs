@@ -12,6 +12,7 @@
 //! stochcdr jitter   --max-lag 200
 //! stochcdr spy      --size 64
 //! stochcdr report   --in metrics.jsonl
+//! stochcdr diff     --baseline a.jsonl --fresh b.jsonl
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy keeps
@@ -45,6 +46,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     if parsed.options.threads > 0 {
         stochcdr_linalg::par::set_threads(Some(parsed.options.threads));
     }
+    // `--mem-budget` (re)publishes the soft live-heap budget every run so
+    // a previous invocation's budget never leaks into this one.
+    obs::mem::set_budget(parsed.options.mem_budget);
     let metrics = parsed.options.metrics.clone();
     let trace = parsed.options.trace.clone();
     if metrics.is_none() && trace.is_none() {
@@ -80,6 +84,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
 
     obs::gauge("cli.threads", stochcdr_linalg::par::threads() as f64);
     let result = commands::dispatch(&parsed);
+    // Memory gauges (live/peak heap, allocation count, peak RSS) describe
+    // the whole command; publish them right before the sink detaches.
+    obs::mem::publish();
     // Uninstall even on dispatch failure so the global recorder never
     // outlives the command that enabled it.
     let sink = obs::uninstall();

@@ -1,6 +1,13 @@
 //! The `stochcdr` command-line tool: stochastic Markov-chain performance
 //! evaluation of digital clock-and-data-recovery circuits from the shell.
 
+/// Route every allocation through the accounting wrapper so `--metrics`
+/// artifacts carry per-span memory attribution and the `mem.*` gauges
+/// (see `stochcdr_obs::mem`). Pass-through when the obs `alloc-track`
+/// feature is disabled.
+#[global_allocator]
+static GLOBAL: stochcdr_obs::mem::TrackingAlloc = stochcdr_obs::mem::TrackingAlloc::new();
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match stochcdr_cli::run(&argv) {

@@ -117,6 +117,35 @@ impl KroneckerOp {
         y
     }
 
+    /// Exact nonzero count of the materialized product, `Π nnz(A_i)`
+    /// (saturating — a saturated value is far past any budget anyway).
+    pub fn materialized_nnz(&self) -> usize {
+        self.factors
+            .iter()
+            .fold(1usize, |acc, f| acc.saturating_mul(f.nnz()))
+    }
+
+    /// Estimated heap cost of [`materialize`](Self::materialize) in
+    /// bytes: CSR stores one `f64` value and one `usize` column index per
+    /// nonzero plus a `dim + 1` row-pointer array.
+    pub fn materialize_cost_bytes(&self) -> u64 {
+        let per_nnz = (size_of::<f64>() + size_of::<usize>()) as u64;
+        let nnz = self.materialized_nnz() as u64;
+        nnz.saturating_mul(per_nnz)
+            .saturating_add(((self.dim as u64) + 1) * size_of::<usize>() as u64)
+    }
+
+    /// Budget-aware [`materialize`](Self::materialize): refuses (returns
+    /// `None`) when the estimated product size would push the live heap
+    /// past the soft memory budget ([`stochcdr_obs::mem::set_budget`],
+    /// `--mem-budget` on the CLI). The refusal emits a
+    /// `mem.budget_exceeded` event; with no budget set this always
+    /// materializes.
+    pub fn try_materialize(&self) -> Option<CsrMatrix> {
+        obs::mem::check_budget("fsm.kron_materialize", self.materialize_cost_bytes())
+            .then(|| self.materialize())
+    }
+
     /// Materializes the full Kronecker product (for tests and small
     /// systems).
     pub fn materialize(&self) -> CsrMatrix {
@@ -429,6 +458,22 @@ mod tests {
         let total: f64 = y.iter().sum();
         assert!((total - 1.0).abs() < 1e-12);
         assert!(y.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn try_materialize_honors_the_soft_budget() {
+        use stochcdr_obs::mem;
+        let op = KroneckerOp::new(vec![stochastic2(0.3); 10]);
+        assert_eq!(op.materialized_nnz(), 4usize.pow(10));
+        assert!(op.materialize_cost_bytes() > 4u64.pow(10) * 16);
+
+        // ~16 MiB estimated; a 1 MiB budget must refuse it, no budget
+        // (or a generous one) must not.
+        mem::set_budget(Some(1 << 20));
+        assert!(op.try_materialize().is_none(), "oversized product built");
+        mem::set_budget(None);
+        let m = op.try_materialize().expect("no budget, must materialize");
+        assert_eq!(m.nnz(), op.materialized_nnz());
     }
 
     #[test]

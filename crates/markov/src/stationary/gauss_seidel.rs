@@ -5,7 +5,9 @@ use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
-use super::{finalize, square_dim, SolveOptions, StationaryResult, StationarySolver};
+use super::{
+    finalize, square_dim, ConvergenceTrace, SolveOptions, StationaryResult, StationarySolver,
+};
 
 /// Gauss–Seidel iteration on the stationarity equations.
 ///
@@ -118,6 +120,7 @@ impl StationarySolver for GaussSeidelSolver {
             }
         };
         let mut history = Vec::new();
+        let mut trace = ConvergenceTrace::new("markov.gauss_seidel.stall");
         for it in 1..=self.opts.max_iters {
             let change = sweep_transposed(pt, &mut x);
             if vecops::sum(&x) == 0.0 {
@@ -126,6 +129,7 @@ impl StationarySolver for GaussSeidelSolver {
                 x = vecops::uniform(n);
                 continue;
             }
+            trace.observe(change);
             if self.opts.record_history {
                 history.push(change);
             }
@@ -134,7 +138,7 @@ impl StationarySolver for GaussSeidelSolver {
                     "markov.gauss_seidel",
                     &[("iterations", it.into()), ("change", change.into())],
                 );
-                return Ok(finalize(op, x, it, history));
+                return Ok(finalize(op, x, it, history, trace.summary()));
             }
         }
         let residual = {

@@ -144,6 +144,7 @@ impl StationarySolver for GthSolver {
                 iterations: 1,
                 residual,
                 residual_history: vec![residual],
+                convergence: super::ConvergenceSummary::default(),
             },
         })
     }

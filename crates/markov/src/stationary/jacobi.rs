@@ -5,7 +5,9 @@ use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
-use super::{finalize, square_dim, SolveOptions, StationaryResult, StationarySolver};
+use super::{
+    finalize, square_dim, ConvergenceTrace, SolveOptions, StationaryResult, StationarySolver,
+};
 
 /// Damped (weighted) Jacobi iteration on the stationarity equations.
 ///
@@ -149,6 +151,7 @@ impl StationarySolver for JacobiSolver {
         let mut x = self.opts.starting_vector(n, init)?;
         let diag = op.diagonal();
         let mut history = Vec::new();
+        let mut trace = ConvergenceTrace::new("markov.jacobi.stall");
         for it in 1..=self.opts.max_iters {
             let change = self.sweep_op(op, &diag, &mut x);
             if vecops::sum(&x) == 0.0 {
@@ -157,6 +160,7 @@ impl StationarySolver for JacobiSolver {
                 x = vecops::uniform(n);
                 continue;
             }
+            trace.observe(change);
             if self.opts.record_history {
                 history.push(change);
             }
@@ -165,7 +169,7 @@ impl StationarySolver for JacobiSolver {
                     "markov.jacobi",
                     &[("iterations", it.into()), ("change", change.into())],
                 );
-                return Ok(finalize(op, x, it, history));
+                return Ok(finalize(op, x, it, history, trace.summary()));
             }
         }
         let residual = {

@@ -18,11 +18,13 @@
 //! The multigrid method of the paper lives in the `stochcdr-multigrid`
 //! crate and implements the same [`StationarySolver`] trait.
 
+mod convergence;
 mod gauss_seidel;
 mod gth;
 mod jacobi;
 mod power;
 
+pub use convergence::{ConvergenceSummary, ConvergenceTrace};
 pub use gauss_seidel::GaussSeidelSolver;
 pub use gth::GthSolver;
 pub use jacobi::JacobiSolver;
@@ -125,6 +127,10 @@ pub struct SolveReport {
     /// unless [`SolveOptions::record_history`] is set — except for
     /// multigrid, which always records its (short) cycle history.
     pub residual_history: Vec<f64>,
+    /// Condensed convergence trajectory: reduction-factor EWMA and the
+    /// stall detector's verdict (see [`ConvergenceTrace`]). Default-empty
+    /// for direct solvers.
+    pub convergence: ConvergenceSummary,
 }
 
 /// Outcome of a stationary-distribution solve.
@@ -210,6 +216,7 @@ pub(crate) fn finalize(
     mut x: Vec<f64>,
     iterations: usize,
     mut residual_history: Vec<f64>,
+    convergence: ConvergenceSummary,
 ) -> StationaryResult {
     vecops::clamp_roundoff(&mut x, 1e-12);
     let residual = {
@@ -222,6 +229,9 @@ pub(crate) fn finalize(
     if obs::enabled() {
         obs::counter("markov.solve.iterations", iterations as u64);
         obs::gauge("markov.solve.residual", residual);
+        if let Some(ewma) = convergence.ewma_reduction {
+            obs::gauge("markov.solve.reduction_ewma", ewma);
+        }
     }
     StationaryResult {
         distribution: x,
@@ -229,6 +239,7 @@ pub(crate) fn finalize(
             iterations,
             residual,
             residual_history,
+            convergence,
         },
     }
 }

@@ -5,7 +5,9 @@ use stochcdr_obs as obs;
 
 use crate::{MarkovError, Result};
 
-use super::{finalize, square_dim, SolveOptions, StationaryResult, StationarySolver};
+use super::{
+    finalize, square_dim, ConvergenceTrace, SolveOptions, StationaryResult, StationarySolver,
+};
 
 /// Power iteration: `η_{k+1} = η_k P`, renormalized in L1.
 ///
@@ -84,6 +86,7 @@ impl StationarySolver for PowerIteration {
         let mut x = self.opts.starting_vector(n, init)?;
         let mut y = vec![0.0; n];
         let mut history = Vec::new();
+        let mut trace = ConvergenceTrace::new("markov.power.stall");
         for it in 1..=self.opts.max_iters {
             op.mul_left_into(&x, &mut y);
             // P is row-stochastic so ||y||_1 == ||x||_1 == 1 exactly up to
@@ -91,6 +94,7 @@ impl StationarySolver for PowerIteration {
             vecops::normalize_l1(&mut y);
             let res = vecops::dist1(&x, &y);
             std::mem::swap(&mut x, &mut y);
+            trace.observe(res);
             if self.opts.record_history {
                 history.push(res);
             }
@@ -99,7 +103,7 @@ impl StationarySolver for PowerIteration {
                     "markov.power",
                     &[("iterations", it.into()), ("residual", res.into())],
                 );
-                return Ok(finalize(op, x, it, history));
+                return Ok(finalize(op, x, it, history, trace.summary()));
             }
         }
         let res = {

@@ -1,0 +1,47 @@
+//! The stall detector fires on a constructed stalling model — a chain
+//! whose subdominant eigenvalue sits at `1 − O(ε)`, so power iteration
+//! contracts by `≈ 1 − ε` per step — and the stall is visible in the
+//! recorded artifact, not just in the in-process summary.
+
+use stochcdr_linalg::CooMatrix;
+use stochcdr_markov::stationary::{PowerIteration, StationarySolver};
+use stochcdr_markov::{MarkovError, StochasticMatrix};
+use stochcdr_obs::artifact::Artifact;
+use stochcdr_obs::{self as obs, JsonLinesSink};
+
+#[test]
+fn power_iteration_stall_fires_event_on_stiff_chain() {
+    // Two-state chain with transition probabilities ε in both directions:
+    // λ₂ = 1 − 2ε, so from a concentrated start every residual reduction
+    // is ≈ 1 − 2ε ≥ the 0.99 stall threshold.
+    let eps = 1e-7;
+    let mut coo = CooMatrix::new(2, 2);
+    coo.push(0, 0, 1.0 - eps);
+    coo.push(0, 1, eps);
+    coo.push(1, 0, eps);
+    coo.push(1, 1, 1.0 - eps);
+    let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+
+    let _ = obs::uninstall();
+    let (sink, buf) = JsonLinesSink::to_shared_buffer();
+    obs::install(Box::new(sink));
+    // 100 iterations barely dent a 1 − 2e-7 contraction: the solve must
+    // exhaust its budget, but the stall event fires long before that.
+    let err = PowerIteration::new(1e-12, 100)
+        .solve(&p, Some(&[1.0, 0.0]))
+        .unwrap_err();
+    obs::uninstall();
+    assert!(matches!(err, MarkovError::NotConverged { .. }));
+
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let artifact = Artifact::load_jsonl(&text).expect("artifact parses");
+    let stalls = artifact
+        .events
+        .get("markov.power.stall")
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(
+        stalls, 1,
+        "stall event must fire exactly once on a stalling solve"
+    );
+}

@@ -5,7 +5,10 @@ use std::time::Instant;
 
 use stochcdr_linalg::{vecops, TransitionOp};
 use stochcdr_markov::lumping::{disaggregate_scaled, lump_weighted_into, LumpPlan, Partition};
-use stochcdr_markov::stationary::{GthSolver, SolveReport, StationaryResult, StationarySolver};
+use stochcdr_markov::stationary::{
+    ConvergenceSummary, ConvergenceTrace, GthSolver, SolveReport, StationaryResult,
+    StationarySolver,
+};
 use stochcdr_markov::{MarkovError, Result, StochasticMatrix};
 use stochcdr_obs as obs;
 
@@ -173,6 +176,11 @@ pub struct MultigridStats {
     /// disaggregation, coarse solves, residual checks). Advisory: the
     /// arithmetic is deterministic, the timings are not.
     pub phases: MgPhases,
+    /// Condensed convergence trajectory: per-cycle reduction-factor EWMA
+    /// and the stall detector's verdict. A pure function of
+    /// [`MultigridStats::residual_history`], so bit-identical across
+    /// thread counts.
+    pub convergence: ConvergenceSummary,
 }
 
 /// Multi-level aggregation/disaggregation stationary solver.
@@ -303,6 +311,11 @@ impl MultigridSolver {
     /// single worker thread) and produce bits identical to the original
     /// rebuild-everything cycle at any thread count.
     ///
+    /// Callers driving the cycle loop themselves can feed the returned
+    /// residuals to a [`ConvergenceTrace`] for reduction-factor EWMA and
+    /// stall detection — [`solve_prepared`](Self::solve_prepared) does
+    /// exactly that and reports the summary on [`MultigridStats`].
+    ///
     /// # Errors
     ///
     /// Returns [`MarkovError::InvalidArgument`] if `h` was prepared for a
@@ -381,11 +394,17 @@ impl MultigridSolver {
         );
 
         let mut history = Vec::new();
+        // Multigrid stalls much faster than a slowly-grinding power
+        // iteration would: a healthy cycle contracts by ~0.1, so even a
+        // 0.9 reduction sustained over 5 cycles means the coarse
+        // correction has stopped helping.
+        let mut trace = ConvergenceTrace::new("multigrid.stall").with_stall(0.9, 5);
         for cycle in 1..=self.max_cycles {
             let cycle_t0 = obs::enabled().then(Instant::now);
             let cycle_span = obs::span("cycle");
             let res = self.cycle(p, h, &mut x)?;
             drop(cycle_span);
+            trace.observe(res);
             if let Some(t0) = cycle_t0 {
                 obs::histogram("multigrid.cycle.ns", t0.elapsed().as_nanos() as f64);
                 // Per-cycle contraction factor: the distribution the
@@ -412,12 +431,19 @@ impl MultigridSolver {
                     "multigrid.converged",
                     &[("cycles", cycle.into()), ("residual", final_res.into())],
                 );
+                let convergence = trace.summary();
+                if obs::enabled() {
+                    if let Some(ewma) = convergence.ewma_reduction {
+                        obs::gauge("multigrid.reduction_ewma", ewma);
+                    }
+                }
                 let result = StationaryResult {
                     distribution: x,
                     report: SolveReport {
                         iterations: cycle,
                         residual: final_res,
                         residual_history: history.clone(),
+                        convergence: convergence.clone(),
                     },
                 };
                 let stats = MultigridStats {
@@ -425,6 +451,7 @@ impl MultigridSolver {
                     levels: self.levels(),
                     level_sizes,
                     phases: h.phases,
+                    convergence,
                 };
                 return Ok((result, stats));
             }

@@ -4,62 +4,19 @@
 //!
 //! Every coarse operator, transpose, scatter map, and scratch vector is
 //! owned by the [`MgHierarchy`]; the numeric refresh and the smoothers
-//! write into those buffers in place. A counting wrapper around the
-//! system allocator (same technique as `stochcdr-obs`'s zero-overhead
-//! proof) tallies allocations across warm cycles and demands none.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+//! write into those buffers in place. The workspace's accounting
+//! allocator ([`stochcdr_obs::mem::TrackingAlloc`]) tallies allocations
+//! across warm cycles and demands none — the same instrument CI's
+//! mem-smoke job runs.
 
 use stochcdr_linalg::{par, CooMatrix};
 use stochcdr_markov::lumping::Partition;
 use stochcdr_markov::StochasticMatrix;
 use stochcdr_multigrid::{CycleKind, MultigridSolver, Smoother};
-
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use stochcdr_obs::mem;
 
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn alloc_count() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
-
-/// Smallest allocation delta across `attempts` runs of `f`: the counter
-/// is process-global, so another harness thread can allocate inside a
-/// window, but a genuine allocation in the code under test repeats every
-/// attempt.
-fn min_delta<F: FnMut()>(mut f: F, attempts: usize) -> u64 {
-    let mut best = u64::MAX;
-    for _ in 0..attempts {
-        let before = alloc_count();
-        f();
-        let delta = alloc_count() - before;
-        best = best.min(delta);
-        if best == 0 {
-            break;
-        }
-    }
-    best
-}
+static GLOBAL: mem::TrackingAlloc = mem::TrackingAlloc::new();
 
 /// Ring chain of `n` states with a small self loop.
 fn ring(n: usize) -> StochasticMatrix {
@@ -91,6 +48,10 @@ fn warm_cycles_do_not_allocate() {
 
     let n = 64;
     let p = ring(n);
+    assert!(
+        mem::tracking_active(),
+        "TrackingAlloc must be installed for this proof to mean anything"
+    );
     for kind in [CycleKind::V, CycleKind::W] {
         let solver = MultigridSolver::builder(pair_partitions(n, 3))
             .cycle(kind)
@@ -106,7 +67,7 @@ fn warm_cycles_do_not_allocate() {
         for _ in 0..3 {
             solver.cycle(&p, &mut h, &mut x).unwrap();
         }
-        let allocated = min_delta(
+        let allocated = mem::min_alloc_delta(
             || {
                 let res = solver.cycle(&p, &mut h, &mut x).unwrap();
                 assert!(res.is_finite());

@@ -1,13 +1,18 @@
 //! Loading and validating recorded observability artifacts.
 //!
 //! Two artifact shapes exist: the JSONL metrics stream written by
-//! [`crate::JsonLinesSink`] (`stochcdr-obs/1` or `/2`) and the Chrome
-//! Trace Event array written by [`crate::ChromeTraceSink`]. This module
-//! parses both — [`Artifact`] aggregates a metrics stream for
-//! reporting/diffing, and [`check_trace`] validates a trace file's
-//! structure (balanced begin/end edges per span name).
+//! [`crate::JsonLinesSink`] (`stochcdr-obs/1`, `/2`, or `/3`) and the
+//! Chrome Trace Event array written by [`crate::ChromeTraceSink`]. This
+//! module parses both — [`Artifact`] aggregates a metrics stream for
+//! reporting, and [`check_trace`] validates a trace file's structure
+//! (balanced begin/end edges per span name). [`diff`] compares two
+//! aggregated artifacts into a regression report: deterministic facts
+//! (counters, event counts, span counts, non-timing histogram bins) are
+//! exact, while timings and memory sizes carry a relative tolerance and
+//! only ever produce advisories.
 
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 use crate::hist::LogHist;
 use crate::json::Json;
@@ -15,7 +20,7 @@ use crate::json::Json;
 /// Aggregated view of one JSONL metrics artifact.
 #[derive(Debug, Default, Clone)]
 pub struct Artifact {
-    /// Schema tag from the meta line (`stochcdr-obs/1` or `/2`).
+    /// Schema tag from the meta line (`stochcdr-obs/1`, `/2`, or `/3`).
     pub schema: String,
     /// Counter name → summed deltas.
     pub counters: BTreeMap<String, u64>,
@@ -40,10 +45,15 @@ pub struct SpanStat {
     pub min_ns: u64,
     /// Slowest instance (ns).
     pub max_ns: u64,
+    /// Summed heap bytes charged to the span on its own thread (0 for
+    /// pre-`/3` artifacts or untracked processes).
+    pub alloc_bytes: u64,
+    /// Summed allocation count (0 for pre-`/3` artifacts).
+    pub allocs: u64,
 }
 
 impl SpanStat {
-    fn fold(&mut self, nanos: u64) {
+    fn fold(&mut self, nanos: u64, alloc_bytes: u64, allocs: u64) {
         if self.count == 0 {
             self.min_ns = nanos;
             self.max_ns = nanos;
@@ -53,6 +63,8 @@ impl SpanStat {
         }
         self.count += 1;
         self.total_ns += nanos;
+        self.alloc_bytes += alloc_bytes;
+        self.allocs += allocs;
     }
 }
 
@@ -72,9 +84,10 @@ fn need_str<'a>(v: &'a Json, key: &str, line_no: usize) -> Result<&'a str, Strin
 impl Artifact {
     /// Parses a JSONL metrics stream produced by [`crate::JsonLinesSink`].
     ///
-    /// Accepts both `stochcdr-obs/1` and `/2`; `/1` streams simply lack
-    /// span identity and `hist` lines. Unknown record kinds are an error
-    /// so schema drift is caught loudly.
+    /// Accepts `stochcdr-obs/1`, `/2`, and `/3`: `/1` streams simply
+    /// lack span identity and `hist` lines, and pre-`/3` span lines lack
+    /// the memory fields (read as zero). Unknown record kinds are an
+    /// error so schema drift is caught loudly.
     pub fn load_jsonl(text: &str) -> Result<Artifact, String> {
         let mut art = Artifact::default();
         let mut lines = text
@@ -87,7 +100,10 @@ impl Artifact {
             return Err("first line is not a meta record".into());
         }
         let schema = need_str(&meta, "schema", 1)?;
-        if schema != "stochcdr-obs/1" && schema != crate::SCHEMA_VERSION {
+        if schema != "stochcdr-obs/1"
+            && schema != "stochcdr-obs/2"
+            && schema != crate::SCHEMA_VERSION
+        {
             return Err(format!("unsupported schema \"{schema}\""));
         }
         art.schema = schema.to_string();
@@ -98,7 +114,18 @@ impl Artifact {
                 "span" => {
                     let path = need_str(&v, "path", line_no)?;
                     let nanos = need_u64(&v, "nanos", line_no)?;
-                    art.spans.entry(path.to_string()).or_default().fold(nanos);
+                    // Memory fields are new in /3; older spans read zero.
+                    let opt = |key: &str| {
+                        v.get(key)
+                            .and_then(Json::as_f64)
+                            .map(|f| f as u64)
+                            .unwrap_or(0)
+                    };
+                    art.spans.entry(path.to_string()).or_default().fold(
+                        nanos,
+                        opt("alloc_bytes"),
+                        opt("allocs"),
+                    );
                 }
                 "counter" => {
                     let name = need_str(&v, "name", line_no)?;
@@ -158,6 +185,271 @@ impl Artifact {
             .map(|(name, h)| (name.as_str(), h.count()))
             .collect()
     }
+}
+
+/// Options for [`diff`].
+#[derive(Debug, Clone)]
+pub struct DiffOptions {
+    /// Relative tolerance for advisory quantities (timings, byte
+    /// sizes): a fresh/baseline ratio outside `[1/(1+tol), 1+tol]` is
+    /// flagged. Advisories never make the diff fail.
+    pub rel_tol: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        // Wall-clock noise on shared runners easily reaches tens of
+        // percent; the default only flags drifts worth a second look.
+        DiffOptions { rel_tol: 0.5 }
+    }
+}
+
+/// Outcome of [`diff`]: deterministic mismatches (failures), tolerance
+/// advisories, and the rendered regression report.
+#[derive(Debug, Default, Clone)]
+pub struct DiffReport {
+    /// Deterministic mismatches — a gate should fail on any of these.
+    pub failures: Vec<String>,
+    /// Quantities outside the relative tolerance — informational only.
+    pub advisories: Vec<String>,
+    /// Human-readable regression report (always rendered).
+    pub text: String,
+}
+
+impl DiffReport {
+    /// True when no deterministic mismatch was found.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Histogram/span names holding nanosecond timings (`*.ns`, `*_ns`,
+/// `*.ns.*`) — compared with tolerance instead of exactly.
+fn timing_name(name: &str) -> bool {
+    name.ends_with("_ns") || name.ends_with(".ns") || name.contains(".ns.")
+}
+
+fn ratio_line(what: &str, base: f64, fresh: f64) -> String {
+    let ratio = if base > 0.0 { fresh / base } else { f64::NAN };
+    format!("{what}: baseline {base:.4e} fresh {fresh:.4e} ratio {ratio:.3}")
+}
+
+fn check_ratio(report: &mut DiffReport, opts: &DiffOptions, what: &str, base: f64, fresh: f64) {
+    let line = ratio_line(what, base, fresh);
+    let within = if base == 0.0 && fresh == 0.0 {
+        true
+    } else if base <= 0.0 || fresh <= 0.0 {
+        false
+    } else {
+        let ratio = fresh / base;
+        ratio <= 1.0 + opts.rel_tol && ratio >= 1.0 / (1.0 + opts.rel_tol)
+    };
+    if within {
+        let _ = writeln!(report.text, "    ok    {line}");
+    } else {
+        let _ = writeln!(report.text, "    WARN  {line}");
+        report.advisories.push(line);
+    }
+}
+
+fn diff_exact_u64<'a>(
+    report: &mut DiffReport,
+    section: &str,
+    baseline: impl Iterator<Item = (&'a str, u64)>,
+    fresh: impl Iterator<Item = (&'a str, u64)>,
+) {
+    let base: BTreeMap<&str, u64> = baseline.collect();
+    let new: BTreeMap<&str, u64> = fresh.collect();
+    let keys: std::collections::BTreeSet<&str> = base.keys().chain(new.keys()).copied().collect();
+    for key in keys {
+        match (base.get(key), new.get(key)) {
+            (Some(b), Some(f)) if b == f => {}
+            (b, f) => {
+                let line = format!(
+                    "{section}.{key}: baseline {} fresh {}",
+                    b.map_or("<missing>".to_string(), u64::to_string),
+                    f.map_or("<missing>".to_string(), u64::to_string),
+                );
+                let _ = writeln!(report.text, "    FAIL  {line}");
+                report.failures.push(line);
+            }
+        }
+    }
+}
+
+/// Compares two aggregated metrics artifacts and renders a regression
+/// report.
+///
+/// Exact (any mismatch is a failure): counter totals, event counts,
+/// span counts, and — for non-timing histograms, whose observed values
+/// are deterministic model quantities — the full per-bin distribution
+/// plus the overflow count. With tolerance (advisory only): span
+/// timings, span memory attribution, timing-histogram medians, and
+/// every gauge (gauges include wall-clock-derived rates).
+pub fn diff(baseline: &Artifact, fresh: &Artifact, opts: &DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    let _ = writeln!(
+        report.text,
+        "obs diff (baseline {}, fresh {}, rel_tol {})",
+        baseline.schema, fresh.schema, opts.rel_tol
+    );
+
+    let _ = writeln!(report.text, "  counters (exact):");
+    diff_exact_u64(
+        &mut report,
+        "counter",
+        baseline.counters.iter().map(|(k, v)| (k.as_str(), *v)),
+        fresh.counters.iter().map(|(k, v)| (k.as_str(), *v)),
+    );
+    let _ = writeln!(report.text, "  events (exact):");
+    diff_exact_u64(
+        &mut report,
+        "event",
+        baseline.events.iter().map(|(k, v)| (k.as_str(), *v)),
+        fresh.events.iter().map(|(k, v)| (k.as_str(), *v)),
+    );
+    let _ = writeln!(report.text, "  span counts (exact):");
+    diff_exact_u64(
+        &mut report,
+        "span",
+        baseline.spans.iter().map(|(k, s)| (k.as_str(), s.count)),
+        fresh.spans.iter().map(|(k, s)| (k.as_str(), s.count)),
+    );
+
+    let _ = writeln!(report.text, "  histograms:");
+    let hist_keys: std::collections::BTreeSet<&str> = baseline
+        .hists
+        .keys()
+        .chain(fresh.hists.keys())
+        .map(String::as_str)
+        .collect();
+    for name in hist_keys {
+        match (baseline.hists.get(name), fresh.hists.get(name)) {
+            (Some(b), Some(f)) if timing_name(name) => {
+                // Timing payloads drift with machine load; gate only the
+                // observation count, report the median with tolerance.
+                if b.count() != f.count() {
+                    let line = format!(
+                        "hist.{name}.count: baseline {} fresh {}",
+                        b.count(),
+                        f.count()
+                    );
+                    let _ = writeln!(report.text, "    FAIL  {line}");
+                    report.failures.push(line);
+                }
+                check_ratio(
+                    &mut report,
+                    opts,
+                    &format!("hist.{name}.p50"),
+                    b.quantile(0.5),
+                    f.quantile(0.5),
+                );
+            }
+            (Some(b), Some(f)) => {
+                // Deterministic values: the whole binned distribution
+                // must match, bin by bin.
+                let bins_equal =
+                    b.count() == f.count() && b.other() == f.other() && b.bins().eq(f.bins());
+                if bins_equal {
+                    let _ = writeln!(
+                        report.text,
+                        "    ok    hist.{name}: {} obs, bins identical",
+                        b.count()
+                    );
+                } else {
+                    let line = format!(
+                        "hist.{name}: bins differ (baseline {} obs/{} bins, \
+                         fresh {} obs/{} bins)",
+                        b.count(),
+                        b.bins().count(),
+                        f.count(),
+                        f.bins().count(),
+                    );
+                    let _ = writeln!(report.text, "    FAIL  {line}");
+                    report.failures.push(line);
+                }
+            }
+            (b, _) => {
+                let line = format!(
+                    "hist.{name}: present only in {}",
+                    if b.is_some() { "baseline" } else { "fresh" }
+                );
+                let _ = writeln!(report.text, "    FAIL  {line}");
+                report.failures.push(line);
+            }
+        }
+    }
+
+    let _ = writeln!(report.text, "  span timings (advisory):");
+    for (path, b) in &baseline.spans {
+        if let Some(f) = fresh.spans.get(path) {
+            check_ratio(
+                &mut report,
+                opts,
+                &format!("span.{path}.total_ns"),
+                b.total_ns as f64,
+                f.total_ns as f64,
+            );
+        }
+    }
+
+    // Memory attribution only exists on /3-era artifacts from tracked
+    // processes; sections render empty rather than erroring on older
+    // inputs.
+    let mem_spans: Vec<&String> = baseline
+        .spans
+        .iter()
+        .filter(|(path, b)| b.allocs > 0 || fresh.spans.get(*path).is_some_and(|f| f.allocs > 0))
+        .map(|(path, _)| path)
+        .collect();
+    if !mem_spans.is_empty() {
+        let _ = writeln!(report.text, "  span memory (advisory):");
+        for path in mem_spans {
+            let b = &baseline.spans[path];
+            if let Some(f) = fresh.spans.get(path) {
+                check_ratio(
+                    &mut report,
+                    opts,
+                    &format!("span.{path}.alloc_bytes"),
+                    b.alloc_bytes as f64,
+                    f.alloc_bytes as f64,
+                );
+            }
+        }
+    }
+
+    let gauge_keys: std::collections::BTreeSet<&str> = baseline
+        .gauges
+        .keys()
+        .chain(fresh.gauges.keys())
+        .map(String::as_str)
+        .collect();
+    if !gauge_keys.is_empty() {
+        let _ = writeln!(report.text, "  gauges (advisory):");
+        for name in gauge_keys {
+            match (baseline.gauges.get(name), fresh.gauges.get(name)) {
+                (Some(b), Some(f)) => {
+                    check_ratio(&mut report, opts, &format!("gauge.{name}"), *b, *f);
+                }
+                (b, _) => {
+                    let line = format!(
+                        "gauge.{name}: present only in {}",
+                        if b.is_some() { "baseline" } else { "fresh" }
+                    );
+                    let _ = writeln!(report.text, "    WARN  {line}");
+                    report.advisories.push(line);
+                }
+            }
+        }
+    }
+
+    let _ = writeln!(
+        report.text,
+        "result: {} failure(s), {} advisory(ies)",
+        report.failures.len(),
+        report.advisories.len()
+    );
+    report
 }
 
 /// Heuristic: Chrome trace artifacts are a JSON array, JSONL metrics
@@ -275,6 +567,75 @@ mod tests {
         assert_eq!(check.ends, 1);
         assert_eq!(check.threads, 2);
         assert_eq!(check.unbalanced, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn diff_is_exact_on_facts_and_tolerant_on_timings() {
+        let make = |count: u64, nanos: u64, reduction: f64| {
+            let text = format!(
+                concat!(
+                    "{{\"kind\":\"meta\",\"schema\":\"stochcdr-obs/3\"}}\n",
+                    "{{\"kind\":\"span\",\"path\":\"solve\",\"name\":\"solve\",",
+                    "\"id\":1,\"parent\":0,\"tid\":0,\"nanos\":{nanos},\"depth\":1,",
+                    "\"alloc_bytes\":1024,\"allocs\":4,\"t\":1}}\n",
+                    "{{\"kind\":\"counter\",\"name\":\"sweeps\",\"delta\":{count},\"t\":2}}\n",
+                    "{{\"kind\":\"hist\",\"name\":\"reduction\",\"count\":1,\"other\":0,",
+                    "\"sum\":{red:e},\"min\":{red:e},\"max\":{red:e},\"p50\":{red:e},",
+                    "\"p95\":{red:e},\"bins\":[[{bin},1]],\"t\":3}}\n",
+                ),
+                nanos = nanos,
+                count = count,
+                red = reduction,
+                bin = (reduction.log2() * 4.0).floor() as i32,
+            );
+            Artifact::load_jsonl(&text).unwrap()
+        };
+        let base = make(5, 1000, 0.25);
+
+        // Identical facts, 10% slower timing: green with default tol.
+        let close = make(5, 1100, 0.25);
+        let report = diff(&base, &close, &DiffOptions::default());
+        assert!(report.ok(), "{}", report.text);
+        assert!(report.advisories.is_empty(), "{}", report.text);
+
+        // 10x slower timing: still green, but flagged.
+        let slow = make(5, 10_000, 0.25);
+        let report = diff(&base, &slow, &DiffOptions::default());
+        assert!(report.ok(), "{}", report.text);
+        assert!(!report.advisories.is_empty(), "{}", report.text);
+
+        // Different counter total: deterministic failure.
+        let drifted = make(6, 1000, 0.25);
+        let report = diff(&base, &drifted, &DiffOptions::default());
+        assert!(!report.ok());
+        assert!(
+            report.failures[0].contains("counter.sweeps"),
+            "{:?}",
+            report.failures
+        );
+
+        // Different deterministic histogram bin: failure.
+        let moved = make(5, 1000, 0.5);
+        let report = diff(&base, &moved, &DiffOptions::default());
+        assert!(
+            report.failures.iter().any(|f| f.contains("hist.reduction")),
+            "{:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn diff_tolerates_pre_schema3_artifacts() {
+        let old = Artifact::load_jsonl(concat!(
+            "{\"kind\":\"meta\",\"schema\":\"stochcdr-obs/2\"}\n",
+            "{\"kind\":\"span\",\"path\":\"solve\",\"name\":\"solve\",\"id\":1,",
+            "\"parent\":0,\"tid\":0,\"nanos\":500,\"depth\":1,\"t\":1}\n",
+        ))
+        .unwrap();
+        assert_eq!(old.spans["solve"].allocs, 0);
+        let report = diff(&old, &old, &DiffOptions::default());
+        assert!(report.ok(), "{}", report.text);
+        assert!(!report.text.contains("span memory"), "{}", report.text);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 pub mod artifact;
 pub mod hist;
 pub mod json;
+pub mod mem;
 mod record;
 mod sink;
 mod trace;
@@ -218,6 +219,9 @@ pub struct SpanGuard {
     tid: u64,
     session: u64,
     start: Instant,
+    /// This thread's allocation counters at open; the drop delta is the
+    /// span's charged memory (zero without a tracking allocator).
+    mem: mem::ThreadAllocMark,
 }
 
 /// Opens a named span nested under this thread's innermost open span.
@@ -287,6 +291,7 @@ fn open_span(name: &'static str, parent: Option<u64>) -> SpanGuard {
         tid,
         session,
         start: Instant::now(),
+        mem: mem::thread_mark(),
     }
 }
 
@@ -300,6 +305,7 @@ impl SpanGuard {
             tid: 0,
             session: 0,
             start: Instant::now(),
+            mem: mem::thread_mark(),
         }
     }
 }
@@ -310,6 +316,7 @@ impl Drop for SpanGuard {
             return;
         }
         let nanos = self.start.elapsed().as_nanos() as u64;
+        let (alloc_bytes, allocs) = self.mem.delta();
         // Unwind this thread's stack to (and including) our entry even if
         // the session already ended — a leaked entry would corrupt later
         // paths. Spans opened after us that leaked (mem::forget) unwind
@@ -345,6 +352,8 @@ impl Drop for SpanGuard {
                 tid: self.tid,
                 nanos,
                 depth,
+                alloc_bytes,
+                allocs,
             },
         );
     }

@@ -109,6 +109,13 @@ pub enum Record<'a> {
         nanos: u64,
         /// Nesting depth (1 = top level).
         depth: usize,
+        /// Heap bytes allocated on the owning thread while the span was
+        /// open (0 without a [`crate::mem::TrackingAlloc`]). New in
+        /// schema `stochcdr-obs/3`.
+        alloc_bytes: u64,
+        /// Allocation count charged to the span on its own thread (0
+        /// without a tracking allocator). New in `stochcdr-obs/3`.
+        allocs: u64,
     },
     /// A monotone counter increment.
     Counter {

@@ -18,8 +18,11 @@ use crate::record::{Record, Value};
 /// recorded in docs; bump on breaking schema changes.
 ///
 /// `/2` extends `/1` with span identity (`name`/`id`/`parent`/`tid` on
-/// span lines) and aggregated `hist` lines flushed at finish.
-pub const SCHEMA_VERSION: &str = "stochcdr-obs/2";
+/// span lines) and aggregated `hist` lines flushed at finish. `/3`
+/// extends `/2` with memory attribution on span lines (`alloc_bytes`,
+/// `allocs` — zero without a [`crate::mem::TrackingAlloc`]) and the
+/// `mem.*` gauges published by [`crate::mem::publish`].
+pub const SCHEMA_VERSION: &str = "stochcdr-obs/3";
 
 /// A consumer of instrumentation records.
 ///
@@ -94,6 +97,8 @@ struct SpanAgg {
     total_ns: u64,
     min_ns: u64,
     max_ns: u64,
+    alloc_bytes: u64,
+    allocs: u64,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -153,6 +158,24 @@ impl SummarySink {
                 );
             }
         }
+        // Memory attribution only renders when a tracking allocator
+        // charged something — summaries from untracked processes (and
+        // pre-/3 replays) keep their old shape.
+        if self.spans.values().any(|a| a.allocs > 0) {
+            out.push_str("\nspan memory (path, bytes, allocs):\n");
+            for (path, agg) in &self.spans {
+                if agg.allocs == 0 {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<48} {:>12}  {:>8}",
+                    path,
+                    fmt_bytes(agg.alloc_bytes),
+                    agg.allocs,
+                );
+            }
+        }
         if !self.counters.is_empty() {
             out.push_str("\ncounters:\n");
             for (name, total) in &self.counters {
@@ -198,6 +221,19 @@ impl SummarySink {
     }
 }
 
+fn fmt_bytes(b: u64) -> String {
+    let b = b as f64;
+    if b < 1024.0 {
+        format!("{b:.0}B")
+    } else if b < 1024.0 * 1024.0 {
+        format!("{:.1}KiB", b / 1024.0)
+    } else if b < 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.1}MiB", b / (1024.0 * 1024.0))
+    } else {
+        format!("{:.2}GiB", b / (1024.0 * 1024.0 * 1024.0))
+    }
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns < 1e3 {
         format!("{ns:.0}ns")
@@ -238,7 +274,13 @@ impl Sink for SummarySink {
             // Aggregation keys on completed spans; the begin edge only
             // matters to streaming trace sinks.
             Record::SpanBegin { .. } => {}
-            Record::Span { path, nanos, .. } => {
+            Record::Span {
+                path,
+                nanos,
+                alloc_bytes,
+                allocs,
+                ..
+            } => {
                 let agg = self.spans.entry((*path).to_string()).or_default();
                 if agg.count == 0 {
                     agg.min_ns = *nanos;
@@ -249,6 +291,8 @@ impl Sink for SummarySink {
                 }
                 agg.count += 1;
                 agg.total_ns += nanos;
+                agg.alloc_bytes += alloc_bytes;
+                agg.allocs += allocs;
             }
             Record::Counter { name, delta } => {
                 *self.counters.entry((*name).to_string()).or_default() += delta;
@@ -293,7 +337,7 @@ impl Sink for SummarySink {
 /// Streams each record as one JSON object per line.
 ///
 /// The first line is a meta record carrying [`SCHEMA_VERSION`]:
-/// `{"kind":"meta","schema":"stochcdr-obs/2"}`. Subsequent lines have
+/// `{"kind":"meta","schema":"stochcdr-obs/3"}`. Subsequent lines have
 /// `kind` of `span`, `counter`, `gauge`, or `event`, a `t` field
 /// (nanoseconds since install), and kind-specific fields. Histogram
 /// observations are aggregated in memory and flushed as `hist` lines
@@ -393,6 +437,8 @@ impl Sink for JsonLinesSink {
                 tid,
                 nanos,
                 depth,
+                alloc_bytes,
+                allocs,
             } => {
                 line.push_str("{\"kind\":\"span\",\"path\":");
                 json::escape_into(line, path);
@@ -401,7 +447,8 @@ impl Sink for JsonLinesSink {
                 let _ = write!(
                     line,
                     ",\"id\":{id},\"parent\":{parent},\"tid\":{tid},\
-                     \"nanos\":{nanos},\"depth\":{depth}"
+                     \"nanos\":{nanos},\"depth\":{depth},\
+                     \"alloc_bytes\":{alloc_bytes},\"allocs\":{allocs}"
                 );
             }
             Record::Counter { name, delta } => {
@@ -482,6 +529,8 @@ mod tests {
             tid: 0,
             nanos,
             depth,
+            alloc_bytes: 0,
+            allocs: 0,
         }
     }
 

@@ -269,6 +269,8 @@ mod tests {
                 tid: 0,
                 nanos: 1_500,
                 depth: 1,
+                alloc_bytes: 0,
+                allocs: 0,
             },
         );
         sink.finish();

@@ -1,66 +1,28 @@
 //! Proof of the zero-overhead claim: with no sink installed, the
-//! instrumentation entry points perform **no heap allocation**.
+//! instrumentation entry points perform **no heap allocation** — plus
+//! integration coverage for the tracking allocator itself ([`obs::mem`]),
+//! which this binary installs as its `#[global_allocator]`.
 //!
-//! A counting wrapper around the system allocator (installed as this test
-//! binary's `#[global_allocator]`) tallies every allocation; the disabled
-//! obs calls must leave the tally untouched. No external sanitizer needed.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+//! The workspace-wide allocation-assertion mechanism is
+//! [`obs::mem::TrackingAlloc`] + [`obs::mem::min_alloc_delta`]; the old
+//! per-test counting allocators were folded into it.
 
 use stochcdr_obs as obs;
-
-struct CountingAlloc;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use stochcdr_obs::mem;
 
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: mem::TrackingAlloc = mem::TrackingAlloc::new();
 
-fn alloc_count() -> u64 {
-    ALLOCATIONS.load(Ordering::Relaxed)
-}
-
-/// Smallest allocation delta observed across `attempts` runs of `f`.
-///
-/// The counter is process-global, so the libtest harness (which runs the
-/// sibling test on another thread) can allocate inside a measurement
-/// window. A genuine allocation in the code under test repeats on every
-/// attempt; harness noise does not, so the minimum is the honest figure.
-fn min_delta<F: FnMut()>(mut f: F, attempts: usize) -> u64 {
-    let mut best = u64::MAX;
-    for _ in 0..attempts {
-        let before = alloc_count();
-        f();
-        let delta = alloc_count() - before;
-        best = best.min(delta);
-        if best == 0 {
-            break;
-        }
-    }
-    best
+/// Shared-mechanism shorthand; see [`mem::min_alloc_delta`].
+fn min_delta<F: FnMut()>(f: F, attempts: usize) -> u64 {
+    mem::min_alloc_delta(f, attempts)
 }
 
 #[test]
 fn disabled_instrumentation_does_not_allocate() {
     let _ = obs::uninstall();
     assert!(!obs::enabled());
+    assert!(mem::tracking_active(), "tracking allocator not installed");
 
     // Warm up any lazily-initialized runtime state outside the window.
     let _g = obs::span("warmup");
@@ -151,5 +113,112 @@ fn disabled_obs_adds_no_allocations_to_a_hot_loop() {
     assert_eq!(
         instrumented, bare,
         "instrumented loop allocated {instrumented} vs bare {bare}"
+    );
+}
+
+/// The tracking allocator's process totals move with real allocations,
+/// and a span charged with a known allocation reports it in its record.
+#[test]
+fn tracking_allocator_attributes_bytes_to_spans() {
+    use std::sync::{Arc, Mutex};
+    use stochcdr_obs::{Record, Sink};
+
+    let _ = obs::uninstall();
+
+    // Process totals move with a real allocation.
+    let count0 = mem::alloc_count();
+    let bytes0 = mem::total_bytes();
+    let buf = vec![7u8; 1 << 16];
+    assert!(mem::alloc_count() > count0, "alloc count did not move");
+    assert!(
+        mem::total_bytes() >= bytes0 + (1 << 16),
+        "total bytes did not cover the allocation"
+    );
+    assert!(mem::live_bytes() > 0);
+    assert!(mem::peak_bytes() >= mem::live_bytes());
+    drop(buf);
+
+    // Span attribution: a span that allocates 64 KiB on its own thread
+    // reports at least that much in its completed record.
+    #[derive(Default)]
+    struct Captured {
+        spans: Vec<(String, u64, u64)>,
+    }
+    struct CaptureSink(Arc<Mutex<Captured>>);
+    impl Sink for CaptureSink {
+        fn record(&mut self, _at: u64, record: &Record<'_>) {
+            if let Record::Span {
+                path,
+                alloc_bytes,
+                allocs,
+                ..
+            } = record
+            {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .spans
+                    .push(((*path).to_string(), *alloc_bytes, *allocs));
+            }
+        }
+    }
+
+    let shared = Arc::new(Mutex::new(Captured::default()));
+    obs::install(Box::new(CaptureSink(Arc::clone(&shared))));
+    {
+        let _span = obs::span("mem.victim");
+        let big = vec![1u8; 1 << 16];
+        std::hint::black_box(&big);
+    }
+    {
+        let _span = obs::span("mem.idle");
+    }
+    obs::uninstall();
+
+    let cap = shared.lock().unwrap();
+    let victim = cap
+        .spans
+        .iter()
+        .find(|(p, _, _)| p == "mem.victim")
+        .expect("victim span recorded");
+    assert!(
+        victim.1 >= 1 << 16,
+        "span charged {} bytes, expected >= 64 KiB",
+        victim.1
+    );
+    assert!(victim.2 >= 1, "span charged no allocations");
+
+    // The idle span may still be charged the sink's own bookkeeping,
+    // but nothing near the victim's 64 KiB.
+    let idle = cap
+        .spans
+        .iter()
+        .find(|(p, _, _)| p == "mem.idle")
+        .expect("idle span recorded");
+    assert!(
+        idle.1 < 1 << 14,
+        "idle span charged {} bytes — attribution leaked across spans",
+        idle.1
+    );
+}
+
+/// Peak-tracking and reset: the high-water mark ratchets over a large
+/// transient allocation and resets back down to the live size.
+#[test]
+fn peak_tracking_ratchets_and_resets() {
+    mem::reset_peak();
+    let before = mem::peak_bytes();
+    {
+        let big = vec![0u8; 1 << 20];
+        std::hint::black_box(&big);
+        assert!(
+            mem::peak_bytes() >= before + (1 << 20),
+            "peak did not ratchet over a 1 MiB transient"
+        );
+    }
+    mem::reset_peak();
+    assert!(
+        mem::peak_bytes() < before + (1 << 20),
+        "reset_peak left the old high-water mark"
     );
 }

@@ -1,19 +1,21 @@
 #!/usr/bin/env sh
 # Benchmark regression gate: takes a fresh bench_snapshot and compares it
-# against the committed baseline (results/BENCH_AFTER_PR5_T4.json by
+# against the committed baseline (results/BENCH_AFTER_PR6_T4.json by
 # default, override with $1). Deterministic metrics — states, nnz, solver cycles,
-# residual, BER, Monte-Carlo results — must be bit-identical; wall-clock
-# numbers are advisory (the gate prints fresh/baseline ratios but never
-# fails on them). A second stage runs the same analyze twice with
-# --metrics and feeds both artifacts to metrics_diff, gating on the
-# instrumentation's own determinism contract.
+# residual, BER, Monte-Carlo results, pre-pass allocation counts — must
+# be bit-identical; wall-clock and memory-size numbers are advisory (the
+# gate prints fresh/baseline ratios but never fails on them). A second
+# stage runs the same analyze twice with --metrics and feeds both
+# artifacts to metrics_diff and the obs_diff regression report, gating on
+# the instrumentation's own determinism contract; the rendered report
+# lands in target/OBS_DIFF_REPORT.txt for CI to upload.
 #
 # The worker pool is pinned to the baseline's recorded thread count so the
 # advisory timing ratios are as comparable as an unpinned runner allows.
 set -eu
 
 cd "$(dirname "$0")/.."
-baseline="${1:-results/BENCH_AFTER_PR5_T4.json}"
+baseline="${1:-results/BENCH_AFTER_PR6_T4.json}"
 fresh="target/BENCH_GATE_FRESH.json"
 
 # Pull the thread count and grid refinement the baseline was recorded at
@@ -41,3 +43,9 @@ echo "bench gate: metrics_diff determinism check (2 identical analyze runs)"
 ./target/release/stochcdr analyze --refinement "$refinement" --threads "$threads" \
     --metrics target/BENCH_GATE_METRICS_B.jsonl --metrics-format jsonl >/dev/null
 ./target/release/metrics_diff target/BENCH_GATE_METRICS_A.jsonl target/BENCH_GATE_METRICS_B.jsonl
+
+# Full regression report via the shared diff engine (counters/events/
+# span counts/histogram bins exact; timings, memory, gauges advisory).
+echo "bench gate: obs_diff regression report"
+./target/release/obs_diff target/BENCH_GATE_METRICS_A.jsonl target/BENCH_GATE_METRICS_B.jsonl \
+    --out target/OBS_DIFF_REPORT.txt

@@ -8,7 +8,9 @@
 # determinism contract of the parallel kernels (bit-identical results for
 # every pool size) is exercised on every CI pass. A final trace smoke
 # (scripts/trace_smoke.sh) captures and validates one instrumented run's
-# --trace and --metrics artifacts.
+# --trace and --metrics artifacts, and the memory smoke
+# (scripts/mem_smoke.sh) re-proves the zero-allocation claims under the
+# tracking allocator and renders an obs diff regression report.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,3 +20,4 @@ STOCHCDR_THREADS=1 cargo test -q --offline
 STOCHCDR_THREADS=4 cargo test -q --offline
 cargo clippy --offline --all-targets -- -D warnings
 ./scripts/trace_smoke.sh
+./scripts/mem_smoke.sh
