@@ -67,6 +67,16 @@ const ADVISORY: &[&str] = &[
     "mem_peak_bytes",
     "mem_alloc_count",
     "mem_peak_rss_bytes",
+    // Implicit Kronecker probe: the structural half (states, nnz, cycles,
+    // residual) is deterministic, but the whole block stays advisory
+    // while the implicit path is young — tracked for trend visibility,
+    // promoted to EXACT once its numbers have aged a release.
+    "implicit_states",
+    "implicit_compact_nnz",
+    "implicit_materialized_nnz",
+    "implicit_cycles",
+    "implicit_residual",
+    "implicit_solve_secs",
 ];
 
 fn load(path: &str) -> Json {

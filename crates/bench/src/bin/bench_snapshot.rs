@@ -178,6 +178,34 @@ fn main() {
     let (mg_level_hits, mg_level_misses) = cache_kind("mg.level");
     let (mg_plan_hits, mg_plan_misses) = cache_kind("mg.plan");
 
+    // Implicit Kronecker probe: a 2-lane replication solved matrix-free
+    // through `ProductChain::solve_implicit`, sized so the joint chain is
+    // far larger than anything else in this snapshot while each factor
+    // stays tiny. The structural numbers (states, nnz, cycles, residual)
+    // are deterministic, but the whole block is recorded as advisory in
+    // `bench_gate` — the implicit path is tracked for trend visibility,
+    // not gated, while it is still young.
+    // Coarse grid, so the drift is scaled up to stay resolvable (the
+    // Fig.-5 drift rounds to zero against a refinement-2 grid step).
+    let lane_config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(2)
+        .counter_len(4)
+        .white_sigma_ui(FIG5_SIGMA)
+        .drift(2e-2, 8e-2)
+        .build()
+        .expect("implicit lane config");
+    let lane = CdrModel::new(lane_config)
+        .build_chain()
+        .expect("implicit lane chain");
+    let product = lane.replicate(2).expect("2-lane product");
+    let implicit_states = product.state_count();
+    let implicit_compact_nnz = product.compact_nnz();
+    let implicit_materialized_nnz = product.materialized_nnz();
+    let t0 = Instant::now();
+    let implicit = product.solve_implicit(1e-10).expect("implicit solve");
+    let implicit_solve_secs = t0.elapsed().as_secs_f64();
+
     // Whole-process memory gauges go into the summary before it detaches.
     obs::mem::publish();
     let summary = obs::uninstall()
@@ -252,6 +280,23 @@ fn main() {
     let _ = writeln!(json, "  \"sweep_mg_level_misses\": {mg_level_misses},");
     let _ = writeln!(json, "  \"sweep_mg_plan_hits\": {mg_plan_hits},");
     let _ = writeln!(json, "  \"sweep_mg_plan_misses\": {mg_plan_misses},");
+    let _ = writeln!(json, "  \"implicit_states\": {implicit_states},");
+    let _ = writeln!(json, "  \"implicit_compact_nnz\": {implicit_compact_nnz},");
+    let _ = writeln!(
+        json,
+        "  \"implicit_materialized_nnz\": {implicit_materialized_nnz},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"implicit_cycles\": {},",
+        implicit.result.iterations()
+    );
+    let _ = writeln!(
+        json,
+        "  \"implicit_residual\": {:e},",
+        implicit.result.residual()
+    );
+    let _ = writeln!(json, "  \"implicit_solve_secs\": {implicit_solve_secs:e},");
     json.push_str("  \"obs_summary\": ");
     {
         // Reuse the obs JSON escaper so the embedded table is valid JSON.

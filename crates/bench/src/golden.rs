@@ -40,6 +40,18 @@ fn is_share(token: &str) -> bool {
         .is_some_and(|num| !num.is_empty() && num.parse::<f64>().is_ok())
 }
 
+/// True when the token is a byte-size reading: a number glued to a
+/// `KiB`/`MiB`/`GiB` unit (`812.3MiB`), the format the scaling table's
+/// peak-RSS column uses. RSS depends on the kernel and allocator, so it
+/// is masked like wall clock.
+fn is_bytes(token: &str) -> bool {
+    ["KiB", "MiB", "GiB"].iter().any(|unit| {
+        token
+            .strip_suffix(unit)
+            .is_some_and(|num| !num.is_empty() && num.parse::<f64>().is_ok())
+    })
+}
+
 /// Strips punctuation that wraps numbers in prose (`(20676` → `20676`,
 /// `nnz),` is untouched because it does not parse either way).
 fn trim_punct(token: &str) -> &str {
@@ -57,7 +69,8 @@ fn as_number(token: &str) -> Option<f64> {
 /// Tokens split on whitespace. A token pair matches when:
 ///
 /// * both are timings (number + `s` suffix), both are phase shares
-///   (number + bare `%` suffix), or either is the number before a
+///   (number + bare `%` suffix), both are byte sizes (number glued to a
+///   `KiB`/`MiB`/`GiB` unit), or either is the number before a
 ///   `mins` unit — masked;
 /// * both parse as numbers within relative tolerance `rtol`
 ///   (absolute for values straddling zero);
@@ -90,7 +103,11 @@ pub fn compare(actual: &str, golden: &str, rtol: f64) -> Result<(), String> {
         for (col, (a, g)) in a_toks.iter().zip(&g_toks).enumerate() {
             // Numbers immediately before a "mins" unit are wall times too.
             let before_mins = a_toks.get(col + 1) == Some(&"mins");
-            if (is_timing(a) && is_timing(g)) || (is_share(a) && is_share(g)) || before_mins {
+            if (is_timing(a) && is_timing(g))
+                || (is_share(a) && is_share(g))
+                || (is_bytes(a) && is_bytes(g))
+                || before_mins
+            {
                 continue;
             }
             match (as_number(a), as_number(g)) {
@@ -179,6 +196,15 @@ mod tests {
         // Parenthesized percentages in prose keep their numeric gate.
         assert!(compare("(-82.3%)", "(-82.3%)", RTOL).is_ok());
         assert!(compare("(-82.3%)", "(-41.0%)", RTOL).is_err());
+    }
+
+    #[test]
+    fn byte_sizes_are_masked() {
+        let a = "2 x 1270   1612900   25800 cycles 812.3MiB";
+        let g = "2 x 1270   1612900   25800 cycles 1.7GiB";
+        assert!(compare(a, g, RTOL).is_ok());
+        // A byte size against a bare number is still a mismatch.
+        assert!(compare("812.3MiB", "812.3", RTOL).is_err());
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub fn usage() -> String {
      \x20 acquire    lock-acquisition curve and mean pull-in time (--horizon N)\n\
      \x20 jitter     recovered-clock jitter report (--max-lag N)\n\
      \x20 spy        ASCII nonzero pattern of the transition matrix (--size N)\n\
+     \x20 scale      multi-lane product-form solve on the implicit Kronecker\n\
+     \x20            path (--lanes N, default 2); --path auto|implicit|\n\
+     \x20            materialized (default auto: implicit is selected when\n\
+     \x20            materializing would cross --mem-budget)\n\
      \x20 report     render a recorded artifact (--in FILE): a stochcdr-obs\n\
      \x20            metrics JSONL stream (schema /1../3) or a Chrome trace\n\
      \x20            from --trace\n\
@@ -203,7 +207,8 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         Some(c) => c.clone(),
     };
     let known = [
-        "analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy", "report", "diff",
+        "analyze", "sweep", "bathtub", "slip", "acquire", "jitter", "spy", "scale", "report",
+        "diff",
     ];
     if !known.contains(&command.as_str()) {
         return Err(CliError::UnknownCommand(command));

@@ -29,6 +29,7 @@ pub fn dispatch(parsed: &ParsedArgs) -> Result<String, CliError> {
         "acquire" => acquire(&parsed.options),
         "jitter" => jitter(&parsed.options),
         "spy" => spy(&parsed.options),
+        "scale" => scale(&parsed.options),
         "report" => report_cmd(&parsed.options),
         "diff" => diff_cmd(&parsed.options),
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -490,6 +491,73 @@ fn spy(opts: &Options) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `stochcdr scale --lanes N`: replicates the configured chain into an
+/// `N`-lane Kronecker product and solves for the joint stationary
+/// distribution, selecting the implicit (matrix-free) backend whenever
+/// materializing the joint TPM would cross `--mem-budget` (`--path`
+/// forces either backend). This is the paper-scale entry point: the
+/// joint state space multiplies with every lane while the stored
+/// representation only adds one factor CSR.
+fn scale(opts: &Options) -> Result<String, CliError> {
+    use stochcdr::ProductChain;
+
+    let lanes = extra_usize(opts, "lanes", 2)?.max(1);
+    let chain = CdrModel::new(opts.config.clone()).build_chain()?;
+    let product: ProductChain = chain.replicate(lanes)?;
+
+    let start = std::time::Instant::now();
+    let solve = match opts.extra.get("path").map(String::as_str) {
+        None | Some("auto") => product.solve_auto(opts.tol)?,
+        Some("implicit") => product.solve_implicit(opts.tol)?,
+        Some("materialized") => product.solve_materialized(opts.tol)?,
+        Some(v) => {
+            return Err(CliError::BadValue {
+                flag: "--path".into(),
+                value: v.into(),
+                expected: "auto | implicit | materialized",
+            })
+        }
+    };
+    let solve_secs = start.elapsed().as_secs_f64();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "lanes               : {lanes} x {} states",
+        chain.state_count()
+    );
+    let _ = writeln!(out, "joint states        : {}", product.state_count());
+    let _ = writeln!(
+        out,
+        "stored transitions  : {} (factored; materialized would be {:.3e} = {})",
+        product.compact_nnz(),
+        product.materialized_nnz() as f64,
+        fmt_bytes(product.materialize_cost_bytes()),
+    );
+    let budget = match obs::mem::budget() {
+        Some(b) => format!("budget {}", fmt_bytes(b)),
+        None => "no budget".to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "path                : {} ({budget})",
+        if solve.implicit {
+            "implicit"
+        } else {
+            "materialized"
+        }
+    );
+    let _ = writeln!(out, "cycles              : {}", solve.result.iterations());
+    let _ = writeln!(out, "residual            : {:.3e}", solve.result.residual());
+    let _ = writeln!(out, "solve time          : {solve_secs:.2}s");
+    let _ = writeln!(
+        out,
+        "peak RSS            : {}",
+        fmt_bytes(obs::mem::peak_rss_bytes())
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use crate::run;
@@ -559,6 +627,28 @@ mod tests {
         let out = run(&argv(&format!("spy {SMALL} --size 16"))).unwrap();
         assert!(out.contains('+'));
         assert!(out.contains("nonzeros"));
+    }
+
+    #[test]
+    fn scale_smoke_auto_and_forced_paths() {
+        // Tiny lanes (--counter 2 shrinks SMALL further) keep the double
+        // solve fast; with no budget the auto path materializes.
+        let tiny = format!("{SMALL} --counter 2 --lanes 2 --tol 1e-8");
+        let out = run(&argv(&format!("scale {tiny}"))).unwrap();
+        assert!(out.contains("joint states"), "{out}");
+        assert!(out.contains("materialized (no budget)"), "{out}");
+        assert!(out.contains("peak RSS"), "{out}");
+        // A 1-byte budget flips auto to the implicit backend.
+        let out = run(&argv(&format!("scale {tiny} --mem-budget 1"))).unwrap();
+        assert!(out.contains("implicit (budget"), "{out}");
+        // Forcing the materialized path under that budget is refused.
+        assert!(run(&argv(&format!(
+            "scale {tiny} --mem-budget 1 --path materialized"
+        )))
+        .is_err());
+        // And the flag grammar is validated.
+        assert!(run(&argv(&format!("scale {SMALL} --path sideways"))).is_err());
+        assert!(crate::args::usage().contains("scale"));
     }
 
     #[test]

@@ -214,6 +214,20 @@ impl CdrChain {
             })
             .expect("chain is non-empty")
     }
+
+    /// `n`-lane Kronecker replication of this chain — the entry point to
+    /// the implicit product-form solve path
+    /// ([`ProductChain::solve_auto`](crate::ProductChain::solve_auto)
+    /// picks the matrix-free backend whenever materializing the joint
+    /// TPM would cross the soft memory budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CdrError::Config`] when `n == 0` or the joint
+    /// dimension overflows `usize`.
+    pub fn replicate(&self, n: usize) -> crate::Result<crate::ProductChain> {
+        crate::ProductChain::replicated(self, n)
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,7 @@ mod error;
 pub mod factors;
 mod model;
 pub mod monte_carlo;
+pub mod product;
 pub mod report;
 mod stages;
 pub mod theory;
@@ -82,5 +83,6 @@ pub use data_model::DataModel;
 pub use error::{CdrError, Result};
 pub use factors::AssemblyFactors;
 pub use model::CdrModel;
+pub use product::{ProductChain, ProductSolve};
 pub use stages::{DataSource, FilterKind, LoopCounter, PhaseAccumulator, PhaseDetector};
 pub use stochcdr_multigrid::MgPhases;

@@ -13,6 +13,9 @@
 //! formed. Row access and the diagonal are served from the factors, so
 //! even Jacobi's diagonal extraction stays compact.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
 use stochcdr_linalg::{kron, par, CsrMatrix, TransitionOp};
 use stochcdr_obs as obs;
 
@@ -33,10 +36,47 @@ use stochcdr_obs as obs;
 /// let y = op.mul_left(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
 /// assert_eq!(y[3], 1.0); // (0,0) -> (1,0)
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct KroneckerOp {
     factors: Vec<CsrMatrix>,
     dim: usize,
+    /// `tail[l]` = product of the dimensions of factors after `l`, so the
+    /// level-`l` digit of row `r` is `(r / tail[l]) % n_l` — row
+    /// enumeration decomposes indices without a per-call digit buffer.
+    tail: Vec<usize>,
+    /// Transposed-factor twin, built on first use ((A⊗B)ᵀ = Aᵀ⊗Bᵀ).
+    transposed: OnceLock<Box<KroneckerOp>>,
+    /// Whether this op already emitted a `mem.budget_exceeded` event —
+    /// sweep loops retry [`try_materialize`](Self::try_materialize) per
+    /// axis point and must not bloat JSONL artifacts with repeats.
+    budget_reported: AtomicBool,
+    /// Reusable ping-pong buffers for the mode-by-mode apply, so warm
+    /// multigrid cycles against the implicit fine grid allocate nothing.
+    /// `try_lock` keeps concurrent callers correct: a contended call
+    /// falls back to fresh temporaries instead of blocking.
+    scratch: Mutex<ApplyScratch>,
+}
+
+/// The two `dim`-length work vectors [`KroneckerOp::mul_left_into`] and
+/// [`KroneckerOp::mul_right_into`] ping-pong between mode applications.
+#[derive(Debug, Default)]
+struct ApplyScratch {
+    cur: Vec<f64>,
+    next: Vec<f64>,
+}
+
+impl Clone for KroneckerOp {
+    /// Clones factors only; the transpose cache and the budget-report
+    /// latch start fresh on the copy.
+    fn clone(&self) -> Self {
+        KroneckerOp::new(self.factors.clone())
+    }
+}
+
+impl PartialEq for KroneckerOp {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.factors == other.factors
+    }
 }
 
 impl KroneckerOp {
@@ -54,7 +94,70 @@ impl KroneckerOp {
                 .checked_mul(f.rows())
                 .expect("joint dimension overflows usize");
         }
-        KroneckerOp { factors, dim }
+        let mut tail = vec![1usize; factors.len()];
+        for i in (0..factors.len() - 1).rev() {
+            tail[i] = tail[i + 1] * factors[i + 1].rows();
+        }
+        KroneckerOp {
+            factors,
+            dim,
+            tail,
+            transposed: OnceLock::new(),
+            budget_reported: AtomicBool::new(false),
+            scratch: Mutex::new(ApplyScratch::default()),
+        }
+    }
+
+    /// The shared mode-by-mode apply loop behind both product directions,
+    /// with caller-owned ping-pong buffers (grown on first use, reused
+    /// thereafter). The arithmetic is identical whichever buffers arrive,
+    /// so scratch reuse never changes a bit of the output.
+    fn apply_modes(
+        &self,
+        mode: fn(&CsrMatrix, usize, &[f64], &mut [f64]),
+        x: &[f64],
+        y: &mut [f64],
+        ws: &mut ApplyScratch,
+    ) {
+        ws.cur.clear();
+        ws.cur.extend_from_slice(x);
+        ws.next.clear();
+        ws.next.resize(self.dim, 0.0);
+        let mut inner = self.dim;
+        for f in &self.factors {
+            inner /= f.rows();
+            mode(f, inner, &ws.cur, &mut ws.next);
+            std::mem::swap(&mut ws.cur, &mut ws.next);
+        }
+        y.copy_from_slice(&ws.cur);
+    }
+
+    /// Runs `apply_modes` against the op's own scratch when it is free,
+    /// or fresh temporaries when another thread holds it.
+    fn apply_with_scratch(
+        &self,
+        mode: fn(&CsrMatrix, usize, &[f64], &mut [f64]),
+        x: &[f64],
+        y: &mut [f64],
+    ) {
+        match self.scratch.try_lock() {
+            Ok(mut ws) => self.apply_modes(mode, x, y, &mut ws),
+            Err(_) => self.apply_modes(mode, x, y, &mut ApplyScratch::default()),
+        }
+    }
+
+    /// The transposed operator `A_1ᵀ ⊗ … ⊗ A_kᵀ`, built from per-factor
+    /// [`CsrMatrix::transpose`] on first use and cached for the lifetime
+    /// of this op. Because the CSR transpose is a pure permutation of the
+    /// stored values and `(A ⊗ B)ᵀ = Aᵀ ⊗ Bᵀ`, every row of the returned
+    /// op multiplies exactly the same scalars in the same order as a
+    /// materialize-then-transpose would — bit-identical, at compact cost.
+    pub fn transposed(&self) -> &KroneckerOp {
+        self.transposed.get_or_init(|| {
+            Box::new(KroneckerOp::new(
+                self.factors.iter().map(CsrMatrix::transpose).collect(),
+            ))
+        })
     }
 
     /// Joint dimension (product of factor dimensions).
@@ -93,10 +196,7 @@ impl KroneckerOp {
         );
         let mut factors = self.factors.clone();
         factors[idx] = factor;
-        KroneckerOp {
-            factors,
-            dim: self.dim,
-        }
+        KroneckerOp::new(factors)
     }
 
     /// Computes `y = x (A_1 ⊗ … ⊗ A_k)` without materializing the product.
@@ -138,12 +238,23 @@ impl KroneckerOp {
     /// Budget-aware [`materialize`](Self::materialize): refuses (returns
     /// `None`) when the estimated product size would push the live heap
     /// past the soft memory budget ([`stochcdr_obs::mem::set_budget`],
-    /// `--mem-budget` on the CLI). The refusal emits a
-    /// `mem.budget_exceeded` event; with no budget set this always
+    /// `--mem-budget` on the CLI). The first refusal emits a
+    /// `mem.budget_exceeded` event; repeat refusals on the same op (sweep
+    /// loops retry per axis point) stay silent so artifacts record one
+    /// line per op, not one per retry. With no budget set this always
     /// materializes.
     pub fn try_materialize(&self) -> Option<CsrMatrix> {
-        obs::mem::check_budget("fsm.kron_materialize", self.materialize_cost_bytes())
-            .then(|| self.materialize())
+        let bytes = self.materialize_cost_bytes();
+        if self.budget_reported.load(Ordering::Relaxed) {
+            // Already reported for this op: check silently.
+            if obs::mem::would_exceed(bytes) {
+                return None;
+            }
+        } else if !obs::mem::check_budget("fsm.kron_materialize", bytes) {
+            self.budget_reported.store(true, Ordering::Relaxed);
+            return None;
+        }
+        Some(self.materialize())
     }
 
     /// Materializes the full Kronecker product (for tests and small
@@ -223,10 +334,13 @@ fn apply_mode_right(f: &CsrMatrix, inner: usize, cur: &[f64], next: &mut [f64]) 
 
 /// Enumerates the row entries of the Kronecker product in ascending column
 /// order: lexicographic recursion over factor-row entries, outermost
-/// factor slowest-varying.
+/// factor slowest-varying. The level-`l` row digit is recovered from
+/// `row` and the precomputed trailing strides, so the walk is
+/// allocation-free (warm implicit multigrid cycles gather through here).
 fn row_product(
     factors: &[CsrMatrix],
-    digits: &[usize],
+    tail: &[usize],
+    row: usize,
     level: usize,
     col: usize,
     val: f64,
@@ -237,9 +351,18 @@ fn row_product(
         return;
     }
     let fac = &factors[level];
-    for (j, a) in fac.row(digits[level]) {
+    let digit = (row / tail[level]) % fac.rows();
+    for (j, a) in fac.row(digit) {
         if a != 0.0 {
-            row_product(factors, digits, level + 1, col * fac.cols() + j, val * a, f);
+            row_product(
+                factors,
+                tail,
+                row,
+                level + 1,
+                col * fac.cols() + j,
+                val * a,
+                f,
+            );
         }
     }
 }
@@ -270,15 +393,8 @@ impl TransitionOp for KroneckerOp {
             self.dim,
             "output length must match joint dimension"
         );
-        let mut cur = x.to_vec();
-        let mut next = vec![0.0f64; self.dim];
-        let mut inner = self.dim;
-        for f in &self.factors {
-            inner /= f.rows();
-            apply_mode_left(f, inner, &cur, &mut next);
-            std::mem::swap(&mut cur, &mut next);
-        }
-        y.copy_from_slice(&cur);
+        let _span = obs::enabled().then(|| obs::span("kron.apply"));
+        self.apply_with_scratch(apply_mode_left, x, y);
     }
 
     fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
@@ -292,44 +408,42 @@ impl TransitionOp for KroneckerOp {
             self.dim,
             "output length must match joint dimension"
         );
-        let mut cur = x.to_vec();
-        let mut next = vec![0.0f64; self.dim];
-        let mut inner = self.dim;
-        for f in &self.factors {
-            inner /= f.rows();
-            apply_mode_right(f, inner, &cur, &mut next);
-            std::mem::swap(&mut cur, &mut next);
-        }
-        y.copy_from_slice(&cur);
+        let _span = obs::enabled().then(|| obs::span("kron.apply"));
+        self.apply_with_scratch(apply_mode_right, x, y);
     }
 
     fn for_each_in_row(&self, row: usize, f: &mut dyn FnMut(usize, f64)) {
         assert!(row < self.dim, "row {row} out of range");
-        // Mixed-radix decomposition of the row index, innermost last.
-        let mut digits = vec![0usize; self.factors.len()];
-        let mut rem = row;
-        for (idx, fac) in self.factors.iter().enumerate().rev() {
-            digits[idx] = rem % fac.rows();
-            rem /= fac.rows();
-        }
-        row_product(&self.factors, &digits, 0, 0, 1.0, f);
+        row_product(&self.factors, &self.tail, row, 0, 0, 1.0, f);
     }
 
-    /// Diagonal of the product: successive outer products of the factor
-    /// diagonals — `O(dim)` output without touching off-diagonal entries.
-    fn diagonal(&self) -> Vec<f64> {
-        let mut d = vec![1.0f64];
+    /// Diagonal of the product written straight into `out`: successive
+    /// outer products of the factor diagonals, expanded in place from the
+    /// back of the buffer — `O(dim)` output, no `O(dim)` temporaries,
+    /// never touches off-diagonal entries. (The write index `i·m + j` is
+    /// always ≥ the read index `i`, so sources survive until consumed.)
+    fn diagonal_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.dim, "diagonal buffer length must match");
+        out[0] = 1.0;
+        let mut len = 1usize;
         for f in &self.factors {
             let fd = f.diagonal();
-            let mut nd = Vec::with_capacity(d.len() * fd.len());
-            for &a in &d {
-                for &b in &fd {
-                    nd.push(a * b);
+            let m = fd.len();
+            for i in (0..len).rev() {
+                let a = out[i];
+                for (j, &b) in fd.iter().enumerate().rev() {
+                    out[i * m + j] = a * b;
                 }
             }
-            d = nd;
+            len *= m;
         }
-        d
+    }
+
+    /// The cached transposed-factor twin (see
+    /// [`KroneckerOp::transposed`]) — lets transpose-based smoothers run
+    /// on the implicit path without materializing anything.
+    fn transpose_op(&self) -> Option<&dyn TransitionOp> {
+        Some(self.transposed())
     }
 
     fn materialize_csr(&self) -> CsrMatrix {
@@ -435,6 +549,39 @@ mod tests {
     }
 
     #[test]
+    fn diagonal_into_is_bitwise_in_place() {
+        let op = KroneckerOp::new(vec![stochastic2(0.25), stochastic3(), stochastic2(0.4)]);
+        let mut buf = vec![f64::NAN; op.dim()];
+        op.diagonal_into(&mut buf);
+        let want = op.materialize().diagonal();
+        assert_eq!(buf.len(), want.len());
+        for (a, b) in buf.iter().zip(&want) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn transposed_twin_is_bitwise_the_transpose() {
+        let op = KroneckerOp::new(vec![stochastic2(0.3), stochastic3(), stochastic2(0.1)]);
+        let tr = op.transposed();
+        let want = op.materialize().transpose();
+        for row in 0..op.dim() {
+            let mut got: Vec<(usize, f64)> = Vec::new();
+            tr.for_each_in_row(row, &mut |c, v| got.push((c, v)));
+            let want_row: Vec<(usize, f64)> = want.row(row).collect();
+            assert_eq!(got.len(), want_row.len(), "row {row}");
+            for ((gc, gv), (wc, wv)) in got.iter().zip(&want_row) {
+                assert_eq!(gc, wc, "row {row}");
+                assert_eq!(gv.to_bits(), wv.to_bits(), "row {row}");
+            }
+        }
+        // Cached: the same allocation is returned on repeat calls, and
+        // the TransitionOp hook serves it.
+        assert!(std::ptr::eq(tr, op.transposed()));
+        assert!(TransitionOp::transpose_op(&op).is_some());
+    }
+
+    #[test]
     fn single_factor_is_plain_product() {
         let m = stochastic3();
         let op = KroneckerOp::new(vec![m.clone()]);
@@ -460,9 +607,14 @@ mod tests {
         assert!(y.iter().all(|&v| v >= 0.0));
     }
 
+    /// Serializes tests that mutate the process-global soft budget or
+    /// install an obs sink.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn try_materialize_honors_the_soft_budget() {
         use stochcdr_obs::mem;
+        let _g = OBS_LOCK.lock().unwrap();
         let op = KroneckerOp::new(vec![stochastic2(0.3); 10]);
         assert_eq!(op.materialized_nnz(), 4usize.pow(10));
         assert!(op.materialize_cost_bytes() > 4u64.pow(10) * 16);
@@ -474,6 +626,34 @@ mod tests {
         mem::set_budget(None);
         let m = op.try_materialize().expect("no budget, must materialize");
         assert_eq!(m.nnz(), op.materialized_nnz());
+    }
+
+    #[test]
+    fn budget_refusal_reports_once_per_op() {
+        use stochcdr_obs as obs;
+        use stochcdr_obs::mem;
+        let _g = OBS_LOCK.lock().unwrap();
+        let _ = obs::uninstall();
+        let (sink, buf) = obs::JsonLinesSink::to_shared_buffer();
+        obs::install(Box::new(sink));
+        mem::set_budget(Some(1 << 20));
+        let op = KroneckerOp::new(vec![stochastic2(0.3); 10]);
+        // A sweep loop retries per axis point; only the first refusal may
+        // emit the event.
+        for _ in 0..5 {
+            assert!(op.try_materialize().is_none());
+        }
+        // A fresh clone is a fresh op: it reports once more.
+        let clone = op.clone();
+        assert!(clone.try_materialize().is_none());
+        mem::set_budget(None);
+        obs::uninstall();
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let hits = text
+            .lines()
+            .filter(|l| l.contains("mem.budget_exceeded"))
+            .count();
+        assert_eq!(hits, 2, "one event per op, got:\n{text}");
     }
 
     #[test]

@@ -80,19 +80,35 @@ pub trait TransitionOp: Sync {
 
     /// Returns the main diagonal as a dense vector.
     ///
-    /// The default probes each row via [`TransitionOp::for_each_in_row`]
-    /// (O(nnz) total); backends with cheaper access override it.
+    /// The default allocates and delegates to
+    /// [`TransitionOp::diagonal_into`].
     fn diagonal(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.rows().min(self.cols())];
+        self.diagonal_into(&mut d);
+        d
+    }
+
+    /// Writes the main diagonal into a caller-provided buffer.
+    ///
+    /// Same values as [`TransitionOp::diagonal`]; smoother setups hoist
+    /// the buffer out of their sweep loops. The default probes each row
+    /// via [`TransitionOp::for_each_in_row`] (O(nnz) total); backends with
+    /// cheaper access override it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != min(rows, cols)`.
+    fn diagonal_into(&self, out: &mut [f64]) {
         let n = self.rows().min(self.cols());
-        let mut d = vec![0.0; n];
-        for (r, dr) in d.iter_mut().enumerate() {
+        assert_eq!(out.len(), n, "diagonal buffer length must match");
+        for (r, dr) in out.iter_mut().enumerate() {
+            *dr = 0.0;
             self.for_each_in_row(r, &mut |c, v| {
                 if c == r {
                     *dr = v;
                 }
             });
         }
-        d
     }
 
     /// Returns the transpose as a CSR matrix if the backend keeps one
@@ -100,6 +116,17 @@ pub trait TransitionOp: Sync {
     /// materialize-and-transpose pass). `None` by default.
     fn transpose_csr(&self) -> Option<&CsrMatrix> {
         None
+    }
+
+    /// Returns the transpose as a [`TransitionOp`] if the backend can
+    /// serve one without materializing.
+    ///
+    /// The default forwards the cached CSR transpose from
+    /// [`TransitionOp::transpose_csr`]; structured backends (e.g. the
+    /// Kronecker product-form operator) override it with a compact
+    /// transposed operator so transpose-driven solvers stay implicit.
+    fn transpose_op(&self) -> Option<&dyn TransitionOp> {
+        self.transpose_csr().map(|m| m as &dyn TransitionOp)
     }
 
     /// Materializes the operator as a CSR matrix via row traversal.
@@ -155,6 +182,10 @@ impl TransitionOp for CsrMatrix {
 
     fn diagonal(&self) -> Vec<f64> {
         CsrMatrix::diagonal(self)
+    }
+
+    fn diagonal_into(&self, out: &mut [f64]) {
+        CsrMatrix::diagonal_into(self, out);
     }
 
     fn materialize_csr(&self) -> CsrMatrix {
@@ -312,6 +343,33 @@ mod tests {
         let csc = p.to_csc();
         let t = TransitionOp::transpose_csr(&csc).expect("csc caches its transpose");
         assert_eq!(*t, p.transpose());
+    }
+
+    #[test]
+    fn transpose_op_default_forwards_the_csr_transpose() {
+        let p = sample_csr();
+        let csc = p.to_csc();
+        let t = TransitionOp::transpose_op(&csc).expect("csc serves a transpose op");
+        let x = vec![0.1, 0.4, 0.5];
+        assert_eq!(t.mul_right(&x), p.transpose().mul_right(&x));
+        // Backends without a cached transpose default to None.
+        assert!(TransitionOp::transpose_op(&p).is_none());
+    }
+
+    #[test]
+    fn diagonal_into_matches_diagonal_for_every_backend() {
+        let p = sample_csr();
+        let backends: Vec<Box<dyn TransitionOp>> = vec![
+            Box::new(p.clone()),
+            Box::new(p.to_dense()),
+            Box::new(p.to_csc()),
+        ];
+        for op in &backends {
+            let mut d = vec![f64::NAN; 3];
+            op.diagonal_into(&mut d);
+            assert_eq!(d, op.diagonal());
+            assert_eq!(d, CsrMatrix::diagonal(&p));
+        }
     }
 
     #[test]

@@ -339,6 +339,104 @@ where
     ScopeObs::finish(sobs, t);
 }
 
+/// Like [`for_each_weighted_chunk_mut`] but chunk boundaries fall on
+/// *group* boundaries and each worker borrows one caller-provided scratch
+/// slot.
+///
+/// `out` is logically a concatenation of `group_ptr.len() - 1` contiguous
+/// groups: group `g` owns `out[group_ptr[g]..group_ptr[g + 1]]`
+/// (`group_ptr[0]` must be `0` and the last entry must be `out.len()`).
+/// Groups are never split across workers — the kernel for a group may
+/// need every element of its group (e.g. refreshing one coarse matrix row
+/// from a sort-and-accumulate over its sources). `cost` is a
+/// non-decreasing prefix of per-group work (length `groups + 1`), used to
+/// balance the split exactly like [`for_each_weighted_chunk_mut`]'s
+/// per-element prefix.
+///
+/// Each worker receives one `&mut S` slot from `scratch`; the worker
+/// count is capped at `scratch.len()`, so callers preallocating
+/// [`threads`]`()` slots keep the body allocation-free. `body(groups,
+/// chunk, scratch)` gets the group index range, the slice covering
+/// exactly those groups (`chunk[0]` is `out[group_ptr[groups.start]]`),
+/// and its scratch slot.
+///
+/// The determinism contract holds as for [`for_each_chunk_mut`]: every
+/// group is produced wholly by one worker in serial group-local order, so
+/// results are bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the pointer/cost arrays are inconsistent with `out`, or if
+/// `scratch` is empty.
+pub fn for_each_grouped_chunk_mut<T, S, F>(
+    out: &mut [T],
+    group_ptr: &[usize],
+    cost: &[usize],
+    scratch: &mut [S],
+    body: F,
+) where
+    T: Send,
+    S: Send,
+    F: Fn(Range<usize>, &mut [T], &mut S) + Sync,
+{
+    let g = group_ptr.len().checked_sub(1).expect("group_ptr non-empty");
+    assert!(
+        group_ptr[0] == 0 && group_ptr[g] == out.len(),
+        "group pointers must cover the output slice"
+    );
+    assert_eq!(cost.len(), g + 1, "one cost entry per group plus a total");
+    assert!(!scratch.is_empty(), "need at least one scratch slot");
+    debug_assert!(group_ptr.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert!(cost.windows(2).all(|w| w[0] <= w[1]));
+    let total = cost[g] - cost[0];
+    let t = threads().min(scratch.len()).min(g.max(1));
+    if t <= 1 || total < PARALLEL_NNZ_CUTOFF {
+        if g > 0 {
+            body(0..g, out, &mut scratch[0]);
+        }
+        return;
+    }
+    let sobs = ScopeObs::new("par.for_each_grouped_chunk", t);
+    std::thread::scope(|scope| {
+        let body = &body;
+        let sobs = &sobs;
+        let mut rest_out = out;
+        let mut rest_scratch = scratch;
+        let mut start = 0usize;
+        for k in 0..t {
+            // Boundary after chunk k: the group count whose cumulative
+            // cost first exceeds an equal share of the total; the last
+            // boundary is forced to `g` so zero-cost tails are covered.
+            let end = if k + 1 == t {
+                g
+            } else {
+                let target = cost[0] + ((total as u128 * (k as u128 + 1)) / t as u128) as usize;
+                cost[1..=g].partition_point(|&w| w <= target).max(start)
+            };
+            let (chunk, out_tail) = rest_out.split_at_mut(group_ptr[end] - group_ptr[start]);
+            rest_out = out_tail;
+            let (slot, scratch_tail) = rest_scratch
+                .split_first_mut()
+                .expect("one scratch slot per worker");
+            rest_scratch = scratch_tail;
+            if start == end {
+                continue;
+            }
+            let range = start..end;
+            if k + 1 == t {
+                // Run the final chunk on the calling thread.
+                ScopeObs::run(sobs.as_ref(), k, false, || body(range, chunk, slot));
+            } else {
+                scope.spawn(move || {
+                    ScopeObs::run(sobs.as_ref(), k, true, || body(range, chunk, slot))
+                });
+            }
+            start = end;
+        }
+    });
+    ScopeObs::finish(sobs, t);
+}
+
 /// Maps fixed-size chunks of `0..n` and returns the per-chunk results in
 /// ascending chunk order.
 ///
@@ -533,6 +631,66 @@ mod tests {
         });
         set_threads(None);
         assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn grouped_chunks_cover_every_group_once_on_boundaries() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        // Variable-width groups with skewed costs: heavy groups up front,
+        // a zero-cost tail only the forced final boundary can cover.
+        let groups = 3000;
+        let mut group_ptr = Vec::with_capacity(groups + 1);
+        let mut cost = Vec::with_capacity(groups + 1);
+        let (mut off, mut acc) = (0usize, 0usize);
+        group_ptr.push(off);
+        cost.push(acc);
+        for gi in 0..groups {
+            off += 1 + gi % 5;
+            acc += if gi < 80 {
+                2000
+            } else if gi < groups - 50 {
+                7
+            } else {
+                0
+            };
+            group_ptr.push(off);
+            cost.push(acc);
+        }
+        assert!(acc >= PARALLEL_NNZ_CUTOFF);
+        let mut out = vec![usize::MAX; off];
+        let mut scratch = vec![0usize; threads()];
+        for_each_grouped_chunk_mut(&mut out, &group_ptr, &cost, &mut scratch, |gr, chunk, s| {
+            // The chunk starts exactly at the first group's boundary.
+            assert_eq!(chunk.len(), group_ptr[gr.end] - group_ptr[gr.start]);
+            let base = group_ptr[gr.start];
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = base + k;
+            }
+            *s += gr.len();
+        });
+        set_threads(None);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i));
+        // Every group was visited exactly once across all scratch slots.
+        assert_eq!(scratch.iter().sum::<usize>(), groups);
+    }
+
+    #[test]
+    fn grouped_chunks_serial_below_cost_gate() {
+        let _g = LOCK.lock().unwrap();
+        set_threads(Some(4));
+        let groups = 512;
+        let group_ptr: Vec<usize> = (0..=groups).map(|i| i * 3).collect();
+        let cost: Vec<usize> = (0..=groups).map(|i| i * 2).collect();
+        assert!(cost[groups] < PARALLEL_NNZ_CUTOFF);
+        let calls = std::sync::atomic::AtomicUsize::new(0);
+        let mut out = vec![0u8; groups * 3];
+        let mut scratch = vec![(); 4];
+        for_each_grouped_chunk_mut(&mut out, &group_ptr, &cost, &mut scratch, |_, _, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        set_threads(None);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod censored;
 pub mod classify;
 mod error;
 pub mod functional;
+pub mod implicit;
 pub mod lumping;
 pub mod operator;
 pub mod passage;
@@ -53,4 +54,5 @@ mod stochastic;
 pub mod transient;
 
 pub use error::{MarkovError, Result};
+pub use implicit::ImplicitStochastic;
 pub use stochastic::StochasticMatrix;

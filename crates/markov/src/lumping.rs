@@ -31,7 +31,7 @@
 //!   [`lump_weighted`] for strictly positive weights (see the invalidation
 //!   and precision notes on [`LumpPlan`]).
 
-use stochcdr_linalg::{par, CooMatrix, CsrMatrix};
+use stochcdr_linalg::{par, CooMatrix, CsrMatrix, TransitionOp};
 
 use crate::{MarkovError, Result, StochasticMatrix};
 
@@ -360,7 +360,9 @@ pub struct LumpPlan {
     indices: Vec<u32>,
     /// Per-slot gather extents into `gather_src`/`gather_row`
     /// (length `nnz() + 1`); doubles as the weight prefix for
-    /// nnz-balanced parallel refresh.
+    /// nnz-balanced parallel refresh. Empty (length 1) for
+    /// operator-built plans ([`from_op`](Self::from_op)), which gather
+    /// at refresh time instead.
     gather_ptr: Vec<usize>,
     /// Fine entry index of each gather term, in from-scratch summation
     /// order.
@@ -371,6 +373,12 @@ pub struct LumpPlan {
     t_indptr: Vec<usize>,
     t_indices: Vec<u32>,
     t_from: Vec<u32>,
+    /// Cumulative fine entries per coarse row (length `nb + 1`) — the
+    /// work prefix the group-aligned parallel refresh balances on.
+    row_cost: Vec<usize>,
+    /// Largest fine-entry count of any coarse row; sizes the per-worker
+    /// sort scratch of the operator refresh path.
+    max_row_entries: usize,
 }
 
 impl LumpPlan {
@@ -476,33 +484,13 @@ impl LumpPlan {
                 (indptr.partition_point(|&p| p <= k as usize) - 1) as u32
             })
             .collect();
-        // Step 3: transpose placement — counting sort by coarse column,
-        // rows ascending, mirroring `CsrMatrix::transpose`.
-        let nnz_c = c_indices.len();
-        let mut t_counts = vec![0usize; nb + 1];
-        for &c in &c_indices {
-            t_counts[c as usize + 1] += 1;
-        }
-        for b in 0..nb {
-            t_counts[b + 1] += t_counts[b];
-        }
-        let t_indptr = t_counts.clone();
-        let mut t_indices = vec![0u32; nnz_c];
-        let mut t_from = vec![0u32; nnz_c];
-        let mut t_next = t_counts;
-        for r in 0..nb {
-            for (k, &c) in c_indices
-                .iter()
-                .enumerate()
-                .take(c_indptr[r + 1])
-                .skip(c_indptr[r])
-            {
-                let slot = t_next[c as usize];
-                t_indices[slot] = r as u32;
-                t_from[slot] = k as u32;
-                t_next[c as usize] += 1;
-            }
-        }
+        // Step 3: transpose placement.
+        let (t_indptr, t_indices, t_from) = transpose_placement(nb, &c_indptr, &c_indices);
+        let max_row_entries = row_counts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0);
         Ok(LumpPlan {
             fine_n: n,
             fine_nnz: nnz,
@@ -515,7 +503,83 @@ impl LumpPlan {
             t_indptr,
             t_indices,
             t_from,
+            row_cost: row_counts,
+            max_row_entries,
         })
+    }
+
+    /// Builds the symbolic plan for lumping a [`TransitionOp`] with
+    /// `partition`, traversing rows instead of a materialized pattern —
+    /// the finest-level setup of the implicit Kronecker path.
+    ///
+    /// The resulting plan carries the coarse pattern and transpose
+    /// permutation but **no** fine-entry gather map (there are no fine
+    /// entry indices without a materialized matrix); numeric refreshes go
+    /// through [`lump_op_weighted_into`], which re-traverses the operator
+    /// and reproduces the recorded assembly order — and therefore the
+    /// exact bits — of the materialized path, provided the operator
+    /// serves the same entries (column set and values) as the
+    /// materialized fine matrix would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] if the operator is not
+    /// square or the partition does not cover its state space.
+    pub fn from_op(op: &dyn TransitionOp, partition: &Partition) -> Result<LumpPlan> {
+        let n = op.rows();
+        if op.cols() != n {
+            return Err(MarkovError::InvalidArgument(
+                "operator must be square".into(),
+            ));
+        }
+        if partition.n() != n {
+            return Err(MarkovError::InvalidArgument(
+                "partition size does not match state count".into(),
+            ));
+        }
+        let nb = partition.block_count();
+        let mut c_indptr = vec![0usize];
+        let mut c_indices: Vec<u32> = Vec::new();
+        let mut row_cost = vec![0usize; nb + 1];
+        let mut max_row_entries = 0usize;
+        let mut scratch: Vec<u32> = Vec::new();
+        for b in 0..nb {
+            scratch.clear();
+            for &i in partition.block_members(b) {
+                op.for_each_in_row(i, &mut |j, _| {
+                    scratch.push(partition.block_of(j) as u32);
+                });
+            }
+            row_cost[b + 1] = row_cost[b] + scratch.len();
+            max_row_entries = max_row_entries.max(scratch.len());
+            scratch.sort_unstable();
+            scratch.dedup();
+            c_indices.extend_from_slice(&scratch);
+            c_indptr.push(c_indices.len());
+        }
+        let (t_indptr, t_indices, t_from) = transpose_placement(nb, &c_indptr, &c_indices);
+        Ok(LumpPlan {
+            fine_n: n,
+            fine_nnz: row_cost[nb],
+            nb,
+            indptr: c_indptr,
+            indices: c_indices,
+            gather_ptr: vec![0],
+            gather_src: Vec::new(),
+            gather_row: Vec::new(),
+            t_indptr,
+            t_indices,
+            t_from,
+            row_cost,
+            max_row_entries,
+        })
+    }
+
+    /// Whether this plan was built from an operator traversal
+    /// ([`from_op`](Self::from_op)) and must refresh through
+    /// [`lump_op_weighted_into`] rather than the gather-map path.
+    pub fn is_operator_plan(&self) -> bool {
+        self.gather_ptr.len() != self.nnz() + 1
     }
 
     /// Builds the plan stack for a whole coarsening hierarchy: plan `k`
@@ -564,6 +628,43 @@ impl LumpPlan {
     }
 }
 
+/// Transpose placement for a coarse CSR pattern — counting sort by
+/// coarse column, rows ascending, mirroring `CsrMatrix::transpose`.
+/// Returns `(t_indptr, t_indices, t_from)` with
+/// `pt.data[m] = data[t_from[m]]`.
+fn transpose_placement(
+    nb: usize,
+    c_indptr: &[usize],
+    c_indices: &[u32],
+) -> (Vec<usize>, Vec<u32>, Vec<u32>) {
+    let nnz_c = c_indices.len();
+    let mut t_counts = vec![0usize; nb + 1];
+    for &c in c_indices {
+        t_counts[c as usize + 1] += 1;
+    }
+    for b in 0..nb {
+        t_counts[b + 1] += t_counts[b];
+    }
+    let t_indptr = t_counts.clone();
+    let mut t_indices = vec![0u32; nnz_c];
+    let mut t_from = vec![0u32; nnz_c];
+    let mut t_next = t_counts;
+    for r in 0..nb {
+        for (k, &c) in c_indices
+            .iter()
+            .enumerate()
+            .take(c_indptr[r + 1])
+            .skip(c_indptr[r])
+        {
+            let slot = t_next[c as usize];
+            t_indices[slot] = r as u32;
+            t_from[slot] = k as u32;
+            t_next[c as usize] += 1;
+        }
+    }
+    (t_indptr, t_indices, t_from)
+}
+
 /// Preallocated numeric buffers for [`lump_weighted_into`].
 ///
 /// After a refresh with weights `w`, the buffers double as the
@@ -577,14 +678,29 @@ impl LumpPlan {
 pub struct LumpWorkspace {
     block_weight: Vec<f64>,
     wscale: Vec<f64>,
+    /// Per-worker sort buffers for the operator refresh path
+    /// ([`lump_op_weighted_into`]); empty for gather-map plans. Each
+    /// slot is preallocated to the plan's largest coarse row, so the
+    /// refresh never grows them.
+    row_scratch: Vec<Vec<(u32, f64)>>,
 }
 
 impl LumpWorkspace {
-    /// Allocates buffers sized for `plan`.
+    /// Allocates buffers sized for `plan`. Operator-built plans
+    /// ([`LumpPlan::from_op`]) additionally get one sort buffer per
+    /// worker thread for the traversal refresh.
     pub fn for_plan(plan: &LumpPlan) -> Self {
+        let row_scratch = if plan.is_operator_plan() {
+            (0..par::threads().max(1))
+                .map(|_| Vec::with_capacity(plan.max_row_entries))
+                .collect()
+        } else {
+            Vec::new()
+        };
         LumpWorkspace {
             block_weight: vec![0.0; plan.nb],
             wscale: vec![0.0; plan.fine_n],
+            row_scratch,
         }
     }
 
@@ -597,6 +713,48 @@ impl LumpWorkspace {
     pub fn wscale(&self) -> &[f64] {
         &self.wscale
     }
+}
+
+/// Shared weight validation of the numeric-refresh entry points.
+fn validate_weights(n: usize, w: &[f64]) -> Result<()> {
+    if w.len() != n {
+        return Err(MarkovError::InvalidArgument(
+            "weight vector length mismatch".into(),
+        ));
+    }
+    if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
+        return Err(MarkovError::InvalidArgument(
+            "weights must be non-negative".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Phases 1–2 of every numeric refresh: per-block weight totals
+/// (gathered in ascending member order, same as [`block_weights`]) and
+/// per-state shares (zero-weight blocks fall back to uniform).
+fn refresh_shares(partition: &Partition, w: &[f64], ws: &mut LumpWorkspace) {
+    par::for_each_chunk_mut(&mut ws.block_weight, |b0, chunk| {
+        for (k, acc) in chunk.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for &i in partition.block_members(b0 + k) {
+                s += w[i];
+            }
+            *acc = s;
+        }
+    });
+    let bw = &ws.block_weight;
+    par::for_each_chunk_mut(&mut ws.wscale, |i0, chunk| {
+        for (k, o) in chunk.iter_mut().enumerate() {
+            let i = i0 + k;
+            let b = partition.block_of(i);
+            *o = if bw[b] > 0.0 {
+                w[i] / bw[b]
+            } else {
+                1.0 / partition.block_members(b).len() as f64
+            };
+        }
+    });
 }
 
 /// Numeric-only refresh of a weighted lumping: recomputes the values of
@@ -627,16 +785,12 @@ pub fn lump_weighted_into(
             "lump plan does not match the fine matrix/partition".into(),
         ));
     }
-    if w.len() != n {
+    if plan.is_operator_plan() {
         return Err(MarkovError::InvalidArgument(
-            "weight vector length mismatch".into(),
+            "plan was built from an operator; refresh with lump_op_weighted_into".into(),
         ));
     }
-    if w.iter().any(|&x| x < 0.0 || !x.is_finite()) {
-        return Err(MarkovError::InvalidArgument(
-            "weights must be non-negative".into(),
-        ));
-    }
+    validate_weights(n, w)?;
     if out.n() != plan.nb || out.nnz() != plan.nnz() {
         return Err(MarkovError::InvalidArgument(
             "output matrix does not match the plan's coarse pattern".into(),
@@ -644,32 +798,7 @@ pub fn lump_weighted_into(
     }
     debug_assert_eq!(ws.block_weight.len(), plan.nb);
     debug_assert_eq!(ws.wscale.len(), n);
-    // Phase 1: per-block weight totals (gather, ascending members — the
-    // same order as `block_weights`).
-    par::for_each_chunk_mut(&mut ws.block_weight, |b0, chunk| {
-        for (k, acc) in chunk.iter_mut().enumerate() {
-            let mut s = 0.0;
-            for &i in partition.block_members(b0 + k) {
-                s += w[i];
-            }
-            *acc = s;
-        }
-    });
-    // Phase 2: per-state shares (zero-weight blocks fall back to uniform).
-    {
-        let bw = &ws.block_weight;
-        par::for_each_chunk_mut(&mut ws.wscale, |i0, chunk| {
-            for (k, o) in chunk.iter_mut().enumerate() {
-                let i = i0 + k;
-                let b = partition.block_of(i);
-                *o = if bw[b] > 0.0 {
-                    w[i] / bw[b]
-                } else {
-                    1.0 / partition.block_members(b).len() as f64
-                };
-            }
-        });
-    }
+    refresh_shares(partition, w, ws);
     // Phase 3: slot gather — each coarse value is the sum of its fine
     // entries in the recorded from-scratch order. Parallel over slots,
     // weighted by gather-list length; each slot is summed wholly by one
@@ -690,10 +819,18 @@ pub fn lump_weighted_into(
             }
         });
     }
-    // Phase 4: the two row-scaling passes of the from-scratch path, in
-    // order — `fix_row_sums` (guarded inverse) then the unconditional
-    // renormalization `StochasticMatrix::with_tolerance` performs. Serial:
-    // O(coarse nnz), dominated by the gather above.
+    renorm_and_refresh_transpose(plan, pm, ptm);
+    Ok(())
+}
+
+/// Phases 4–5 of every numeric refresh. Phase 4: the two row-scaling
+/// passes of the from-scratch path, in order — `fix_row_sums` (guarded
+/// inverse) then the unconditional renormalization
+/// `StochasticMatrix::with_tolerance` performs; serial, O(coarse nnz).
+/// Phase 5: refresh the cached transpose through the precomputed
+/// permutation.
+fn renorm_and_refresh_transpose(plan: &LumpPlan, pm: &mut CsrMatrix, ptm: &mut CsrMatrix) {
+    let data = pm.data_mut();
     for b in 0..plan.nb {
         let row = &mut data[plan.indptr[b]..plan.indptr[b + 1]];
         let s: f64 = row.iter().sum();
@@ -708,8 +845,6 @@ pub fn lump_weighted_into(
             *v *= f2;
         }
     }
-    // Phase 5: refresh the cached transpose through the precomputed
-    // permutation.
     let data = pm.data();
     let t_data = ptm.data_mut();
     par::for_each_chunk_mut(t_data, |start, chunk| {
@@ -717,7 +852,132 @@ pub fn lump_weighted_into(
             *o = data[plan.t_from[start + k] as usize];
         }
     });
+}
+
+/// Numeric refresh of a weighted lumping straight from a
+/// [`TransitionOp`] — the implicit-path twin of [`lump_weighted_into`]
+/// for plans built with [`LumpPlan::from_op`], with **zero heap
+/// allocations** per call.
+///
+/// Each coarse row is rebuilt by re-traversing its member rows
+/// (ascending members, entries in column order), pushing
+/// `(coarse column, wscale_i · value)` pairs into a preallocated
+/// per-worker buffer, sorting with the same unstable key sort the
+/// from-scratch COO assembly runs, and summing runs in place. Because
+/// the sort's permutation depends only on the key sequence (and the
+/// element type matches the recorded-gather path deliberately), the
+/// summation order — and therefore every bit of the result — equals
+/// what [`lump_weighted_into`] produces on the materialized fine matrix
+/// whose entries the operator serves. Parallel chunking is group-aligned
+/// per coarse row, so results are bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidArgument`] for the same malformed-weight
+/// conditions as [`lump_weighted`], a non-operator plan, shape
+/// mismatches, or a workspace without per-worker scratch.
+pub fn lump_op_weighted_into(
+    op: &dyn TransitionOp,
+    partition: &Partition,
+    w: &[f64],
+    plan: &LumpPlan,
+    ws: &mut LumpWorkspace,
+    out: &mut StochasticMatrix,
+) -> Result<()> {
+    let n = op.rows();
+    if op.cols() != n || partition.n() != n || plan.fine_n != n {
+        return Err(MarkovError::InvalidArgument(
+            "lump plan does not match the operator/partition".into(),
+        ));
+    }
+    if !plan.is_operator_plan() {
+        return Err(MarkovError::InvalidArgument(
+            "plan carries a gather map; refresh with lump_weighted_into".into(),
+        ));
+    }
+    validate_weights(n, w)?;
+    if out.n() != plan.nb || out.nnz() != plan.nnz() {
+        return Err(MarkovError::InvalidArgument(
+            "output matrix does not match the plan's coarse pattern".into(),
+        ));
+    }
+    if ws.row_scratch.is_empty() {
+        return Err(MarkovError::InvalidArgument(
+            "workspace lacks row scratch; build it with LumpWorkspace::for_plan".into(),
+        ));
+    }
+    debug_assert_eq!(ws.block_weight.len(), plan.nb);
+    debug_assert_eq!(ws.wscale.len(), n);
+    refresh_shares(partition, w, ws);
+    // Phase 3: per-coarse-row traversal, sort, and run-length sum. Group
+    // boundaries are coarse rows; the per-group cost prefix is the fine
+    // entry count recorded at plan time.
+    let (pm, ptm) = out.parts_mut();
+    {
+        let data = pm.data_mut();
+        let wscale = &ws.wscale;
+        par::for_each_grouped_chunk_mut(
+            data,
+            &plan.indptr,
+            &plan.row_cost,
+            &mut ws.row_scratch,
+            |rows, chunk, scratch| {
+                let base = plan.indptr[rows.start];
+                for b in rows {
+                    scratch.clear();
+                    for &i in partition.block_members(b) {
+                        let wi = wscale[i];
+                        op.for_each_in_row(i, &mut |j, v| {
+                            scratch.push((partition.block_of(j) as u32, wi * v));
+                        });
+                    }
+                    scratch.sort_unstable_by_key(|&(c, _)| c);
+                    let row_out = &mut chunk[plan.indptr[b] - base..plan.indptr[b + 1] - base];
+                    let mut s = 0usize;
+                    for slot in row_out.iter_mut() {
+                        let c = scratch[s].0;
+                        let mut sum = 0.0;
+                        while s < scratch.len() && scratch[s].0 == c {
+                            sum += scratch[s].1;
+                            s += 1;
+                        }
+                        *slot = sum;
+                    }
+                    debug_assert_eq!(s, scratch.len(), "coarse row {b} out of sync");
+                }
+            },
+        );
+    }
+    renorm_and_refresh_transpose(plan, pm, ptm);
     Ok(())
+}
+
+/// Allocates a coarse matrix from an operator plan's pattern and
+/// refreshes it via [`lump_op_weighted_into`] — the allocating entry
+/// point of the implicit path (hierarchy setup).
+///
+/// # Errors
+///
+/// Same as [`lump_op_weighted_into`].
+pub fn lump_op_with_plan(
+    op: &dyn TransitionOp,
+    partition: &Partition,
+    w: &[f64],
+    plan: &LumpPlan,
+    ws: &mut LumpWorkspace,
+) -> Result<StochasticMatrix> {
+    let csr = CsrMatrix::from_sorted_parts(
+        plan.nb,
+        plan.nb,
+        plan.indptr.clone(),
+        plan.indices.clone(),
+        vec![0.0; plan.nnz()],
+    )
+    .map_err(|e| MarkovError::InvalidArgument(format!("corrupt lump plan: {e}")))?;
+    let pt = csr.transpose();
+    let mut out = StochasticMatrix::from_parts_unchecked(csr, pt);
+    lump_op_weighted_into(op, partition, w, plan, ws, &mut out)?;
+    Ok(out)
 }
 
 /// Allocates a coarse matrix from the plan's pattern and refreshes it via
@@ -1106,6 +1366,68 @@ mod tests {
         // Plan built for a different partition size.
         let small = Partition::from_labels(vec![0, 1]).unwrap();
         assert!(LumpPlan::from_pattern(4, &[0, 1, 2], &[0, 1], &small).is_err());
+    }
+
+    /// Serializes tests that override the global worker-thread count.
+    static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn operator_plan_matches_gather_plan_bitwise() {
+        let _g = THREADS_LOCK.lock().unwrap();
+        let n = 60;
+        let p = random_chain(n, 11);
+        let part = Partition::from_labels((0..n).map(|i| (i * 13 + 4) % 7).collect()).unwrap();
+        let gplan = LumpPlan::build(&p, &part).unwrap();
+        // The chain itself is the operator: same pattern, same values.
+        let oplan = LumpPlan::from_op(&p, &part).unwrap();
+        assert!(!gplan.is_operator_plan());
+        assert!(oplan.is_operator_plan());
+        assert_eq!(gplan.pattern(), oplan.pattern());
+        assert_eq!(gplan.fine_nnz(), oplan.fine_nnz());
+        let mut gws = LumpWorkspace::for_plan(&gplan);
+        let mut ows = LumpWorkspace::for_plan(&oplan);
+        let w: Vec<f64> = (0..n).map(|i| 0.05 + (i as f64 * 0.61).fract()).collect();
+        let reference = lump_with_plan(&p, &part, &w, &gplan, &mut gws).unwrap();
+        for t in [1usize, 4] {
+            par::set_threads(Some(t));
+            let got = lump_op_with_plan(&p, &part, &w, &oplan, &mut ows).unwrap();
+            par::set_threads(None);
+            assert!(
+                got.matrix()
+                    .data()
+                    .iter()
+                    .zip(reference.matrix().data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "values diverge at {t} threads"
+            );
+            assert!(
+                got.transposed()
+                    .data()
+                    .iter()
+                    .zip(reference.transposed().data())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "transpose values diverge at {t} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_kinds_reject_the_wrong_refresh() {
+        let p = lumpable_chain();
+        let part = Partition::from_labels(vec![0, 0, 1, 1]).unwrap();
+        let gplan = LumpPlan::build(&p, &part).unwrap();
+        let oplan = LumpPlan::from_op(&p, &part).unwrap();
+        let mut gws = LumpWorkspace::for_plan(&gplan);
+        let mut ows = LumpWorkspace::for_plan(&oplan);
+        let w = [1.0; 4];
+        let mut out = lump_with_plan(&p, &part, &w, &gplan, &mut gws).unwrap();
+        // Gather plan through the operator entry point and vice versa.
+        assert!(lump_op_weighted_into(&p, &part, &w, &gplan, &mut ows, &mut out).is_err());
+        assert!(lump_weighted_into(&p, &part, &w, &oplan, &mut gws, &mut out).is_err());
+        // Workspace built for the gather plan lacks operator scratch.
+        assert!(lump_op_weighted_into(&p, &part, &w, &oplan, &mut gws, &mut out).is_err());
+        // The proper pairing works.
+        assert!(lump_op_weighted_into(&p, &part, &w, &oplan, &mut ows, &mut out).is_ok());
     }
 
     #[test]

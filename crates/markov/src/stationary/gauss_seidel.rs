@@ -69,6 +69,41 @@ impl GaussSeidelSolver {
         assert_eq!(x.len(), p.n(), "vector length must match state count");
         sweep_transposed(p.transposed(), x)
     }
+
+    /// One forward sweep over the rows of a transposed [`TransitionOp`]
+    /// (e.g. [`crate::ImplicitStochastic::transposed_view`]) — the
+    /// implicit-path twin of [`sweep_once`](Self::sweep_once), with
+    /// identical arithmetic per state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != pt.rows()`.
+    pub fn sweep_transposed_op(pt: &dyn TransitionOp, x: &mut [f64]) -> f64 {
+        assert_eq!(x.len(), pt.rows(), "vector length must match state count");
+        let mut change = 0.0;
+        for i in 0..x.len() {
+            let mut acc = 0.0;
+            let mut pii = 0.0;
+            {
+                let xr: &[f64] = x;
+                pt.for_each_in_row(i, &mut |j, v| {
+                    if j == i {
+                        pii = v;
+                    } else {
+                        acc += v * xr[j];
+                    }
+                });
+            }
+            let denom = 1.0 - pii;
+            if denom > f64::EPSILON {
+                let new = (acc / denom).max(0.0);
+                change += (new - x[i]).abs();
+                x[i] = new;
+            }
+        }
+        vecops::normalize_l1(x);
+        change
+    }
 }
 
 /// One forward Gauss–Seidel sweep over the rows of `P^T`.
@@ -109,20 +144,29 @@ impl StationarySolver for GaussSeidelSolver {
     fn solve_op(&self, op: &dyn TransitionOp, init: Option<&[f64]>) -> Result<StationaryResult> {
         let n = square_dim(op)?;
         let mut x = self.opts.starting_vector(n, init)?;
-        // Sweeps need P^T rows; materialize once for backends without a
-        // cached transpose.
+        // Sweeps need P^T rows: prefer the cached CSR transpose, then a
+        // matrix-free transposed operator, and only materialize as the
+        // last resort.
+        enum Pt<'a> {
+            Csr(&'a CsrMatrix),
+            Op(&'a dyn TransitionOp),
+        }
         let pt_owned;
-        let pt: &CsrMatrix = match op.transpose_csr() {
-            Some(t) => t,
-            None => {
+        let pt = match (op.transpose_csr(), op.transpose_op()) {
+            (Some(t), _) => Pt::Csr(t),
+            (None, Some(t)) => Pt::Op(t),
+            (None, None) => {
                 pt_owned = op.materialize_csr().transpose();
-                &pt_owned
+                Pt::Csr(&pt_owned)
             }
         };
         let mut history = Vec::new();
         let mut trace = ConvergenceTrace::new("markov.gauss_seidel.stall");
         for it in 1..=self.opts.max_iters {
-            let change = sweep_transposed(pt, &mut x);
+            let change = match &pt {
+                Pt::Csr(m) => sweep_transposed(m, &mut x),
+                Pt::Op(t) => GaussSeidelSolver::sweep_transposed_op(*t, &mut x),
+            };
             if vecops::sum(&x) == 0.0 {
                 // The sweep annihilated the iterate (possible for
                 // concentrated starts); re-seed with the uniform vector.

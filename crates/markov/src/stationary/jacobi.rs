@@ -107,6 +107,31 @@ impl JacobiSolver {
         self.sweep_op_into(p, diag, x, y)
     }
 
+    /// Allocation-free sweep against any operator: like
+    /// [`sweep_with_scratch`](Self::sweep_with_scratch) but on a
+    /// [`TransitionOp`] (the implicit Kronecker path). `diag` must be the
+    /// operator's main diagonal; same bits as the materialized sweep when
+    /// the operator serves the materialized chain's values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths are inconsistent with the operator.
+    pub fn sweep_op_with_scratch(
+        &self,
+        op: &dyn TransitionOp,
+        diag: &[f64],
+        x: &mut [f64],
+        y: &mut [f64],
+    ) -> f64 {
+        assert_eq!(x.len(), op.rows(), "vector length must match state count");
+        assert_eq!(
+            diag.len(),
+            op.rows(),
+            "diagonal length must match state count"
+        );
+        self.sweep_op_into(op, diag, x, y)
+    }
+
     fn sweep_op_into(
         &self,
         op: &dyn TransitionOp,

@@ -1,7 +1,7 @@
 //! Smoothers used between grid transfers.
 
 use stochcdr_markov::stationary::{GaussSeidelSolver, JacobiSolver};
-use stochcdr_markov::StochasticMatrix;
+use stochcdr_markov::{ImplicitStochastic, StochasticMatrix};
 
 /// The relaxation applied before and after each coarse-grid correction.
 ///
@@ -95,6 +95,51 @@ impl Smoother {
             }
         }
     }
+
+    /// Implicit-path twin of [`apply_ws`](Self::apply_ws): smooths against
+    /// a matrix-free [`ImplicitStochastic`] chain. `diag` must hold the
+    /// chain's main diagonal (hoisted once at hierarchy build — the
+    /// operator's values are fixed for the lifetime of the borrow, so the
+    /// diagonal never changes) and `scratch` a work vector of length
+    /// `imp.n()`. Produces the same bits as `apply_ws` on the materialized
+    /// twin of the same operator, at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths disagree with `imp.n()`.
+    pub(crate) fn apply_op_ws(
+        &self,
+        imp: &ImplicitStochastic<'_>,
+        x: &mut [f64],
+        sweeps: usize,
+        diag: &[f64],
+        scratch: &mut [f64],
+    ) {
+        if sweeps == 0 {
+            return;
+        }
+        match self {
+            Smoother::Jacobi { omega } => {
+                let j = JacobiSolver::new(f64::MIN_POSITIVE, 1, *omega);
+                for _ in 0..sweeps {
+                    j.sweep_op_with_scratch(imp, diag, x, scratch);
+                }
+            }
+            Smoother::GaussSeidel => {
+                let pt = imp.transposed_view();
+                for _ in 0..sweeps {
+                    GaussSeidelSolver::sweep_transposed_op(&pt, x);
+                }
+            }
+            Smoother::Power => {
+                for _ in 0..sweeps {
+                    imp.step_into(x, scratch);
+                    x.copy_from_slice(&scratch[..x.len()]);
+                    stochcdr_linalg::vecops::normalize_l1(x);
+                }
+            }
+        }
+    }
 }
 
 impl Default for Smoother {
@@ -153,6 +198,40 @@ mod tests {
             let mut scratch = vec![f64::NAN; 16];
             s.apply(&p, &mut a, 7);
             s.apply_ws(&p, &mut b, 7, &mut diag, &mut scratch);
+            assert_eq!(a, b, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn apply_op_ws_matches_apply_ws_bitwise() {
+        // The implicit chain wraps the same raw CSR the materialized chain
+        // validated; every smoother must produce identical bits.
+        let n = 16;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 0.6);
+            coo.push(i, (i + n - 1) % n, 0.3);
+            coo.push(i, i, 0.1);
+        }
+        let raw = coo.to_csr();
+        let p = StochasticMatrix::with_tolerance(raw.clone(), 1e-6).unwrap();
+        let rawt = raw.transpose();
+        let imp = ImplicitStochastic::with_tolerance(&raw, &rawt, 1e-6).unwrap();
+        let mut diag = vec![0.0; n];
+        stochcdr_linalg::TransitionOp::diagonal_into(&imp, &mut diag);
+        for s in [
+            Smoother::Jacobi { omega: 0.8 },
+            Smoother::GaussSeidel,
+            Smoother::Power,
+        ] {
+            let mut a: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            vecops::normalize_l1(&mut a);
+            let mut b = a.clone();
+            let mut mdiag = vec![0.0; n];
+            let mut sa = vec![f64::NAN; n];
+            let mut sb = vec![f64::NAN; n];
+            s.apply_ws(&p, &mut a, 5, &mut mdiag, &mut sa);
+            s.apply_op_ws(&imp, &mut b, 5, &diag, &mut sb);
             assert_eq!(a, b, "{s:?}");
         }
     }

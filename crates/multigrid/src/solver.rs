@@ -4,12 +4,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use stochcdr_linalg::{vecops, TransitionOp};
-use stochcdr_markov::lumping::{disaggregate_scaled, lump_weighted_into, LumpPlan, Partition};
+use stochcdr_markov::lumping::{
+    disaggregate_scaled, lump_op_weighted_into, lump_weighted_into, LumpPlan, Partition,
+};
 use stochcdr_markov::stationary::{
     ConvergenceSummary, ConvergenceTrace, GthSolver, SolveReport, StationaryResult,
     StationarySolver,
 };
-use stochcdr_markov::{MarkovError, Result, StochasticMatrix};
+use stochcdr_markov::{ImplicitStochastic, MarkovError, Result, StochasticMatrix};
 use stochcdr_obs as obs;
 
 use crate::hierarchy::{CoarseWs, MgHierarchy, MgLevel, MgPhases};
@@ -34,6 +36,30 @@ const LEVEL_SPANS: [&str; 12] = [
 
 fn level_span(level: usize) -> &'static str {
     LEVEL_SPANS[level.min(LEVEL_SPANS.len() - 1)]
+}
+
+/// The finest level's chain backend. Coarse levels are always materialized
+/// (`StochasticMatrix`); the fine grid is either materialized too, or a
+/// matrix-free [`ImplicitStochastic`] wrapper around a product-form
+/// operator whose joint TPM never exists in memory. All value-level
+/// arithmetic is shared between the two arms, so a solve through `Op` is
+/// bit-identical to one through `Mat` whenever the operator serves the
+/// materialized chain's values.
+#[derive(Clone, Copy)]
+enum FineLevel<'a, 'b> {
+    /// Materialized fine chain.
+    Mat(&'a StochasticMatrix),
+    /// Implicit (matrix-free) fine chain.
+    Op(&'a ImplicitStochastic<'b>),
+}
+
+impl FineLevel<'_, '_> {
+    fn n(&self) -> usize {
+        match self {
+            FineLevel::Mat(p) => p.n(),
+            FineLevel::Op(imp) => imp.n(),
+        }
+    }
 }
 
 /// Recursion pattern of the multigrid cycle.
@@ -303,6 +329,47 @@ impl MultigridSolver {
         Ok(h)
     }
 
+    /// Implicit-path twin of [`prepare`](Self::prepare): one-time setup
+    /// for a matrix-free fine grid. The finest symbolic plan is built by
+    /// traversing the operator's rows ([`LumpPlan::from_op`]); only the
+    /// coarse levels are materialized. Injected plans
+    /// ([`MultigridBuilder::plans`]) must have an operator-built finest
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] when the partition
+    /// sequence is empty (the coarsest direct solve needs a materialized
+    /// chain), does not cover the operator, or exceeds the direct-solve
+    /// cap; plan mismatches are rejected as in `prepare`.
+    pub fn prepare_op(&self, imp: &ImplicitStochastic<'_>) -> Result<MgHierarchy> {
+        if let Some(part) = self.partitions.first() {
+            if part.n() != imp.n() {
+                return Err(MarkovError::InvalidArgument(format!(
+                    "finest partition covers {} states, chain has {}",
+                    part.n(),
+                    imp.n()
+                )));
+            }
+        }
+        let coarsest = self
+            .partitions
+            .last()
+            .map_or(imp.n(), Partition::block_count);
+        if coarsest > self.coarse_direct_max {
+            return Err(MarkovError::InvalidArgument(format!(
+                "coarsest level has {coarsest} states, exceeding the direct-solve cap {}; \
+                 add more coarsening levels",
+                self.coarse_direct_max
+            )));
+        }
+        let t0 = Instant::now();
+        let _span = obs::span("mg.setup");
+        let mut h = MgHierarchy::build_op(imp, &self.partitions, self.plans.clone())?;
+        h.phases.setup_secs = t0.elapsed().as_secs_f64();
+        Ok(h)
+    }
+
     /// Runs one multigrid cycle against a prepared hierarchy and returns
     /// the L1 stationarity residual of the updated iterate.
     ///
@@ -334,9 +401,47 @@ impl MultigridSolver {
             phases,
             ..
         } = h;
-        self.run_cycle(p, 0, plans, levels, gth, phases, x)?;
+        self.run_cycle(FineLevel::Mat(p), 0, plans, levels, gth, phases, x)?;
         let t0 = Instant::now();
         let res = p.stationary_residual_with(x, resid);
+        phases.residual_secs += t0.elapsed().as_secs_f64();
+        Ok(res)
+    }
+
+    /// Implicit-path twin of [`cycle`](Self::cycle): runs one multigrid
+    /// cycle with a matrix-free fine grid. The fine-level aggregation
+    /// re-traverses the operator's rows (no materialized storage), fine
+    /// smoothing runs on the operator's product kernels, and the residual
+    /// is evaluated matrix-free; everything below level 0 is the exact
+    /// materialized cycle. Allocation-free after
+    /// [`prepare_op`](Self::prepare_op), like the materialized path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidArgument`] if `h` was not prepared
+    /// for this operator's shape, or propagates coarse-solve failures.
+    pub fn cycle_op(
+        &self,
+        imp: &ImplicitStochastic<'_>,
+        h: &mut MgHierarchy,
+        x: &mut [f64],
+    ) -> Result<f64> {
+        if !h.matches_op(imp) {
+            return Err(MarkovError::InvalidArgument(
+                "hierarchy was prepared for a different chain".into(),
+            ));
+        }
+        let MgHierarchy {
+            plans,
+            levels,
+            gth,
+            resid,
+            phases,
+            ..
+        } = h;
+        self.run_cycle(FineLevel::Op(imp), 0, plans, levels, gth, phases, x)?;
+        let t0 = Instant::now();
+        let res = imp.stationary_residual_with(x, resid);
         phases.residual_secs += t0.elapsed().as_secs_f64();
         Ok(res)
     }
@@ -360,22 +465,77 @@ impl MultigridSolver {
                 "hierarchy was prepared for a different chain".into(),
             ));
         }
-        let mut x = match init {
+        let x = match init {
             None if self.fmg => self.fmg_initial(p, h)?,
             None => vecops::uniform(p.n()),
-            Some(v) => {
-                let mut x = v.to_vec();
-                if x.len() != p.n() || !vecops::is_nonnegative(&x) || !vecops::normalize_l1(&mut x)
-                {
-                    return Err(MarkovError::InvalidArgument(
-                        "initial vector must be a non-negative distribution of matching length"
-                            .into(),
-                    ));
-                }
-                x
-            }
+            Some(v) => checked_init(p.n(), v)?,
         };
+        self.solve_loop(FineLevel::Mat(p), h, x)
+    }
 
+    /// Implicit-path twin of [`solve_prepared`](Self::solve_prepared):
+    /// cycles a hierarchy prepared by [`prepare_op`](Self::prepare_op) to
+    /// convergence against a matrix-free fine grid. When the operator
+    /// serves the same values a materialized chain would, the returned
+    /// distribution, cycle count and residuals are bit-identical to the
+    /// materialized solve, at any thread count.
+    ///
+    /// FMG initialization is not available on this path (it smooths on
+    /// every level's chain, including the fine one, with allocation);
+    /// pass an explicit `init` or start uniform.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve_prepared`](Self::solve_prepared), plus
+    /// [`MarkovError::InvalidArgument`] when FMG is enabled.
+    pub fn solve_op_prepared(
+        &self,
+        imp: &ImplicitStochastic<'_>,
+        h: &mut MgHierarchy,
+        init: Option<&[f64]>,
+    ) -> Result<(StationaryResult, MultigridStats)> {
+        if !h.matches_op(imp) {
+            return Err(MarkovError::InvalidArgument(
+                "hierarchy was prepared for a different chain".into(),
+            ));
+        }
+        let x = match init {
+            None if self.fmg => {
+                return Err(MarkovError::InvalidArgument(
+                    "FMG initialization is not available on the implicit path".into(),
+                ));
+            }
+            None => vecops::uniform(imp.n()),
+            Some(v) => checked_init(imp.n(), v)?,
+        };
+        self.solve_loop(FineLevel::Op(imp), h, x)
+    }
+
+    /// Prepares and solves against a matrix-free fine grid in one call —
+    /// the implicit twin of [`solve_with_stats`](Self::solve_with_stats).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`prepare_op`](Self::prepare_op) and
+    /// [`solve_op_prepared`](Self::solve_op_prepared).
+    pub fn solve_op_with_stats(
+        &self,
+        imp: &ImplicitStochastic<'_>,
+        init: Option<&[f64]>,
+    ) -> Result<(StationaryResult, MultigridStats)> {
+        let mut h = self.prepare_op(imp)?;
+        self.solve_op_prepared(imp, &mut h, init)
+    }
+
+    /// The shared cycle loop: identical control flow for both fine-grid
+    /// backends, so the materialized path's bits are untouched by the
+    /// implicit path's existence.
+    fn solve_loop(
+        &self,
+        fine: FineLevel<'_, '_>,
+        h: &mut MgHierarchy,
+        mut x: Vec<f64>,
+    ) -> Result<(StationaryResult, MultigridStats)> {
         let level_sizes = h.level_sizes();
 
         let _solve_span = obs::span("multigrid.solve");
@@ -384,11 +544,11 @@ impl MultigridSolver {
             "multigrid.hierarchy",
             &[
                 ("levels", self.levels().into()),
-                ("fine_states", p.n().into()),
+                ("fine_states", fine.n().into()),
                 ("coarsest_states", coarsest_size.into()),
                 (
                     "coarsening_ratio",
-                    (p.n() as f64 / coarsest_size.max(1) as f64).into(),
+                    (fine.n() as f64 / coarsest_size.max(1) as f64).into(),
                 ),
             ],
         );
@@ -402,7 +562,10 @@ impl MultigridSolver {
         for cycle in 1..=self.max_cycles {
             let cycle_t0 = obs::enabled().then(Instant::now);
             let cycle_span = obs::span("cycle");
-            let res = self.cycle(p, h, &mut x)?;
+            let res = match fine {
+                FineLevel::Mat(p) => self.cycle(p, h, &mut x)?,
+                FineLevel::Op(imp) => self.cycle_op(imp, h, &mut x)?,
+            };
             drop(cycle_span);
             trace.observe(res);
             if let Some(t0) = cycle_t0 {
@@ -425,7 +588,10 @@ impl MultigridSolver {
                 // Clamping perturbs the iterate, so the pre-clamp residual
                 // no longer describes the distribution actually returned:
                 // recompute it and keep history's last entry in sync.
-                let final_res = p.stationary_residual_with(&x, &mut h.resid);
+                let final_res = match fine {
+                    FineLevel::Mat(p) => p.stationary_residual_with(&x, &mut h.resid),
+                    FineLevel::Op(imp) => imp.stationary_residual_with(&x, &mut h.resid),
+                };
                 *history.last_mut().expect("pushed above") = final_res;
                 obs::event(
                     "multigrid.converged",
@@ -539,6 +705,40 @@ impl MultigridSolver {
         obs::histogram(&format!("multigrid.smooth.ns.level{level}"), ns);
     }
 
+    /// Implicit twin of [`smooth_ws`](Self::smooth_ws): identical
+    /// accounting, smoothing against the matrix-free fine chain. `diag` is
+    /// read-only — the operator's diagonal was hoisted once at hierarchy
+    /// build (recomputing it from a Kronecker operator allocates).
+    #[allow(clippy::too_many_arguments)]
+    fn smooth_op_ws(
+        &self,
+        imp: &ImplicitStochastic<'_>,
+        x: &mut [f64],
+        sweeps: usize,
+        level: usize,
+        diag: &[f64],
+        scratch: &mut [f64],
+        ph: &mut MgPhases,
+    ) {
+        let t0 = Instant::now();
+        if !obs::enabled() {
+            self.smoother.apply_op_ws(imp, x, sweeps, diag, scratch);
+            ph.smooth_secs += t0.elapsed().as_secs_f64();
+            return;
+        }
+        {
+            let _span = obs::span("smooth");
+            self.smoother.apply_op_ws(imp, x, sweeps, diag, scratch);
+        }
+        let ns = t0.elapsed().as_nanos() as f64;
+        ph.smooth_secs += ns * 1e-9;
+        obs::counter(
+            &format!("multigrid.smooth_sweeps.level{level}"),
+            sweeps as u64,
+        );
+        obs::histogram(&format!("multigrid.smooth.ns.level{level}"), ns);
+    }
+
     /// One multigrid cycle at `level`, updating `x` in place. Numeric
     /// only: the coarse chain's values are refreshed through the cached
     /// plan, the restriction is the block-weight vector the refresh
@@ -546,7 +746,7 @@ impl MultigridSolver {
     #[allow(clippy::too_many_arguments)]
     fn run_cycle(
         &self,
-        chain: &StochasticMatrix,
+        chain: FineLevel<'_, '_>,
         level: usize,
         plans: &[LumpPlan],
         levels: &mut [MgLevel],
@@ -556,21 +756,27 @@ impl MultigridSolver {
     ) -> Result<()> {
         let _level_span = obs::span(level_span(level));
         let Some((lvl, rest)) = levels.split_first_mut() else {
+            let FineLevel::Mat(chain) = chain else {
+                // `prepare_op` rejects empty partition sequences, so the
+                // implicit fine grid never reaches the coarsest arm.
+                return Err(MarkovError::InvalidArgument(
+                    "implicit fine grid cannot be the coarsest level".into(),
+                ));
+            };
             let t0 = Instant::now();
             let _span = obs::span("coarse_solve");
             let r = self.solve_coarsest_ws(chain, cw, x);
             ph.coarse_solve_secs += t0.elapsed().as_secs_f64();
             return r;
         };
-        self.smooth_ws(
-            chain,
-            x,
-            self.pre_sweeps,
-            level,
-            &mut lvl.diag,
-            &mut lvl.sm,
-            ph,
-        );
+        match chain {
+            FineLevel::Mat(p) => {
+                self.smooth_ws(p, x, self.pre_sweeps, level, &mut lvl.diag, &mut lvl.sm, ph)
+            }
+            FineLevel::Op(imp) => {
+                self.smooth_op_ws(imp, x, self.pre_sweeps, level, &lvl.diag, &mut lvl.sm, ph)
+            }
+        }
 
         let part = &self.partitions[level];
         let plan = &plans[level];
@@ -578,7 +784,14 @@ impl MultigridSolver {
         let agg_span = obs::span("aggregate");
         {
             let _refresh = obs::span("mg.refresh");
-            lump_weighted_into(chain, part, x, plan, &mut lvl.ws, &mut lvl.coarse)?;
+            match chain {
+                FineLevel::Mat(p) => {
+                    lump_weighted_into(p, part, x, plan, &mut lvl.ws, &mut lvl.coarse)?
+                }
+                FineLevel::Op(imp) => {
+                    lump_op_weighted_into(imp, part, x, plan, &mut lvl.ws, &mut lvl.coarse)?
+                }
+            }
         }
         // The refresh's block-weight pass *is* the restriction: same block
         // sums, same order, same bits as `aggregate(part, x)`.
@@ -587,7 +800,15 @@ impl MultigridSolver {
         drop(agg_span);
         ph.aggregate_secs += t0.elapsed().as_secs_f64();
         for _ in 0..self.cycle.gamma() {
-            self.run_cycle(&lvl.coarse, level + 1, plans, rest, cw, ph, &mut lvl.xc)?;
+            self.run_cycle(
+                FineLevel::Mat(&lvl.coarse),
+                level + 1,
+                plans,
+                rest,
+                cw,
+                ph,
+                &mut lvl.xc,
+            )?;
         }
         let t0 = Instant::now();
         let disagg_span = obs::span("disaggregate");
@@ -596,15 +817,20 @@ impl MultigridSolver {
         drop(disagg_span);
         ph.disaggregate_secs += t0.elapsed().as_secs_f64();
 
-        self.smooth_ws(
-            chain,
-            x,
-            self.post_sweeps,
-            level,
-            &mut lvl.diag,
-            &mut lvl.sm,
-            ph,
-        );
+        match chain {
+            FineLevel::Mat(p) => self.smooth_ws(
+                p,
+                x,
+                self.post_sweeps,
+                level,
+                &mut lvl.diag,
+                &mut lvl.sm,
+                ph,
+            ),
+            FineLevel::Op(imp) => {
+                self.smooth_op_ws(imp, x, self.post_sweeps, level, &lvl.diag, &mut lvl.sm, ph)
+            }
+        }
         Ok(())
     }
 
@@ -650,6 +876,17 @@ impl MultigridSolver {
             Err(e) => Err(e),
         }
     }
+}
+
+/// Validates a caller-provided starting vector and normalizes it.
+fn checked_init(n: usize, v: &[f64]) -> Result<Vec<f64>> {
+    let mut x = v.to_vec();
+    if x.len() != n || !vecops::is_nonnegative(&x) || !vecops::normalize_l1(&mut x) {
+        return Err(MarkovError::InvalidArgument(
+            "initial vector must be a non-negative distribution of matching length".into(),
+        ));
+    }
+    Ok(x)
 }
 
 impl StationarySolver for MultigridSolver {
@@ -825,6 +1062,92 @@ mod tests {
             plain.iterations()
         );
         assert!(vecops::dist1(&fmg.distribution, &plain.distribution) < 1e-8);
+    }
+
+    #[test]
+    fn implicit_path_is_bitwise_the_materialized_solve() {
+        // A raw CSR plays the role of the never-materialized operator: the
+        // ImplicitStochastic wrapper serves exactly the values the
+        // validated StochasticMatrix stores, so every cycle — fine
+        // smoothing, operator-plan lumping, coarse levels, residuals —
+        // must reproduce the materialized solve bit for bit.
+        let raw = ncd_chain(4, 8, 1e-7).matrix().clone();
+        let mat = StochasticMatrix::with_tolerance(raw.clone(), 1e-6).unwrap();
+        let rawt = raw.transpose();
+        let imp = ImplicitStochastic::with_tolerance(&raw, &rawt, 1e-6).unwrap();
+        for smoother in [Smoother::Jacobi { omega: 0.8 }, Smoother::GaussSeidel] {
+            let solver = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(32))
+                .cycle(CycleKind::W)
+                .smoother(smoother.clone())
+                .tol(1e-12)
+                .build();
+            let (rm, sm) = solver.solve_with_stats(&mat, None).unwrap();
+            let (ri, si) = solver.solve_op_with_stats(&imp, None).unwrap();
+            assert_eq!(rm.iterations(), ri.iterations(), "{smoother:?}");
+            assert_eq!(
+                rm.residual().to_bits(),
+                ri.residual().to_bits(),
+                "{smoother:?}"
+            );
+            let same = rm
+                .distribution
+                .iter()
+                .zip(&ri.distribution)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{smoother:?}: distributions diverge");
+            assert_eq!(sm.residual_history, si.residual_history, "{smoother:?}");
+            assert_eq!(sm.level_sizes, si.level_sizes);
+        }
+    }
+
+    #[test]
+    fn implicit_hierarchy_is_reusable_across_solves() {
+        let raw = ncd_chain(4, 8, 1e-7).matrix().clone();
+        let rawt = raw.transpose();
+        let imp = ImplicitStochastic::with_tolerance(&raw, &rawt, 1e-6).unwrap();
+        let solver = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(32))
+            .tol(1e-11)
+            .build();
+        let mut h = solver.prepare_op(&imp).unwrap();
+        let (a, _) = solver.solve_op_prepared(&imp, &mut h, None).unwrap();
+        let (b, _) = solver.solve_op_prepared(&imp, &mut h, None).unwrap();
+        assert_eq!(a.distribution, b.distribution);
+        // Cached plans can seed a second solver instance.
+        let reuse = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(32))
+            .tol(1e-11)
+            .plans(Arc::clone(h.plans()))
+            .build();
+        let (c, _) = reuse.solve_op_with_stats(&imp, None).unwrap();
+        assert_eq!(a.distribution, c.distribution);
+    }
+
+    #[test]
+    fn implicit_path_rejects_unsupported_shapes() {
+        let raw = birth_death(16, 0.4).matrix().clone();
+        let rawt = raw.transpose();
+        let imp = ImplicitStochastic::with_tolerance(&raw, &rawt, 1e-6).unwrap();
+        // No coarsening levels: the coarsest solve needs a materialized chain.
+        let direct = MultigridSolver::builder(vec![]).build();
+        assert!(matches!(
+            direct.prepare_op(&imp),
+            Err(MarkovError::InvalidArgument(_))
+        ));
+        // FMG needs the materialized path.
+        let fmg = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(16))
+            .fmg(true)
+            .build();
+        assert!(matches!(
+            fmg.solve_op_with_stats(&imp, None),
+            Err(MarkovError::InvalidArgument(_))
+        ));
+        // Mismatched hierarchy rejected.
+        let solver = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(16)).build();
+        let mut h = solver.prepare_op(&imp).unwrap();
+        let other_raw = birth_death(32, 0.4).matrix().clone();
+        let other_t = other_raw.transpose();
+        let other = ImplicitStochastic::with_tolerance(&other_raw, &other_t, 1e-6).unwrap();
+        let mut x = vecops::uniform(32);
+        assert!(solver.cycle_op(&other, &mut h, &mut x).is_err());
     }
 
     #[test]

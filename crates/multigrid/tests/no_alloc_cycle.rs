@@ -9,9 +9,10 @@
 //! across warm cycles and demands none — the same instrument CI's
 //! mem-smoke job runs.
 
+use stochcdr_fsm::KroneckerOp;
 use stochcdr_linalg::{par, CooMatrix};
 use stochcdr_markov::lumping::Partition;
-use stochcdr_markov::StochasticMatrix;
+use stochcdr_markov::{ImplicitStochastic, StochasticMatrix};
 use stochcdr_multigrid::{CycleKind, MultigridSolver, Smoother};
 use stochcdr_obs::mem;
 
@@ -77,6 +78,55 @@ fn warm_cycles_do_not_allocate() {
         assert_eq!(
             allocated, 0,
             "{kind:?}-cycle allocated {allocated} times after setup"
+        );
+    }
+    par::set_threads(None);
+}
+
+/// The same zero-allocation claim for the matrix-free fine grid: after
+/// [`MultigridSolver::prepare_op`], a warm [`MultigridSolver::cycle_op`]
+/// against a Kronecker product-form operator performs no heap
+/// allocations. In particular the Jacobi smoother's per-cycle diagonal
+/// comes from `KroneckerOp::diagonal_into` writing into the hierarchy's
+/// hoisted buffer, not a fresh vector.
+#[test]
+fn warm_implicit_cycles_do_not_allocate() {
+    let _ = stochcdr_obs::uninstall();
+    par::set_threads(Some(1));
+
+    // Two ring factors kept in product form: a 64-state joint chain whose
+    // fine level is never materialized.
+    let op = KroneckerOp::new(vec![ring(8).matrix().clone(), ring(8).matrix().clone()]);
+    let tr = op.transposed(); // cached: built once, outside the window
+    let imp = ImplicitStochastic::with_tolerance(&op, tr, 1e-9).unwrap();
+    let n = op.dim();
+    assert!(
+        mem::tracking_active(),
+        "TrackingAlloc must be installed for this proof to mean anything"
+    );
+    for smoother in [Smoother::Jacobi { omega: 0.8 }, Smoother::GaussSeidel] {
+        let solver = MultigridSolver::builder(pair_partitions(n, 3))
+            .cycle(CycleKind::V)
+            .smoother(smoother.clone())
+            .pre_sweeps(1)
+            .post_sweeps(2)
+            .tol(1e-12)
+            .build();
+        let mut h = solver.prepare_op(&imp).unwrap();
+        let mut x = vec![1.0 / n as f64; n];
+        for _ in 0..3 {
+            solver.cycle_op(&imp, &mut h, &mut x).unwrap();
+        }
+        let allocated = mem::min_alloc_delta(
+            || {
+                let res = solver.cycle_op(&imp, &mut h, &mut x).unwrap();
+                assert!(res.is_finite());
+            },
+            5,
+        );
+        assert_eq!(
+            allocated, 0,
+            "implicit {smoother:?} cycle allocated {allocated} times after setup"
         );
     }
     par::set_threads(None);

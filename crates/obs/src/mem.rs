@@ -270,6 +270,23 @@ pub fn peak_rss_bytes() -> u64 {
     }
 }
 
+/// Resets the kernel's resident-set high-water mark so a following
+/// [`peak_rss_bytes`] reads the peak of *this phase* rather than the
+/// whole process history (writes `5` to `/proc/self/clear_refs`).
+/// Returns `true` on success; `false` (and changes nothing) where the
+/// mechanism is unavailable. The current RSS is untouched — only the
+/// recorded maximum restarts from it.
+pub fn reset_peak_rss() -> bool {
+    #[cfg(target_os = "linux")]
+    {
+        std::fs::write("/proc/self/clear_refs", "5").is_ok()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
 #[cfg(target_os = "linux")]
 fn proc_status_kib(key: &str) -> Option<u64> {
     let text = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -326,6 +343,28 @@ mod tests {
     // the global allocator (the unit-test binary installs the plain
     // system allocator); allocator-integration coverage lives in
     // `tests/no_alloc.rs`, which does install [`TrackingAlloc`].
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_reset_restarts_the_high_water_mark() {
+        // Push the high-water mark well above steady state, release, and
+        // reset: the recorded peak must fall back toward current RSS
+        // (large frees return to the kernel via munmap). Generous bound —
+        // other tests in this process allocate too.
+        let before_alloc = peak_rss_bytes();
+        let big = vec![1u8; 256 << 20];
+        std::hint::black_box(&big[128 << 20]);
+        let inflated = peak_rss_bytes();
+        assert!(inflated >= before_alloc + (200 << 20));
+        drop(big);
+        assert!(reset_peak_rss(), "clear_refs unavailable");
+        let after = peak_rss_bytes();
+        assert!(after > 0);
+        assert!(
+            after < inflated - (200 << 20),
+            "peak did not drop: {inflated} -> {after}"
+        );
+    }
 
     #[test]
     fn budget_round_trips_and_checks() {

@@ -5,8 +5,11 @@
 # gated outputs are fully deterministic (bit-identical for any thread
 # count), so any drift is a real behavior change.
 #
-# fig4_noise is quick; the two tables redo real solver work, so the full
-# gate takes a few minutes in release mode.
+# fig4_noise is quick; the two tables redo real solver work — including
+# the scaling table's million-state implicit Kronecker row, which is the
+# long pole — so the full gate takes on the order of ten minutes in
+# release mode. That cost is deliberate: the implicit rows' cycle counts
+# and residuals are the regression gate on the matrix-free path.
 set -eu
 
 cd "$(dirname "$0")/.."
