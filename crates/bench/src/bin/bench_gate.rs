@@ -10,6 +10,17 @@
 //!
 //! Usage: `bench_gate BASELINE.json FRESH.json` — exits 1 on a
 //! deterministic mismatch, 2 on unreadable/invalid input.
+//!
+//! **Par-gate mode**: `bench_gate --par-gate SNAP.json... [--report PATH]`
+//! takes one or more `--spmv-only` snapshots (repetitions of the same
+//! probe), picks the best `spmv_large_speedup`, and fails (exit 1) when
+//! it falls below a threshold. The threshold is `STOCHCDR_PAR_GATE_MIN`
+//! when set; otherwise it is tiered by the recorded `hw_threads`, because
+//! a parallel speedup is only measurable when the hardware has cores to
+//! run on: ≥4 hw threads → 2.0, 2–3 → 1.2, 1 → 0.9 (on a single core the
+//! pool must merely not *lose* to serial beyond scheduling noise).
+
+use std::fmt::Write as _;
 
 use stochcdr_obs::json::Json;
 
@@ -97,10 +108,137 @@ fn load(path: &str) -> Json {
     }
 }
 
+/// One `--spmv-only` repetition, as read from its snapshot.
+struct ParRep {
+    path: String,
+    threads: f64,
+    hw_threads: f64,
+    nnz: f64,
+    secs_1t: f64,
+    secs_nt: f64,
+    speedup: f64,
+}
+
+fn par_field(doc: &Json, path: &str, key: &str) -> f64 {
+    doc.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+        eprintln!("bench_gate: '{path}' is missing numeric field '{key}'");
+        std::process::exit(2);
+    })
+}
+
+/// Threshold the best-of-N speedup must clear. `STOCHCDR_PAR_GATE_MIN`
+/// always wins; otherwise tier by how many hardware threads the probe
+/// machine actually had — demanding a 2x speedup from one core gates on
+/// the weather, not the code.
+fn par_threshold(hw_threads: f64) -> (f64, &'static str) {
+    if let Ok(v) = std::env::var("STOCHCDR_PAR_GATE_MIN") {
+        let min = v.parse::<f64>().unwrap_or_else(|_| {
+            eprintln!("bench_gate: STOCHCDR_PAR_GATE_MIN='{v}' is not a number");
+            std::process::exit(2);
+        });
+        return (min, "STOCHCDR_PAR_GATE_MIN");
+    }
+    if hw_threads >= 4.0 {
+        (2.0, "hw_threads >= 4")
+    } else if hw_threads >= 2.0 {
+        (1.2, "hw_threads in 2..4")
+    } else {
+        (0.9, "hw_threads == 1 (pool must not lose to serial)")
+    }
+}
+
+/// `--par-gate` mode: best-of-N speedup check over `--spmv-only` reps.
+fn par_gate(paths: &[String], report_path: Option<&str>) -> ! {
+    if paths.is_empty() {
+        eprintln!("usage: bench_gate --par-gate SNAP.json... [--report PATH]");
+        std::process::exit(2);
+    }
+    let reps: Vec<ParRep> = paths
+        .iter()
+        .map(|p| {
+            let doc = load(p);
+            ParRep {
+                path: p.clone(),
+                threads: par_field(&doc, p, "threads"),
+                hw_threads: par_field(&doc, p, "hw_threads"),
+                nnz: par_field(&doc, p, "spmv_large_nnz"),
+                secs_1t: par_field(&doc, p, "spmv_large_1t_secs"),
+                secs_nt: par_field(&doc, p, "spmv_large_nt_secs"),
+                speedup: par_field(&doc, p, "spmv_large_speedup"),
+            }
+        })
+        .collect();
+    // Repetitions must measure the same experiment: same pool size, same
+    // operator, same machine. Anything else is a harness bug, not a
+    // performance regression.
+    let first = &reps[0];
+    for r in &reps[1..] {
+        if r.threads != first.threads || r.nnz != first.nnz || r.hw_threads != first.hw_threads {
+            eprintln!(
+                "bench_gate: inconsistent reps: '{}' ({} threads, {} hw, nnz {}) vs '{}' ({} threads, {} hw, nnz {})",
+                first.path, first.threads, first.hw_threads, first.nnz,
+                r.path, r.threads, r.hw_threads, r.nnz,
+            );
+            std::process::exit(2);
+        }
+    }
+    let (min, source) = par_threshold(first.hw_threads);
+    let best = reps.iter().fold(f64::NEG_INFINITY, |m, r| m.max(r.speedup));
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "par gate: spmv_large at {} threads ({} hw), {} rep(s)",
+        first.threads,
+        first.hw_threads,
+        reps.len()
+    );
+    for r in &reps {
+        let _ = writeln!(
+            report,
+            "  rep {:<28} 1t {:.3e}s  {}t {:.3e}s  x{:.3}",
+            r.path, r.secs_1t, r.threads, r.secs_nt, r.speedup
+        );
+    }
+    let _ = writeln!(
+        report,
+        "  best speedup x{best:.3}, threshold x{min} ({source})"
+    );
+    let verdict = if best >= min {
+        format!("par_gate: PASS (x{best:.3} >= x{min})")
+    } else {
+        format!("par_gate: FAIL (best x{best:.3} < required x{min})")
+    };
+    let _ = writeln!(report, "{verdict}");
+    print!("{report}");
+    if let Some(path) = report_path {
+        std::fs::write(path, &report).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot write report '{path}': {e}");
+            std::process::exit(2);
+        });
+    }
+    std::process::exit(if best >= min { 0 } else { 1 });
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--par-gate") {
+        args.remove(0);
+        let report = args.iter().position(|a| a == "--report").map(|i| {
+            if i + 1 >= args.len() {
+                eprintln!("bench_gate: --report needs a path");
+                std::process::exit(2);
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            path
+        });
+        par_gate(&args, report.as_deref());
+    }
     let [baseline_path, fresh_path] = &args[..] else {
-        eprintln!("usage: bench_gate BASELINE.json FRESH.json");
+        eprintln!(
+            "usage: bench_gate BASELINE.json FRESH.json\n       bench_gate --par-gate SNAP.json... [--report PATH]"
+        );
         std::process::exit(2);
     };
     let baseline = load(baseline_path);

@@ -8,8 +8,12 @@
 //! state count, TPM nonzeros, multigrid cycles, wall times, BER.
 //!
 //! Usage: `cargo run --release -p stochcdr-bench --bin bench_snapshot --
-//! [--out BENCH.json] [--refinement N] [--symbols N]`
+//! [--out BENCH.json] [--refinement N] [--symbols N] [--spmv-only]`
 //! (`scripts/bench_snapshot.sh` wraps this with a dated filename).
+//!
+//! `--spmv-only` skips everything except the large-operator SpMV probe
+//! and writes a mini-snapshot with the `spmv_large_*` fields — the cheap
+//! unit `scripts/par_gate.sh` repeats to gate the parallel speedup.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,9 +52,71 @@ fn time_spmv(p: &StochasticMatrix, x: &[f64], y: &mut [f64]) -> f64 {
     t0.elapsed().as_secs_f64() / reps as f64
 }
 
+/// Build the refinement-64 probe chain (>500k nonzeros, clears the
+/// `linalg::par` nnz gate) and time `x·P` at 1 thread vs `threads`.
+/// Returns `(chain, 1t secs, Nt secs)` after asserting bit-identity.
+fn spmv_large_probe(threads: usize) -> (stochcdr::CdrChain, f64, f64) {
+    let large_config = CdrConfig::builder()
+        .phases(8)
+        .grid_refinement(64)
+        .counter_len(8)
+        .white_sigma_ui(FIG5_SIGMA)
+        .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
+        .build()
+        .expect("large config");
+    let large = CdrModel::new(large_config)
+        .build_chain()
+        .expect("large chain");
+    let ln = large.state_count();
+    let lx = vec![1.0 / ln as f64; ln];
+    let mut ly1 = vec![0.0; ln];
+    let mut lyn = vec![0.0; ln];
+    par::set_threads(Some(1));
+    let spmv_large_1t_secs = time_spmv(large.tpm(), &lx, &mut ly1);
+    par::set_threads(Some(threads));
+    let spmv_large_nt_secs = time_spmv(large.tpm(), &lx, &mut lyn);
+    assert_eq!(ly1, lyn, "N-thread SpMV must be bit-identical to 1-thread");
+    (large, spmv_large_1t_secs, spmv_large_nt_secs)
+}
+
+/// `--spmv-only`: run just the large SpMV probe and write a mini-snapshot
+/// carrying the `spmv_large_*` fields plus the thread configuration. No
+/// solve, no Monte Carlo, no summary sink — this is the unit the CI
+/// par-gate repeats best-of-3, so it has to stay cheap.
+fn run_spmv_only(out_path: &str) {
+    let threads = par::threads();
+    par::prewarm(); // pool spawn must not land in the measured windows
+    let (large, spmv_large_1t_secs, spmv_large_nt_secs) = spmv_large_probe(threads);
+    let spmv_large_speedup = spmv_large_1t_secs / spmv_large_nt_secs;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"stochcdr-bench-snapshot/1\",");
+    let _ = writeln!(json, "  \"spmv_only\": true,");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"hw_threads\": {},", par::available());
+    let _ = writeln!(json, "  \"spmv_large_states\": {},", large.state_count());
+    let _ = writeln!(json, "  \"spmv_large_nnz\": {},", large.nnz());
+    let _ = writeln!(json, "  \"spmv_large_1t_secs\": {spmv_large_1t_secs:e},");
+    let _ = writeln!(json, "  \"spmv_large_nt_secs\": {spmv_large_nt_secs:e},");
+    let _ = writeln!(json, "  \"spmv_large_speedup\": {spmv_large_speedup:.3}");
+    json.push_str("}\n");
+    obs::json::Json::parse(&json).expect("snapshot serializes to valid JSON");
+    std::fs::write(out_path, &json).expect("write snapshot");
+    println!(
+        "wrote {out_path}: spmv large x{spmv_large_speedup:.2} at {threads} threads \
+         ({} hw)",
+        par::available()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH.json".to_string());
+    if args.iter().any(|a| a == "--spmv-only") {
+        run_spmv_only(&out_path);
+        return;
+    }
     let refinement: usize =
         flag(&args, "--refinement").map_or(16, |v| v.parse().expect("--refinement N"));
     let symbols: u64 =
@@ -72,9 +138,9 @@ fn main() {
     // counts of chain build and solve are a pure function of the
     // configuration and thread count, so the gate can compare them
     // exactly; heap high-water marks include worker threads and are
-    // advisory. Forcing the pool config first keeps its one-time lazy
-    // init (env parse) out of the measured windows.
-    let _ = par::threads();
+    // advisory. Prewarming the pool first keeps its one-time lazy init
+    // (env parse + persistent worker spawn) out of the measured windows.
+    par::prewarm();
     obs::mem::reset_peak();
     let mark = obs::mem::thread_mark();
     let mem_chain = CdrModel::new(config.clone()).build_chain().expect("chain");
@@ -122,30 +188,12 @@ fn main() {
 
     // Large-operator SpMV probe. The reference chain above sits *below*
     // the `linalg::par` nnz gate, so its "speedup" only measures that the
-    // gate keeps the kernel serial. This refinement-64 chain (>500k
-    // nonzeros) clears the gate: the 1-thread run is the forced-serial
-    // (gated) timing and the N-thread run exercises the actual parallel
-    // kernel, so the pair records both sides of the dispatch.
-    let large_config = CdrConfig::builder()
-        .phases(8)
-        .grid_refinement(64)
-        .counter_len(8)
-        .white_sigma_ui(FIG5_SIGMA)
-        .drift(FIG5_DRIFT_MEAN, FIG5_DRIFT_DEV)
-        .build()
-        .expect("large config");
-    let large = CdrModel::new(large_config)
-        .build_chain()
-        .expect("large chain");
+    // gate keeps the kernel serial. The refinement-64 probe chain clears
+    // the gate: the 1-thread run is the forced-serial (gated) timing and
+    // the N-thread run exercises the actual parallel kernel, so the pair
+    // records both sides of the dispatch.
+    let (large, spmv_large_1t_secs, spmv_large_nt_secs) = spmv_large_probe(threads);
     let ln = large.state_count();
-    let lx = vec![1.0 / ln as f64; ln];
-    let mut ly1 = vec![0.0; ln];
-    let mut lyn = vec![0.0; ln];
-    par::set_threads(Some(1));
-    let spmv_large_1t_secs = time_spmv(large.tpm(), &lx, &mut ly1);
-    par::set_threads(Some(threads));
-    let spmv_large_nt_secs = time_spmv(large.tpm(), &lx, &mut lyn);
-    assert_eq!(ly1, lyn, "N-thread SpMV must be bit-identical to 1-thread");
     let spmv_large_speedup = spmv_large_1t_secs / spmv_large_nt_secs;
 
     // Tiny drift-ppm sweep: exercises the sweep engine's factor cache so
@@ -230,6 +278,7 @@ fn main() {
     let _ = writeln!(json, "  \"solve_secs\": {solve_secs:e},");
     let _ = writeln!(json, "  \"mc_secs\": {mc_secs:e},");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"hw_threads\": {},", par::available());
     let _ = writeln!(json, "  \"spmv_1t_secs\": {spmv_1t_secs:e},");
     let _ = writeln!(json, "  \"spmv_nt_secs\": {spmv_nt_secs:e},");
     let _ = writeln!(json, "  \"spmv_speedup\": {spmv_speedup:.3},");

@@ -281,7 +281,12 @@ impl KroneckerOp {
 /// Parallel over blocks of `n · inner` elements (one block per outer
 /// index); the scatter of each factor row lands inside its own block, so
 /// the block partition makes every output element single-writer while
-/// preserving the serial accumulation order exactly.
+/// preserving the serial accumulation order exactly. Every block performs
+/// the identical factor traversal, so the even, block-aligned split is
+/// already perfectly balanced — the nnz-weighted `RowPartition` the CSR
+/// kernels use would add bookkeeping without moving any work. Dispatches
+/// go to the persistent `linalg::par` pool, so a mode product costs a
+/// park/unpark hand-off, not a thread spawn.
 fn apply_mode_left(f: &CsrMatrix, inner: usize, cur: &[f64], next: &mut [f64]) {
     let n = f.rows();
     let block = n * inner;

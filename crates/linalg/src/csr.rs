@@ -1,5 +1,8 @@
 //! Compressed sparse row matrix — the workhorse storage format.
 
+use std::sync::OnceLock;
+
+use crate::par::{RowPartition, PARALLEL_NNZ_CUTOFF};
 use crate::{CooMatrix, CscMatrix, DenseMatrix, LinalgError, Result};
 
 /// An immutable sparse matrix in compressed sparse row (CSR) format.
@@ -22,13 +25,29 @@ use crate::{CooMatrix, CscMatrix, DenseMatrix, LinalgError, Result};
 /// let a: CsrMatrix = coo.to_csr();
 /// assert_eq!(a.mul_right(&[2.0, 4.0]), vec![2.0, 3.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     data: Vec<f64>,
+    /// Memoized nnz-balanced row blocking for the parallel kernels. Built
+    /// on first use; a pure function of `indptr`, so it survives numeric
+    /// refreshes through [`data_mut`](Self::data_mut) untouched.
+    part: OnceLock<RowPartition>,
+}
+
+/// Equality is structural (shape, pattern, values); whether the cached
+/// row partition has been built yet is a memoization detail.
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.data == other.data
+    }
 }
 
 impl CsrMatrix {
@@ -57,6 +76,7 @@ impl CsrMatrix {
             indptr,
             indices,
             data,
+            part: OnceLock::new(),
         }
     }
 
@@ -118,6 +138,7 @@ impl CsrMatrix {
             indptr,
             indices,
             data,
+            part: OnceLock::new(),
         })
     }
 
@@ -129,6 +150,7 @@ impl CsrMatrix {
             indptr: vec![0; rows + 1],
             indices: Vec::new(),
             data: Vec::new(),
+            part: OnceLock::new(),
         }
     }
 
@@ -140,6 +162,7 @@ impl CsrMatrix {
             indptr: (0..=n).collect(),
             indices: (0..n as u32).collect(),
             data: vec![1.0; n],
+            part: OnceLock::new(),
         }
     }
 
@@ -163,6 +186,7 @@ impl CsrMatrix {
             indptr,
             indices,
             data,
+            part: OnceLock::new(),
         }
     }
 
@@ -297,14 +321,30 @@ impl CsrMatrix {
         y
     }
 
+    /// The memoized nnz-balanced [`RowPartition`] of this matrix.
+    ///
+    /// Built on first call from the index pointer (one binary search per
+    /// ~32k-nnz block) and cached for the lifetime of the matrix; the
+    /// pattern is immutable, so the blocking never goes stale — numeric
+    /// refreshes through [`data_mut`](Self::data_mut) reuse it as-is.
+    /// Because caches like the sweep engine's `FactorCache` share
+    /// operators behind `Arc`s, one partition serves every sweep point
+    /// that reuses the operator.
+    pub fn row_partition(&self) -> &RowPartition {
+        self.part
+            .get_or_init(|| RowPartition::from_weight_prefix(&self.indptr))
+    }
+
     /// In-place variant of [`mul_right`](Self::mul_right); `y` is overwritten.
     ///
-    /// Large products fan out across the [`crate::par`] worker pool by
-    /// nnz-balanced row ranges (the index pointer is the weight prefix, so
-    /// each worker gets an equal share of stored entries rather than of
-    /// rows, and the parallel gate fires on work performed). Each `y[r]`
-    /// is still accumulated by a single worker in ascending stored-entry
-    /// order, so the result is bit-identical for every thread count.
+    /// Large products fan out across the [`crate::par`] worker pool over
+    /// the memoized [`row_partition`](Self::row_partition): fixed,
+    /// nnz-balanced, L2-sized row blocks that workers steal from a shared
+    /// cursor. Each `y[r]` is still accumulated by a single worker in
+    /// ascending stored-entry order and the block fence never depends on
+    /// the thread count, so the result is bit-identical for every thread
+    /// count. Products under [`PARALLEL_NNZ_CUTOFF`] stored entries stay
+    /// on a serial path and never build the partition.
     ///
     /// # Panics
     ///
@@ -312,7 +352,13 @@ impl CsrMatrix {
     pub fn mul_right_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "x length must equal column count");
         assert_eq!(y.len(), self.rows, "y length must equal row count");
-        crate::par::for_each_weighted_chunk_mut(y, &self.indptr, |start, chunk| {
+        if self.nnz() < PARALLEL_NNZ_CUTOFF {
+            if !y.is_empty() {
+                self.mul_right_range(0, x, y);
+            }
+            return;
+        }
+        crate::par::for_each_partition_mut(y, self.row_partition(), |start, chunk| {
             self.mul_right_range(start, x, chunk)
         });
     }

@@ -20,8 +20,9 @@
 //! * [`TransitionOp`] — the matrix-free operator interface every solver
 //!   consumes, implemented by CSR/CSC/dense here and by structured
 //!   backends downstream,
-//! * [`par`] — a zero-dependency scoped-thread worker pool whose kernels
-//!   are bit-identical for every thread count.
+//! * [`par`] — a zero-dependency persistent worker pool whose kernels
+//!   are bit-identical for every thread count, with cache-aware
+//!   nnz-balanced row blocking ([`RowPartition`]).
 //!
 //! # Example
 //!
@@ -38,7 +39,10 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// `par`'s persistent pool, whose disjoint-chunk reconstruction and
+// task-lending protocol are documented at each `unsafe` block.
+#![deny(unsafe_code)]
 
 mod coo;
 mod csc;
@@ -62,4 +66,5 @@ pub use error::{LinalgError, Result};
 pub use gmres::{gmres, GmresOptions, GmresResult};
 pub use lu::LuFactors;
 pub use op::TransitionOp;
+pub use par::RowPartition;
 pub use permute::Permutation;

@@ -27,8 +27,9 @@ use crate::dense::DenseMatrix;
 /// A linear operator with transition-matrix semantics: rows index source
 /// states, columns index destination states.
 ///
-/// `Sync` is a supertrait so operators can be shared across the scoped
-/// worker threads in [`crate::par`].
+/// `Sync` is a supertrait so operators can be shared with the persistent
+/// worker pool in [`crate::par`], whose borrowed dispatches complete
+/// before the dispatching call returns.
 pub trait TransitionOp: Sync {
     /// Number of rows (source states).
     fn rows(&self) -> usize;

@@ -48,6 +48,13 @@ pub struct ImplicitStochastic<'a> {
     /// `scale[r] = 1 / Σ_j raw(r, j)` — the row-renormalization factor
     /// `StochasticMatrix::with_tolerance` bakes into the stored values.
     scale: Vec<f64>,
+    /// Evenly-cut row blocking for the gather kernels, built once at
+    /// validation. Product-form rows cost the same regardless of the
+    /// compact factor nnz (which for a Kronecker operator says nothing
+    /// about per-product-row work — it is thousands of entries for a
+    /// million-state product), so the blocking is uniform over states
+    /// and the parallel gate rides on the state count.
+    part: par::RowPartition,
 }
 
 impl std::fmt::Debug for ImplicitStochastic<'_> {
@@ -129,7 +136,13 @@ impl<'a> ImplicitStochastic<'a> {
             }
             *s = 1.0 / *s;
         }
-        Ok(ImplicitStochastic { fwd, tr, scale })
+        let part = par::RowPartition::uniform(n, n.max(fwd.nnz()));
+        Ok(ImplicitStochastic {
+            fwd,
+            tr,
+            scale,
+            part,
+        })
     }
 
     /// Number of states.
@@ -193,7 +206,7 @@ impl<'a> ImplicitStochastic<'a> {
         assert_eq!(out.len(), n, "output length must match state count");
         let scale = &self.scale;
         let tr = self.tr;
-        par::for_each_chunk_mut(out, |j0, chunk| {
+        par::for_each_partition_mut(out, &self.part, |j0, chunk| {
             for (k, o) in chunk.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 tr.for_each_in_row(j0 + k, &mut |i, v| {
@@ -241,7 +254,7 @@ impl TransitionOp for ImplicitStochastic<'_> {
         assert_eq!(y.len(), n, "output length must match state count");
         let scale = &self.scale;
         let fwd = self.fwd;
-        par::for_each_chunk_mut(y, |i0, chunk| {
+        par::for_each_partition_mut(y, &self.part, |i0, chunk| {
             for (k, o) in chunk.iter_mut().enumerate() {
                 let i = i0 + k;
                 let si = scale[i];

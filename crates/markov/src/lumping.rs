@@ -379,6 +379,14 @@ pub struct LumpPlan {
     /// Largest fine-entry count of any coarse row; sizes the per-worker
     /// sort scratch of the operator refresh path.
     max_row_entries: usize,
+    /// Precomputed nnz-balanced blocking of the slot-gather refresh
+    /// (weights = gather-list lengths from `gather_ptr`). Built once at
+    /// plan time so every numeric refresh dispatches over fixed, L2-sized
+    /// blocks with no per-call binary searches; trivial (one empty block)
+    /// for operator plans, which balance per coarse row instead. Cached
+    /// with the plan — the sweep engine's `FactorCache` keeps plan stacks
+    /// behind `Arc`s, so the blocking is shared across sweep points.
+    gather_part: par::RowPartition,
 }
 
 impl LumpPlan {
@@ -491,6 +499,7 @@ impl LumpPlan {
             .map(|w| w[1] - w[0])
             .max()
             .unwrap_or(0);
+        let gather_part = par::RowPartition::from_weight_prefix(&gather_ptr);
         Ok(LumpPlan {
             fine_n: n,
             fine_nnz: nnz,
@@ -505,6 +514,7 @@ impl LumpPlan {
             t_from,
             row_cost: row_counts,
             max_row_entries,
+            gather_part,
         })
     }
 
@@ -572,6 +582,7 @@ impl LumpPlan {
             t_from,
             row_cost,
             max_row_entries,
+            gather_part: par::RowPartition::from_weight_prefix(&[0]),
         })
     }
 
@@ -800,15 +811,16 @@ pub fn lump_weighted_into(
     debug_assert_eq!(ws.wscale.len(), n);
     refresh_shares(partition, w, ws);
     // Phase 3: slot gather — each coarse value is the sum of its fine
-    // entries in the recorded from-scratch order. Parallel over slots,
-    // weighted by gather-list length; each slot is summed wholly by one
-    // worker.
+    // entries in the recorded from-scratch order. Parallel over the
+    // plan's precomputed gather blocking (weights = gather-list
+    // lengths); each slot is summed wholly by one worker inside a fixed
+    // block, so the refresh is bit-identical at any thread count.
     let fine = p.matrix().data();
     let (pm, ptm) = out.parts_mut();
     let data = pm.data_mut();
     {
         let wscale = &ws.wscale;
-        par::for_each_weighted_chunk_mut(data, &plan.gather_ptr, |start, chunk| {
+        par::for_each_partition_mut(data, &plan.gather_part, |start, chunk| {
             for (k, slot) in chunk.iter_mut().enumerate() {
                 let s = start + k;
                 let mut sum = 0.0;

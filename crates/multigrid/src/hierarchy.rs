@@ -18,9 +18,10 @@
 //! After [`MultigridSolver::prepare`](crate::MultigridSolver::prepare)
 //! returns, [`MultigridSolver::cycle`](crate::MultigridSolver::cycle)
 //! performs **zero heap allocations** (with instrumentation disabled and a
-//! single worker thread; the thread pool's scoped spawns are the only
-//! allocation at higher thread counts). Values produced are bit-identical
-//! to the from-scratch path at every thread count.
+//! single worker thread; at higher thread counts the persistent pool's
+//! workers are spawned once, ahead of the first cycle, and parked between
+//! dispatches). Values produced are bit-identical to the from-scratch
+//! path at every thread count.
 //!
 //! **Invalidation rules**: a hierarchy is valid for exactly one (fine
 //! pattern, partition sequence) pair. Changing transition *values* never

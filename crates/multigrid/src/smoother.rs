@@ -1,4 +1,10 @@
 //! Smoothers used between grid transfers.
+//!
+//! Every sweep's hot product routes through the chain's cached transpose
+//! (`StochasticMatrix::step_into` → `CsrMatrix::mul_right_into`), so
+//! smoothing inherits the nnz-balanced `RowPartition` blocking and the
+//! persistent `linalg::par` worker pool on levels large enough to clear
+//! the parallel nnz gate; coarse levels stay serial by the same gate.
 
 use stochcdr_markov::stationary::{GaussSeidelSolver, JacobiSolver};
 use stochcdr_markov::{ImplicitStochastic, StochasticMatrix};

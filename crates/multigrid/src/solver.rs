@@ -1,4 +1,11 @@
 //! The multi-level aggregation/disaggregation solver.
+//!
+//! Threading: the grid-transfer kernels (`lump_weighted_into` /
+//! `lump_op_weighted_into`) fan out over the `LumpPlan`'s precomputed
+//! gather-weight `RowPartition`, and every smoothing/residual product
+//! rides the operator's own partition through `mul_right_into` — all on
+//! the persistent `linalg::par` pool, with block fences that are a pure
+//! function of the operator, never of the thread count.
 
 use std::sync::Arc;
 use std::time::Instant;

@@ -58,6 +58,7 @@ pub use sink::{JsonLinesSink, MultiSink, NullSink, Sink, SummarySink, SCHEMA_VER
 pub use trace::ChromeTraceSink;
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -83,6 +84,14 @@ struct Recorder {
     sink: Box<dyn Sink>,
     epoch: Instant,
     session: u64,
+    /// Full `/`-joined path of every currently *open* span, by id.
+    /// Because a child's path is looked up through its parent **id**
+    /// (not the opening thread's stack), a span opened on a pool worker
+    /// with [`span_child_of`] inherits the dispatching span's path and
+    /// lands under it in path-grouped reports, instead of orphaned at
+    /// top level. Entries are removed when their span closes; the map
+    /// dies with the recorder at session end.
+    paths: HashMap<u64, String>,
 }
 
 #[derive(Clone, Copy)]
@@ -121,6 +130,7 @@ pub fn install(sink: Box<dyn Sink>) -> Option<Box<dyn Sink>> {
         sink,
         epoch: Instant::now(),
         session,
+        paths: HashMap::new(),
     });
     ENABLED.store(true, Ordering::Release);
     prev
@@ -240,9 +250,10 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// Opens a named span whose parent is an explicit span id — usually one
 /// captured on *another* thread with [`current_span_id`].
 ///
-/// The span's path is still rooted on the opening thread (pool workers
-/// appear as their own lanes), but the id linkage records which scope
-/// spawned the work.
+/// The span's recorded path extends the parent span's path (a
+/// `par.worker` span opened on a pool thread lands under the kernel
+/// scope that dispatched it, not at top level), while its lane still
+/// reflects the opening thread.
 #[inline]
 pub fn span_child_of(name: &'static str, parent: u64) -> SpanGuard {
     if !enabled() {
@@ -258,22 +269,30 @@ fn open_span(name: &'static str, parent: Option<u64>) -> SpanGuard {
     };
     let session = rec.session;
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
-    let (parent, tid, depth) = THREAD.with(|t| {
+    let (parent, tid) = THREAD.with(|t| {
         let mut t = t.borrow_mut();
         // Entries from torn-down sessions are dead weight: their guards
         // will unwind by id (or never), so drop them before nesting.
         t.stack.retain(|e| e.session == session);
         let parent = parent.or_else(|| t.stack.last().map(|e| e.id)).unwrap_or(0);
         t.stack.push(StackEntry { name, id, session });
-        let depth = t.stack.len();
         let tid = if let Some(lane) = t.lane {
             lane
         } else {
             *t.tid
                 .get_or_insert_with(|| NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed))
         };
-        (parent, tid, depth)
+        (parent, tid)
     });
+    // Resolve the path through the parent *id*: for same-thread nesting
+    // this reproduces the thread stack's joined names, and for an
+    // explicit cross-thread parent it attributes the span to the scope
+    // that dispatched the work.
+    let path = match rec.paths.get(&parent) {
+        Some(p) => format!("{p}/{name}"),
+        None => name.to_string(),
+    };
+    let depth = path.split('/').count();
     let at = rec.epoch.elapsed().as_nanos() as u64;
     rec.sink.record(
         at,
@@ -285,6 +304,7 @@ fn open_span(name: &'static str, parent: Option<u64>) -> SpanGuard {
             depth,
         },
     );
+    rec.paths.insert(id, path);
     SpanGuard {
         id,
         parent,
@@ -338,9 +358,15 @@ impl Drop for SpanGuard {
             // The sink changed under us; nothing sensible to record.
             return;
         }
-        let depth = path_names.len();
         let name = path_names.last().copied().unwrap_or("");
-        let path = path_names.join("/");
+        // Prefer the path registered at open (which resolves cross-thread
+        // parent linkage); the thread-local join is the fallback for
+        // guards whose open predated the registry (defensive only).
+        let path = rec
+            .paths
+            .remove(&self.id)
+            .unwrap_or_else(|| path_names.join("/"));
+        let depth = path.split('/').count();
         let at = rec.epoch.elapsed().as_nanos() as u64;
         rec.sink.record(
             at,

@@ -48,6 +48,7 @@ impl Sink for CaptureSink {
 #[test]
 fn global_recorder_end_to_end() {
     span_paths_nest_and_unwind();
+    cross_thread_children_inherit_the_parent_path();
     span_timers_are_monotone();
     jsonl_round_trips_through_global_api();
     guards_from_a_previous_session_are_inert();
@@ -89,6 +90,34 @@ fn span_paths_nest_and_unwind() {
     // Emission times (t) are non-decreasing.
     let times: Vec<u64> = cap.spans.iter().map(|(t, ..)| *t).collect();
     assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+}
+
+/// A span opened on another thread with an explicit parent id must land
+/// under the dispatching span's path — the worker-pool attribution the
+/// `par` kernels rely on (orphaned `par.worker` spans at top level were
+/// exactly this bug).
+fn cross_thread_children_inherit_the_parent_path() {
+    let _ = obs::uninstall();
+    let (sink, cap) = CaptureSink::new();
+    obs::install(Box::new(sink));
+    {
+        let _k = obs::span("kernel");
+        let parent = obs::current_span_id();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _w = obs::span_child_of("par.worker", parent);
+            });
+        });
+    }
+    obs::uninstall();
+    let cap = cap.lock().unwrap();
+    let worker = cap
+        .spans
+        .iter()
+        .find(|(_, p, ..)| p.contains("par.worker"))
+        .expect("worker span recorded");
+    assert_eq!(worker.1, "kernel/par.worker");
+    assert_eq!(worker.3, 2, "depth must follow the cross-thread path");
 }
 
 fn span_timers_are_monotone() {

@@ -117,9 +117,10 @@ fn cross_thread_spans_attribute_to_caller() {
     }
     let lanes: std::collections::BTreeSet<u64> = workers.iter().map(|w| w.3).collect();
     assert_eq!(lanes, [1u64, 2].into_iter().collect());
-    // Worker spans are roots *of their own thread's stack*: the closed
-    // record's path has no caller prefix, but keeps the id linkage.
-    let closed: Vec<_> = cap.spans.iter().filter(|s| s.0 == "worker").collect();
+    // Worker spans open on their own thread's stack, but the explicit
+    // parent id threads the caller's path through, so the closed record
+    // nests under the dispatching span instead of orphaning at the root.
+    let closed: Vec<_> = cap.spans.iter().filter(|s| s.0 == "scope/worker").collect();
     assert_eq!(closed.len(), 2);
 }
 

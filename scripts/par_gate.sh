@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Parallel-speedup gate: fails when the worker pool loses to serial.
+#
+# Runs the cheap `bench_snapshot --spmv-only` probe three times at 4
+# worker threads (best-of-3 absorbs scheduler noise) and feeds the reps
+# to `bench_gate --par-gate`, which checks the best `spmv_large_speedup`
+# against a threshold: `STOCHCDR_PAR_GATE_MIN` when set, otherwise tiered
+# by the machine's hardware threads (>=4 -> 2.0, 2-3 -> 1.2, 1 -> 0.9).
+# The rendered report lands in target/PAR_GATE_REPORT.txt for CI upload.
+set -eu
+
+cd "$(dirname "$0")/.."
+threads="${STOCHCDR_PAR_GATE_THREADS:-4}"
+reps="${STOCHCDR_PAR_GATE_REPS:-3}"
+
+cargo build --release --offline -p stochcdr-bench
+
+i=1
+snaps=""
+while [ "$i" -le "$reps" ]; do
+    snap="target/PAR_GATE_REP$i.json"
+    STOCHCDR_THREADS="$threads" ./target/release/bench_snapshot --spmv-only --out "$snap"
+    snaps="$snaps $snap"
+    i=$((i + 1))
+done
+
+# shellcheck disable=SC2086  # word-splitting the rep list is intended
+./target/release/bench_gate --par-gate $snaps --report target/PAR_GATE_REPORT.txt
