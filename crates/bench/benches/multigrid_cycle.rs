@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 /// production binaries route allocations through the accounting wrapper
 /// — so this bench does too. Its cost (a few relaxed atomics per
 /// allocation, and warm solves barely allocate) is part of what the <5%
-/// acceptance bar covers; results/OBS_OVERHEAD_PR6.md has the numbers.
+/// acceptance bar covers; results/OBS_OVERHEAD.md has the numbers.
 #[global_allocator]
 static GLOBAL: stochcdr_obs::mem::TrackingAlloc = stochcdr_obs::mem::TrackingAlloc::new();
 use stochcdr::{CdrConfig, CdrModel};

@@ -246,6 +246,19 @@ fn main() {
 
     let mut failures = 0usize;
     println!("bench gate: {baseline_path} (baseline) vs {fresh_path} (fresh)");
+    // Resolved paths and the mode the wrapper script selected, so a CI
+    // log is self-describing about *what* was gated and *how*.
+    let resolved = |p: &str| {
+        std::fs::canonicalize(p)
+            .map(|c| c.display().to_string())
+            .unwrap_or_else(|_| p.to_string())
+    };
+    println!(
+        "  baseline file : {}\n  fresh file    : {}\n  gate mode     : {}",
+        resolved(baseline_path),
+        resolved(fresh_path),
+        std::env::var("BENCH_GATE_MODE").unwrap_or_else(|_| "unset (full)".to_string())
+    );
 
     // String-valued deterministic field.
     let b_solver = baseline.get("solver").and_then(Json::as_str);

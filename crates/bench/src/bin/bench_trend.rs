@@ -1,0 +1,119 @@
+//! **Perf-trend CLI** — renders the regression verdict over the
+//! append-only benchmark ledger (see [`stochcdr_bench::trend`]).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_trend --ledger results/PERF_LEDGER.jsonl [--window N] [--threshold X]
+//! bench_trend --ledger results/PERF_LEDGER.jsonl --import SNAP.json [SNAP.json ...]
+//! ```
+//!
+//! The first form analyzes the ledger and prints the sparkline table;
+//! exit code 1 signals a flagged regression, 2 a malformed ledger or
+//! bad flag. The second form backfills history: every snapshot file
+//! after `--import` is converted to one ledger record (labelled from
+//! its filename, `git_rev` = `imported`) and appended in argument
+//! order, then the refreshed ledger is analyzed as usual.
+
+use stochcdr_bench::trend;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench_trend: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ledger_path: Option<String> = None;
+    let mut window = trend::DEFAULT_WINDOW;
+    let mut threshold = trend::DEFAULT_THRESHOLD;
+    let mut imports: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ledger" => {
+                ledger_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| fail("--ledger needs a path"))
+                        .clone(),
+                );
+            }
+            "--window" => {
+                let v = it.next().unwrap_or_else(|| fail("--window needs a value"));
+                window = v
+                    .parse()
+                    .ok()
+                    .filter(|w| *w > 0)
+                    .unwrap_or_else(|| fail(&format!("bad --window '{v}'")));
+            }
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail("--threshold needs a value"));
+                threshold = v
+                    .parse()
+                    .ok()
+                    .filter(|t: &f64| *t > 1.0 && t.is_finite())
+                    .unwrap_or_else(|| fail(&format!("bad --threshold '{v}' (need > 1)")));
+            }
+            "--import" => {
+                // Every following argument up to the next flag is a
+                // snapshot path.
+                while let Some(next) = it.peek() {
+                    if next.starts_with("--") {
+                        break;
+                    }
+                    imports.push(it.next().expect("peeked").clone());
+                }
+                if imports.is_empty() {
+                    fail("--import needs at least one snapshot path");
+                }
+            }
+            other => fail(&format!("unknown flag '{other}'")),
+        }
+    }
+    let ledger_path = ledger_path.unwrap_or_else(|| fail("--ledger PATH is required"));
+
+    if !imports.is_empty() {
+        let mut lines = String::new();
+        for path in &imports {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read snapshot '{path}': {e}")));
+            let label = trend::label_from_path(path);
+            let rec = trend::snapshot_to_record(&text, &label, "imported")
+                .unwrap_or_else(|e| fail(&format!("snapshot '{path}': {e}")));
+            lines.push_str(&rec.render());
+            lines.push('\n');
+        }
+        let mut existing = std::fs::read_to_string(&ledger_path).unwrap_or_default();
+        if !existing.is_empty() && !existing.ends_with('\n') {
+            existing.push('\n');
+        }
+        existing.push_str(&lines);
+        std::fs::write(&ledger_path, existing)
+            .unwrap_or_else(|e| fail(&format!("cannot write ledger '{ledger_path}': {e}")));
+        println!("imported {} snapshot(s) into {ledger_path}", imports.len());
+    }
+
+    let text = std::fs::read_to_string(&ledger_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read ledger '{ledger_path}': {e}")));
+    let records =
+        trend::parse_ledger(&text).unwrap_or_else(|e| fail(&format!("{ledger_path}: {e}")));
+    let report = trend::analyze(&records, window, threshold);
+    println!(
+        "perf trend: {ledger_path} ({} records, window {window}, threshold x{threshold:.2})\n",
+        records.len()
+    );
+    print!("{}", report.text);
+    if report.ok() {
+        println!("\nverdict: OK — no wall-time metric above x{threshold:.2} of its window median");
+    } else {
+        for r in &report.regressions {
+            println!(
+                "\nverdict: REGRESSION — {} at threads={} is x{:.2} its window median",
+                r.metric, r.threads, r.ratio
+            );
+        }
+        std::process::exit(1);
+    }
+}

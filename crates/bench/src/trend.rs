@@ -1,0 +1,555 @@
+//! **Perf-trend ledger** — an append-only JSONL history of benchmark
+//! snapshots plus a robust trend analysis over it.
+//!
+//! `bench_snapshot` captures one moment; the gate compares exactly two
+//! moments. Neither answers "has the solve been getting slower across
+//! the last five PRs?". The ledger does: every `bench_snapshot --ledger`
+//! run (and every `bench_trend --import` of an existing snapshot file)
+//! appends one [`LedgerRecord`] — deterministic shape numbers, wall
+//! times, thread configuration, git revision — and [`analyze`] renders
+//! a per-thread-count sparkline table with a regression verdict that
+//! compares the newest record against the *median* of the preceding
+//! window (medians shrug off the one-off noise spikes that plague
+//! wall-clock history on shared machines).
+//!
+//! Schema: one JSON object per line, `"schema": "stochcdr-perf-ledger/1"`.
+//! Unknown future fields are ignored on read, so the format can grow.
+
+use std::fmt::Write as _;
+
+use stochcdr_obs::json::{self, Json};
+
+/// Ledger line schema identifier.
+pub const LEDGER_SCHEMA: &str = "stochcdr-perf-ledger/1";
+
+/// Default trailing-window length for the median baseline.
+pub const DEFAULT_WINDOW: usize = 5;
+
+/// Default regression threshold: newest wall time vs window median.
+/// 1.75 sits between run-to-run noise on loaded CI machines (≤ ~1.4x
+/// in the recorded history) and the 2x slowdowns the ledger must flag.
+pub const DEFAULT_THRESHOLD: f64 = 1.75;
+
+/// One appended benchmark observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerRecord {
+    /// Human label for the run (e.g. `PR8`, derived from the snapshot
+    /// filename, or a custom `--label`).
+    pub label: String,
+    /// `git rev-parse --short HEAD` at append time, `unknown` outside a
+    /// work tree, `imported` for backfilled history.
+    pub git_rev: String,
+    /// Worker threads the run used.
+    pub threads: u64,
+    /// Hardware threads available on the machine.
+    pub hw_threads: u64,
+    /// Chain states at the reference operating point.
+    pub states: u64,
+    /// TPM nonzeros.
+    pub nnz: u64,
+    /// Multigrid cycles to tolerance.
+    pub cycles: u64,
+    /// Final stationary residual.
+    pub residual: f64,
+    /// Analytic BER.
+    pub ber: f64,
+    /// Chain-formation wall time (seconds).
+    pub form_secs: f64,
+    /// Stationary-solve wall time (seconds).
+    pub solve_secs: f64,
+    /// Monte-Carlo cross-check wall time (seconds).
+    pub mc_secs: f64,
+}
+
+impl LedgerRecord {
+    /// Serializes the record as one ledger line (no trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\":");
+        json::escape_into(&mut out, LEDGER_SCHEMA);
+        out.push_str(",\"label\":");
+        json::escape_into(&mut out, &self.label);
+        out.push_str(",\"git_rev\":");
+        json::escape_into(&mut out, &self.git_rev);
+        let _ = write!(
+            out,
+            ",\"threads\":{},\"hw_threads\":{},\"states\":{},\"nnz\":{},\"cycles\":{}",
+            self.threads, self.hw_threads, self.states, self.nnz, self.cycles
+        );
+        for (name, v) in [
+            ("residual", self.residual),
+            ("ber", self.ber),
+            ("form_secs", self.form_secs),
+            ("solve_secs", self.solve_secs),
+            ("mc_secs", self.mc_secs),
+        ] {
+            let _ = write!(out, ",\"{name}\":");
+            json::write_f64(&mut out, v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Parses a ledger file (one JSON object per line, blank lines allowed).
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line: invalid JSON, a
+/// foreign schema tag, or a missing field.
+pub fn parse_ledger(text: &str) -> Result<Vec<LedgerRecord>, String> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let at = |what: &str| format!("ledger line {}: {what}", idx + 1);
+        let v = Json::parse(line).map_err(|e| at(&format!("invalid JSON ({e})")))?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| at("missing schema"))?;
+        if schema != LEDGER_SCHEMA {
+            return Err(at(&format!("unsupported schema '{schema}'")));
+        }
+        let str_field = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| at(&format!("missing field '{name}'")))
+        };
+        let num = |name: &str| {
+            v.get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| at(&format!("missing field '{name}'")))
+        };
+        out.push(LedgerRecord {
+            label: str_field("label")?,
+            git_rev: str_field("git_rev")?,
+            threads: num("threads")? as u64,
+            hw_threads: num("hw_threads")? as u64,
+            states: num("states")? as u64,
+            nnz: num("nnz")? as u64,
+            cycles: num("cycles")? as u64,
+            residual: num("residual")?,
+            ber: num("ber")?,
+            form_secs: num("form_secs")?,
+            solve_secs: num("solve_secs")?,
+            mc_secs: num("mc_secs")?,
+        });
+    }
+    Ok(out)
+}
+
+/// Converts a full `bench_snapshot` JSON file into a ledger record.
+///
+/// # Errors
+///
+/// Rejects `--spmv-only` mini-snapshots (they carry no solve numbers)
+/// and snapshots missing any of the headline fields.
+pub fn snapshot_to_record(
+    snapshot_json: &str,
+    label: &str,
+    git_rev: &str,
+) -> Result<LedgerRecord, String> {
+    let v = Json::parse(snapshot_json).map_err(|e| format!("invalid snapshot JSON: {e}"))?;
+    if v.get("spmv_only").is_some() {
+        return Err("snapshot is --spmv-only (no solve numbers to track)".into());
+    }
+    let num = |name: &str| {
+        v.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("snapshot missing field '{name}'"))
+    };
+    // `hw_threads` arrived in a later snapshot revision; imported early
+    // history records 0 (= unknown) rather than being rejected.
+    let hw_threads = v.get("hw_threads").and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    Ok(LedgerRecord {
+        label: label.to_string(),
+        git_rev: git_rev.to_string(),
+        threads: num("threads")? as u64,
+        hw_threads,
+        states: num("states")? as u64,
+        nnz: num("nnz")? as u64,
+        cycles: num("cycles")? as u64,
+        residual: num("residual")?,
+        ber: num("ber")?,
+        form_secs: num("form_secs")?,
+        solve_secs: num("solve_secs")?,
+        mc_secs: num("mc_secs")?,
+    })
+}
+
+/// Derives a run label from a snapshot path:
+/// `results/BENCH_AFTER_PR5_T4.json` → `PR5`. Falls back to the bare
+/// file stem when the conventional pieces are absent.
+pub fn label_from_path(path: &str) -> String {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path);
+    let stem = stem.strip_prefix("BENCH_AFTER_").unwrap_or(stem);
+    // Strip a trailing `_T<digits>` thread marker; the thread count is
+    // its own ledger field.
+    if let Some(pos) = stem.rfind("_T") {
+        if stem[pos + 2..].chars().all(|c| c.is_ascii_digit()) && pos + 2 < stem.len() {
+            return stem[..pos].to_string();
+        }
+    }
+    stem.to_string()
+}
+
+/// `git rev-parse --short HEAD`, or `unknown` when git or the work tree
+/// is unavailable (the ledger must append from bare CI checkouts too).
+pub fn git_short_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// One flagged regression from [`analyze`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Thread count of the affected history group.
+    pub threads: u64,
+    /// The wall-time metric that regressed (e.g. `solve_secs`).
+    pub metric: &'static str,
+    /// Newest value over the median of the preceding window.
+    pub ratio: f64,
+}
+
+/// The rendered trend table plus the machine-readable verdicts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendReport {
+    /// Human-readable sparkline table.
+    pub text: String,
+    /// Flagged regressions; empty means the trend is healthy.
+    pub regressions: Vec<Regression>,
+}
+
+impl TrendReport {
+    /// Whether no metric crossed the regression threshold.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// A named accessor for one wall-time metric of a ledger record.
+type Metric = (&'static str, fn(&LedgerRecord) -> f64);
+
+/// The wall-time metrics the trend verdict covers.
+const METRICS: [Metric; 3] = [
+    ("form_secs", |r| r.form_secs),
+    ("solve_secs", |r| r.solve_secs),
+    ("mc_secs", |r| r.mc_secs),
+];
+
+/// Minimum records in a thread group before a verdict is attempted:
+/// one newest record plus at least two for a meaningful median.
+const MIN_HISTORY: usize = 3;
+
+/// Analyzes ledger history: records are grouped by `(threads,
+/// hw_threads)` — wall times across different pool sizes *or different
+/// machines* are not comparable, and the recorded PR 2→8 history
+/// really does contain a hardware change that would otherwise read as
+/// a 2x "regression". Each group keeps its ledger order, and for every
+/// wall-time metric the newest record is compared against the median
+/// of up to `window` preceding records. A ratio above `threshold` is a
+/// [`Regression`].
+///
+/// Groups with fewer than three records render as `insufficient
+/// history` instead of a verdict.
+pub fn analyze(records: &[LedgerRecord], window: usize, threshold: f64) -> TrendReport {
+    let window = window.max(1);
+    let mut text = String::new();
+    let mut regressions = Vec::new();
+    if records.is_empty() {
+        text.push_str("perf trend: ledger is empty\n");
+        return TrendReport { text, regressions };
+    }
+
+    let mut keys: Vec<(u64, u64)> = records.iter().map(|r| (r.threads, r.hw_threads)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+
+    for (threads, hw_threads) in keys {
+        let group: Vec<&LedgerRecord> = records
+            .iter()
+            .filter(|r| r.threads == threads && r.hw_threads == hw_threads)
+            .collect();
+        let labels: Vec<&str> = group.iter().map(|r| r.label.as_str()).collect();
+        let hw = if hw_threads == 0 {
+            "?".to_string()
+        } else {
+            hw_threads.to_string()
+        };
+        let _ = writeln!(
+            text,
+            "threads={threads} hw={hw} ({} records: {})",
+            group.len(),
+            labels.join(" → ")
+        );
+        if group.len() < MIN_HISTORY {
+            let _ = writeln!(
+                text,
+                "  insufficient history (need {MIN_HISTORY}+ records for a verdict)"
+            );
+            continue;
+        }
+        for (metric, get) in METRICS {
+            let series: Vec<f64> = group.iter().map(|r| get(r)).collect();
+            let newest = *series.last().expect("non-empty group");
+            let prior = &series[..series.len() - 1];
+            let tail = &prior[prior.len().saturating_sub(window)..];
+            let baseline = median(tail);
+            let ratio = if baseline > 0.0 {
+                newest / baseline
+            } else {
+                1.0
+            };
+            // hw=0 means the records predate hardware tagging: the runs
+            // may span different machines, so the ratio is shown but
+            // never gated.
+            let verdict = if hw_threads == 0 {
+                format!("n/a (x{ratio:.2}; unknown hardware, no verdict)")
+            } else if ratio > threshold {
+                regressions.push(Regression {
+                    threads,
+                    metric,
+                    ratio,
+                });
+                format!("REGRESSION (x{ratio:.2} > x{threshold:.2})")
+            } else {
+                format!("ok (x{ratio:.2})")
+            };
+            let _ = writeln!(
+                text,
+                "  {metric:<12} {}  last {newest:.3e}  median({}) {baseline:.3e}  {verdict}",
+                sparkline(&series),
+                tail.len(),
+            );
+        }
+    }
+    TrendReport { text, regressions }
+}
+
+/// Renders a series as a unicode sparkline (▁..█), min-to-max scaled.
+/// Degenerate (constant or empty) series render as all-▄.
+pub fn sparkline(series: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (min, max) = series
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    series
+        .iter()
+        .map(|&v| {
+            if max > min {
+                let t = (v - min) / (max - min);
+                BARS[((t * 7.0).round() as usize).min(7)]
+            } else {
+                '▄'
+            }
+        })
+        .collect()
+}
+
+fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite wall times"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(label: &str, threads: u64, solve_secs: f64) -> LedgerRecord {
+        LedgerRecord {
+            label: label.to_string(),
+            git_rev: "test".to_string(),
+            threads,
+            hw_threads: 8,
+            states: 4056,
+            nnz: 54468,
+            cycles: 36,
+            residual: 1e-11,
+            ber: 2e-5,
+            form_secs: 0.1,
+            solve_secs,
+            mc_secs: 0.2,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let a = record("PR7", 4, 0.31);
+        let b = record("PR8", 1, 0.92);
+        let text = format!("{}\n{}\n\n", a.render(), b.render());
+        let parsed = parse_ledger(&text).unwrap();
+        assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_foreign_schemas() {
+        assert!(parse_ledger("not json\n").unwrap_err().contains("line 1"));
+        let foreign = "{\"schema\":\"stochcdr-bench-snapshot/1\"}\n";
+        assert!(parse_ledger(foreign)
+            .unwrap_err()
+            .contains("unsupported schema"));
+        let missing = "{\"schema\":\"stochcdr-perf-ledger/1\",\"label\":\"x\"}\n";
+        assert!(parse_ledger(missing).unwrap_err().contains("git_rev"));
+    }
+
+    #[test]
+    fn snapshot_import_reads_headline_fields() {
+        let snap = r#"{
+            "schema": "stochcdr-bench-snapshot/1",
+            "states": 4056, "nnz": 54468, "cycles": 36,
+            "residual": 9.1e-12, "ber": 2.4e-5,
+            "form_secs": 1.2e-1, "solve_secs": 3.4e-1, "mc_secs": 2.2e-1,
+            "threads": 4, "hw_threads": 8
+        }"#;
+        let r = snapshot_to_record(snap, "PR8", "imported").unwrap();
+        assert_eq!(r.threads, 4);
+        assert_eq!(r.states, 4056);
+        assert_eq!(r.solve_secs, 3.4e-1);
+        // Mini-snapshots are rejected, not silently zero-filled.
+        let mini = r#"{"schema":"stochcdr-bench-snapshot/1","spmv_only":true}"#;
+        assert!(snapshot_to_record(mini, "x", "y")
+            .unwrap_err()
+            .contains("spmv-only"));
+    }
+
+    #[test]
+    fn labels_derive_from_snapshot_filenames() {
+        assert_eq!(label_from_path("results/BENCH_AFTER_PR5_T4.json"), "PR5");
+        assert_eq!(label_from_path("results/BENCH_AFTER_PR2.json"), "PR2");
+        assert_eq!(label_from_path("BENCH_AFTER_PR10_T16.json"), "PR10");
+        assert_eq!(label_from_path("custom_run.json"), "custom_run");
+        // `_T` with no digits after it is part of the name, not a marker.
+        assert_eq!(label_from_path("BENCH_AFTER_X_T.json"), "X_T");
+    }
+
+    #[test]
+    fn flags_injected_2x_regression() {
+        let mut records: Vec<LedgerRecord> = (2..=8)
+            .map(|pr| record(&format!("PR{pr}"), 4, 0.30 + 0.01 * pr as f64))
+            .collect();
+        records.push(record("PR9", 4, 2.0 * 0.35));
+        let report = analyze(&records, DEFAULT_WINDOW, DEFAULT_THRESHOLD);
+        assert!(!report.ok());
+        assert_eq!(report.regressions.len(), 1);
+        let r = &report.regressions[0];
+        assert_eq!(r.metric, "solve_secs");
+        assert_eq!(r.threads, 4);
+        assert!(r.ratio > 1.9, "ratio {}", r.ratio);
+        assert!(report.text.contains("REGRESSION"), "{}", report.text);
+    }
+
+    #[test]
+    fn quiet_on_flat_and_noisy_history() {
+        // Flat history with ±30% noise (under the 1.75x threshold).
+        let noise = [1.0, 1.3, 0.8, 1.1, 0.9, 1.25, 1.0];
+        let records: Vec<LedgerRecord> = noise
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| record(&format!("PR{}", i + 2), 4, 0.3 * f))
+            .collect();
+        let report = analyze(&records, DEFAULT_WINDOW, DEFAULT_THRESHOLD);
+        assert!(report.ok(), "{}", report.text);
+        assert!(report.text.contains("ok (x"), "{}", report.text);
+    }
+
+    #[test]
+    fn groups_by_thread_count() {
+        // A slow 1-thread history must not contaminate the 4-thread
+        // verdict; the 4-thread group alone regresses.
+        let mut records = Vec::new();
+        for pr in 2..=6 {
+            records.push(record(&format!("PR{pr}"), 1, 1.0));
+            records.push(record(&format!("PR{pr}"), 4, 0.3));
+        }
+        records.push(record("PR7", 1, 1.05));
+        records.push(record("PR7", 4, 0.9));
+        let report = analyze(&records, DEFAULT_WINDOW, DEFAULT_THRESHOLD);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report
+            .regressions
+            .iter()
+            .all(|r| r.threads == 4 && r.metric == "solve_secs"));
+    }
+
+    #[test]
+    fn machine_changes_split_groups_instead_of_flagging() {
+        // Five records on an 8-hw-thread box, then one on a 1-hw-thread
+        // box with 2x the wall times: a hardware change, not a code
+        // regression — the new machine starts its own history.
+        let mut records: Vec<LedgerRecord> = (2..=6)
+            .map(|pr| record(&format!("PR{pr}"), 4, 0.3))
+            .collect();
+        let mut moved = record("PR7", 4, 0.6);
+        moved.hw_threads = 1;
+        records.push(moved);
+        let report = analyze(&records, DEFAULT_WINDOW, DEFAULT_THRESHOLD);
+        assert!(report.ok(), "{}", report.text);
+        assert!(report.text.contains("hw=1"), "{}", report.text);
+        assert!(
+            report.text.contains("insufficient history"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn unknown_hardware_history_is_advisory_only() {
+        // Records imported from the pre-hw-tagging era (hw_threads 0)
+        // show ratios but never gate — even a 10x jump.
+        let mut records: Vec<LedgerRecord> = (2..=7)
+            .map(|pr| {
+                let mut r = record(&format!("PR{pr}"), 4, 0.3);
+                r.hw_threads = 0;
+                r
+            })
+            .collect();
+        records.last_mut().unwrap().solve_secs = 3.0;
+        let report = analyze(&records, DEFAULT_WINDOW, DEFAULT_THRESHOLD);
+        assert!(report.ok(), "{}", report.text);
+        assert!(report.text.contains("unknown hardware"), "{}", report.text);
+    }
+
+    #[test]
+    fn short_history_gets_no_verdict() {
+        let records = vec![record("PR7", 4, 0.3), record("PR8", 4, 9.9)];
+        let report = analyze(&records, DEFAULT_WINDOW, DEFAULT_THRESHOLD);
+        assert!(report.ok());
+        assert!(
+            report.text.contains("insufficient history"),
+            "{}",
+            report.text
+        );
+    }
+
+    #[test]
+    fn sparkline_scales_min_to_max() {
+        assert_eq!(sparkline(&[1.0, 2.0, 3.0]), "▁▅█");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▄▄");
+        assert_eq!(sparkline(&[]), "");
+    }
+}

@@ -57,6 +57,13 @@ impl From<CdrError> for CliError {
     }
 }
 
+/// Heartbeat interval, in seconds, that `--progress on` selects.
+pub const DEFAULT_PROGRESS_SECS: f64 = 1.0;
+
+/// Profiler sampling interval, in milliseconds, when `--profile-interval`
+/// is not given.
+pub const DEFAULT_PROFILE_INTERVAL_MS: f64 = 1.0;
+
 /// The usage text shown for `--help` and errors.
 pub fn usage() -> String {
     "usage: stochcdr <command> [--flag value]...\n\
@@ -77,8 +84,9 @@ pub fn usage() -> String {
      \x20            materialized (default auto: implicit is selected when\n\
      \x20            materializing would cross --mem-budget)\n\
      \x20 report     render a recorded artifact (--in FILE): a stochcdr-obs\n\
-     \x20            metrics JSONL stream (schema /1../3) or a Chrome trace\n\
-     \x20            from --trace\n\
+     \x20            metrics JSONL stream (schema /1../4) or a Chrome trace\n\
+     \x20            from --trace; --check-folded PATH verifies a folded\n\
+     \x20            profile against the artifact's span paths\n\
      \x20 diff       compare two metrics artifacts (--baseline A --fresh B):\n\
      \x20            counts exact, timings/memory advisory (--rel-tol X,\n\
      \x20            default 0.5); --out FILE saves the regression report\n\
@@ -104,12 +112,20 @@ pub fn usage() -> String {
      \x20 --metrics PATH       capture instrumentation records to PATH\n\
      \x20 --metrics-format F   accepted values: summary | jsonl (default\n\
      \x20                      summary, a human table; jsonl streams the\n\
-     \x20                      stochcdr-obs/3 records); requires --metrics\n\
+     \x20                      stochcdr-obs/4 records); requires --metrics\n\
      \x20 --mem-budget BYTES   soft live-heap budget (suffixes K/M/G); the\n\
      \x20                      Kronecker path refuses to materialize past it\n\
      \x20                      and a mem.budget_exceeded event is recorded\n\
      \x20 --trace PATH         write a Chrome Trace Event JSON file (open in\n\
-     \x20                      ui.perfetto.dev or chrome://tracing)\n"
+     \x20                      ui.perfetto.dev or chrome://tracing)\n\
+     \x20 --progress V         live heartbeat: on | off | SECONDS between\n\
+     \x20                      updates (on = 1); throttled solve.progress\n\
+     \x20                      events plus one-line stderr status\n\
+     \x20 --profile-folded P   sample the live span stacks on a wall-clock\n\
+     \x20                      timer and write folded stacks to P (load in\n\
+     \x20                      flamegraph.pl or speedscope)\n\
+     \x20 --profile-interval M sampling interval in milliseconds (default\n\
+     \x20                      1); requires --profile-folded\n"
         .to_string()
 }
 
@@ -160,6 +176,13 @@ pub struct Options {
     /// to [`stochcdr_obs::mem`] so budget-aware paths (the Kronecker
     /// materialization) can refuse oversized intermediates.
     pub mem_budget: Option<u64>,
+    /// Heartbeat interval in seconds (`--progress`); `None` = off.
+    pub progress: Option<f64>,
+    /// Folded-stack output path (`--profile-folded`); `Some` arms the
+    /// wall-clock sampling profiler for the run.
+    pub profile_folded: Option<String>,
+    /// Profiler sampling interval in milliseconds (`--profile-interval`).
+    pub profile_interval_ms: f64,
     /// Remaining subcommand-specific flags.
     pub extra: BTreeMap<String, String>,
 }
@@ -200,6 +223,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                     metrics_format: MetricsFormat::Summary,
                     trace: None,
                     mem_budget: None,
+                    progress: None,
+                    profile_folded: None,
+                    profile_interval_ms: DEFAULT_PROFILE_INTERVAL_MS,
                     extra: BTreeMap::new(),
                 },
             })
@@ -296,6 +322,51 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         })?),
     };
 
+    let progress = match flags.remove("progress") {
+        None => None,
+        Some(v) => match v.as_str() {
+            "off" => None,
+            "on" => Some(DEFAULT_PROGRESS_SECS),
+            s => match s.parse::<f64>() {
+                Ok(secs) if secs > 0.0 && secs.is_finite() => Some(secs),
+                _ => {
+                    return Err(CliError::BadValue {
+                        flag: "--progress".into(),
+                        value: v,
+                        expected: "on | off | a positive interval in seconds",
+                    })
+                }
+            },
+        },
+    };
+    let profile_folded = flags.remove("profile-folded");
+    let profile_interval_ms = match flags.remove("profile-interval") {
+        None => DEFAULT_PROFILE_INTERVAL_MS,
+        Some(v) => {
+            let ms = match v.parse::<f64>() {
+                Ok(ms) if ms > 0.0 && ms.is_finite() => ms,
+                _ => {
+                    return Err(CliError::BadValue {
+                        flag: "--profile-interval".into(),
+                        value: v,
+                        expected: "a positive interval in milliseconds",
+                    })
+                }
+            };
+            // Without a folded-output destination the sampler never starts
+            // and the interval would be silently dead: reject, mirroring
+            // the --metrics-format / --metrics pairing rule.
+            if profile_folded.is_none() {
+                return Err(CliError::BadValue {
+                    flag: "--profile-interval".into(),
+                    value: v,
+                    expected: "to be used together with --profile-folded PATH",
+                });
+            }
+            ms
+        }
+    };
+
     let white = if dj > 0.0 {
         WhiteJitterSpec::from_dual_dirac(dj, sigma)
     } else {
@@ -325,6 +396,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
             metrics_format,
             trace,
             mem_budget,
+            progress,
+            profile_folded,
+            profile_interval_ms,
             extra: flags,
         },
     })
@@ -612,6 +686,64 @@ mod tests {
             Some("b.jsonl")
         );
         assert!(usage().contains("diff"));
+    }
+
+    #[test]
+    fn progress_flag_parses_on_off_and_seconds() {
+        assert_eq!(parse(&argv("analyze")).unwrap().options.progress, None);
+        assert_eq!(
+            parse(&argv("analyze --progress off"))
+                .unwrap()
+                .options
+                .progress,
+            None
+        );
+        assert_eq!(
+            parse(&argv("analyze --progress on"))
+                .unwrap()
+                .options
+                .progress,
+            Some(DEFAULT_PROGRESS_SECS)
+        );
+        assert_eq!(
+            parse(&argv("analyze --progress 0.25"))
+                .unwrap()
+                .options
+                .progress,
+            Some(0.25)
+        );
+        for bad in ["0", "-1", "soon", "inf"] {
+            assert!(
+                matches!(
+                    parse(&argv(&format!("analyze --progress {bad}"))),
+                    Err(CliError::BadValue { .. })
+                ),
+                "--progress {bad} should be rejected"
+            );
+        }
+        assert!(usage().contains("--progress"));
+    }
+
+    #[test]
+    fn profile_flags_parse_and_interval_requires_destination() {
+        let p = parse(&argv("analyze")).unwrap();
+        assert_eq!(p.options.profile_folded, None);
+        assert_eq!(p.options.profile_interval_ms, DEFAULT_PROFILE_INTERVAL_MS);
+        let p = parse(&argv(
+            "analyze --profile-folded out.folded --profile-interval 0.5",
+        ))
+        .unwrap();
+        assert_eq!(p.options.profile_folded.as_deref(), Some("out.folded"));
+        assert_eq!(p.options.profile_interval_ms, 0.5);
+        // An interval without a destination would be silently dead: reject.
+        let e = parse(&argv("analyze --profile-interval 2")).unwrap_err();
+        assert!(e.to_string().contains("--profile-folded"), "{e}");
+        assert!(matches!(
+            parse(&argv("analyze --profile-folded p --profile-interval 0")),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(usage().contains("--profile-folded"));
+        assert!(usage().contains("--profile-interval"));
     }
 
     #[test]

@@ -120,8 +120,12 @@ fn diff_cmd(opts: &Options) -> Result<String, CliError> {
 /// `stochcdr report --in FILE`: renders a recorded artifact — either a
 /// `--metrics ... --metrics-format jsonl` stream or a `--trace` Chrome
 /// trace — as a human-readable table, validating its structure. Memory
-/// attribution (schema `stochcdr-obs/3`) renders only when present, so
-/// older `/1` and `/2` artifacts print exactly as they used to.
+/// attribution (schema `stochcdr-obs/3`) and profile stacks (`/4`)
+/// render only when present, so older artifacts print exactly as they
+/// used to. `--check-folded PATH` additionally validates a folded
+/// profile file against the artifact: every frame of every stack must
+/// resolve to a span name recorded in the artifact's span paths (the
+/// CI profile smoke test's gate).
 fn report_cmd(opts: &Options) -> Result<String, CliError> {
     let path = opts
         .extra
@@ -151,6 +155,13 @@ fn report_cmd(opts: &Options) -> Result<String, CliError> {
             )));
         }
         let _ = writeln!(out, "\nbegin/end events balanced for every span name");
+        if opts.extra.contains_key("check-folded") {
+            // Chrome traces carry no span-path registry to check against;
+            // make the dead flag loud instead of silently skipping it.
+            return Err(CliError::Analysis(
+                "--check-folded requires a metrics artifact, not a Chrome trace".into(),
+            ));
+        }
     } else {
         let art = obs::artifact::Artifact::load_jsonl(&text)
             .map_err(|e| CliError::Analysis(format!("invalid metrics artifact '{path}': {e}")))?;
@@ -217,8 +228,66 @@ fn report_cmd(opts: &Options) -> Result<String, CliError> {
                 let _ = writeln!(out, "  {name:<40} {count}");
             }
         }
+        // Profile stacks arrived with stochcdr-obs/4; older artifacts
+        // carry an empty map and skip the section.
+        if !art.profile.is_empty() {
+            let total: u64 = art.profile.values().sum();
+            let _ = writeln!(out, "\nprofile ({total} samples; folded stack, samples):");
+            for (stack, count) in &art.profile {
+                let _ = writeln!(out, "  {stack:<40} {count}");
+            }
+        }
+        if let Some(folded_path) = opts.extra.get("check-folded") {
+            let _ = writeln!(out, "\n{}", check_folded(&art, folded_path)?);
+        }
     }
     Ok(out)
+}
+
+/// Validates a folded-stack profile file against an artifact: every
+/// frame of every `stack count` line must be a span name occurring in
+/// one of the artifact's recorded span paths, and the file must carry
+/// at least one sample. Returns a one-line summary for the report.
+fn check_folded(art: &obs::artifact::Artifact, path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Analysis(format!("cannot read folded profile '{path}': {e}")))?;
+    let known: std::collections::BTreeSet<&str> =
+        art.spans.keys().flat_map(|p| p.split('/')).collect();
+    let mut stacks = 0u64;
+    let mut samples = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let bad = |what: String| {
+            CliError::Analysis(format!("folded profile '{path}' line {}: {what}", idx + 1))
+        };
+        let (stack, count) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| bad("expected 'stack count'".into()))?;
+        let count: u64 = count
+            .parse()
+            .map_err(|_| bad(format!("bad sample count '{count}'")))?;
+        for frame in stack.split(';') {
+            if !known.contains(frame) {
+                return Err(bad(format!(
+                    "frame '{frame}' does not match any recorded span"
+                )));
+            }
+        }
+        stacks += 1;
+        samples += count;
+    }
+    if stacks == 0 {
+        return Err(CliError::Analysis(format!(
+            "folded profile '{path}' carries no samples"
+        )));
+    }
+    Ok(format!(
+        "folded profile ok: {stacks} stack(s), {samples} sample(s), \
+         every frame resolves to a recorded span"
+    ))
 }
 
 fn build_and_solve(opts: &Options) -> Result<(CdrChain, CdrAnalysis), CliError> {
@@ -685,6 +754,97 @@ mod tests {
 
         std::fs::remove_file(&v3).ok();
         std::fs::remove_file(&v2).ok();
+    }
+
+    #[test]
+    fn report_renders_profile_and_checks_folded() {
+        let dir = std::env::temp_dir();
+        // A /4 artifact with profile stacks renders the profile section.
+        let v4 = dir.join("stochcdr_cli_report_v4.jsonl");
+        std::fs::write(
+            &v4,
+            "{\"kind\":\"meta\",\"schema\":\"stochcdr-obs/4\"}\n\
+             {\"kind\":\"span\",\"path\":\"solve/cycle\",\"name\":\"cycle\",\"nanos\":800}\n\
+             {\"kind\":\"span\",\"path\":\"solve\",\"name\":\"solve\",\"nanos\":1200}\n\
+             {\"kind\":\"profile\",\"stack\":\"solve;cycle\",\"count\":5}\n",
+        )
+        .unwrap();
+        let out = run(&argv(&format!("report --in {}", v4.display()))).unwrap();
+        assert!(out.contains("profile (5 samples"), "{out}");
+        assert!(out.contains("solve;cycle"), "{out}");
+
+        // A folded file whose frames all resolve to span names passes.
+        let good = dir.join("stochcdr_cli_good.folded");
+        std::fs::write(&good, "solve;cycle 5\nsolve 2\n").unwrap();
+        let out = run(&argv(&format!(
+            "report --in {} --check-folded {}",
+            v4.display(),
+            good.display()
+        )))
+        .unwrap();
+        assert!(
+            out.contains("folded profile ok: 2 stack(s), 7 sample(s)"),
+            "{out}"
+        );
+
+        // Unknown frames, malformed lines, and empty files all fail.
+        let bad = dir.join("stochcdr_cli_bad.folded");
+        let check = |content: &str| {
+            std::fs::write(&bad, content).unwrap();
+            run(&argv(&format!(
+                "report --in {} --check-folded {}",
+                v4.display(),
+                bad.display()
+            )))
+            .unwrap_err()
+            .to_string()
+        };
+        assert!(check("solve;warp 1\n").contains("warp"));
+        assert!(check("just-a-stack-no-count\n").contains("stack count"));
+        assert!(check("").contains("no samples"));
+
+        std::fs::remove_file(&v4).ok();
+        std::fs::remove_file(&good).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn profile_folded_writes_loadable_stacks() {
+        let dir = std::env::temp_dir();
+        let folded = dir.join("stochcdr_cli_profile.folded");
+        let metrics = dir.join("stochcdr_cli_profile.jsonl");
+        let out = run(&argv(&format!(
+            "analyze {SMALL} --profile-folded {} --profile-interval 0.05 \
+             --metrics {} --metrics-format jsonl",
+            folded.display(),
+            metrics.display()
+        )))
+        .unwrap();
+        assert!(out.contains("BER:"), "{out}");
+        // The folded file exists and every line is `stack count` (the
+        // tiny model may finish between samples, so emptiness is legal).
+        let text = std::fs::read_to_string(&folded).unwrap();
+        for line in text.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("stack count");
+            assert!(!stack.is_empty());
+            count.parse::<u64>().expect("sample count");
+        }
+        // The artifact parses under the current schema.
+        let art = stochcdr_obs::artifact::Artifact::load_jsonl(
+            &std::fs::read_to_string(&metrics).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(art.schema, stochcdr_obs::SCHEMA_VERSION);
+        std::fs::remove_file(&folded).ok();
+        std::fs::remove_file(&metrics).ok();
+    }
+
+    #[test]
+    fn progress_flag_is_accepted_sink_less() {
+        // `--progress` alone must work without any sink: status goes to
+        // stderr, events fall on the disabled facade.
+        let out = run(&argv(&format!("analyze {SMALL} --progress 0.5"))).unwrap();
+        assert!(out.contains("BER:"), "{out}");
     }
 
     #[test]

@@ -36,6 +36,12 @@ use stochcdr_obs as obs;
 /// additionally (or independently) streams a Chrome Trace Event file —
 /// both can be active at once through a fan-out sink.
 ///
+/// `--profile-folded PATH` runs the wall-clock sampling profiler for
+/// the duration of the command and writes folded stacks (one
+/// `stack count` line each, loadable by flamegraph.pl or speedscope)
+/// to `PATH`; `--progress` arms live heartbeat updates. Both default
+/// off and leave the solve bit-identical when unused.
+///
 /// # Errors
 ///
 /// Returns [`CliError`] for unknown subcommands/flags, malformed values,
@@ -49,10 +55,31 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     // `--mem-budget` (re)publishes the soft live-heap budget every run so
     // a previous invocation's budget never leaks into this one.
     obs::mem::set_budget(parsed.options.mem_budget);
+    // `--progress` (re)arms the heartbeat every run, including the
+    // disarmed default, so a previous invocation's interval never leaks.
+    obs::heartbeat::configure(
+        parsed
+            .options
+            .progress
+            .map(std::time::Duration::from_secs_f64),
+        parsed.options.progress.is_some(),
+    );
+    let result = run_with_obs(&parsed);
+    obs::heartbeat::configure(None, false);
+    result
+}
+
+/// The body of [`run`] after the process-wide knobs are set: decides
+/// whether the observability facade is needed, installs the sinks, runs
+/// the profiler around the dispatch, and tears everything down again.
+fn run_with_obs(parsed: &ParsedArgs) -> Result<String, CliError> {
     let metrics = parsed.options.metrics.clone();
     let trace = parsed.options.trace.clone();
-    if metrics.is_none() && trace.is_none() {
-        return commands::dispatch(&parsed);
+    let profile_folded = parsed.options.profile_folded.clone();
+    if metrics.is_none() && trace.is_none() && profile_folded.is_none() {
+        // `--progress` alone needs no sink: the one-line status goes to
+        // stderr directly and the events land on the disabled facade.
+        return commands::dispatch(parsed);
     }
 
     let mut sinks: Vec<Box<dyn obs::Sink>> = Vec::new();
@@ -75,6 +102,12 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         }
         (None, _) => None,
     };
+    // `--profile-folded` without any other destination still needs the
+    // facade enabled — span paths register only while a recorder is
+    // installed — so a NullSink absorbs the records themselves.
+    if sinks.is_empty() {
+        sinks.push(Box::new(obs::NullSink));
+    }
     let single = sinks.len() == 1;
     if single {
         obs::install(sinks.pop().expect("one sink"));
@@ -83,7 +116,22 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
     }
 
     obs::gauge("cli.threads", stochcdr_linalg::par::threads() as f64);
-    let result = commands::dispatch(&parsed);
+    let profiling = profile_folded.is_some()
+        && obs::profile::start(std::time::Duration::from_secs_f64(
+            parsed.options.profile_interval_ms / 1e3,
+        ));
+    let result = commands::dispatch(parsed);
+    // Stop sampling before the teardown gauges so the profiler never
+    // attributes samples to the facade's own bookkeeping; publish the
+    // folded stacks into the artifact while the sink is still attached.
+    let folded = if profiling {
+        obs::profile::stop().map(|p| {
+            p.publish();
+            p.folded()
+        })
+    } else {
+        None
+    };
     // Memory gauges (live/peak heap, allocation count, peak RSS) describe
     // the whole command; publish them right before the sink detaches.
     obs::mem::publish();
@@ -96,6 +144,11 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
                 CliError::Analysis(format!("cannot write metrics file '{path}': {e}"))
             })?;
         }
+    }
+    if let (Some(path), Some(text)) = (&profile_folded, folded) {
+        std::fs::write(path, text).map_err(|e| {
+            CliError::Analysis(format!("cannot write folded profile '{path}': {e}"))
+        })?;
     }
     result
 }

@@ -108,6 +108,9 @@ impl MonteCarlo {
         let wall = std::time::Instant::now();
         let base = symbols / shards;
         let rem = symbols % shards;
+        // Shared heartbeat (default off): one completed-shard tick per
+        // worker, one progress emission per configured interval.
+        let heartbeat = obs::Heartbeat::new("monte-carlo");
         let parts = par::map_tasks(shards as usize, |k| {
             let k = k as u64;
             let quota = base + u64::from(k < rem);
@@ -120,6 +123,7 @@ impl MonteCarlo {
                     obs::histogram("core.mc.shard.symbols_per_sec", quota as f64 / secs);
                 }
             }
+            heartbeat.tick_unit(shards);
             out
         });
         let m = self.config.m_bins();

@@ -162,6 +162,7 @@ impl StationarySolver for GaussSeidelSolver {
         };
         let mut history = Vec::new();
         let mut trace = ConvergenceTrace::new("markov.gauss_seidel.stall");
+        let heartbeat = obs::Heartbeat::new("gauss-seidel");
         for it in 1..=self.opts.max_iters {
             let change = match &pt {
                 Pt::Csr(m) => sweep_transposed(m, &mut x),
@@ -174,6 +175,14 @@ impl StationarySolver for GaussSeidelSolver {
                 continue;
             }
             trace.observe(change);
+            if heartbeat.active() {
+                heartbeat.tick_solve(
+                    it as u64,
+                    change,
+                    trace.summary().ewma_reduction,
+                    self.opts.tol,
+                );
+            }
             if self.opts.record_history {
                 history.push(change);
             }

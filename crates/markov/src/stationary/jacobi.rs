@@ -177,6 +177,7 @@ impl StationarySolver for JacobiSolver {
         let diag = op.diagonal();
         let mut history = Vec::new();
         let mut trace = ConvergenceTrace::new("markov.jacobi.stall");
+        let heartbeat = obs::Heartbeat::new("jacobi");
         for it in 1..=self.opts.max_iters {
             let change = self.sweep_op(op, &diag, &mut x);
             if vecops::sum(&x) == 0.0 {
@@ -186,6 +187,14 @@ impl StationarySolver for JacobiSolver {
                 continue;
             }
             trace.observe(change);
+            if heartbeat.active() {
+                heartbeat.tick_solve(
+                    it as u64,
+                    change,
+                    trace.summary().ewma_reduction,
+                    self.opts.tol,
+                );
+            }
             if self.opts.record_history {
                 history.push(change);
             }

@@ -87,6 +87,7 @@ impl StationarySolver for PowerIteration {
         let mut y = vec![0.0; n];
         let mut history = Vec::new();
         let mut trace = ConvergenceTrace::new("markov.power.stall");
+        let heartbeat = obs::Heartbeat::new("power");
         for it in 1..=self.opts.max_iters {
             op.mul_left_into(&x, &mut y);
             // P is row-stochastic so ||y||_1 == ||x||_1 == 1 exactly up to
@@ -95,6 +96,14 @@ impl StationarySolver for PowerIteration {
             let res = vecops::dist1(&x, &y);
             std::mem::swap(&mut x, &mut y);
             trace.observe(res);
+            if heartbeat.active() {
+                heartbeat.tick_solve(
+                    it as u64,
+                    res,
+                    trace.summary().ewma_reduction,
+                    self.opts.tol,
+                );
+            }
             if self.opts.record_history {
                 history.push(res);
             }

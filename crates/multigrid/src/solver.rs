@@ -566,6 +566,9 @@ impl MultigridSolver {
         // 0.9 reduction sustained over 5 cycles means the coarse
         // correction has stopped helping.
         let mut trace = ConvergenceTrace::new("multigrid.stall").with_stall(0.9, 5);
+        // Live progress (default off): interval-throttled solve.progress
+        // heartbeats with an ETA projected from the EWMA contraction.
+        let heartbeat = obs::Heartbeat::new("multigrid");
         for cycle in 1..=self.max_cycles {
             let cycle_t0 = obs::enabled().then(Instant::now);
             let cycle_span = obs::span("cycle");
@@ -575,6 +578,9 @@ impl MultigridSolver {
             };
             drop(cycle_span);
             trace.observe(res);
+            if heartbeat.active() {
+                heartbeat.tick_solve(cycle as u64, res, trace.summary().ewma_reduction, self.tol);
+            }
             if let Some(t0) = cycle_t0 {
                 obs::histogram("multigrid.cycle.ns", t0.elapsed().as_nanos() as f64);
                 // Per-cycle contraction factor: the distribution the

@@ -1,7 +1,7 @@
 //! Loading and validating recorded observability artifacts.
 //!
 //! Two artifact shapes exist: the JSONL metrics stream written by
-//! [`crate::JsonLinesSink`] (`stochcdr-obs/1`, `/2`, or `/3`) and the
+//! [`crate::JsonLinesSink`] (`stochcdr-obs/1` through `/4`) and the
 //! Chrome Trace Event array written by [`crate::ChromeTraceSink`]. This
 //! module parses both — [`Artifact`] aggregates a metrics stream for
 //! reporting, and [`check_trace`] validates a trace file's structure
@@ -20,7 +20,7 @@ use crate::json::Json;
 /// Aggregated view of one JSONL metrics artifact.
 #[derive(Debug, Default, Clone)]
 pub struct Artifact {
-    /// Schema tag from the meta line (`stochcdr-obs/1`, `/2`, or `/3`).
+    /// Schema tag from the meta line (`stochcdr-obs/1` through `/4`).
     pub schema: String,
     /// Counter name → summed deltas.
     pub counters: BTreeMap<String, u64>,
@@ -32,6 +32,10 @@ pub struct Artifact {
     pub spans: BTreeMap<String, SpanStat>,
     /// Histogram name → reconstructed histogram.
     pub hists: BTreeMap<String, LogHist>,
+    /// Folded profiler stack → sample count (`/4`; empty for older
+    /// schemas and unprofiled runs). Sample counts are scheduling-
+    /// dependent, so [`diff`] treats the whole section as advisory.
+    pub profile: BTreeMap<String, u64>,
 }
 
 /// Aggregated timing stats for one span path.
@@ -84,10 +88,11 @@ fn need_str<'a>(v: &'a Json, key: &str, line_no: usize) -> Result<&'a str, Strin
 impl Artifact {
     /// Parses a JSONL metrics stream produced by [`crate::JsonLinesSink`].
     ///
-    /// Accepts `stochcdr-obs/1`, `/2`, and `/3`: `/1` streams simply
-    /// lack span identity and `hist` lines, and pre-`/3` span lines lack
-    /// the memory fields (read as zero). Unknown record kinds are an
-    /// error so schema drift is caught loudly.
+    /// Accepts `stochcdr-obs/1` through `/4`: `/1` streams simply lack
+    /// span identity and `hist` lines, pre-`/3` span lines lack the
+    /// memory fields (read as zero), and pre-`/4` streams have no
+    /// `profile` lines (the section stays empty). Unknown record kinds
+    /// are an error so schema drift is caught loudly.
     pub fn load_jsonl(text: &str) -> Result<Artifact, String> {
         let mut art = Artifact::default();
         let mut lines = text
@@ -102,6 +107,7 @@ impl Artifact {
         let schema = need_str(&meta, "schema", 1)?;
         if schema != "stochcdr-obs/1"
             && schema != "stochcdr-obs/2"
+            && schema != "stochcdr-obs/3"
             && schema != crate::SCHEMA_VERSION
         {
             return Err(format!("unsupported schema \"{schema}\""));
@@ -169,6 +175,11 @@ impl Artifact {
                         name.to_string(),
                         LogHist::from_parts(count, other, sum, min, max, bins),
                     );
+                }
+                "profile" => {
+                    let stack = need_str(&v, "stack", line_no)?;
+                    let count = need_u64(&v, "count", line_no)?;
+                    *art.profile.entry(stack.to_string()).or_default() += count;
                 }
                 "meta" => return Err(format!("line {line_no}: duplicate meta record")),
                 other => return Err(format!("line {line_no}: unknown kind \"{other}\"")),
@@ -301,13 +312,37 @@ pub fn diff(baseline: &Artifact, fresh: &Artifact, opts: &DiffOptions) -> DiffRe
         baseline.counters.iter().map(|(k, v)| (k.as_str(), *v)),
         fresh.counters.iter().map(|(k, v)| (k.as_str(), *v)),
     );
+    // Heartbeat progress events are emitted on a wall-clock interval,
+    // so their count depends on machine speed — excluded from the exact
+    // section and compared with tolerance instead (advisory only).
+    let heartbeat = |name: &str| name == "solve.progress";
     let _ = writeln!(report.text, "  events (exact):");
     diff_exact_u64(
         &mut report,
         "event",
-        baseline.events.iter().map(|(k, v)| (k.as_str(), *v)),
-        fresh.events.iter().map(|(k, v)| (k.as_str(), *v)),
+        baseline
+            .events
+            .iter()
+            .filter(|(k, _)| !heartbeat(k))
+            .map(|(k, v)| (k.as_str(), *v)),
+        fresh
+            .events
+            .iter()
+            .filter(|(k, _)| !heartbeat(k))
+            .map(|(k, v)| (k.as_str(), *v)),
     );
+    let hb_base = baseline.events.get("solve.progress").copied().unwrap_or(0);
+    let hb_fresh = fresh.events.get("solve.progress").copied().unwrap_or(0);
+    if hb_base > 0 || hb_fresh > 0 {
+        let _ = writeln!(report.text, "  heartbeat events (advisory):");
+        check_ratio(
+            &mut report,
+            opts,
+            "event.solve.progress",
+            hb_base as f64,
+            hb_fresh as f64,
+        );
+    }
     let _ = writeln!(report.text, "  span counts (exact):");
     diff_exact_u64(
         &mut report,
@@ -441,6 +476,29 @@ pub fn diff(baseline: &Artifact, fresh: &Artifact, opts: &DiffOptions) -> DiffRe
                 }
             }
         }
+    }
+
+    // Profile sections are wholly nondeterministic — both the counts
+    // (scheduling) and the set of observed stacks (a short-lived span
+    // may or may not be sampled) vary run to run. Compare only the
+    // total sample volume, with tolerance.
+    if !baseline.profile.is_empty() || !fresh.profile.is_empty() {
+        let _ = writeln!(report.text, "  profile (advisory):");
+        let b_total: u64 = baseline.profile.values().sum();
+        let f_total: u64 = fresh.profile.values().sum();
+        check_ratio(
+            &mut report,
+            opts,
+            "profile.total_samples",
+            b_total as f64,
+            f_total as f64,
+        );
+        let _ = writeln!(
+            report.text,
+            "    note  profile stacks: baseline {} fresh {}",
+            baseline.profile.len(),
+            fresh.profile.len()
+        );
     }
 
     let _ = writeln!(
@@ -636,6 +694,100 @@ mod tests {
         let report = diff(&old, &old, &DiffOptions::default());
         assert!(report.ok(), "{}", report.text);
         assert!(!report.text.contains("span memory"), "{}", report.text);
+    }
+
+    #[test]
+    fn diff_spans_mixed_schema_versions() {
+        // The same facts recorded under /2, /3, and /4 metas: sections
+        // that a schema lacks (memory fields, profile lines) must
+        // default to empty, never error, and never fail the diff.
+        let stream = |schema: &str, profile: bool| {
+            let mut text = format!("{{\"kind\":\"meta\",\"schema\":\"{schema}\"}}\n");
+            text.push_str(concat!(
+                "{\"kind\":\"span\",\"path\":\"solve\",\"name\":\"solve\",\"id\":1,",
+                "\"parent\":0,\"tid\":0,\"nanos\":500,\"depth\":1,\"t\":1}\n",
+                "{\"kind\":\"counter\",\"name\":\"iters\",\"delta\":3,\"t\":2}\n",
+            ));
+            if profile {
+                text.push_str(
+                    "{\"kind\":\"profile\",\"stack\":\"solve;cycle\",\"count\":40,\"t\":3}\n",
+                );
+            }
+            Artifact::load_jsonl(&text).unwrap()
+        };
+        let v2 = stream("stochcdr-obs/2", false);
+        let v3 = stream("stochcdr-obs/3", false);
+        let v4 = stream("stochcdr-obs/4", true);
+        assert!(v2.profile.is_empty() && v3.profile.is_empty());
+        assert_eq!(v4.profile["solve;cycle"], 40);
+
+        for (base, fresh) in [(&v2, &v3), (&v2, &v4), (&v3, &v4), (&v4, &v2)] {
+            let report = diff(base, fresh, &DiffOptions::default());
+            assert!(
+                report.ok(),
+                "{} vs {} must not fail:\n{}",
+                base.schema,
+                fresh.schema,
+                report.text
+            );
+        }
+        // A profile-bearing diff renders its advisory section; one
+        // without profile data on either side omits it entirely.
+        let report = diff(&v3, &v4, &DiffOptions::default());
+        assert!(
+            report.text.contains("profile (advisory)"),
+            "{}",
+            report.text
+        );
+        let report = diff(&v2, &v3, &DiffOptions::default());
+        assert!(!report.text.contains("profile"), "{}", report.text);
+    }
+
+    #[test]
+    fn diff_treats_heartbeat_events_as_advisory() {
+        // Two runs of the same solve on differently loaded machines
+        // emit different numbers of interval-throttled solve.progress
+        // events; that must never be a deterministic failure, while a
+        // drifted count of any *other* event still is.
+        let make = |progress: u64, converged: u64| {
+            let mut text = String::from("{\"kind\":\"meta\",\"schema\":\"stochcdr-obs/4\"}\n");
+            for _ in 0..progress {
+                text.push_str(
+                    "{\"kind\":\"event\",\"name\":\"solve.progress\",\"fields\":{},\"t\":1}\n",
+                );
+            }
+            for _ in 0..converged {
+                text.push_str(
+                    "{\"kind\":\"event\",\"name\":\"multigrid.converged\",\"fields\":{},\"t\":2}\n",
+                );
+            }
+            Artifact::load_jsonl(&text).unwrap()
+        };
+        let base = make(12, 1);
+        let fresh = make(3, 1);
+        let report = diff(&base, &fresh, &DiffOptions::default());
+        assert!(report.ok(), "{}", report.text);
+        assert!(
+            report
+                .advisories
+                .iter()
+                .any(|a| a.contains("solve.progress")),
+            "{:?}",
+            report.advisories
+        );
+
+        // Same heartbeat drift plus a real event mismatch: still fails.
+        let drifted = make(3, 2);
+        let report = diff(&base, &drifted, &DiffOptions::default());
+        assert!(!report.ok());
+        assert!(
+            report
+                .failures
+                .iter()
+                .all(|f| !f.contains("solve.progress")),
+            "heartbeat counts must never be failures: {:?}",
+            report.failures
+        );
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Wall-clock **sampling profiler** — statistical CPU attribution with
+//! zero dependencies and no signal handlers.
+//!
+//! A background thread wakes at a fixed interval, snapshots every
+//! thread's innermost open span via [`crate::open_span_stacks`] (the
+//! open-span registry already resolves full paths through parent ids,
+//! including cross-thread `span_child_of` linkage), and accumulates one
+//! count per live stack in a folded-stack map. Because the sampler
+//! reads the same registry the span guards maintain anyway, profiling
+//! adds **no per-span cost** to the instrumented code — the only
+//! overhead is the sampler thread briefly taking the recorder lock once
+//! per interval.
+//!
+//! The aggregate is the classic "folded" format (`a;b;c COUNT` lines)
+//! consumed by `flamegraph.pl` and speedscope; [`Profile::publish`]
+//! additionally flushes it through [`crate::profile_sample`] so the
+//! JSONL artifact carries a `profile` section. Sample *counts* are
+//! nondeterministic (they depend on scheduling), so
+//! [`crate::artifact::diff`] treats the section as advisory; stack
+//! *names* come straight from the span registry and are gated by
+//! `scripts/profile_smoke.sh`.
+//!
+//! ```
+//! let _ = stochcdr_obs::uninstall();
+//! stochcdr_obs::install(Box::new(stochcdr_obs::NullSink));
+//! stochcdr_obs::profile::start(std::time::Duration::from_micros(200));
+//! {
+//!     let _s = stochcdr_obs::span("solve");
+//!     std::thread::sleep(std::time::Duration::from_millis(5));
+//! }
+//! let profile = stochcdr_obs::profile::stop().expect("sampler was running");
+//! assert!(profile.ticks > 0);
+//! stochcdr_obs::uninstall();
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The running sampler, if any. One sampler per process: the registry
+/// it reads is global, so concurrent samplers would just double-count.
+static SAMPLER: Mutex<Option<Sampler>> = Mutex::new(None);
+
+struct Sampler {
+    stop: Arc<AtomicBool>,
+    counts: Arc<Mutex<BTreeMap<String, u64>>>,
+    ticks: Arc<AtomicU64>,
+    join: JoinHandle<()>,
+    interval: Duration,
+}
+
+/// The folded-stack aggregate collected between [`start`] and [`stop`].
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Folded stack (`;`-joined span names, outermost first) → samples
+    /// in which that stack was some thread's live leaf.
+    pub samples: BTreeMap<String, u64>,
+    /// Total sampler wake-ups, including ones that observed no open
+    /// span (idle ticks are not attributed to any stack).
+    pub ticks: u64,
+    /// The configured sampling interval.
+    pub interval: Duration,
+}
+
+impl Profile {
+    /// Renders the aggregate in the folded frame format understood by
+    /// `flamegraph.pl` and speedscope: one `stack count` line per
+    /// distinct stack, frames `;`-separated.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.samples {
+            let _ = writeln!(out, "{stack} {count}");
+        }
+        out
+    }
+
+    /// Flushes the aggregate into the installed sink as
+    /// [`crate::Record::ProfileSample`] records plus bookkeeping
+    /// counters (`profile.ticks`, `profile.samples`), giving the JSONL
+    /// artifact and summary report a `profile` section. No-op when
+    /// instrumentation is disabled.
+    pub fn publish(&self) {
+        if !crate::enabled() {
+            return;
+        }
+        for (stack, count) in &self.samples {
+            crate::profile_sample(stack, *count);
+        }
+        crate::counter("profile.ticks", self.ticks);
+        crate::counter(
+            "profile.samples",
+            self.samples.values().copied().sum::<u64>(),
+        );
+    }
+}
+
+/// Starts the sampling profiler at `interval` (clamped to ≥10 µs so a
+/// zero interval cannot spin a core). Returns `false` when a sampler is
+/// already running — the running one keeps collecting undisturbed.
+///
+/// The sampler is independent of whether a sink is installed; it reads
+/// the open-span registry, which is only populated while a session is
+/// active, so samples taken outside a session attribute to no stack.
+pub fn start(interval: Duration) -> bool {
+    let mut guard = SAMPLER.lock().unwrap();
+    if guard.is_some() {
+        return false;
+    }
+    let interval = interval.max(Duration::from_micros(10));
+    let stop = Arc::new(AtomicBool::new(false));
+    let counts = Arc::new(Mutex::new(BTreeMap::new()));
+    let ticks = Arc::new(AtomicU64::new(0));
+    let join = {
+        let stop = Arc::clone(&stop);
+        let counts = Arc::clone(&counts);
+        let ticks = Arc::clone(&ticks);
+        std::thread::Builder::new()
+            .name("obs-sampler".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(interval);
+                    ticks.fetch_add(1, Ordering::Relaxed);
+                    let tops = crate::open_span_stacks();
+                    if tops.is_empty() {
+                        continue;
+                    }
+                    let mut counts = counts.lock().unwrap();
+                    for (_tid, path) in tops {
+                        *counts.entry(path.replace('/', ";")).or_insert(0) += 1;
+                    }
+                }
+            })
+            .expect("spawn obs-sampler thread")
+    };
+    *guard = Some(Sampler {
+        stop,
+        counts,
+        ticks,
+        join,
+        interval,
+    });
+    true
+}
+
+/// Whether a sampler is currently running.
+pub fn running() -> bool {
+    SAMPLER.lock().unwrap().is_some()
+}
+
+/// Stops the sampler and returns its aggregate, or `None` when no
+/// sampler was running. Blocks for at most one sampling interval while
+/// the thread notices the stop flag.
+pub fn stop() -> Option<Profile> {
+    let sampler = SAMPLER.lock().unwrap().take()?;
+    sampler.stop.store(true, Ordering::Relaxed);
+    let _ = sampler.join.join();
+    let samples = std::mem::take(&mut *sampler.counts.lock().unwrap());
+    Some(Profile {
+        samples,
+        ticks: sampler.ticks.load(Ordering::Relaxed),
+        interval: sampler.interval,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folded_renders_one_line_per_stack() {
+        let profile = Profile {
+            samples: [("a;b".to_string(), 3), ("a".to_string(), 1)]
+                .into_iter()
+                .collect(),
+            ticks: 4,
+            interval: Duration::from_millis(1),
+        };
+        assert_eq!(profile.folded(), "a 1\na;b 3\n");
+    }
+
+    #[test]
+    fn double_start_is_rejected_and_stop_is_idempotent() {
+        // Serialize against any other test using the global sampler.
+        assert!(start(Duration::from_millis(5)));
+        assert!(!start(Duration::from_millis(5)), "second start must fail");
+        assert!(running());
+        assert!(stop().is_some());
+        assert!(stop().is_none(), "stop without a sampler returns None");
+        assert!(!running());
+    }
+}

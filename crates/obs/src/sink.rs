@@ -21,8 +21,13 @@ use crate::record::{Record, Value};
 /// span lines) and aggregated `hist` lines flushed at finish. `/3`
 /// extends `/2` with memory attribution on span lines (`alloc_bytes`,
 /// `allocs` — zero without a [`crate::mem::TrackingAlloc`]) and the
-/// `mem.*` gauges published by [`crate::mem::publish`].
-pub const SCHEMA_VERSION: &str = "stochcdr-obs/3";
+/// `mem.*` gauges published by [`crate::mem::publish`]. `/4` extends
+/// `/3` with `profile` lines (folded sampling-profiler stacks flushed
+/// by [`crate::profile::Profile::publish`]) and the throttled
+/// `solve.progress` heartbeat events from [`crate::heartbeat`]; both
+/// are nondeterministic by nature, so the artifact diff treats them as
+/// advisory.
+pub const SCHEMA_VERSION: &str = "stochcdr-obs/4";
 
 /// A consumer of instrumentation records.
 ///
@@ -118,6 +123,7 @@ pub struct SummarySink {
     gauges: BTreeMap<String, GaugeAgg>,
     events: BTreeMap<String, u64>,
     hists: BTreeMap<String, LogHist>,
+    profile: BTreeMap<String, u64>,
     last_event_fields: BTreeMap<String, String>,
     end_ns: u64,
 }
@@ -204,6 +210,14 @@ impl SummarySink {
                     fmt_hist_value(name, h.quantile(0.95)),
                     fmt_hist_value(name, h.max()),
                 );
+            }
+        }
+        // Profile stacks only render when a sampler ran — summaries
+        // from unprofiled runs keep their old shape.
+        if !self.profile.is_empty() {
+            out.push_str("\nprofile (folded stack, samples):\n");
+            for (stack, count) in &self.profile {
+                let _ = writeln!(out, "  {stack:<64} {count:>8}");
             }
         }
         if !self.events.is_empty() {
@@ -325,6 +339,9 @@ impl Sink for SummarySink {
                     let _ = write!(rendered, "{k}={}", fmt_value(v));
                 }
                 self.last_event_fields.insert((*name).to_string(), rendered);
+            }
+            Record::ProfileSample { stack, count } => {
+                *self.profile.entry((*stack).to_string()).or_default() += count;
             }
         }
     }
@@ -476,6 +493,11 @@ impl Sink for JsonLinesSink {
                 }
                 line.push('}');
             }
+            Record::ProfileSample { stack, count } => {
+                line.push_str("{\"kind\":\"profile\",\"stack\":");
+                json::escape_into(line, stack);
+                let _ = write!(line, ",\"count\":{count}");
+            }
         }
         let _ = write!(line, ",\"t\":{at_nanos}}}");
         let _ = writeln!(self.w, "{}", line);
@@ -615,11 +637,18 @@ mod tests {
                 value: 2.0,
             },
         );
+        sink.record(
+            9,
+            &Record::ProfileSample {
+                stack: "a;b",
+                count: 12,
+            },
+        );
         sink.finish();
         let bytes = buf.lock().unwrap().clone();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 6);
         let meta = Json::parse(lines[0]).unwrap();
         assert_eq!(
             meta.get("schema").and_then(Json::as_str),
@@ -636,8 +665,12 @@ mod tests {
         let fields = event.get("fields").unwrap();
         assert_eq!(fields.get("k").and_then(Json::as_str), Some("v\n"));
         assert_eq!(fields.get("n").and_then(Json::as_f64), Some(-3.0));
+        let profile = Json::parse(lines[4]).unwrap();
+        assert_eq!(profile.get("kind").and_then(Json::as_str), Some("profile"));
+        assert_eq!(profile.get("stack").and_then(Json::as_str), Some("a;b"));
+        assert_eq!(profile.get("count").and_then(Json::as_f64), Some(12.0));
         // Histograms flush at finish, after every streamed record.
-        let hist = Json::parse(lines[4]).unwrap();
+        let hist = Json::parse(lines[5]).unwrap();
         assert_eq!(hist.get("kind").and_then(Json::as_str), Some("hist"));
         assert_eq!(hist.get("count").and_then(Json::as_f64), Some(1.0));
         assert_eq!(hist.get("max").and_then(Json::as_f64), Some(2.0));

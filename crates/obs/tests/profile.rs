@@ -1,0 +1,148 @@
+//! Integration tests for the sampling profiler and the heartbeat:
+//! open-span snapshots, sampler capture, folded export, and the
+//! `solve.progress` event round-trip.
+//!
+//! The recorder, sampler, and heartbeat configuration are process-wide
+//! singletons, so everything runs inside one `#[test]`, sequenced.
+
+use std::time::Duration;
+
+use stochcdr_obs as obs;
+use stochcdr_obs::artifact::Artifact;
+
+#[test]
+fn profiler_end_to_end() {
+    open_span_stacks_reports_the_innermost_span_per_lane();
+    sampler_captures_a_held_span_and_exports_folded_stacks();
+    heartbeat_round_trips_through_the_artifact();
+}
+
+fn open_span_stacks_reports_the_innermost_span_per_lane() {
+    let _ = obs::uninstall();
+    assert!(
+        obs::open_span_stacks().is_empty(),
+        "no session → no open spans"
+    );
+    obs::install(Box::new(obs::NullSink));
+    {
+        let _a = obs::span("outer");
+        let _b = obs::span("inner");
+        let parent = obs::current_span_id();
+        let main_lane = obs::thread_id();
+        let snapshot = obs::open_span_stacks();
+        assert_eq!(
+            snapshot,
+            vec![(main_lane, "outer/inner".to_string())],
+            "innermost open span, full path"
+        );
+        // A worker holding a cross-thread child shows up under its own
+        // lane, with the dispatching span's path prefix.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _lane = obs::lane(7);
+                let _w = obs::span_child_of("worker", parent);
+                let snapshot = obs::open_span_stacks();
+                assert!(
+                    snapshot.contains(&(7, "outer/inner/worker".to_string())),
+                    "{snapshot:?}"
+                );
+                assert!(
+                    snapshot.contains(&(main_lane, "outer/inner".to_string())),
+                    "{snapshot:?}"
+                );
+            });
+        });
+    }
+    assert!(
+        obs::open_span_stacks().is_empty(),
+        "all spans closed → empty snapshot"
+    );
+    obs::uninstall();
+}
+
+fn sampler_captures_a_held_span_and_exports_folded_stacks() {
+    let _ = obs::uninstall();
+    let (sink, buf) = obs::JsonLinesSink::to_shared_buffer();
+    obs::install(Box::new(sink));
+    assert!(obs::profile::start(Duration::from_micros(100)));
+    {
+        let _outer = obs::span("solve");
+        let _inner = obs::span("cycle");
+        // Hold the stack open long enough for many sampling intervals.
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let profile = obs::profile::stop().expect("sampler was running");
+    assert!(profile.ticks > 0, "sampler never woke");
+    assert!(
+        profile.samples.contains_key("solve;cycle"),
+        "held stack must be sampled: {:?}",
+        profile.samples
+    );
+    let folded = profile.folded();
+    assert!(folded.contains("solve;cycle "), "{folded}");
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("folded line shape");
+        assert!(!stack.is_empty());
+        assert!(count.parse::<u64>().is_ok(), "{line}");
+    }
+
+    // Publishing flushes the aggregate into the artifact's profile
+    // section, where every frame is a registered span name.
+    profile.publish();
+    obs::uninstall();
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let art = Artifact::load_jsonl(&text).expect("valid artifact");
+    assert_eq!(art.schema, obs::SCHEMA_VERSION);
+    assert!(!art.profile.is_empty());
+    let known: std::collections::BTreeSet<&str> =
+        art.spans.keys().flat_map(|p| p.split('/')).collect();
+    for stack in art.profile.keys() {
+        for frame in stack.split(';') {
+            assert!(
+                known.contains(frame),
+                "frame {frame:?} not a recorded span name (stack {stack:?})"
+            );
+        }
+    }
+    assert!(art.counters.contains_key("profile.ticks"));
+    assert!(art.counters.contains_key("profile.samples"));
+}
+
+fn heartbeat_round_trips_through_the_artifact() {
+    let _ = obs::uninstall();
+    let (sink, buf) = obs::JsonLinesSink::to_shared_buffer();
+    obs::install(Box::new(sink));
+    obs::heartbeat::configure(Some(Duration::from_millis(1)), false);
+    let hb = obs::Heartbeat::new("test-solve");
+    obs::heartbeat::configure(None, false);
+    assert!(hb.active());
+    for it in 1..=200u64 {
+        hb.tick_solve(it, 1.0 / it as f64, Some(0.5), 1e-12);
+        if hb.emitted() >= 2 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert!(hb.emitted() >= 1, "heartbeat never became due");
+    obs::uninstall();
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let art = Artifact::load_jsonl(&text).expect("valid artifact");
+    assert_eq!(
+        art.events.get("solve.progress").copied(),
+        Some(hb.emitted()),
+        "every emission lands as one solve.progress event"
+    );
+
+    // A disarmed heartbeat (the default) must leave no trace at all.
+    let (sink, buf) = obs::JsonLinesSink::to_shared_buffer();
+    obs::install(Box::new(sink));
+    let quiet = obs::Heartbeat::new("quiet");
+    for it in 1..=100u64 {
+        quiet.tick_solve(it, 1.0, Some(0.5), 1e-12);
+        quiet.tick_unit(100);
+    }
+    obs::uninstall();
+    let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+    let art = Artifact::load_jsonl(&text).expect("valid artifact");
+    assert!(art.events.is_empty(), "{:?}", art.events);
+}

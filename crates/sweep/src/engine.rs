@@ -162,6 +162,10 @@ where
     let total = spec.points();
     let _span = obs::span("sweep.run");
     let chunks = total.div_ceil(WARM_CHUNK);
+    // Shared across workers: all-atomic, so parallel chunks tick one
+    // heartbeat and a single thread per interval emits the progress
+    // event. Inert (one branch per point) unless armed via the CLI.
+    let heartbeat = obs::Heartbeat::new("sweep");
     // One task per warm chunk; map_tasks returns them in chunk order and
     // its worker scheduling never leaks into the values (see module docs).
     let per_chunk: Vec<Result<Vec<T>>> = par::map_tasks(chunks, |k| {
@@ -176,6 +180,7 @@ where
             let (value, eta) = run_point(spec, cache, flat, prev_eta.take(), extract)?;
             out.push(value);
             prev_eta = Some(eta);
+            heartbeat.tick_unit(total as u64);
         }
         Ok(out)
     });

@@ -10,9 +10,11 @@
 # sensitive to partition boundaries (operator equivalence and multigrid
 # invariance) additionally run at 2 and 8 threads. A final trace smoke
 # (scripts/trace_smoke.sh) captures and validates one instrumented run's
-# --trace and --metrics artifacts, and the memory smoke
+# --trace and --metrics artifacts, the memory smoke
 # (scripts/mem_smoke.sh) re-proves the zero-allocation claims under the
-# tracking allocator and renders an obs diff regression report.
+# tracking allocator and renders an obs diff regression report, and the
+# profile smoke (scripts/profile_smoke.sh) validates a sampled folded-
+# stack profile against the artifact's span registry.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,3 +32,4 @@ done
 cargo clippy --offline --all-targets -- -D warnings
 ./scripts/trace_smoke.sh
 ./scripts/mem_smoke.sh
+./scripts/profile_smoke.sh

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Perf-trend ledger update: takes one fresh benchmark snapshot, appends
+# its headline numbers to results/PERF_LEDGER.jsonl (the append-only
+# perf history), and renders the trend verdict — the newest record of
+# each (threads, hw_threads) group against the median of its preceding
+# window (see `bench_trend`). Exit 1 means a wall-time metric regressed
+# past the threshold; CI runs this advisory (wall clocks on shared
+# runners are noisy), but the sparkline table makes slow drift visible
+# PR over PR.
+#
+# The fresh snapshot itself is disposable (target/); only the one-line
+# ledger record accumulates.
+set -eu
+
+cd "$(dirname "$0")/.."
+ledger="${PERF_LEDGER:-results/PERF_LEDGER.jsonl}"
+snap="target/PERF_TREND_SNAP.json"
+
+cargo build --release --offline -p stochcdr-bench
+./target/release/bench_snapshot --out "$snap" --ledger "$ledger"
+./target/release/bench_trend --ledger "$ledger"

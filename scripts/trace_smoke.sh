@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
 # Trace smoke check: runs one instrumented analyze with both `--trace`
 # (Chrome Trace Event JSON) and `--metrics ... --metrics-format jsonl`
-# (stochcdr-obs/3 record stream) active, then validates both artifacts
+# (stochcdr-obs/4 record stream) active, then validates both artifacts
 # through `stochcdr report`, which fails on malformed JSON/JSONL or on
 # unbalanced span begin/end events.
 #
