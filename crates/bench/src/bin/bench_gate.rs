@@ -2,7 +2,8 @@
 //! files and fails when any *deterministic* metric moved.
 //!
 //! The determinism contract makes this gate sharp: state count, TPM
-//! nonzeros, solver cycles, residual, BER, and the Monte-Carlo results
+//! nonzeros, solver cycles and cycle-equivalents (reference and
+//! accelerated solves), residual, BER, and the Monte-Carlo results
 //! are bit-identical across machines and thread counts, so any drift is
 //! a real behavior change, not noise. Wall-clock fields (`*_secs`,
 //! `spmv_*`) are advisory: the gate prints their ratios but never fails
@@ -29,6 +30,16 @@ const EXACT: &[&str] = &[
     "states",
     "nnz",
     "cycles",
+    // Cycle-equivalents — fine-grid work in units of one V-cycle — for
+    // both the fixed-V reference solve and the adaptive + Krylov
+    // accelerated solve. Pure functions of the hierarchy pattern and the
+    // residual-history-driven controller decisions, never of timing, so
+    // they gate exactly: a drift means the cycle controller or the
+    // extrapolation accept/reject logic changed behavior.
+    "cycle_equivalents",
+    "accel_cycles",
+    "accel_cycle_equivalents",
+    "accel_residual",
     "residual",
     "ber",
     "mc_symbols",
@@ -56,6 +67,7 @@ const EXACT: &[&str] = &[
 const ADVISORY: &[&str] = &[
     "form_secs",
     "solve_secs",
+    "accel_solve_secs",
     "mc_secs",
     "spmv_1t_secs",
     "spmv_nt_secs",
@@ -86,6 +98,7 @@ const ADVISORY: &[&str] = &[
     "implicit_compact_nnz",
     "implicit_materialized_nnz",
     "implicit_cycles",
+    "implicit_cycle_equivalents",
     "implicit_residual",
     "implicit_solve_secs",
 ];
@@ -260,14 +273,16 @@ fn main() {
         std::env::var("BENCH_GATE_MODE").unwrap_or_else(|_| "unset (full)".to_string())
     );
 
-    // String-valued deterministic field.
-    let b_solver = baseline.get("solver").and_then(Json::as_str);
-    let f_solver = fresh.get("solver").and_then(Json::as_str);
-    if b_solver == f_solver {
-        println!("  ok    solver          = {}", f_solver.unwrap_or("?"));
-    } else {
-        println!("  FAIL  solver          : {b_solver:?} -> {f_solver:?}");
-        failures += 1;
+    // String-valued deterministic fields.
+    for key in ["solver", "accel_solver"] {
+        let b_solver = baseline.get(key).and_then(Json::as_str);
+        let f_solver = fresh.get(key).and_then(Json::as_str);
+        if b_solver == f_solver {
+            println!("  ok    {key:<15} = {}", f_solver.unwrap_or("?"));
+        } else {
+            println!("  FAIL  {key:<15} : {b_solver:?} -> {f_solver:?}");
+            failures += 1;
+        }
     }
 
     for key in EXACT {

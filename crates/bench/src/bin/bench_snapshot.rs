@@ -5,7 +5,9 @@
 //! chain build, multigrid stationary solve, and a short Monte-Carlo
 //! cross-check — while the `stochcdr-obs` summary sink captures the
 //! instrumented internals, then serializes the headline metrics:
-//! state count, TPM nonzeros, multigrid cycles, wall times, BER.
+//! state count, TPM nonzeros, multigrid cycles and cycle-equivalents
+//! (for both the fixed-V reference solve and the adaptive + Krylov
+//! accelerated solve), wall times, BER.
 //!
 //! Usage: `cargo run --release -p stochcdr-bench --bin bench_snapshot --
 //! [--out BENCH.json] [--refinement N] [--symbols N] [--spmv-only]
@@ -167,6 +169,17 @@ fn main() {
     let analysis = chain.analyze(SolverChoice::Multigrid).expect("analysis");
     let solve_secs = t0.elapsed().as_secs_f64();
 
+    // Accelerated solve on the same chain: the adaptive V→F→W schedule
+    // with the always-on Krylov window (`mgk`). Cycle-equivalents — total
+    // fine-grid work in units of one V-cycle — are a pure function of the
+    // hierarchy and the controller's decisions, so both solves gate
+    // exactly; only the wall times are advisory.
+    let t0 = Instant::now();
+    let accel = chain
+        .analyze(SolverChoice::MgKrylov)
+        .expect("accelerated analysis");
+    let accel_solve_secs = t0.elapsed().as_secs_f64();
+
     let t0 = Instant::now();
     let mc = MonteCarlo::new(config).run(symbols, 0x5eed);
     let mc_secs = t0.elapsed().as_secs_f64();
@@ -271,7 +284,21 @@ fn main() {
     let _ = writeln!(json, "  \"nnz\": {},", chain.nnz());
     let _ = writeln!(json, "  \"solver\": \"{}\",", analysis.solver_name);
     let _ = writeln!(json, "  \"cycles\": {},", analysis.iterations);
+    let _ = writeln!(
+        json,
+        "  \"cycle_equivalents\": {:e},",
+        analysis.mg_cycle_equivalents.unwrap_or(f64::NAN)
+    );
     let _ = writeln!(json, "  \"residual\": {:e},", analysis.residual);
+    let _ = writeln!(json, "  \"accel_solver\": \"{}\",", accel.solver_name);
+    let _ = writeln!(json, "  \"accel_cycles\": {},", accel.iterations);
+    let _ = writeln!(
+        json,
+        "  \"accel_cycle_equivalents\": {:e},",
+        accel.mg_cycle_equivalents.unwrap_or(f64::NAN)
+    );
+    let _ = writeln!(json, "  \"accel_residual\": {:e},", accel.residual);
+    let _ = writeln!(json, "  \"accel_solve_secs\": {accel_solve_secs:e},");
     let _ = writeln!(json, "  \"ber\": {:e},", analysis.ber);
     let _ = writeln!(json, "  \"mc_symbols\": {symbols},");
     let _ = writeln!(json, "  \"mc_ber\": {:e},", mc.ber);
@@ -347,6 +374,11 @@ fn main() {
         "  \"implicit_residual\": {:e},",
         implicit.result.residual()
     );
+    let _ = writeln!(
+        json,
+        "  \"implicit_cycle_equivalents\": {:e},",
+        implicit.stats.cycle_equivalents
+    );
     let _ = writeln!(json, "  \"implicit_solve_secs\": {implicit_solve_secs:e},");
     json.push_str("  \"obs_summary\": ");
     {
@@ -383,10 +415,13 @@ fn main() {
     }
 
     println!(
-        "wrote {out_path}: {} states, {} cycles, BER {:.3e}, solve {:.3}s, \
-         spmv x{spmv_speedup:.2} (large x{spmv_large_speedup:.2}) at {threads} threads",
+        "wrote {out_path}: {} states, {} cycles (accel {} = {:.2} eq), BER {:.3e}, \
+         solve {:.3}s, spmv x{spmv_speedup:.2} (large x{spmv_large_speedup:.2}) at \
+         {threads} threads",
         chain.state_count(),
         analysis.iterations,
+        accel.iterations,
+        accel.mg_cycle_equivalents.unwrap_or(f64::NAN),
         analysis.ber,
         solve_secs
     );

@@ -3,7 +3,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use stochcdr::{CdrConfig, CdrError, FilterKind, SolverChoice};
+use stochcdr::{
+    CdrConfig, CdrError, CycleSchedule, FilterKind, KrylovAccel, SolverChoice,
+    DEFAULT_KRYLOV_RESTART, MAX_KRYLOV_WINDOW,
+};
 use stochcdr_noise::jitter::WhiteJitterSpec;
 use stochcdr_noise::sonet::DataSpec;
 
@@ -103,7 +106,19 @@ pub fn usage() -> String {
      \x20 --drift-dev UI       n_r max deviation (default 8e-3)\n\
      \x20 --density P          data transition density (default 0.5)\n\
      \x20 --run-length N       max identical-bit run (default 4)\n\
-     \x20 --solver NAME        power|gs|jacobi|direct|mg|mgw (default mg)\n\
+     \x20 --solver NAME        power|gs|jacobi|direct|mg|mgw|mgk|gmres\n\
+     \x20                      (default mg; mgk = adaptive multigrid with\n\
+     \x20                      Krylov window acceleration, gmres = restarted\n\
+     \x20                      GMRES on the shifted stationarity system)\n\
+     \x20 --cycle KIND         multigrid cycle schedule: v|f|w|adaptive\n\
+     \x20                      (default: solver-specific; adaptive escalates\n\
+     \x20                      V->F->W on stalling reduction factors)\n\
+     \x20 --accel MODE         Krylov acceleration of multigrid solves:\n\
+     \x20                      gmres (always on) | stall (arm on stall\n\
+     \x20                      detection) | off (default: solver-specific)\n\
+     \x20 --restart N          Krylov window length (2..=16 with --accel;\n\
+     \x20                      default 8, scale 12) / gmres Arnoldi\n\
+     \x20                      restart (default 50)\n\
      \x20 --tol X              stationary residual tolerance (default 1e-12)\n\
      \x20 --threads N          worker threads for parallel kernels; 0 = auto\n\
      \x20                      (flag > STOCHCDR_THREADS env > available cores)\n\
@@ -161,6 +176,18 @@ pub struct Options {
     pub config: CdrConfig,
     /// Stationary solver.
     pub solver: SolverChoice,
+    /// Multigrid cycle-schedule override (`--cycle v|f|w|adaptive`);
+    /// `None` keeps each solver's default.
+    pub cycle: Option<CycleSchedule>,
+    /// Krylov-acceleration override (`--accel gmres|stall|off`): outer
+    /// `None` keeps the solver's default, `Some(None)` forces it off,
+    /// `Some(Some(a))` forces a window configuration (restart length from
+    /// `--restart`).
+    pub accel: Option<Option<KrylovAccel>>,
+    /// Explicit restart length (`--restart`): the Krylov window length
+    /// for accelerated multigrid (2..=16), and the Arnoldi restart of the
+    /// standalone `gmres` solver. `None` keeps each consumer's default.
+    pub restart: Option<usize>,
     /// Residual tolerance.
     pub tol: f64,
     /// Worker-thread count for parallel kernels (`--threads`); 0 means
@@ -217,6 +244,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                 options: Options {
                     config: default_config()?,
                     solver: SolverChoice::Multigrid,
+                    cycle: None,
+                    accel: None,
+                    restart: None,
                     tol: 1e-12,
                     threads: 0,
                     metrics: None,
@@ -285,10 +315,61 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
                 return Err(CliError::BadValue {
                     flag: "--solver".into(),
                     value: v,
-                    expected: "power|gs|jacobi|direct|mg|mgw",
+                    expected: "power|gs|jacobi|direct|mg|mgw|mgk|gmres",
                 })
             }
         },
+    };
+    let cycle = match flags.remove("cycle") {
+        None => None,
+        Some(v) => match CycleSchedule::parse(&v) {
+            Some(s) => Some(s),
+            None => {
+                return Err(CliError::BadValue {
+                    flag: "--cycle".into(),
+                    value: v,
+                    expected: "v|f|w|adaptive",
+                })
+            }
+        },
+    };
+    let restart = match flags.remove("restart") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(r) if (1..=1024).contains(&r) => Some(r),
+            _ => {
+                return Err(CliError::BadValue {
+                    flag: "--restart".into(),
+                    value: v,
+                    expected: "a window/restart length in 1..=1024",
+                })
+            }
+        },
+    };
+    let accel = match flags.remove("accel") {
+        None => None,
+        Some(v) => {
+            let window = restart.unwrap_or(DEFAULT_KRYLOV_RESTART);
+            if v != "off" && !(2..=MAX_KRYLOV_WINDOW).contains(&window) {
+                return Err(CliError::BadValue {
+                    flag: "--restart".into(),
+                    value: window.to_string(),
+                    expected: "a Krylov window length in 2..=16 when --accel is on",
+                });
+            }
+            match v.as_str() {
+                "off" => Some(None),
+                "gmres" => Some(Some(KrylovAccel::always(window))),
+                "stall" => Some(Some(KrylovAccel::on_stall(window))),
+                _ => {
+                    return Err(CliError::BadValue {
+                        flag: "--accel".into(),
+                        value: v,
+                        expected: "gmres|stall|off",
+                    })
+                }
+            }
+        }
     };
 
     let metrics = flags.remove("metrics");
@@ -390,6 +471,9 @@ pub fn parse(argv: &[String]) -> Result<ParsedArgs, CliError> {
         options: Options {
             config,
             solver,
+            cycle,
+            accel,
+            restart,
             tol,
             threads,
             metrics,

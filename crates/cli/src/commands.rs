@@ -292,7 +292,8 @@ fn check_folded(art: &obs::artifact::Artifact, path: &str) -> Result<String, Cli
 
 fn build_and_solve(opts: &Options) -> Result<(CdrChain, CdrAnalysis), CliError> {
     let chain = CdrModel::new(opts.config.clone()).build_chain()?;
-    let analysis = chain.analyze_with_tol(opts.solver, opts.tol)?;
+    let analysis =
+        chain.analyze_tuned(opts.solver, opts.tol, opts.cycle, opts.accel, opts.restart)?;
     Ok((chain, analysis))
 }
 
@@ -375,7 +376,7 @@ fn parse_axis(flag: &str, name: &str, values: &str) -> Result<SweepAxis, CliErro
             .iter()
             .map(|v| {
                 stochcdr::SolverChoice::parse(v)
-                    .ok_or_else(|| bad(v, "power|gs|jacobi|direct|mg|mgw"))
+                    .ok_or_else(|| bad(v, "power|gs|jacobi|direct|mg|mgw|mgk|gmres"))
             })
             .collect::<Result<_, _>>()
             .map(SweepAxis::Solver),
@@ -568,17 +569,37 @@ fn spy(opts: &Options) -> Result<String, CliError> {
 /// joint state space multiplies with every lane while the stored
 /// representation only adds one factor CSR.
 fn scale(opts: &Options) -> Result<String, CliError> {
-    use stochcdr::ProductChain;
+    use stochcdr::{ProductChain, StationarySolver as _};
 
     let lanes = extra_usize(opts, "lanes", 2)?.max(1);
     let chain = CdrModel::new(opts.config.clone()).build_chain()?;
     let product: ProductChain = chain.replicate(lanes)?;
 
+    // `--restart N` without `--accel` resizes the default always-on
+    // Krylov window (the `solve` path threads restart through
+    // `analyze_tuned` instead, where it also serves the gmres solver).
+    let accel = match (opts.accel, opts.restart) {
+        (None, Some(r)) => {
+            use stochcdr::{KrylovAccel, MAX_KRYLOV_WINDOW};
+            if !(2..=MAX_KRYLOV_WINDOW).contains(&r) {
+                return Err(CliError::BadValue {
+                    flag: "--restart".into(),
+                    value: r.to_string(),
+                    expected: "a Krylov window length in 2..=16 for scale",
+                });
+            }
+            Some(Some(KrylovAccel::always(r)))
+        }
+        (a, _) => a,
+    };
+
     let start = std::time::Instant::now();
+    let solver = product.solver_tuned(opts.tol, opts.cycle, accel);
+    let solver_name = solver.name();
     let solve = match opts.extra.get("path").map(String::as_str) {
-        None | Some("auto") => product.solve_auto(opts.tol)?,
-        Some("implicit") => product.solve_implicit(opts.tol)?,
-        Some("materialized") => product.solve_materialized(opts.tol)?,
+        None | Some("auto") => product.solve_auto_with(solver)?,
+        Some("implicit") => product.solve_implicit_with(solver)?,
+        Some("materialized") => product.solve_materialized_with(solver)?,
         Some(v) => {
             return Err(CliError::BadValue {
                 flag: "--path".into(),
@@ -616,8 +637,34 @@ fn scale(opts: &Options) -> Result<String, CliError> {
             "materialized"
         }
     );
+    let _ = writeln!(out, "solver              : {solver_name}");
     let _ = writeln!(out, "cycles              : {}", solve.result.iterations());
+    let _ = writeln!(
+        out,
+        "cycle equivalents   : {:.2} (final {})",
+        solve.stats.cycle_equivalents,
+        solve.stats.final_cycle.cli_name()
+    );
+    if solve.stats.krylov_windows > 0 {
+        let _ = writeln!(
+            out,
+            "krylov windows      : {} ({} accepted)",
+            solve.stats.krylov_windows, solve.stats.krylov_accepts
+        );
+    }
     let _ = writeln!(out, "residual            : {:.3e}", solve.result.residual());
+    // FNV-1a over the stationary vector's f64 bit patterns: two runs
+    // print the same checksum iff they produced the same distribution
+    // bits, which is how the determinism contract is checked across
+    // `--threads` settings at scales where diffing vectors is unwieldy.
+    let checksum = solve
+        .result
+        .distribution
+        .iter()
+        .fold(0xcbf2_9ce4_8422_2325_u64, |h, v| {
+            (h ^ v.to_bits()).wrapping_mul(0x100_0000_01b3)
+        });
+    let _ = writeln!(out, "distribution fnv1a  : {checksum:016x}");
     let _ = writeln!(out, "solve time          : {solve_secs:.2}s");
     let _ = writeln!(
         out,

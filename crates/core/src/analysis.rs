@@ -6,9 +6,12 @@ use std::time::Instant;
 use stochcdr_markov::functional::marginal;
 use stochcdr_markov::lumping::{LumpPlan, Partition};
 use stochcdr_markov::stationary::{
-    GaussSeidelSolver, GthSolver, JacobiSolver, PowerIteration, StationarySolver,
+    GaussSeidelSolver, GmresStationary, GthSolver, JacobiSolver, PowerIteration, StationarySolver,
 };
-use stochcdr_multigrid::{CycleKind, MgPhases, MultigridSolver, Smoother};
+use stochcdr_multigrid::{
+    CycleKind, CycleSchedule, KrylovAccel, MgPhases, MultigridSolver, Smoother,
+    DEFAULT_KRYLOV_RESTART,
+};
 use stochcdr_obs as obs;
 
 use crate::ber::{ber_discrete, ber_symmetric_dist};
@@ -35,6 +38,13 @@ pub enum SolverChoice {
     Multigrid,
     /// Multigrid W-cycles (more robust on very stiff operating points).
     MultigridW,
+    /// Adaptive-schedule multigrid with windowed Krylov acceleration: the
+    /// cycle controller escalates V→F→W on stalling reduction factors and
+    /// a minimal-residual extrapolation recombines recent iterates.
+    MgKrylov,
+    /// Restarted GMRES on the rank-one-shifted stationarity system
+    /// (standalone Krylov baseline, no multigrid preconditioning).
+    Gmres,
 }
 
 impl SolverChoice {
@@ -42,13 +52,15 @@ impl SolverChoice {
     /// and the benchmark tables. Adding a solver here is the single
     /// registration point: `parse`, `cli_name`, the CLI `--solver` flag,
     /// and the benchmark sweeps all iterate this list.
-    pub const ALL: [SolverChoice; 6] = [
+    pub const ALL: [SolverChoice; 8] = [
         SolverChoice::Power,
         SolverChoice::GaussSeidel,
         SolverChoice::Jacobi,
         SolverChoice::Direct,
         SolverChoice::Multigrid,
         SolverChoice::MultigridW,
+        SolverChoice::MgKrylov,
+        SolverChoice::Gmres,
     ];
 
     /// The CLI spelling of this choice (`--solver` value).
@@ -60,6 +72,29 @@ impl SolverChoice {
             SolverChoice::Direct => "direct",
             SolverChoice::Multigrid => "mg",
             SolverChoice::MultigridW => "mgw",
+            SolverChoice::MgKrylov => "mgk",
+            SolverChoice::Gmres => "gmres",
+        }
+    }
+
+    /// Whether this choice runs the multigrid machinery (and therefore
+    /// needs a coarsening hierarchy and can use cached symbolic plans).
+    pub fn is_multigrid(self) -> bool {
+        matches!(
+            self,
+            SolverChoice::Multigrid | SolverChoice::MultigridW | SolverChoice::MgKrylov
+        )
+    }
+
+    /// The default cycle schedule of a multigrid choice; `None` for
+    /// one-level solvers. The fixed schedules are what the goldens pin:
+    /// `mg` is exactly the historical V-cycle solver.
+    pub fn mg_schedule(self) -> Option<CycleSchedule> {
+        match self {
+            SolverChoice::Multigrid => Some(CycleSchedule::Fixed(CycleKind::V)),
+            SolverChoice::MultigridW => Some(CycleSchedule::Fixed(CycleKind::W)),
+            SolverChoice::MgKrylov => Some(CycleSchedule::Adaptive),
+            _ => None,
         }
     }
 
@@ -108,6 +143,11 @@ pub struct CdrAnalysis {
     /// Per-phase wall-time attribution for multigrid solves (`None` for
     /// other solvers, or when the stationary vector came from outside).
     pub mg_phases: Option<MgPhases>,
+    /// Work-normalized multigrid cost in units of one V-cycle's
+    /// fine-through-coarse sweep (`None` outside multigrid): the machine
+    /// metric behind the `≤ N cycle-equivalents` acceptance gates, equal
+    /// to the cycle count on an unaccelerated fixed-V solve.
+    pub mg_cycle_equivalents: Option<f64>,
 }
 
 impl CdrChain {
@@ -213,9 +253,10 @@ impl CdrChain {
     ///
     /// Panics if `tol <= 0`.
     pub fn solver_with_tol(&self, choice: SolverChoice, tol: f64) -> Box<dyn StationarySolver> {
-        let parts = match choice {
-            SolverChoice::Multigrid | SolverChoice::MultigridW => self.phase_hierarchy(),
-            _ => Vec::new(),
+        let parts = if choice.is_multigrid() {
+            self.phase_hierarchy()
+        } else {
+            Vec::new()
         };
         self.solver_from_hierarchy(choice, tol, parts)
     }
@@ -241,7 +282,8 @@ impl CdrChain {
             SolverChoice::GaussSeidel => Box::new(GaussSeidelSolver::new(tol, iters)),
             SolverChoice::Jacobi => Box::new(JacobiSolver::new(tol, iters, 0.8)),
             SolverChoice::Direct => Box::new(GthSolver::new()),
-            SolverChoice::Multigrid | SolverChoice::MultigridW => {
+            SolverChoice::Gmres => Box::new(GmresStationary::new(tol, iters.min(100_000))),
+            SolverChoice::Multigrid | SolverChoice::MultigridW | SolverChoice::MgKrylov => {
                 Box::new(self.multigrid_solver(choice, tol, parts, None))
             }
         }
@@ -265,19 +307,50 @@ impl CdrChain {
         parts: Vec<Partition>,
         plans: Option<std::sync::Arc<Vec<LumpPlan>>>,
     ) -> MultigridSolver {
+        self.multigrid_solver_tuned(choice, tol, parts, plans, None, None)
+    }
+
+    /// [`multigrid_solver`](Self::multigrid_solver) with explicit tuning
+    /// overrides: `schedule` replaces the choice's default cycle schedule
+    /// (the CLI `--cycle` flag) and `accel` — two-layered like
+    /// [`crate::ProductChain::solver_tuned`] — replaces the Krylov window
+    /// policy: outer `None` keeps the choice's default (a window for
+    /// `mgk`, none otherwise), `Some(None)` forces it off, `Some(Some(a))`
+    /// forces a configuration (`--accel`/`--restart`). All-`None` keeps
+    /// the defaults — in particular plain `mg` stays the exact historical
+    /// fixed-V solver the goldens pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tol <= 0` or `choice` is not a multigrid variant.
+    pub fn multigrid_solver_tuned(
+        &self,
+        choice: SolverChoice,
+        tol: f64,
+        parts: Vec<Partition>,
+        plans: Option<std::sync::Arc<Vec<LumpPlan>>>,
+        schedule: Option<CycleSchedule>,
+        accel: Option<Option<KrylovAccel>>,
+    ) -> MultigridSolver {
         assert!(tol > 0.0, "tolerance must be positive");
-        let kind = match choice {
-            SolverChoice::Multigrid => CycleKind::V,
-            SolverChoice::MultigridW => CycleKind::W,
-            other => panic!("multigrid_solver called with {other:?}"),
-        };
+        let default_schedule = choice
+            .mg_schedule()
+            .unwrap_or_else(|| panic!("multigrid_solver called with {choice:?}"));
+        let schedule = schedule.unwrap_or(default_schedule);
+        let accel = accel.unwrap_or(match choice {
+            SolverChoice::MgKrylov => Some(KrylovAccel::always(DEFAULT_KRYLOV_RESTART)),
+            _ => None,
+        });
         let mut b = MultigridSolver::builder(parts)
-            .cycle(kind)
+            .schedule(schedule)
             .smoother(Smoother::GaussSeidel)
             .pre_sweeps(1)
             .post_sweeps(2)
             .tol(tol)
             .max_cycles(2_000);
+        if let Some(accel) = accel {
+            b = b.accel(accel);
+        }
         if let Some(plans) = plans {
             b = b.plans(plans);
         }
@@ -287,9 +360,10 @@ impl CdrChain {
     /// The symbolic lumping plans for `parts` against this chain's TPM,
     /// fetched from `cache` under the `mg.plan` kind. The key hashes the
     /// TPM's sparsity *pattern* (plans are pure functions of pattern +
-    /// partitions, never of transition values), so sweep points that move
-    /// only numeric factors share one plan stack while any pattern change
-    /// — pruning, support growth — forces a rebuild.
+    /// partitions, never of transition values) plus the cycle schedule the
+    /// solver will run, so sweep points that move only numeric factors
+    /// share one plan stack while any pattern change — pruning, support
+    /// growth — or a different cycle type forces a rebuild.
     ///
     /// # Panics
     ///
@@ -299,10 +373,14 @@ impl CdrChain {
         &self,
         cache: &stochcdr_fsm::FactorCache,
         parts: &[Partition],
+        schedule: CycleSchedule,
     ) -> std::sync::Arc<Vec<LumpPlan>> {
         let m = self.tpm().matrix();
         let mut key = stochcdr_fsm::KeyHasher::new();
         key.usize(self.state_count()).usize(m.nnz());
+        for b in schedule.cli_name().bytes() {
+            key.u64(b as u64);
+        }
         for &p in m.indptr() {
             key.usize(p);
         }
@@ -334,6 +412,27 @@ impl CdrChain {
     ///
     /// Propagates solver failures.
     pub fn analyze_with_tol(&self, choice: SolverChoice, tol: f64) -> Result<CdrAnalysis> {
+        self.analyze_tuned(choice, tol, None, None, None)
+    }
+
+    /// [`analyze_with_tol`](Self::analyze_with_tol) with solver tuning
+    /// overrides: `cycle` and `accel` reconfigure multigrid choices (see
+    /// [`multigrid_solver_tuned`](Self::multigrid_solver_tuned)), and
+    /// `restart` overrides the standalone `gmres` solver's Arnoldi
+    /// restart length. All-`None` is exactly
+    /// [`analyze_with_tol`](Self::analyze_with_tol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    pub fn analyze_tuned(
+        &self,
+        choice: SolverChoice,
+        tol: f64,
+        cycle: Option<CycleSchedule>,
+        accel: Option<Option<KrylovAccel>>,
+        restart: Option<usize>,
+    ) -> Result<CdrAnalysis> {
         // Multigrid keeps the concrete solver type so the analysis can
         // carry per-phase attribution; other solvers go through the trait
         // object. Same solve, same bits either way.
@@ -341,20 +440,37 @@ impl CdrChain {
             Mg(MultigridSolver),
             Other(Box<dyn StationarySolver>),
         }
-        let prepared = match choice {
-            SolverChoice::Multigrid | SolverChoice::MultigridW => {
-                Prepared::Mg(self.multigrid_solver(choice, tol, self.phase_hierarchy(), None))
+        let prepared = if choice.is_multigrid() {
+            Prepared::Mg(self.multigrid_solver_tuned(
+                choice,
+                tol,
+                self.phase_hierarchy(),
+                None,
+                cycle,
+                accel,
+            ))
+        } else if choice == SolverChoice::Gmres {
+            let mut s = GmresStationary::new(tol, 100_000);
+            if let Some(r) = restart {
+                s = s.with_restart(r);
             }
-            _ => Prepared::Other(self.solver_with_tol(choice, tol)),
+            Prepared::Other(Box::new(s))
+        } else {
+            Prepared::Other(self.solver_with_tol(choice, tol))
         };
         let _span = obs::span("core.analyze");
         let start = Instant::now();
-        let (result, solver_name, mg_phases) = match &prepared {
+        let (result, solver_name, mg_phases, mg_equiv) = match &prepared {
             Prepared::Mg(s) => {
                 let (result, stats) = s.solve_with_stats(self.tpm(), None)?;
-                (result, s.name(), Some(stats.phases))
+                (
+                    result,
+                    s.name(),
+                    Some(stats.phases),
+                    Some(stats.cycle_equivalents),
+                )
             }
-            Prepared::Other(s) => (s.solve(self.tpm(), None)?, s.name(), None),
+            Prepared::Other(s) => (s.solve(self.tpm(), None)?, s.name(), None, None),
         };
         let solve_time = start.elapsed();
         obs::event(
@@ -375,6 +491,7 @@ impl CdrChain {
             solver_name,
         );
         a.mg_phases = mg_phases;
+        a.mg_cycle_equivalents = mg_equiv;
         Ok(a)
     }
 
@@ -423,6 +540,7 @@ impl CdrChain {
             solve_time,
             solver_name,
             mg_phases: None,
+            mg_cycle_equivalents: None,
         }
     }
 }
@@ -559,7 +677,10 @@ mod tests {
             assert_eq!(SolverChoice::parse(choice.cli_name()), Some(choice));
         }
         assert_eq!(SolverChoice::parse("nope"), None);
-        assert_eq!(SolverChoice::cli_names(), "power|gs|jacobi|direct|mg|mgw");
+        assert_eq!(
+            SolverChoice::cli_names(),
+            "power|gs|jacobi|direct|mg|mgw|mgk|gmres"
+        );
     }
 
     #[test]

@@ -387,6 +387,17 @@ impl TransitionOp for KroneckerOp {
         self.compact_nnz()
     }
 
+    /// The mode-by-mode apply touches factor `k` once per fiber — `dim /
+    /// n_k` independent length-`n_k` products of `nnz_k` multiply-adds
+    /// each — so the real work is `Σ_k (dim / n_k) · nnz_k`, far above
+    /// the compact `Σ_k nnz_k` that [`nnz`](TransitionOp::nnz) reports.
+    fn apply_cost(&self) -> usize {
+        self.factors
+            .iter()
+            .map(|f| (self.dim / f.rows()) * f.nnz())
+            .sum()
+    }
+
     fn mul_left_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(
             x.len(),

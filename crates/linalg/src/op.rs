@@ -42,6 +42,17 @@ pub trait TransitionOp: Sync {
     /// the materialized matrix). `0` when unknown.
     fn nnz(&self) -> usize;
 
+    /// Number of scalar multiply-adds one operator application performs —
+    /// the honest unit for deterministic work accounting (multigrid
+    /// cycle-equivalents). Defaults to [`nnz`](Self::nnz), which is exact
+    /// for materialized backends; structured operators whose compact
+    /// storage understates the apply cost (Kronecker products apply each
+    /// factor across every fiber) must override this with the real
+    /// figure.
+    fn apply_cost(&self) -> usize {
+        self.nnz()
+    }
+
     /// Computes `y = x·A` (row-vector product; propagates a distribution
     /// one step).
     ///

@@ -243,6 +243,12 @@ impl TransitionOp for ImplicitStochastic<'_> {
         ImplicitStochastic::nnz(self)
     }
 
+    fn apply_cost(&self) -> usize {
+        // The wrapped operator's real apply work plus the per-row
+        // renormalization scaling.
+        self.fwd.apply_cost() + self.n()
+    }
+
     fn mul_left_into(&self, x: &[f64], y: &mut [f64]) {
         self.step_into(x, y);
     }

@@ -13,7 +13,10 @@
 //! * [`GaussSeidelSolver`] — forward sweeps using the transposed matrix,
 //! * [`GthSolver`] — direct Grassmann–Taksar–Heyman elimination
 //!   (subtraction-free, numerically exact up to round-off); `O(n^3)`, used
-//!   for small chains and the coarsest multigrid level.
+//!   for small chains and the coarsest multigrid level,
+//! * [`GmresStationary`] — restarted GMRES on the rank-one-shifted
+//!   nonsingular system `((I − Pᵀ) + (1/n)·1 1ᵀ) x = (1/n)·1`, whose unique
+//!   solution is `η`; the registry's baseline Krylov solver.
 //!
 //! The multigrid method of the paper lives in the `stochcdr-multigrid`
 //! crate and implements the same [`StationarySolver`] trait.
@@ -22,12 +25,14 @@ mod convergence;
 mod gauss_seidel;
 mod gth;
 mod jacobi;
+mod krylov;
 mod power;
 
 pub use convergence::{ConvergenceSummary, ConvergenceTrace};
 pub use gauss_seidel::GaussSeidelSolver;
 pub use gth::GthSolver;
 pub use jacobi::JacobiSolver;
+pub use krylov::{GmresStationary, MAX_GMRES_RESTART};
 pub use power::PowerIteration;
 
 use stochcdr_linalg::{vecops, TransitionOp};

@@ -16,29 +16,86 @@ use stochcdr_linalg::CsrMatrix;
 use stochcdr_markov::lumping::{lump_with_plan, LumpPlan, LumpWorkspace, Partition};
 use stochcdr_markov::StochasticMatrix;
 
-/// Greedy strength-based pairwise coarsening.
+/// Union-find root lookup with path halving — iterative, deterministic.
+fn find(root: &mut [u32], mut i: u32) -> u32 {
+    while root[i as usize] != i {
+        let parent = root[i as usize];
+        root[i as usize] = root[parent as usize];
+        i = root[i as usize];
+    }
+    i
+}
+
+/// Largest aggregate size [`StrengthCoarsening::aggregates`] accepts.
+pub const MAX_AGGREGATE: usize = 8;
+
+/// Greedy strength-based aggregation coarsening.
 ///
 /// At each level every state is matched with its most strongly coupled
 /// unmatched neighbor (`strength(i, j) = p_ij + p_ji`); unmatched leftovers
-/// become singletons. Levels are generated until the size drops to
-/// `stop_at`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// become singletons. With [`aggregates`](Self::aggregates) above 2, a
+/// second strength-threshold pass grows the pairs into variable-size
+/// aggregates: a still-unaggregated state joins its strongest neighboring
+/// aggregate whenever that coupling is at least `threshold` times the
+/// state's strongest coupling overall and the aggregate has room. Levels
+/// are generated until the size drops to `stop_at`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StrengthCoarsening {
     stop_at: usize,
+    max_aggregate: usize,
+    threshold: f64,
 }
 
 impl StrengthCoarsening {
-    /// Coarsens until the level size is `<= stop_at`.
+    /// Coarsens until the level size is `<= stop_at`, with strict pairwise
+    /// aggregation (the historical default).
     ///
     /// # Panics
     ///
     /// Panics if `stop_at == 0`.
     pub fn until(stop_at: usize) -> Self {
         assert!(stop_at > 0, "stop size must be positive");
-        StrengthCoarsening { stop_at }
+        StrengthCoarsening {
+            stop_at,
+            max_aggregate: 2,
+            threshold: 0.25,
+        }
     }
 
-    /// Builds one pairwise partition for the given transition matrix.
+    /// Allows aggregates of up to `max` states (default 2, i.e. strict
+    /// pairs). Larger aggregates mean fewer, shallower levels — the lever
+    /// that keeps million-state hierarchies short.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max` is in `2..=8`.
+    pub fn aggregates(mut self, max: usize) -> Self {
+        assert!(
+            (2..=MAX_AGGREGATE).contains(&max),
+            "aggregate size bound must be in 2..={MAX_AGGREGATE}"
+        );
+        self.max_aggregate = max;
+        self
+    }
+
+    /// Relative strength-of-connection threshold for the growth pass
+    /// (default 0.25): a state only joins an aggregate through an edge at
+    /// least this fraction of its strongest coupling, so weakly attached
+    /// states stay out rather than polluting an aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` is in `(0, 1]`.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "strength threshold must be in (0, 1]"
+        );
+        self.threshold = threshold;
+        self
+    }
+
+    /// Builds one aggregation partition for the given transition matrix.
     ///
     /// Returns `None` when the chain is already at or below the stop size.
     pub fn coarsen_once(&self, p: &CsrMatrix) -> Option<Partition> {
@@ -63,27 +120,67 @@ impl StrengthCoarsening {
         }
         edges.sort_unstable_by(|a, b| b.0.total_cmp(&a.0));
 
-        let mut mate = vec![u32::MAX; n];
+        // Pass 1 — greedy pairwise matching in strength order, tracked as
+        // a union-find forest rooted at the pair's smaller index.
+        let mut root: Vec<u32> = (0..n as u32).collect();
+        let mut size = vec![1u32; n];
+        let mut matched = vec![false; n];
         for &(_, i, j) in &edges {
-            if mate[i as usize] == u32::MAX && mate[j as usize] == u32::MAX {
-                mate[i as usize] = j;
-                mate[j as usize] = i;
+            if !matched[i as usize] && !matched[j as usize] {
+                matched[i as usize] = true;
+                matched[j as usize] = true;
+                root[j as usize] = i;
+                size[i as usize] = 2;
             }
         }
-        // Assign block labels: pairs share one label, singletons get their
-        // own.
+
+        // Pass 2 — strength-threshold growth: walk the same deterministic
+        // strength order again and union aggregates across an edge when
+        // the combined size fits the bound and the edge carries at least
+        // `threshold` of the weaker endpoint's strongest coupling. This
+        // grows pairs into variable-size aggregates (pair + singleton,
+        // pair + pair, …) instead of leaving every level a strict halving.
+        if self.max_aggregate > 2 {
+            let mut smax = vec![0.0f64; n];
+            for &(s, i, j) in &edges {
+                if s > smax[i as usize] {
+                    smax[i as usize] = s;
+                }
+                if s > smax[j as usize] {
+                    smax[j as usize] = s;
+                }
+            }
+            let cap = self.max_aggregate as u32;
+            for &(s, i, j) in &edges {
+                let ri = find(&mut root, i);
+                let rj = find(&mut root, j);
+                if ri == rj {
+                    continue;
+                }
+                let combined = size[ri as usize] + size[rj as usize];
+                if combined <= cap && s >= self.threshold * smax[i as usize].min(smax[j as usize])
+                {
+                    // Root at the smaller index so labels stay a pure
+                    // function of the (deterministically ordered) edges.
+                    let (keep, gone) = if ri < rj { (ri, rj) } else { (rj, ri) };
+                    root[gone as usize] = keep;
+                    size[keep as usize] = combined;
+                }
+            }
+        }
+
+        // Assign block labels in state order: aggregates share one label,
+        // singletons get their own.
         let mut labels = vec![usize::MAX; n];
+        let mut root_label = vec![usize::MAX; n];
         let mut next = 0usize;
         for i in 0..n {
-            if labels[i] != usize::MAX {
-                continue;
+            let r = find(&mut root, i as u32) as usize;
+            if root_label[r] == usize::MAX {
+                root_label[r] = next;
+                next += 1;
             }
-            labels[i] = next;
-            let m = mate[i];
-            if m != u32::MAX {
-                labels[m as usize] = next;
-            }
-            next += 1;
+            labels[i] = root_label[r];
         }
         Some(Partition::from_labels(labels).expect("labels are contiguous by construction"))
     }
@@ -227,6 +324,68 @@ mod tests {
             .unwrap();
         assert_eq!(base.distribution, injected.distribution);
         assert_eq!(base.iterations(), injected.iterations());
+    }
+
+    #[test]
+    fn variable_aggregates_shorten_the_hierarchy() {
+        // Ring of 64 states: pairwise halves each level, size-8 aggregates
+        // should cut roughly three levels per one.
+        let n = 64;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 0.55);
+            coo.push(i, (i + n - 1) % n, 0.35);
+            coo.push(i, i, 0.1);
+        }
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let pairs = StrengthCoarsening::until(4).levels(&p).unwrap();
+        let wide = StrengthCoarsening::until(4)
+            .aggregates(8)
+            .levels(&p)
+            .unwrap();
+        assert!(
+            wide.len() < pairs.len(),
+            "size-8 aggregates built {} levels, pairs {}",
+            wide.len(),
+            pairs.len()
+        );
+        // Aggregates actually grow beyond pairs somewhere.
+        let max_block = wide
+            .iter()
+            .flat_map(|part| {
+                let mut sizes = vec![0usize; part.block_count()];
+                for i in 0..part.n() {
+                    sizes[part.block_of(i)] += 1;
+                }
+                sizes
+            })
+            .max()
+            .unwrap();
+        assert!(max_block > 2, "growth pass never exceeded pairs");
+        assert!(max_block <= 8);
+    }
+
+    #[test]
+    fn variable_aggregate_hierarchy_still_solves() {
+        let n = 64;
+        let mut coo = CooMatrix::new(n, n);
+        for i in 0..n {
+            coo.push(i, (i + 1) % n, 0.55);
+            coo.push(i, (i + n - 1) % n, 0.35);
+            coo.push(i, i, 0.1);
+        }
+        let p = StochasticMatrix::new(coo.to_csr()).unwrap();
+        let parts = StrengthCoarsening::until(4)
+            .aggregates(4)
+            .levels(&p)
+            .unwrap();
+        let solver = MultigridSolver::builder(parts)
+            .tol(1e-11)
+            .max_cycles(500)
+            .build();
+        let mg = solver.solve(&p, None).unwrap();
+        let reference = GthSolver::new().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&mg.distribution, &reference.distribution) < 1e-8);
     }
 
     #[test]

@@ -116,6 +116,12 @@ pub struct MgHierarchy {
     pub(crate) resid: Vec<f64>,
     pub(crate) fine_n: usize,
     pub(crate) fine_nnz: usize,
+    /// Fine-level apply cost in scalar multiply-adds, the weight the
+    /// cycle-equivalents accounting uses for level 0. Equals `fine_nnz`
+    /// for materialized chains; for the implicit path it is the
+    /// operator's true per-apply work ([`TransitionOp::apply_cost`]),
+    /// which the compact `nnz` badly understates.
+    pub(crate) fine_work: usize,
     pub(crate) phases: MgPhases,
 }
 
@@ -178,6 +184,7 @@ impl MgHierarchy {
             resid: vec![0.0; p.n()],
             fine_n: p.n(),
             fine_nnz: p.nnz(),
+            fine_work: p.nnz(),
             phases: MgPhases::default(),
         })
     }
@@ -289,6 +296,7 @@ impl MgHierarchy {
             resid: vec![0.0; imp.n()],
             fine_n: imp.n(),
             fine_nnz,
+            fine_work: imp.apply_cost(),
             phases: MgPhases::default(),
         })
     }

@@ -63,8 +63,11 @@ mod hierarchy;
 mod smoother;
 mod solver;
 
-pub use adaptive::StrengthCoarsening;
+pub use adaptive::{StrengthCoarsening, MAX_AGGREGATE};
 pub use coarsen::{GeometricCoarsening, PairwiseCoarsening};
 pub use hierarchy::{MgHierarchy, MgPhases};
 pub use smoother::Smoother;
-pub use solver::{CycleKind, MultigridBuilder, MultigridSolver, MultigridStats};
+pub use solver::{
+    CycleKind, CycleSchedule, KrylovAccel, MultigridBuilder, MultigridSolver, MultigridStats,
+    DEFAULT_KRYLOV_RESTART, ESCALATE_TO_F, ESCALATE_TO_W, MAX_KRYLOV_WINDOW, MAX_W_DEPTH,
+};

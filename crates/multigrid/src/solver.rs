@@ -74,17 +74,198 @@ impl FineLevel<'_, '_> {
 pub enum CycleKind {
     /// One recursive visit per level (V-cycle).
     V,
+    /// One full recursive visit followed by a V-sweep (F-cycle): level `ℓ`
+    /// is visited `ℓ + 1` times per fine cycle — between V and W in
+    /// coarse-level work.
+    F,
     /// Two recursive visits per level (W-cycle) — more coarse-level work,
-    /// more robust on stiff chains.
+    /// more robust on stiff chains. Truncated below [`MAX_W_DEPTH`]: on
+    /// deep hierarchies an exact W-cycle re-enters level `ℓ` `2^ℓ` times,
+    /// and each visit re-lumps and re-smooths, so the coarse traversal
+    /// grows exponentially with depth while the extra visits stop buying
+    /// contraction. Levels deeper than the cap recurse singly.
     W,
 }
 
+/// Depth at which W-recursion stops branching: level `ℓ` is visited
+/// `2^min(ℓ, MAX_W_DEPTH)` times per W-cycle. Hierarchies up to
+/// `MAX_W_DEPTH + 1` coarse levels run the textbook W-cycle unchanged;
+/// the deep (12–17 level) implicit Kronecker hierarchies keep at most 64
+/// revisits per level, which bounds the per-cycle coarse work at a small
+/// multiple of one fine apply instead of an exponential in the depth.
+pub const MAX_W_DEPTH: usize = 6;
+
 impl CycleKind {
-    fn gamma(self) -> usize {
+    /// The cycle kinds each recursive visit below `level` runs: a
+    /// V-cycle recurses once as V, an F-cycle recurses as F then sweeps
+    /// back up with a V, a W-cycle recurses twice as W until the
+    /// [`MAX_W_DEPTH`] truncation stops the branching.
+    fn children(self, level: usize) -> [Option<CycleKind>; 2] {
         match self {
-            CycleKind::V => 1,
+            CycleKind::V => [Some(CycleKind::V), None],
+            CycleKind::F => [Some(CycleKind::F), Some(CycleKind::V)],
+            CycleKind::W if level < MAX_W_DEPTH => [Some(CycleKind::W), Some(CycleKind::W)],
+            CycleKind::W => [Some(CycleKind::W), None],
+        }
+    }
+
+    /// Number of times a cycle of this kind started at the fine grid
+    /// visits the level `depth` grids below it.
+    fn visits(self, depth: usize) -> f64 {
+        match self {
+            CycleKind::V => 1.0,
+            CycleKind::F => (depth + 1) as f64,
+            CycleKind::W => (depth.min(MAX_W_DEPTH) as f64).exp2(),
+        }
+    }
+
+    /// Escalation order used by the adaptive controller: V < F < W.
+    fn rank(self) -> u8 {
+        match self {
+            CycleKind::V => 0,
+            CycleKind::F => 1,
             CycleKind::W => 2,
         }
+    }
+
+    /// Short name used by CLI flags and cache keys.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            CycleKind::V => "v",
+            CycleKind::F => "f",
+            CycleKind::W => "w",
+        }
+    }
+}
+
+/// Cycle-kind schedule for a whole solve: either one fixed kind per
+/// cycle, or the deterministic escalation controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleSchedule {
+    /// Every cycle uses the same kind.
+    Fixed(CycleKind),
+    /// Escalate V→F→W when the per-cycle reduction EWMA (the
+    /// [`ConvergenceTrace`] everyone else sees) crosses
+    /// [`ESCALATE_TO_F`] / [`ESCALATE_TO_W`]. A pure function of the
+    /// residual history — never of timing — so the chosen kinds are
+    /// bit-identical at any thread count. Escalation is monotone: the
+    /// controller never steps back down within one solve.
+    Adaptive,
+}
+
+/// Adaptive controller: escalate V→F once the reduction EWMA reaches
+/// this value (a healthy cycle contracts well below it).
+pub const ESCALATE_TO_F: f64 = 0.6;
+/// Adaptive controller: escalate to W once the EWMA reaches this value.
+pub const ESCALATE_TO_W: f64 = 0.85;
+/// Reduction observations required before the controller may escalate
+/// (the EWMA needs a few cycles to mean anything).
+const ESCALATE_WARMUP: usize = 4;
+
+impl CycleSchedule {
+    /// Kind of the first cycle (the adaptive schedule starts at V).
+    fn initial(self) -> CycleKind {
+        match self {
+            CycleSchedule::Fixed(kind) => kind,
+            CycleSchedule::Adaptive => CycleKind::V,
+        }
+    }
+
+    /// Parses a CLI spelling: `v`, `f`, `w`, or `adaptive`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "v" => Some(CycleSchedule::Fixed(CycleKind::V)),
+            "f" => Some(CycleSchedule::Fixed(CycleKind::F)),
+            "w" => Some(CycleSchedule::Fixed(CycleKind::W)),
+            "adaptive" => Some(CycleSchedule::Adaptive),
+            _ => None,
+        }
+    }
+
+    /// The spelling [`parse`](Self::parse) accepts for this schedule.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            CycleSchedule::Fixed(kind) => kind.cli_name(),
+            CycleSchedule::Adaptive => "adaptive",
+        }
+    }
+
+    /// Next kind the adaptive controller runs, given the kind of the
+    /// previous cycle and the reduction history so far. Pure function of
+    /// the residual history: thread-count invariant by construction.
+    fn next_kind(self, current: CycleKind, convergence: &ConvergenceSummary) -> CycleKind {
+        let CycleSchedule::Adaptive = self else {
+            return current;
+        };
+        if convergence.reductions < ESCALATE_WARMUP {
+            return current;
+        }
+        let Some(ewma) = convergence.ewma_reduction else {
+            return current;
+        };
+        let target = if ewma >= ESCALATE_TO_W {
+            CycleKind::W
+        } else if ewma >= ESCALATE_TO_F {
+            CycleKind::F
+        } else {
+            return current;
+        };
+        if target.rank() > current.rank() {
+            target
+        } else {
+            current
+        }
+    }
+}
+
+/// Largest accepted Krylov window length (the small least-squares system
+/// lives on the stack).
+pub const MAX_KRYLOV_WINDOW: usize = 16;
+
+/// Default Krylov window length: long enough to collapse a handful of
+/// slow modes per window, short enough that the window storage stays a
+/// small multiple of the iterate.
+pub const DEFAULT_KRYLOV_RESTART: usize = 8;
+
+/// Krylov acceleration of the multigrid fixed point: collect a window of
+/// `restart` successive cycle iterates and their residual vectors, then
+/// replace the iterate with the minimal-residual affine combination of
+/// the window (GMRES on the multigrid-preconditioned fixed-point map,
+/// computed by a deterministic serial Arnoldi/MGS factorization). The
+/// candidate is accepted only when its true fine-grid residual improves
+/// on the plain cycle's — a safeguard that makes acceleration strictly
+/// non-harmful in exact arithmetic and deterministic in floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KrylovAccel {
+    /// Window length (iterates per extrapolation), in `2..=16`.
+    pub restart: usize,
+    /// When true, the window only starts filling after the
+    /// [`ConvergenceTrace`] stall detector fires; when false it is armed
+    /// from the first cycle.
+    pub on_stall_only: bool,
+}
+
+impl KrylovAccel {
+    /// Acceleration armed from the first cycle.
+    pub fn always(restart: usize) -> Self {
+        KrylovAccel {
+            restart,
+            on_stall_only: false,
+        }
+    }
+
+    /// Acceleration armed by the stall detector.
+    pub fn on_stall(restart: usize) -> Self {
+        KrylovAccel {
+            restart,
+            on_stall_only: true,
+        }
+    }
+}
+
+impl Default for KrylovAccel {
+    fn default() -> Self {
+        KrylovAccel::always(DEFAULT_KRYLOV_RESTART)
     }
 }
 
@@ -94,7 +275,8 @@ pub struct MultigridBuilder {
     partitions: Vec<Partition>,
     pre_sweeps: usize,
     post_sweeps: usize,
-    cycle: CycleKind,
+    schedule: CycleSchedule,
+    accel: Option<KrylovAccel>,
     smoother: Smoother,
     tol: f64,
     max_cycles: usize,
@@ -116,9 +298,32 @@ impl MultigridBuilder {
         self
     }
 
-    /// Cycle kind (default V).
+    /// Fixed cycle kind for every cycle (default V). Shorthand for
+    /// [`schedule`](Self::schedule) with [`CycleSchedule::Fixed`].
     pub fn cycle(mut self, kind: CycleKind) -> Self {
-        self.cycle = kind;
+        self.schedule = CycleSchedule::Fixed(kind);
+        self
+    }
+
+    /// Cycle-kind schedule (default `Fixed(V)`): a fixed kind, or the
+    /// deterministic V→F→W escalation controller.
+    pub fn schedule(mut self, schedule: CycleSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Enables Krylov acceleration of the cycle fixed point
+    /// (default off).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `accel.restart` is in `2..=16`.
+    pub fn accel(mut self, accel: KrylovAccel) -> Self {
+        assert!(
+            (2..=MAX_KRYLOV_WINDOW).contains(&accel.restart),
+            "Krylov window length must be in 2..={MAX_KRYLOV_WINDOW}"
+        );
+        self.accel = Some(accel);
         self
     }
 
@@ -184,7 +389,8 @@ impl MultigridBuilder {
             partitions: self.partitions,
             pre_sweeps: self.pre_sweeps,
             post_sweeps: self.post_sweeps,
-            cycle: self.cycle,
+            schedule: self.schedule,
+            accel: self.accel,
             smoother: self.smoother,
             tol: self.tol,
             max_cycles: self.max_cycles,
@@ -214,6 +420,24 @@ pub struct MultigridStats {
     /// [`MultigridStats::residual_history`], so bit-identical across
     /// thread counts.
     pub convergence: ConvergenceSummary,
+    /// Total fine-grid work in units of one V-cycle: each cycle costs
+    /// `Σ_ℓ visits(kind, ℓ)·w_ℓ / Σ_ℓ w_ℓ` V-cycle equivalents, where
+    /// `w_ℓ` is the level's apply cost in multiply-adds (its nnz for
+    /// materialized levels; [`TransitionOp::apply_cost`] for an implicit
+    /// fine grid, whose compact nnz badly understates the real work), and
+    /// every extra fine-grid residual evaluation the Krylov safeguard
+    /// performs adds `w_0 / Σ_ℓ w_ℓ`. A deterministic cost metric: a
+    /// pure function of the hierarchy pattern and the cycle/extrapolation
+    /// decisions, never of timing. Equals the cycle count exactly for an
+    /// unaccelerated fixed V schedule.
+    pub cycle_equivalents: f64,
+    /// Kind of the last cycle run (differs from the first only under
+    /// [`CycleSchedule::Adaptive`]).
+    pub final_cycle: CycleKind,
+    /// Krylov extrapolation windows completed.
+    pub krylov_windows: u64,
+    /// Windows whose candidate beat the plain cycle and was accepted.
+    pub krylov_accepts: u64,
 }
 
 /// Multi-level aggregation/disaggregation stationary solver.
@@ -236,7 +460,8 @@ pub struct MultigridSolver {
     partitions: Vec<Partition>,
     pre_sweeps: usize,
     post_sweeps: usize,
-    cycle: CycleKind,
+    schedule: CycleSchedule,
+    accel: Option<KrylovAccel>,
     smoother: Smoother,
     tol: f64,
     max_cycles: usize,
@@ -265,7 +490,8 @@ impl MultigridSolver {
             partitions,
             pre_sweeps: 1,
             post_sweeps: 2,
-            cycle: CycleKind::V,
+            schedule: CycleSchedule::Fixed(CycleKind::V),
+            accel: None,
             smoother: Smoother::default(),
             tol: 1e-12,
             max_cycles: 200,
@@ -395,6 +621,23 @@ impl MultigridSolver {
     /// Returns [`MarkovError::InvalidArgument`] if `h` was prepared for a
     /// different pattern, or propagates coarse-solve failures.
     pub fn cycle(&self, p: &StochasticMatrix, h: &mut MgHierarchy, x: &mut [f64]) -> Result<f64> {
+        self.cycle_with(self.schedule.initial(), p, h, x)
+    }
+
+    /// [`cycle`](Self::cycle) with an explicit cycle kind, overriding the
+    /// schedule for this one cycle. The adaptive solve loop drives this
+    /// directly; it shares the workspace-reuse guarantees of `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cycle`](Self::cycle).
+    pub fn cycle_with(
+        &self,
+        kind: CycleKind,
+        p: &StochasticMatrix,
+        h: &mut MgHierarchy,
+        x: &mut [f64],
+    ) -> Result<f64> {
         if !h.matches(p) {
             return Err(MarkovError::InvalidArgument(
                 "hierarchy was prepared for a different chain".into(),
@@ -408,7 +651,7 @@ impl MultigridSolver {
             phases,
             ..
         } = h;
-        self.run_cycle(FineLevel::Mat(p), 0, plans, levels, gth, phases, x)?;
+        self.run_cycle(FineLevel::Mat(p), kind, 0, plans, levels, gth, phases, x)?;
         let t0 = Instant::now();
         let res = p.stationary_residual_with(x, resid);
         phases.residual_secs += t0.elapsed().as_secs_f64();
@@ -433,6 +676,22 @@ impl MultigridSolver {
         h: &mut MgHierarchy,
         x: &mut [f64],
     ) -> Result<f64> {
+        self.cycle_op_with(self.schedule.initial(), imp, h, x)
+    }
+
+    /// [`cycle_op`](Self::cycle_op) with an explicit cycle kind — the
+    /// implicit twin of [`cycle_with`](Self::cycle_with).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`cycle_op`](Self::cycle_op).
+    pub fn cycle_op_with(
+        &self,
+        kind: CycleKind,
+        imp: &ImplicitStochastic<'_>,
+        h: &mut MgHierarchy,
+        x: &mut [f64],
+    ) -> Result<f64> {
         if !h.matches_op(imp) {
             return Err(MarkovError::InvalidArgument(
                 "hierarchy was prepared for a different chain".into(),
@@ -446,7 +705,7 @@ impl MultigridSolver {
             phases,
             ..
         } = h;
-        self.run_cycle(FineLevel::Op(imp), 0, plans, levels, gth, phases, x)?;
+        self.run_cycle(FineLevel::Op(imp), kind, 0, plans, levels, gth, phases, x)?;
         let t0 = Instant::now();
         let res = imp.stationary_residual_with(x, resid);
         phases.residual_secs += t0.elapsed().as_secs_f64();
@@ -569,15 +828,98 @@ impl MultigridSolver {
         // Live progress (default off): interval-throttled solve.progress
         // heartbeats with an ETA projected from the EWMA contraction.
         let heartbeat = obs::Heartbeat::new("multigrid");
+
+        // Deterministic cost accounting: per-level logical work (nnz) and
+        // the resulting V-cycle-equivalent price of each cycle kind. The
+        // coarse patterns are fixed by the plans, so these are constants
+        // of the hierarchy.
+        let mut level_work = Vec::with_capacity(h.levels.len() + 1);
+        level_work.push(h.fine_work as f64);
+        for lvl in &h.levels {
+            level_work.push(lvl.coarse.matrix().nnz() as f64);
+        }
+        let v_cost: f64 = level_work.iter().sum();
+        let kind_cost = |kind: CycleKind| -> f64 {
+            level_work
+                .iter()
+                .enumerate()
+                .map(|(depth, w)| kind.visits(depth) * w)
+                .sum::<f64>()
+                / v_cost
+        };
+        let fine_apply_cost = level_work[0] / v_cost;
+        let mut cycle_equivalents = 0.0;
+
+        let mut kind = self.schedule.initial();
+        let mut krylov = match self.accel {
+            Some(a) if !a.on_stall_only => Some(KrylovWindow::new(fine.n(), a.restart)),
+            _ => None,
+        };
+        let mut krylov_windows = 0u64;
+        let mut krylov_accepts = 0u64;
+
         for cycle in 1..=self.max_cycles {
+            let next = self.schedule.next_kind(kind, &trace.summary());
+            if next != kind {
+                obs::event(
+                    "multigrid.cycle_type",
+                    &[
+                        ("cycle", cycle.into()),
+                        ("from", kind.cli_name().into()),
+                        ("to", next.cli_name().into()),
+                    ],
+                );
+                kind = next;
+            }
             let cycle_t0 = obs::enabled().then(Instant::now);
             let cycle_span = obs::span("cycle");
-            let res = match fine {
-                FineLevel::Mat(p) => self.cycle(p, h, &mut x)?,
-                FineLevel::Op(imp) => self.cycle_op(imp, h, &mut x)?,
+            let mut res = match fine {
+                FineLevel::Mat(p) => self.cycle_with(kind, p, h, &mut x)?,
+                FineLevel::Op(imp) => self.cycle_op_with(kind, imp, h, &mut x)?,
             };
             drop(cycle_span);
+            cycle_equivalents += kind_cost(kind);
+            if let Some(w) = krylov.as_mut() {
+                // `h.resid` holds xP from the residual evaluation above,
+                // so the residual *vector* of the cycle's iterate is free.
+                w.push(&x, &h.resid);
+                if w.full() {
+                    krylov_windows += 1;
+                    obs::counter("solver.krylov.windows", 1);
+                    let _accel_span = obs::span("krylov.extrapolate");
+                    if w.extrapolate() {
+                        // Safeguard: one true fine-grid residual for the
+                        // candidate (priced like any other fine apply).
+                        let res_y = match fine {
+                            FineLevel::Mat(p) => p.stationary_residual_with(&w.y, &mut h.resid),
+                            FineLevel::Op(imp) => imp.stationary_residual_with(&w.y, &mut h.resid),
+                        };
+                        cycle_equivalents += fine_apply_cost;
+                        if res_y < res {
+                            krylov_accepts += 1;
+                            obs::counter("solver.krylov.accepts", 1);
+                            obs::histogram("solver.krylov.gain", res / res_y.max(f64::MIN_POSITIVE));
+                            x.copy_from_slice(&w.y);
+                            res = res_y;
+                        } else {
+                            obs::counter("solver.krylov.rejects", 1);
+                        }
+                    }
+                    w.clear();
+                }
+            }
             trace.observe(res);
+            if krylov.is_none() && trace.stalled() {
+                if let Some(a) = self.accel {
+                    // Stall-triggered arming: the window starts filling
+                    // from the next cycle on.
+                    obs::event(
+                        "solver.krylov.armed",
+                        &[("cycle", cycle.into()), ("restart", a.restart.into())],
+                    );
+                    krylov = Some(KrylovWindow::new(fine.n(), a.restart));
+                }
+            }
             if heartbeat.active() {
                 heartbeat.tick_solve(cycle as u64, res, trace.summary().ewma_reduction, self.tol);
             }
@@ -608,7 +950,11 @@ impl MultigridSolver {
                 *history.last_mut().expect("pushed above") = final_res;
                 obs::event(
                     "multigrid.converged",
-                    &[("cycles", cycle.into()), ("residual", final_res.into())],
+                    &[
+                        ("cycles", cycle.into()),
+                        ("residual", final_res.into()),
+                        ("cycle_equivalents", cycle_equivalents.into()),
+                    ],
                 );
                 let convergence = trace.summary();
                 if obs::enabled() {
@@ -631,6 +977,10 @@ impl MultigridSolver {
                     level_sizes,
                     phases: h.phases,
                     convergence,
+                    cycle_equivalents,
+                    final_cycle: kind,
+                    krylov_windows,
+                    krylov_accepts,
                 };
                 return Ok((result, stats));
             }
@@ -760,6 +1110,7 @@ impl MultigridSolver {
     fn run_cycle(
         &self,
         chain: FineLevel<'_, '_>,
+        kind: CycleKind,
         level: usize,
         plans: &[LumpPlan],
         levels: &mut [MgLevel],
@@ -812,9 +1163,10 @@ impl MultigridSolver {
         vecops::normalize_l1(&mut lvl.xc);
         drop(agg_span);
         ph.aggregate_secs += t0.elapsed().as_secs_f64();
-        for _ in 0..self.cycle.gamma() {
+        for child in kind.children(level).into_iter().flatten() {
             self.run_cycle(
                 FineLevel::Mat(&lvl.coarse),
+                child,
                 level + 1,
                 plans,
                 rest,
@@ -891,6 +1243,133 @@ impl MultigridSolver {
     }
 }
 
+/// Workspace for the windowed minimal-residual extrapolation: `restart`
+/// iterates with their residual vectors, plus the candidate buffer. All
+/// storage is allocated once (at arming) and reused across windows; the
+/// per-cycle hot path [`MultigridSolver::cycle`] never sees it.
+struct KrylovWindow {
+    /// Window iterates `x_0 … x_{m−1}`.
+    xs: Vec<Vec<f64>>,
+    /// Their residual vectors `r_i = x_iP − x_i`; during extrapolation
+    /// the first `m − 1` slots are overwritten in place by the
+    /// orthonormalized difference basis.
+    rs: Vec<Vec<f64>>,
+    /// Candidate combination.
+    y: Vec<f64>,
+    len: usize,
+}
+
+impl KrylovWindow {
+    fn new(n: usize, restart: usize) -> Self {
+        KrylovWindow {
+            xs: vec![vec![0.0; n]; restart],
+            rs: vec![vec![0.0; n]; restart],
+            y: vec![0.0; n],
+            len: 0,
+        }
+    }
+
+    /// Records an iterate and its residual vector, given `xp = xP` (the
+    /// scratch the cycle's residual evaluation already produced).
+    fn push(&mut self, x: &[f64], xp: &[f64]) {
+        let i = self.len;
+        self.xs[i].copy_from_slice(x);
+        for ((r, &a), &b) in self.rs[i].iter_mut().zip(xp).zip(x) {
+            *r = a - b;
+        }
+        self.len += 1;
+    }
+
+    fn full(&self) -> bool {
+        self.len == self.xs.len()
+    }
+
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Minimal-residual extrapolation over the full window: finds the
+    /// affine combination `y = Σ c_i x_i`, `Σ c_i = 1`, minimizing the
+    /// 2-norm of the linearized residual `Σ c_i r_i`, via a serial
+    /// modified-Gram-Schmidt QR of the difference basis
+    /// `s_i = r_i − r_{m−1}` (every reduction is a serial `vecops` dot,
+    /// so the coefficients are bit-identical at any thread count). The
+    /// combination is clamped to the simplex (negative entries zeroed,
+    /// L1-normalized) before it lands in `self.y`.
+    ///
+    /// Returns false when the basis is numerically degenerate or the
+    /// clamped combination has no mass — callers then skip the window.
+    fn extrapolate(&mut self) -> bool {
+        let m = self.len;
+        debug_assert!(self.full() && m >= 2);
+        let (basis, tail) = self.rs.split_at_mut(m - 1);
+        let r_last = &tail[0];
+        let k = m - 1;
+        let mut r = [[0.0f64; MAX_KRYLOV_WINDOW]; MAX_KRYLOV_WINDOW];
+        let mut used = [false; MAX_KRYLOV_WINDOW];
+        for i in 0..k {
+            vecops::axpy(-1.0, r_last, &mut basis[i]);
+            let norm0 = vecops::norm2(&basis[i]);
+            let (left, right) = basis.split_at_mut(i);
+            let qi = &mut right[0];
+            for (j, qj) in left.iter().enumerate() {
+                if !used[j] {
+                    continue;
+                }
+                let hij = vecops::dot(qj, qi);
+                r[j][i] = hij;
+                vecops::axpy(-hij, qj, qi);
+            }
+            let nrm = vecops::norm2(qi);
+            // Columns that vanish under orthogonalization carry no new
+            // direction; drop them rather than divide by noise.
+            if nrm > 1e-12 * norm0.max(f64::MIN_POSITIVE) {
+                vecops::scale(1.0 / nrm, qi);
+                r[i][i] = nrm;
+                used[i] = true;
+            }
+        }
+        if !used.iter().take(k).any(|&u| u) {
+            return false;
+        }
+        // γ = argmin ‖r_last + Σ γ_i s_i‖₂  ⇒  Rγ = −Qᵀ r_last.
+        let mut gamma = [0.0f64; MAX_KRYLOV_WINDOW];
+        let mut beta = [0.0f64; MAX_KRYLOV_WINDOW];
+        for j in 0..k {
+            if used[j] {
+                beta[j] = -vecops::dot(&basis[j], r_last);
+            }
+        }
+        for i in (0..k).rev() {
+            if !used[i] {
+                continue;
+            }
+            let mut s = beta[i];
+            for j in (i + 1)..k {
+                if used[j] {
+                    s -= r[i][j] * gamma[j];
+                }
+            }
+            gamma[i] = s / r[i][i];
+        }
+        // y = (1 − Σγ)·x_last + Σ γ_i x_i, clamped back onto the simplex.
+        let c_last = 1.0 - gamma.iter().take(k).sum::<f64>();
+        self.y.copy_from_slice(&self.xs[m - 1]);
+        vecops::scale(c_last, &mut self.y);
+        for i in 0..k {
+            if used[i] && gamma[i] != 0.0 {
+                vecops::axpy(gamma[i], &self.xs[i], &mut self.y);
+            }
+        }
+        for v in &mut self.y {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        vecops::normalize_l1(&mut self.y)
+    }
+}
+
 /// Validates a caller-provided starting vector and normalizes it.
 fn checked_init(n: usize, v: &[f64]) -> Result<Vec<f64>> {
     let mut x = v.to_vec();
@@ -919,9 +1398,12 @@ impl StationarySolver for MultigridSolver {
     }
 
     fn name(&self) -> &'static str {
-        match self.cycle {
-            CycleKind::V => "multigrid-v",
-            CycleKind::W => "multigrid-w",
+        match (self.schedule, self.accel.is_some()) {
+            (_, true) => "multigrid-krylov",
+            (CycleSchedule::Fixed(CycleKind::V), false) => "multigrid-v",
+            (CycleSchedule::Fixed(CycleKind::F), false) => "multigrid-f",
+            (CycleSchedule::Fixed(CycleKind::W), false) => "multigrid-w",
+            (CycleSchedule::Adaptive, false) => "multigrid-adaptive",
         }
     }
 }
@@ -1213,5 +1695,158 @@ mod tests {
         let p = birth_death(16, 0.4);
         let solver = MultigridSolver::builder(PairwiseCoarsening::until(4).levels(16)).build();
         assert!(solver.solve(&p, Some(&[1.0, 2.0])).is_err());
+    }
+
+    #[test]
+    fn f_cycle_solves_and_costs_between_v_and_w() {
+        let p = ncd_chain(4, 8, 1e-7);
+        let parts = PairwiseCoarsening::until(4).levels(32);
+        let gth = GthSolver::new().solve(&p, None).unwrap();
+        let mut equivalents_per_cycle = Vec::new();
+        for kind in [CycleKind::V, CycleKind::F, CycleKind::W] {
+            let solver = MultigridSolver::builder(parts.clone())
+                .cycle(kind)
+                .tol(1e-12)
+                .build();
+            let (r, stats) = solver.solve_with_stats(&p, None).unwrap();
+            assert!(vecops::dist1(&r.distribution, &gth.distribution) < 1e-8);
+            assert_eq!(stats.final_cycle, kind);
+            equivalents_per_cycle.push(stats.cycle_equivalents / r.report.iterations as f64);
+        }
+        // Per-cycle price: V is the unit, F sits strictly between V and W.
+        assert_eq!(equivalents_per_cycle[0], 1.0);
+        assert!(equivalents_per_cycle[0] < equivalents_per_cycle[1]);
+        assert!(equivalents_per_cycle[1] < equivalents_per_cycle[2]);
+    }
+
+    #[test]
+    fn fixed_v_cycle_equivalents_equal_cycle_count() {
+        let p = birth_death(64, 0.45);
+        let solver = MultigridSolver::builder(PairwiseCoarsening::until(8).levels(64))
+            .tol(1e-10)
+            .build();
+        let (r, stats) = solver.solve_with_stats(&p, None).unwrap();
+        assert_eq!(stats.cycle_equivalents, r.report.iterations as f64);
+        assert_eq!(stats.krylov_windows, 0);
+        assert_eq!(stats.final_cycle, CycleKind::V);
+    }
+
+    #[test]
+    fn adaptive_schedule_escalates_deterministically() {
+        // An underdamped single-sweep smoother leaves V-cycles crawling
+        // (fixed-V EWMA ≈ 0.94 on this chain), so the controller must
+        // escalate.
+        let p = ncd_chain(4, 8, 0.2);
+        let parts = PairwiseCoarsening::until(4).levels(32);
+        let adaptive = MultigridSolver::builder(parts.clone())
+            .schedule(CycleSchedule::Adaptive)
+            .smoother(Smoother::Jacobi { omega: 0.15 })
+            .pre_sweeps(0)
+            .post_sweeps(1)
+            .tol(1e-12)
+            .max_cycles(20_000)
+            .build();
+        let (r, stats) = adaptive.solve_with_stats(&p, None).unwrap();
+        let gth = GthSolver::new().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &gth.distribution) < 1e-8);
+        assert!(
+            stats.final_cycle.rank() > CycleKind::V.rank(),
+            "controller never escalated on a chain where V-cycles crawl"
+        );
+        // The decision sequence is a pure function of the residual
+        // history: a second run reproduces it bit for bit.
+        let (r2, stats2) = adaptive.solve_with_stats(&p, None).unwrap();
+        assert_eq!(r.distribution, r2.distribution);
+        assert_eq!(stats.residual_history, stats2.residual_history);
+        assert_eq!(stats.cycle_equivalents, stats2.cycle_equivalents);
+    }
+
+    #[test]
+    fn krylov_acceleration_reduces_cycles_on_stiff_chain() {
+        let p = ncd_chain(4, 8, 0.2);
+        let parts = PairwiseCoarsening::until(4).levels(32);
+        let plain = MultigridSolver::builder(parts.clone())
+            .tol(1e-12)
+            .max_cycles(20_000)
+            .build();
+        let accel = MultigridSolver::builder(parts)
+            .tol(1e-12)
+            .max_cycles(20_000)
+            .accel(KrylovAccel::always(6))
+            .build();
+        let (rp, _) = plain.solve_with_stats(&p, None).unwrap();
+        let (ra, sa) = accel.solve_with_stats(&p, None).unwrap();
+        let gth = GthSolver::new().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&ra.distribution, &gth.distribution) < 1e-8);
+        assert!(sa.krylov_windows > 0);
+        assert!(sa.krylov_accepts > 0, "no extrapolation ever accepted");
+        assert!(
+            sa.cycle_equivalents < 0.7 * rp.report.iterations as f64,
+            "acceleration saved too little: {} equivalents vs {} plain cycles",
+            sa.cycle_equivalents,
+            rp.report.iterations
+        );
+        // Deterministic: same bits on a rerun.
+        let (ra2, sa2) = accel.solve_with_stats(&p, None).unwrap();
+        assert_eq!(ra.distribution, ra2.distribution);
+        assert_eq!(sa.cycle_equivalents, sa2.cycle_equivalents);
+    }
+
+    #[test]
+    fn stall_triggered_acceleration_arms_only_after_stall() {
+        let p = ncd_chain(4, 8, 0.2);
+        let parts = PairwiseCoarsening::until(4).levels(32);
+        let accel = MultigridSolver::builder(parts)
+            .smoother(Smoother::Jacobi { omega: 0.15 })
+            .pre_sweeps(0)
+            .post_sweeps(1)
+            .tol(1e-12)
+            .max_cycles(20_000)
+            .accel(KrylovAccel::on_stall(6))
+            .build();
+        let (r, stats) = accel.solve_with_stats(&p, None).unwrap();
+        let gth = GthSolver::new().solve(&p, None).unwrap();
+        assert!(vecops::dist1(&r.distribution, &gth.distribution) < 1e-8);
+        let stalled_at = stats.convergence.stalled_at.expect("chain must stall");
+        assert!(stats.krylov_windows > 0);
+        // The first window needs `restart` pushes after arming, so no
+        // window can complete before the stall fires.
+        assert!(r.report.iterations > stalled_at);
+    }
+
+    #[test]
+    fn cycle_schedule_parses_cli_names() {
+        for s in [
+            CycleSchedule::Fixed(CycleKind::V),
+            CycleSchedule::Fixed(CycleKind::F),
+            CycleSchedule::Fixed(CycleKind::W),
+            CycleSchedule::Adaptive,
+        ] {
+            assert_eq!(CycleSchedule::parse(s.cli_name()), Some(s));
+        }
+        assert_eq!(CycleSchedule::parse("x"), None);
+    }
+
+    #[test]
+    fn solver_names_cover_schedules() {
+        let parts = PairwiseCoarsening::until(4).levels(16);
+        let mk = |b: MultigridBuilder| b.build().name();
+        assert_eq!(mk(MultigridSolver::builder(parts.clone())), "multigrid-v");
+        assert_eq!(
+            mk(MultigridSolver::builder(parts.clone()).cycle(CycleKind::F)),
+            "multigrid-f"
+        );
+        assert_eq!(
+            mk(MultigridSolver::builder(parts.clone()).cycle(CycleKind::W)),
+            "multigrid-w"
+        );
+        assert_eq!(
+            mk(MultigridSolver::builder(parts.clone()).schedule(CycleSchedule::Adaptive)),
+            "multigrid-adaptive"
+        );
+        assert_eq!(
+            mk(MultigridSolver::builder(parts).accel(KrylovAccel::default())),
+            "multigrid-krylov"
+        );
     }
 }

@@ -53,7 +53,7 @@ fn warm_cycles_do_not_allocate() {
         mem::tracking_active(),
         "TrackingAlloc must be installed for this proof to mean anything"
     );
-    for kind in [CycleKind::V, CycleKind::W] {
+    for kind in [CycleKind::V, CycleKind::F, CycleKind::W] {
         let solver = MultigridSolver::builder(pair_partitions(n, 3))
             .cycle(kind)
             .smoother(Smoother::GaussSeidel)

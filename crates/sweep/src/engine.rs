@@ -25,7 +25,7 @@
 use std::time::Instant;
 
 use stochcdr::cycle_slip::mean_time_between_slips;
-use stochcdr::{CdrAnalysis, CdrChain, CdrModel, Result, SolverChoice};
+use stochcdr::{CdrAnalysis, CdrChain, CdrModel, Result};
 use stochcdr_fsm::{CacheStats, FactorCache};
 use stochcdr_linalg::par;
 use stochcdr_markov::stationary::StationarySolver;
@@ -211,9 +211,10 @@ where
     let form_start = Instant::now();
     let factors = AssemblyFactors::cached(&config, cache);
     let chain = CdrModel::new(config).build_chain_with(&factors)?;
-    let parts = match choice {
-        SolverChoice::Multigrid | SolverChoice::MultigridW => chain.phase_hierarchy_cached(cache),
-        _ => Vec::new(),
+    let parts = if choice.is_multigrid() {
+        chain.phase_hierarchy_cached(cache)
+    } else {
+        Vec::new()
     };
     let form_secs = form_start.elapsed().as_secs_f64();
 
@@ -225,25 +226,23 @@ where
     // Multigrid points fetch the symbolic lumping plans from the cache
     // too (`mg.plan` kind): points that only move transition values share
     // one plan stack, so their solves skip the symbolic setup entirely.
-    let (result, solve_time, solver_name, mg_phases) = match choice {
-        SolverChoice::Multigrid | SolverChoice::MultigridW => {
-            let plans = chain.mg_plans_cached(cache, &parts);
-            let solver = chain.multigrid_solver(choice, spec.tol, parts, Some(plans));
-            let solve_start = Instant::now();
-            let (result, stats) = solver.solve_with_stats(chain.tpm(), init.as_deref())?;
-            (
-                result,
-                solve_start.elapsed(),
-                solver.name(),
-                Some(stats.phases),
-            )
-        }
-        _ => {
-            let solver = chain.solver_from_hierarchy(choice, spec.tol, parts);
-            let solve_start = Instant::now();
-            let result = solver.solve(chain.tpm(), init.as_deref())?;
-            (result, solve_start.elapsed(), solver.name(), None)
-        }
+    let (result, solve_time, solver_name, mg_phases) = if choice.is_multigrid() {
+        let schedule = choice.mg_schedule().expect("multigrid choice");
+        let plans = chain.mg_plans_cached(cache, &parts, schedule);
+        let solver = chain.multigrid_solver(choice, spec.tol, parts, Some(plans));
+        let solve_start = Instant::now();
+        let (result, stats) = solver.solve_with_stats(chain.tpm(), init.as_deref())?;
+        (
+            result,
+            solve_start.elapsed(),
+            solver.name(),
+            Some(stats.phases),
+        )
+    } else {
+        let solver = chain.solver_from_hierarchy(choice, spec.tol, parts);
+        let solve_start = Instant::now();
+        let result = solver.solve(chain.tpm(), init.as_deref())?;
+        (result, solve_start.elapsed(), solver.name(), None)
     };
     let iterations = result.iterations();
     let residual = result.residual();
@@ -288,7 +287,7 @@ where
 mod tests {
     use super::*;
     use crate::spec::SweepAxis;
-    use stochcdr::CdrConfig;
+    use stochcdr::{CdrConfig, SolverChoice};
 
     fn base() -> CdrConfig {
         CdrConfig::builder()

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Benchmark regression gate: takes a fresh bench_snapshot and compares it
-# against the committed baseline (results/BENCH_AFTER_PR8_T4.json by
+# against the committed baseline (results/BENCH_AFTER_PR10_T4.json by
 # default, override with $1). Deterministic metrics — states, nnz, solver cycles,
 # residual, BER, Monte-Carlo results, pre-pass allocation counts — must
 # be bit-identical; wall-clock and memory-size numbers are advisory (the
@@ -22,7 +22,7 @@
 set -eu
 
 cd "$(dirname "$0")/.."
-baseline="${1:-results/BENCH_AFTER_PR8_T4.json}"
+baseline="${1:-results/BENCH_AFTER_PR10_T4.json}"
 fresh="target/BENCH_GATE_FRESH.json"
 mode="${BENCH_GATE_MODE:-full}"
 
